@@ -1,0 +1,121 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not paper tables — these quantify the pieces the paper's design rests
+on, so a reader can see *why* each mechanism earns its complexity:
+
+* speculative direct-execution overhead: the functional interpreter
+  alone vs. the speculative frontend driving it (cost of instrumenting
+  loads/stores/branches and keeping rollback state);
+* prediction quality vs. memoization: a poor predictor inflates
+  rollbacks — does fast-forwarding still win?
+* machine width: does a narrow pipeline change the memoization gain?
+* p-action cache growth: bytes per simulated instruction, the quantity
+  that decides when Figure 7's limits start to bite.
+"""
+
+import pytest
+
+from conftest import WORKLOADS, write_result
+from repro.branch.predictor import (
+    AlwaysTakenPredictor,
+    BimodalPredictor,
+    GsharePredictor,
+    NotTakenPredictor,
+)
+from repro.emulator.frontend import SpeculativeFrontend
+from repro.emulator.functional import Interpreter
+from repro.emulator.queues import ControlKind
+from repro.sim.fastsim import FastSim
+from repro.sim.slowsim import SlowSim
+from repro.uarch.params import ProcessorParams
+from repro.workloads.suite import load_workload
+
+ABLATION_WORKLOAD = "go" if "go" in WORKLOADS else WORKLOADS[0]
+
+
+def test_functional_interpreter(benchmark, runner):
+    """Raw functional execution — the 'native hardware' stand-in."""
+    def run():
+        interpreter = Interpreter(load_workload(ABLATION_WORKLOAD,
+                                                runner.scale))
+        interpreter.run()
+        return interpreter.state.instret
+
+    instructions = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert instructions > 0
+
+
+def test_speculative_frontend(benchmark, runner):
+    """The frontend alone (records queues, immediate rollback)."""
+    def run():
+        frontend = SpeculativeFrontend(
+            load_workload(ABLATION_WORKLOAD, runner.scale),
+            BimodalPredictor(),
+        )
+        while True:
+            record = frontend.run_one_event()
+            if record.mispredicted:
+                frontend.rollback_to(len(frontend.queues.controls) - 1)
+            elif record.kind is ControlKind.HALT:
+                return frontend.executed_instructions
+
+    instructions = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert instructions > 0
+
+
+@pytest.mark.parametrize("predictor_name, factory", [
+    ("bimodal", BimodalPredictor),
+    ("gshare", GsharePredictor),
+    ("always-taken", AlwaysTakenPredictor),
+    ("not-taken", NotTakenPredictor),
+])
+def test_predictor_ablation(benchmark, runner, predictor_name, factory):
+    """Memoized simulation under different prediction quality."""
+    def run():
+        return FastSim(load_workload(ABLATION_WORKLOAD, runner.scale),
+                       predictor=factory()).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.instructions > 0
+
+
+@pytest.mark.parametrize("width_name, params_factory", [
+    ("r10k-4wide", ProcessorParams.r10k),
+    ("narrow-2wide", ProcessorParams.narrow),
+])
+def test_width_ablation(benchmark, runner, width_name, params_factory):
+    """Memoization gain on a different machine width."""
+    params = params_factory()
+
+    def run():
+        exe = load_workload(ABLATION_WORKLOAD, runner.scale)
+        fast = FastSim(exe, params=params).run()
+        slow = SlowSim(load_workload(ABLATION_WORKLOAD, runner.scale),
+                       params=params).run()
+        assert fast.timing_equal(slow)
+        return slow.host_seconds / fast.host_seconds
+
+    speedup = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert speedup > 1.5
+
+
+def test_cache_growth_summary(benchmark, runner, results_dir):
+    """Bytes of p-action cache per simulated instruction, per workload."""
+    def collect():
+        lines = ["P-action cache growth (modelled bytes per retired "
+                 "instruction)", ""]
+        lines.append(f"{'benchmark':12s} {'bytes/inst':>11s} "
+                     f"{'cache KB':>9s} {'insts':>8s}")
+        for name in WORKLOADS:
+            fast = runner.run(name, "fast")
+            per_inst = fast.memo.peak_cache_bytes / max(fast.instructions, 1)
+            lines.append(
+                f"{name:12s} {per_inst:>11.2f} "
+                f"{fast.memo.peak_cache_bytes / 1024:>9.1f} "
+                f"{fast.instructions:>8d}"
+            )
+        return "\n".join(lines)
+
+    text = benchmark.pedantic(collect, rounds=1, iterations=1)
+    write_result(results_dir, "ablation_cache_growth.txt", text)
+    assert "bytes/inst" in text

@@ -1,0 +1,25 @@
+"""Calibration bench — the timing model measured from the outside.
+
+Recovers the pipeline's configured latencies (ALU, load-to-use per
+cache level, divide, FP multiply, misprediction penalty) with
+lmbench-style differencing microbenchmarks, and asserts the model
+exhibits its spec. Complements the paper tables: Tables 2–5 show the
+*speed* of simulation; this shows the simulated *machine* is the one
+Table 1 describes.
+"""
+
+from conftest import write_result
+from repro.analysis.calibrate import calibrate, render_calibration
+
+
+def test_calibration(benchmark, results_dir):
+    rows = benchmark.pedantic(calibrate, rounds=1, iterations=1)
+    text = render_calibration(rows)
+    write_result(results_dir, "calibration.txt", text)
+    by_name = {r.quantity: r for r in rows}
+    assert abs(by_name["dependent ALU op"].measured - 1.0) < 0.2
+    l1 = by_name["load-to-use, L1 resident"]
+    assert abs(l1.measured - l1.configured) <= 1.0
+    l2 = by_name["load-to-use, L2 resident"]
+    assert abs(l2.measured - l2.configured) <= 2.0
+    assert 33 <= by_name["dependent integer divide"].measured <= 40

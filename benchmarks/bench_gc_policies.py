@@ -1,0 +1,58 @@
+"""§4.3 / §5 — replacement-policy study: GC vs. flush-on-full.
+
+Paper: "garbage collecting the p-action cache is almost always worse
+than simply flushing it" — collections are infrequent relative to
+reuse, and only ~18% of the cache survives a collection on average, so
+the copying machinery buys nothing. The generational collector was no
+better. This benchmark reproduces that negative result on a subset of
+the suite at a cache limit of 35% of each workload's natural size.
+"""
+
+import pytest
+
+from conftest import WORKLOADS, write_result
+from repro.analysis.figures import gc_policy_study
+from repro.analysis.report import render_policy_study
+from repro.memo.policies import make_policy
+from repro.sim.fastsim import FastSim
+from repro.workloads.suite import load_workload
+
+SUBSET = [n for n in ("go", "compress", "li", "mgrid", "fpppp", "wave5")
+          if n in WORKLOADS] or WORKLOADS[:3]
+POLICIES = ("flush", "copying-gc", "generational-gc")
+
+
+@pytest.mark.parametrize("policy_name", POLICIES)
+@pytest.mark.parametrize("name", SUBSET)
+def test_policy(benchmark, runner, name, policy_name):
+    natural = runner.run(name, "fast").memo.peak_cache_bytes
+    limit = max(int(natural * 0.35), 512)
+
+    def run():
+        return FastSim(
+            load_workload(name, runner.scale),
+            policy=make_policy(policy_name, limit_bytes=limit),
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.cycles == runner.run(name, "fast").cycles
+
+
+def test_render_policy_study(benchmark, runner, results_dir):
+    rows = benchmark.pedantic(
+        lambda: gc_policy_study(runner, SUBSET), rounds=1, iterations=1
+    )
+    write_result(results_dir, "gc_policies.txt", render_policy_study(rows))
+    # The paper's conclusion: per workload, neither collector beats the
+    # flush policy by a meaningful margin.
+    by_bench = {}
+    for row in rows:
+        by_bench.setdefault(row.benchmark, {})[row.policy] = row.speedup
+    better = sum(
+        1 for policies in by_bench.values()
+        if max(policies["copying-gc"], policies["generational-gc"])
+        > policies["flush"] * 1.25
+    )
+    assert better <= len(by_bench) // 2, (
+        "collectors should not systematically beat flush-on-full"
+    )

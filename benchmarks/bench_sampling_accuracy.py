@@ -1,0 +1,69 @@
+"""§2 positioning — sampling trades accuracy; fast-forwarding does not.
+
+The paper contrasts FastSim with techniques that "trade-off accuracy
+for speed" (trace sampling, simplified models): *"In comparison,
+FastSim has no loss of accuracy, preferring to trade space for speed."*
+This benchmark quantifies that sentence: for each workload it measures
+
+* the sampling simulator's speed and its cycle-estimate error, and
+* FastSim's speed at exactly zero error,
+
+both against the same detailed (SlowSim) reference.
+"""
+
+import pytest
+
+from conftest import WORKLOADS, write_result
+from repro.sim.sampling import SamplingSimulator
+from repro.workloads.suite import load_workload
+
+SUBSET = [n for n in ("go", "compress", "mgrid", "fpppp")
+          if n in WORKLOADS] or WORKLOADS[:2]
+
+
+@pytest.mark.parametrize("name", SUBSET)
+def test_sampling(benchmark, runner, name):
+    """One sampled simulation (period 2000, window 400)."""
+    def run():
+        return SamplingSimulator(load_workload(name, runner.scale),
+                                 period=2000, window=400).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    exact = runner.run(name, "slow")
+    # Architectural behaviour is exact even when timing is estimated.
+    assert result.output == exact.output
+    assert result.instructions == exact.instructions
+    runner._results[(name, "sampling")] = result
+
+
+def test_render_accuracy_tradeoff(benchmark, runner, results_dir):
+    def collect():
+        lines = [
+            "Accuracy-for-speed trade-off (sampling vs fast-forwarding)",
+            "",
+            f"{'benchmark':12s} {'exact cyc':>10s} {'sampled est':>12s} "
+            f"{'err%':>6s} {'sample spd':>10s} {'fastsim spd':>11s} "
+            f"{'fastsim err':>11s}",
+        ]
+        for name in SUBSET:
+            exact = runner.run(name, "slow")
+            fast = runner.run(name, "fast")
+            sampled = runner._results.get((name, "sampling"))
+            if sampled is None:
+                sampled = SamplingSimulator(
+                    load_workload(name, runner.scale),
+                    period=2000, window=400,
+                ).run()
+            lines.append(
+                f"{name:12s} {exact.cycles:>10d} "
+                f"{sampled.estimated_cycles:>12.0f} "
+                f"{100 * sampled.error_vs(exact.cycles):>5.1f}% "
+                f"{exact.host_seconds / sampled.host_seconds:>9.1f}x "
+                f"{exact.host_seconds / fast.host_seconds:>10.1f}x "
+                f"{'0.0%':>11s}"
+            )
+        return "\n".join(lines)
+
+    text = benchmark.pedantic(collect, rounds=1, iterations=1)
+    write_result(results_dir, "sampling_tradeoff.txt", text)
+    assert "fastsim err" in text

@@ -1,0 +1,57 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmark suite regenerates every table and figure of the paper's
+evaluation (see DESIGN.md's per-experiment index). Simulation results
+are shared through a session-scoped :class:`SuiteRunner` so e.g.
+Table 4 reuses the FastSim runs Table 2 measured; each summary test
+renders its table, prints it, and writes it under ``results/``.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — workload scale (default ``test``).
+* ``REPRO_BENCH_WORKLOADS`` — comma-separated subset (default all 18).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.analysis.runner import SuiteRunner
+from repro.workloads.suite import WORKLOAD_ORDER
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "test")
+
+
+def bench_workloads():
+    names = os.environ.get("REPRO_BENCH_WORKLOADS")
+    if not names:
+        return list(WORKLOAD_ORDER)
+    return [n.strip() for n in names.split(",") if n.strip()]
+
+
+WORKLOADS = bench_workloads()
+
+
+@pytest.fixture(scope="session")
+def runner() -> SuiteRunner:
+    return SuiteRunner(scale=bench_scale())
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print a rendered table and persist it under results/."""
+    path = results_dir / name
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""An architecture study — what a 10x-faster simulator is *for*.
+
+The paper's motivation is that microarchitectural simulation gates
+processor research. With FastSim-style memoization, sweeping a design
+space becomes affordable. This example sweeps integer-ALU count and
+issue-queue size over a few workloads, prints the IPC matrix, and shows
+the winner per workload — plus a pipeline trace of a few cycles so you
+can see the machine the numbers describe.
+
+Run: ``python examples/architecture_study.py``
+"""
+
+from repro.analysis.sweeps import best_variant, render_sweep, sweep_parameters
+from repro.uarch.params import ProcessorParams
+from repro.uarch.trace import trace_pipeline
+from repro.workloads import load_workload
+
+VARIANTS = {
+    "1-alu": ProcessorParams(int_alus=1),
+    "2-alu/r10k": ProcessorParams.r10k(),
+    "4-alu": ProcessorParams(int_alus=4),
+    "small-queues": ProcessorParams(int_queue=4, fp_queue=4, addr_queue=4),
+}
+
+WORKLOADS = ["go", "compress", "ijpeg", "mgrid"]
+
+
+def main() -> None:
+    print("Sweeping", len(VARIANTS), "design points over",
+          len(WORKLOADS), "workloads with FastSim...\n")
+    points = sweep_parameters(VARIANTS, WORKLOADS, scale="tiny")
+    print(render_sweep(points))
+    print()
+    print("Fewest cycles per workload:")
+    for workload, variant in best_variant(points).items():
+        print(f"  {workload:10s} -> {variant}")
+
+    print("\nPipeline trace, first cycles of 'go' on the R10K model:")
+    cycles = trace_pipeline(load_workload("go", "tiny"), max_cycles=8)
+    for rendered in cycles[3:6]:
+        print(rendered)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Build a custom workload with AsmBuilder and study branch prediction.
+
+The scenario the paper's §3.2 machinery exists for: a program whose
+branches are data-dependent. We generate a binary-search-like probe
+loop with :class:`~repro.workloads.AsmBuilder`, run it under three
+branch predictors, and watch mispredictions, rollbacks, and cycle
+counts move — while FastSim stays bit-exact against SlowSim in every
+configuration.
+
+Run: ``python examples/custom_workload.py``
+"""
+
+from repro.branch import (
+    AlwaysTakenPredictor,
+    BimodalPredictor,
+    NotTakenPredictor,
+)
+from repro.isa import assemble
+from repro.sim.fastsim import FastSim
+from repro.sim.slowsim import SlowSim
+from repro.workloads import AsmBuilder
+
+
+def build_probe_workload(probes: int) -> str:
+    """A sorted-table probe loop: data-dependent left/right branches."""
+    b = AsmBuilder()
+    b.label("main")
+    b.emit("set table, %i0", "mov 11, %i2", "clr %i3")
+    with b.counted_loop("%i1", probes):
+        b.comment("pseudo-random key")
+        b.lcg_step("%i2", "%g1")
+        b.emit("and %i2, 127, %l0")
+        b.comment("three-level comparison ladder (binary-search shape)")
+        b.emit("mov 32, %l1")        # midpoint index
+        b.emit("mov 16, %l2")        # step
+        for _ in range(3):
+            right = b.fresh("right")
+            join = b.fresh("join")
+            b.emit(
+                "sll %l1, 2, %g2",
+                "ld [%i0 + %g2], %l3",      # table[mid]
+                "cmp %l0, %l3",
+                f"bg {right}",
+                "sub %l1, %l2, %l1",        # go left
+                f"ba {join}",
+            )
+            b.label(right)
+            b.emit("add %l1, %l2, %l1")     # go right
+            b.label(join)
+            b.emit("srl %l2, 1, %l2")
+        b.emit("add %i3, %l1, %i3", "and %i3, 0x1fff, %i3")
+    b.emit("out %i3", "halt")
+    b.data_words("table", [i * 2 for i in range(64)])
+    return b.source()
+
+
+def main() -> None:
+    source = build_probe_workload(probes=300)
+    predictors = {
+        "bimodal 2-bit/512 (paper)": BimodalPredictor,
+        "always taken": AlwaysTakenPredictor,
+        "never taken": NotTakenPredictor,
+    }
+    print(f"{'predictor':28s} {'cycles':>8s} {'mispred':>8s} "
+          f"{'rollbk':>7s} {'IPC':>5s} {'exact':>6s}")
+    for label, factory in predictors.items():
+        fast = FastSim(assemble(source), predictor=factory()).run()
+        slow = SlowSim(assemble(source), predictor=factory()).run()
+        exact = "yes" if fast.timing_equal(slow) else "NO"
+        stats = fast.sim_stats
+        print(f"{label:28s} {fast.cycles:8d} {stats.mispredictions:8d} "
+              f"{fast.rollbacks:7d} {fast.ipc:5.2f} {exact:>6s}")
+    print()
+    print("Data-dependent branches hurt every predictor; the speculative")
+    print("frontend executes the wrong paths and rolls them back, and the")
+    print("memoized simulator reproduces the detailed timing exactly.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Persist a p-action cache to disk and reuse it in a later "session".
+
+FastSim's memoization pays off across a simulation *campaign*: CI
+timing runs, repeated experiments on the same binary, regression
+checks. This example assembles a program to an ``.fsx`` binary, records
+a p-action cache, saves both to disk, then "starts over" — loading the
+binary and the cache from files — and shows the reloaded cache driving
+a simulation with zero detailed work and identical results.
+
+Run: ``python examples/persistent_memoization.py``
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.branch import NotTakenPredictor
+from repro.isa import assemble
+from repro.isa.objfile import load_executable, save_executable
+from repro.memo.dump import cache_summary
+from repro.memo.persist import load_pcache, save_pcache
+from repro.sim.fastsim import FastSim
+
+SOURCE = """
+main:
+    set data, %l0
+    mov 200, %l1
+    clr %l2
+loop:
+    ld [%l0], %l3
+    xor %l2, %l3, %l2
+    add %l3, 1, %l3
+    st %l3, [%l0]
+    subcc %l1, 1, %l1
+    bne loop
+    out %l2
+    halt
+    .data
+data: .word 17
+"""
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="fastsim-repro-"))
+    binary_path = workdir / "program.fsx"
+    cache_path = workdir / "program.fspc"
+
+    # --- session 1: assemble, simulate, persist ------------------------
+    save_executable(assemble(SOURCE, name="program.s"), binary_path)
+    first = FastSim(load_executable(binary_path),
+                    predictor=NotTakenPredictor())
+    result1 = first.run()
+    save_pcache(first.pcache, cache_path)
+    print("session 1 (recording):")
+    print(f"  {result1.summary()}")
+    print(f"  detailed instructions: {result1.memo.detailed_instructions}")
+    print(f"  saved binary   -> {binary_path} "
+          f"({binary_path.stat().st_size} bytes)")
+    print(f"  saved p-cache  -> {cache_path} "
+          f"({cache_path.stat().st_size} bytes)\n")
+
+    # --- session 2: load everything from disk ---------------------------
+    executable = load_executable(binary_path)
+    cache = load_pcache(cache_path)
+    second = FastSim(executable, predictor=NotTakenPredictor(),
+                     pcache=cache)
+    result2 = second.run()
+    print("session 2 (fully warm from disk):")
+    print(f"  {result2.summary()}")
+    print(f"  detailed instructions: {result2.memo.detailed_instructions}")
+    assert result2.timing_equal(result1)
+    assert result2.memo.detailed_instructions == 0
+    print("  identical to session 1, no detailed simulation at all\n")
+
+    print(cache_summary(cache))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""FastSim reproduction — fast out-of-order processor simulation using memoization.
+
+Reimplementation of Schnarr & Larus, "Fast Out-Of-Order Processor
+Simulation Using Memoization" (ASPLOS-VIII, 1998), as a pure-Python
+library. See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-versus-measured results.
+
+Quick start::
+
+    from repro import assemble, FastSim, SlowSim
+
+    exe = assemble(open("program.s").read())
+    fast = FastSim(exe).run()
+    slow = SlowSim(exe).run()
+    assert fast.cycles == slow.cycles        # memoization is exact
+
+The top-level namespace re-exports the pieces most users need; each
+subpackage (``repro.isa``, ``repro.uarch``, ``repro.memo``, …) exposes
+its full API.
+"""
+
+from repro.isa import Executable, Instruction, Opcode, assemble
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "assemble",
+    "Executable",
+    "Instruction",
+    "Opcode",
+    "FastSim",
+    "SlowSim",
+    "IntegratedSimulator",
+    "ProcessorParams",
+    "SimulationResult",
+    "load_workload",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    """Lazily re-export the heavyweight simulator entry points.
+
+    Importing ``repro`` alone stays cheap; ``repro.FastSim`` etc. pull in
+    the simulator stack on first use.
+    """
+    lazy = {
+        "FastSim": ("repro.sim.fastsim", "FastSim"),
+        "SlowSim": ("repro.sim.slowsim", "SlowSim"),
+        "IntegratedSimulator": ("repro.sim.baseline", "IntegratedSimulator"),
+        "SamplingSimulator": ("repro.sim.sampling", "SamplingSimulator"),
+        "ProcessorParams": ("repro.uarch.params", "ProcessorParams"),
+        "SimulationResult": ("repro.sim.results", "SimulationResult"),
+        "load_workload": ("repro.workloads.suite", "load_workload"),
+        "WORKLOADS": ("repro.workloads.suite", "WORKLOADS"),
+        "trace_pipeline": ("repro.uarch.trace", "trace_pipeline"),
+        "profile_pipeline": ("repro.uarch.profile", "profile_pipeline"),
+    }
+    if name in lazy:
+        import importlib
+
+        module_name, attr = lazy[name]
+        return getattr(importlib.import_module(module_name), attr)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

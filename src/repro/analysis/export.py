@@ -1,0 +1,68 @@
+"""Machine-readable export of the regenerated experiments.
+
+CI pipelines and meta-analyses want the tables as data, not text.
+:func:`export_all` runs (or reuses) the suite measurements and returns
+one JSON-serialisable dictionary covering Tables 2–5; :func:`save_json`
+writes it to disk. Dataclass rows are converted field-by-field, so the
+JSON schema is exactly the documented row types in
+:mod:`repro.analysis.tables`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.analysis.runner import SuiteRunner
+from repro.analysis.tables import table2, table3, table4, table5
+
+FORMAT_VERSION = 1
+
+
+def _rows_to_dicts(rows: List[object]) -> List[Dict[str, object]]:
+    return [dataclasses.asdict(row) for row in rows]
+
+
+def export_all(
+    runner: SuiteRunner,
+    workloads: Optional[Iterable[str]] = None,
+) -> Dict[str, object]:
+    """Regenerate Tables 2–5 and package them as one document."""
+    names = list(workloads) if workloads is not None else None
+    return {
+        "format_version": FORMAT_VERSION,
+        "paper": {
+            "title": "Fast Out-Of-Order Processor Simulation Using "
+                     "Memoization",
+            "authors": "Eric Schnarr and James R. Larus",
+            "venue": "ASPLOS-VIII, 1998",
+        },
+        "scale": runner.scale,
+        "table2": _rows_to_dicts(table2(runner, names)),
+        "table3": _rows_to_dicts(table3(runner, names)),
+        "table4": _rows_to_dicts(table4(runner, names)),
+        "table5": _rows_to_dicts(table5(runner, names)),
+    }
+
+
+def save_json(document: Dict[str, object],
+              path: Union[str, "object"]) -> None:
+    """Write an export document as pretty-printed JSON."""
+    with open(path, "w") as stream:
+        json.dump(document, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+
+
+def export_json(
+    path: Union[str, "object"],
+    scale: str = "test",
+    workloads: Optional[Iterable[str]] = None,
+    runner: Optional[SuiteRunner] = None,
+) -> Dict[str, object]:
+    """One-call convenience: run, package, and write. Returns the doc."""
+    if runner is None:
+        runner = SuiteRunner(scale=scale)
+    document = export_all(runner, workloads)
+    save_json(document, path)
+    return document

@@ -1,0 +1,132 @@
+"""Regenerate the paper's Figure 7 and the §4.3 / §5 GC policy study.
+
+Figure 7 sweeps the p-action cache size limit under the flush-on-full
+policy and reports the memoization speedup (SlowSim time / FastSim
+time) at each limit. The paper sweeps 512 KB – 256 MB against caches of
+up to 889 MB; our workloads produce caches of tens-to-hundreds of
+kilobytes, so the sweep covers the same *relative* range — from a small
+fraction of each workload's natural cache size up past all of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.runner import SuiteRunner
+from repro.memo.policies import (
+    CopyingGCPolicy,
+    FlushOnFullPolicy,
+    GenerationalGCPolicy,
+)
+from repro.workloads.suite import WORKLOAD_ORDER
+
+#: Default relative cache limits (fraction of the workload's unbounded
+#: p-action cache size). Spans "an order-of-magnitude reduction" and
+#: more, like the paper's 512KB..256MB axis.
+DEFAULT_FRACTIONS = (0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 1.0, 1.5)
+
+
+@dataclass
+class Figure7Point:
+    """One (workload, cache-limit) measurement."""
+
+    benchmark: str
+    limit_bytes: int
+    limit_fraction: float  #: limit / unbounded cache size
+    speedup: float  #: SlowSim host time / FastSim host time
+    flushes: int
+    detailed_fraction: float
+
+
+@dataclass
+class PolicyStudyRow:
+    """One (workload, policy) measurement for the GC comparison."""
+
+    benchmark: str
+    policy: str
+    limit_bytes: int
+    speedup: float
+    collections: int
+    detailed_fraction: float
+    survival_rate: Optional[float] = None  #: mean bytes surviving a GC
+
+
+def figure7(
+    runner: SuiteRunner,
+    workloads: Optional[Iterable[str]] = None,
+    fractions: Iterable[float] = DEFAULT_FRACTIONS,
+) -> List[Figure7Point]:
+    """Speedup vs. p-action cache limit, flush-on-full policy."""
+    names = list(workloads) if workloads is not None else list(WORKLOAD_ORDER)
+    points = []
+    for name in names:
+        slow = runner.run(name, "slow")
+        unbounded = runner.run(name, "fast")
+        natural = max(unbounded.memo.peak_cache_bytes, 1)
+        for fraction in fractions:
+            limit = max(int(natural * fraction), 512)
+            fast = runner.run(name, "fast",
+                              policy=FlushOnFullPolicy(limit))
+            assert fast.cycles == slow.cycles, (
+                f"policy changed results for {name}"
+            )
+            points.append(Figure7Point(
+                benchmark=name,
+                limit_bytes=limit,
+                limit_fraction=fraction,
+                speedup=slow.host_seconds / fast.host_seconds,
+                flushes=fast.memo.evictions,
+                detailed_fraction=fast.memo.detailed_fraction,
+            ))
+    return points
+
+
+def gc_policy_study(
+    runner: SuiteRunner,
+    workloads: Optional[Iterable[str]] = None,
+    fraction: float = 0.35,
+) -> List[PolicyStudyRow]:
+    """Flush vs. copying GC vs. generational GC at one cache limit.
+
+    Reproduces §5's negative result: the collectors are no better than
+    flushing, and little of the cache survives each collection.
+    """
+    names = list(workloads) if workloads is not None else list(WORKLOAD_ORDER)
+    rows = []
+    for name in names:
+        slow = runner.run(name, "slow")
+        unbounded = runner.run(name, "fast")
+        limit = max(int(unbounded.memo.peak_cache_bytes * fraction), 512)
+        policies = [
+            FlushOnFullPolicy(limit),
+            CopyingGCPolicy(limit),
+            GenerationalGCPolicy(limit),
+        ]
+        for policy in policies:
+            fast = runner.run(name, "fast", policy=policy)
+            assert fast.cycles == slow.cycles
+            survival = None
+            rates = getattr(policy, "survival_rates", None)
+            if rates:
+                survival = sum(rates) / len(rates)
+            rows.append(PolicyStudyRow(
+                benchmark=name,
+                policy=policy.name,
+                limit_bytes=limit,
+                speedup=slow.host_seconds / fast.host_seconds,
+                collections=fast.memo.evictions,
+                detailed_fraction=fast.memo.detailed_fraction,
+                survival_rate=survival,
+            ))
+    return rows
+
+
+def figure7_series(points: List[Figure7Point]) -> Dict[str, List[Figure7Point]]:
+    """Group Figure 7 points by benchmark (one line per benchmark)."""
+    series: Dict[str, List[Figure7Point]] = {}
+    for point in points:
+        series.setdefault(point.benchmark, []).append(point)
+    for line in series.values():
+        line.sort(key=lambda p: p.limit_bytes)
+    return series

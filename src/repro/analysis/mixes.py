@@ -1,0 +1,109 @@
+"""Instruction-mix profiling of workloads.
+
+Characterises a program's dynamic instruction stream by functional-unit
+class — the quantity that determines which pipeline resources it
+stresses and (for this reproduction) whether a synthetic workload
+actually has its SPEC95 namesake's signature. Purely functional: runs
+the interpreter, no timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.emulator.functional import Interpreter
+from repro.isa.opcodes import InstrClass
+from repro.isa.program import Executable
+
+#: Classes grouped for the summary columns.
+MEMORY_CLASSES = (InstrClass.LOAD, InstrClass.STORE)
+FP_CLASSES = (InstrClass.FALU, InstrClass.FMUL, InstrClass.FDIV,
+              InstrClass.FSQRT)
+CONTROL_CLASSES = (InstrClass.BRANCH, InstrClass.JUMP)
+
+
+@dataclass
+class InstructionMix:
+    """Dynamic instruction-class histogram of one run."""
+
+    counts: Dict[InstrClass, int] = field(default_factory=dict)
+    total: int = 0
+
+    def fraction(self, *classes: InstrClass) -> float:
+        """Combined dynamic fraction of the given classes."""
+        if not self.total:
+            return 0.0
+        return sum(self.counts.get(c, 0) for c in classes) / self.total
+
+    @property
+    def memory_fraction(self) -> float:
+        return self.fraction(*MEMORY_CLASSES)
+
+    @property
+    def fp_fraction(self) -> float:
+        return self.fraction(*FP_CLASSES)
+
+    @property
+    def control_fraction(self) -> float:
+        return self.fraction(*CONTROL_CLASSES)
+
+    @property
+    def branch_fraction(self) -> float:
+        return self.fraction(InstrClass.BRANCH)
+
+    def summary(self) -> str:
+        return (
+            f"{self.total} instructions: "
+            f"{100 * self.memory_fraction:.1f}% memory, "
+            f"{100 * self.fp_fraction:.1f}% fp, "
+            f"{100 * self.control_fraction:.1f}% control"
+        )
+
+
+def instruction_mix(executable: Executable,
+                    max_instructions: int = 10_000_000) -> InstructionMix:
+    """Execute *executable* functionally and histogram its classes."""
+    interpreter = Interpreter(executable)
+    mix = InstructionMix()
+    counts = mix.counts
+    executed = 0
+    while not interpreter.state.halted and executed < max_instructions:
+        instr = interpreter.step()
+        iclass = instr.iclass
+        counts[iclass] = counts.get(iclass, 0) + 1
+        executed += 1
+    mix.total = executed
+    return mix
+
+
+def workload_mix(name: str, scale: str = "tiny",
+                 max_instructions: int = 10_000_000) -> InstructionMix:
+    """Instruction mix of a suite workload."""
+    from repro.workloads.suite import load_workload
+
+    return instruction_mix(load_workload(name, scale), max_instructions)
+
+
+def render_mix_table(scale: str = "tiny",
+                     workloads: Optional[list] = None) -> str:
+    """Mix table for the whole suite (or a subset)."""
+    from repro.workloads.suite import WORKLOAD_ORDER
+
+    names = workloads if workloads is not None else list(WORKLOAD_ORDER)
+    lines = [
+        "Dynamic instruction mix (functional execution)",
+        "",
+        f"{'workload':12s} {'insts':>8s} {'mem%':>6s} {'fp%':>6s} "
+        f"{'branch%':>8s} {'jump%':>6s}",
+    ]
+    for name in names:
+        mix = workload_mix(name, scale)
+        lines.append(
+            f"{name:12s} {mix.total:>8d} "
+            f"{100 * mix.memory_fraction:>5.1f} "
+            f"{100 * mix.fp_fraction:>6.1f} "
+            f"{100 * mix.branch_fraction:>8.1f} "
+            f"{100 * mix.fraction(InstrClass.JUMP):>6.1f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""Suite runner — executes workloads under each simulator, with caching.
+
+Tables 2–5 and Figure 7 all consume the same underlying measurements; a
+:class:`SuiteRunner` runs each (workload, simulator, scale) combination
+at most once per process and also times plain functional execution (the
+stand-in for native hardware in the paper's slowdown columns).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.emulator.functional import Interpreter
+from repro.memo.policies import ReplacementPolicy
+from repro.sim.baseline import IntegratedSimulator
+from repro.sim.fastsim import FastSim
+from repro.sim.results import SimulationResult
+from repro.sim.slowsim import SlowSim
+from repro.uarch.params import ProcessorParams
+from repro.workloads.suite import WORKLOAD_ORDER, load_workload
+
+SIMULATORS = ("fast", "slow", "baseline")
+
+
+@dataclass
+class NativeRun:
+    """Plain functional execution — the 'original program' row."""
+
+    seconds: float
+    instructions: int
+    output: List[int]
+
+
+@dataclass
+class SuiteRunner:
+    """Runs and caches (workload × simulator) measurements."""
+
+    scale: str = "test"
+    params: Optional[ProcessorParams] = None
+    verbose: bool = False
+    progress: Optional[Callable[[str], None]] = None
+    _results: Dict[Tuple[str, str], SimulationResult] = field(
+        default_factory=dict
+    )
+    _native: Dict[str, NativeRun] = field(default_factory=dict)
+
+    def _log(self, message: str) -> None:
+        if self.progress is not None:
+            self.progress(message)
+        elif self.verbose:
+            print(message, flush=True)
+
+    # ------------------------------------------------------------------
+
+    def native(self, name: str) -> NativeRun:
+        """Functional-execution timing for workload *name*."""
+        if name not in self._native:
+            executable = load_workload(name, self.scale)
+            interpreter = Interpreter(executable)
+            started = time.perf_counter()
+            interpreter.run()
+            elapsed = time.perf_counter() - started
+            self._native[name] = NativeRun(
+                seconds=elapsed,
+                instructions=interpreter.state.instret,
+                output=list(interpreter.state.output),
+            )
+        return self._native[name]
+
+    def run(self, name: str, simulator: str,
+            policy: Optional[ReplacementPolicy] = None) -> SimulationResult:
+        """Simulate workload *name* under *simulator*.
+
+        Runs with a policy are never cached (the policy is part of the
+        experiment).
+        """
+        key = (name, simulator)
+        if policy is None and key in self._results:
+            return self._results[key]
+        executable = load_workload(name, self.scale)
+        self._log(f"running {name} [{self.scale}] under {simulator}...")
+        if simulator == "fast":
+            result = FastSim(executable, params=self.params,
+                             policy=policy).run()
+        elif simulator == "slow":
+            result = SlowSim(executable, params=self.params).run()
+        elif simulator == "baseline":
+            result = IntegratedSimulator(executable, params=self.params).run()
+        else:
+            raise ValueError(f"unknown simulator {simulator!r}")
+        if policy is None:
+            self._results[key] = result
+        return result
+
+    def run_all(self, workloads: Optional[Iterable[str]] = None,
+                simulators: Iterable[str] = SIMULATORS,
+                ) -> Dict[str, Dict[str, SimulationResult]]:
+        """Run every (workload, simulator) pair; returns nested dict."""
+        names = list(workloads) if workloads is not None else WORKLOAD_ORDER
+        table: Dict[str, Dict[str, SimulationResult]] = {}
+        for name in names:
+            table[name] = {
+                simulator: self.run(name, simulator)
+                for simulator in simulators
+            }
+        return table

@@ -1,0 +1,159 @@
+"""Regenerate the paper's evaluation tables (Tables 2, 3, 4, 5).
+
+Each ``tableN`` function returns a list of per-benchmark row
+dataclasses carrying exactly the columns the paper reports, plus a
+``paper`` reference band where the paper states one, so EXPERIMENTS.md
+can be produced mechanically. Rendering to text lives in
+:mod:`repro.analysis.report`.
+
+Slowdowns are measured against plain functional execution — the
+reproduction's stand-in for "time to execute the original,
+uninstrumented executables" (see DESIGN.md, Substitutions): every
+quantity the paper's claims rest on is a *ratio between simulators*,
+which survives the Python-for-hardware substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.analysis.runner import SuiteRunner
+from repro.workloads.suite import WORKLOAD_ORDER, WORKLOADS
+
+
+@dataclass
+class Table2Row:
+    """Performance of FastSim vs. SlowSim (paper Table 2)."""
+
+    benchmark: str
+    spec_name: str
+    program_seconds: float  #: functional-execution time ("Program")
+    slow_slowdown: float  #: SlowSim time / program time
+    fast_slowdown: float  #: FastSim time / program time
+    speedup: float  #: "Slow / Fast" — the memoization factor
+
+
+@dataclass
+class Table3Row:
+    """FastSim vs. the SimpleScalar surrogate (paper Table 3)."""
+
+    benchmark: str
+    spec_name: str
+    cycles: int  #: "Program cycles" from out-of-order simulation
+    instructions: int  #: retired instructions
+    baseline_kinsts: float  #: baseline simulator Kinsts/second
+    slow_kinsts: float  #: SlowSim Kinsts/second
+    fast_kinsts: float  #: FastSim Kinsts/second
+    fast_vs_baseline: float  #: the paper's final column
+    slow_vs_baseline: float  #: direct-execution-only gain (§1: 1.1-2.1x)
+
+
+@dataclass
+class Table4Row:
+    """Detailed vs. replayed instruction counts (paper Table 4)."""
+
+    benchmark: str
+    spec_name: str
+    detailed_instructions: int
+    replayed_instructions: int
+    detailed_fraction: float  #: "Detailed / Total"
+
+
+@dataclass
+class Table5Row:
+    """Memoization measurements (paper Table 5)."""
+
+    benchmark: str
+    spec_name: str
+    cache_bytes: int  #: modelled p-action cache footprint
+    static_configs: int
+    static_actions: int
+    actions_per_config: float  #: dynamic (paper: 3.4-4.9)
+    cycles_per_config: float  #: dynamic (paper: 1.0-1.6)
+    avg_chain: float  #: mean replayed-chain length
+    max_chain: int  #: longest replayed chain
+
+
+def _names(workloads: Optional[Iterable[str]]) -> List[str]:
+    return list(workloads) if workloads is not None else list(WORKLOAD_ORDER)
+
+
+def table2(runner: SuiteRunner,
+           workloads: Optional[Iterable[str]] = None) -> List[Table2Row]:
+    """Slowdowns of SlowSim and FastSim, and the memoization speedup."""
+    rows = []
+    for name in _names(workloads):
+        native = runner.native(name)
+        slow = runner.run(name, "slow")
+        fast = runner.run(name, "fast")
+        rows.append(Table2Row(
+            benchmark=name,
+            spec_name=WORKLOADS[name].spec_name,
+            program_seconds=native.seconds,
+            slow_slowdown=slow.host_seconds / native.seconds,
+            fast_slowdown=fast.host_seconds / native.seconds,
+            speedup=slow.host_seconds / fast.host_seconds,
+        ))
+    return rows
+
+
+def table3(runner: SuiteRunner,
+           workloads: Optional[Iterable[str]] = None) -> List[Table3Row]:
+    """Simulation rates against the integrated (SimpleScalar-role)
+    baseline."""
+    rows = []
+    for name in _names(workloads):
+        slow = runner.run(name, "slow")
+        fast = runner.run(name, "fast")
+        base = runner.run(name, "baseline")
+        rows.append(Table3Row(
+            benchmark=name,
+            spec_name=WORKLOADS[name].spec_name,
+            cycles=fast.cycles,
+            instructions=fast.instructions,
+            baseline_kinsts=base.kinsts_per_second,
+            slow_kinsts=slow.kinsts_per_second,
+            fast_kinsts=fast.kinsts_per_second,
+            fast_vs_baseline=base.host_seconds / fast.host_seconds,
+            slow_vs_baseline=base.host_seconds / slow.host_seconds,
+        ))
+    return rows
+
+
+def table4(runner: SuiteRunner,
+           workloads: Optional[Iterable[str]] = None) -> List[Table4Row]:
+    """Fraction of instructions simulated in detail vs. replayed."""
+    rows = []
+    for name in _names(workloads):
+        fast = runner.run(name, "fast")
+        memo = fast.memo
+        rows.append(Table4Row(
+            benchmark=name,
+            spec_name=WORKLOADS[name].spec_name,
+            detailed_instructions=memo.detailed_instructions,
+            replayed_instructions=memo.replayed_instructions,
+            detailed_fraction=memo.detailed_fraction,
+        ))
+    return rows
+
+
+def table5(runner: SuiteRunner,
+           workloads: Optional[Iterable[str]] = None) -> List[Table5Row]:
+    """P-action cache contents and chain statistics."""
+    rows = []
+    for name in _names(workloads):
+        fast = runner.run(name, "fast")
+        memo = fast.memo
+        rows.append(Table5Row(
+            benchmark=name,
+            spec_name=WORKLOADS[name].spec_name,
+            cache_bytes=memo.peak_cache_bytes,
+            static_configs=memo.configs_allocated,
+            static_actions=memo.actions_allocated,
+            actions_per_config=memo.actions_per_config,
+            cycles_per_config=memo.cycles_per_config,
+            avg_chain=memo.avg_chain_length,
+            max_chain=memo.max_chain_length,
+        ))
+    return rows

@@ -1,0 +1,18 @@
+"""Non-blocking cache hierarchy (L1 + L2 + MSHRs + split-transaction bus)."""
+
+from repro.cache.bus import Bus
+from repro.cache.hierarchy import READY, CacheStats, MemorySystem
+from repro.cache.mshr import MSHRFile
+from repro.cache.params import CacheLevelParams, MemorySystemParams
+from repro.cache.sets import TagArray
+
+__all__ = [
+    "Bus",
+    "CacheLevelParams",
+    "CacheStats",
+    "MemorySystem",
+    "MemorySystemParams",
+    "MSHRFile",
+    "READY",
+    "TagArray",
+]

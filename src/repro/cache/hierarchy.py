@@ -1,0 +1,316 @@
+"""The non-blocking cache and memory simulator.
+
+Reproduces the interface FastSim's μ-architecture simulator uses
+(paper §4.1):
+
+* :meth:`MemorySystem.issue_load` is called when a load is chosen from
+  the address queue. It immediately returns the **shortest interval**
+  (in cycles) before the data *could* become available — optimistically
+  assuming an L2 hit when the load misses in L1.
+* After waiting that interval the μ-architecture calls
+  :meth:`MemorySystem.poll_load`, which either reports the data ready
+  (returns 0) or returns a new interval to wait (e.g. the load also
+  missed in L2) — "a common example is a load that first misses in the
+  L1 cache (usually a 6 cycle delay), then misses in the L2 cache
+  resulting in an additional delay depending on the current state of
+  the cache".
+* :meth:`MemorySystem.issue_store` returns the interval until the store
+  is accepted by the store buffer (usually 1 cycle); the write-through
+  L1 traffic, L2 write allocation, and writebacks proceed in the
+  background and surface only as contention.
+
+No program data moves through this simulator — it computes *when*, not
+*what* (the frontend already computed the values). Tag-array updates
+happen eagerly at issue time with in-flight lines guarded by MSHR
+completion times, a standard simplification that keeps behaviour a
+deterministic function of the request sequence — the property
+memoization relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cache.bus import Bus
+from repro.cache.mshr import MSHRFile
+from repro.cache.params import MemorySystemParams
+from repro.cache.sets import TagArray
+from repro.errors import SimulationError
+
+#: :meth:`MemorySystem.poll_load` return value meaning "data available".
+READY = 0
+
+
+@dataclass
+class _LoadRequest:
+    token: int
+    address: int
+    width: int
+    issue_time: int
+    ready_time: int
+    l1_hit: bool
+    l2_hit: bool
+    polls: int = 0
+
+
+class CacheStats:
+    """Aggregated counters, identical between detailed and replay runs."""
+
+    __slots__ = (
+        "loads", "stores", "l1_load_hits", "l1_load_misses",
+        "l1_store_hits", "l1_store_misses", "l2_hits", "l2_misses",
+        "writebacks", "store_buffer_stalls",
+    )
+
+    def __init__(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CacheStats):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"CacheStats({fields})"
+
+
+class MemorySystem:
+    """Non-blocking L1 + L2 + bus + DRAM timing model."""
+
+    def __init__(self, params: Optional[MemorySystemParams] = None):
+        self.params = params if params is not None else MemorySystemParams()
+        self.l1 = TagArray(self.params.l1)
+        self.l2 = TagArray(self.params.l2)
+        self.l1_mshrs = MSHRFile(self.params.l1.mshrs)
+        self.l2_mshrs = MSHRFile(self.params.l2.mshrs)
+        self.bus = Bus(self.params.bus_width)
+        self.stats = CacheStats()
+        self._loads: Dict[int, _LoadRequest] = {}
+        self._next_token = 0
+        #: Completion times of stores occupying store-buffer slots.
+        self._store_slots: List[int] = []
+
+    # ------------------------------------------------------------------
+    # Loads
+    # ------------------------------------------------------------------
+
+    def issue_load(self, address: int, width: int, now: int):
+        """Begin a load. Returns ``(token, interval)``.
+
+        *interval* is the shortest number of cycles before the data
+        could be available; the caller must poll after waiting it.
+        """
+        self.stats.loads += 1
+        params = self.params
+        line = self.l1.line_address(address)
+        self.l1_mshrs.release_completed(now)
+        self.l2_mshrs.release_completed(now)
+
+        inflight = self.l1_mshrs.lookup(line)
+        if inflight is not None and inflight > now:
+            # The line is already being fetched: merge with that fill.
+            self.stats.l1_load_misses += 1
+            completion = self.l1_mshrs.merge(line)
+            request = self._remember(address, width, now, completion,
+                                     l1_hit=False, l2_hit=True)
+            return request.token, max(1, completion - now)
+
+        if self.l1.probe(address):
+            self.stats.l1_load_hits += 1
+            ready = now + params.l1_hit_latency
+            request = self._remember(address, width, now, ready,
+                                     l1_hit=True, l2_hit=True)
+            return request.token, max(1, ready - now)
+
+        # L1 miss: wait for a free MSHR if necessary, then access L2.
+        self.stats.l1_load_misses += 1
+        start = self.l1_mshrs.next_slot_time(now)
+        ready, l2_hit = self._fetch_line_from_l2(line, start)
+        self.l1_mshrs.allocate(line, ready)
+        self._fill_l1(line)
+        request = self._remember(address, width, now, ready,
+                                 l1_hit=False, l2_hit=l2_hit)
+        # First reply is optimistic: it assumes the L2 will hit. The
+        # poll after this interval discovers any additional delay.
+        optimistic = min(ready, start + params.l2_hit_latency)
+        return request.token, max(1, optimistic - now)
+
+    def poll_load(self, token: int, now: int) -> int:
+        """Check a load previously issued.
+
+        Returns :data:`READY` (0) when the data is available, else the
+        number of further cycles to wait.
+        """
+        try:
+            request = self._loads[token]
+        except KeyError:
+            raise SimulationError(f"unknown load token {token}") from None
+        request.polls += 1
+        if now >= request.ready_time:
+            del self._loads[token]
+            return READY
+        return request.ready_time - now
+
+    def reset_timing(self) -> None:
+        """Forget in-flight timing state; keep cache contents and stats.
+
+        Sampled simulation restarts simulated time at each measurement
+        window; pending fills, store-buffer slots, and bus reservations
+        from the previous window's clock domain must not leak in.
+        """
+        self._loads.clear()
+        self._store_slots.clear()
+        self.l1_mshrs._inflight.clear()
+        self.l2_mshrs._inflight.clear()
+        self.bus._next_free = 0
+
+    def warm_access(self, address: int, is_store: bool = False) -> None:
+        """Functionally warm the tag arrays (no timing, MSHRs, bus, or
+        hit/miss statistics).
+
+        Used by sampled simulation between measurement windows so cache
+        state tracks the skipped instruction stream — the standard cure
+        for sampling's "state loss between sample clusters". ``fill``
+        refreshes LRU when the line is already present.
+        """
+        line = self.l1.line_address(address)
+        if not is_store or self.l1.contains(line):
+            # Write-through L1 does not allocate on store misses.
+            self.l1.fill(line)
+        evicted = self.l2.fill(self.l2.line_address(address),
+                               dirty=is_store)
+        if evicted is not None:
+            self.l1.invalidate(evicted[0])
+
+    def cancel_load(self, token: int) -> None:
+        """Forget an issued load (squashed wrong-path instruction).
+
+        The line fill it triggered still completes — as in hardware —
+        only the reply bookkeeping is dropped.
+        """
+        self._loads.pop(token, None)
+
+    def _remember(self, address: int, width: int, now: int, ready: int,
+                  l1_hit: bool, l2_hit: bool) -> _LoadRequest:
+        token = self._next_token
+        self._next_token += 1
+        request = _LoadRequest(token, address, width, now, ready,
+                               l1_hit, l2_hit)
+        self._loads[token] = request
+        return request
+
+    # ------------------------------------------------------------------
+    # Stores
+    # ------------------------------------------------------------------
+
+    def issue_store(self, address: int, width: int, now: int) -> int:
+        """Begin a store. Returns the interval until it is accepted.
+
+        Acceptance means the store owns a store-buffer slot; the
+        pipeline treats it as complete after this interval. The
+        write-through traffic drains in the background.
+        """
+        self.stats.stores += 1
+        params = self.params
+        start = self._store_slot_time(now)
+
+        # Write-through, no-write-allocate L1.
+        if self.l1.probe(address):
+            self.stats.l1_store_hits += 1
+        else:
+            self.stats.l1_store_misses += 1
+
+        # The word travels to L2 over the bus.
+        transfer_done = self.bus.reserve(start, width)
+        line = self.l2.line_address(address)
+        self.l2_mshrs.release_completed(now)
+        inflight = self.l2_mshrs.lookup(line)
+        if inflight is not None and inflight > now:
+            completion = max(self.l2_mshrs.merge(line), transfer_done)
+            self.l2.set_dirty(line)
+        elif self.l2.probe(address):
+            self.stats.l2_hits += 1
+            self.l2.set_dirty(line)
+            completion = transfer_done
+        else:
+            # Write-allocate into the write-back L2: fetch the line from
+            # memory, then merge the store's bytes.
+            self.stats.l2_misses += 1
+            completion = self._fetch_line_from_memory(line, transfer_done)
+            self._fill_l2(line, dirty=True)
+            if not self.l2_mshrs.full:
+                self.l2_mshrs.allocate(line, completion)
+
+        self._store_slots.append(completion)
+        return max(1, start - now + 1)
+
+    def _store_slot_time(self, now: int) -> int:
+        """Earliest cycle a store-buffer slot is free."""
+        self._store_slots = [t for t in self._store_slots if t > now]
+        if len(self._store_slots) < self.params.store_buffer:
+            return now
+        self.stats.store_buffer_stalls += 1
+        return min(self._store_slots)
+
+    # ------------------------------------------------------------------
+    # Line movement
+    # ------------------------------------------------------------------
+
+    def _fetch_line_from_l2(self, line: int, start: int):
+        """Schedule an L1 fill from L2. Returns (ready_cycle, l2_hit)."""
+        params = self.params
+        self.l2_mshrs.release_completed(start)
+        inflight = self.l2_mshrs.lookup(line)
+        if inflight is not None and inflight > start:
+            # L2 is already fetching this line from memory.
+            ready = self.bus.reserve(self.l2_mshrs.merge(line),
+                                     params.l1.line_size)
+            return ready, False
+        if self.l2.probe(line):
+            self.stats.l2_hits += 1
+            # L2 access pipeline, then the line crosses the bus.
+            access_done = start + params.l2_hit_latency - self.bus.cycles_for(
+                params.l1.line_size
+            )
+            ready = self.bus.reserve(max(start, access_done),
+                                     params.l1.line_size)
+            return max(ready, start + params.l2_hit_latency), True
+        self.stats.l2_misses += 1
+        mem_start = self.l2_mshrs.next_slot_time(start)
+        fill_done = self._fetch_line_from_memory(line, mem_start)
+        self._fill_l2(line, dirty=False)
+        self.l2_mshrs.allocate(line, fill_done)
+        ready = self.bus.reserve(fill_done, params.l1.line_size)
+        return ready, False
+
+    def _fetch_line_from_memory(self, line: int, start: int) -> int:
+        """Schedule a DRAM access for *line*; returns the fill cycle."""
+        params = self.params
+        request_done = self.bus.reserve(start, params.bus_width)
+        return request_done + params.memory_latency
+
+    def _fill_l1(self, line: int) -> None:
+        """Insert *line* into L1 (write-through: evictions are silent)."""
+        self.l1.fill(line)
+
+    def _fill_l2(self, line: int, dirty: bool) -> None:
+        """Insert *line* into L2, scheduling a writeback if needed."""
+        evicted = self.l2.fill(line, dirty=dirty)
+        if evicted is not None and evicted[1]:
+            self.stats.writebacks += 1
+            self.bus.reserve(self.bus.next_free(), self.params.l2.line_size)
+            # Inclusive-enough behaviour: drop the line from L1 as well so
+            # both levels stay consistent about what is cached.
+            self.l1.invalidate(evicted[0])
+
+    # ------------------------------------------------------------------
+
+    @property
+    def outstanding_loads(self) -> int:
+        return len(self._loads)

@@ -1,0 +1,218 @@
+"""Command-line interface: ``fastsim-repro``.
+
+Subcommands::
+
+    list                      show the workload suite
+    params                    print the processor model (paper Table 1)
+    run WORKLOAD              simulate one workload under all simulators
+    mix                       dynamic instruction-mix table
+    trace WORKLOAD            per-cycle pipeline dump (--cycles N)
+    profile WORKLOAD          pipeline utilization report
+    asm FILE.s                assemble to an .fsx binary (--output)
+    disasm FILE.fsx           disassemble an .fsx binary
+    run-binary FILE.fsx       simulate an assembled binary with FastSim
+    table2 | table3 | table4 | table5
+                              regenerate a paper table
+    figure7                   regenerate the cache-limit sweep
+    gc-study                  regenerate the GC-policy comparison
+
+Common options: ``--scale {tiny,test,train}``, ``--workloads a,b,c``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import (
+    SuiteRunner,
+    figure7,
+    gc_policy_study,
+    render_figure7,
+    render_policy_study,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+from repro.sim.baseline import IntegratedSimulator
+from repro.sim.fastsim import FastSim
+from repro.sim.slowsim import SlowSim
+from repro.uarch.params import ProcessorParams
+from repro.workloads.suite import WORKLOAD_ORDER, WORKLOADS, load_workload
+
+
+def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="fastsim-repro",
+        description="FastSim (ASPLOS '98) reproduction driver",
+    )
+    parser.add_argument(
+        "command",
+        choices=["list", "params", "run", "mix", "trace", "profile",
+                 "asm", "disasm", "run-binary", "calibrate", "table2",
+                 "table3", "table4", "table5", "figure7", "gc-study"],
+    )
+    parser.add_argument("workload", nargs="?",
+                        help="workload name or file path, per command")
+    parser.add_argument("--scale", default="test",
+                        choices=["tiny", "test", "train"])
+    parser.add_argument("--workloads",
+                        help="comma-separated subset of the suite")
+    parser.add_argument("--cycles", type=int, default=20,
+                        help="cycles to trace (trace command)")
+    parser.add_argument("--output", "-o",
+                        help="output path (asm command)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress progress messages")
+    return parser.parse_args(argv)
+
+
+def _selected(args: argparse.Namespace) -> Optional[List[str]]:
+    if not args.workloads:
+        return None
+    names = [n.strip() for n in args.workloads.split(",") if n.strip()]
+    for name in names:
+        if name not in WORKLOADS:
+            raise SystemExit(
+                f"unknown workload {name!r}; choose from {WORKLOAD_ORDER}"
+            )
+    return names
+
+
+def _cmd_list() -> None:
+    print(f"{'name':10s} {'SPEC95':14s} {'cat':4s} description")
+    for name in WORKLOAD_ORDER:
+        w = WORKLOADS[name]
+        print(f"{w.name:10s} {w.spec_name:14s} {w.category:4s} "
+              f"{w.description}")
+
+
+def _cmd_run(args: argparse.Namespace) -> None:
+    if not args.workload:
+        raise SystemExit("run requires a workload name")
+    executable = load_workload(args.workload, args.scale)
+    print(f"workload {args.workload} [{args.scale}]: "
+          f"{len(executable.text) // 4} static instructions")
+    fast = FastSim(executable).run()
+    slow = SlowSim(load_workload(args.workload, args.scale)).run()
+    base = IntegratedSimulator(load_workload(args.workload, args.scale)).run()
+    for result in (fast, slow, base):
+        print(f"  {result.summary()}")
+    exact = "yes" if fast.timing_equal(slow) else "NO (bug!)"
+    print(f"  FastSim == SlowSim cycle-exact: {exact}")
+    print(f"  memoization speedup: "
+          f"{slow.host_seconds / fast.host_seconds:.1f}x "
+          f"(detailed fraction "
+          f"{100 * fast.memo.detailed_fraction:.3f}%)")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parse_args(argv)
+    if args.command == "list":
+        _cmd_list()
+        return 0
+    if args.command == "params":
+        print(ProcessorParams.r10k().describe())
+        return 0
+    if args.command == "run":
+        _cmd_run(args)
+        return 0
+    if args.command == "mix":
+        from repro.analysis.mixes import render_mix_table
+
+        print(render_mix_table(scale=args.scale,
+                               workloads=_selected(args)))
+        return 0
+    if args.command == "trace":
+        if not args.workload:
+            raise SystemExit("trace requires a workload name")
+        from repro.uarch.trace import trace_pipeline
+
+        for cycle_text in trace_pipeline(
+            load_workload(args.workload, args.scale), max_cycles=args.cycles
+        ):
+            print(cycle_text)
+        return 0
+    if args.command == "profile":
+        if not args.workload:
+            raise SystemExit("profile requires a workload name")
+        from repro.uarch.profile import profile_pipeline
+
+        profile = profile_pipeline(load_workload(args.workload, args.scale))
+        print(profile.render(ProcessorParams.r10k()))
+        return 0
+    if args.command == "asm":
+        if not args.workload:
+            raise SystemExit("asm requires a source file")
+        from repro.isa.assembler import assemble
+        from repro.isa.objfile import save_executable
+
+        with open(args.workload) as handle:
+            executable = assemble(handle.read(), name=args.workload)
+        output = args.output or args.workload.rsplit(".", 1)[0] + ".fsx"
+        save_executable(executable, output)
+        print(f"wrote {output}: {len(executable.text) // 4} instructions, "
+              f"{len(executable.data)} data bytes")
+        return 0
+    if args.command == "disasm":
+        if not args.workload:
+            raise SystemExit("disasm requires an .fsx file")
+        from repro.isa.disasm import disassemble
+        from repro.isa.objfile import load_executable
+
+        executable = load_executable(args.workload)
+        print(disassemble(executable.instructions()))
+        return 0
+    if args.command == "calibrate":
+        from repro.analysis.calibrate import calibrate, render_calibration
+
+        print(render_calibration(calibrate()))
+        return 0
+    if args.command == "run-binary":
+        if not args.workload:
+            raise SystemExit("run-binary requires an .fsx file")
+        from repro.isa.objfile import load_executable
+
+        result = FastSim(load_executable(args.workload)).run()
+        print(result.summary())
+        print(f"output: {result.output}")
+        return 0
+
+    runner = SuiteRunner(scale=args.scale, verbose=not args.quiet)
+    names = _selected(args)
+    if args.command == "table2":
+        print(render_table2(table2(runner, names)))
+    elif args.command == "table3":
+        print(render_table3(table3(runner, names)))
+    elif args.command == "table4":
+        print(render_table4(table4(runner, names)))
+    elif args.command == "table5":
+        print(render_table5(table5(runner, names)))
+    elif args.command == "figure7":
+        print(render_figure7(figure7(runner, names)))
+    elif args.command == "gc-study":
+        print(render_policy_study(gc_policy_study(runner, names)))
+    return 0
+
+
+def _main_guarded(argv: Optional[List[str]] = None) -> int:
+    """Entry point that tolerates a closed stdout (e.g. ``| head``)."""
+    try:
+        return main(argv)
+    except BrokenPipeError:
+        import os
+
+        # Re-open stdout on devnull so the interpreter's shutdown flush
+        # doesn't raise again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(_main_guarded())

@@ -1,0 +1,214 @@
+"""Speculative direct-execution — the frontend that runs ahead of timing.
+
+This is the reproduction of FastSim §3.2. The frontend functionally
+executes the target program **in the direction the branch predictor
+chooses**, not the direction the program actually computes: when the
+predictor disagrees with the evaluated branch condition, the frontend
+saves a register checkpoint (the ``bQ``), then continues down the
+*predicted* — wrong — path, logging pre-store values so memory can be
+restored. The μ-architecture simulator later detects the misprediction
+when the branch executes in the pipeline and calls :meth:`rollback_to`,
+which restores registers and memory and resumes execution on the
+correct path.
+
+Along the way the frontend records everything the timing models need:
+load/store effective addresses (``lQ``/``sQ``) and one control record
+per conditional branch / indirect jump / halt.
+
+The frontend advances one *control event* at a time
+(:meth:`run_one_event`): the caller — the μ-architecture simulator's
+"return to direct execution" action — asks for the next event exactly
+when fetch needs a control record that does not exist yet.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.branch.predictor import BranchPredictor
+from repro.emulator.checkpoint import BQ_CAPACITY, BranchCheckpointQueue
+from repro.emulator.functional import Interpreter
+from repro.emulator.queues import (
+    ControlKind,
+    ControlRecord,
+    LoadRecord,
+    RecordQueues,
+    StoreRecord,
+)
+from repro.errors import SimulationError
+from repro.isa.program import Executable
+
+
+class SpeculativeFrontend:
+    """Runs the program ahead of the timing model, speculatively."""
+
+    def __init__(
+        self,
+        executable: Executable,
+        predictor: BranchPredictor,
+        max_instructions: int = 500_000_000,
+        bq_capacity: int = BQ_CAPACITY,
+        state=None,
+    ):
+        """*state* (optional) lets the frontend pick up mid-program from
+        an existing :class:`~repro.emulator.state.ArchState` — used by
+        the sampling simulator to alternate functional skipping with
+        detailed measurement windows."""
+        self.executable = executable
+        self.predictor = predictor
+        self.interpreter = Interpreter(executable, state)
+        self.queues = RecordQueues()
+        self.bq = BranchCheckpointQueue(bq_capacity)
+        self.max_instructions = max_instructions
+        #: Total instructions functionally executed, wrong paths included.
+        self.executed_instructions = 0
+        #: Instructions undone by misprediction rollbacks.
+        self.squashed_instructions = 0
+        #: Number of rollbacks performed.
+        self.rollbacks = 0
+
+    @property
+    def state(self):
+        """The (speculative) architectural state."""
+        return self.interpreter.state
+
+    @property
+    def committed_instructions(self) -> int:
+        """Instructions executed minus those later squashed."""
+        return self.executed_instructions - self.squashed_instructions
+
+    # ------------------------------------------------------------------
+
+    def run_one_event(self) -> ControlRecord:
+        """Execute up to (and including) the next control event.
+
+        Appends load/store records for every memory instruction passed,
+        appends and returns the new control record. At a mispredicted
+        conditional branch, checkpoints state and diverts execution down
+        the predicted path before returning.
+        """
+        interpreter = self.interpreter
+        state = interpreter.state
+        queues = self.queues
+        if state.halted:
+            # The program halted at the previous event; every further
+            # request sees a HALT record (fetch will stop consuming).
+            record = ControlRecord(
+                ControlKind.HALT, state.pc,
+                lq_len=len(queues.loads), sq_len=len(queues.stores),
+            )
+            queues.controls.append(record)
+            return record
+
+        while True:
+            if self.executed_instructions >= self.max_instructions:
+                raise SimulationError(
+                    f"frontend exceeded {self.max_instructions} instructions"
+                )
+            instr = interpreter.step()
+            self.executed_instructions += 1
+
+            if instr.is_load:
+                queues.loads.append(
+                    LoadRecord(interpreter.last_mem_addr, interpreter.last_mem_width)
+                )
+            elif instr.is_store:
+                queues.stores.append(
+                    StoreRecord(
+                        interpreter.last_mem_addr,
+                        interpreter.last_mem_width,
+                        interpreter.last_store_old,
+                    )
+                )
+
+            if instr.is_conditional_branch:
+                return self._record_conditional(instr)
+            if instr.is_indirect_jump:
+                record = ControlRecord(
+                    ControlKind.INDIRECT,
+                    instr.address,
+                    taken=True,
+                    target=interpreter.last_target,
+                    lq_len=len(queues.loads),
+                    sq_len=len(queues.stores),
+                )
+                queues.controls.append(record)
+                return record
+            if state.halted:
+                record = ControlRecord(
+                    ControlKind.HALT,
+                    instr.address,
+                    lq_len=len(queues.loads),
+                    sq_len=len(queues.stores),
+                )
+                queues.controls.append(record)
+                return record
+
+    def _record_conditional(self, instr) -> ControlRecord:
+        """Handle a just-executed conditional branch."""
+        interpreter = self.interpreter
+        state = interpreter.state
+        queues = self.queues
+        actual_taken = interpreter.last_taken
+        predicted_taken = self.predictor.predict_and_update(
+            instr.address, actual_taken
+        )
+        record = ControlRecord(
+            ControlKind.COND,
+            instr.address,
+            taken=actual_taken,
+            predicted_taken=predicted_taken,
+            lq_len=len(queues.loads),
+            sq_len=len(queues.stores),
+        )
+        control_index = len(queues.controls)
+        queues.controls.append(record)
+        if predicted_taken != actual_taken:
+            # Checkpoint with PC at the *correct* destination, then divert
+            # execution down the predicted (wrong) path.
+            corrected_pc = state.pc
+            self.bq.save(control_index, state, corrected_pc)
+            state.pc = instr.target if predicted_taken else instr.fall_through
+        return record
+
+    # ------------------------------------------------------------------
+
+    def rollback_to(self, control_index: int) -> None:
+        """Undo execution past mispredicted branch *control_index*.
+
+        Restores pre-store memory values in reverse order, restores the
+        ``bQ`` register checkpoint (leaving PC at the corrected target),
+        and truncates the wrong-path queue entries.
+        """
+        queues = self.queues
+        if control_index >= len(queues.controls):
+            raise SimulationError(
+                f"rollback to unknown control record {control_index}"
+            )
+        record = queues.controls[control_index]
+        if not record.mispredicted:
+            raise SimulationError(
+                f"control record {control_index} was not mispredicted"
+            )
+        memory = self.interpreter.state.memory
+        for store in reversed(queues.stores[record.sq_len:]):
+            memory.load_bytes(store.address, store.old_bytes)
+        instret_before = self.interpreter.state.instret
+        self.bq.restore(control_index, self.interpreter.state)
+        self.squashed_instructions += (
+            instret_before - self.interpreter.state.instret
+        )
+        queues.truncate(control_index + 1, record.lq_len, record.sq_len)
+        self.rollbacks += 1
+
+    # ------------------------------------------------------------------
+
+    def control(self, index: int) -> Optional[ControlRecord]:
+        """Return control record *index* if recorded, else None."""
+        return self.queues.control(index)
+
+    def load(self, index: int) -> LoadRecord:
+        return self.queues.loads[index]
+
+    def store(self, index: int) -> StoreRecord:
+        return self.queues.stores[index]

@@ -1,0 +1,374 @@
+"""The functional interpreter — this reproduction's "direct execution".
+
+FastSim runs target instructions natively on the host after binary
+rewriting. Without a SPARC host, the closest equivalent that preserves
+the paper's structure is a fast interpreter over pre-decoded
+instructions: it performs *functional* execution only (register/memory
+values, program order) and exposes exactly the observation points that
+FastSim's instrumentation provides — effective addresses of loads and
+stores, branch conditions, and jump targets.
+
+:class:`Interpreter.step` executes one instruction and leaves the
+observation fields (``last_mem_addr``, ``last_taken``, …) describing
+what happened, which the speculative frontend turns into ``lQ``/``sQ``/
+control-flow records.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import Callable, Dict, Optional
+
+from repro.errors import EmulationError
+from repro.emulator import alu
+from repro.emulator.state import ArchState, to_signed
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Executable
+
+_MASK32 = 0xFFFF_FFFF
+_PACK_FLOAT = struct.Struct(">f")
+
+
+class Interpreter:
+    """Executes decoded instructions against an :class:`ArchState`.
+
+    Observation fields (valid after each :meth:`step`):
+
+    ``last_mem_addr`` / ``last_mem_width``
+        Effective address and width if the instruction was a load/store.
+    ``last_store_old``
+        For stores, the raw pre-store bytes (for speculative rollback).
+    ``last_taken``
+        For conditional branches, whether the branch was taken.
+    ``last_target``
+        For taken control transfers, the destination address.
+    """
+
+    def __init__(self, executable: Executable, state: Optional[ArchState] = None):
+        self.executable = executable
+        self.state = state if state is not None else ArchState.boot(executable)
+        self.last_mem_addr: Optional[int] = None
+        self.last_mem_width = 0
+        self.last_store_old: Optional[bytes] = None
+        self.last_taken = False
+        self.last_target: Optional[int] = None
+        self._dispatch = self._build_dispatch()
+
+    # ------------------------------------------------------------------
+
+    def _build_dispatch(self) -> Dict[Opcode, Callable[[Instruction], None]]:
+        dispatch: Dict[Opcode, Callable[[Instruction], None]] = {}
+        simple_alu = {
+            Opcode.ADD: alu.int_add,
+            Opcode.SUB: alu.int_sub,
+            Opcode.AND: alu.int_and,
+            Opcode.OR: alu.int_or,
+            Opcode.XOR: alu.int_xor,
+            Opcode.SLL: alu.int_sll,
+            Opcode.SRL: alu.int_srl,
+            Opcode.SRA: alu.int_sra,
+            Opcode.SMUL: alu.int_smul,
+            Opcode.SDIV: alu.int_sdiv,
+        }
+        for opcode, fn in simple_alu.items():
+            dispatch[opcode] = self._make_alu(fn)
+        dispatch[Opcode.ADDCC] = self._exec_addcc
+        dispatch[Opcode.SUBCC] = self._exec_subcc
+        dispatch[Opcode.ANDCC] = self._make_logical_cc(alu.int_and)
+        dispatch[Opcode.ORCC] = self._make_logical_cc(alu.int_or)
+        dispatch[Opcode.XORCC] = self._make_logical_cc(alu.int_xor)
+        dispatch[Opcode.SETHI] = self._exec_sethi
+        for opcode in (Opcode.LD, Opcode.LDB, Opcode.LDUB, Opcode.LDH,
+                       Opcode.LDUH, Opcode.LDF, Opcode.LDDF):
+            dispatch[opcode] = self._exec_load
+        for opcode in (Opcode.ST, Opcode.STB, Opcode.STH, Opcode.STF,
+                       Opcode.STDF):
+            dispatch[opcode] = self._exec_store
+        fp_binary = {
+            Opcode.FADD: lambda a, b: a + b,
+            Opcode.FSUB: lambda a, b: a - b,
+            Opcode.FMUL: lambda a, b: a * b,
+            Opcode.FDIV: self._fp_div,
+        }
+        for opcode, fn in fp_binary.items():
+            dispatch[opcode] = self._make_fp_binary(fn)
+        dispatch[Opcode.FSQRT] = self._exec_fsqrt
+        dispatch[Opcode.FNEG] = self._make_fp_unary(lambda a: -a)
+        dispatch[Opcode.FABS] = self._make_fp_unary(abs)
+        dispatch[Opcode.FMOV] = self._make_fp_unary(lambda a: a)
+        dispatch[Opcode.FCMP] = self._exec_fcmp
+        dispatch[Opcode.FITOD] = self._exec_fitod
+        dispatch[Opcode.FDTOI] = self._exec_fdtoi
+        for opcode in (Opcode.BA, Opcode.BN, Opcode.BE, Opcode.BNE,
+                       Opcode.BG, Opcode.BLE, Opcode.BGE, Opcode.BL,
+                       Opcode.BGU, Opcode.BLEU, Opcode.FBE, Opcode.FBNE,
+                       Opcode.FBL, Opcode.FBLE, Opcode.FBG, Opcode.FBGE):
+            dispatch[opcode] = self._exec_branch
+        dispatch[Opcode.CALL] = self._exec_call
+        dispatch[Opcode.JMPL] = self._exec_jmpl
+        dispatch[Opcode.NOP] = self._exec_nop
+        dispatch[Opcode.OUT] = self._exec_out
+        dispatch[Opcode.HALT] = self._exec_halt
+        return dispatch
+
+    # ------------------------------------------------------------------
+
+    def fetch(self) -> Instruction:
+        """Decode the instruction at the current PC."""
+        return self.executable.instruction_at(self.state.pc)
+
+    def step(self) -> Instruction:
+        """Execute one instruction; returns the instruction executed."""
+        state = self.state
+        if state.halted:
+            raise EmulationError("machine is halted")
+        instr = self.executable.instruction_at(state.pc)
+        self.last_mem_addr = None
+        self.last_mem_width = 0
+        self.last_store_old = None
+        self.last_taken = False
+        self.last_target = None
+        self._dispatch[instr.opcode](instr)
+        state.instret += 1
+        return instr
+
+    def run(self, max_instructions: int = 100_000_000) -> int:
+        """Run until ``halt``; returns the number of instructions executed."""
+        executed = 0
+        while not self.state.halted:
+            if executed >= max_instructions:
+                raise EmulationError(
+                    f"exceeded instruction limit ({max_instructions})"
+                )
+            self.step()
+            executed += 1
+        return executed
+
+    # -- operand helpers --------------------------------------------------
+
+    def _op2(self, instr: Instruction) -> int:
+        if instr.imm is not None:
+            return instr.imm & _MASK32
+        return self.state.read_reg(instr.rs2)
+
+    def _effective_address(self, instr: Instruction) -> int:
+        state = self.state
+        base = state.read_reg(instr.rs1)
+        if instr.imm is not None:
+            return (base + instr.imm) & _MASK32
+        return (base + state.read_reg(instr.rs2)) & _MASK32
+
+    # -- integer execution -------------------------------------------------
+
+    def _make_alu(self, fn):
+        def execute(instr: Instruction) -> None:
+            state = self.state
+            result = fn(state.read_reg(instr.rs1), self._op2(instr))
+            state.write_reg(instr.rd, result)
+            state.pc += 4
+        return execute
+
+    def _exec_addcc(self, instr: Instruction) -> None:
+        state = self.state
+        a = state.read_reg(instr.rs1)
+        b = self._op2(instr)
+        result = (a + b) & _MASK32
+        state.write_reg(instr.rd, result)
+        state.set_icc_add(a, b, result)
+        state.pc += 4
+
+    def _exec_subcc(self, instr: Instruction) -> None:
+        state = self.state
+        a = state.read_reg(instr.rs1)
+        b = self._op2(instr)
+        result = (a - b) & _MASK32
+        state.write_reg(instr.rd, result)
+        state.set_icc_sub(a, b, result)
+        state.pc += 4
+
+    def _make_logical_cc(self, fn):
+        def execute(instr: Instruction) -> None:
+            state = self.state
+            result = fn(state.read_reg(instr.rs1), self._op2(instr))
+            state.write_reg(instr.rd, result)
+            state.set_icc_logical(result)
+            state.pc += 4
+        return execute
+
+    def _exec_sethi(self, instr: Instruction) -> None:
+        state = self.state
+        state.write_reg(instr.rd, (instr.imm << 13) & _MASK32)
+        state.pc += 4
+
+    # -- memory execution ---------------------------------------------------
+
+    def _exec_load(self, instr: Instruction) -> None:
+        state = self.state
+        address = self._effective_address(instr)
+        memory = state.memory
+        opcode = instr.opcode
+        if opcode is Opcode.LD:
+            state.write_reg(instr.rd, memory.read_word(address))
+            width = 4
+        elif opcode is Opcode.LDB:
+            value = memory.read_byte(address)
+            if value & 0x80:
+                value |= 0xFFFFFF00
+            state.write_reg(instr.rd, value)
+            width = 1
+        elif opcode is Opcode.LDUB:
+            state.write_reg(instr.rd, memory.read_byte(address))
+            width = 1
+        elif opcode is Opcode.LDH:
+            value = memory.read_half(address)
+            if value & 0x8000:
+                value |= 0xFFFF0000
+            state.write_reg(instr.rd, value)
+            width = 2
+        elif opcode is Opcode.LDUH:
+            state.write_reg(instr.rd, memory.read_half(address))
+            width = 2
+        elif opcode is Opcode.LDF:
+            state.fregs[instr.fd] = memory.read_float(address)
+            width = 4
+        else:  # LDDF
+            state.fregs[instr.fd] = memory.read_double(address)
+            width = 8
+        self.last_mem_addr = address
+        self.last_mem_width = width
+        state.pc += 4
+
+    def _exec_store(self, instr: Instruction) -> None:
+        state = self.state
+        address = self._effective_address(instr)
+        memory = state.memory
+        opcode = instr.opcode
+        width = instr.access_width
+        # Capture the pre-store bytes first: FastSim's instrumentation
+        # records them in the sQ entry for misprediction rollback.
+        self.last_store_old = memory.read_bytes(address, width)
+        if opcode is Opcode.ST:
+            memory.write_word(address, state.read_reg(instr.rd))
+        elif opcode is Opcode.STB:
+            memory.write_byte(address, state.read_reg(instr.rd))
+        elif opcode is Opcode.STH:
+            memory.write_half(address, state.read_reg(instr.rd))
+        elif opcode is Opcode.STF:
+            memory.write_float(address, _clamp_float32(state.fregs[instr.fd]))
+        else:  # STDF
+            memory.write_double(address, state.fregs[instr.fd])
+        self.last_mem_addr = address
+        self.last_mem_width = width
+        state.pc += 4
+
+    # -- floating point -----------------------------------------------------
+
+    @staticmethod
+    def _fp_div(a: float, b: float) -> float:
+        if b == 0.0:
+            return math.inf if a > 0 else (-math.inf if a < 0 else math.nan)
+        return a / b
+
+    def _make_fp_binary(self, fn):
+        def execute(instr: Instruction) -> None:
+            state = self.state
+            state.fregs[instr.fd] = fn(state.fregs[instr.fs1],
+                                       state.fregs[instr.fs2])
+            state.pc += 4
+        return execute
+
+    def _make_fp_unary(self, fn):
+        def execute(instr: Instruction) -> None:
+            state = self.state
+            state.fregs[instr.fd] = fn(state.fregs[instr.fs1])
+            state.pc += 4
+        return execute
+
+    def _exec_fsqrt(self, instr: Instruction) -> None:
+        state = self.state
+        value = state.fregs[instr.fs1]
+        state.fregs[instr.fd] = math.sqrt(value) if value >= 0 else math.nan
+        state.pc += 4
+
+    def _exec_fcmp(self, instr: Instruction) -> None:
+        state = self.state
+        state.fcc = alu.fp_compare(state.fregs[instr.fs1], state.fregs[instr.fs2])
+        state.pc += 4
+
+    def _exec_fitod(self, instr: Instruction) -> None:
+        state = self.state
+        state.fregs[instr.fd] = float(to_signed(state.read_reg(instr.rs1)))
+        state.pc += 4
+
+    def _exec_fdtoi(self, instr: Instruction) -> None:
+        state = self.state
+        value = state.fregs[instr.fs1]
+        if value != value or value in (math.inf, -math.inf):
+            truncated = 0
+        else:
+            truncated = int(value)
+        state.write_reg(instr.rd, truncated & _MASK32)
+        state.pc += 4
+
+    # -- control transfer -----------------------------------------------------
+
+    def _exec_branch(self, instr: Instruction) -> None:
+        state = self.state
+        taken = alu.branch_taken(instr.opcode, state.icc, state.fcc)
+        self.last_taken = taken
+        if taken:
+            self.last_target = instr.target
+            state.pc = instr.target
+        else:
+            state.pc += 4
+
+    def _exec_call(self, instr: Instruction) -> None:
+        # With no delay slots the link register holds the return address
+        # directly (pc + 4), unlike SPARC's "address of the call" + 8.
+        state = self.state
+        state.write_reg(instr.rd, state.pc + 4)
+        self.last_taken = True
+        self.last_target = instr.target
+        state.pc = instr.target
+
+    def _exec_jmpl(self, instr: Instruction) -> None:
+        state = self.state
+        target = self._effective_address(instr)
+        if target % 4:
+            raise EmulationError(f"misaligned jump target 0x{target:x}")
+        state.write_reg(instr.rd, state.pc + 4)
+        self.last_taken = True
+        self.last_target = target
+        state.pc = target
+
+    # -- miscellaneous ----------------------------------------------------------
+
+    def _exec_nop(self, instr: Instruction) -> None:
+        self.state.pc += 4
+
+    def _exec_out(self, instr: Instruction) -> None:
+        state = self.state
+        state.output.append(state.read_reg(instr.rs1))
+        state.pc += 4
+
+    def _exec_halt(self, instr: Instruction) -> None:
+        self.state.halted = True
+        # PC intentionally left at the halt instruction.
+
+
+def _clamp_float32(value: float) -> float:
+    """Round a double to the nearest representable binary32 value."""
+    try:
+        return _PACK_FLOAT.unpack(_PACK_FLOAT.pack(value))[0]
+    except OverflowError:
+        return math.inf if value > 0 else -math.inf
+
+
+def run_program(executable: Executable,
+                max_instructions: int = 100_000_000) -> ArchState:
+    """Convenience: functionally execute *executable* to completion."""
+    interpreter = Interpreter(executable)
+    interpreter.run(max_instructions)
+    return interpreter.state

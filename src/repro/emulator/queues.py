@@ -1,0 +1,113 @@
+"""The frontend's recording queues: ``lQ``, ``sQ``, and the control-flow queue.
+
+FastSim's instrumentation records, during (speculative) direct
+execution:
+
+* ``lQ`` — the effective address of every load, for the cache simulator;
+* ``sQ`` — the effective address of every store **plus the pre-store
+  memory value**, doubling as the rollback log for mispredicted paths;
+* one control-flow record per conditional branch / indirect jump /
+  program halt, telling the μ-architecture simulator which way direct
+  execution went and whether the branch predictor agreed.
+
+Entries are indexed by their append position. The μ-architecture
+simulator addresses entries by index (fetch assigns the k-th load
+fetched to ``lQ[k]`` — sound because fetch follows exactly the path the
+frontend executed). A misprediction rollback truncates all three queues
+back to the lengths recorded in the mispredicted branch's control
+record, after restoring pre-store values in reverse order.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+class ControlKind(enum.IntEnum):
+    """What kind of control event a record describes."""
+
+    COND = 0  #: conditional branch (predicted; may be mispredicted)
+    INDIRECT = 1  #: indirect jump — target recorded, never speculated past
+    HALT = 2  #: program executed ``halt``
+
+
+@dataclass(frozen=True)
+class ControlRecord:
+    """One control-flow event recorded by the frontend.
+
+    ``taken`` is the branch's outcome *as evaluated on the path the
+    frontend was executing* (which may itself be a wrong path).
+    ``lq_len``/``sq_len`` snapshot the queue lengths at the event, which
+    is what rollback truncates to.
+    """
+
+    kind: ControlKind
+    pc: int
+    taken: bool = False
+    predicted_taken: bool = False
+    target: int = 0  #: actual destination (indirect jumps; corrected path)
+    lq_len: int = 0
+    sq_len: int = 0
+
+    @property
+    def mispredicted(self) -> bool:
+        """True when the predictor disagreed with the evaluated outcome."""
+        return self.kind is ControlKind.COND and (
+            self.taken != self.predicted_taken
+        )
+
+    def outcome_key(self):
+        """Hashable key describing this record for p-action cache edges.
+
+        Two records with equal keys cause identical subsequent simulator
+        behaviour from the same configuration: the fetch path is a
+        function of (kind, predicted direction, misprediction flag,
+        indirect target) plus static code.
+        """
+        if self.kind is ControlKind.COND:
+            return (int(self.kind), self.pc, self.taken, self.predicted_taken)
+        if self.kind is ControlKind.INDIRECT:
+            return (int(self.kind), self.pc, self.target)
+        return (int(self.kind), self.pc)
+
+
+@dataclass(frozen=True)
+class LoadRecord:
+    """Effective address + width of one executed load."""
+
+    address: int
+    width: int
+
+
+@dataclass(frozen=True)
+class StoreRecord:
+    """Effective address, width, and pre-store bytes of one executed store."""
+
+    address: int
+    width: int
+    old_bytes: bytes
+
+
+class RecordQueues:
+    """The three append-only (truncate-on-rollback) frontend queues."""
+
+    __slots__ = ("loads", "stores", "controls")
+
+    def __init__(self) -> None:
+        self.loads: List[LoadRecord] = []
+        self.stores: List[StoreRecord] = []
+        self.controls: List[ControlRecord] = []
+
+    def control(self, index: int) -> Optional[ControlRecord]:
+        """Return control record *index*, or None if not yet recorded."""
+        if index < len(self.controls):
+            return self.controls[index]
+        return None
+
+    def truncate(self, control_len: int, lq_len: int, sq_len: int) -> None:
+        """Discard wrong-path entries after a misprediction rollback."""
+        del self.controls[control_len:]
+        del self.loads[lq_len:]
+        del self.stores[sq_len:]

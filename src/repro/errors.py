@@ -1,0 +1,55 @@
+"""Exception hierarchy for the FastSim reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers embedding the simulator can catch one type. Subsystems raise the
+more specific subclasses below.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class AssemblerError(ReproError):
+    """Raised for malformed assembly source (syntax, ranges, labels)."""
+
+    def __init__(self, message: str, line: int = 0, source: str = "<asm>"):
+        self.line = line
+        self.source = source
+        if line:
+            message = f"{source}:{line}: {message}"
+        super().__init__(message)
+
+
+class EncodingError(ReproError):
+    """Raised when an instruction cannot be encoded or decoded."""
+
+
+class EmulationError(ReproError):
+    """Raised for faults during functional execution (bad memory, traps)."""
+
+
+class MemoryFault(EmulationError):
+    """Raised on misaligned or out-of-segment memory access."""
+
+    def __init__(self, address: int, message: str = "memory fault"):
+        self.address = address
+        super().__init__(f"{message} at 0x{address:08x}")
+
+
+class SimulationError(ReproError):
+    """Raised when a timing simulator reaches an inconsistent state."""
+
+
+class ConfigCodecError(ReproError):
+    """Raised when a microarchitecture configuration fails to (de)code."""
+
+
+class MemoizationError(ReproError):
+    """Raised for p-action cache structural violations."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload generator receives invalid parameters."""

@@ -1,0 +1,45 @@
+"""Toy SPARC-like instruction set: definitions, assembler, executables.
+
+Public surface:
+
+* :func:`assemble` — assembly text → :class:`Executable`
+* :class:`Executable` — loadable program image with decoded-instruction cache
+* :class:`Instruction`, :class:`Opcode`, :class:`InstrClass` — decoded form
+* :func:`encode` / :func:`decode` — 32-bit binary codec
+* :func:`disassemble` — instructions → assembly text
+"""
+
+from repro.isa.assembler import Assembler, assemble
+from repro.isa.disasm import disassemble, format_instruction
+from repro.isa.encoding import decode, encode
+from repro.isa.instruction import Instruction
+from repro.isa.objfile import (
+    from_bytes,
+    load_executable,
+    save_executable,
+    to_bytes,
+)
+from repro.isa.opcodes import Format, InstrClass, Opcode, opcode_info
+from repro.isa.program import DATA_BASE, STACK_TOP, TEXT_BASE, Executable
+
+__all__ = [
+    "Assembler",
+    "assemble",
+    "disassemble",
+    "format_instruction",
+    "decode",
+    "encode",
+    "Instruction",
+    "Format",
+    "InstrClass",
+    "Opcode",
+    "opcode_info",
+    "Executable",
+    "DATA_BASE",
+    "STACK_TOP",
+    "TEXT_BASE",
+    "save_executable",
+    "load_executable",
+    "to_bytes",
+    "from_bytes",
+]

@@ -1,0 +1,84 @@
+"""Disassembly — turn decoded instructions back into assembly text.
+
+Used by error messages, pipeline debug dumps, and the round-trip tests
+(assemble → encode → decode → format → assemble must be a fixed point).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Format
+from repro.isa.registers import fp_reg_name, int_reg_name
+
+
+def _op2(instr: Instruction) -> str:
+    """Format the reg-or-imm second operand."""
+    if instr.imm is not None:
+        return str(instr.imm)
+    return int_reg_name(instr.rs2 if instr.rs2 is not None else 0)
+
+
+def _addr(instr: Instruction) -> str:
+    """Format a ``[%rs1 + op2]`` effective address."""
+    base = int_reg_name(instr.rs1 if instr.rs1 is not None else 0)
+    if instr.imm is not None:
+        if instr.imm == 0:
+            return f"[{base}]"
+        sign = "+" if instr.imm >= 0 else "-"
+        return f"[{base} {sign} {abs(instr.imm)}]"
+    if instr.rs2 is not None and instr.rs2 != 0:
+        return f"[{base} + {int_reg_name(instr.rs2)}]"
+    return f"[{base}]"
+
+
+def format_instruction(instr: Instruction) -> str:
+    """Render one instruction as assembly text."""
+    info = instr.info
+    m = info.mnemonic
+    fmt = info.fmt
+    if fmt is Format.ALU:
+        return (
+            f"{m} {int_reg_name(instr.rs1 or 0)}, {_op2(instr)}, "
+            f"{int_reg_name(instr.rd or 0)}"
+        )
+    if fmt is Format.SETHI:
+        return f"{m} 0x{instr.imm:x}, {int_reg_name(instr.rd or 0)}"
+    if fmt is Format.LOAD:
+        return f"{m} {_addr(instr)}, {int_reg_name(instr.rd or 0)}"
+    if fmt is Format.STORE:
+        return f"{m} {int_reg_name(instr.rd or 0)}, {_addr(instr)}"
+    if fmt is Format.FLOAD:
+        return f"{m} {_addr(instr)}, {fp_reg_name(instr.fd or 0)}"
+    if fmt is Format.FSTORE:
+        return f"{m} {fp_reg_name(instr.fd or 0)}, {_addr(instr)}"
+    if fmt is Format.FPOP2:
+        return (
+            f"{m} {fp_reg_name(instr.fs1 or 0)}, {fp_reg_name(instr.fs2 or 0)}, "
+            f"{fp_reg_name(instr.fd or 0)}"
+        )
+    if fmt is Format.FPOP1:
+        return f"{m} {fp_reg_name(instr.fs1 or 0)}, {fp_reg_name(instr.fd or 0)}"
+    if fmt is Format.FCMP:
+        return f"{m} {fp_reg_name(instr.fs1 or 0)}, {fp_reg_name(instr.fs2 or 0)}"
+    if fmt in (Format.BRANCH, Format.CALL):
+        return f"{m} 0x{instr.target:x}"
+    if fmt is Format.JMPL:
+        return f"{m} {_addr(instr)}, {int_reg_name(instr.rd or 0)}"
+    if fmt is Format.I2F:
+        return f"{m} {int_reg_name(instr.rs1 or 0)}, {fp_reg_name(instr.fd or 0)}"
+    if fmt is Format.F2I:
+        return f"{m} {fp_reg_name(instr.fs1 or 0)}, {int_reg_name(instr.rd or 0)}"
+    if fmt is Format.OUT:
+        return f"{m} {int_reg_name(instr.rs1 or 0)}"
+    return m
+
+
+def disassemble(instructions: Iterable[Instruction]) -> str:
+    """Render a sequence of instructions, one per line with addresses."""
+    lines = [
+        f"0x{instr.address:08x}:  {format_instruction(instr)}"
+        for instr in instructions
+    ]
+    return "\n".join(lines)

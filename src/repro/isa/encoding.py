@@ -1,0 +1,188 @@
+"""Binary encoding and decoding of instructions.
+
+Instructions are fixed 32-bit words. The top 8 bits hold the opcode; the
+remaining 24 bits are laid out per :class:`~repro.isa.opcodes.Format`:
+
+``ALU`` / ``LOAD`` / ``STORE`` / ``JMPL`` and the FP load/store forms::
+
+    [31:24] opcode  [23:19] rd  [18:14] rs1  [13] i  [12:0] imm13 | rs2
+
+``SETHI``::
+
+    [31:24] opcode  [23:19] rd  [18:0] imm19   (rd = imm19 << 13)
+
+``BRANCH`` / ``CALL``::
+
+    [31:24] opcode  [23:0] disp24   (signed word displacement from pc)
+
+FP register forms put ``fd`` in the rd slot and ``fs1``/``fs2`` in the
+rs1/rs2 slots. The encoding is deliberately simple — it exists so that
+programs are genuine binary images (the executable's text segment is a
+``bytes`` object) and so the decoder, not the assembler, is the source of
+truth for what the pipeline executes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Format, Opcode, ZERO_EXT_IMM_OPS, opcode_info
+from repro.isa.registers import LINK_REG
+
+IMM13_MIN = -(1 << 12)
+IMM13_MAX = (1 << 12) - 1
+IMM13U_MAX = (1 << 13) - 1
+IMM19_MAX = (1 << 19) - 1
+DISP24_MIN = -(1 << 23)
+DISP24_MAX = (1 << 23) - 1
+
+_MASK13 = (1 << 13) - 1
+_MASK19 = (1 << 19) - 1
+_MASK24 = (1 << 24) - 1
+
+
+def _sext(value: int, bits: int) -> int:
+    """Sign-extend the low *bits* of *value*."""
+    sign = 1 << (bits - 1)
+    value &= (1 << bits) - 1
+    return (value ^ sign) - sign
+
+
+def _check_reg(value: int, what: str) -> int:
+    if value is None or not 0 <= value < 32:
+        raise EncodingError(f"{what} out of range: {value!r}")
+    return value
+
+
+def _encode_op2(instr: Instruction, word: int) -> int:
+    """Encode the i-bit plus imm13 or rs2 into the low 14 bits."""
+    if instr.imm is not None:
+        if instr.opcode in ZERO_EXT_IMM_OPS:
+            if not 0 <= instr.imm <= IMM13U_MAX:
+                raise EncodingError(f"unsigned imm13 out of range: {instr.imm}")
+        elif not IMM13_MIN <= instr.imm <= IMM13_MAX:
+            raise EncodingError(f"imm13 out of range: {instr.imm}")
+        return word | (1 << 13) | (instr.imm & _MASK13)
+    rs2 = instr.rs2 if instr.rs2 is not None else instr.fs2
+    return word | _check_reg(rs2 if rs2 is not None else 0, "rs2")
+
+
+def encode(instr: Instruction) -> int:
+    """Encode a decoded instruction into its 32-bit word."""
+    info = opcode_info(instr.opcode)
+    word = int(instr.opcode) << 24
+    fmt = info.fmt
+
+    if fmt in (Format.ALU, Format.LOAD, Format.JMPL):
+        word |= _check_reg(instr.rd if instr.rd is not None else 0, "rd") << 19
+        word |= _check_reg(instr.rs1 if instr.rs1 is not None else 0, "rs1") << 14
+        word = _encode_op2(instr, word)
+    elif fmt is Format.STORE:
+        word |= _check_reg(instr.rd if instr.rd is not None else 0, "rd") << 19
+        word |= _check_reg(instr.rs1 if instr.rs1 is not None else 0, "rs1") << 14
+        word = _encode_op2(instr, word)
+    elif fmt is Format.FLOAD:
+        word |= _check_reg(instr.fd, "fd") << 19
+        word |= _check_reg(instr.rs1 if instr.rs1 is not None else 0, "rs1") << 14
+        word = _encode_op2(instr, word)
+    elif fmt is Format.FSTORE:
+        word |= _check_reg(instr.fd, "fd") << 19
+        word |= _check_reg(instr.rs1 if instr.rs1 is not None else 0, "rs1") << 14
+        word = _encode_op2(instr, word)
+    elif fmt is Format.SETHI:
+        if instr.imm is None or not 0 <= instr.imm <= IMM19_MAX:
+            raise EncodingError(f"sethi imm19 out of range: {instr.imm!r}")
+        word |= _check_reg(instr.rd, "rd") << 19
+        word |= instr.imm & _MASK19
+    elif fmt in (Format.BRANCH, Format.CALL):
+        if instr.target is None:
+            raise EncodingError(f"{info.mnemonic} requires a resolved target")
+        disp = (instr.target - instr.address) >> 2
+        if not DISP24_MIN <= disp <= DISP24_MAX:
+            raise EncodingError(f"branch displacement out of range: {disp}")
+        word |= disp & _MASK24
+    elif fmt is Format.FPOP2:
+        word |= _check_reg(instr.fd, "fd") << 19
+        word |= _check_reg(instr.fs1, "fs1") << 14
+        word |= _check_reg(instr.fs2, "fs2")
+    elif fmt is Format.FPOP1:
+        word |= _check_reg(instr.fd, "fd") << 19
+        word |= _check_reg(instr.fs1, "fs1") << 14
+    elif fmt is Format.FCMP:
+        word |= _check_reg(instr.fs1, "fs1") << 14
+        word |= _check_reg(instr.fs2, "fs2")
+    elif fmt is Format.I2F:
+        word |= _check_reg(instr.fd, "fd") << 19
+        word |= _check_reg(instr.rs1, "rs1") << 14
+    elif fmt is Format.F2I:
+        word |= _check_reg(instr.rd, "rd") << 19
+        word |= _check_reg(instr.fs1, "fs1") << 14
+    elif fmt is Format.OUT:
+        word |= _check_reg(instr.rs1, "rs1") << 14
+    elif fmt is Format.NONE:
+        pass
+    else:  # pragma: no cover - all formats handled above
+        raise EncodingError(f"unhandled format: {fmt!r}")
+    return word
+
+
+def decode(word: int, address: int) -> Instruction:
+    """Decode a 32-bit word fetched from *address* into an Instruction."""
+    opcode_value = (word >> 24) & 0xFF
+    try:
+        opcode = Opcode(opcode_value)
+    except ValueError:
+        raise EncodingError(
+            f"illegal opcode 0x{opcode_value:02x} at 0x{address:08x}"
+        ) from None
+    info = opcode_info(opcode)
+    fmt = info.fmt
+
+    rd = (word >> 19) & 0x1F
+    rs1 = (word >> 14) & 0x1F
+    has_imm = bool(word & (1 << 13))
+    if opcode in ZERO_EXT_IMM_OPS:
+        imm13 = word & _MASK13
+    else:
+        imm13 = _sext(word, 13)
+    rs2 = word & 0x1F
+
+    if fmt in (Format.ALU, Format.LOAD, Format.JMPL):
+        if has_imm:
+            return Instruction(address, opcode, rs1=rs1, rd=rd, imm=imm13)
+        return Instruction(address, opcode, rs1=rs1, rs2=rs2, rd=rd)
+    if fmt is Format.STORE:
+        if has_imm:
+            return Instruction(address, opcode, rs1=rs1, rd=rd, imm=imm13)
+        return Instruction(address, opcode, rs1=rs1, rs2=rs2, rd=rd)
+    if fmt is Format.FLOAD:
+        if has_imm:
+            return Instruction(address, opcode, rs1=rs1, fd=rd, imm=imm13)
+        return Instruction(address, opcode, rs1=rs1, rs2=rs2, fd=rd)
+    if fmt is Format.FSTORE:
+        if has_imm:
+            return Instruction(address, opcode, rs1=rs1, fd=rd, imm=imm13)
+        return Instruction(address, opcode, rs1=rs1, rs2=rs2, fd=rd)
+    if fmt is Format.SETHI:
+        return Instruction(address, opcode, rd=rd, imm=word & _MASK19)
+    if fmt in (Format.BRANCH, Format.CALL):
+        disp = _sext(word, 24)
+        target = (address + (disp << 2)) & 0xFFFFFFFF
+        if fmt is Format.CALL:
+            return Instruction(address, opcode, rd=LINK_REG, target=target)
+        return Instruction(address, opcode, target=target)
+    if fmt is Format.FPOP2:
+        return Instruction(address, opcode, fd=rd, fs1=rs1, fs2=rs2)
+    if fmt is Format.FPOP1:
+        return Instruction(address, opcode, fd=rd, fs1=rs1)
+    if fmt is Format.FCMP:
+        return Instruction(address, opcode, fs1=rs1, fs2=rs2)
+    if fmt is Format.I2F:
+        return Instruction(address, opcode, rs1=rs1, fd=rd)
+    if fmt is Format.F2I:
+        return Instruction(address, opcode, fs1=rs1, rd=rd)
+    if fmt is Format.OUT:
+        return Instruction(address, opcode, rs1=rs1)
+    if fmt is Format.NONE:
+        return Instruction(address, opcode)
+    raise EncodingError(f"unhandled format: {fmt!r}")  # pragma: no cover

@@ -1,0 +1,164 @@
+"""Decoded instruction representation.
+
+An :class:`Instruction` is the fully-decoded, immutable form used by every
+consumer in the package: the functional emulator pre-decodes the text
+segment into a list of these; the out-of-order model reads the register
+fields to recompute renaming each cycle; the configuration codec walks
+them to rebuild pipeline contents from a compressed snapshot.
+
+Register operands live in two namespaces (integer file and FP file); the
+fields ``rs1``/``rs2``/``rd`` are integer-file indices and ``fs1``/
+``fs2``/``fd`` are FP-file indices, with ``None`` meaning "not used".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Optional, Tuple
+
+from repro.isa.opcodes import (
+    ACCESS_WIDTH,
+    CONDITIONAL_BRANCHES,
+    Format,
+    InstrClass,
+    Opcode,
+    OpInfo,
+    opcode_info,
+)
+from repro.isa.registers import ZERO_REG
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction at a fixed text address.
+
+    Derived facts (class, sources, destinations, …) are cached on first
+    access: instructions are decoded once per text address and consulted
+    millions of times by the timing models, so these lookups are on the
+    simulators' hottest path. (``functools.cached_property`` stores into
+    the instance ``__dict__`` directly, which coexists with the frozen
+    dataclass.)
+    """
+
+    address: int
+    opcode: Opcode
+    rs1: Optional[int] = None
+    rs2: Optional[int] = None
+    rd: Optional[int] = None
+    fs1: Optional[int] = None
+    fs2: Optional[int] = None
+    fd: Optional[int] = None
+    imm: Optional[int] = None  #: sign-extended immediate, if the i-bit is set
+    target: Optional[int] = None  #: absolute branch/call target address
+
+    @cached_property
+    def info(self) -> OpInfo:
+        """Static opcode properties (format, class, latency, cc usage)."""
+        return opcode_info(self.opcode)
+
+    @cached_property
+    def iclass(self) -> InstrClass:
+        return self.info.iclass
+
+    @cached_property
+    def latency(self) -> int:
+        return self.info.latency
+
+    @cached_property
+    def is_conditional_branch(self) -> bool:
+        """True for multi-target conditional branches (icc or fcc)."""
+        return self.opcode in CONDITIONAL_BRANCHES
+
+    @cached_property
+    def is_indirect_jump(self) -> bool:
+        """True for jumps whose target is unknown statically (``jmpl``)."""
+        return self.opcode is Opcode.JMPL
+
+    @cached_property
+    def is_load(self) -> bool:
+        return self.info.iclass is InstrClass.LOAD
+
+    @cached_property
+    def is_store(self) -> bool:
+        return self.info.iclass is InstrClass.STORE
+
+    @cached_property
+    def is_mem(self) -> bool:
+        return self.is_load or self.is_store
+
+    @cached_property
+    def access_width(self) -> int:
+        """Memory access width in bytes (loads/stores only)."""
+        return ACCESS_WIDTH[self.opcode]
+
+    @property
+    def fall_through(self) -> int:
+        """Address of the next sequential instruction."""
+        return self.address + 4
+
+    @cached_property
+    def _int_sources(self) -> Tuple[int, ...]:
+        sources = []
+        if self.rs1 is not None and self.rs1 != ZERO_REG:
+            sources.append(self.rs1)
+        if self.rs2 is not None and self.rs2 != ZERO_REG:
+            sources.append(self.rs2)
+        # Integer stores read the data register from the integer file.
+        info = self.info
+        if (info.fmt is Format.STORE and self.rd is not None
+                and self.rd != ZERO_REG):
+            sources.append(self.rd)
+        return tuple(sources)
+
+    def int_sources(self) -> Tuple[int, ...]:
+        """Integer registers read, excluding the hardwired zero register."""
+        return self._int_sources
+
+    @cached_property
+    def _int_dest(self) -> Optional[int]:
+        info = self.info
+        if info.fmt in (Format.ALU, Format.SETHI, Format.LOAD, Format.JMPL,
+                        Format.F2I):
+            if self.rd is not None and self.rd != ZERO_REG:
+                return self.rd
+            return None
+        if info.fmt is Format.CALL:
+            return self.rd  # link register, set by the decoder
+        return None
+
+    def int_dest(self) -> Optional[int]:
+        """Integer register written, or None. Writes to %g0 are discarded."""
+        return self._int_dest
+
+    @cached_property
+    def _fp_sources(self) -> Tuple[int, ...]:
+        sources = []
+        if self.fs1 is not None:
+            sources.append(self.fs1)
+        if self.fs2 is not None:
+            sources.append(self.fs2)
+        info = self.info
+        if info.fmt is Format.FSTORE and self.fd is not None:
+            sources.append(self.fd)
+        return tuple(sources)
+
+    def fp_sources(self) -> Tuple[int, ...]:
+        """FP registers read."""
+        return self._fp_sources
+
+    @cached_property
+    def _fp_dest(self) -> Optional[int]:
+        info = self.info
+        if info.fmt in (Format.FPOP1, Format.FPOP2, Format.FLOAD, Format.I2F):
+            return self.fd
+        return None
+
+    def fp_dest(self) -> Optional[int]:
+        """FP register written, or None."""
+        return self._fp_dest
+
+    def __str__(self) -> str:
+        from repro.isa.disasm import format_instruction
+
+        return format_instruction(self)

@@ -1,0 +1,121 @@
+"""Binary object-file format — save and load assembled executables.
+
+The paper's toolchain edits statically linked binaries on disk; ours
+should at least be able to *store* them. The ``.fsx`` format is a
+minimal static executable container:
+
+========  =====================================================
+offset    contents
+========  =====================================================
+0–3       magic ``FSX1``
+4–7       text base address (u32 BE)
+8–11      text length (u32 BE)
+12–15     data base address (u32 BE)
+16–19     data length (u32 BE)
+20–23     bss size (u32 BE)
+24–27     entry point (u32 BE)
+28–31     symbol count (u32 BE)
+32–…      text bytes, data bytes, then symbol records
+========  =====================================================
+
+A symbol record is ``u16 name_length | name (utf-8) | u32 value``.
+All fields big-endian, like the ISA itself.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from typing import BinaryIO, Union
+
+from repro.errors import EncodingError
+from repro.isa.program import Executable
+
+MAGIC = b"FSX1"
+_HEADER = struct.Struct(">4sIIIIIII")
+
+
+def write_executable(executable: Executable, stream: BinaryIO) -> None:
+    """Serialise *executable* into *stream*."""
+    symbols = sorted(executable.symbols.items())
+    stream.write(_HEADER.pack(
+        MAGIC,
+        executable.text_base,
+        len(executable.text),
+        executable.data_base,
+        len(executable.data),
+        executable.bss_size,
+        executable.entry,
+        len(symbols),
+    ))
+    stream.write(executable.text)
+    stream.write(executable.data)
+    for name, value in symbols:
+        encoded = name.encode("utf-8")
+        if len(encoded) > 0xFFFF:
+            raise EncodingError(f"symbol name too long: {name[:40]}...")
+        stream.write(len(encoded).to_bytes(2, "big"))
+        stream.write(encoded)
+        stream.write((value & 0xFFFFFFFF).to_bytes(4, "big"))
+
+
+def read_executable(stream: BinaryIO,
+                    source_name: str = "<fsx>") -> Executable:
+    """Deserialise an executable written by :func:`write_executable`."""
+    header = stream.read(_HEADER.size)
+    if len(header) < _HEADER.size:
+        raise EncodingError("truncated object file header")
+    (magic, text_base, text_len, data_base, data_len, bss_size, entry,
+     symbol_count) = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise EncodingError(f"bad magic {magic!r}; not an FSX executable")
+    text = stream.read(text_len)
+    data = stream.read(data_len)
+    if len(text) != text_len or len(data) != data_len:
+        raise EncodingError("truncated object file segments")
+    symbols = {}
+    for _ in range(symbol_count):
+        raw_len = stream.read(2)
+        if len(raw_len) != 2:
+            raise EncodingError("truncated symbol table")
+        name_len = int.from_bytes(raw_len, "big")
+        name = stream.read(name_len).decode("utf-8")
+        raw_value = stream.read(4)
+        if len(raw_value) != 4:
+            raise EncodingError("truncated symbol value")
+        symbols[name] = int.from_bytes(raw_value, "big")
+    return Executable(
+        text=text,
+        data=data,
+        bss_size=bss_size,
+        text_base=text_base,
+        data_base=data_base,
+        entry=entry,
+        symbols=symbols,
+        source_name=source_name,
+    )
+
+
+def save_executable(executable: Executable,
+                    path: Union[str, "io.PathLike"]) -> None:
+    """Write *executable* to *path*."""
+    with open(path, "wb") as stream:
+        write_executable(executable, stream)
+
+
+def load_executable(path: Union[str, "io.PathLike"]) -> Executable:
+    """Read an executable from *path*."""
+    with open(path, "rb") as stream:
+        return read_executable(stream, source_name=str(path))
+
+
+def to_bytes(executable: Executable) -> bytes:
+    """Serialise to an in-memory byte string."""
+    buffer = io.BytesIO()
+    write_executable(executable, buffer)
+    return buffer.getvalue()
+
+
+def from_bytes(blob: bytes, source_name: str = "<fsx>") -> Executable:
+    """Deserialise from an in-memory byte string."""
+    return read_executable(io.BytesIO(blob), source_name)

@@ -1,0 +1,285 @@
+"""Opcode definitions, instruction classes, and execution latencies.
+
+The instruction set is a SPARC v8 flavoured 32-bit RISC:
+
+* integer ALU ops with an optional condition-code-setting ``cc`` variant
+  (``add``/``addcc``, ``sub``/``subcc``, …), operand 2 either a register
+  or a 13-bit signed immediate;
+* ``sethi`` for building 32-bit constants;
+* loads and stores of bytes/halfwords/words plus single/double floats;
+* floating point arithmetic (``fadd`` … ``fsqrt``) and compare;
+* conditional branches on integer (``icc``) and floating (``fcc``)
+  condition codes, pc-relative direct ``call``, and the indirect
+  ``jmpl``;
+* ``nop``, ``out`` (writes a register to the program's output stream,
+  used by workloads to emit checksums), and ``halt`` (ends simulation —
+  the substitute for exiting to the OS).
+
+Deviations from real SPARC v8 (documented in DESIGN.md): no branch delay
+slots, no register windows, and ``fitod``/``fdtoi`` convert directly
+between the integer and FP files instead of bouncing through memory.
+
+Each opcode carries an :class:`InstrClass`, which is what the
+out-of-order timing model dispatches on, and a fixed execution latency
+(loads get theirs from the cache simulator instead).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+
+class InstrClass(enum.IntEnum):
+    """Functional-unit class of an instruction, as seen by the timing model."""
+
+    IALU = 0  #: single-cycle integer op (2 integer ALUs)
+    IMUL = 1  #: integer multiply (issues to ALU 1)
+    IDIV = 2  #: integer divide (issues to ALU 1, long latency)
+    LOAD = 3  #: memory load (address queue + cache simulator)
+    STORE = 4  #: memory store (address queue + cache simulator)
+    FALU = 5  #: FP add/sub/compare/move (FP adder)
+    FMUL = 6  #: FP multiply (FP multiplier)
+    FDIV = 7  #: FP divide (FP multiplier, long latency)
+    FSQRT = 8  #: FP square root (FP multiplier, long latency)
+    BRANCH = 9  #: conditional branch (resolves in integer ALU 1)
+    JUMP = 10  #: call / jmpl (single target or indirect)
+    NOP = 11  #: no-operation
+    HALT = 12  #: terminate simulation
+
+
+class Format(enum.IntEnum):
+    """Assembly/encoding format of an opcode."""
+
+    ALU = 0  #: ``op %rs1, reg_or_imm, %rd``
+    SETHI = 1  #: ``sethi imm22, %rd``
+    LOAD = 2  #: ``op [%rs1 + reg_or_imm], %rd``
+    STORE = 3  #: ``op %rd, [%rs1 + reg_or_imm]``
+    FLOAD = 4  #: ``op [%rs1 + reg_or_imm], %fd``
+    FSTORE = 5  #: ``op %fd, [%rs1 + reg_or_imm]``
+    FPOP2 = 6  #: ``op %fs1, %fs2, %fd``
+    FPOP1 = 7  #: ``op %fs, %fd``
+    FCMP = 8  #: ``fcmp %fs1, %fs2``
+    BRANCH = 9  #: ``op label`` (22-bit pc-relative displacement)
+    CALL = 10  #: ``call label`` (30-bit pc-relative displacement)
+    JMPL = 11  #: ``jmpl %rs1 + reg_or_imm, %rd``
+    I2F = 12  #: ``op %rs1, %fd``
+    F2I = 13  #: ``op %fs, %rd``
+    NONE = 14  #: no operands (``nop``, ``halt``)
+    OUT = 15  #: ``out %rs1``
+
+
+class Opcode(enum.IntEnum):
+    """Every opcode in the toy ISA. Values are the 8-bit primary opcode field."""
+
+    # Integer ALU.
+    ADD = 0x01
+    ADDCC = 0x02
+    SUB = 0x03
+    SUBCC = 0x04
+    AND = 0x05
+    ANDCC = 0x06
+    OR = 0x07
+    ORCC = 0x08
+    XOR = 0x09
+    XORCC = 0x0A
+    SLL = 0x0B
+    SRL = 0x0C
+    SRA = 0x0D
+    SMUL = 0x0E
+    SDIV = 0x0F
+    SETHI = 0x10
+
+    # Memory.
+    LD = 0x20
+    LDB = 0x21
+    LDUB = 0x22
+    LDH = 0x23
+    LDUH = 0x24
+    ST = 0x25
+    STB = 0x26
+    STH = 0x27
+    LDF = 0x28
+    LDDF = 0x29
+    STF = 0x2A
+    STDF = 0x2B
+
+    # Floating point.
+    FADD = 0x30
+    FSUB = 0x31
+    FMUL = 0x32
+    FDIV = 0x33
+    FSQRT = 0x34
+    FNEG = 0x35
+    FABS = 0x36
+    FMOV = 0x37
+    FCMP = 0x38
+    FITOD = 0x39
+    FDTOI = 0x3A
+
+    # Control transfer: integer condition-code branches.
+    BA = 0x40
+    BN = 0x41
+    BE = 0x42
+    BNE = 0x43
+    BG = 0x44
+    BLE = 0x45
+    BGE = 0x46
+    BL = 0x47
+    BGU = 0x48
+    BLEU = 0x49
+
+    # Control transfer: floating condition-code branches.
+    FBE = 0x4A
+    FBNE = 0x4B
+    FBL = 0x4C
+    FBLE = 0x4D
+    FBG = 0x4E
+    FBGE = 0x4F
+
+    # Jumps.
+    CALL = 0x50
+    JMPL = 0x51
+
+    # Miscellaneous.
+    NOP = 0x60
+    OUT = 0x61
+    HALT = 0x7F
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static properties of one opcode."""
+
+    mnemonic: str
+    fmt: Format
+    iclass: InstrClass
+    latency: int = 1
+    sets_icc: bool = False
+    reads_icc: bool = False
+    sets_fcc: bool = False
+    reads_fcc: bool = False
+
+
+# Execution latencies loosely follow the MIPS R10000 (Yeager 1996): 1-cycle
+# integer ALU, 6-cycle multiply, 34-cycle divide, 2-cycle FP add/multiply,
+# 12-cycle FP divide, 18-cycle FP square root. Loads have no static latency;
+# the cache simulator supplies it.
+LAT_IALU = 1
+LAT_IMUL = 6
+LAT_IDIV = 34
+LAT_FALU = 2
+LAT_FMUL = 2
+LAT_FDIV = 12
+LAT_FSQRT = 18
+LAT_BRANCH = 1
+LAT_JUMP = 1
+LAT_AGEN = 1  #: address-generation cycle for loads/stores
+
+OPCODE_INFO: Dict[Opcode, OpInfo] = {
+    Opcode.ADD: OpInfo("add", Format.ALU, InstrClass.IALU, LAT_IALU),
+    Opcode.ADDCC: OpInfo("addcc", Format.ALU, InstrClass.IALU, LAT_IALU, sets_icc=True),
+    Opcode.SUB: OpInfo("sub", Format.ALU, InstrClass.IALU, LAT_IALU),
+    Opcode.SUBCC: OpInfo("subcc", Format.ALU, InstrClass.IALU, LAT_IALU, sets_icc=True),
+    Opcode.AND: OpInfo("and", Format.ALU, InstrClass.IALU, LAT_IALU),
+    Opcode.ANDCC: OpInfo("andcc", Format.ALU, InstrClass.IALU, LAT_IALU, sets_icc=True),
+    Opcode.OR: OpInfo("or", Format.ALU, InstrClass.IALU, LAT_IALU),
+    Opcode.ORCC: OpInfo("orcc", Format.ALU, InstrClass.IALU, LAT_IALU, sets_icc=True),
+    Opcode.XOR: OpInfo("xor", Format.ALU, InstrClass.IALU, LAT_IALU),
+    Opcode.XORCC: OpInfo("xorcc", Format.ALU, InstrClass.IALU, LAT_IALU, sets_icc=True),
+    Opcode.SLL: OpInfo("sll", Format.ALU, InstrClass.IALU, LAT_IALU),
+    Opcode.SRL: OpInfo("srl", Format.ALU, InstrClass.IALU, LAT_IALU),
+    Opcode.SRA: OpInfo("sra", Format.ALU, InstrClass.IALU, LAT_IALU),
+    Opcode.SMUL: OpInfo("smul", Format.ALU, InstrClass.IMUL, LAT_IMUL),
+    Opcode.SDIV: OpInfo("sdiv", Format.ALU, InstrClass.IDIV, LAT_IDIV),
+    Opcode.SETHI: OpInfo("sethi", Format.SETHI, InstrClass.IALU, LAT_IALU),
+    Opcode.LD: OpInfo("ld", Format.LOAD, InstrClass.LOAD),
+    Opcode.LDB: OpInfo("ldb", Format.LOAD, InstrClass.LOAD),
+    Opcode.LDUB: OpInfo("ldub", Format.LOAD, InstrClass.LOAD),
+    Opcode.LDH: OpInfo("ldh", Format.LOAD, InstrClass.LOAD),
+    Opcode.LDUH: OpInfo("lduh", Format.LOAD, InstrClass.LOAD),
+    Opcode.ST: OpInfo("st", Format.STORE, InstrClass.STORE),
+    Opcode.STB: OpInfo("stb", Format.STORE, InstrClass.STORE),
+    Opcode.STH: OpInfo("sth", Format.STORE, InstrClass.STORE),
+    Opcode.LDF: OpInfo("ldf", Format.FLOAD, InstrClass.LOAD),
+    Opcode.LDDF: OpInfo("lddf", Format.FLOAD, InstrClass.LOAD),
+    Opcode.STF: OpInfo("stf", Format.FSTORE, InstrClass.STORE),
+    Opcode.STDF: OpInfo("stdf", Format.FSTORE, InstrClass.STORE),
+    Opcode.FADD: OpInfo("fadd", Format.FPOP2, InstrClass.FALU, LAT_FALU),
+    Opcode.FSUB: OpInfo("fsub", Format.FPOP2, InstrClass.FALU, LAT_FALU),
+    Opcode.FMUL: OpInfo("fmul", Format.FPOP2, InstrClass.FMUL, LAT_FMUL),
+    Opcode.FDIV: OpInfo("fdiv", Format.FPOP2, InstrClass.FDIV, LAT_FDIV),
+    Opcode.FSQRT: OpInfo("fsqrt", Format.FPOP1, InstrClass.FSQRT, LAT_FSQRT),
+    Opcode.FNEG: OpInfo("fneg", Format.FPOP1, InstrClass.FALU, LAT_FALU),
+    Opcode.FABS: OpInfo("fabs", Format.FPOP1, InstrClass.FALU, LAT_FALU),
+    Opcode.FMOV: OpInfo("fmov", Format.FPOP1, InstrClass.FALU, LAT_FALU),
+    Opcode.FCMP: OpInfo("fcmp", Format.FCMP, InstrClass.FALU, LAT_FALU, sets_fcc=True),
+    Opcode.FITOD: OpInfo("fitod", Format.I2F, InstrClass.FALU, LAT_FALU),
+    Opcode.FDTOI: OpInfo("fdtoi", Format.F2I, InstrClass.FALU, LAT_FALU),
+    Opcode.BA: OpInfo("ba", Format.BRANCH, InstrClass.JUMP, LAT_JUMP),
+    Opcode.BN: OpInfo("bn", Format.BRANCH, InstrClass.NOP, LAT_IALU),
+    Opcode.BE: OpInfo("be", Format.BRANCH, InstrClass.BRANCH, LAT_BRANCH, reads_icc=True),
+    Opcode.BNE: OpInfo("bne", Format.BRANCH, InstrClass.BRANCH, LAT_BRANCH, reads_icc=True),
+    Opcode.BG: OpInfo("bg", Format.BRANCH, InstrClass.BRANCH, LAT_BRANCH, reads_icc=True),
+    Opcode.BLE: OpInfo("ble", Format.BRANCH, InstrClass.BRANCH, LAT_BRANCH, reads_icc=True),
+    Opcode.BGE: OpInfo("bge", Format.BRANCH, InstrClass.BRANCH, LAT_BRANCH, reads_icc=True),
+    Opcode.BL: OpInfo("bl", Format.BRANCH, InstrClass.BRANCH, LAT_BRANCH, reads_icc=True),
+    Opcode.BGU: OpInfo("bgu", Format.BRANCH, InstrClass.BRANCH, LAT_BRANCH, reads_icc=True),
+    Opcode.BLEU: OpInfo("bleu", Format.BRANCH, InstrClass.BRANCH, LAT_BRANCH, reads_icc=True),
+    Opcode.FBE: OpInfo("fbe", Format.BRANCH, InstrClass.BRANCH, LAT_BRANCH, reads_fcc=True),
+    Opcode.FBNE: OpInfo("fbne", Format.BRANCH, InstrClass.BRANCH, LAT_BRANCH, reads_fcc=True),
+    Opcode.FBL: OpInfo("fbl", Format.BRANCH, InstrClass.BRANCH, LAT_BRANCH, reads_fcc=True),
+    Opcode.FBLE: OpInfo("fble", Format.BRANCH, InstrClass.BRANCH, LAT_BRANCH, reads_fcc=True),
+    Opcode.FBG: OpInfo("fbg", Format.BRANCH, InstrClass.BRANCH, LAT_BRANCH, reads_fcc=True),
+    Opcode.FBGE: OpInfo("fbge", Format.BRANCH, InstrClass.BRANCH, LAT_BRANCH, reads_fcc=True),
+    Opcode.CALL: OpInfo("call", Format.CALL, InstrClass.JUMP, LAT_JUMP),
+    Opcode.JMPL: OpInfo("jmpl", Format.JMPL, InstrClass.JUMP, LAT_JUMP),
+    Opcode.NOP: OpInfo("nop", Format.NONE, InstrClass.NOP, LAT_IALU),
+    Opcode.OUT: OpInfo("out", Format.OUT, InstrClass.IALU, LAT_IALU),
+    Opcode.HALT: OpInfo("halt", Format.NONE, InstrClass.HALT, LAT_IALU),
+}
+
+#: Mnemonic -> opcode, for the assembler.
+MNEMONIC_TO_OPCODE: Dict[str, Opcode] = {
+    info.mnemonic: op for op, info in OPCODE_INFO.items()
+}
+
+#: Conditional branch opcodes (multi-target control transfers that the
+#: frontend predicts and records in the control-flow queue).
+CONDITIONAL_BRANCHES = frozenset(
+    op for op, info in OPCODE_INFO.items()
+    if info.iclass is InstrClass.BRANCH
+)
+
+#: Opcodes whose target is not known statically (indirect jumps).
+INDIRECT_JUMPS = frozenset({Opcode.JMPL})
+
+#: Opcodes whose 13-bit immediate is zero-extended rather than
+#: sign-extended (logical ops and shifts, MIPS-style, so that ``set``
+#: can build any 32-bit constant with ``sethi`` + ``or``).
+ZERO_EXT_IMM_OPS = frozenset({
+    Opcode.AND, Opcode.ANDCC, Opcode.OR, Opcode.ORCC,
+    Opcode.XOR, Opcode.XORCC, Opcode.SLL, Opcode.SRL, Opcode.SRA,
+})
+
+#: Width in bytes of each memory opcode's access.
+ACCESS_WIDTH: Dict[Opcode, int] = {
+    Opcode.LD: 4,
+    Opcode.LDB: 1,
+    Opcode.LDUB: 1,
+    Opcode.LDH: 2,
+    Opcode.LDUH: 2,
+    Opcode.ST: 4,
+    Opcode.STB: 1,
+    Opcode.STH: 2,
+    Opcode.LDF: 4,
+    Opcode.LDDF: 8,
+    Opcode.STF: 4,
+    Opcode.STDF: 8,
+}
+
+
+def opcode_info(op: Opcode) -> OpInfo:
+    """Return the :class:`OpInfo` for *op*."""
+    return OPCODE_INFO[op]

@@ -1,0 +1,113 @@
+"""Executable images.
+
+An :class:`Executable` is the output of the assembler and the input of
+every simulator: a binary text segment, an initialised data segment, a
+BSS size, an entry point, and a symbol table. The layout mimics a
+statically linked SPARC program (the paper instruments statically linked
+executables):
+
+=============  ==========================
+Segment        Default base address
+=============  ==========================
+text           ``0x0001_0000``
+data (+bss)    ``0x0004_0000``
+stack top      ``0x7FFF_F000`` (grows down)
+=============  ==========================
+
+The executable also owns the *decoded instruction cache*: all simulators
+(functional frontend, out-of-order model, configuration codec) fetch
+instructions through :meth:`Executable.instruction_at`, which decodes
+each text word once and memoises it. This mirrors FastSim's property
+that the instruction at an address can always be looked up from the
+(read-only) text image — the basis for compressing pipeline snapshots
+down to a start PC plus branch bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import EncodingError, MemoryFault
+from repro.isa.encoding import decode
+from repro.isa.instruction import Instruction
+
+TEXT_BASE = 0x0001_0000
+DATA_BASE = 0x0004_0000
+STACK_TOP = 0x7FFF_F000
+STACK_SIZE = 0x0010_0000
+
+
+@dataclass
+class Executable:
+    """A loadable program image."""
+
+    text: bytes
+    data: bytes = b""
+    bss_size: int = 0
+    text_base: int = TEXT_BASE
+    data_base: int = DATA_BASE
+    entry: Optional[int] = None
+    symbols: Dict[str, int] = field(default_factory=dict)
+    source_name: str = "<program>"
+
+    def __post_init__(self) -> None:
+        if len(self.text) % 4 != 0:
+            raise EncodingError("text segment length must be a multiple of 4")
+        if self.entry is None:
+            self.entry = self.text_base
+        self._decoded: List[Optional[Instruction]] = [None] * (len(self.text) // 4)
+
+    @property
+    def text_end(self) -> int:
+        """First address past the text segment."""
+        return self.text_base + len(self.text)
+
+    @property
+    def data_end(self) -> int:
+        """First address past initialised data and BSS."""
+        return self.data_base + len(self.data) + self.bss_size
+
+    def contains_text(self, address: int) -> bool:
+        """True if *address* falls inside the text segment."""
+        return self.text_base <= address < self.text_end
+
+    def instruction_at(self, address: int) -> Instruction:
+        """Decode (and memoise) the instruction at *address*.
+
+        Raises :class:`MemoryFault` for addresses outside the text
+        segment or not word aligned.
+        """
+        offset = address - self.text_base
+        if offset < 0 or offset >= len(self.text) or offset % 4 != 0:
+            raise MemoryFault(address, "instruction fetch outside text")
+        index = offset >> 2
+        cached = self._decoded[index]
+        if cached is None:
+            word = int.from_bytes(self.text[offset:offset + 4], "big")
+            cached = decode(word, address)
+            self._decoded[index] = cached
+        return cached
+
+    def instructions(self) -> List[Instruction]:
+        """Decode the whole text segment, in address order."""
+        return [
+            self.instruction_at(self.text_base + 4 * i)
+            for i in range(len(self.text) // 4)
+        ]
+
+    def symbol(self, name: str) -> int:
+        """Look up a label's address."""
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise KeyError(
+                f"no symbol {name!r} in {self.source_name}"
+            ) from None
+
+    def __repr__(self) -> str:
+        return (
+            f"Executable({self.source_name!r}, text={len(self.text)}B, "
+            f"data={len(self.data)}B, bss={self.bss_size}B, "
+            f"entry=0x{self.entry:x})"
+        )

@@ -1,0 +1,106 @@
+"""Register definitions for the toy SPARC-like ISA.
+
+The ISA has 32 logical integer registers and 32 logical floating-point
+registers. Register ``%g0`` (index 0) is hardwired to zero, as on SPARC.
+Unlike real SPARC v8 there are **no register windows** — the frontier
+between windows is irrelevant to the out-of-order timing model being
+reproduced, and a flat file keeps the rename logic honest (see DESIGN.md,
+"Substitutions").
+
+SPARC assembly names are accepted by the assembler:
+
+===========  =======================  =========================
+Name         Indices                  Conventional role
+===========  =======================  =========================
+``%g0-%g7``  0–7                      globals (``%g0`` == 0)
+``%o0-%o7``  8–15                     outgoing args / results
+``%l0-%l7``  16–23                    locals
+``%i0-%i7``  24–31                    incoming args
+``%f0-%f31`` 0–31 (FP file)           floating point
+===========  =======================  =========================
+
+Aliases: ``%sp`` == ``%o6``, ``%fp`` == ``%i6``, ``%ra`` == ``%o7``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+
+#: Index of the hardwired-zero integer register.
+ZERO_REG = 0
+
+#: Stack pointer (``%sp`` == ``%o6``).
+SP_REG = 14
+
+#: Frame pointer (``%fp`` == ``%i6``).
+FP_REG = 30
+
+#: Link register used by ``call`` (``%o7``).
+LINK_REG = 15
+
+
+def _build_int_names() -> Dict[str, int]:
+    names: Dict[str, int] = {}
+    for i in range(8):
+        names[f"g{i}"] = i
+        names[f"o{i}"] = 8 + i
+        names[f"l{i}"] = 16 + i
+        names[f"i{i}"] = 24 + i
+    for i in range(NUM_INT_REGS):
+        names[f"r{i}"] = i
+    names["sp"] = SP_REG
+    names["fp"] = FP_REG
+    names["ra"] = LINK_REG
+    return names
+
+
+def _build_fp_names() -> Dict[str, int]:
+    return {f"f{i}": i for i in range(NUM_FP_REGS)}
+
+
+#: Assembly name -> integer register index.
+INT_REG_NAMES: Dict[str, int] = _build_int_names()
+
+#: Assembly name -> floating point register index.
+FP_REG_NAMES: Dict[str, int] = _build_fp_names()
+
+#: Canonical printable name for each integer register index.
+INT_REG_CANONICAL = (
+    [f"g{i}" for i in range(8)]
+    + [f"o{i}" for i in range(8)]
+    + [f"l{i}" for i in range(8)]
+    + [f"i{i}" for i in range(8)]
+)
+
+
+def int_reg_name(index: int) -> str:
+    """Return the canonical SPARC-style name (``%g0`` …) for an index."""
+    if not 0 <= index < NUM_INT_REGS:
+        raise ValueError(f"integer register index out of range: {index}")
+    return "%" + INT_REG_CANONICAL[index]
+
+
+def fp_reg_name(index: int) -> str:
+    """Return the printable name (``%f0`` …) for an FP register index."""
+    if not 0 <= index < NUM_FP_REGS:
+        raise ValueError(f"fp register index out of range: {index}")
+    return f"%f{index}"
+
+
+def parse_int_reg(name: str) -> int:
+    """Parse an integer register name (with or without ``%``)."""
+    key = name.lstrip("%").lower()
+    if key not in INT_REG_NAMES:
+        raise ValueError(f"unknown integer register: {name!r}")
+    return INT_REG_NAMES[key]
+
+
+def parse_fp_reg(name: str) -> int:
+    """Parse a floating-point register name (with or without ``%``)."""
+    key = name.lstrip("%").lower()
+    if key not in FP_REG_NAMES:
+        raise ValueError(f"unknown fp register: {name!r}")
+    return FP_REG_NAMES[key]

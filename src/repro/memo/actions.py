@@ -1,0 +1,207 @@
+"""P-action cache node types (the recorded "simulator actions").
+
+Paper §4.2: the p-action cache stores a graph of configurations and
+action chains. Actions represent every way the μ-architecture simulator
+interacts with the outside world — advancing the cycle counter, calling
+the cache simulator, returning to direct execution, retiring
+instructions — linked in the order the detailed simulator produced
+them. Actions whose result can vary (a load's latency, a control
+record's outcome) hold an **edge table** mapping each outcome seen so
+far to its successor; an outcome not in the table terminates
+fast-forwarding (Figure 6's "not yet computed" branches).
+
+Node kinds:
+
+=====================  ====================================================
+:class:`ConfigNode`    a compressed iQ snapshot; the entry points of the
+                       graph and the resync anchors for fall-back
+:class:`AdvanceNode`   advance the cycle counter by a delta
+:class:`RetireNode`    retire instructions / advance queue cursors
+:class:`RollbackNode`  misprediction rollback of direct execution
+:class:`ControlNode`   consume a control record ("return to
+                       direct-execution") — outcome-keyed edges
+:class:`LoadIssueNode` issue a load to the cache simulator — edges keyed
+                       by the returned interval
+:class:`LoadPollNode`  poll a load — edges keyed by ready/interval
+:class:`StoreIssueNode` issue a store — edges keyed by accept interval
+:class:`EndNode`       the program's halt retired; simulation complete
+=====================  ====================================================
+
+Byte sizes are a *model* (this is a Python reproduction — the real
+objects are Python objects): configurations cost their paper-encoding
+length and actions a fixed overhead plus a per-extra-edge cost, so
+Table 5 and Figure 7 accounting is comparable with the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+#: Modelled bytes for one action node (first edge included).
+ACTION_BYTES = 16
+#: Modelled bytes for each additional outcome edge.
+EDGE_BYTES = 8
+
+
+class Node:
+    """Base class: every node knows its successor(s) and GC metadata."""
+
+    __slots__ = ("next", "touch_gen", "generation")
+
+    def __init__(self) -> None:
+        self.next: Optional[Node] = None
+        #: GC clock value when last traversed (for copying collection).
+        self.touch_gen = 0
+        #: 0 = young, 1 = old (for the generational collector).
+        self.generation = 0
+
+    is_config = False
+    is_outcome = False
+
+    def size_bytes(self) -> int:
+        return ACTION_BYTES
+
+
+class ConfigNode(Node):
+    """A memoized μ-architecture configuration."""
+
+    __slots__ = ("blob", "size")
+    is_config = True
+
+    def __init__(self, blob: bytes, size: int):
+        super().__init__()
+        self.blob = blob
+        self.size = size
+
+    def size_bytes(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        return f"<ConfigNode {len(self.blob)}B raw>"
+
+
+class AdvanceNode(Node):
+    """Advance the simulation cycle counter by *delta* cycles."""
+
+    __slots__ = ("delta",)
+
+    def __init__(self, delta: int):
+        super().__init__()
+        self.delta = delta
+
+    def __repr__(self) -> str:
+        return f"<Advance +{self.delta}>"
+
+
+class RetireNode(Node):
+    """Retire instructions; advances statistics and queue cursors."""
+
+    __slots__ = ("count", "loads", "stores", "controls", "branches")
+
+    def __init__(self, count: int, loads: int, stores: int, controls: int,
+                 branches: int):
+        super().__init__()
+        self.count = count
+        self.loads = loads
+        self.stores = stores
+        self.controls = controls
+        self.branches = branches
+
+    def __repr__(self) -> str:
+        return f"<Retire {self.count}>"
+
+
+class RollbackNode(Node):
+    """Roll direct execution back past a mispredicted branch."""
+
+    __slots__ = ("control_ordinal", "squashed_loads", "squashed_stores",
+                 "squashed_controls")
+
+    def __init__(self, control_ordinal: int, squashed_loads: int,
+                 squashed_stores: int, squashed_controls: int):
+        super().__init__()
+        self.control_ordinal = control_ordinal
+        self.squashed_loads = squashed_loads
+        self.squashed_stores = squashed_stores
+        self.squashed_controls = squashed_controls
+
+    def __repr__(self) -> str:
+        return f"<Rollback ord={self.control_ordinal}>"
+
+
+class OutcomeNode(Node):
+    """Base for nodes whose successor depends on the world's reply.
+
+    ``next`` is unused; successors live in ``edges``.
+    """
+
+    __slots__ = ("edges",)
+    is_outcome = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.edges: Dict[object, Node] = {}
+
+    def size_bytes(self) -> int:
+        return ACTION_BYTES + EDGE_BYTES * max(0, len(self.edges) - 1)
+
+
+class ControlNode(OutcomeNode):
+    """Consume the next control record (return to direct execution)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return f"<Control {len(self.edges)} outcomes>"
+
+
+class LoadIssueNode(OutcomeNode):
+    """Issue the load with iQ ordinal *ordinal* to the cache simulator."""
+
+    __slots__ = ("ordinal",)
+
+    def __init__(self, ordinal: int):
+        super().__init__()
+        self.ordinal = ordinal
+
+    def __repr__(self) -> str:
+        return f"<IssueLoad #{self.ordinal} {len(self.edges)} outcomes>"
+
+
+class LoadPollNode(OutcomeNode):
+    """Poll a previously issued load."""
+
+    __slots__ = ("ordinal",)
+
+    def __init__(self, ordinal: int):
+        super().__init__()
+        self.ordinal = ordinal
+
+    def __repr__(self) -> str:
+        return f"<PollLoad #{self.ordinal} {len(self.edges)} outcomes>"
+
+
+class StoreIssueNode(OutcomeNode):
+    """Issue the store with iQ ordinal *ordinal* to the cache simulator."""
+
+    __slots__ = ("ordinal",)
+
+    def __init__(self, ordinal: int):
+        super().__init__()
+        self.ordinal = ordinal
+
+    def __repr__(self) -> str:
+        return f"<IssueStore #{self.ordinal} {len(self.edges)} outcomes>"
+
+
+class EndNode(Node):
+    """Simulation finished; *delta* covers the trailing drain cycles."""
+
+    __slots__ = ("delta",)
+
+    def __init__(self, delta: int):
+        super().__init__()
+        self.delta = delta
+
+    def __repr__(self) -> str:
+        return f"<End +{self.delta}>"

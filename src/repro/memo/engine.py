@@ -1,0 +1,465 @@
+"""The fast-forwarding engine — memoized μ-architecture simulation.
+
+This is the reproduction of the paper's §4.2 machinery. The engine runs
+in two alternating modes:
+
+**Record (detailed) mode** pumps the :class:`DetailedSimulator`
+generator exactly like SlowSim, but additionally writes every
+interaction into the p-action cache: an :class:`AdvanceNode` whenever
+the acting cycle moved, then the interaction's node, with outcome-bearing
+interactions growing an edge per distinct result. At the end of any
+cycle that produced actions it snapshots the iQ into a configuration;
+if that configuration is already in the cache the chain is linked into
+the existing graph and the engine switches to —
+
+**Replay (fast-forward) mode**, which walks the recorded graph and
+executes the actions directly against the world — no iQ, no pipeline
+scan, no per-cycle work for quiet cycles. Outcome-bearing actions call
+the world and follow the edge matching the actual result; a result with
+no edge (or a chain pruned by a replacement policy) terminates
+fast-forwarding.
+
+**Fall-back/resync**: on termination the engine decodes the owning
+configuration back into a pipeline state, restarts a fresh detailed
+simulator from it, and silently re-feeds the outcomes logged since that
+configuration (no world side effects are repeated — the replayer
+already performed them). The simulator is deterministic given
+(configuration, outcome sequence), so after the last logged outcome it
+stands exactly at the divergence point, and recording continues along a
+new branch of the action chain — Figure 6's picture.
+
+Because record and replay drive the same world methods in the same
+order at the same cycle numbers, all simulated statistics are
+bit-identical with and without memoization; the test suite asserts this
+for every workload.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.isa.program import Executable
+from repro.memo.actions import (
+    AdvanceNode,
+    ConfigNode,
+    ControlNode,
+    EndNode,
+    LoadIssueNode,
+    LoadPollNode,
+    Node,
+    RetireNode,
+    RollbackNode,
+    StoreIssueNode,
+)
+from repro.memo.pcache import AttachPoint, PActionCache
+from repro.memo.policies import ReplacementPolicy, UnboundedPolicy
+from repro.sim.results import MemoStats
+from repro.sim.world import World
+from repro.uarch.config_codec import decode_config, encode_config
+from repro.uarch.detailed import DetailedSimulator
+from repro.uarch.interactions import (
+    CycleBoundary,
+    Finished,
+    GetControl,
+    IssueLoad,
+    IssueStore,
+    PollLoad,
+    Retire,
+    Rollback,
+)
+
+def _run_signature(executable: Executable, params) -> bytes:
+    """Identity used to prevent unsound p-action cache reuse.
+
+    Recorded actions encode the *timing* of one pipeline on one binary:
+    replaying them for a different text image or different processor
+    parameters would be silently wrong, so the cache is bound to both.
+    (Predictor and cache-simulator state need no binding — their
+    influence flows through outcome edges, which replay checks.)
+    """
+    import hashlib
+
+    digest = hashlib.sha256()
+    digest.update(executable.text)
+    digest.update(executable.text_base.to_bytes(4, "big"))
+    digest.update(repr(params).encode())
+    return digest.digest()
+
+
+#: Matching (request type, node type) pairs for resync verification.
+_REQUEST_FOR_NODE = {
+    ControlNode: GetControl,
+    LoadIssueNode: IssueLoad,
+    LoadPollNode: PollLoad,
+    StoreIssueNode: IssueStore,
+    RetireNode: Retire,
+    RollbackNode: Rollback,
+}
+
+
+class FastForwardEngine:
+    """Memoized simulation: detailed recording + fast-forward replay."""
+
+    def __init__(
+        self,
+        executable: Executable,
+        world: World,
+        pcache: Optional[PActionCache] = None,
+        policy: Optional[ReplacementPolicy] = None,
+    ):
+        self.executable = executable
+        self.world = world
+        self.params = world.params
+        self.cache = pcache if pcache is not None else PActionCache()
+        self.policy = policy if policy is not None else UnboundedPolicy()
+        self.memo = MemoStats()
+        self.max_cycles = 0
+
+    # ------------------------------------------------------------------
+
+    def run(self, max_cycles: int = 50_000_000) -> MemoStats:
+        """Simulate the program to completion."""
+        self.max_cycles = max_cycles
+        self.cache.bind_program(_run_signature(self.executable, self.params))
+        simulator = DetailedSimulator(self.executable, self.params)
+        blob = self._encode(simulator)
+        node = self.cache.lookup(blob)
+        if node is not None:
+            mode = ("replay", node)
+        else:
+            root = self.cache.alloc_config(blob)
+            mode = ("record", simulator, simulator.run(), (root, None),
+                    self.world.cycle, None, 0, False)
+
+        while True:
+            if mode[0] == "record":
+                _, sim, generator, attach, anchor, send, debt, since = mode
+                mode = self._record(sim, generator, attach, anchor, send,
+                                    debt, since)
+            elif mode[0] == "replay":
+                mode = self._replay(mode[1])
+            else:  # finished
+                self.memo.configs_allocated = self.cache.configs_allocated
+                self.memo.actions_allocated = self.cache.actions_allocated
+                self.memo.cache_bytes = self.cache.bytes_used
+                self.memo.peak_cache_bytes = self.cache.peak_bytes
+                self.memo.evictions = self.cache.collections
+                return self.memo
+
+    def _encode(self, simulator: DetailedSimulator) -> bytes:
+        return encode_config(
+            simulator.iq.entries,
+            simulator.fetch_pc,
+            simulator.fetch_stalled,
+            simulator.fetch_halted,
+        )
+
+    # ------------------------------------------------------------------
+    # Record (detailed) mode
+    # ------------------------------------------------------------------
+
+    def _record(self, simulator, generator, attach: Optional[AttachPoint],
+                anchor: int, send, cycle_debt: int,
+                actions_since_config: bool):
+        """Run the detailed simulator, recording its actions.
+
+        Returns the next mode tuple: ``("replay", node)`` when a known
+        configuration is reached, or ``("finished",)``.
+        """
+        world = self.world
+        cache = self.cache
+        memo = self.memo
+        actions_pending = attach is None  # force re-anchor after eviction
+
+        def record_node(node: Node):
+            nonlocal attach, anchor, actions_since_config
+            cycle = world.cycle
+            if cycle != anchor:
+                if attach is not None:
+                    advance = AdvanceNode(cycle - anchor)
+                    cache.alloc_action(advance)
+                    cache.attach(attach, advance)
+                    attach = (advance, None)
+                anchor = cycle
+            if attach is not None:
+                cache.alloc_action(node)
+                cache.attach(attach, node)
+            actions_since_config = True
+
+        while True:
+            try:
+                request = generator.send(send)
+            except StopIteration:  # pragma: no cover - protocol violation
+                raise SimulationError("detailed simulator ended unexpectedly")
+            send = None
+            kind = type(request)
+
+            if kind is CycleBoundary:
+                # Configurations may only be snapshotted when the world
+                # clock is in sync with the simulator's cycle (not while
+                # swallowing cycles the replayer already advanced).
+                if (actions_since_config or actions_pending) and cycle_debt == 0:
+                    blob = self._encode(simulator)
+                    existing = cache.lookup(blob)
+                    if existing is not None:
+                        cache.attach(attach, existing)
+                        return ("replay", existing)
+                    config = cache.alloc_config(blob)
+                    cache.attach(attach, config)
+                    attach = (config, None)
+                    anchor = world.cycle
+                    actions_since_config = False
+                    actions_pending = False
+                    if self.policy.maybe_collect(cache):
+                        # Node identities are stale: re-anchor at the
+                        # next configuration boundary.
+                        attach = None
+                        actions_pending = True
+                if cycle_debt > 0:
+                    cycle_debt -= 1  # replay already advanced this cycle
+                else:
+                    world.advance_cycles(1)
+                    memo.detailed_cycles += 1
+                if world.cycle > self.max_cycles:
+                    raise SimulationError(
+                        f"exceeded {self.max_cycles} simulated cycles"
+                    )
+            elif kind is GetControl:
+                node = ControlNode()
+                record_node(node)
+                record = world.get_control()
+                send = record
+                if attach is not None:
+                    attach = (node, record.outcome_key())
+            elif kind is IssueLoad:
+                node = LoadIssueNode(request.ordinal)
+                record_node(node)
+                interval = world.issue_load(request.ordinal)
+                send = interval
+                if attach is not None:
+                    attach = (node, interval)
+            elif kind is PollLoad:
+                node = LoadPollNode(request.ordinal)
+                record_node(node)
+                reply = world.poll_load(request.ordinal)
+                send = reply
+                if attach is not None:
+                    attach = (node, reply)
+            elif kind is IssueStore:
+                node = StoreIssueNode(request.ordinal)
+                record_node(node)
+                interval = world.issue_store(request.ordinal)
+                send = interval
+                if attach is not None:
+                    attach = (node, interval)
+            elif kind is Retire:
+                node = RetireNode(request.count, request.loads,
+                                  request.stores, request.controls,
+                                  request.branches)
+                record_node(node)
+                world.retire(request)
+                memo.detailed_instructions += request.count
+                if attach is not None:
+                    attach = (node, None)
+            elif kind is Rollback:
+                node = RollbackNode(request.control_ordinal,
+                                    request.squashed_loads,
+                                    request.squashed_stores,
+                                    request.squashed_controls)
+                record_node(node)
+                world.rollback(request)
+                if attach is not None:
+                    attach = (node, None)
+            elif kind is Finished:
+                end = EndNode(world.cycle - anchor)
+                if attach is not None:
+                    cache.alloc_action(end)
+                    cache.attach(attach, end)
+                return ("finished",)
+            else:  # pragma: no cover - protocol violation
+                raise SimulationError(f"unknown request {request!r}")
+
+    # ------------------------------------------------------------------
+    # Replay (fast-forward) mode
+    # ------------------------------------------------------------------
+
+    def _replay(self, entry: ConfigNode):
+        """Fast-forward along the memoized graph starting at *entry*.
+
+        Returns ``("record", ...)`` after a fall-back resync, or
+        ``("finished",)``.
+        """
+        world = self.world
+        cache = self.cache
+        memo = self.memo
+        memo.replay_episodes += 1
+        chain_length = 0
+        chain_log: List[Tuple[Node, object]] = []
+        last_blob: Optional[bytes] = None
+        log_anchor = world.cycle
+        position: Optional[Node] = entry
+        came_from: Optional[AttachPoint] = None
+
+        while True:
+            node = position
+            if node is None:
+                # Chain pruned by a replacement policy: re-record it.
+                memo.chain_lengths.append(chain_length)
+                return self._resync(last_blob, chain_log, came_from,
+                                    log_anchor)
+            cache.touch(node)
+            kind = type(node)
+
+            if kind is ConfigNode:
+                memo.configs_replayed += 1
+                chain_log = []
+                last_blob = node.blob
+                log_anchor = world.cycle
+                came_from = (node, None)
+                position = node.next
+                continue
+
+            if kind is AdvanceNode:
+                world.advance_cycles(node.delta)
+                memo.replayed_cycles += node.delta
+                if world.cycle > self.max_cycles:
+                    raise SimulationError(
+                        f"exceeded {self.max_cycles} simulated cycles"
+                    )
+                memo.actions_replayed += 1
+                chain_length += 1
+                came_from = (node, None)
+                position = node.next
+                continue
+
+            if kind is RetireNode:
+                world.retire(Retire(node.count, node.loads, node.stores,
+                                    node.controls, node.branches))
+                memo.replayed_instructions += node.count
+                memo.actions_replayed += 1
+                chain_length += 1
+                chain_log.append((node, None))
+                log_anchor = world.cycle
+                came_from = (node, None)
+                position = node.next
+                continue
+
+            if kind is RollbackNode:
+                world.rollback(Rollback(node.control_ordinal,
+                                        node.squashed_loads,
+                                        node.squashed_stores,
+                                        node.squashed_controls))
+                memo.actions_replayed += 1
+                chain_length += 1
+                chain_log.append((node, None))
+                log_anchor = world.cycle
+                came_from = (node, None)
+                position = node.next
+                continue
+
+            if kind is ControlNode:
+                record = world.get_control()
+                outcome_key = record.outcome_key()
+                memo.actions_replayed += 1
+                chain_length += 1
+                chain_log.append((node, record))
+                log_anchor = world.cycle
+                successor = node.edges.get(outcome_key)
+                if successor is None:
+                    memo.chain_lengths.append(chain_length)
+                    return self._resync(last_blob, chain_log,
+                                        (node, outcome_key), log_anchor)
+                came_from = (node, outcome_key)
+                position = successor
+                continue
+
+            if kind in (LoadIssueNode, LoadPollNode, StoreIssueNode):
+                if kind is LoadIssueNode:
+                    reply = world.issue_load(node.ordinal)
+                elif kind is LoadPollNode:
+                    reply = world.poll_load(node.ordinal)
+                else:
+                    reply = world.issue_store(node.ordinal)
+                memo.actions_replayed += 1
+                chain_length += 1
+                chain_log.append((node, reply))
+                log_anchor = world.cycle
+                successor = node.edges.get(reply)
+                if successor is None:
+                    memo.chain_lengths.append(chain_length)
+                    return self._resync(last_blob, chain_log,
+                                        (node, reply), log_anchor)
+                came_from = (node, reply)
+                position = successor
+                continue
+
+            if kind is EndNode:
+                world.advance_cycles(node.delta)
+                memo.replayed_cycles += node.delta
+                memo.actions_replayed += 1
+                chain_length += 1
+                memo.chain_lengths.append(chain_length)
+                return ("finished",)
+
+            raise SimulationError(  # pragma: no cover
+                f"unknown node {node!r} in p-action cache"
+            )
+
+    # ------------------------------------------------------------------
+    # Fall-back: resynchronise a fresh detailed simulator
+    # ------------------------------------------------------------------
+
+    def _resync(self, blob: Optional[bytes],
+                chain_log: List[Tuple[Node, object]],
+                attach: Optional[AttachPoint], log_anchor: int):
+        """Reconstruct detailed state at the divergence point.
+
+        Decodes the owning configuration, restarts a detailed simulator
+        from it, and re-feeds the logged outcomes **without** touching
+        the world (the replayer already performed those interactions).
+        Returns the record-mode tuple positioned exactly at the
+        divergence.
+        """
+        if blob is None:
+            raise SimulationError("fall-back before any configuration")
+        entries, fetch_pc, stalled, halted = decode_config(
+            blob, self.executable
+        )
+        simulator = DetailedSimulator(self.executable, self.params)
+        simulator.restore(entries, fetch_pc, stalled, halted)
+        generator = simulator.run()
+
+        send = None
+        for node, value in chain_log:
+            expected = _REQUEST_FOR_NODE[type(node)]
+            while True:
+                request = generator.send(send)
+                send = None
+                if type(request) is CycleBoundary:
+                    continue  # cycles were already counted during replay
+                break
+            if type(request) is not expected:
+                raise SimulationError(
+                    f"resync desync: simulator yielded {request!r}, "
+                    f"log has {node!r}"
+                )
+            if node.is_outcome:
+                send = value
+        # Align the world clock with the resumed simulator. The resumed
+        # generator's first cycle boundary ends cycle ``b0``:
+        # ``log_anchor`` when the prefix left the simulator mid-cycle
+        # (non-empty log), else the cycle after the owning configuration.
+        # Boundaries whose cycles the replayer already advanced past are
+        # "debt" and must be swallowed instead of advancing the clock;
+        # conversely, resuming exactly at a configuration owes the one
+        # advance the skipped record-mode boundary would have done.
+        world_cycle = self.world.cycle
+        anchor = world_cycle  # cycle of the last action on this branch
+        b0 = log_anchor if chain_log else log_anchor + 1
+        if world_cycle < b0:
+            self.world.advance_cycles(b0 - world_cycle)
+            self.memo.detailed_cycles += b0 - world_cycle
+        cycle_debt = max(0, world_cycle - b0)
+        return ("record", simulator, generator, attach, anchor,
+                send, cycle_debt, bool(chain_log))

@@ -1,0 +1,172 @@
+"""The p-action cache — configurations mapped to action chains.
+
+Owns the configuration index (compressed iQ snapshot → entry node), the
+modelled size accounting, and the allocation statistics that Table 5
+reports. Replacement decisions are delegated to a
+:class:`~repro.memo.policies.ReplacementPolicy`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.errors import MemoizationError
+from repro.memo.actions import (
+    ConfigNode,
+    EDGE_BYTES,
+    Node,
+    OutcomeNode,
+)
+from repro.uarch.config_codec import config_size_bytes
+
+#: An attachment point: (node, edge_key). ``edge_key`` is None for
+#: single-successor nodes, else the outcome value whose edge to set.
+AttachPoint = Tuple[Node, Optional[object]]
+
+
+class PActionCache:
+    """Graph of configurations and memoized simulator actions."""
+
+    def __init__(self) -> None:
+        self.index: Dict[bytes, ConfigNode] = {}
+        self.bytes_used = 0
+        self.peak_bytes = 0
+        #: Static allocation counters (Table 5).
+        self.configs_allocated = 0
+        self.actions_allocated = 0
+        #: Monotonic clock used for touch-based (GC) replacement.
+        self.touch_clock = 0
+        #: Number of flushes / collections performed.
+        self.collections = 0
+        #: Identity of the program this cache's configurations describe.
+        self._bound_program: Optional[bytes] = None
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    def bind_program(self, signature: bytes) -> None:
+        """Tie the cache to one program's text image.
+
+        Configurations encode instruction addresses, so replaying a
+        cache recorded for a different binary would be silently wrong;
+        sharing across runs is only legal for the same text.
+        """
+        if self._bound_program is None:
+            self._bound_program = signature
+        elif self._bound_program != signature:
+            raise MemoizationError(
+                "p-action cache was recorded for a different program; "
+                "create a fresh PActionCache per executable"
+            )
+
+    # -- lookup -----------------------------------------------------------
+
+    def lookup(self, blob: bytes) -> Optional[ConfigNode]:
+        """Find the configuration node for *blob*, touching it."""
+        node = self.index.get(blob)
+        if node is not None:
+            self.touch(node)
+        return node
+
+    def touch(self, node: Node) -> None:
+        """Mark *node* as used (replay traversal / recording)."""
+        self.touch_clock += 1
+        node.touch_gen = self.touch_clock
+
+    # -- allocation ----------------------------------------------------------
+
+    def _account(self, nbytes: int) -> None:
+        self.bytes_used += nbytes
+        if self.bytes_used > self.peak_bytes:
+            self.peak_bytes = self.bytes_used
+
+    def alloc_config(self, blob: bytes) -> ConfigNode:
+        """Allocate (and index) a new configuration node."""
+        if blob in self.index:
+            raise MemoizationError("configuration already allocated")
+        node = ConfigNode(blob, config_size_bytes(blob))
+        self.index[blob] = node
+        self.configs_allocated += 1
+        self._account(node.size_bytes())
+        self.touch(node)
+        return node
+
+    def alloc_action(self, node: Node) -> Node:
+        """Account for a freshly created action node."""
+        self.actions_allocated += 1
+        self._account(node.size_bytes())
+        self.touch(node)
+        return node
+
+    def account_edge(self, node: OutcomeNode) -> None:
+        """Account for an extra outcome edge added to *node*."""
+        if len(node.edges) > 1:
+            self._account(EDGE_BYTES)
+
+    def attach(self, point: Optional[AttachPoint], node: Node) -> None:
+        """Link *node* as the successor at *point* (no-op when None)."""
+        if point is None:
+            return
+        parent, key = point
+        if key is None:
+            if parent.is_outcome:
+                raise MemoizationError(
+                    f"outcome node {parent!r} needs an edge key"
+                )
+            parent.next = node
+        else:
+            if not parent.is_outcome:
+                raise MemoizationError(
+                    f"{parent!r} cannot hold outcome edges"
+                )
+            parent.edges[key] = node
+            self.account_edge(parent)
+
+    # -- wholesale replacement support ----------------------------------------
+
+    def clear(self) -> None:
+        """Drop everything (the flush-on-full policy)."""
+        self.index.clear()
+        self.bytes_used = 0
+        self.collections += 1
+
+    def rebuild(self, kept: Dict[bytes, ConfigNode]) -> None:
+        """Replace the index after a garbage collection and re-account.
+
+        The caller has already pruned dead successors from the kept
+        subgraph; this recomputes ``bytes_used`` by walking it.
+        """
+        self.index = kept
+        self.bytes_used = self._measure()
+        self.collections += 1
+
+    def _measure(self) -> int:
+        seen = set()
+        total = 0
+        stack = list(self.index.values())
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            total += node.size_bytes()
+            if node.is_outcome:
+                stack.extend(node.edges.values())
+            elif node.next is not None:
+                stack.append(node.next)
+        return total
+
+    def reachable_nodes(self):
+        """Iterate every node reachable from the configuration index."""
+        seen = set()
+        stack = list(self.index.values())
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            yield node
+            if node.is_outcome:
+                stack.extend(node.edges.values())
+            elif node.next is not None:
+                stack.append(node.next)

@@ -1,0 +1,259 @@
+"""P-action cache persistence — memoization that survives the process.
+
+FastSim's big caches are worth keeping: a simulation campaign that
+re-runs the same binary (regression timing, input sweeps with shared
+prefixes, repeated CI runs) can start fully warm. This module
+serialises the configuration→action graph to a flat record stream and
+back.
+
+Format (all integers big-endian):
+
+* header: magic ``FSPC``, u32 node count, u16 binding-signature length,
+  signature bytes;
+* one record per node, identified by a dense index. Single successors
+  and outcome edges reference nodes by index (``0xFFFFFFFF`` = none).
+  Outcome-edge keys are encoded by type tag (int / control-outcome
+  tuple).
+
+The binding signature (program text + processor parameters) is stored
+and re-imposed on load, so a persisted cache can never be replayed
+against the wrong binary or machine model.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import BinaryIO, Dict, List, Optional, Union
+
+from repro.errors import MemoizationError
+from repro.memo.actions import (
+    AdvanceNode,
+    ConfigNode,
+    ControlNode,
+    EndNode,
+    LoadIssueNode,
+    LoadPollNode,
+    Node,
+    RetireNode,
+    RollbackNode,
+    StoreIssueNode,
+)
+from repro.memo.pcache import PActionCache
+from repro.uarch.config_codec import config_size_bytes
+
+MAGIC = b"FSPC"
+_NONE = 0xFFFFFFFF
+
+_NODE_TAGS = {
+    ConfigNode: 0,
+    AdvanceNode: 1,
+    RetireNode: 2,
+    RollbackNode: 3,
+    ControlNode: 4,
+    LoadIssueNode: 5,
+    LoadPollNode: 6,
+    StoreIssueNode: 7,
+    EndNode: 8,
+}
+_TAG_NODES = {tag: cls for cls, tag in _NODE_TAGS.items()}
+
+# Edge-key type tags.
+_KEY_INT = 0
+_KEY_TUPLE = 1
+
+
+def _write_u32(stream: BinaryIO, value: int) -> None:
+    stream.write(value.to_bytes(4, "big"))
+
+
+def _write_i32(stream: BinaryIO, value: int) -> None:
+    stream.write(value.to_bytes(4, "big", signed=True))
+
+
+def _read_u32(stream: BinaryIO) -> int:
+    raw = stream.read(4)
+    if len(raw) != 4:
+        raise MemoizationError("truncated p-action cache file")
+    return int.from_bytes(raw, "big")
+
+
+def _read_i32(stream: BinaryIO) -> int:
+    raw = stream.read(4)
+    if len(raw) != 4:
+        raise MemoizationError("truncated p-action cache file")
+    return int.from_bytes(raw, "big", signed=True)
+
+
+def _write_key(stream: BinaryIO, key) -> None:
+    if isinstance(key, int):
+        stream.write(bytes([_KEY_INT]))
+        _write_i32(stream, key)
+    elif isinstance(key, tuple):
+        stream.write(bytes([_KEY_TUPLE]))
+        stream.write(bytes([len(key)]))
+        for item in key:
+            if isinstance(item, bool):
+                stream.write(b"b" + (b"\x01" if item else b"\x00"))
+            elif isinstance(item, int):
+                stream.write(b"i")
+                _write_i32(stream, item)
+            else:
+                raise MemoizationError(
+                    f"unsupported edge-key element {item!r}"
+                )
+    else:
+        raise MemoizationError(f"unsupported edge key {key!r}")
+
+
+def _read_key(stream: BinaryIO):
+    tag = stream.read(1)[0]
+    if tag == _KEY_INT:
+        return _read_i32(stream)
+    if tag == _KEY_TUPLE:
+        length = stream.read(1)[0]
+        items = []
+        for _ in range(length):
+            kind = stream.read(1)
+            if kind == b"b":
+                items.append(stream.read(1) == b"\x01")
+            elif kind == b"i":
+                items.append(_read_i32(stream))
+            else:
+                raise MemoizationError(f"bad key element tag {kind!r}")
+        return tuple(items)
+    raise MemoizationError(f"bad edge key tag {tag}")
+
+
+def _collect_nodes(cache: PActionCache) -> List[Node]:
+    ordered: List[Node] = []
+    seen = set()
+    stack: List[Node] = list(cache.index.values())
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        ordered.append(node)
+        if node.is_outcome:
+            stack.extend(node.edges.values())
+        elif node.next is not None:
+            stack.append(node.next)
+    return ordered
+
+
+def write_pcache(cache: PActionCache, stream: BinaryIO) -> None:
+    """Serialise *cache* (including its program binding) to *stream*."""
+    nodes = _collect_nodes(cache)
+    index_of: Dict[int, int] = {id(n): i for i, n in enumerate(nodes)}
+    signature = cache._bound_program or b""
+    stream.write(MAGIC)
+    _write_u32(stream, len(nodes))
+    stream.write(len(signature).to_bytes(2, "big"))
+    stream.write(signature)
+    for node in nodes:
+        kind = type(node)
+        stream.write(bytes([_NODE_TAGS[kind]]))
+        if kind is ConfigNode:
+            _write_u32(stream, len(node.blob))
+            stream.write(node.blob)
+        elif kind is AdvanceNode or kind is EndNode:
+            _write_u32(stream, node.delta)
+        elif kind is RetireNode:
+            for field in (node.count, node.loads, node.stores,
+                          node.controls, node.branches):
+                stream.write(bytes([field]))
+        elif kind is RollbackNode:
+            _write_u32(stream, node.control_ordinal)
+            for field in (node.squashed_loads, node.squashed_stores,
+                          node.squashed_controls):
+                stream.write(bytes([field]))
+        elif kind in (LoadIssueNode, LoadPollNode, StoreIssueNode):
+            _write_u32(stream, node.ordinal)
+        # ControlNode has no payload.
+        if node.is_outcome:
+            stream.write(len(node.edges).to_bytes(2, "big"))
+            for key, successor in node.edges.items():
+                _write_key(stream, key)
+                _write_u32(stream, index_of[id(successor)])
+        else:
+            _write_u32(
+                stream,
+                index_of[id(node.next)] if node.next is not None else _NONE,
+            )
+
+
+def read_pcache(stream: BinaryIO) -> PActionCache:
+    """Deserialise a cache written by :func:`write_pcache`."""
+    if stream.read(4) != MAGIC:
+        raise MemoizationError("not a p-action cache file")
+    count = _read_u32(stream)
+    sig_len = int.from_bytes(stream.read(2), "big")
+    signature = stream.read(sig_len)
+    nodes: List[Node] = []
+    links: List[Optional[object]] = []  # per node: int or [(key, int)]
+    for _ in range(count):
+        tag = stream.read(1)[0]
+        kind = _TAG_NODES.get(tag)
+        if kind is None:
+            raise MemoizationError(f"unknown node tag {tag}")
+        if kind is ConfigNode:
+            blob_len = _read_u32(stream)
+            blob = stream.read(blob_len)
+            node = ConfigNode(blob, config_size_bytes(blob))
+        elif kind is AdvanceNode:
+            node = AdvanceNode(_read_u32(stream))
+        elif kind is EndNode:
+            node = EndNode(_read_u32(stream))
+        elif kind is RetireNode:
+            fields = stream.read(5)
+            node = RetireNode(*fields)
+        elif kind is RollbackNode:
+            ordinal = _read_u32(stream)
+            fields = stream.read(3)
+            node = RollbackNode(ordinal, *fields)
+        elif kind is ControlNode:
+            node = ControlNode()
+        else:  # load issue / poll, store issue
+            node = kind(_read_u32(stream))
+        if node.is_outcome:
+            n_edges = int.from_bytes(stream.read(2), "big")
+            edge_links = []
+            for _ in range(n_edges):
+                key = _read_key(stream)
+                edge_links.append((key, _read_u32(stream)))
+            links.append(edge_links)
+        else:
+            links.append(_read_u32(stream))
+        nodes.append(node)
+
+    cache = PActionCache()
+    if signature:
+        cache.bind_program(signature)
+    for node, link in zip(nodes, links):
+        if node.is_outcome:
+            for key, target in link:
+                node.edges[key] = nodes[target]
+        elif link != _NONE:
+            node.next = nodes[link]
+        if type(node) is ConfigNode:
+            cache.index[node.blob] = node
+    cache.configs_allocated = sum(
+        1 for n in nodes if type(n) is ConfigNode
+    )
+    cache.actions_allocated = len(nodes) - cache.configs_allocated
+    cache.bytes_used = cache._measure()
+    cache.peak_bytes = cache.bytes_used
+    return cache
+
+
+def save_pcache(cache: PActionCache,
+                path: Union[str, "io.PathLike"]) -> None:
+    """Write *cache* to *path*."""
+    with open(path, "wb") as stream:
+        write_pcache(cache, stream)
+
+
+def load_pcache(path: Union[str, "io.PathLike"]) -> PActionCache:
+    """Read a cache from *path*."""
+    with open(path, "rb") as stream:
+        return read_pcache(stream)

@@ -1,0 +1,29 @@
+"""Top-level simulators: FastSim, SlowSim, and the integrated baseline."""
+
+from repro.sim.results import MemoStats, SimulationResult
+from repro.sim.slowsim import SlowSim
+from repro.sim.world import SimStats, World
+
+__all__ = [
+    "MemoStats",
+    "SimulationResult",
+    "SimStats",
+    "SlowSim",
+    "World",
+]
+
+
+def __getattr__(name):
+    if name == "FastSim":
+        from repro.sim.fastsim import FastSim
+
+        return FastSim
+    if name == "IntegratedSimulator":
+        from repro.sim.baseline import IntegratedSimulator
+
+        return IntegratedSimulator
+    if name in ("SamplingSimulator", "SamplingResult"):
+        from repro.sim import sampling
+
+        return getattr(sampling, name)
+    raise AttributeError(f"module 'repro.sim' has no attribute {name!r}")

@@ -1,0 +1,79 @@
+"""FastSim — speculative direct-execution plus memoized μ-architecture.
+
+The complete system of the paper: the speculative frontend records
+``lQ``/``sQ``/control-flow queues while the μ-architecture simulator's
+behaviour is recorded into — and fast-forwarded from — the p-action
+cache. Produces **exactly** the same cycle counts and statistics as
+:class:`~repro.sim.slowsim.SlowSim` (asserted by the test suite), an
+order of magnitude faster on loop-heavy code.
+
+A :class:`~repro.memo.PActionCache` can be shared across runs (pass
+``pcache=``) to start a run fully warm, and a replacement policy bounds
+its memory (paper §4.3)::
+
+    from repro import FastSim, assemble
+    from repro.memo import FlushOnFullPolicy
+
+    exe = assemble(source)
+    result = FastSim(exe, policy=FlushOnFullPolicy(1 << 20)).run()
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.branch.predictor import BranchPredictor
+from repro.isa.program import Executable
+from repro.memo.engine import FastForwardEngine
+from repro.memo.pcache import PActionCache
+from repro.memo.policies import ReplacementPolicy
+from repro.sim.results import SimulationResult
+from repro.sim.world import World
+from repro.uarch.params import ProcessorParams
+
+
+class FastSim:
+    """Memoized out-of-order simulation (the paper's full system)."""
+
+    name = "FastSim"
+
+    def __init__(
+        self,
+        executable: Executable,
+        params: Optional[ProcessorParams] = None,
+        predictor: Optional[BranchPredictor] = None,
+        policy: Optional[ReplacementPolicy] = None,
+        pcache: Optional[PActionCache] = None,
+    ):
+        self.executable = executable
+        self.params = params if params is not None else ProcessorParams.r10k()
+        self.world = World(executable, self.params, predictor)
+        self.engine = FastForwardEngine(
+            executable, self.world, pcache=pcache, policy=policy
+        )
+
+    @property
+    def pcache(self) -> PActionCache:
+        """The p-action cache (reusable across FastSim instances)."""
+        return self.engine.cache
+
+    def run(self, max_cycles: int = 50_000_000) -> SimulationResult:
+        """Simulate to completion; returns the result record."""
+        started = time.perf_counter()
+        memo = self.engine.run(max_cycles)
+        elapsed = time.perf_counter() - started
+        world = self.world
+        frontend = world.frontend
+        return SimulationResult(
+            name=self.name,
+            cycles=world.stats.cycles,
+            instructions=world.stats.retired_instructions,
+            output=list(world.program_output),
+            sim_stats=world.stats,
+            cache_stats=world.cache.stats,
+            host_seconds=elapsed,
+            frontend_instructions=frontend.executed_instructions,
+            rollbacks=frontend.rollbacks,
+            memo=memo,
+        )

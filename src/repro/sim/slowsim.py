@@ -1,0 +1,102 @@
+"""SlowSim — FastSim with memoization disabled (paper §5).
+
+*"SlowSim is FastSim with memoization disabled — the fast-forwarding
+simulator was turned off and no configurations were encoded or put in
+the p-action cache."* It still uses speculative direct-execution, so
+SlowSim / FastSim is exactly the speedup attributable to memoization
+(Table 2), and SlowSim / SimpleScalar-surrogate is the speedup from
+direct-execution alone (Table 3).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.branch.predictor import BranchPredictor
+from repro.errors import SimulationError
+from repro.isa.program import Executable
+from repro.sim.results import SimulationResult
+from repro.sim.world import World
+from repro.uarch.detailed import DetailedSimulator
+from repro.uarch.interactions import (
+    CycleBoundary,
+    Finished,
+    GetControl,
+    IssueLoad,
+    IssueStore,
+    PollLoad,
+    Retire,
+    Rollback,
+)
+from repro.uarch.params import ProcessorParams
+
+
+class SlowSim:
+    """Direct-execution out-of-order simulation, no memoization."""
+
+    name = "SlowSim"
+
+    def __init__(
+        self,
+        executable: Executable,
+        params: Optional[ProcessorParams] = None,
+        predictor: Optional[BranchPredictor] = None,
+    ):
+        self.executable = executable
+        self.params = params if params is not None else ProcessorParams.r10k()
+        self.world = World(executable, self.params, predictor)
+        self.simulator = DetailedSimulator(executable, self.params)
+
+    def run(self, max_cycles: int = 50_000_000) -> SimulationResult:
+        """Simulate to completion; returns the result record."""
+        world = self.world
+        generator = self.simulator.run()
+        started = time.perf_counter()
+        outcome = None
+        finished = False
+        while not finished:
+            try:
+                request = generator.send(outcome)
+            except StopIteration:
+                break
+            outcome = None
+            if type(request) is CycleBoundary:
+                world.advance_cycles(1)
+                if world.cycle > max_cycles:
+                    raise SimulationError(
+                        f"exceeded {max_cycles} simulated cycles"
+                    )
+            elif type(request) is GetControl:
+                outcome = world.get_control()
+            elif type(request) is IssueLoad:
+                outcome = world.issue_load(request.ordinal)
+            elif type(request) is PollLoad:
+                outcome = world.poll_load(request.ordinal)
+            elif type(request) is IssueStore:
+                outcome = world.issue_store(request.ordinal)
+            elif type(request) is Retire:
+                world.retire(request)
+            elif type(request) is Rollback:
+                world.rollback(request)
+            elif type(request) is Finished:
+                finished = True
+            else:  # pragma: no cover - protocol violation
+                raise SimulationError(f"unknown request {request!r}")
+        elapsed = time.perf_counter() - started
+        return self._result(elapsed)
+
+    def _result(self, elapsed: float) -> SimulationResult:
+        world = self.world
+        frontend = world.frontend
+        return SimulationResult(
+            name=self.name,
+            cycles=world.stats.cycles,
+            instructions=world.stats.retired_instructions,
+            output=list(world.program_output),
+            sim_stats=world.stats,
+            cache_stats=world.cache.stats,
+            host_seconds=elapsed,
+            frontend_instructions=frontend.executed_instructions,
+            rollbacks=frontend.rollbacks,
+        )

@@ -1,0 +1,201 @@
+"""The world adapter — everything outside the memoized μ-architecture.
+
+FastSim's p-action cache records how the μ-architecture simulator
+interacts with the rest of the system; the :class:`World` is that rest:
+the speculative direct-execution frontend, the cache simulator, the
+simulation cycle counter, and the statistics. Both the detailed
+recorder and the fast-forwarding replayer drive the *same* world
+methods in the same order, which is why replay "produces exactly the
+same results as the detailed simulation".
+
+The world also owns the **queue cursors** that turn the
+position-independent ordinals inside recorded actions into absolute
+frontend-queue indices:
+
+* ``lq_base`` / ``sq_base`` / ``cf_base`` count retired loads / stores /
+  control instructions — an ordinal is relative to these;
+* ``cf_fetched`` is the index of the next control record fetch will
+  consume. The frontend is kept exactly **one control event ahead** of
+  fetch (it runs when a consume leaves it level), which guarantees every
+  instruction fetch can see has already been functionally executed and
+  its ``lQ``/``sQ`` entries exist.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.branch.predictor import BimodalPredictor, BranchPredictor
+from repro.cache.hierarchy import MemorySystem
+from repro.emulator.frontend import SpeculativeFrontend
+from repro.emulator.queues import ControlRecord
+from repro.errors import SimulationError
+from repro.isa.program import Executable
+from repro.uarch.interactions import Retire, Rollback
+from repro.uarch.params import ProcessorParams
+
+
+class SimStats:
+    """Processor statistics, updated identically by record and replay."""
+
+    __slots__ = (
+        "cycles", "retired_instructions", "retired_loads", "retired_stores",
+        "retired_branches", "retired_controls", "mispredictions",
+        "squashed_entries",
+    )
+
+    def __init__(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SimStats):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"SimStats({fields})"
+
+
+class World:
+    """Frontend + cache + cycle counter + cursors + statistics."""
+
+    def __init__(
+        self,
+        executable: Executable,
+        params: Optional[ProcessorParams] = None,
+        predictor: Optional[BranchPredictor] = None,
+        state=None,
+        memory_system: Optional[MemorySystem] = None,
+        frontend_max_instructions: Optional[int] = None,
+    ):
+        self.params = params if params is not None else ProcessorParams.r10k()
+        if predictor is None:
+            predictor = BimodalPredictor(self.params.bht_entries)
+        self.predictor = predictor
+        # The frontend runs one control event ahead of fetch, so it can
+        # hold one checkpoint beyond the pipeline's speculation limit.
+        frontend_kwargs = {}
+        if frontend_max_instructions is not None:
+            frontend_kwargs["max_instructions"] = frontend_max_instructions
+        self.frontend = SpeculativeFrontend(
+            executable, predictor,
+            bq_capacity=self.params.max_spec_branches + 1,
+            state=state,
+            **frontend_kwargs,
+        )
+        self.cache = (memory_system if memory_system is not None
+                      else MemorySystem(self.params.memory))
+        self.stats = SimStats()
+        self.cycle = 0
+        self.lq_base = 0
+        self.sq_base = 0
+        self.cf_base = 0
+        self.cf_fetched = 0
+        self._tokens: Dict[int, int] = {}  # absolute lQ index -> cache token
+        # Prime the frontend: one control event ahead of fetch.
+        self._ensure_frontend_ahead()
+
+    # ------------------------------------------------------------------
+
+    def _ensure_frontend_ahead(self) -> None:
+        controls = self.frontend.queues.controls
+        while len(controls) <= self.cf_fetched:
+            self.frontend.run_one_event()
+
+    def advance_cycles(self, count: int) -> None:
+        """Advance simulated time (cycle boundaries / AdvanceCycles)."""
+        self.cycle += count
+        self.stats.cycles += count
+
+    # -- control flow ----------------------------------------------------
+
+    def get_control(self) -> ControlRecord:
+        """Consume the next control record for fetch; keep one ahead."""
+        controls = self.frontend.queues.controls
+        if self.cf_fetched >= len(controls):
+            raise SimulationError(
+                "fetch consumed past the frontend "
+                f"(index {self.cf_fetched}, have {len(controls)})"
+            )
+        record = controls[self.cf_fetched]
+        self.cf_fetched += 1
+        self._ensure_frontend_ahead()
+        return record
+
+    # -- memory ------------------------------------------------------------
+
+    def issue_load(self, ordinal: int) -> int:
+        """Issue the load with iQ ordinal *ordinal* to the cache."""
+        index = self.lq_base + ordinal
+        record = self.frontend.queues.loads[index]
+        token, interval = self.cache.issue_load(
+            record.address, record.width, self.cycle
+        )
+        self._tokens[index] = token
+        return interval
+
+    def poll_load(self, ordinal: int) -> int:
+        """Poll a previously issued load; 0 = ready."""
+        index = self.lq_base + ordinal
+        try:
+            token = self._tokens[index]
+        except KeyError:
+            raise SimulationError(
+                f"poll for load {index} which was never issued"
+            ) from None
+        reply = self.cache.poll_load(token, self.cycle)
+        if reply == 0:
+            del self._tokens[index]
+        return reply
+
+    def issue_store(self, ordinal: int) -> int:
+        """Issue the store with iQ ordinal *ordinal* to the cache."""
+        index = self.sq_base + ordinal
+        record = self.frontend.queues.stores[index]
+        return self.cache.issue_store(record.address, record.width, self.cycle)
+
+    # -- retirement and rollback ---------------------------------------------
+
+    def retire(self, request: Retire) -> None:
+        """Advance cursors and statistics for retired instructions."""
+        self.lq_base += request.loads
+        self.sq_base += request.stores
+        self.cf_base += request.controls
+        stats = self.stats
+        stats.retired_instructions += request.count
+        stats.retired_loads += request.loads
+        stats.retired_stores += request.stores
+        stats.retired_branches += request.branches
+        stats.retired_controls += request.controls
+
+    def rollback(self, request: Rollback) -> None:
+        """A mispredicted branch resolved: roll the frontend back."""
+        control_index = self.cf_base + request.control_ordinal
+        record = self.frontend.queues.controls[control_index]
+        # Cancel cache bookkeeping for squashed (wrong-path) loads.
+        squashed_tokens = [
+            index for index in self._tokens if index >= record.lq_len
+        ]
+        for index in squashed_tokens:
+            self.cache.cancel_load(self._tokens.pop(index))
+        self.frontend.rollback_to(control_index)
+        self.cf_fetched = control_index + 1
+        self._ensure_frontend_ahead()
+        stats = self.stats
+        stats.mispredictions += 1
+        stats.squashed_entries += (
+            request.squashed_loads + request.squashed_stores
+            + request.squashed_controls
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def program_output(self):
+        """Values the program emitted via ``out``."""
+        return self.frontend.state.output

@@ -1,0 +1,433 @@
+"""The detailed, cycle-accurate out-of-order pipeline simulator.
+
+Models a MIPS R10000-like core (paper Figure 1 / Table 1): 4-wide fetch,
+decode, and retire; 16-entry integer, floating-point, and address
+queues; 2 integer ALUs, 2 FPUs, and one load/store address adder;
+64 + 64 physical registers; speculation through up to 4 conditional
+branches; and non-blocking caches reached through the issue/poll
+interface of :class:`repro.cache.MemorySystem`.
+
+Two properties are load-bearing for memoization (paper §4.1):
+
+1. **The iQ is the only state carried between cycles.** Register
+   renaming, issue-queue occupancy, functional-unit availability, the
+   speculative-branch count, and the fetch PC are all *recomputed every
+   cycle* from the iQ (the fetch PC is cached in an attribute but is a
+   pure function of the youngest iQ entry and is rebuilt on restore).
+2. **All interaction with the outside goes through yielded
+   requests** (:mod:`repro.uarch.interactions`): the simulator is a
+   generator that yields requests and receives outcomes, so its
+   behaviour is a deterministic function of (iQ state, outcome
+   sequence). That is what the p-action cache records and replays.
+
+Model simplifications (documented in DESIGN.md): in-order dispatch
+stalls at the first blocked instruction; multiply/divide share one
+non-pipelined slot (as do FP divide/sqrt); loads may not issue to the
+cache before every older store has issued, and stores do not issue
+speculatively under an unresolved branch — an address-blind ordering
+policy, keeping data addresses out of the μ-architecture exactly as
+FastSim does.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.emulator.queues import ControlKind, ControlRecord
+from repro.errors import SimulationError
+from repro.isa.opcodes import InstrClass, LAT_AGEN
+from repro.isa.program import Executable
+from repro.uarch.interactions import (
+    CycleBoundary,
+    Finished,
+    GetControl,
+    IssueLoad,
+    IssueStore,
+    PollLoad,
+    Request,
+    Retire,
+    Rollback,
+)
+from repro.uarch.iq import (
+    ADDR_QUEUE_CLASSES,
+    FP_QUEUE_CLASSES,
+    IQEntry,
+    InstructionQueue,
+    Stage,
+)
+from repro.uarch.params import ProcessorParams
+
+#: Instruction classes that share the single multiply/divide slot.
+_MULDIV = (InstrClass.IMUL, InstrClass.IDIV)
+#: Instruction classes that share the single FP divide/sqrt slot.
+_FDIVSQRT = (InstrClass.FDIV, InstrClass.FSQRT)
+
+
+class DetailedSimulator:
+    """Cycle-by-cycle out-of-order pipeline model (a generator)."""
+
+    def __init__(self, executable: Executable,
+                 params: Optional[ProcessorParams] = None):
+        self.executable = executable
+        self.params = params if params is not None else ProcessorParams.r10k()
+        self.iq = InstructionQueue(self.params.iq_capacity)
+        self.fetch_pc: Optional[int] = executable.entry
+        self.fetch_stalled = False  #: waiting for an indirect jump
+        self.fetch_halted = False  #: a halt instruction was fetched
+
+    # ------------------------------------------------------------------
+    # Restore (used when fast-forwarding falls back to detailed mode)
+    # ------------------------------------------------------------------
+
+    def restore(self, iq_entries, fetch_pc, fetch_stalled,
+                fetch_halted) -> None:
+        """Adopt a decoded configuration as the current pipeline state."""
+        self.iq = InstructionQueue(self.params.iq_capacity)
+        self.iq.extend(iq_entries)
+        self.fetch_pc = fetch_pc
+        self.fetch_stalled = fetch_stalled
+        self.fetch_halted = fetch_halted
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> Generator[Request, object, None]:
+        """Simulate cycles until the program's halt retires.
+
+        Yields :class:`Request` objects; the driver must ``send()`` the
+        outcome (or None for outcome-less requests).
+        """
+        while True:
+            finished = yield from self._step_cycle()
+            yield CycleBoundary()
+            if finished:
+                yield Finished()
+                return
+
+    # ------------------------------------------------------------------
+    # One cycle
+    # ------------------------------------------------------------------
+
+    def _step_cycle(self):
+        finished = yield from self._retire()
+        if finished:
+            return True
+        yield from self._progress_execution()
+        self._issue()
+        self._dispatch()
+        yield from self._fetch()
+        return False
+
+    # -- phase 1: retire --------------------------------------------------
+
+    def _retire(self):
+        iq = self.iq
+        count = 0
+        while (count < self.params.retire_width and count < len(iq)
+               and iq[count].stage is Stage.DONE):
+            count += 1
+        if not count:
+            return False
+        retired = iq.retire_head(count)
+        loads = sum(1 for e in retired if e.is_load)
+        stores = sum(1 for e in retired if e.is_store)
+        controls = sum(1 for e in retired if e.consumes_control)
+        branches = sum(1 for e in retired if e.is_cond_branch)
+        halted = any(e.is_halt for e in retired)
+        yield Retire(count, loads, stores, controls, branches)
+        if halted:
+            if len(iq):
+                raise SimulationError(
+                    "halt retired with younger instructions in flight"
+                )
+            return True
+        return False
+
+    # -- phase 2: execution progress ---------------------------------------
+
+    def _progress_execution(self):
+        iq = self.iq
+        index = 0
+        while index < len(iq.entries):
+            entry = iq.entries[index]
+            stage = entry.stage
+            if stage is Stage.EXEC:
+                entry.timer -= 1
+                if entry.timer <= 0:
+                    yield from self._complete_execution(index, entry)
+            elif stage is Stage.CACHE:
+                entry.timer -= 1
+                if entry.timer <= 0:
+                    reply = yield PollLoad(iq.load_ordinal(index))
+                    if reply == 0:
+                        entry.stage = Stage.DONE
+                    else:
+                        entry.timer = reply
+            elif stage is Stage.STWAIT:
+                entry.timer -= 1
+                if entry.timer <= 0:
+                    entry.stage = Stage.DONE
+            index += 1
+
+    def _complete_execution(self, index: int, entry: IQEntry):
+        iq = self.iq
+        if entry.is_load:
+            interval = yield IssueLoad(iq.load_ordinal(index))
+            entry.stage = Stage.CACHE
+            entry.timer = interval
+            return
+        if entry.is_store:
+            interval = yield IssueStore(iq.store_ordinal(index))
+            entry.stage = Stage.STWAIT
+            entry.timer = interval
+            return
+        if entry.is_cond_branch and entry.mispredicted:
+            yield from self._resolve_misprediction(index, entry)
+            return
+        entry.stage = Stage.DONE
+        if entry.is_indirect and self.fetch_stalled and index == len(iq) - 1:
+            # Fetch was waiting on this jump's target.
+            self.fetch_stalled = False
+            self.fetch_pc = entry.jump_target
+
+    def _resolve_misprediction(self, index: int, entry: IQEntry):
+        iq = self.iq
+        entry.stage = Stage.DONE
+        actual_taken = not entry.pred_taken
+        # From now on the stored bit describes the (corrected) fetch path.
+        entry.pred_taken = actual_taken
+        entry.mispredicted = False
+        control_ordinal = iq.control_ordinal(index)
+        squashed = iq.squash_after(index)
+        yield Rollback(
+            control_ordinal,
+            squashed_loads=sum(1 for e in squashed if e.is_load),
+            squashed_stores=sum(1 for e in squashed if e.is_store),
+            squashed_controls=sum(1 for e in squashed if e.consumes_control),
+        )
+        instr = entry.instr
+        self.fetch_pc = instr.target if actual_taken else instr.fall_through
+        self.fetch_stalled = False
+        self.fetch_halted = False
+
+    # -- phase 3: issue ------------------------------------------------------
+
+    def _issue(self) -> None:
+        params = self.params
+        iq = self.iq
+        int_slots = params.int_alus
+        fp_slots = params.fp_units
+        agen_slots = params.agen_units
+        muldiv_busy = any(
+            e.stage is Stage.EXEC and e.iclass in _MULDIV for e in iq.entries
+        )
+        fdiv_busy = any(
+            e.stage is Stage.EXEC and e.iclass in _FDIVSQRT
+            for e in iq.entries
+        )
+        undone_int = set()
+        undone_fp = set()
+        icc_undone = False
+        fcc_undone = False
+        stores_unissued = 0
+        branch_unresolved = False
+
+        for entry in iq.entries:
+            if entry.stage is Stage.QUEUE:
+                if self._try_issue(
+                    entry, undone_int, undone_fp, icc_undone, fcc_undone,
+                    stores_unissued, branch_unresolved,
+                    int_slots, fp_slots, agen_slots, muldiv_busy, fdiv_busy,
+                ):
+                    iclass = entry.iclass
+                    if iclass in ADDR_QUEUE_CLASSES:
+                        agen_slots -= 1
+                    elif iclass in FP_QUEUE_CLASSES:
+                        fp_slots -= 1
+                        if iclass in _FDIVSQRT:
+                            fdiv_busy = True
+                    else:
+                        int_slots -= 1
+                        if iclass in _MULDIV:
+                            muldiv_busy = True
+            # Scan-state updates (after considering this entry for issue).
+            if entry.stage is not Stage.DONE:
+                instr = entry.instr
+                dest = instr.int_dest()
+                if dest is not None:
+                    undone_int.add(dest)
+                fp_dest = instr.fp_dest()
+                if fp_dest is not None:
+                    undone_fp.add(fp_dest)
+                info = instr.info
+                if info.sets_icc:
+                    icc_undone = True
+                if info.sets_fcc:
+                    fcc_undone = True
+                if entry.is_cond_branch:
+                    branch_unresolved = True
+            if entry.is_store and entry.stage in (Stage.QUEUE, Stage.EXEC):
+                stores_unissued += 1
+
+    def _try_issue(self, entry, undone_int, undone_fp, icc_undone,
+                   fcc_undone, stores_unissued, branch_unresolved,
+                   int_slots, fp_slots, agen_slots,
+                   muldiv_busy, fdiv_busy) -> bool:
+        """Issue *entry* if operands, ordering, and a unit allow. Returns
+        True when the entry moved to EXEC."""
+        instr = entry.instr
+        info = instr.info
+        # Operand readiness: every source must have no in-flight producer.
+        for reg in instr.int_sources():
+            if reg in undone_int:
+                return False
+        for reg in instr.fp_sources():
+            if reg in undone_fp:
+                return False
+        if info.reads_icc and icc_undone:
+            return False
+        if info.reads_fcc and fcc_undone:
+            return False
+
+        iclass = entry.iclass
+        if iclass in ADDR_QUEUE_CLASSES:
+            if agen_slots <= 0:
+                return False
+            if entry.is_load and stores_unissued:
+                return False  # address-blind ordering: wait for stores
+            if entry.is_store and branch_unresolved:
+                return False  # stores never issue speculatively
+            entry.stage = Stage.EXEC
+            entry.timer = LAT_AGEN
+            return True
+        if iclass in FP_QUEUE_CLASSES:
+            if fp_slots <= 0:
+                return False
+            if iclass in _FDIVSQRT and fdiv_busy:
+                return False
+            entry.stage = Stage.EXEC
+            entry.timer = info.latency
+            return True
+        # Integer queue classes (ALU, mul/div, branches, jumps, nop, halt).
+        if int_slots <= 0:
+            return False
+        if iclass in _MULDIV and muldiv_busy:
+            return False
+        entry.stage = Stage.EXEC
+        entry.timer = info.latency
+        return True
+
+    # -- phase 4: dispatch (decode) --------------------------------------------
+
+    def _dispatch(self) -> None:
+        params = self.params
+        iq = self.iq
+        int_q = fp_q = addr_q = 0
+        int_renames = fp_renames = 0
+        for entry in iq.entries:
+            iclass = entry.iclass
+            if entry.stage is Stage.QUEUE:
+                if iclass in ADDR_QUEUE_CLASSES:
+                    addr_q += 1
+                elif iclass in FP_QUEUE_CLASSES:
+                    fp_q += 1
+                else:
+                    int_q += 1
+            elif (iclass in ADDR_QUEUE_CLASSES
+                  and entry.stage in (Stage.EXEC, Stage.CACHE, Stage.STWAIT)):
+                # Address-queue entries are held until completion.
+                addr_q += 1
+            if entry.stage is not Stage.FETCHED:
+                if entry.instr.int_dest() is not None:
+                    int_renames += 1
+                if entry.instr.fp_dest() is not None:
+                    fp_renames += 1
+
+        dispatched = 0
+        for entry in iq.entries:
+            if entry.stage is not Stage.FETCHED:
+                continue
+            if dispatched >= params.decode_width:
+                break
+            instr = entry.instr
+            iclass = entry.iclass
+            if iclass in ADDR_QUEUE_CLASSES:
+                if addr_q >= params.addr_queue:
+                    break
+                addr_q += 1
+            elif iclass in FP_QUEUE_CLASSES:
+                if fp_q >= params.fp_queue:
+                    break
+                fp_q += 1
+            else:
+                if int_q >= params.int_queue:
+                    break
+                int_q += 1
+            if instr.int_dest() is not None:
+                if int_renames >= params.int_renames:
+                    break
+                int_renames += 1
+            if instr.fp_dest() is not None:
+                if fp_renames >= params.fp_renames:
+                    break
+                fp_renames += 1
+            entry.stage = Stage.QUEUE
+            dispatched += 1
+
+    # -- phase 5: fetch -----------------------------------------------------------
+
+    def _fetch(self):
+        if self.fetch_halted or self.fetch_stalled or self.fetch_pc is None:
+            return
+        params = self.params
+        iq = self.iq
+        fetched = 0
+        unresolved = iq.unresolved_branches()
+        while fetched < params.fetch_width and not iq.full:
+            instr = self.executable.instruction_at(self.fetch_pc)
+            if instr.is_conditional_branch:
+                if unresolved >= params.max_spec_branches:
+                    break  # speculation limit: stall until one resolves
+                unresolved += 1
+            entry = IQEntry(instr)
+            if entry.consumes_control:
+                record = yield GetControl()
+                self._apply_control_record(entry, record)
+            iq.append(entry)
+            fetched += 1
+            if entry.is_halt:
+                self.fetch_halted = True
+                self.fetch_pc = None
+                break
+            next_pc = entry.next_fetch_address()
+            if next_pc is None:
+                self.fetch_stalled = True  # unresolved indirect jump
+                self.fetch_pc = None
+                break
+            taken_transfer = next_pc != instr.fall_through
+            self.fetch_pc = next_pc
+            if taken_transfer:
+                break  # one fetch group does not follow a taken branch
+
+    def _apply_control_record(self, entry: IQEntry,
+                              record: ControlRecord) -> None:
+        instr = entry.instr
+        if entry.is_cond_branch:
+            if record.kind is not ControlKind.COND or record.pc != instr.address:
+                raise SimulationError(
+                    f"control record mismatch at 0x{instr.address:x}: {record}"
+                )
+            entry.pred_taken = record.predicted_taken
+            entry.mispredicted = record.mispredicted
+        elif entry.is_indirect:
+            if record.kind is not ControlKind.INDIRECT or record.pc != instr.address:
+                raise SimulationError(
+                    f"control record mismatch at 0x{instr.address:x}: {record}"
+                )
+            entry.jump_target = record.target
+        else:  # halt
+            if record.kind is not ControlKind.HALT:
+                raise SimulationError(
+                    f"expected HALT record at 0x{instr.address:x}, got {record}"
+                )

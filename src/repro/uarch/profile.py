@@ -1,0 +1,134 @@
+"""Pipeline profiling — utilization analysis over per-cycle snapshots.
+
+Answers the questions an architect asks after a run: how full was the
+window, where did instructions spend their time, how often did each
+functional-unit class execute, how bursty was retirement? Built on
+:class:`~repro.uarch.trace.PipelineTracer` (detailed simulation only —
+profiles want every cycle), with no changes to the memoized core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.branch.predictor import BranchPredictor
+from repro.isa.opcodes import InstrClass
+from repro.isa.program import Executable
+from repro.uarch.iq import Stage
+from repro.uarch.params import ProcessorParams
+from repro.uarch.trace import CycleSnapshot, PipelineTracer
+
+
+@dataclass
+class PipelineProfile:
+    """Aggregated per-cycle pipeline statistics."""
+
+    cycles: int = 0
+    retired: int = 0
+    #: occupancy histogram: iQ size -> cycles at that size
+    occupancy: Dict[int, int] = field(default_factory=dict)
+    #: stage -> total entry-cycles spent in that stage
+    stage_cycles: Dict[Stage, int] = field(default_factory=dict)
+    #: instruction class -> entry-cycles in EXEC
+    exec_cycles_by_class: Dict[InstrClass, int] = field(default_factory=dict)
+    #: retire-group-size histogram: instructions retired in a cycle -> cycles
+    retire_groups: Dict[int, int] = field(default_factory=dict)
+    _last_retired: int = 0
+
+    # ------------------------------------------------------------------
+
+    def observe(self, snapshot: CycleSnapshot) -> None:
+        """Fold one cycle's snapshot into the profile."""
+        self.cycles += 1
+        size = snapshot.occupancy()
+        self.occupancy[size] = self.occupancy.get(size, 0) + 1
+        for entry in snapshot.entries:
+            stage = entry.stage
+            self.stage_cycles[stage] = self.stage_cycles.get(stage, 0) + 1
+            if stage is Stage.EXEC:
+                iclass = entry.iclass
+                self.exec_cycles_by_class[iclass] = (
+                    self.exec_cycles_by_class.get(iclass, 0) + 1
+                )
+        delta = snapshot.retired_so_far - self._last_retired
+        self._last_retired = snapshot.retired_so_far
+        self.retire_groups[delta] = self.retire_groups.get(delta, 0) + 1
+        self.retired = snapshot.retired_so_far
+
+    # -- derived metrics ---------------------------------------------------
+
+    @property
+    def mean_occupancy(self) -> float:
+        if not self.cycles:
+            return 0.0
+        return sum(size * n for size, n in self.occupancy.items()) / self.cycles
+
+    @property
+    def ipc(self) -> float:
+        return self.retired / self.cycles if self.cycles else 0.0
+
+    def stage_fraction(self, stage: Stage) -> float:
+        """Fraction of in-flight entry-cycles spent in *stage*."""
+        total = sum(self.stage_cycles.values())
+        if not total:
+            return 0.0
+        return self.stage_cycles.get(stage, 0) / total
+
+    def unit_utilization(self, iclass: InstrClass, units: int) -> float:
+        """EXEC-cycles for *iclass* over total cycles × *units*."""
+        if not self.cycles or not units:
+            return 0.0
+        busy = self.exec_cycles_by_class.get(iclass, 0)
+        return busy / (self.cycles * units)
+
+    def render(self, params: Optional[ProcessorParams] = None) -> str:
+        """Human-readable profile report."""
+        lines = [
+            "Pipeline profile",
+            f"  cycles           : {self.cycles}",
+            f"  retired          : {self.retired}  (IPC {self.ipc:.2f})",
+            f"  mean iQ occupancy: {self.mean_occupancy:.1f}",
+            "  in-flight time by stage:",
+        ]
+        for stage in Stage:
+            fraction = self.stage_fraction(stage)
+            if fraction:
+                lines.append(f"    {stage.name:8s} {100 * fraction:5.1f}%")
+        if params is not None:
+            lines.append("  functional-unit utilization:")
+            groups = [
+                ("int ALUs", (InstrClass.IALU, InstrClass.IMUL,
+                              InstrClass.IDIV, InstrClass.BRANCH,
+                              InstrClass.JUMP, InstrClass.NOP,
+                              InstrClass.HALT), params.int_alus),
+                ("FP units", (InstrClass.FALU, InstrClass.FMUL,
+                              InstrClass.FDIV, InstrClass.FSQRT),
+                 params.fp_units),
+                ("agen", (InstrClass.LOAD, InstrClass.STORE),
+                 params.agen_units),
+            ]
+            for label, classes, units in groups:
+                busy = sum(self.exec_cycles_by_class.get(c, 0)
+                           for c in classes)
+                utilization = busy / (self.cycles * units) if self.cycles else 0
+                lines.append(f"    {label:8s} {100 * utilization:5.1f}%")
+        lines.append("  retire-group histogram:")
+        for size in sorted(self.retire_groups):
+            lines.append(
+                f"    {size} wide: {self.retire_groups[size]} cycles"
+            )
+        return "\n".join(lines)
+
+
+def profile_pipeline(
+    executable: Executable,
+    params: Optional[ProcessorParams] = None,
+    predictor: Optional[BranchPredictor] = None,
+    max_cycles: int = 100_000,
+) -> PipelineProfile:
+    """Run *executable* under the detailed model, collecting a profile."""
+    profile = PipelineProfile()
+    tracer = PipelineTracer(executable, params, predictor)
+    tracer.run(profile.observe, max_cycles=max_cycles)
+    return profile

@@ -1,0 +1,158 @@
+"""Pipeline tracing — human-readable per-cycle iQ dumps for debugging.
+
+A simulator library needs a way to *see* the pipeline. The tracer runs
+the detailed simulator (no memoization — traces want every cycle) and
+renders each cycle's iQ as one line per in-flight instruction::
+
+    cycle 14
+      [ 0] 0x00010010  add %l1, %l0, %l1      EXEC   t=1
+      [ 1] 0x00010014  subcc %l0, 1, %l0      QUEUE
+      [ 2] 0x00010018  bne 0x10010            FETCHED  pred=T
+
+Use :func:`trace_pipeline` for a list of rendered cycles, or
+:class:`PipelineTracer` to observe cycles programmatically (e.g. to
+assert on occupancy in tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.branch.predictor import BranchPredictor
+from repro.isa.disasm import format_instruction
+from repro.isa.program import Executable
+from repro.uarch.detailed import DetailedSimulator
+from repro.uarch.interactions import (
+    CycleBoundary,
+    Finished,
+    GetControl,
+    IssueLoad,
+    IssueStore,
+    PollLoad,
+    Retire,
+    Rollback,
+)
+from repro.uarch.iq import IQEntry, Stage
+from repro.uarch.params import ProcessorParams
+
+
+@dataclass
+class CycleSnapshot:
+    """The pipeline contents at the end of one cycle."""
+
+    cycle: int
+    entries: List[IQEntry]
+    retired_so_far: int
+
+    def occupancy(self) -> int:
+        return len(self.entries)
+
+    def count_stage(self, stage: Stage) -> int:
+        return sum(1 for e in self.entries if e.stage is stage)
+
+
+def _copy_entry(entry: IQEntry) -> IQEntry:
+    return IQEntry(entry.instr, entry.stage, entry.timer, entry.pred_taken,
+                   entry.mispredicted, entry.jump_target)
+
+
+class PipelineTracer:
+    """Drives a detailed simulation, invoking a callback every cycle."""
+
+    def __init__(
+        self,
+        executable: Executable,
+        params: Optional[ProcessorParams] = None,
+        predictor: Optional[BranchPredictor] = None,
+    ):
+        # Imported here: repro.sim.world imports repro.uarch submodules,
+        # so a module-level import would be circular via the package
+        # __init__.
+        from repro.sim.world import World
+
+        self.params = params if params is not None else ProcessorParams.r10k()
+        self.simulator = DetailedSimulator(executable, self.params)
+        self.world = World(executable, self.params, predictor)
+
+    def run(self, on_cycle: Callable[[CycleSnapshot], None],
+            max_cycles: int = 10_000) -> int:
+        """Simulate, calling *on_cycle* at every boundary.
+
+        Returns the final cycle count. Stops at *max_cycles* without
+        error (traces are usually of prefixes).
+        """
+        world = self.world
+        simulator = self.simulator
+        generator = simulator.run()
+        outcome = None
+        while True:
+            try:
+                request = generator.send(outcome)
+            except StopIteration:
+                break
+            outcome = None
+            kind = type(request)
+            if kind is CycleBoundary:
+                on_cycle(CycleSnapshot(
+                    cycle=world.cycle,
+                    entries=[_copy_entry(e) for e in simulator.iq.entries],
+                    retired_so_far=world.stats.retired_instructions,
+                ))
+                world.advance_cycles(1)
+                if world.cycle >= max_cycles:
+                    break
+            elif kind is GetControl:
+                outcome = world.get_control()
+            elif kind is IssueLoad:
+                outcome = world.issue_load(request.ordinal)
+            elif kind is PollLoad:
+                outcome = world.poll_load(request.ordinal)
+            elif kind is IssueStore:
+                outcome = world.issue_store(request.ordinal)
+            elif kind is Retire:
+                world.retire(request)
+            elif kind is Rollback:
+                world.rollback(request)
+            elif kind is Finished:
+                break
+        return world.stats.cycles
+
+
+def format_snapshot(snapshot: CycleSnapshot) -> str:
+    """Render one cycle's pipeline contents."""
+    lines = [f"cycle {snapshot.cycle}  "
+             f"(retired {snapshot.retired_so_far})"]
+    if not snapshot.entries:
+        lines.append("  <pipeline empty>")
+    for position, entry in enumerate(snapshot.entries):
+        text = format_instruction(entry.instr)
+        detail = entry.stage.name
+        if entry.stage in (Stage.EXEC, Stage.CACHE, Stage.STWAIT):
+            detail += f" t={entry.timer}"
+        flags = ""
+        if entry.is_cond_branch:
+            flags = f"  pred={'T' if entry.pred_taken else 'N'}"
+            if entry.mispredicted:
+                flags += " MISPREDICTED"
+        elif entry.is_indirect and entry.jump_target is not None:
+            flags = f"  ->0x{entry.jump_target:x}"
+        lines.append(
+            f"  [{position:2d}] 0x{entry.instr.address:08x}  "
+            f"{text:32s} {detail:10s}{flags}"
+        )
+    return "\n".join(lines)
+
+
+def trace_pipeline(
+    executable: Executable,
+    max_cycles: int = 100,
+    params: Optional[ProcessorParams] = None,
+    predictor: Optional[BranchPredictor] = None,
+) -> List[str]:
+    """Trace the first *max_cycles* cycles; returns rendered cycles."""
+    rendered: List[str] = []
+    tracer = PipelineTracer(executable, params, predictor)
+    tracer.run(lambda snap: rendered.append(format_snapshot(snap)),
+               max_cycles=max_cycles)
+    return rendered

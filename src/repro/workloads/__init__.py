@@ -1,0 +1,31 @@
+"""SPEC95-like synthetic workloads (8 integer + 10 floating point)."""
+
+from repro.workloads.builder import AsmBuilder
+from repro.workloads.suite import (
+    FP_WORKLOADS,
+    INTEGER_WORKLOADS,
+    SCALES,
+    WORKLOAD_ORDER,
+    WORKLOADS,
+    Workload,
+    dynamic_instructions,
+    get_workload,
+    load_workload,
+    paper_scale,
+    reference_output,
+)
+
+__all__ = [
+    "AsmBuilder",
+    "Workload",
+    "WORKLOADS",
+    "WORKLOAD_ORDER",
+    "INTEGER_WORKLOADS",
+    "FP_WORKLOADS",
+    "SCALES",
+    "get_workload",
+    "load_workload",
+    "paper_scale",
+    "reference_output",
+    "dynamic_instructions",
+]

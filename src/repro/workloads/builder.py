@@ -1,0 +1,109 @@
+"""Assembly-building helpers for the synthetic workload generators.
+
+The SPEC95 analogues are generated programs; :class:`AsmBuilder` keeps
+the generators readable: labelled blocks, counted loops, data-section
+helpers, and a tiny linear-congruential generator emitter used by the
+integer workloads that need reproducible "random" data.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterable, List, Union
+
+Number = Union[int, float]
+
+
+class AsmBuilder:
+    """Accumulates text and data sections for a generated program."""
+
+    def __init__(self) -> None:
+        self._text: List[str] = []
+        self._data: List[str] = []
+        self._label_counter = 0
+
+    # -- labels ------------------------------------------------------------
+
+    def fresh(self, prefix: str = "L") -> str:
+        """Return a unique label name."""
+        self._label_counter += 1
+        return f"{prefix}_{self._label_counter}"
+
+    def label(self, name: str) -> str:
+        """Place label *name* at the current text position."""
+        self._text.append(f"{name}:")
+        return name
+
+    # -- emission ----------------------------------------------------------
+
+    def emit(self, *lines: str) -> None:
+        """Append instruction lines (indented)."""
+        for line in lines:
+            self._text.append(f"    {line}")
+
+    def comment(self, text: str) -> None:
+        self._text.append(f"    ! {text}")
+
+    # -- data --------------------------------------------------------------
+
+    def data_words(self, name: str, values: Iterable[int]) -> str:
+        values = list(values)
+        self._data.append(f"{name}: .word " + ", ".join(str(v) for v in values))
+        return name
+
+    def data_doubles(self, name: str, values: Iterable[float]) -> str:
+        values = list(values)
+        self._data.append(
+            f"{name}: .double " + ", ".join(repr(float(v)) for v in values)
+        )
+        return name
+
+    def data_space(self, name: str, nbytes: int) -> str:
+        self._data.append(f"{name}: .space {nbytes}")
+        return name
+
+    def data_bytes(self, name: str, values: Iterable[int]) -> str:
+        values = list(values)
+        chunks = []
+        for start in range(0, len(values), 16):
+            chunk = values[start:start + 16]
+            chunks.append(".byte " + ", ".join(str(v & 0xFF) for v in chunk))
+        self._data.append(f"{name}: " + "\n".join(chunks))
+        self._data.append(".align 4")
+        return name
+
+    # -- structured code -----------------------------------------------------
+
+    @contextmanager
+    def counted_loop(self, counter_reg: str, count: int):
+        """``mov count, reg`` … body … ``subcc/bne`` back to the top."""
+        top = self.fresh("loop")
+        self.emit(f"mov {count}, {counter_reg}")
+        self.label(top)
+        yield top
+        self.emit(
+            f"subcc {counter_reg}, 1, {counter_reg}",
+            f"bne {top}",
+        )
+
+    def lcg_step(self, reg: str, tmp: str) -> None:
+        """Advance a 13-bit linear congruential value in *reg*.
+
+        ``reg = (reg * 1103 + 3797) & 0x1fff`` — multiplier/addend fit
+        the 13-bit immediate field; period is plenty for workload data.
+        """
+        self.emit(
+            f"smul {reg}, 1103, {tmp}",
+            f"add {tmp}, 3797, {reg}",
+            f"and {reg}, 0x1fff, {reg}",
+        )
+
+    # -- output ---------------------------------------------------------------
+
+    def source(self) -> str:
+        """Assemble the accumulated program text."""
+        parts = list(self._text)
+        if self._data:
+            parts.append("    .data")
+            parts.extend(self._data)
+        return "\n".join(parts) + "\n"

@@ -1,0 +1,430 @@
+"""Synthetic analogues of the SPEC95 integer benchmarks.
+
+Each generator produces a program whose *dynamic shape* imitates the
+benchmark it is named after — branch irregularity, indirect-jump
+density, memory access pattern, code footprint — because those are the
+properties that determine how well μ-architecture configurations repeat
+(Table 5's per-benchmark spread). Every program emits a checksum with
+``out`` and the suite cross-checks it against plain functional
+execution, so the workloads are self-validating.
+
+The builders take an *n* parameter scaling the dominant loop count.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.builder import AsmBuilder
+
+
+def build_go(n: int) -> str:
+    """099.go — branchy board evaluation with irregular decisions."""
+    b = AsmBuilder()
+    b.label("main")
+    b.emit("set board, %i0", "mov 123, %i2", "clr %i3")
+    with b.counted_loop("%i1", n):
+        b.comment("pick a pseudo-random interior position")
+        b.lcg_step("%i2", "%g1")
+        b.emit(
+            "and %i2, 47, %l0",
+            "add %l0, 8, %l0",          # pos in [8, 55]
+            "add %i0, %l0, %l1",
+        )
+        b.comment("sum the four neighbours")
+        b.emit(
+            "ldub [%l1 - 8], %l2",
+            "ldub [%l1 + 8], %l3",
+            "ldub [%l1 - 1], %l4",
+            "ldub [%l1 + 1], %l5",
+            "add %l2, %l3, %l2",
+            "add %l4, %l5, %l4",
+            "add %l2, %l4, %l2",
+        )
+        strong = b.fresh("strong")
+        weak = b.fresh("weak")
+        done = b.fresh("done")
+        b.emit(f"cmp %l2, 380", f"bg {strong}")
+        b.emit(f"cmp %l2, 120", f"bl {weak}")
+        b.comment("contested: flip the stone")
+        b.emit("ldub [%l1], %l6", "xor %l6, 3, %l6", "stb %l6, [%l1]",
+               f"ba {done}")
+        b.label(strong)
+        b.emit("mov 2, %l6", "stb %l6, [%l1]", "add %i3, 2, %i3",
+               f"ba {done}")
+        b.label(weak)
+        b.emit("mov 1, %l6", "stb %l6, [%l1]", "add %i3, 1, %i3")
+        b.label(done)
+        b.emit("call liberty", "add %i3, %o0, %i3", "and %i3, 0x1fff, %i3")
+    b.emit("out %i3", "halt")
+    b.label("liberty")
+    b.emit(
+        "ldub [%l1 - 7], %o0",
+        "ldub [%l1 + 7], %o1",
+        "add %o0, %o1, %o0",
+        "and %o0, 7, %o0",
+        "ret",
+    )
+    b.data_bytes("board", [(i * 37 + 11) % 3 for i in range(72)])
+    return b.source()
+
+
+def build_m88ksim(n: int) -> str:
+    """124.m88ksim — an instruction-set simulator: fetch/dispatch loop
+    through a jump table (dense indirect jumps)."""
+    b = AsmBuilder()
+    handlers = ["op_add", "op_sub", "op_xor", "op_shift", "op_load",
+                "op_store"]
+    program = [(i * 7 + 3) % len(handlers) for i in range(16)]
+    b.label("main")
+    b.emit(
+        "set vprog, %i0",
+        "set vtable, %i2",
+        "set vmem, %i4",
+        "clr %l2",            # virtual register a
+        "mov 1, %l3",         # virtual register b
+        "clr %l4",            # virtual pc index
+    )
+    with b.counted_loop("%i1", n):
+        b.comment("fetch the next virtual opcode and dispatch")
+        b.emit(
+            "sll %l4, 2, %g1",
+            "ld [%i0 + %g1], %l5",      # opcode
+            "sll %l5, 2, %g1",
+            "ld [%i2 + %g1], %l6",      # handler address
+            "add %l4, 1, %l4",
+            "and %l4, 15, %l4",
+            "jmpl [%l6], %g0",
+        )
+        b.label("op_done")
+    b.emit("out %l2", "halt")
+    b.label("op_add")
+    b.emit("add %l2, %l3, %l2", "and %l2, 0x1fff, %l2", "ba op_done")
+    b.label("op_sub")
+    b.emit("sub %l2, %l3, %l2", "and %l2, 0x1fff, %l2", "ba op_done")
+    b.label("op_xor")
+    b.emit("xor %l2, %l3, %l2", "add %l3, 1, %l3", "and %l3, 255, %l3",
+           "ba op_done")
+    b.label("op_shift")
+    b.emit("sll %l2, 1, %l2", "and %l2, 0x1fff, %l2", "ba op_done")
+    b.label("op_load")
+    b.emit("and %l2, 60, %g2", "ld [%i4 + %g2], %g3", "add %l2, %g3, %l2",
+           "and %l2, 0x1fff, %l2", "ba op_done")
+    b.label("op_store")
+    b.emit("and %l3, 60, %g2", "st %l2, [%i4 + %g2]", "ba op_done")
+    b.data_words("vprog", program)
+    b.data_words("vtable", handlers)  # label addresses
+    b.data_space("vmem", 64)
+    return b.source()
+
+
+def build_gcc(n: int, passes: int = 18) -> str:
+    """126.gcc — large code footprint: many distinct "compiler passes"
+    over an IR array, each a different basic-block mix.
+
+    gcc generated the second-largest p-action cache in the paper
+    (296 MB); the many distinct blocks here reproduce that pressure.
+    """
+    b = AsmBuilder()
+    b.label("main")
+    b.emit("set ir, %i0", "clr %i3")
+    with b.counted_loop("%i1", n):
+        for p in range(passes):
+            b.emit(f"call pass{p}", "add %i3, %o0, %i3",
+                   "and %i3, 0x1fff, %i3")
+    b.emit("out %i3", "halt")
+    for p in range(passes):
+        b.label(f"pass{p}")
+        offset = (p * 12) % 48
+        b.emit(
+            f"ld [%i0 + {offset}], %o0",
+            f"add %o0, {p + 1}, %o0",
+        )
+        # Give each pass a distinct conditional structure.
+        skip = b.fresh("pskip")
+        if p % 3 == 0:
+            b.emit(f"cmp %o0, {40 + p}", f"ble {skip}",
+                   f"sub %o0, {13 + p}, %o0")
+        elif p % 3 == 1:
+            b.emit("and %o0, 1, %g1", "tst %g1", f"be {skip}",
+                   "sll %o0, 1, %o0", f"and %o0, 0x7ff, %o0")
+        else:
+            b.emit(f"cmp %o0, {p * 5}", f"bge {skip}",
+                   f"xor %o0, {p + 7}, %o0")
+        b.label(skip)
+        b.emit(
+            f"st %o0, [%i0 + {offset}]",
+            "and %o0, 255, %o0",
+            "ret",
+        )
+    b.data_words("ir", [(i * 29 + 5) % 97 for i in range(16)])
+    return b.source()
+
+
+def build_compress(n: int) -> str:
+    """129.compress — LZW-style hashing: data-dependent table probes."""
+    b = AsmBuilder()
+    b.label("main")
+    b.emit(
+        "set htab, %i0",
+        "set codes, %i4",
+        "mov 321, %i2",       # LCG state = input stream
+        "clr %i3",            # emitted-code checksum
+        "clr %l7",            # prefix code
+    )
+    with b.counted_loop("%i1", n):
+        b.lcg_step("%i2", "%g1")
+        b.emit(
+            "and %i2, 255, %l0",          # next input byte
+            "sll %l7, 4, %l1",
+            "xor %l1, %l0, %l1",
+            "and %l1, 255, %l1",          # hash index
+            "sll %l1, 2, %l2",
+            "ld [%i0 + %l2], %l3",        # probe the hash table
+            "sll %l7, 8, %l4",
+            "or %l4, %l0, %l4",           # the key we wanted
+        )
+        hit = b.fresh("hit")
+        done = b.fresh("done")
+        b.emit(f"cmp %l3, %l4", f"be {hit}")
+        b.comment("miss: emit prefix, insert the new entry")
+        b.emit(
+            "st %l4, [%i0 + %l2]",
+            "add %i3, %l7, %i3",
+            "and %i3, 0x1fff, %i3",
+            "mov %l0, %l7",
+            f"ba {done}",
+        )
+        b.label(hit)
+        b.comment("hit: extend the prefix")
+        b.emit(
+            "and %l1, 63, %g2",
+            "sll %g2, 2, %g2",
+            "ld [%i4 + %g2], %l7",
+            "and %l7, 255, %l7",
+        )
+        b.label(done)
+    b.emit("out %i3", "halt")
+    b.data_words("htab", [0] * 256)
+    b.data_words("codes", [(i * 11 + 2) % 256 for i in range(64)])
+    return b.source()
+
+
+def build_li(n: int, cells: int = 24) -> str:
+    """130.li — a lisp interpreter: pointer-chasing cons cells plus
+    genuine recursion through the stack."""
+    b = AsmBuilder()
+    b.label("main")
+    b.emit("set cells, %i0", "clr %i3")
+    with b.counted_loop("%i1", n):
+        b.comment("iterative traversal: sum the list")
+        b.emit("mov %i0, %l0", "clr %l1")
+        walk = b.fresh("walk")
+        end = b.fresh("end")
+        b.label(walk)
+        b.emit(
+            "tst %l0",
+            f"be {end}",
+            "ld [%l0], %l2",        # car
+            "add %l1, %l2, %l1",
+            "ld [%l0 + 4], %l0",    # cdr
+            f"ba {walk}",
+        )
+        b.label(end)
+        b.comment("recursive depth-sum of the first cells")
+        b.emit("mov %i0, %o0", "mov 12, %o1", "call rsum")
+        b.emit(
+            "add %l1, %o0, %l1",
+            "add %i3, %l1, %i3",
+            "and %i3, 0x1fff, %i3",
+        )
+    b.emit("out %i3", "halt")
+    b.label("rsum")
+    base = b.fresh("base")
+    b.emit(
+        "tst %o1",
+        f"be {base}",
+        "tst %o0",
+        f"be {base}",
+        "st %ra, [%sp - 4]",
+        "st %o2, [%sp - 8]",
+        "sub %sp, 16, %sp",
+        "ld [%o0], %o2",         # car
+        "ld [%o0 + 4], %o0",     # cdr
+        "sub %o1, 1, %o1",
+        "call rsum",
+        "add %o0, %o2, %o0",
+        "and %o0, 0x1fff, %o0",
+        "add %sp, 16, %sp",
+        "ld [%sp - 8], %o2",
+        "ld [%sp - 4], %ra",
+        "ret",
+    )
+    b.label(base)
+    b.emit("clr %o0", "ret")
+    # Cons cells: (value, next) pairs; the last cdr is nil (0).
+    for i in range(cells):
+        car = (i * 13 + 7) % 100
+        cdr = f"cells + {8 * (i + 1)}" if i + 1 < cells else "0"
+        b._data.append(f"{'cells: ' if i == 0 else ''}.word {car}, {cdr}")
+    return b.source()
+
+
+def build_ijpeg(n: int) -> str:
+    """132.ijpeg — image DCT-ish kernel: regular nested integer loops
+    with multiply/shift arithmetic over an 8x8 block."""
+    b = AsmBuilder()
+    b.label("main")
+    b.emit("set block, %i0", "clr %i3")
+    with b.counted_loop("%i1", n):
+        b.comment("row butterfly pass")
+        with b.counted_loop("%l0", 8):
+            b.emit(
+                "sub %l0, 1, %g1",
+                "sll %g1, 5, %g1",          # row * 32 bytes
+                "add %i0, %g1, %l1",
+                "ld [%l1], %l2",
+                "ld [%l1 + 28], %l3",
+                "add %l2, %l3, %l4",
+                "sub %l2, %l3, %l5",
+                "smul %l5, 3, %l5",
+                "sra %l5, 2, %l5",
+                "st %l4, [%l1]",
+                "st %l5, [%l1 + 28]",
+                "ld [%l1 + 8], %l2",
+                "ld [%l1 + 20], %l3",
+                "add %l2, %l3, %l4",
+                "sub %l2, %l3, %l5",
+                "st %l4, [%l1 + 8]",
+                "st %l5, [%l1 + 20]",
+            )
+        b.comment("column quantise pass")
+        with b.counted_loop("%l0", 8):
+            b.emit(
+                "sub %l0, 1, %g1",
+                "sll %g1, 2, %g1",          # column * 4 bytes
+                "add %i0, %g1, %l1",
+                "ld [%l1], %l2",
+                "ld [%l1 + 128], %l3",
+                "add %l2, %l3, %l2",
+                "sra %l2, 3, %l2",
+                "and %l2, 0x1fff, %l2",
+                "st %l2, [%l1]",
+                "add %i3, %l2, %i3",
+                "and %i3, 0x1fff, %i3",
+            )
+    b.emit("out %i3", "halt")
+    b.data_words("block", [(i * 19 + 31) % 256 for i in range(64)])
+    return b.source()
+
+
+def build_perl(n: int) -> str:
+    """134.perl — byte-string scanning with character-class dispatch."""
+    b = AsmBuilder()
+    b.label("main")
+    b.emit("set text, %i0", "set outbuf, %i4", "clr %i3")
+    with b.counted_loop("%i1", n):
+        with b.counted_loop("%l0", 48):
+            b.emit(
+                "sub %l0, 1, %g1",
+                "ldub [%i0 + %g1], %l1",
+            )
+            upper = b.fresh("upper")
+            digit = b.fresh("digit")
+            other = b.fresh("other")
+            store = b.fresh("store")
+            b.emit(f"cmp %l1, 97", f"bge {upper}")    # lowercase letter?
+            b.emit(f"cmp %l1, 48", f"bge {digit}")
+            b.emit(f"ba {other}")
+            b.label(upper)
+            b.emit("sub %l1, 32, %l1", "add %i3, 2, %i3", f"ba {store}")
+            b.label(digit)
+            b.emit("sub %l1, 48, %l1", "add %i3, 1, %i3", f"ba {store}")
+            b.label(other)
+            b.emit("mov 95, %l1")
+            b.label(store)
+            b.emit(
+                "stb %l1, [%i4 + %g1]",
+                "and %i3, 0x1fff, %i3",
+            )
+    b.emit("out %i3", "halt")
+    b.data_bytes("text", [(i * 53 + 17) % 96 + 32 for i in range(48)])
+    b.data_space("outbuf", 48)
+    return b.source()
+
+
+def build_vortex(n: int, records: int = 16) -> str:
+    """147.vortex — an object database: keyed record lookup, field
+    updates, and method dispatch through a table."""
+    b = AsmBuilder()
+    b.label("main")
+    b.emit(
+        "set db, %i0",
+        "set methods, %i4",
+        "mov 777, %i2",
+        "clr %i3",
+    )
+    with b.counted_loop("%i1", n):
+        b.lcg_step("%i2", "%g1")
+        b.emit(f"and %i2, {records - 1}, %l0")  # target key
+        b.comment("linear probe for the record with this key")
+        b.emit("clr %l1")
+        probe = b.fresh("probe")
+        found = b.fresh("found")
+        miss = b.fresh("miss")
+        after = b.fresh("after")
+        b.label(probe)
+        b.emit(
+            f"cmp %l1, {records}",
+            f"be {miss}",
+            "sll %l1, 4, %g2",            # record stride = 16 bytes
+            "add %i0, %g2, %l2",
+            "ld [%l2], %l3",              # key field
+            f"cmp %l3, %l0",
+            f"be {found}",
+            "add %l1, 1, %l1",
+            f"ba {probe}",
+        )
+        b.label(found)
+        b.comment("dispatch the record's method")
+        b.emit(
+            "ld [%l2 + 12], %l4",         # method index
+            "and %l4, 3, %l4",
+            "sll %l4, 2, %l4",
+            "ld [%i4 + %l4], %l5",
+            "jmpl [%l5], %ra",
+            "add %i3, %o0, %i3",
+            "and %i3, 0x1fff, %i3",
+            f"ba {after}",
+        )
+        b.label(miss)
+        b.comment("insert: overwrite a pseudo-random slot")
+        b.emit(
+            "and %i2, 15, %g2",
+            "sll %g2, 4, %g2",
+            "add %i0, %g2, %l2",
+            "st %l0, [%l2]",
+            "st %i1, [%l2 + 4]",
+        )
+        b.label(after)
+    b.emit("out %i3", "halt")
+    for m in range(4):
+        b.label(f"method{m}")
+        if m == 0:
+            b.emit("ld [%l2 + 4], %o0", "add %o0, 1, %o0",
+                   "st %o0, [%l2 + 4]")
+        elif m == 1:
+            b.emit("ld [%l2 + 8], %o0", "xor %o0, 0x55, %o0",
+                   "st %o0, [%l2 + 8]")
+        elif m == 2:
+            b.emit("ld [%l2 + 4], %o0", "ld [%l2 + 8], %g3",
+                   "add %o0, %g3, %o0")
+        else:
+            b.emit("mov 7, %o0", "st %o0, [%l2 + 12]")
+        b.emit("and %o0, 255, %o0", "jmpl [%ra], %g0")
+    # Records: key, count, payload, method-index. Keys cover half the
+    # space so lookups mix hits and misses.
+    record_words = []
+    for i in range(records):
+        record_words += [(i * 3) % records, 0, (i * 91) % 256, i % 4]
+    b.data_words("db", record_words)
+    b.data_words("methods", [f"method{m}" for m in range(4)])
+    return b.source()

@@ -1,0 +1,117 @@
+"""Calibration microbenchmarks — measure the model's latencies from
+the outside.
+
+Real-system methodology (lmbench-style) applied to the simulator:
+craft kernels whose cycle counts isolate one parameter, then recover
+the parameter by differencing two runs. Used by
+:mod:`repro.analysis.calibrate` to verify that the pipeline and cache
+models actually exhibit their configured latencies — the timing-model
+analogue of the functional differential tests.
+
+Every kernel takes an iteration count and returns assembly; each
+exposes exactly one effect per extra iteration:
+
+* :func:`dependent_chain` — one 1-cycle ALU op per iteration (the
+  baseline unit);
+* :func:`pointer_chase` — one load-to-use per iteration, over a ring
+  sized to sit in L1, in L2, or in memory;
+* :func:`divide_chain` — one dependent integer divide per iteration;
+* :func:`branch_pattern` — one conditional branch per iteration, with
+  a pattern that is either perfectly predictable or adversarial for a
+  2-bit counter (measures the misprediction penalty).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.builder import AsmBuilder
+
+
+def dependent_chain(n: int, ops_per_iter: int = 16) -> str:
+    """A pure dependent ALU chain: cost ≈ ops_per_iter cycles/iter."""
+    b = AsmBuilder()
+    b.label("main")
+    b.emit("clr %l0")
+    with b.counted_loop("%i1", n):
+        for _ in range(ops_per_iter):
+            b.emit("add %l0, 1, %l0")
+    b.emit("out %l0", "halt")
+    return b.source()
+
+
+def pointer_chase(n: int, ring_bytes: int, stride: int = 64) -> str:
+    """Serially chase a pointer ring of *ring_bytes* working set.
+
+    Each iteration performs one dependent load; the measured
+    cycles/iteration is the load-to-use latency of whichever cache
+    level holds the ring. *stride* (≥ line size) defeats spatial reuse.
+    """
+    if ring_bytes % stride:
+        raise ValueError("ring size must be a multiple of the stride")
+    cells = ring_bytes // stride
+    b = AsmBuilder()
+    b.label("main")
+    b.emit("set ring, %l0")
+    b.comment("warm the ring once so steady state is measured")
+    with b.counted_loop("%l5", cells):
+        b.emit("ld [%l0], %l0")
+    with b.counted_loop("%i1", n):
+        b.emit("ld [%l0], %l0")   # the dependent chase
+    b.emit("out %l0", "halt")
+    # Build the ring in the data section: cell i -> cell i+1, wrapping.
+    for i in range(cells):
+        target = ((i + 1) % cells) * stride
+        label = "ring: " if i == 0 else ""
+        b._data.append(f"{label}.word ring + {target}")
+        if stride > 4:
+            b._data.append(f".space {stride - 4}")
+    return b.source()
+
+
+def divide_chain(n: int) -> str:
+    """One dependent integer divide per iteration."""
+    b = AsmBuilder()
+    b.label("main")
+    b.emit("set 0x10000, %l0", "mov 1, %l1")
+    with b.counted_loop("%i1", n):
+        b.emit("sdiv %l0, %l1, %l2", "or %l2, %g0, %l0",
+               "set 0x10000, %l0")
+    b.emit("out %l2", "halt")
+    return b.source()
+
+
+def branch_pattern(n: int, predictable: bool) -> str:
+    """One data-dependent conditional branch per iteration.
+
+    *predictable*: the branch goes the same way every time (a 2-bit
+    counter learns it immediately). Otherwise it alternates
+    taken/not-taken — the worst case for a 2-bit counter, which
+    mispredicts essentially every execution. The cycles/iteration
+    difference between the two recovers the misprediction penalty.
+    """
+    b = AsmBuilder()
+    b.label("main")
+    b.emit("clr %l0", "clr %l7")
+    with b.counted_loop("%i1", n):
+        if predictable:
+            b.emit("cmp %l0, 99")        # never equal: always not-taken
+        else:
+            b.emit("xor %l0, 1, %l0",    # toggles 0/1 each iteration
+                   "cmp %l0, 1")
+        skip = b.fresh("skip")
+        b.emit(f"be {skip}", "add %l7, 1, %l7")
+        b.label(skip)
+        b.emit("add %l7, 2, %l7", "and %l7, 0x1fff, %l7")
+    b.emit("out %l7", "halt")
+    return b.source()
+
+
+def fp_multiply_chain(n: int) -> str:
+    """One dependent FP multiply per iteration (recovers FMUL latency)."""
+    b = AsmBuilder()
+    b.label("main")
+    b.emit("set one, %l0", "lddf [%l0], %f0", "lddf [%l0], %f1")
+    with b.counted_loop("%i1", n):
+        b.emit("fmul %f0, %f1, %f0")
+    b.emit("fdtoi %f0, %l1", "out %l1", "halt")
+    b.data_doubles("one", [1.0])
+    return b.source()

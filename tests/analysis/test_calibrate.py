@@ -1,0 +1,113 @@
+"""Tests for timing-model calibration via microbenchmarks.
+
+These are end-to-end checks that the pipeline exhibits its configured
+latencies — measured from the outside by differencing, exactly as one
+would validate real hardware.
+"""
+
+import pytest
+
+from repro.analysis.calibrate import (
+    Calibration,
+    calibrate,
+    render_calibration,
+)
+from repro.emulator.functional import run_program
+from repro.isa import assemble
+from repro.sim.fastsim import FastSim
+from repro.sim.slowsim import SlowSim
+from repro.workloads import micro
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return calibrate()
+
+
+def by_name(rows, prefix):
+    return next(r for r in rows if r.quantity.startswith(prefix))
+
+
+class TestRecoveredLatencies:
+    def test_alu_is_one_cycle(self, rows):
+        assert by_name(rows, "dependent ALU").measured == pytest.approx(
+            1.0, abs=0.1
+        )
+
+    def test_l1_load_to_use(self, rows):
+        row = by_name(rows, "load-to-use, L1")
+        assert row.measured == pytest.approx(row.configured, abs=0.5)
+
+    def test_l2_load_to_use(self, rows):
+        row = by_name(rows, "load-to-use, L2")
+        assert row.measured == pytest.approx(row.configured, abs=1.5)
+
+    def test_l2_slower_than_l1(self, rows):
+        assert (by_name(rows, "load-to-use, L2").measured
+                > by_name(rows, "load-to-use, L1").measured + 2)
+
+    def test_divide_latency(self, rows):
+        row = by_name(rows, "dependent integer divide")
+        assert 33 <= row.measured <= 40
+
+    def test_fp_multiply_latency(self, rows):
+        row = by_name(rows, "dependent FP multiply")
+        assert row.measured == pytest.approx(2.0, abs=0.5)
+
+    def test_misprediction_penalty_positive(self, rows):
+        row = by_name(rows, "branch misprediction penalty")
+        assert 1.0 <= row.measured <= 15.0
+
+    def test_render(self, rows):
+        text = render_calibration(rows)
+        assert "measured" in text
+        assert "load-to-use, L1 resident" in text
+
+
+class TestMicroKernels:
+    def test_pointer_chase_ring_is_closed(self):
+        """Functionally, the chase must cycle through every cell."""
+        exe = assemble(micro.pointer_chase(8, ring_bytes=256, stride=64))
+        state = run_program(exe)
+        assert state.halted
+
+    def test_pointer_chase_ring_validation(self):
+        with pytest.raises(ValueError):
+            micro.pointer_chase(4, ring_bytes=100, stride=64)
+
+    def test_branch_patterns_same_work(self):
+        """Both variants retire similar instruction counts; only the
+        prediction behaviour differs."""
+        good = SlowSim(assemble(micro.branch_pattern(50, True))).run()
+        bad = SlowSim(assemble(micro.branch_pattern(50, False))).run()
+        assert bad.sim_stats.mispredictions > good.sim_stats.mispredictions
+        assert bad.cycles > good.cycles
+
+    def test_kernels_are_exact_under_memoization(self):
+        for source in (
+            micro.dependent_chain(30),
+            micro.pointer_chase(30, ring_bytes=2048),
+            micro.divide_chain(10),
+            micro.branch_pattern(30, False),
+            micro.fp_multiply_chain(30),
+        ):
+            fast = FastSim(assemble(source)).run()
+            slow = SlowSim(assemble(source)).run()
+            assert fast.timing_equal(slow)
+
+
+class TestDifferencingMethod:
+    def test_fixed_costs_cancel(self):
+        """The differenced cost must not depend on which two run lengths
+        were used (linearity check)."""
+        from repro.analysis.calibrate import _cycles_per_iteration
+
+        a = _cycles_per_iteration(
+            lambda n: micro.dependent_chain(n, ops_per_iter=8),
+            n_small=40, n_large=140,
+        )
+        b = _cycles_per_iteration(
+            lambda n: micro.dependent_chain(n, ops_per_iter=8),
+            n_small=80, n_large=280,
+        )
+        assert a == pytest.approx(b, rel=0.05)

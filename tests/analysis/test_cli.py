@@ -1,0 +1,49 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "099.go" in out
+        assert "146.wave5" in out
+
+    def test_params(self, capsys):
+        assert main(["params"]) == 0
+        out = capsys.readouterr().out
+        assert "Decode 4 instructions per cycle." in out
+
+    def test_run(self, capsys):
+        assert main(["run", "compress", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "cycle-exact: yes" in out
+        assert "memoization speedup" in out
+
+    def test_run_requires_workload(self):
+        with pytest.raises(SystemExit):
+            main(["run"])
+
+    def test_table2_subset(self, capsys):
+        assert main(["table2", "--workloads", "mgrid", "--scale", "tiny",
+                     "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "107.mgrid" in out
+
+    def test_table4_subset(self, capsys):
+        assert main(["table4", "--workloads", "compress", "--scale", "tiny",
+                     "--quiet"]) == 0
+        assert "Detailed/Total" in capsys.readouterr().out
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table2", "--workloads", "quake"])
+
+    def test_figure7_subset(self, capsys):
+        assert main(["figure7", "--workloads", "mgrid", "--scale", "tiny",
+                     "--quiet"]) == 0
+        assert "Figure 7" in capsys.readouterr().out

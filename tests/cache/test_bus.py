@@ -1,0 +1,62 @@
+"""Tests for the split-transaction bus model."""
+
+from hypothesis import given, strategies as st
+
+from repro.cache.bus import Bus
+
+
+class TestOccupancy:
+    def test_cycles_for_width(self):
+        bus = Bus(width_bytes=8)
+        assert bus.cycles_for(1) == 1
+        assert bus.cycles_for(8) == 1
+        assert bus.cycles_for(9) == 2
+        assert bus.cycles_for(32) == 4
+
+    def test_reserve_uncontended(self):
+        bus = Bus(8)
+        assert bus.reserve(now=10, nbytes=32) == 14
+
+    def test_back_to_back_contention(self):
+        bus = Bus(8)
+        first = bus.reserve(0, 32)
+        second = bus.reserve(0, 32)
+        assert first == 4
+        assert second == 8  # queued behind the first
+
+    def test_gap_leaves_bus_idle(self):
+        bus = Bus(8)
+        bus.reserve(0, 8)
+        assert bus.reserve(100, 8) == 101  # no carry-over of idle time
+
+    def test_statistics(self):
+        bus = Bus(8)
+        bus.reserve(0, 32)
+        bus.reserve(0, 8)
+        assert bus.transfers == 2
+        assert bus.busy_cycles == 5
+
+    def test_next_free(self):
+        bus = Bus(8)
+        bus.reserve(5, 16)
+        assert bus.next_free() == 7
+
+
+@given(st.lists(
+    st.tuples(st.integers(min_value=0, max_value=1000),
+              st.integers(min_value=1, max_value=64)),
+    min_size=1, max_size=50,
+))
+def test_reservations_never_overlap(requests):
+    """Property: completions are monotonic for monotonic request times,
+    and each transfer takes at least its occupancy."""
+    bus = Bus(8)
+    now = 0
+    last_completion = 0
+    for offset, nbytes in requests:
+        now += offset
+        completion = bus.reserve(now, nbytes)
+        assert completion >= now + bus.cycles_for(nbytes)
+        assert completion >= last_completion + bus.cycles_for(nbytes) or \
+            completion >= last_completion  # strictly after previous
+        last_completion = completion

@@ -1,0 +1,98 @@
+"""Unit and property tests for the shared ALU semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.emulator import alu
+from repro.emulator.state import FCC_EQ, FCC_GT, FCC_LT, FCC_UO
+from repro.errors import EmulationError
+from repro.isa.opcodes import Opcode
+
+u32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+class TestIntegerOps:
+    def test_add_wraps(self):
+        assert alu.int_add(0xFFFFFFFF, 1) == 0
+
+    def test_sub_wraps(self):
+        assert alu.int_sub(0, 1) == 0xFFFFFFFF
+
+    def test_shifts_mask_amount(self):
+        assert alu.int_sll(1, 33) == 2  # amount taken mod 32
+        assert alu.int_srl(0x80000000, 33) == 0x40000000
+
+    def test_sra_sign_extends(self):
+        assert alu.int_sra(0x80000000, 4) == 0xF8000000
+
+    def test_smul_signed(self):
+        assert alu.int_smul(0xFFFFFFFF, 2) == 0xFFFFFFFE  # -1 * 2
+
+    def test_sdiv_truncates_toward_zero(self):
+        minus7 = (-7) & 0xFFFFFFFF
+        assert alu.int_sdiv(minus7, 2) == (-3) & 0xFFFFFFFF
+        assert alu.int_sdiv(7, (-2) & 0xFFFFFFFF) == (-3) & 0xFFFFFFFF
+
+    def test_sdiv_by_zero(self):
+        with pytest.raises(EmulationError):
+            alu.int_sdiv(1, 0)
+
+
+class TestFpCompare:
+    def test_orderings(self):
+        assert alu.fp_compare(1.0, 1.0) == FCC_EQ
+        assert alu.fp_compare(1.0, 2.0) == FCC_LT
+        assert alu.fp_compare(3.0, 2.0) == FCC_GT
+
+    def test_nan_unordered(self):
+        nan = float("nan")
+        assert alu.fp_compare(nan, 1.0) == FCC_UO
+        assert alu.fp_compare(1.0, nan) == FCC_UO
+
+
+class TestBranchConditions:
+    def test_ba_bn(self):
+        assert alu.branch_taken(Opcode.BA, 0, 0) is True
+        assert alu.branch_taken(Opcode.BN, 0xF, 3) is False
+
+    def test_not_a_branch(self):
+        with pytest.raises(EmulationError):
+            alu.branch_taken(Opcode.ADD, 0, 0)
+
+    @given(a=u32, b=u32)
+    def test_signed_compare_consistency(self, a, b):
+        """After subcc semantics, bl/bge and bg/ble partition outcomes
+        exactly like Python's signed comparison."""
+        from repro.emulator.state import ArchState, to_signed
+
+        state = ArchState()
+        result = (a - b) & 0xFFFFFFFF
+        state.set_icc_sub(a, b, result)
+        sa, sb = to_signed(a), to_signed(b)
+        assert alu.branch_taken(Opcode.BL, state.icc, 0) == (sa < sb)
+        assert alu.branch_taken(Opcode.BGE, state.icc, 0) == (sa >= sb)
+        assert alu.branch_taken(Opcode.BG, state.icc, 0) == (sa > sb)
+        assert alu.branch_taken(Opcode.BLE, state.icc, 0) == (sa <= sb)
+        assert alu.branch_taken(Opcode.BE, state.icc, 0) == (sa == sb)
+
+    @given(a=u32, b=u32)
+    def test_unsigned_compare_consistency(self, a, b):
+        from repro.emulator.state import ArchState
+
+        state = ArchState()
+        result = (a - b) & 0xFFFFFFFF
+        state.set_icc_sub(a, b, result)
+        assert alu.branch_taken(Opcode.BGU, state.icc, 0) == (a > b)
+        assert alu.branch_taken(Opcode.BLEU, state.icc, 0) == (a <= b)
+
+
+@given(a=u32, b=u32)
+def test_add_sub_inverse(a, b):
+    assert alu.int_sub(alu.int_add(a, b), b) == a
+
+
+@given(a=u32, b=u32)
+def test_logical_ops_match_python(a, b):
+    assert alu.int_and(a, b) == a & b
+    assert alu.int_or(a, b) == a | b
+    assert alu.int_xor(a, b) == a ^ b

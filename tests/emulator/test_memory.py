@@ -1,0 +1,120 @@
+"""Tests for the sparse paged memory."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.emulator.memory import PAGE_SIZE, Memory
+from repro.errors import MemoryFault
+
+
+class TestWordAccess:
+    def test_read_back(self):
+        memory = Memory()
+        memory.write_word(0x1000, 0xDEADBEEF)
+        assert memory.read_word(0x1000) == 0xDEADBEEF
+
+    def test_untouched_reads_zero(self):
+        assert Memory().read_word(0x123450) == 0
+
+    def test_truncates_to_32_bits(self):
+        memory = Memory()
+        memory.write_word(0, 0x1_0000_0002)
+        assert memory.read_word(0) == 2
+
+    def test_big_endian_layout(self):
+        memory = Memory()
+        memory.write_word(0, 0x11223344)
+        assert memory.read_byte(0) == 0x11
+        assert memory.read_byte(3) == 0x44
+
+    def test_misaligned_raises(self):
+        memory = Memory()
+        with pytest.raises(MemoryFault):
+            memory.read_word(2)
+        with pytest.raises(MemoryFault):
+            memory.write_word(1, 0)
+
+    def test_out_of_space_raises(self):
+        with pytest.raises(MemoryFault):
+            Memory().read_word(1 << 32)
+
+
+class TestHalfByteAccess:
+    def test_half(self):
+        memory = Memory()
+        memory.write_half(0x10, 0xBEEF)
+        assert memory.read_half(0x10) == 0xBEEF
+
+    def test_half_alignment(self):
+        with pytest.raises(MemoryFault):
+            Memory().read_half(0x11)
+
+    def test_byte(self):
+        memory = Memory()
+        memory.write_byte(0x7, 0xAB)
+        assert memory.read_byte(0x7) == 0xAB
+
+    def test_width_dispatch(self):
+        memory = Memory()
+        for width in (1, 2, 4, 8):
+            memory.write_width(0x100, 0x42, width)
+            assert memory.read_width(0x100, width) == 0x42
+
+    def test_bad_width(self):
+        with pytest.raises(MemoryFault):
+            Memory().read_width(0, 3)
+
+
+class TestBulkAccess:
+    def test_load_and_read_bytes(self):
+        memory = Memory()
+        data = bytes(range(200))
+        memory.load_bytes(0x3F80, data)  # crosses a page boundary
+        assert memory.read_bytes(0x3F80, 200) == data
+
+    def test_cross_page_word_pair(self):
+        memory = Memory()
+        memory.load_bytes(PAGE_SIZE - 4, b"\x01\x02\x03\x04\x05\x06\x07\x08")
+        assert memory.read_word(PAGE_SIZE - 4) == 0x01020304
+        assert memory.read_word(PAGE_SIZE) == 0x05060708
+
+    def test_touched_bytes(self):
+        memory = Memory()
+        memory.write_byte(0, 1)
+        memory.write_byte(PAGE_SIZE * 10, 1)
+        assert memory.touched_bytes == 2 * PAGE_SIZE
+
+
+class TestFloatAccess:
+    def test_float_round_trip(self):
+        memory = Memory()
+        memory.write_float(0x20, 1.5)
+        assert memory.read_float(0x20) == 1.5
+
+    def test_double_round_trip(self):
+        memory = Memory()
+        memory.write_double(0x40, 3.141592653589793)
+        assert memory.read_double(0x40) == 3.141592653589793
+
+    def test_double_alignment(self):
+        with pytest.raises(MemoryFault):
+            Memory().read_double(0x44 + 2)
+
+
+@given(st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=(1 << 20) - 1),
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+    ),
+    max_size=40,
+))
+def test_memory_behaves_like_dict_of_words(writes):
+    """Property: memory is equivalent to a dict of word slots."""
+    memory = Memory()
+    model = {}
+    for address, value in writes:
+        address &= ~3
+        memory.write_word(address, value)
+        model[address] = value
+    for address, value in model.items():
+        assert memory.read_word(address) == value

@@ -1,0 +1,256 @@
+"""Assembler tests: syntax, directives, pseudo-ops, labels, errors."""
+
+import struct
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa import Opcode, assemble
+from repro.isa.program import DATA_BASE, TEXT_BASE
+
+
+def first_instr(src):
+    return assemble(src).instructions()[0]
+
+
+class TestBasicSyntax:
+    def test_empty_program(self):
+        exe = assemble("")
+        assert exe.text == b""
+        assert exe.entry == TEXT_BASE
+
+    def test_single_instruction(self):
+        instr = first_instr("add %g1, %g2, %g3")
+        assert instr.opcode is Opcode.ADD
+        assert (instr.rs1, instr.rs2, instr.rd) == (1, 2, 3)
+
+    def test_immediate_operand(self):
+        instr = first_instr("add %g1, -42, %g3")
+        assert instr.imm == -42
+
+    def test_hex_immediate(self):
+        instr = first_instr("add %g1, 0xff, %g3")
+        assert instr.imm == 255
+
+    def test_comments_ignored(self):
+        exe = assemble("add %g1, %g2, %g3  ! comment\n# full line\nnop")
+        assert len(exe.instructions()) == 2
+
+    def test_label_on_own_line(self):
+        exe = assemble("top:\n  nop\n  ba top")
+        assert exe.symbols["top"] == TEXT_BASE
+        assert exe.instructions()[1].target == TEXT_BASE
+
+    def test_label_shared_line(self):
+        exe = assemble("top: nop")
+        assert exe.symbols["top"] == TEXT_BASE
+
+    def test_forward_reference(self):
+        exe = assemble("ba done\nnop\ndone: halt")
+        assert exe.instructions()[0].target == TEXT_BASE + 8
+
+    def test_entry_prefers_main(self):
+        exe = assemble("nop\nmain: halt")
+        assert exe.entry == TEXT_BASE + 4
+
+    def test_entry_falls_back_to_start(self):
+        exe = assemble("nop\n_start: halt")
+        assert exe.entry == TEXT_BASE + 4
+
+
+class TestMemoryOperands:
+    def test_base_only(self):
+        instr = first_instr("ld [%sp], %l0")
+        assert (instr.rs1, instr.imm) == (14, 0)
+
+    def test_base_plus_imm(self):
+        instr = first_instr("ld [%sp + 8], %l0")
+        assert instr.imm == 8
+
+    def test_base_minus_imm(self):
+        instr = first_instr("ld [%sp - 8], %l0")
+        assert instr.imm == -8
+
+    def test_base_plus_register(self):
+        instr = first_instr("ld [%g1 + %g2], %l0")
+        assert (instr.rs1, instr.rs2) == (1, 2)
+
+    def test_store_operand_order(self):
+        instr = first_instr("st %l0, [%sp + 4]")
+        assert instr.opcode is Opcode.ST
+        assert instr.rd == 16
+        assert instr.rs1 == 14
+
+    def test_fp_load(self):
+        instr = first_instr("lddf [%g1], %f4")
+        assert instr.fd == 4
+
+
+class TestPseudoOps:
+    def test_mov_register(self):
+        instr = first_instr("mov %g5, %l0")
+        assert instr.opcode is Opcode.OR
+        assert instr.rs2 == 5
+
+    def test_mov_small_imm(self):
+        instr = first_instr("mov -100, %l0")
+        assert instr.opcode is Opcode.ADD
+        assert instr.imm == -100
+
+    def test_mov_large_imm_expands(self):
+        instrs = assemble("mov 0xdeadbeef, %l0").instructions()
+        assert len(instrs) == 2
+        assert instrs[0].opcode is Opcode.SETHI
+
+    def test_set_small_literal_one_instr(self):
+        instrs = assemble("set 100, %l0").instructions()
+        assert len(instrs) == 1
+
+    def test_set_label_is_two_instrs(self):
+        exe = assemble(
+            "set arr, %l0\nhalt\n.data\narr: .word 7"
+        )
+        instrs = exe.instructions()
+        assert instrs[0].opcode is Opcode.SETHI
+        assert instrs[1].opcode is Opcode.OR
+        value = (instrs[0].imm << 13) | instrs[1].imm
+        assert value == DATA_BASE
+
+    def test_set_full_range_values(self):
+        for value in (0, 1, 0x1FFF, 0x2000, 0x7FFFFFFF, 0xFFFFFFFF):
+            instrs = assemble(f"set {value}, %l0").instructions()
+            if len(instrs) == 2:
+                built = ((instrs[0].imm << 13) | instrs[1].imm) & 0xFFFFFFFF
+                assert built == value & 0xFFFFFFFF
+
+    def test_cmp(self):
+        instr = first_instr("cmp %l0, 5")
+        assert instr.opcode is Opcode.SUBCC
+        assert instr.rd == 0
+
+    def test_tst(self):
+        instr = first_instr("tst %l3")
+        assert instr.opcode is Opcode.ORCC
+
+    def test_clr(self):
+        instr = first_instr("clr %o0")
+        assert instr.opcode is Opcode.OR
+        assert instr.rs1 == 0 and instr.rs2 == 0
+
+    def test_inc_dec(self):
+        inc = first_instr("inc %l0")
+        dec = first_instr("dec %l0, 4")
+        assert inc.opcode is Opcode.ADD and inc.imm == 1
+        assert dec.opcode is Opcode.SUB and dec.imm == 4
+
+    def test_neg(self):
+        instr = first_instr("neg %l0, %l1")
+        assert instr.opcode is Opcode.SUB
+        assert instr.rs1 == 0 and instr.rs2 == 16 and instr.rd == 17
+
+    def test_ret(self):
+        instr = first_instr("ret")
+        assert instr.opcode is Opcode.JMPL
+        assert instr.rs1 == 15
+
+    def test_b_alias(self):
+        exe = assemble("top: b top")
+        assert exe.instructions()[0].opcode is Opcode.BA
+
+
+class TestDataDirectives:
+    def test_word(self):
+        exe = assemble(".data\nx: .word 0x11223344")
+        assert exe.data == bytes.fromhex("11223344")
+
+    def test_multiple_words(self):
+        exe = assemble(".data\nx: .word 1, 2")
+        assert exe.data == (1).to_bytes(4, "big") + (2).to_bytes(4, "big")
+
+    def test_half_and_byte(self):
+        exe = assemble(".data\n.half 0x1234\n.byte 0xab, 0xcd")
+        assert exe.data == bytes.fromhex("1234abcd")
+
+    def test_float_double(self):
+        exe = assemble(".data\n.float 1.5\n.double 2.5")
+        assert exe.data == struct.pack(">f", 1.5) + struct.pack(">d", 2.5)
+
+    def test_space_zeroed(self):
+        exe = assemble(".data\n.space 8")
+        assert exe.data == bytes(8)
+
+    def test_align(self):
+        exe = assemble(".data\n.byte 1\n.align 4\nx: .word 2")
+        assert exe.symbols["x"] == DATA_BASE + 4
+
+    def test_asciz(self):
+        exe = assemble('.data\n.asciz "ab"')
+        assert exe.data == b"ab\0"
+
+    def test_word_of_label(self):
+        exe = assemble(".data\na: .word b\nb: .word 0")
+        assert exe.data[:4] == (DATA_BASE + 4).to_bytes(4, "big")
+
+    def test_equ_constant(self):
+        exe = assemble(".equ N, 12\nadd %g0, N, %g1")
+        assert exe.instructions()[0].imm == 12
+
+
+class TestHiLo:
+    def test_hi_lo_reconstruct(self):
+        exe = assemble(
+            "sethi %hi(x), %l0\nor %l0, %lo(x), %l0\nhalt\n"
+            ".data\n.space 100\nx: .word 0"
+        )
+        instrs = exe.instructions()
+        value = (instrs[0].imm << 13) | instrs[1].imm
+        assert value == exe.symbols["x"]
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble("frobnicate %g1")
+
+    def test_undefined_symbol(self):
+        with pytest.raises(AssemblerError, match="undefined symbol"):
+            assemble("ba nowhere")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError, match="duplicate label"):
+            assemble("x: nop\nx: nop")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError):
+            assemble("add %g1, %g2")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblerError, match=":3:"):
+            assemble("nop\nnop\nbad_op %g1")
+
+    def test_data_directive_in_text(self):
+        with pytest.raises(AssemblerError):
+            assemble(".word 4")
+
+    def test_imm_out_of_range(self):
+        with pytest.raises(AssemblerError):
+            assemble("add %g0, 99999, %g1")
+
+
+class TestAddressing:
+    def test_addresses_are_sequential(self):
+        exe = assemble("nop\nnop\nnop")
+        addrs = [i.address for i in exe.instructions()]
+        assert addrs == [TEXT_BASE, TEXT_BASE + 4, TEXT_BASE + 8]
+
+    def test_pseudo_expansion_keeps_labels_consistent(self):
+        exe = assemble(
+            "set 0x123456, %l0\nafter: halt"
+        )
+        assert exe.symbols["after"] == TEXT_BASE + 8
+
+    def test_instruction_at_matches_instructions(self):
+        exe = assemble("nop\nadd %g1, 1, %g1\nhalt")
+        listed = exe.instructions()
+        for instr in listed:
+            assert exe.instruction_at(instr.address) == instr

@@ -1,0 +1,77 @@
+"""Tests for the disassembler."""
+
+import pytest
+
+from repro.isa import assemble, disassemble, format_instruction
+from repro.isa.encoding import decode, encode
+
+
+SAMPLES = [
+    "add %g1, %g2, %g3",
+    "sub %l0, -5, %l1",
+    "or %g0, 100, %o0",
+    "sethi 0x1234, %l7",
+    "ld [%sp + 8], %l0",
+    "ld [%g1 + %g2], %l0",
+    "st %l0, [%sp - 4]",
+    "ldub [%i0], %l2",
+    "lddf [%l0 + 16], %f4",
+    "stdf %f4, [%l0]",
+    "fadd %f0, %f1, %f2",
+    "fsqrt %f3, %f4",
+    "fcmp %f1, %f2",
+    "fitod %l0, %f0",
+    "fdtoi %f0, %l0",
+    "jmpl [%ra], %g0",
+    "out %l3",
+    "nop",
+    "halt",
+]
+
+
+@pytest.mark.parametrize("source", SAMPLES)
+def test_reassembly_fixed_point(source):
+    """assemble -> decode -> format -> assemble reproduces the encoding."""
+    exe = assemble(source)
+    instr = exe.instructions()[0]
+    text = format_instruction(instr)
+    re_exe = assemble(text)
+    assert re_exe.text == exe.text, f"{source!r} -> {text!r}"
+
+
+def test_branch_formats_with_absolute_target():
+    exe = assemble("top: nop\nbne top")
+    text = format_instruction(exe.instructions()[1])
+    assert text == "bne 0x10000"
+
+
+def test_call_formats_target():
+    exe = assemble("main: call main")
+    assert format_instruction(exe.instructions()[0]) == "call 0x10000"
+
+
+def test_memory_operand_spacing():
+    exe = assemble("ld [%sp - 12], %l0")
+    assert format_instruction(exe.instructions()[0]) == "ld [%o6 - 12], %l0"
+
+
+def test_str_uses_disasm():
+    exe = assemble("add %g1, 1, %g1")
+    assert "add" in str(exe.instructions()[0])
+
+
+def test_disassemble_multi_line():
+    exe = assemble("nop\nhalt")
+    text = disassemble(exe.instructions())
+    lines = text.splitlines()
+    assert len(lines) == 2
+    assert lines[0].startswith("0x00010000:")
+    assert "halt" in lines[1]
+
+
+def test_round_trip_through_binary():
+    """decode(encode(x)) formats identically to x."""
+    exe = assemble("\n".join(SAMPLES))
+    for instr in exe.instructions():
+        redecoded = decode(encode(instr), instr.address)
+        assert format_instruction(redecoded) == format_instruction(instr)

@@ -1,0 +1,200 @@
+"""Encode/decode round-trip tests, including property-based coverage."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EncodingError
+from repro.isa.encoding import decode, encode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import (
+    Format,
+    Opcode,
+    ZERO_EXT_IMM_OPS,
+    opcode_info,
+)
+
+ADDRESS = 0x0001_0000
+
+
+def round_trip(instr: Instruction) -> Instruction:
+    return decode(encode(instr), instr.address)
+
+
+class TestAluEncoding:
+    def test_register_form(self):
+        instr = Instruction(ADDRESS, Opcode.ADD, rs1=1, rs2=2, rd=3)
+        assert round_trip(instr) == instr
+
+    def test_immediate_form(self):
+        instr = Instruction(ADDRESS, Opcode.SUB, rs1=4, rd=5, imm=-17)
+        assert round_trip(instr) == instr
+
+    def test_imm13_bounds(self):
+        assert round_trip(
+            Instruction(ADDRESS, Opcode.ADD, rs1=0, rd=1, imm=4095)
+        ).imm == 4095
+        assert round_trip(
+            Instruction(ADDRESS, Opcode.ADD, rs1=0, rd=1, imm=-4096)
+        ).imm == -4096
+
+    def test_imm13_overflow_raises(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(ADDRESS, Opcode.ADD, rs1=0, rd=1, imm=4096))
+        with pytest.raises(EncodingError):
+            encode(Instruction(ADDRESS, Opcode.ADD, rs1=0, rd=1, imm=-4097))
+
+    def test_logical_imm_is_zero_extended(self):
+        instr = Instruction(ADDRESS, Opcode.OR, rs1=1, rd=1, imm=8191)
+        assert round_trip(instr).imm == 8191
+
+    def test_logical_negative_imm_raises(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(ADDRESS, Opcode.OR, rs1=1, rd=1, imm=-1))
+
+
+class TestSethi:
+    def test_round_trip(self):
+        instr = Instruction(ADDRESS, Opcode.SETHI, rd=7, imm=0x7FFFF)
+        assert round_trip(instr) == instr
+
+    def test_range_check(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(ADDRESS, Opcode.SETHI, rd=7, imm=1 << 19))
+
+
+class TestMemoryEncoding:
+    def test_load_imm_offset(self):
+        instr = Instruction(ADDRESS, Opcode.LD, rs1=14, rd=16, imm=64)
+        assert round_trip(instr) == instr
+
+    def test_load_register_offset(self):
+        instr = Instruction(ADDRESS, Opcode.LD, rs1=14, rs2=17, rd=16)
+        assert round_trip(instr) == instr
+
+    def test_store(self):
+        instr = Instruction(ADDRESS, Opcode.ST, rs1=14, rd=16, imm=-8)
+        assert round_trip(instr) == instr
+
+    def test_fp_load_store(self):
+        load = Instruction(ADDRESS, Opcode.LDDF, rs1=1, fd=2, imm=16)
+        store = Instruction(ADDRESS, Opcode.STDF, rs1=1, fd=2, imm=24)
+        assert round_trip(load) == load
+        assert round_trip(store) == store
+
+
+class TestControlFlow:
+    def test_branch_forward(self):
+        instr = Instruction(ADDRESS, Opcode.BNE, target=ADDRESS + 0x40)
+        assert round_trip(instr) == instr
+
+    def test_branch_backward(self):
+        instr = Instruction(ADDRESS + 0x100, Opcode.BE, target=ADDRESS)
+        assert round_trip(instr) == instr
+
+    def test_branch_to_self(self):
+        instr = Instruction(ADDRESS, Opcode.BA, target=ADDRESS)
+        assert round_trip(instr) == instr
+
+    def test_call_sets_link_register(self):
+        instr = encode(Instruction(ADDRESS, Opcode.CALL, rd=15,
+                                   target=ADDRESS + 0x1000))
+        decoded = decode(instr, ADDRESS)
+        assert decoded.rd == 15
+        assert decoded.target == ADDRESS + 0x1000
+
+    def test_branch_without_target_raises(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(ADDRESS, Opcode.BNE))
+
+    def test_jmpl(self):
+        instr = Instruction(ADDRESS, Opcode.JMPL, rs1=15, rd=0, imm=0)
+        assert round_trip(instr) == instr
+
+
+class TestFpEncoding:
+    def test_fpop2(self):
+        instr = Instruction(ADDRESS, Opcode.FMUL, fs1=1, fs2=2, fd=3)
+        assert round_trip(instr) == instr
+
+    def test_fpop1(self):
+        instr = Instruction(ADDRESS, Opcode.FSQRT, fs1=4, fd=5)
+        assert round_trip(instr) == instr
+
+    def test_fcmp(self):
+        instr = Instruction(ADDRESS, Opcode.FCMP, fs1=6, fs2=7)
+        assert round_trip(instr) == instr
+
+    def test_conversions(self):
+        i2f = Instruction(ADDRESS, Opcode.FITOD, rs1=8, fd=9)
+        f2i = Instruction(ADDRESS, Opcode.FDTOI, fs1=9, rd=8)
+        assert round_trip(i2f) == i2f
+        assert round_trip(f2i) == f2i
+
+
+class TestMisc:
+    def test_nop_halt(self):
+        for opcode in (Opcode.NOP, Opcode.HALT):
+            instr = Instruction(ADDRESS, opcode)
+            assert round_trip(instr) == instr
+
+    def test_out(self):
+        instr = Instruction(ADDRESS, Opcode.OUT, rs1=9)
+        assert round_trip(instr) == instr
+
+    def test_illegal_opcode_raises(self):
+        with pytest.raises(EncodingError):
+            decode(0xFE000000, ADDRESS)
+
+
+# ---------------------------------------------------------------------------
+# Property-based round-trips
+# ---------------------------------------------------------------------------
+
+regs = st.integers(min_value=0, max_value=31)
+signed_imm = st.integers(min_value=-4096, max_value=4095)
+unsigned_imm = st.integers(min_value=0, max_value=8191)
+
+ALU_SIGNED = [
+    op for op in (Opcode.ADD, Opcode.ADDCC, Opcode.SUB, Opcode.SUBCC,
+                  Opcode.SMUL, Opcode.SDIV)
+]
+ALU_UNSIGNED = sorted(ZERO_EXT_IMM_OPS, key=int)
+
+
+@given(op=st.sampled_from(ALU_SIGNED), rs1=regs, rd=regs, imm=signed_imm)
+def test_alu_signed_imm_round_trip(op, rs1, rd, imm):
+    instr = Instruction(ADDRESS, op, rs1=rs1, rd=rd, imm=imm)
+    assert round_trip(instr) == instr
+
+
+@given(op=st.sampled_from(ALU_UNSIGNED), rs1=regs, rd=regs, imm=unsigned_imm)
+def test_alu_unsigned_imm_round_trip(op, rs1, rd, imm):
+    instr = Instruction(ADDRESS, op, rs1=rs1, rd=rd, imm=imm)
+    assert round_trip(instr) == instr
+
+
+@given(rs1=regs, rs2=regs, rd=regs,
+       op=st.sampled_from(ALU_SIGNED + ALU_UNSIGNED))
+def test_alu_register_round_trip(op, rs1, rs2, rd):
+    instr = Instruction(ADDRESS, op, rs1=rs1, rs2=rs2, rd=rd)
+    assert round_trip(instr) == instr
+
+
+# Keep the target inside the 32-bit address space (branches never wrap).
+@given(disp=st.integers(min_value=-(1 << 22), max_value=(1 << 23) - 1))
+def test_branch_displacement_round_trip(disp):
+    address = 0x0100_0000
+    target = address + (disp << 2)
+    instr = Instruction(address, Opcode.BNE, target=target)
+    assert round_trip(instr).target == target
+
+
+@given(data=st.binary(min_size=4, max_size=4))
+def test_decode_never_crashes_on_known_opcodes(data):
+    """Any word whose top byte is a valid opcode decodes or raises cleanly."""
+    word = int.from_bytes(data, "big")
+    try:
+        instr = decode(word, ADDRESS)
+    except EncodingError:
+        return
+    assert opcode_info(instr.opcode).fmt in list(Format)

@@ -1,0 +1,88 @@
+"""Tests for the FSX object-file format."""
+
+import io
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.isa import assemble
+from repro.isa.objfile import (
+    from_bytes,
+    load_executable,
+    read_executable,
+    save_executable,
+    to_bytes,
+)
+from repro.sim.fastsim import FastSim
+
+PROGRAM = """
+main:
+    set table, %l0
+    mov 4, %l1
+loop:
+    ld [%l0], %l2
+    add %l0, 4, %l0
+    subcc %l1, 1, %l1
+    bne loop
+    out %l2
+    halt
+    .data
+table: .word 10, 20, 30, 40
+"""
+
+
+class TestRoundTrip:
+    def test_fields_preserved(self):
+        original = assemble(PROGRAM, name="prog.s")
+        restored = from_bytes(to_bytes(original))
+        assert restored.text == original.text
+        assert restored.data == original.data
+        assert restored.entry == original.entry
+        assert restored.text_base == original.text_base
+        assert restored.data_base == original.data_base
+        assert restored.symbols == original.symbols
+
+    def test_restored_executable_simulates_identically(self):
+        original = assemble(PROGRAM)
+        restored = from_bytes(to_bytes(original))
+        a = FastSim(original).run()
+        b = FastSim(restored).run()
+        assert a.timing_equal(b)
+        assert a.output == [40]
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "prog.fsx"
+        save_executable(assemble(PROGRAM), path)
+        restored = load_executable(path)
+        assert restored.symbol("table") == assemble(PROGRAM).symbol("table")
+        assert str(path) in restored.source_name
+
+    def test_empty_program(self):
+        restored = from_bytes(to_bytes(assemble("")))
+        assert restored.text == b""
+
+    def test_unicode_symbols(self):
+        exe = assemble("main: halt")
+        exe.symbols["päss"] = 0x42
+        restored = from_bytes(to_bytes(exe))
+        assert restored.symbols["päss"] == 0x42
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(EncodingError, match="magic"):
+            read_executable(io.BytesIO(b"ELF\x7f" + bytes(64)))
+
+    def test_truncated_header(self):
+        with pytest.raises(EncodingError, match="truncated"):
+            read_executable(io.BytesIO(b"FSX1\x00"))
+
+    def test_truncated_segments(self):
+        blob = to_bytes(assemble(PROGRAM))
+        with pytest.raises(EncodingError):
+            from_bytes(blob[:40])
+
+    def test_truncated_symbols(self):
+        blob = to_bytes(assemble("main: halt"))
+        with pytest.raises(EncodingError):
+            from_bytes(blob[:-3])

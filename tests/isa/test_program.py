@@ -1,0 +1,79 @@
+"""Tests for Executable images and the decoded-instruction cache."""
+
+import pytest
+
+from repro.errors import EncodingError, MemoryFault
+from repro.isa import Opcode, assemble
+from repro.isa.program import DATA_BASE, STACK_TOP, TEXT_BASE, Executable
+
+
+class TestLayout:
+    def test_default_bases(self):
+        exe = assemble("nop")
+        assert exe.text_base == TEXT_BASE
+        assert exe.data_base == DATA_BASE
+        assert STACK_TOP > DATA_BASE
+
+    def test_text_end(self):
+        exe = assemble("nop\nnop")
+        assert exe.text_end == TEXT_BASE + 8
+
+    def test_data_end_includes_bss(self):
+        exe = Executable(text=b"", data=b"abcd", bss_size=12)
+        assert exe.data_end == exe.data_base + 16
+
+    def test_contains_text(self):
+        exe = assemble("nop\nnop")
+        assert exe.contains_text(TEXT_BASE)
+        assert exe.contains_text(TEXT_BASE + 4)
+        assert not exe.contains_text(TEXT_BASE + 8)
+        assert not exe.contains_text(TEXT_BASE - 4)
+
+    def test_misaligned_text_rejected(self):
+        with pytest.raises(EncodingError):
+            Executable(text=b"\x00\x00\x00")
+
+
+class TestInstructionCache:
+    def test_instruction_at_decodes(self):
+        exe = assemble("add %g1, 2, %g3")
+        instr = exe.instruction_at(TEXT_BASE)
+        assert instr.opcode is Opcode.ADD
+
+    def test_memoised_identity(self):
+        exe = assemble("nop")
+        assert exe.instruction_at(TEXT_BASE) is exe.instruction_at(TEXT_BASE)
+
+    def test_fetch_outside_text_faults(self):
+        exe = assemble("nop")
+        with pytest.raises(MemoryFault):
+            exe.instruction_at(TEXT_BASE + 4)
+        with pytest.raises(MemoryFault):
+            exe.instruction_at(TEXT_BASE - 4)
+
+    def test_misaligned_fetch_faults(self):
+        exe = assemble("nop\nnop")
+        with pytest.raises(MemoryFault):
+            exe.instruction_at(TEXT_BASE + 2)
+
+    def test_instructions_lists_all(self):
+        exe = assemble("nop\nadd %g1, 1, %g1\nhalt")
+        listed = exe.instructions()
+        assert [i.opcode for i in listed] == [Opcode.NOP, Opcode.ADD,
+                                              Opcode.HALT]
+
+
+class TestSymbols:
+    def test_symbol_lookup(self):
+        exe = assemble("main: nop\nend: halt")
+        assert exe.symbol("end") == TEXT_BASE + 4
+
+    def test_missing_symbol(self):
+        with pytest.raises(KeyError, match="no symbol"):
+            assemble("nop").symbol("missing")
+
+    def test_repr(self):
+        exe = assemble("main: halt", name="prog.s")
+        text = repr(exe)
+        assert "prog.s" in text
+        assert "4B" in text

@@ -1,0 +1,84 @@
+"""Tests for register name parsing and formatting."""
+
+import pytest
+
+from repro.isa.registers import (
+    FP_REG,
+    LINK_REG,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    SP_REG,
+    ZERO_REG,
+    fp_reg_name,
+    int_reg_name,
+    parse_fp_reg,
+    parse_int_reg,
+)
+
+
+class TestIntRegisterParsing:
+    def test_globals(self):
+        assert parse_int_reg("%g0") == 0
+        assert parse_int_reg("%g7") == 7
+
+    def test_outs_locals_ins(self):
+        assert parse_int_reg("%o0") == 8
+        assert parse_int_reg("%l0") == 16
+        assert parse_int_reg("%i0") == 24
+        assert parse_int_reg("%i7") == 31
+
+    def test_numeric_aliases(self):
+        for i in range(NUM_INT_REGS):
+            assert parse_int_reg(f"%r{i}") == i
+
+    def test_special_aliases(self):
+        assert parse_int_reg("%sp") == SP_REG == 14
+        assert parse_int_reg("%fp") == FP_REG == 30
+        assert parse_int_reg("%ra") == LINK_REG == 15
+
+    def test_case_insensitive_and_bare(self):
+        assert parse_int_reg("G3") == 3
+        assert parse_int_reg("%L2") == 18
+
+    def test_zero_register_constant(self):
+        assert ZERO_REG == 0
+        assert parse_int_reg("%g0") == ZERO_REG
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            parse_int_reg("%x9")
+        with pytest.raises(ValueError):
+            parse_int_reg("%f1")  # FP name in the integer namespace
+
+
+class TestFpRegisterParsing:
+    def test_all_fp_regs(self):
+        for i in range(NUM_FP_REGS):
+            assert parse_fp_reg(f"%f{i}") == i
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            parse_fp_reg("%f32")
+        with pytest.raises(ValueError):
+            parse_fp_reg("%g1")
+
+
+class TestNames:
+    def test_int_round_trip(self):
+        for i in range(NUM_INT_REGS):
+            assert parse_int_reg(int_reg_name(i)) == i
+
+    def test_fp_round_trip(self):
+        for i in range(NUM_FP_REGS):
+            assert parse_fp_reg(fp_reg_name(i)) == i
+
+    def test_canonical_spelling(self):
+        assert int_reg_name(0) == "%g0"
+        assert int_reg_name(14) == "%o6"
+        assert int_reg_name(31) == "%i7"
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            int_reg_name(32)
+        with pytest.raises(ValueError):
+            fp_reg_name(-1)

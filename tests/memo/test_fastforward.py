@@ -1,0 +1,240 @@
+"""Integration tests for fast-forwarding — the paper's headline claims.
+
+The central invariant (paper §4, repeated throughout): *fast-forwarding
+produces exactly the same, cycle-accurate result as conventional
+simulation.* Every test here compares FastSim against SlowSim on
+programs chosen to exercise each variation point of the action chains:
+branch outcomes, load latencies, misprediction rollbacks, indirect
+jumps, and program-phase changes.
+"""
+
+import pytest
+
+from repro.branch import (
+    AlwaysTakenPredictor,
+    BimodalPredictor,
+    NotTakenPredictor,
+)
+from repro.emulator.functional import run_program
+from repro.isa import assemble
+from repro.sim.fastsim import FastSim
+from repro.sim.slowsim import SlowSim
+from repro.uarch.params import ProcessorParams
+
+SIMPLE_LOOP = """
+main:
+    mov 300, %l0
+    clr %l1
+loop:
+    add %l1, %l0, %l1
+    subcc %l0, 1, %l0
+    bne loop
+    out %l1
+    halt
+"""
+
+MEMORY_PHASES = """
+main:
+    set buf, %l0
+    mov 30, %l6
+outer:
+    mov 24, %l1
+    clr %l3
+fill:
+    st %l3, [%l0 + %l3]
+    add %l3, 4, %l3
+    subcc %l1, 1, %l1
+    bne fill
+    mov 24, %l1
+    clr %l3
+    clr %l4
+sum:
+    ld [%l0 + %l3], %l5
+    add %l4, %l5, %l4
+    add %l3, 4, %l3
+    subcc %l1, 1, %l1
+    bne sum
+    subcc %l6, 1, %l6
+    bne outer
+    out %l4
+    halt
+    .data
+buf: .space 128
+"""
+
+CALL_HEAVY = """
+main:
+    mov 60, %l6
+    clr %l7
+loop:
+    mov %l6, %o0
+    call work
+    add %l7, %o0, %l7
+    subcc %l6, 1, %l6
+    bne loop
+    out %l7
+    halt
+work:
+    and %o0, 3, %l0
+    tst %l0
+    be even
+    smul %o0, 3, %o0
+    ret
+even:
+    add %o0, 1, %o0
+    ret
+"""
+
+IRREGULAR_BRANCHES = """
+main:
+    mov 123, %l0             ! LCG-ish pseudo random bits
+    mov 150, %l6
+    clr %l7
+loop:
+    smul %l0, 1103, %l1
+    add %l1, 3797, %l0
+    and %l0, 0x1fff, %l0
+    and %l0, 4, %l2
+    tst %l2
+    be skip
+    add %l7, 1, %l7
+skip:
+    subcc %l6, 1, %l6
+    bne loop
+    out %l7
+    halt
+"""
+
+FP_KERNEL = """
+main:
+    set vals, %l0
+    mov 40, %l6
+    lddf [%l0], %f0
+    lddf [%l0 + 8], %f1
+loop:
+    fmul %f0, %f1, %f2
+    fadd %f2, %f1, %f0
+    fdiv %f0, %f2, %f3
+    subcc %l6, 1, %l6
+    bne loop
+    fdtoi %f3, %l1
+    out %l1
+    halt
+    .data
+vals: .double 1.001, 0.999
+"""
+
+PROGRAMS = {
+    "simple-loop": SIMPLE_LOOP,
+    "memory-phases": MEMORY_PHASES,
+    "call-heavy": CALL_HEAVY,
+    "irregular-branches": IRREGULAR_BRANCHES,
+    "fp-kernel": FP_KERNEL,
+}
+
+PREDICTORS = {
+    "bimodal": BimodalPredictor,
+    "taken": AlwaysTakenPredictor,
+    "not-taken": NotTakenPredictor,
+}
+
+
+def run_pair(source, predictor_cls=BimodalPredictor, params=None):
+    exe = assemble(source)
+    slow = SlowSim(exe, params=params, predictor=predictor_cls()).run()
+    fast = FastSim(exe, params=params, predictor=predictor_cls()).run()
+    return slow, fast
+
+
+@pytest.mark.parametrize("program", PROGRAMS, ids=list(PROGRAMS))
+@pytest.mark.parametrize("predictor", PREDICTORS, ids=list(PREDICTORS))
+def test_fastsim_identical_to_slowsim(program, predictor):
+    """THE invariant: memoization changes nothing observable."""
+    slow, fast = run_pair(PROGRAMS[program], PREDICTORS[predictor])
+    assert fast.cycles == slow.cycles
+    assert fast.instructions == slow.instructions
+    assert fast.output == slow.output
+    assert fast.sim_stats == slow.sim_stats
+    assert fast.cache_stats == slow.cache_stats
+
+
+@pytest.mark.parametrize("program", PROGRAMS, ids=list(PROGRAMS))
+def test_output_matches_functional_execution(program):
+    reference = run_program(assemble(PROGRAMS[program]))
+    _, fast = run_pair(PROGRAMS[program])
+    assert fast.output == reference.output
+
+
+class TestReplayDominates:
+    def test_loops_replay_most_instructions(self):
+        _, fast = run_pair(SIMPLE_LOOP)
+        memo = fast.memo
+        assert memo.replayed_instructions > memo.detailed_instructions * 10
+        assert memo.detailed_fraction < 0.1
+
+    def test_configs_repeat(self):
+        _, fast = run_pair(SIMPLE_LOOP)
+        memo = fast.memo
+        assert memo.configs_replayed > memo.configs_allocated
+
+    def test_actions_per_config_in_paper_band(self):
+        """Paper Table 5: 2.9-5.7 dynamic actions per configuration."""
+        _, fast = run_pair(MEMORY_PHASES)
+        assert 1.5 <= fast.memo.actions_per_config <= 8.0
+
+    def test_chain_lengths_recorded(self):
+        _, fast = run_pair(SIMPLE_LOOP)
+        memo = fast.memo
+        assert memo.max_chain_length >= memo.avg_chain_length > 0
+
+
+class TestCacheReuseAcrossRuns:
+    def test_second_run_is_fully_warm(self):
+        exe = assemble(SIMPLE_LOOP)
+        first = FastSim(exe, predictor=AlwaysTakenPredictor())
+        result1 = first.run()
+        second = FastSim(exe, predictor=AlwaysTakenPredictor(),
+                         pcache=first.pcache)
+        result2 = second.run()
+        assert result2.timing_equal(result1)
+        # Everything replays: no new configurations were needed.
+        assert second.pcache.configs_allocated == first.pcache.configs_allocated
+
+    def test_warm_cache_with_same_deterministic_predictor(self):
+        exe = assemble(MEMORY_PHASES)
+        first = FastSim(exe, predictor=NotTakenPredictor())
+        result1 = first.run()
+        second = FastSim(exe, predictor=NotTakenPredictor(),
+                         pcache=first.pcache)
+        result2 = second.run()
+        assert result2.timing_equal(result1)
+        assert result2.memo.detailed_instructions == 0
+
+
+class TestParamsVariations:
+    def test_narrow_machine_still_exact(self):
+        slow, fast = run_pair(MEMORY_PHASES, params=ProcessorParams.narrow())
+        assert fast.timing_equal(slow)
+
+    def test_different_params_different_cycles(self):
+        _, wide = run_pair(MEMORY_PHASES)
+        _, narrow = run_pair(MEMORY_PHASES, params=ProcessorParams.narrow())
+        assert narrow.cycles > wide.cycles
+
+
+class TestMemoAccounting:
+    def test_cache_bytes_positive_and_bounded(self):
+        _, fast = run_pair(MEMORY_PHASES)
+        memo = fast.memo
+        assert 0 < memo.cache_bytes <= memo.peak_cache_bytes
+
+    def test_cycles_split_detailed_plus_replayed(self):
+        slow, fast = run_pair(MEMORY_PHASES)
+        memo = fast.memo
+        assert memo.detailed_cycles + memo.replayed_cycles == slow.cycles
+
+    def test_instructions_split(self):
+        slow, fast = run_pair(MEMORY_PHASES)
+        memo = fast.memo
+        total = memo.detailed_instructions + memo.replayed_instructions
+        assert total == slow.instructions

@@ -1,0 +1,102 @@
+"""Tests for p-action cache persistence."""
+
+import io
+
+import pytest
+
+from repro.branch import NotTakenPredictor
+from repro.errors import MemoizationError
+from repro.memo.persist import (
+    load_pcache,
+    read_pcache,
+    save_pcache,
+    write_pcache,
+)
+from repro.sim.fastsim import FastSim
+from repro.workloads import load_workload
+
+WORKLOAD = "compress"
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    """A populated cache from one full run."""
+    sim = FastSim(load_workload(WORKLOAD, "tiny"),
+                  predictor=NotTakenPredictor())
+    result = sim.run()
+    return sim.pcache, result
+
+
+def round_trip(cache):
+    buffer = io.BytesIO()
+    write_pcache(cache, buffer)
+    buffer.seek(0)
+    return read_pcache(buffer)
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self, recorded):
+        cache, _ = recorded
+        restored = round_trip(cache)
+        assert len(restored) == len(cache)
+        assert restored.configs_allocated == cache.configs_allocated
+        assert restored.actions_allocated == cache.actions_allocated
+        assert set(restored.index) == set(cache.index)
+
+    def test_bytes_reaccounted(self, recorded):
+        cache, _ = recorded
+        restored = round_trip(cache)
+        assert restored.bytes_used == restored._measure()
+
+    def test_restored_cache_replays_everything(self, recorded):
+        """The headline: a persisted cache starts a new simulation
+        fully warm and produces identical results."""
+        cache, original_result = recorded
+        restored = round_trip(cache)
+        sim = FastSim(load_workload(WORKLOAD, "tiny"),
+                      predictor=NotTakenPredictor(), pcache=restored)
+        result = sim.run()
+        assert result.timing_equal(original_result)
+        assert result.memo.detailed_instructions == 0
+
+    def test_file_round_trip(self, recorded, tmp_path):
+        cache, original_result = recorded
+        path = tmp_path / "memo.fspc"
+        save_pcache(cache, path)
+        restored = load_pcache(path)
+        sim = FastSim(load_workload(WORKLOAD, "tiny"),
+                      predictor=NotTakenPredictor(), pcache=restored)
+        assert sim.run().timing_equal(original_result)
+
+
+class TestBindingEnforced:
+    def test_signature_survives(self, recorded):
+        cache, _ = recorded
+        restored = round_trip(cache)
+        assert restored._bound_program == cache._bound_program
+
+    def test_wrong_program_rejected_after_load(self, recorded):
+        cache, _ = recorded
+        restored = round_trip(cache)
+        with pytest.raises(MemoizationError, match="different program"):
+            FastSim(load_workload("go", "tiny"), pcache=restored).run()
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(MemoizationError):
+            read_pcache(io.BytesIO(b"NOPE" + bytes(16)))
+
+    def test_truncated(self, recorded):
+        cache, _ = recorded
+        buffer = io.BytesIO()
+        write_pcache(cache, buffer)
+        blob = buffer.getvalue()
+        with pytest.raises(Exception):
+            read_pcache(io.BytesIO(blob[: len(blob) // 2]))
+
+    def test_empty_cache_round_trips(self):
+        from repro.memo.pcache import PActionCache
+
+        restored = round_trip(PActionCache())
+        assert len(restored) == 0

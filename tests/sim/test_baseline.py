@@ -1,0 +1,160 @@
+"""Tests for the SimpleScalar-surrogate integrated simulator."""
+
+import pytest
+
+from repro.branch import AlwaysTakenPredictor, NotTakenPredictor
+from repro.emulator.functional import run_program
+from repro.isa import assemble
+from repro.sim.baseline import IntegratedSimulator
+from repro.sim.slowsim import SlowSim
+from repro.uarch.params import ProcessorParams
+
+PROGRAMS = {
+    "loop": """
+main:
+    mov 100, %l0
+    clr %l1
+loop:
+    add %l1, %l0, %l1
+    subcc %l0, 1, %l0
+    bne loop
+    out %l1
+    halt
+""",
+    "memory": """
+main:
+    set buf, %l0
+    mov 16, %l1
+    clr %l3
+fill:
+    st %l3, [%l0 + %l3]
+    add %l3, 4, %l3
+    subcc %l1, 1, %l1
+    bne fill
+    ld [%l0 + 20], %l4
+    out %l4
+    halt
+    .data
+buf: .space 64
+""",
+    "calls": """
+main:
+    mov 10, %l6
+    clr %l7
+loop:
+    mov %l6, %o0
+    call square
+    add %l7, %o0, %l7
+    subcc %l6, 1, %l6
+    bne loop
+    out %l7
+    halt
+square:
+    smul %o0, %o0, %o0
+    ret
+""",
+    "fp": """
+main:
+    set v, %l0
+    lddf [%l0], %f0
+    lddf [%l0+8], %f1
+    fmul %f0, %f1, %f2
+    fdiv %f2, %f1, %f3
+    fdtoi %f3, %l1
+    out %l1
+    halt
+    .data
+v: .double 7.0, 2.0
+""",
+}
+
+
+@pytest.mark.parametrize("name", PROGRAMS, ids=list(PROGRAMS))
+class TestFunctionalCorrectness:
+    def test_output_matches_reference(self, name):
+        exe = assemble(PROGRAMS[name])
+        reference = run_program(exe)
+        result = IntegratedSimulator(exe).run()
+        assert result.output == reference.output
+
+    def test_instruction_count_matches_reference(self, name):
+        exe = assemble(PROGRAMS[name])
+        reference = run_program(exe)
+        result = IntegratedSimulator(exe).run()
+        assert result.instructions == reference.instret
+
+    def test_same_committed_work_as_slowsim(self, name):
+        exe = assemble(PROGRAMS[name])
+        baseline = IntegratedSimulator(exe).run()
+        slow = SlowSim(exe).run()
+        assert baseline.instructions == slow.instructions
+        assert baseline.output == slow.output
+
+
+class TestComparableTiming:
+    def test_cycles_within_a_few_percent_of_slowsim(self):
+        """Different simulator, same model: cycle counts stay close."""
+        exe = assemble(PROGRAMS["memory"])
+        baseline = IntegratedSimulator(exe).run()
+        slow = SlowSim(exe).run()
+        ratio = baseline.cycles / slow.cycles
+        assert 0.9 <= ratio <= 1.1
+
+    def test_ipc_bounded_by_retire_width(self):
+        exe = assemble(PROGRAMS["loop"])
+        result = IntegratedSimulator(exe).run()
+        assert 0 < result.ipc <= 4.0
+
+
+class TestSpeculation:
+    def test_rollbacks_with_poor_prediction(self):
+        exe = assemble(PROGRAMS["loop"])
+        result = IntegratedSimulator(
+            exe, predictor=NotTakenPredictor()
+        ).run()
+        assert result.rollbacks > 50
+        assert result.output == [5050]
+
+    def test_wrong_path_stores_undone(self):
+        src = """
+main:
+    set buf, %l0
+    mov 5, %l1
+loop:
+    subcc %l1, 1, %l1
+    bne loop
+    mov 9, %l2              ! fall-through path after loop exit
+    st %l2, [%l0]
+    ld [%l0], %l3
+    out %l3
+    halt
+    .data
+buf: .word 1
+"""
+        exe = assemble(src)
+        result = IntegratedSimulator(
+            exe, predictor=AlwaysTakenPredictor()
+        ).run()
+        assert result.output == [9]
+
+    def test_misprediction_statistics(self):
+        exe = assemble(PROGRAMS["loop"])
+        bad = IntegratedSimulator(exe, predictor=NotTakenPredictor()).run()
+        good = IntegratedSimulator(exe, predictor=AlwaysTakenPredictor()).run()
+        assert bad.sim_stats.mispredictions > good.sim_stats.mispredictions
+        assert bad.cycles > good.cycles
+
+
+class TestParams:
+    def test_narrow_machine_slower(self):
+        exe = assemble(PROGRAMS["memory"])
+        wide = IntegratedSimulator(exe).run()
+        narrow = IntegratedSimulator(exe, params=ProcessorParams.narrow()).run()
+        assert narrow.cycles > wide.cycles
+        assert narrow.output == wide.output
+
+    def test_cache_stats_populated(self):
+        exe = assemble(PROGRAMS["memory"])
+        result = IntegratedSimulator(exe).run()
+        assert result.cache_stats.stores == 16 or result.cache_stats.stores > 16
+        assert result.cache_stats.loads >= 1

@@ -1,0 +1,106 @@
+"""Tests for SimulationResult and MemoStats records."""
+
+import pytest
+
+from repro.cache.hierarchy import CacheStats
+from repro.sim.results import MemoStats, SimulationResult
+from repro.sim.world import SimStats
+
+
+def make_result(**overrides):
+    defaults = dict(
+        name="Test",
+        cycles=100,
+        instructions=150,
+        output=[1, 2],
+        sim_stats=SimStats(),
+        cache_stats=CacheStats(),
+        host_seconds=0.5,
+    )
+    defaults.update(overrides)
+    return SimulationResult(**defaults)
+
+
+class TestSimulationResult:
+    def test_ipc(self):
+        assert make_result().ipc == 1.5
+
+    def test_ipc_zero_cycles(self):
+        assert make_result(cycles=0).ipc == 0.0
+
+    def test_kinsts_per_second(self):
+        result = make_result(instructions=5000, host_seconds=1.0)
+        assert result.kinsts_per_second == 5.0
+
+    def test_kinsts_no_time(self):
+        assert make_result(host_seconds=0).kinsts_per_second == 0.0
+
+    def test_timing_equal_true(self):
+        assert make_result().timing_equal(make_result(name="Other"))
+
+    def test_timing_equal_detects_cycles(self):
+        assert not make_result().timing_equal(make_result(cycles=101))
+
+    def test_timing_equal_detects_output(self):
+        assert not make_result().timing_equal(make_result(output=[1]))
+
+    def test_timing_equal_detects_sim_stats(self):
+        stats = SimStats()
+        stats.mispredictions = 3
+        assert not make_result().timing_equal(make_result(sim_stats=stats))
+
+    def test_summary_mentions_key_facts(self):
+        text = make_result().summary()
+        assert "100 cycles" in text
+        assert "150 insts" in text
+
+    def test_as_dict_round_trip_fields(self):
+        data = make_result().as_dict()
+        assert data["cycles"] == 100
+        assert data["sim_stats"]["cycles"] == 0
+        assert "l1_load_hits" in data["cache_stats"]
+
+
+class TestMemoStats:
+    def test_detailed_fraction(self):
+        memo = MemoStats(detailed_instructions=5, replayed_instructions=95)
+        assert memo.detailed_fraction == pytest.approx(0.05)
+
+    def test_detailed_fraction_empty(self):
+        assert MemoStats().detailed_fraction == 0.0
+
+    def test_actions_per_config(self):
+        memo = MemoStats(actions_replayed=40, configs_replayed=10)
+        assert memo.actions_per_config == 4.0
+
+    def test_cycles_per_config(self):
+        memo = MemoStats(replayed_cycles=15, configs_replayed=10)
+        assert memo.cycles_per_config == 1.5
+
+    def test_chain_length_stats(self):
+        memo = MemoStats(chain_lengths=[10, 20, 60])
+        assert memo.avg_chain_length == 30.0
+        assert memo.max_chain_length == 60
+
+    def test_empty_chain_lengths(self):
+        memo = MemoStats()
+        assert memo.avg_chain_length == 0.0
+        assert memo.max_chain_length == 0
+
+
+class TestStatsEquality:
+    def test_simstats_equality(self):
+        a, b = SimStats(), SimStats()
+        assert a == b
+        b.cycles = 1
+        assert a != b
+
+    def test_cachestats_equality(self):
+        a, b = CacheStats(), CacheStats()
+        assert a == b
+        b.l2_misses = 2
+        assert a != b
+
+    def test_cross_type_comparison(self):
+        assert SimStats().__eq__(object()) is NotImplemented
+        assert CacheStats().__eq__(42) is NotImplemented

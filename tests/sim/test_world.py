@@ -1,0 +1,117 @@
+"""Tests for the world adapter (queue cursors, frontend lookahead)."""
+
+import pytest
+
+from repro.branch import AlwaysTakenPredictor
+from repro.errors import SimulationError
+from repro.isa import assemble
+from repro.sim.world import World
+from repro.uarch.interactions import Retire, Rollback
+
+PROGRAM = """
+main:
+    set buf, %l0
+    mov 4, %l1
+loop:
+    ld [%l0], %l2
+    st %l2, [%l0 + 16]
+    subcc %l1, 1, %l1
+    bne loop
+    halt
+    .data
+buf: .word 42
+    .space 28
+"""
+
+
+def make_world():
+    return World(assemble(PROGRAM), predictor=AlwaysTakenPredictor())
+
+
+class TestFrontendLookahead:
+    def test_primed_one_event_ahead(self):
+        world = make_world()
+        assert len(world.frontend.queues.controls) == 1
+
+    def test_get_control_keeps_one_ahead(self):
+        world = make_world()
+        record = world.get_control()
+        assert record is not None
+        assert len(world.frontend.queues.controls) == world.cf_fetched + 1
+
+    def test_loads_available_before_issue(self):
+        world = make_world()
+        # The frontend has executed past the first branch, so the first
+        # iteration's load/store records exist.
+        assert len(world.frontend.queues.loads) >= 1
+        assert len(world.frontend.queues.stores) >= 1
+
+
+class TestQueueCursors:
+    def test_issue_load_uses_ordinal(self):
+        world = make_world()
+        interval = world.issue_load(0)
+        assert interval >= 1
+
+    def test_poll_before_issue_raises(self):
+        world = make_world()
+        with pytest.raises(SimulationError, match="never issued"):
+            world.poll_load(0)
+
+    def test_poll_after_issue(self):
+        world = make_world()
+        world.issue_load(0)
+        reply = world.poll_load(0)
+        assert reply >= 0
+
+    def test_retire_advances_bases(self):
+        world = make_world()
+        world.retire(Retire(count=4, loads=1, stores=1, controls=1,
+                            branches=1))
+        assert world.lq_base == 1
+        assert world.sq_base == 1
+        assert world.cf_base == 1
+        assert world.stats.retired_instructions == 4
+
+    def test_issue_store_uses_base(self):
+        world = make_world()
+        interval = world.issue_store(0)
+        assert interval >= 1
+
+    def test_advance_cycles(self):
+        world = make_world()
+        world.advance_cycles(7)
+        assert world.cycle == 7
+        assert world.stats.cycles == 7
+
+
+class TestRollbackPlumbing:
+    def test_rollback_requires_mispredicted_record(self):
+        world = make_world()
+        # Record 0 is correctly predicted taken under AlwaysTaken.
+        with pytest.raises(SimulationError):
+            world.rollback(Rollback(control_ordinal=0, squashed_loads=0,
+                                    squashed_stores=0, squashed_controls=0))
+
+    def test_rollback_cancels_squashed_load_tokens(self):
+        from repro.branch import NotTakenPredictor
+
+        world = World(assemble(PROGRAM), predictor=NotTakenPredictor())
+        # Under not-taken prediction the first loop branch mispredicts;
+        # the frontend ran down the fall-through (wrong) path.
+        record = world.frontend.queues.controls[0]
+        assert record.mispredicted
+        world.get_control()
+        before = world.stats.mispredictions
+        world.rollback(Rollback(control_ordinal=0, squashed_loads=0,
+                                squashed_stores=0, squashed_controls=0))
+        assert world.stats.mispredictions == before + 1
+        assert world.cf_fetched == 1
+        # Frontend is again one event ahead, now on the correct path.
+        assert len(world.frontend.queues.controls) == 2
+
+
+class TestProgramOutput:
+    def test_output_proxy(self):
+        world = make_world()
+        assert world.program_output == world.frontend.state.output

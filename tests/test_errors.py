@@ -1,0 +1,58 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AssemblerError,
+    ConfigCodecError,
+    EmulationError,
+    EncodingError,
+    MemoizationError,
+    MemoryFault,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+
+ALL_ERRORS = [
+    AssemblerError,
+    ConfigCodecError,
+    EmulationError,
+    EncodingError,
+    MemoizationError,
+    MemoryFault,
+    SimulationError,
+    WorkloadError,
+]
+
+
+@pytest.mark.parametrize("error_cls", ALL_ERRORS)
+def test_all_derive_from_repro_error(error_cls):
+    """One except-clause catches everything the package raises."""
+    if error_cls is MemoryFault:
+        instance = error_cls(0x1000)
+    elif error_cls is AssemblerError:
+        instance = error_cls("bad")
+    else:
+        instance = error_cls("bad")
+    assert isinstance(instance, ReproError)
+
+
+class TestAssemblerError:
+    def test_carries_position(self):
+        error = AssemblerError("oops", line=7, source="x.s")
+        assert error.line == 7
+        assert "x.s:7:" in str(error)
+
+    def test_without_position(self):
+        assert str(AssemblerError("oops")) == "oops"
+
+
+class TestMemoryFault:
+    def test_formats_address(self):
+        fault = MemoryFault(0xDEADBEEF, "misaligned access")
+        assert fault.address == 0xDEADBEEF
+        assert "0xdeadbeef" in str(fault)
+
+    def test_is_emulation_error(self):
+        assert issubclass(MemoryFault, EmulationError)

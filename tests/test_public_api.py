@@ -1,0 +1,76 @@
+"""Tests for the top-level public API surface."""
+
+import pytest
+
+import repro
+
+
+class TestLazyExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_assemble_eager(self):
+        exe = repro.assemble("main: halt")
+        assert isinstance(exe, repro.Executable)
+
+    @pytest.mark.parametrize("name", [
+        "FastSim", "SlowSim", "IntegratedSimulator", "SamplingSimulator",
+        "ProcessorParams", "SimulationResult", "load_workload",
+        "WORKLOADS", "trace_pipeline", "profile_pipeline",
+    ])
+    def test_lazy_attribute(self, name):
+        assert getattr(repro, name) is not None
+
+    def test_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            repro.WarpDrive  # noqa: B018
+
+    def test_end_to_end_through_top_level(self):
+        exe = repro.assemble(
+            "main: mov 2, %l0\nadd %l0, 3, %l1\nout %l1\nhalt"
+        )
+        fast = repro.FastSim(exe).run()
+        assert fast.output == [5]
+
+    def test_workload_registry_exposed(self):
+        assert "go" in repro.WORKLOADS
+        exe = repro.load_workload("go", "tiny")
+        assert len(exe.text) > 0
+
+
+class TestSubpackageSurfaces:
+    def test_isa_all(self):
+        import repro.isa as isa
+
+        for name in isa.__all__:
+            assert hasattr(isa, name), name
+
+    def test_memo_all(self):
+        import repro.memo as memo
+
+        for name in memo.__all__:
+            assert hasattr(memo, name), name
+
+    def test_uarch_all(self):
+        import repro.uarch as uarch
+
+        for name in uarch.__all__:
+            assert hasattr(uarch, name), name
+
+    def test_analysis_all(self):
+        import repro.analysis as analysis
+
+        for name in analysis.__all__:
+            assert hasattr(analysis, name), name
+
+    def test_workloads_all(self):
+        import repro.workloads as workloads
+
+        for name in workloads.__all__:
+            assert hasattr(workloads, name), name
+
+    def test_emulator_all(self):
+        import repro.emulator as emulator
+
+        for name in emulator.__all__:
+            assert hasattr(emulator, name), name

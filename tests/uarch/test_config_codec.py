@@ -1,0 +1,208 @@
+"""Tests for the configuration codec (encode/decode of iQ snapshots).
+
+The decisive property: every configuration reached by real simulation
+round-trips exactly — ``decode(encode(iq)) == iq`` — because fall-back
+from fast-forwarding to detailed simulation reconstructs the pipeline
+from nothing but the encoded bytes.
+"""
+
+import pytest
+
+from repro.branch import NotTakenPredictor
+from repro.errors import ConfigCodecError
+from repro.isa import assemble
+from repro.sim.world import World
+from repro.uarch.config_codec import (
+    config_size_bytes,
+    decode_config,
+    encode_config,
+)
+from repro.uarch.detailed import DetailedSimulator
+from repro.uarch.interactions import (
+    CycleBoundary,
+    Finished,
+    GetControl,
+    IssueLoad,
+    IssueStore,
+    PollLoad,
+    Retire,
+    Rollback,
+)
+from repro.uarch.iq import IQEntry, Stage
+from repro.uarch.params import ProcessorParams
+
+PROGRAM = """
+main:
+    set buf, %l0
+    mov 12, %l1
+    clr %l2
+fill:
+    st %l2, [%l0 + %l2]
+    add %l2, 4, %l2
+    subcc %l1, 1, %l1
+    bne fill
+    mov 12, %l1
+    clr %l2
+    clr %l3
+sum:
+    ld [%l0 + %l2], %l4
+    add %l3, %l4, %l3
+    add %l2, 4, %l2
+    subcc %l1, 1, %l1
+    bne sum
+    call emit
+    halt
+emit:
+    out %l3
+    ret
+    .data
+buf: .space 64
+"""
+
+
+def harvest_configs(src, predictor=None, limit=3000):
+    """Run the detailed simulator, encoding the state at every cycle
+    boundary; returns (executable, list of (blob, snapshot))."""
+    exe = assemble(src)
+    params = ProcessorParams.r10k()
+    sim = DetailedSimulator(exe, params)
+    world = World(exe, params, predictor)
+    configs = []
+    generator = sim.run()
+    outcome = None
+    for _ in range(limit):
+        try:
+            request = generator.send(outcome)
+        except StopIteration:
+            break
+        outcome = None
+        kind = type(request)
+        if kind is CycleBoundary:
+            blob = encode_config(sim.iq.entries, sim.fetch_pc,
+                                 sim.fetch_stalled, sim.fetch_halted)
+            snapshot = (
+                [_copy_entry(e) for e in sim.iq.entries],
+                sim.fetch_pc, sim.fetch_stalled, sim.fetch_halted,
+            )
+            configs.append((blob, snapshot))
+            world.advance_cycles(1)
+        elif kind is GetControl:
+            outcome = world.get_control()
+        elif kind is IssueLoad:
+            outcome = world.issue_load(request.ordinal)
+        elif kind is PollLoad:
+            outcome = world.poll_load(request.ordinal)
+        elif kind is IssueStore:
+            outcome = world.issue_store(request.ordinal)
+        elif kind is Retire:
+            world.retire(request)
+        elif kind is Rollback:
+            world.rollback(request)
+        elif kind is Finished:
+            break
+    return exe, configs
+
+
+def _copy_entry(entry):
+    return IQEntry(entry.instr, entry.stage, entry.timer,
+                   entry.pred_taken, entry.mispredicted, entry.jump_target)
+
+
+class TestRoundTripOnRealStates:
+    @pytest.mark.parametrize("predictor_factory", [None, NotTakenPredictor],
+                             ids=["bimodal", "not-taken"])
+    def test_every_cycle_boundary_round_trips(self, predictor_factory):
+        predictor = predictor_factory() if predictor_factory else None
+        exe, configs = harvest_configs(PROGRAM, predictor)
+        assert len(configs) > 20
+        for blob, (entries, fetch_pc, stalled, halted) in configs:
+            decoded_entries, d_pc, d_stalled, d_halted = decode_config(
+                blob, exe
+            )
+            assert decoded_entries == entries
+            assert d_pc == fetch_pc
+            assert d_stalled == stalled
+            assert d_halted == halted
+
+    def test_reencode_is_identity(self):
+        exe, configs = harvest_configs(PROGRAM)
+        for blob, _ in configs:
+            entries, pc, stalled, halted = decode_config(blob, exe)
+            assert encode_config(entries, pc, stalled, halted) == blob
+
+    def test_distinct_states_encode_distinctly(self):
+        exe, configs = harvest_configs(PROGRAM)
+        by_blob = {}
+        for blob, snapshot in configs:
+            if blob in by_blob:
+                previous = by_blob[blob]
+                assert previous[0] == snapshot[0]  # same iQ contents
+            else:
+                by_blob[blob] = snapshot
+
+    def test_loops_revisit_configurations(self):
+        """The premise of memoization: configurations repeat."""
+        src = """
+main:
+    mov 200, %l0
+loop:
+    subcc %l0, 1, %l0
+    bne loop
+    halt
+"""
+        _, configs = harvest_configs(src)
+        blobs = [blob for blob, _ in configs]
+        assert len(set(blobs)) < len(blobs) / 3  # heavy reuse
+
+
+@pytest.mark.parametrize("seed", [3, 11, 27])
+def test_round_trip_on_fuzzed_programs(seed):
+    """Random programs exercise codec paths (calls, mixed stages,
+    squashed branches) beyond the handcrafted PROGRAM."""
+    from repro.workloads.fuzz import random_program
+
+    source = random_program(seed, iterations=8)
+    exe, configs = harvest_configs(source, limit=6000)
+    assert configs
+    for blob, (entries, fetch_pc, stalled, halted) in configs:
+        decoded_entries, d_pc, d_stalled, d_halted = decode_config(blob, exe)
+        assert decoded_entries == entries
+        assert (d_pc, d_stalled, d_halted) == (fetch_pc, stalled, halted)
+
+
+class TestEncodedSize:
+    def test_size_matches_paper_formula(self):
+        """~16 bytes header + 2 bytes/instruction + 4 per indirect."""
+        exe, configs = harvest_configs(PROGRAM)
+        for blob, (entries, _, _, _) in configs:
+            indirects = sum(1 for e in entries if e.is_indirect)
+            expected = 16 + 2 * len(entries) + 4 * indirects
+            assert config_size_bytes(blob) == expected
+
+    def test_empty_config(self):
+        blob = encode_config([], 0x10000, False, False)
+        assert config_size_bytes(blob) == 16
+
+
+class TestCodecErrors:
+    def test_truncated_blob(self):
+        with pytest.raises(ConfigCodecError):
+            decode_config(b"\x00\x05", assemble("main: halt"))
+
+    def test_trailing_garbage(self):
+        blob = encode_config([], 0x10000, False, False) + b"xx"
+        with pytest.raises(ConfigCodecError):
+            decode_config(blob, assemble("main: halt"))
+
+    def test_timer_out_of_range(self):
+        exe = assemble("main: halt")
+        entry = IQEntry(exe.instruction_at(exe.entry), Stage.EXEC,
+                        timer=5000)
+        with pytest.raises(ConfigCodecError):
+            encode_config([entry], None, False, True)
+
+    def test_indirect_without_target(self):
+        exe = assemble("main: jmpl [%ra], %g0")
+        entry = IQEntry(exe.instruction_at(exe.entry), Stage.QUEUE)
+        with pytest.raises(ConfigCodecError):
+            encode_config([entry], None, True, False)

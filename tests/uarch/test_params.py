@@ -1,0 +1,75 @@
+"""Tests for processor parameters (paper Table 1)."""
+
+import pytest
+
+from repro.uarch.params import ProcessorParams
+
+
+class TestR10kDefaults:
+    """The r10k() configuration must match the paper's Table 1."""
+
+    def test_decode_width(self):
+        assert ProcessorParams.r10k().decode_width == 4
+
+    def test_functional_units(self):
+        params = ProcessorParams.r10k()
+        assert params.int_alus == 2
+        assert params.fp_units == 2
+        assert params.agen_units == 1
+
+    def test_physical_registers(self):
+        params = ProcessorParams.r10k()
+        assert params.phys_int_regs == 64
+        assert params.phys_fp_regs == 64
+        assert params.int_renames == 32
+        assert params.fp_renames == 32
+
+    def test_queues(self):
+        params = ProcessorParams.r10k()
+        assert params.int_queue == 16
+        assert params.fp_queue == 16
+        assert params.addr_queue == 16
+
+    def test_branch_prediction(self):
+        params = ProcessorParams.r10k()
+        assert params.bht_entries == 512
+        assert params.max_spec_branches == 4
+
+    def test_memory_hierarchy(self):
+        memory = ProcessorParams.r10k().memory
+        assert memory.l1.size_bytes == 16 * 1024
+        assert memory.l1.associativity == 2
+        assert memory.l1.write_back is False
+        assert memory.l2.size_bytes == 1024 * 1024
+        assert memory.l2.associativity == 2
+        assert memory.l2.write_back is True
+        assert memory.l1.mshrs == 8
+        assert memory.l2.mshrs == 8
+        assert memory.bus_width == 8
+
+    def test_describe_mentions_table1_facts(self):
+        text = ProcessorParams.r10k().describe()
+        assert "Decode 4 instructions" in text
+        assert "2 integer ALUs" in text
+        assert "512-entry branch history table" in text
+        assert "16 KByte" in text
+        assert "8 byte wide, split transaction bus" in text
+
+
+class TestValidation:
+    def test_too_few_physical_registers(self):
+        with pytest.raises(ValueError):
+            ProcessorParams(phys_int_regs=16)
+
+    def test_iq_smaller_than_fetch_group(self):
+        with pytest.raises(ValueError):
+            ProcessorParams(iq_capacity=2)
+
+    def test_narrow_variant(self):
+        narrow = ProcessorParams.narrow()
+        assert narrow.decode_width == 2
+        assert narrow.int_alus == 1
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            ProcessorParams.r10k().decode_width = 8

@@ -1,0 +1,99 @@
+"""Tests for pipeline profiling."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.isa.opcodes import InstrClass
+from repro.sim.slowsim import SlowSim
+from repro.uarch.iq import Stage
+from repro.uarch.params import ProcessorParams
+from repro.uarch.profile import PipelineProfile, profile_pipeline
+from repro.workloads import load_workload
+
+LOOP = """
+main:
+    mov 40, %l0
+    clr %l1
+loop:
+    add %l1, %l0, %l1
+    subcc %l0, 1, %l0
+    bne loop
+    out %l1
+    halt
+"""
+
+
+@pytest.fixture(scope="module")
+def loop_profile():
+    return profile_pipeline(assemble(LOOP))
+
+
+class TestBasicMetrics:
+    def test_ipc_matches_simulation(self, loop_profile):
+        result = SlowSim(assemble(LOOP)).run()
+        assert loop_profile.retired == result.instructions
+        assert loop_profile.cycles == result.cycles
+        assert loop_profile.ipc == pytest.approx(result.ipc)
+
+    def test_occupancy_histogram_covers_all_cycles(self, loop_profile):
+        assert sum(loop_profile.occupancy.values()) == loop_profile.cycles
+
+    def test_mean_occupancy_positive(self, loop_profile):
+        assert 0 < loop_profile.mean_occupancy <= 32
+
+    def test_retire_groups_sum_to_retired(self, loop_profile):
+        total = sum(size * n
+                    for size, n in loop_profile.retire_groups.items())
+        assert total == loop_profile.retired
+
+    def test_stage_fractions_sum_to_one(self, loop_profile):
+        total = sum(loop_profile.stage_fraction(stage) for stage in Stage)
+        assert total == pytest.approx(1.0)
+
+
+class TestClassAttribution:
+    def test_int_loop_uses_int_units(self, loop_profile):
+        exec_by_class = loop_profile.exec_cycles_by_class
+        assert exec_by_class.get(InstrClass.IALU, 0) > 0
+        assert exec_by_class.get(InstrClass.FMUL, 0) == 0
+
+    def test_fp_workload_uses_fp_units(self):
+        profile = profile_pipeline(load_workload("fpppp", "tiny"))
+        fp_exec = sum(
+            profile.exec_cycles_by_class.get(c, 0)
+            for c in (InstrClass.FALU, InstrClass.FMUL)
+        )
+        assert fp_exec > 0
+        assert profile.unit_utilization(InstrClass.FMUL, units=2) > 0
+
+    def test_divide_bound_profile_shows_exec_time(self):
+        src = "main: mov 40, %l0\nmov 5, %l1\nsdiv %l0, %l1, %l2\nhalt"
+        profile = profile_pipeline(assemble(src))
+        # The divide dominates: EXEC holds a big share of entry-cycles.
+        assert profile.stage_fraction(Stage.EXEC) > 0.2
+
+
+class TestRender:
+    def test_report_contents(self, loop_profile):
+        text = loop_profile.render(ProcessorParams.r10k())
+        assert "Pipeline profile" in text
+        assert "IPC" in text
+        assert "int ALUs" in text
+        assert "retire-group histogram" in text
+
+    def test_report_without_params(self, loop_profile):
+        text = loop_profile.render()
+        assert "functional-unit" not in text
+
+    def test_empty_profile(self):
+        profile = PipelineProfile()
+        assert profile.ipc == 0.0
+        assert profile.mean_occupancy == 0.0
+        assert profile.stage_fraction(Stage.EXEC) == 0.0
+        assert "cycles           : 0" in profile.render()
+
+
+class TestMaxCycles:
+    def test_prefix_profile(self):
+        profile = profile_pipeline(assemble(LOOP), max_cycles=10)
+        assert profile.cycles == 10

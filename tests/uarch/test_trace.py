@@ -1,0 +1,85 @@
+"""Tests for the pipeline tracer."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.uarch.iq import Stage
+from repro.uarch.trace import (
+    CycleSnapshot,
+    PipelineTracer,
+    format_snapshot,
+    trace_pipeline,
+)
+
+PROGRAM = """
+main:
+    mov 5, %l0
+loop:
+    ld [%g1], %l1
+    subcc %l0, 1, %l0
+    bne loop
+    out %l1
+    halt
+"""
+
+
+class TestTracePipeline:
+    def test_renders_requested_cycles(self):
+        cycles = trace_pipeline(assemble(PROGRAM), max_cycles=10)
+        assert len(cycles) == 10
+        assert cycles[0].startswith("cycle 0")
+
+    def test_trace_runs_to_completion_when_short(self):
+        exe = assemble("main: nop\nhalt")
+        cycles = trace_pipeline(exe, max_cycles=1000)
+        assert len(cycles) < 20  # stopped at Finished, not max_cycles
+
+    def test_shows_instructions_and_stages(self):
+        cycles = trace_pipeline(assemble(PROGRAM), max_cycles=6)
+        joined = "\n".join(cycles)
+        assert "subcc %l0, 1, %l0" in joined
+        assert "QUEUE" in joined or "EXEC" in joined
+
+    def test_branch_annotation(self):
+        cycles = trace_pipeline(assemble(PROGRAM), max_cycles=8)
+        joined = "\n".join(cycles)
+        assert "pred=" in joined
+
+    def test_empty_pipeline_render(self):
+        snapshot = CycleSnapshot(cycle=3, entries=[], retired_so_far=7)
+        text = format_snapshot(snapshot)
+        assert "<pipeline empty>" in text
+        assert "retired 7" in text
+
+
+class TestProgrammaticObservation:
+    def test_occupancy_callback(self):
+        occupancies = []
+        tracer = PipelineTracer(assemble(PROGRAM))
+        total = tracer.run(
+            lambda snap: occupancies.append(snap.occupancy()),
+            max_cycles=2000,
+        )
+        assert total > 0
+        assert max(occupancies) > 4  # the loop fills the window
+        assert occupancies[-1] <= 4  # drained at halt
+
+    def test_stage_counting(self):
+        seen_exec = []
+        tracer = PipelineTracer(assemble(PROGRAM))
+        tracer.run(
+            lambda snap: seen_exec.append(snap.count_stage(Stage.EXEC)),
+            max_cycles=2000,
+        )
+        assert max(seen_exec) >= 1
+
+    def test_snapshots_are_copies(self):
+        snapshots = []
+        tracer = PipelineTracer(assemble(PROGRAM))
+        tracer.run(snapshots.append, max_cycles=2000)
+        # Late snapshots must not alias early ones' entries.
+        for snapshot in snapshots:
+            for entry in snapshot.entries:
+                assert entry.stage in list(Stage)
+        first_with_entries = next(s for s in snapshots if s.entries)
+        assert first_with_entries.entries[0].stage is Stage.FETCHED

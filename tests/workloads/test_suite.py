@@ -1,0 +1,142 @@
+"""Tests for the 18 SPEC95-analogue workloads.
+
+Every workload must assemble, terminate under functional execution,
+produce a deterministic checksum, and — the headline invariant —
+simulate identically under FastSim and SlowSim.
+"""
+
+import pytest
+
+from repro.emulator.functional import run_program
+from repro.errors import WorkloadError
+from repro.isa.opcodes import InstrClass
+from repro.sim.fastsim import FastSim
+from repro.sim.slowsim import SlowSim
+from repro.workloads import (
+    FP_WORKLOADS,
+    INTEGER_WORKLOADS,
+    WORKLOAD_ORDER,
+    WORKLOADS,
+    dynamic_instructions,
+    get_workload,
+    load_workload,
+    paper_scale,
+    reference_output,
+)
+
+ALL = WORKLOAD_ORDER
+
+
+class TestRegistry:
+    def test_eighteen_workloads(self):
+        assert len(WORKLOAD_ORDER) == 18
+
+    def test_paper_split(self):
+        assert len(INTEGER_WORKLOADS) == 8
+        assert len(FP_WORKLOADS) == 10
+
+    def test_spec_names(self):
+        assert WORKLOADS["go"].spec_name == "099.go"
+        assert WORKLOADS["wave5"].spec_name == "146.wave5"
+
+    def test_unknown_workload(self):
+        with pytest.raises(WorkloadError):
+            get_workload("nfs")
+
+    def test_unknown_scale(self):
+        with pytest.raises(WorkloadError):
+            WORKLOADS["go"].source("huge")
+
+    def test_paper_scale_rule(self):
+        assert paper_scale("compress") == "train"
+        assert paper_scale("go") == "test"
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestEveryWorkload:
+    def test_assembles(self, name):
+        exe = load_workload(name, "tiny")
+        assert len(exe.text) > 0
+
+    def test_terminates_and_outputs(self, name):
+        state = run_program(load_workload(name, "tiny"), 2_000_000)
+        assert state.halted
+        assert len(state.output) >= 1
+
+    def test_deterministic(self, name):
+        assert (reference_output(name, "tiny")
+                == reference_output(name, "tiny"))
+
+    def test_scales_increase_work(self, name):
+        tiny = dynamic_instructions(name, "tiny")
+        test = dynamic_instructions(name, "test")
+        assert test > tiny * 2
+
+    def test_fastsim_equals_slowsim(self, name):
+        exe = load_workload(name, "tiny")
+        slow = SlowSim(exe).run()
+        fast = FastSim(exe).run()
+        assert fast.timing_equal(slow), name
+
+    def test_simulated_output_matches_functional(self, name):
+        exe = load_workload(name, "tiny")
+        reference = run_program(exe)
+        fast = FastSim(exe).run()
+        assert fast.output == reference.output
+        assert fast.instructions == reference.instret
+
+
+class TestWorkloadCharacter:
+    """Each analogue must actually exhibit its benchmark's signature."""
+
+    def _instruction_mix(self, name, scale="tiny"):
+        from repro.analysis.mixes import workload_mix
+
+        mix = workload_mix(name, scale)
+        return mix.counts, mix.total
+
+    def test_m88ksim_has_indirect_jumps(self):
+        counts, total = self._instruction_mix("m88ksim")
+        jumps = counts.get(InstrClass.JUMP, 0)
+        assert jumps / total > 0.1  # dispatch-dominated
+
+    def test_li_is_load_heavy(self):
+        counts, total = self._instruction_mix("li")
+        assert counts.get(InstrClass.LOAD, 0) / total > 0.2
+
+    def test_fp_workloads_use_fp_units(self):
+        for name in FP_WORKLOADS:
+            counts, total = self._instruction_mix(name)
+            fp_ops = sum(
+                counts.get(c, 0)
+                for c in (InstrClass.FALU, InstrClass.FMUL, InstrClass.FDIV,
+                          InstrClass.FSQRT)
+            )
+            assert fp_ops / total > 0.1, name
+
+    def test_integer_workloads_avoid_fp(self):
+        for name in INTEGER_WORKLOADS:
+            counts, total = self._instruction_mix(name)
+            fp_ops = sum(
+                counts.get(c, 0)
+                for c in (InstrClass.FALU, InstrClass.FMUL, InstrClass.FDIV)
+            )
+            assert fp_ops == 0, name
+
+    def test_go_is_branchy(self):
+        counts, total = self._instruction_mix("go")
+        assert counts.get(InstrClass.BRANCH, 0) / total > 0.08
+
+    def test_fpppp_has_long_blocks(self):
+        """fpppp's defining feature: few branches per instruction."""
+        counts, total = self._instruction_mix("fpppp")
+        branches = counts.get(InstrClass.BRANCH, 0)
+        assert branches / total < 0.03
+
+    def test_compress_store_traffic(self):
+        counts, _ = self._instruction_mix("compress")
+        assert counts.get(InstrClass.STORE, 0) > 0
+
+    def test_hydro2d_divides(self):
+        counts, _ = self._instruction_mix("hydro2d")
+        assert counts.get(InstrClass.FDIV, 0) > 0
