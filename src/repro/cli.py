@@ -11,6 +11,9 @@ Subcommands::
     asm FILE.s                assemble to an .fsx binary (--output)
     disasm FILE.fsx           disassemble an .fsx binary
     run-binary FILE.fsx       simulate an assembled binary with FastSim
+    lint [PATH...]            determinism/memo-safety lint (--format
+                              json, --strict; default path src/repro)
+    lint-asm FILE.s [...]     static checks on assembly programs
     table2 | table3 | table4 | table5
                               regenerate a paper table
     figure7                   regenerate the cache-limit sweep
@@ -55,11 +58,14 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
     parser.add_argument(
         "command",
         choices=["list", "params", "run", "mix", "trace", "profile",
-                 "asm", "disasm", "run-binary", "calibrate", "table2",
-                 "table3", "table4", "table5", "figure7", "gc-study"],
+                 "asm", "disasm", "run-binary", "calibrate", "lint",
+                 "lint-asm", "table2", "table3", "table4", "table5",
+                 "figure7", "gc-study"],
     )
     parser.add_argument("workload", nargs="?",
                         help="workload name or file path, per command")
+    parser.add_argument("extra", nargs="*",
+                        help="additional paths (lint / lint-asm)")
     parser.add_argument("--scale", default="test",
                         choices=["tiny", "test", "train"])
     parser.add_argument("--workloads",
@@ -70,7 +76,16 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
                         help="output path (asm command)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress progress messages")
-    return parser.parse_args(argv)
+    parser.add_argument("--format", default="text",
+                        choices=["text", "json"], dest="lint_format",
+                        help="lint report format")
+    parser.add_argument("--strict", action="store_true",
+                        help="lint: apply record/replay-path rules "
+                             "to every module")
+    # Intermixed parsing lets options appear between positionals
+    # ("lint --format json src/repro"), which plain parse_args cannot
+    # allocate once the nargs="?"/"*" slots have been consumed.
+    return parser.parse_intermixed_args(argv)
 
 
 def _selected(args: argparse.Namespace) -> Optional[List[str]]:
@@ -169,6 +184,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         executable = load_executable(args.workload)
         print(disassemble(executable.instructions()))
         return 0
+    if args.command in ("lint", "lint-asm"):
+        from repro.lint import exit_code, lint_paths, report
+
+        def usage_error(message: str) -> "SystemExit":
+            # Usage and I/O problems exit 2 so CI can tell "findings"
+            # (1) from "the lint never ran" (see docs/lint.md).
+            print(message, file=sys.stderr)
+            return SystemExit(2)
+
+        paths = [p for p in [args.workload, *args.extra] if p]
+        if args.command == "lint-asm":
+            if not paths:
+                raise usage_error("lint-asm requires at least one .s file")
+            for path in paths:
+                if not path.endswith(".s"):
+                    raise usage_error(f"lint-asm expects .s files: {path}")
+        elif not paths:
+            paths = ["src/repro"]
+        try:
+            findings = lint_paths(
+                paths, strict=True if args.strict else None
+            )
+        except FileNotFoundError as exc:
+            raise usage_error(f"no such path: {exc}")
+        except OSError as exc:
+            raise usage_error(f"cannot lint: {exc}")
+        print(report(findings, args.lint_format))
+        return exit_code(findings)
     if args.command == "calibrate":
         from repro.analysis.calibrate import calibrate, render_calibration
 

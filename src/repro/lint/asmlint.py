@@ -1,0 +1,446 @@
+"""ISA program lint (checker family 4).
+
+Static checks over ``.s`` sources for the toy SPARC-like ISA — applied
+to the hand-written workloads and to :mod:`repro.workloads.builder`
+output before a simulator ever fetches an instruction. The analyses
+reuse the assembler's own parse/layout passes (so line numbers match
+``AssemblerError`` positions exactly) and then run a small CFG/dataflow
+pass over the decoded :class:`~repro.isa.instruction.Instruction`
+stream.
+
+Rules
+-----
+
+``asm/undefined-label`` (error)
+    A symbol referenced by an instruction or data directive that no
+    label or ``.equ`` defines. Reported *before* assembly, so every
+    undefined symbol is listed (``assemble()`` stops at the first).
+
+``asm/parse-error`` (error)
+    The assembler rejected the program (bad mnemonic, operand count,
+    range). One finding at the assembler's own error position.
+
+``asm/read-before-write`` (error)
+    A register (integer, FP, or a condition code) read on some path
+    before anything writes it. Forward dataflow over the CFG with
+    meet = intersection of definitely-written registers; the entry
+    point starts with only ``%g0``/``%sp``/``%fp`` defined (the
+    loader's guarantee), while address-taken labels (jump-table
+    targets referenced from ``.word`` data) conservatively assume an
+    unknown caller defined everything.
+
+``asm/delay-slot-hazard`` (error)
+    An unlabeled instruction immediately after an unconditional
+    non-returning transfer (``ba``, ``halt``, ``ret``/``jmpl`` to
+    ``%g0``). This ISA has **no** branch delay slots (DESIGN.md), so
+    such an instruction never executes on that path — the classic
+    artifact of porting real SPARC code that filled its delay slot.
+
+``asm/unreachable-block`` (warning)
+    A labeled block no control path reaches from the entry point or
+    any address-taken label.
+
+``asm/misaligned-memory`` (warning)
+    A load/store whose immediate displacement is not a multiple of
+    the access width — with an aligned base (the universal convention
+    here) the access faults or straddles.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.errors import AssemblerError, ReproError
+from repro.isa.assembler import Assembler
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import (
+    FP_REG,
+    INT_REG_NAMES,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    SP_REG,
+    ZERO_REG,
+    fp_reg_name,
+    int_reg_name,
+)
+from repro.lint.findings import Finding, Severity
+
+#: Rule ids this module can emit (the asm counterpart of a registry
+#: checker's ``rules`` tuple; the CLI merges both lists).
+ASM_RULES = (
+    "asm/undefined-label",
+    "asm/parse-error",
+    "asm/read-before-write",
+    "asm/delay-slot-hazard",
+    "asm/unreachable-block",
+    "asm/misaligned-memory",
+)
+
+_IDENT_RE = re.compile(r"^[A-Za-z_.$][\w.$]*$")
+
+#: Directives whose operands never reference code symbols.
+_SKIP_OPERAND_DIRECTIVES = frozenset({
+    ".ascii", ".asciz", ".float", ".double", ".space", ".align",
+    ".global", ".text", ".data",
+})
+
+# Dataflow register tokens: integers index the integer file, ("f", n)
+# the FP file, and two sentinels stand for the condition-code words.
+_ICC = "icc"
+_FCC = "fcc"
+
+_ALL_REGS: FrozenSet[object] = frozenset(
+    list(range(NUM_INT_REGS))
+    + [("f", i) for i in range(NUM_FP_REGS)]
+    + [_ICC, _FCC]
+)
+
+#: What the loader guarantees at the entry point: the zero register,
+#: a valid stack, and a frame pointer.
+_ENTRY_REGS: FrozenSet[object] = frozenset({ZERO_REG, SP_REG, FP_REG})
+
+
+def _reg_label(token: object) -> str:
+    if token == _ICC:
+        return "%icc"
+    if token == _FCC:
+        return "%fcc"
+    if isinstance(token, tuple):
+        return fp_reg_name(token[1])
+    return int_reg_name(token)
+
+
+def _is_zeroing_idiom(instr: Instruction) -> bool:
+    """``sub %r,%r,%r`` / ``xor %r,%r,%r`` / ``fsub %f,%f,%f`` — the
+    conventional way to zero a register (the ISA has no ``fclr``).
+    The result is defined whatever the register held, so it counts as
+    a write, not a read."""
+    if instr.opcode in (Opcode.SUB, Opcode.XOR):
+        return (instr.rd is not None and instr.rs1 == instr.rs2 == instr.rd)
+    if instr.opcode is Opcode.FSUB:
+        return (instr.fd is not None and instr.fs1 == instr.fs2 == instr.fd)
+    return False
+
+
+def _reads(instr: Instruction) -> List[object]:
+    if _is_zeroing_idiom(instr):
+        return []
+    reads: List[object] = list(instr.int_sources())
+    reads.extend(("f", f) for f in instr.fp_sources())
+    if instr.info.reads_icc:
+        reads.append(_ICC)
+    if instr.info.reads_fcc:
+        reads.append(_FCC)
+    return reads
+
+
+def _writes(instr: Instruction) -> List[object]:
+    writes: List[object] = []
+    dest = instr.int_dest()
+    if dest is not None:
+        writes.append(dest)
+    fdest = instr.fp_dest()
+    if fdest is not None:
+        writes.append(("f", fdest))
+    if instr.info.sets_icc:
+        writes.append(_ICC)
+    if instr.info.sets_fcc:
+        writes.append(_FCC)
+    return writes
+
+
+def _is_nonreturning(instr: Instruction) -> bool:
+    """Unconditional transfers with no fall-through path."""
+    if instr.opcode in (Opcode.BA, Opcode.HALT):
+        return True
+    if instr.opcode is Opcode.JMPL:
+        return instr.rd is None or instr.rd == ZERO_REG
+    return False
+
+
+def _referenced_symbols(operand: str) -> Iterable[str]:
+    """Symbol names an operand expression references."""
+    text = re.sub(r"%(hi|lo)\(", " ", operand)
+    text = re.sub(r"%[\w]+", " ", text)  # registers (%hi/%lo already gone)
+    for separator in "[]()+-,":
+        text = text.replace(separator, " ")
+    for token in text.split():
+        try:
+            int(token, 0)
+            continue
+        except ValueError:
+            pass
+        if _IDENT_RE.match(token) and not token.startswith("."):
+            yield token
+
+
+class _Program:
+    """Parsed + assembled view of one ``.s`` source."""
+
+    def __init__(self, source: str, path: str):
+        assembler = Assembler()
+        self.items = assembler._parse(source, path)
+        symbols, text_stmts, data_stmts, _ = assembler._layout(
+            self.items, path
+        )
+        self.symbols = symbols
+        self.executable = assembler.assemble(source, path)
+        #: address of every emitted instruction -> source line
+        self.line_of: Dict[int, int] = {}
+        for stmt in text_stmts:
+            count = assembler._instruction_count(stmt, path)
+            for k in range(count):
+                self.line_of[stmt.address + 4 * k] = stmt.line
+        #: label name -> source line
+        self.label_lines: Dict[str, int] = {
+            payload: lineno for lineno, kind, payload in self.items
+            if kind == "label"
+        }
+        #: text-segment label name -> address
+        executable = self.executable
+        self.text_labels: Dict[str, int] = {
+            label: addr for label, addr in symbols.items()
+            if executable.contains_text(addr) and label in self.label_lines
+        }
+        #: addresses of text labels referenced from data directives
+        #: (jump tables): extra reachability/dataflow roots.
+        self.address_taken: Set[int] = set()
+        for stmt in data_stmts:
+            if stmt.mnemonic not in (".word", ".half"):
+                continue
+            for operand in stmt.operands:
+                for symbol in _referenced_symbols(operand):
+                    addr = symbols.get(symbol)
+                    if addr is not None and executable.contains_text(addr):
+                        self.address_taken.add(addr)
+
+    def line(self, address: int) -> int:
+        return self.line_of.get(address, 1)
+
+
+def _scan_undefined(source: str, path: str) -> List[Finding]:
+    """Pre-assembly pass listing every undefined symbol reference."""
+    assembler = Assembler()
+    items = assembler._parse(source, path)
+    defined: Set[str] = set()
+    for _lineno, kind, payload in items:
+        if kind == "label":
+            defined.add(payload)
+        else:
+            parts = payload.split(None, 1)
+            if parts and parts[0].lower() == ".equ":
+                operands = assembler._split_operands(
+                    parts[1] if len(parts) > 1 else ""
+                )
+                if operands:
+                    defined.add(operands[0])
+    findings: List[Finding] = []
+    reported: Set[Tuple[int, str]] = set()
+    for lineno, kind, payload in items:
+        if kind == "label":
+            continue
+        parts = payload.split(None, 1)
+        mnemonic = parts[0].lower()
+        if mnemonic in _SKIP_OPERAND_DIRECTIVES:
+            continue
+        operands = assembler._split_operands(parts[1] if len(parts) > 1 else "")
+        if mnemonic == ".equ":
+            operands = operands[1:]  # the name being defined
+        for operand in operands:
+            for symbol in _referenced_symbols(operand):
+                if symbol in defined or (lineno, symbol) in reported:
+                    continue
+                reported.add((lineno, symbol))
+                findings.append(Finding(
+                    path=path, line=lineno, col=1,
+                    rule="asm/undefined-label", severity=Severity.ERROR,
+                    message=(
+                        f"reference to undefined label {symbol!r}; "
+                        "no label or .equ defines it"
+                    ),
+                ))
+    return findings
+
+
+def _successors(instr: Instruction,
+                program: _Program) -> List[Tuple[int, bool]]:
+    """``(address, callee_returns)`` successor edges of one instruction.
+
+    ``callee_returns`` marks fall-through edges of calls, where the
+    dataflow must assume the callee defined everything.
+    """
+    executable = program.executable
+    edges: List[Tuple[int, bool]] = []
+
+    def fall_through(call_return: bool = False) -> None:
+        if executable.contains_text(instr.fall_through):
+            edges.append((instr.fall_through, call_return))
+
+    if instr.opcode is Opcode.HALT:
+        return edges
+    if instr.opcode is Opcode.BA:
+        return [(instr.target, False)]
+    if instr.opcode is Opcode.BN:
+        fall_through()
+        return edges
+    if instr.is_conditional_branch:
+        edges.append((instr.target, False))
+        fall_through()
+        return edges
+    if instr.opcode is Opcode.CALL:
+        edges.append((instr.target, False))
+        fall_through(call_return=True)
+        return edges
+    if instr.opcode is Opcode.JMPL:
+        # Indirect: static targets unknown (address-taken labels are
+        # roots). A linking jmpl behaves like a call and returns.
+        if instr.rd is not None and instr.rd != ZERO_REG:
+            fall_through(call_return=True)
+        return edges
+    fall_through()
+    return edges
+
+
+def _analyze(program: _Program, path: str) -> List[Finding]:
+    findings: List[Finding] = []
+    instructions = program.executable.instructions()
+    by_address = {instr.address: instr for instr in instructions}
+    label_addresses = set(program.text_labels.values())
+    entry = program.executable.entry
+    roots = {entry} | program.address_taken
+
+    # -- misaligned memory operands (purely local) ----------------------
+    for instr in instructions:
+        if (instr.is_mem and instr.rs2 is None and instr.imm
+                and instr.imm % instr.access_width != 0):
+            findings.append(Finding(
+                path=path, line=program.line(instr.address), col=1,
+                rule="asm/misaligned-memory", severity=Severity.WARNING,
+                message=(
+                    f"displacement {instr.imm} is not a multiple of the "
+                    f"{instr.access_width}-byte access width; with an "
+                    "aligned base this access faults"
+                ),
+            ))
+
+    # -- delay-slot hazards ---------------------------------------------
+    for instr in instructions:
+        if not _is_nonreturning(instr):
+            continue
+        orphan = instr.fall_through
+        if (orphan in by_address and orphan not in label_addresses):
+            findings.append(Finding(
+                path=path, line=program.line(orphan), col=1,
+                rule="asm/delay-slot-hazard", severity=Severity.ERROR,
+                message=(
+                    "unlabeled instruction after an unconditional "
+                    "transfer never executes — this ISA has no branch "
+                    "delay slots (likely a ported SPARC delay slot)"
+                ),
+            ))
+
+    # -- reachability + definite-assignment dataflow --------------------
+    # Forward analysis, meet = intersection of definitely-written
+    # registers over predecessor edges. Call-return edges assume the
+    # callee wrote everything.
+    in_state: Dict[int, Set[object]] = {}
+    worklist: List[int] = []
+
+    # Function entries (call targets and address-taken labels) are
+    # analysed under an unknown-caller assumption — everything defined
+    # on entry — like any intraprocedural definite-assignment check;
+    # otherwise callee-save spills of the caller's dead registers
+    # would be flagged. Their in-state is pinned: edges never narrow
+    # it. The program entry point is pinned too, to the loader's
+    # actual guarantee, so it is checked for real.
+    pinned: Dict[int, FrozenSet[object]] = {
+        root: _ALL_REGS for root in roots
+    }
+    for instr in instructions:
+        if instr.opcode is Opcode.CALL and instr.target in by_address:
+            pinned[instr.target] = _ALL_REGS
+    pinned[entry] = _ENTRY_REGS
+
+    def join(address: int, state: FrozenSet[object]) -> None:
+        if address not in by_address:
+            return
+        current = in_state.get(address)
+        if current is None:
+            in_state[address] = set(pinned.get(address, state))
+            worklist.append(address)
+        elif address not in pinned:
+            narrowed = current & state
+            if narrowed != current:
+                in_state[address] = narrowed
+                worklist.append(address)
+
+    for root in sorted(roots):
+        join(root, pinned[root])
+
+    while worklist:
+        address = worklist.pop()
+        instr = by_address[address]
+        out_state = frozenset(in_state[address]) | frozenset(_writes(instr))
+        for successor, callee_returns in _successors(instr, program):
+            join(successor, _ALL_REGS if callee_returns else out_state)
+
+    reported_reads: Set[Tuple[int, object]] = set()
+    for instr in instructions:
+        state = in_state.get(instr.address)
+        if state is None:
+            continue  # unreachable; reported separately
+        for reg in _reads(instr):
+            if reg not in state and (instr.address, reg) not in reported_reads:
+                reported_reads.add((instr.address, reg))
+                findings.append(Finding(
+                    path=path, line=program.line(instr.address), col=1,
+                    rule="asm/read-before-write", severity=Severity.ERROR,
+                    message=(
+                        f"{_reg_label(reg)} is read here but no path "
+                        "from the entry point writes it first"
+                    ),
+                ))
+
+    # -- unreachable labeled blocks -------------------------------------
+    reachable = set(in_state)
+    for label, address in sorted(program.text_labels.items()):
+        if address not in reachable and address in by_address:
+            findings.append(Finding(
+                path=path, line=program.label_lines.get(label, 1), col=1,
+                rule="asm/unreachable-block", severity=Severity.WARNING,
+                message=(
+                    f"label {label!r} is unreachable from the entry "
+                    "point and is never address-taken"
+                ),
+            ))
+    return findings
+
+
+def lint_asm_source(source: str, path: str = "<asm>") -> List[Finding]:
+    """Lint one assembly source; findings come back sorted.
+
+    Suppression comments are **not** applied here (the runner does
+    that), matching :func:`repro.lint.registry.run_checkers`.
+    """
+    findings = _scan_undefined(source, path)
+    if findings:
+        # Assembly would stop at the first undefined symbol anyway;
+        # report them all and skip the deeper analyses.
+        return sorted(findings)
+    try:
+        program = _Program(source, path)
+    except AssemblerError as exc:
+        return [Finding(
+            path=path, line=exc.line or 1, col=1,
+            rule="asm/parse-error", severity=Severity.ERROR,
+            message=f"assembler rejected the program: {exc}",
+        )]
+    except ReproError as exc:
+        return [Finding(
+            path=path, line=1, col=1,
+            rule="asm/parse-error", severity=Severity.ERROR,
+            message=f"assembler rejected the program: {exc}",
+        )]
+    return sorted(_analyze(program, path))

@@ -1,0 +1,63 @@
+"""Finding and severity model for ``repro.lint``.
+
+A :class:`Finding` is one diagnostic produced by a checker: a stable
+rule identifier (``family/rule-name``), a severity, a source position,
+and a human-readable message. Findings are plain data — reporters
+(:mod:`repro.lint.reporters`) turn them into text or JSON, and the
+runner's exit code depends only on whether any findings survived
+suppression.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Union
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is.
+
+    ``ERROR`` findings describe code that can break the bit-identical
+    replay invariant (or an assembly program that is wrong); ``WARNING``
+    findings describe hazards that are suspicious but may be benign.
+    Both fail the lint gate — the distinction exists for reporting and
+    for tools that want to triage.
+    """
+
+    WARNING = 1
+    ERROR = 2
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic, sortable by (path, line, col, rule)."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: Severity
+    message: str
+
+    def as_dict(self) -> Dict[str, Union[str, int]]:
+        """JSON-serializable form (see docs/lint.md for the schema)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity.label,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """One-line ``path:line:col: severity: message [rule]`` form."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.severity.label}: {self.message} [{self.rule}]"
+        )

@@ -1,0 +1,168 @@
+"""Memo-safety checker (checker family 2): no hidden pipeline state.
+
+The configuration blob produced by
+:mod:`repro.uarch.config_codec` is the p-action cache key. The codec
+serializes exactly the fields named in
+:data:`~repro.uarch.config_codec.CONFIG_FIELD_MANIFEST`; an attribute
+of the iQ or the detailed simulator that carries state between cycles
+without appearing there would let two *different* pipeline states
+collide on one key and replay each other's recorded timing — the
+classic stale-memoization bug, and the hardest one to catch
+dynamically because the colliding state may only arise deep into a
+workload.
+
+This checker cross-checks the simulator sources against the manifest
+statically. It triggers on any module defining a class named
+``IQEntry``, ``InstructionQueue``, or ``DetailedSimulator`` (so test
+fixtures exercise it the same way the real sources do) and emits:
+
+``memo/hidden-state`` (error)
+    A ``__slots__`` entry or ``self.<attr>`` assignment that the
+    manifest does not account for.
+
+``memo/open-instance-dict`` (error)
+    ``IQEntry`` without ``__slots__`` — an open ``__dict__`` means
+    arbitrary attributes can be attached at runtime and silently
+    bypass the codec.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Checker, LintContext, register
+from repro.uarch.config_codec import CONFIG_FIELD_MANIFEST
+
+#: Class name -> manifest groups whose union is the allowed field set.
+_CLASS_GROUPS: Dict[str, tuple] = {
+    "IQEntry": ("entry",),
+    "InstructionQueue": ("queue",),
+    "DetailedSimulator": ("pipeline", "signature"),
+}
+
+#: Classes that must declare ``__slots__`` (state containers keyed by
+#: the codec; an open instance dict defeats the whole analysis).
+_SLOTS_REQUIRED = frozenset({"IQEntry", "InstructionQueue"})
+
+
+def allowed_fields(class_name: str) -> Optional[FrozenSet[str]]:
+    """The manifest-sanctioned attribute set for *class_name*."""
+    groups = _CLASS_GROUPS.get(class_name)
+    if groups is None:
+        return None
+    allowed: Set[str] = set()
+    for group in groups:
+        allowed.update(CONFIG_FIELD_MANIFEST[group])
+    return frozenset(allowed)
+
+
+def _slots_entries(class_node: ast.ClassDef):
+    """Yield (name, node) for each ``__slots__`` string in the class."""
+    for statement in class_node.body:
+        if not isinstance(statement, ast.Assign):
+            continue
+        targets = [t for t in statement.targets if isinstance(t, ast.Name)]
+        if not any(t.id == "__slots__" for t in targets):
+            continue
+        value = statement.value
+        elements = []
+        if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+            elements = value.elts
+        elif isinstance(value, ast.Constant) and isinstance(value.value, str):
+            elements = [value]
+        for element in elements:
+            if isinstance(element, ast.Constant) and isinstance(
+                    element.value, str):
+                yield element.value, element
+
+
+def _has_slots(class_node: ast.ClassDef) -> bool:
+    return any(True for _ in _slots_entries(class_node))
+
+
+def _self_assignments(class_node: ast.ClassDef):
+    """Yield (attr_name, node) for every ``self.<attr>`` assignment."""
+    for method in class_node.body:
+        if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for node in ast.walk(method):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            for target in targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    yield target.attr, target
+                elif isinstance(target, (ast.Tuple, ast.List)):
+                    for element in target.elts:
+                        if (isinstance(element, ast.Attribute)
+                                and isinstance(element.value, ast.Name)
+                                and element.value.id == "self"):
+                            yield element.attr, element
+
+
+@register
+class MemoSafetyChecker(Checker):
+    """Family 2: cross-check simulator state against the codec
+    manifest so no attribute escapes the configuration key."""
+
+    name = "memo-safety"
+    rules = ("memo/hidden-state", "memo/open-instance-dict")
+
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        for node in context.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            allowed = allowed_fields(node.name)
+            if allowed is None:
+                continue
+            yield from self._check_class(context, node, allowed)
+
+    def _check_class(self, context: LintContext, node: ast.ClassDef,
+                     allowed: FrozenSet[str]) -> Iterator[Finding]:
+        if node.name in _SLOTS_REQUIRED and not _has_slots(node):
+            yield Finding(
+                path=context.path, line=node.lineno,
+                col=node.col_offset + 1,
+                rule="memo/open-instance-dict", severity=Severity.ERROR,
+                message=(
+                    f"{node.name} must declare __slots__: an open "
+                    "instance dict lets hidden state bypass the "
+                    "configuration codec"
+                ),
+            )
+        seen: Set[str] = set()
+        for name, where in _slots_entries(node):
+            if name not in allowed and name not in seen:
+                seen.add(name)
+                yield self._hidden(context, node.name, name, where)
+        for name, where in _self_assignments(node):
+            if name.startswith("_"):
+                # Private caches still carry state; only dunders pass.
+                if name.startswith("__") and name.endswith("__"):
+                    continue
+            if name not in allowed and name not in seen:
+                seen.add(name)
+                yield self._hidden(context, node.name, name, where)
+
+    @staticmethod
+    def _hidden(context: LintContext, class_name: str, attr: str,
+                node: ast.AST) -> Finding:
+        return Finding(
+            path=context.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule="memo/hidden-state",
+            severity=Severity.ERROR,
+            message=(
+                f"{class_name}.{attr} is not in CONFIG_FIELD_MANIFEST: "
+                "state the codec does not serialize lets two distinct "
+                "pipeline states collide on one configuration key "
+                "(stale memoization)"
+            ),
+        )

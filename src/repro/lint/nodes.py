@@ -1,0 +1,234 @@
+"""Action-node discipline checker (checker family 3).
+
+P-action cache nodes (:mod:`repro.memo.actions`) are allocated in the
+millions and carry a *modelled* byte-size accounting that Table 5 and
+Figure 7 depend on. Three structural rules keep new node kinds honest.
+The checker triggers on any module that defines a class named ``Node``
+and analyses its in-module subclass hierarchy (so fixtures exercise it
+exactly like the real ``memo/actions.py``):
+
+``memo/missing-slots`` (error)
+    Every class in the ``Node`` hierarchy declares ``__slots__``.
+    Without it each node grows a per-instance ``__dict__`` — real
+    memory the size accounting can't see, and an invitation to stash
+    undeclared state on nodes.
+
+``memo/unaccounted-container`` (error)
+    A node ``__init__`` that assigns a container (``{}``, ``[]``,
+    ``set()``, …) must come with a ``size_bytes`` override somewhere
+    below the root ``Node`` in its ancestry — a container grows, so
+    the root's fixed ``ACTION_BYTES`` model cannot cover it. (This is
+    exactly the ``OutcomeNode.edges`` / ``EDGE_BYTES`` pattern.)
+
+``memo/outcome-next-assignment`` (error)
+    Outcome-bearing nodes (``is_outcome = True`` or descendants of
+    ``OutcomeNode``) must route successors through their edge tables
+    only: assigning ``self.next`` on one would smuggle a world
+    interaction result past the outcome-keyed edges that replay
+    checks, breaking the fall-back-on-unseen-outcome guarantee.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Checker, LintContext, register
+
+#: Calls whose result is a growable container.
+_CONTAINER_CALLS = frozenset({
+    "dict", "list", "set", "defaultdict", "OrderedDict", "deque",
+    "Counter", "bytearray",
+})
+
+
+def _is_container_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                         ast.ListComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _CONTAINER_CALLS
+    return False
+
+
+class _Hierarchy:
+    """The ``Node`` class hierarchy of one module."""
+
+    def __init__(self, tree: ast.Module):
+        self.classes: Dict[str, ast.ClassDef] = {
+            node.name: node for node in tree.body
+            if isinstance(node, ast.ClassDef)
+        }
+        self.bases: Dict[str, List[str]] = {
+            name: [base.id for base in node.bases
+                   if isinstance(base, ast.Name)]
+            for name, node in self.classes.items()
+        }
+
+    @property
+    def rooted(self) -> bool:
+        return "Node" in self.classes
+
+    def node_classes(self) -> List[ast.ClassDef]:
+        """Classes in the hierarchy rooted at ``Node`` (root included),
+        in source order."""
+        member: Set[str] = set()
+
+        def descends(name: str) -> bool:
+            if name == "Node":
+                return True
+            if name in member:
+                return True
+            return any(base in self.classes and descends(base)
+                       for base in self.bases.get(name, ()))
+
+        for name in self.classes:
+            if descends(name):
+                member.add(name)
+        return [self.classes[name] for name in self.classes
+                if name in member]
+
+    def ancestry(self, name: str) -> List[str]:
+        """*name* plus every in-module ancestor up to ``Node``."""
+        chain: List[str] = []
+        frontier = [name]
+        while frontier:
+            current = frontier.pop()
+            if current in chain or current not in self.classes:
+                continue
+            chain.append(current)
+            frontier.extend(self.bases.get(current, ()))
+        return chain
+
+    def defines(self, name: str, method: str) -> bool:
+        node = self.classes.get(name)
+        if node is None:
+            return False
+        return any(
+            isinstance(stmt, ast.FunctionDef) and stmt.name == method
+            for stmt in node.body
+        )
+
+    def sets_outcome_flag(self, name: str) -> bool:
+        node = self.classes.get(name)
+        if node is None:
+            return False
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if (isinstance(target, ast.Name)
+                            and target.id == "is_outcome"
+                            and isinstance(stmt.value, ast.Constant)
+                            and stmt.value.value is True):
+                        return True
+        return False
+
+    def is_outcome_class(self, name: str) -> bool:
+        return any(
+            ancestor == "OutcomeNode" or self.sets_outcome_flag(ancestor)
+            for ancestor in self.ancestry(name)
+        )
+
+    def accounts_for_growth(self, name: str) -> bool:
+        """True when *name* or a non-root ancestor overrides
+        ``size_bytes`` (the root's fixed model never covers growth)."""
+        return any(
+            ancestor != "Node" and self.defines(ancestor, "size_bytes")
+            for ancestor in self.ancestry(name)
+        )
+
+
+def _declares_slots(node: ast.ClassDef) -> bool:
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "__slots__"
+                for t in stmt.targets):
+            return True
+    return False
+
+
+def _self_attr_assignments(node: ast.ClassDef):
+    """Yield (method_name, attr, value_or_None, node) for every
+    ``self.<attr>`` assignment in the class body."""
+    for method in node.body:
+        if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for stmt in ast.walk(method):
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                targets, value = [stmt.target], getattr(stmt, "value", None)
+            else:
+                continue
+            for target in targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    yield method.name, target.attr, value, target
+
+
+@register
+class ActionNodeChecker(Checker):
+    """Family 3: structural discipline for p-action cache node types."""
+
+    name = "action-nodes"
+    rules = (
+        "memo/missing-slots",
+        "memo/unaccounted-container",
+        "memo/outcome-next-assignment",
+    )
+
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        hierarchy = _Hierarchy(context.tree)
+        if not hierarchy.rooted:
+            return
+        for class_node in hierarchy.node_classes():
+            yield from self._check_class(context, hierarchy, class_node)
+
+    def _check_class(self, context: LintContext, hierarchy: _Hierarchy,
+                     class_node: ast.ClassDef) -> Iterator[Finding]:
+        if not _declares_slots(class_node):
+            yield Finding(
+                path=context.path, line=class_node.lineno,
+                col=class_node.col_offset + 1,
+                rule="memo/missing-slots", severity=Severity.ERROR,
+                message=(
+                    f"p-action node class {class_node.name} must declare "
+                    "__slots__; an instance __dict__ is unaccounted "
+                    "memory and an opening for undeclared node state"
+                ),
+            )
+        outcome = hierarchy.is_outcome_class(class_node.name)
+        accounted = hierarchy.accounts_for_growth(class_node.name)
+        for method, attr, value, where in _self_attr_assignments(class_node):
+            if (outcome and attr == "next"
+                    and class_node.name != "OutcomeNode"):
+                yield Finding(
+                    path=context.path,
+                    line=where.lineno, col=where.col_offset + 1,
+                    rule="memo/outcome-next-assignment",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"{class_node.name} is outcome-bearing: "
+                        "successors must go through the edge table "
+                        "(self.edges), never self.next — a bare "
+                        "successor bypasses the outcome check that "
+                        "triggers fall-back on unseen results"
+                    ),
+                )
+            if (value is not None and _is_container_expr(value)
+                    and not accounted):
+                yield Finding(
+                    path=context.path,
+                    line=where.lineno, col=where.col_offset + 1,
+                    rule="memo/unaccounted-container",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"{class_node.name}.{attr} holds a growable "
+                        "container but no size_bytes override exists "
+                        "below Node in its ancestry; the fixed "
+                        "ACTION_BYTES model cannot cover growth "
+                        "(see OutcomeNode.edges / EDGE_BYTES)"
+                    ),
+                )

@@ -1,0 +1,105 @@
+"""Checker registry and lint context.
+
+Checkers are small classes with a ``check(context)`` generator; the
+:func:`register` decorator adds them to the global registry in import
+order, and :func:`run_checkers` drives every registered checker over
+one parsed module. New checker families plug in by defining a class and
+registering it — the runner, reporters, and suppression machinery need
+no changes.
+"""
+
+from __future__ import annotations
+
+import ast
+import posixpath
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Type
+
+from repro.lint.findings import Finding
+
+#: Module paths forming the record/replay core, where iteration-order
+#: and identity hazards would leak into recorded action chains and
+#: break bit-identical replay. Determinism rules marked *strict-only*
+#: fire only here (see docs/lint.md).
+REPLAY_PATH_SUFFIXES = (
+    "repro/memo/engine.py",
+    "repro/memo/actions.py",
+    "repro/uarch/detailed.py",
+    "repro/sim/world.py",
+)
+
+
+def is_replay_path(path: str) -> bool:
+    """True when *path* is one of the record/replay core modules."""
+    normalized = posixpath.normpath(path.replace("\\", "/"))
+    return normalized.endswith(REPLAY_PATH_SUFFIXES)
+
+
+@dataclass
+class LintContext:
+    """Everything a checker may consult about one module."""
+
+    path: str  #: path as reported in findings
+    source: str  #: full source text
+    tree: ast.Module  #: parsed AST
+    strict: bool  #: True on record/replay-path modules
+
+    @classmethod
+    def for_source(cls, source: str, path: str = "<string>",
+                   strict: bool = None) -> "LintContext":
+        """Parse *source* and build a context.
+
+        *strict* defaults to whether *path* lies on the record/replay
+        path; tests and the CLI's ``--strict`` flag can force it.
+        """
+        if strict is None:
+            strict = is_replay_path(path)
+        tree = ast.parse(source, filename=path)
+        return cls(path=path, source=source, tree=tree, strict=strict)
+
+
+class Checker:
+    """Base class for checker families.
+
+    Subclasses set ``name`` (family label), ``rules`` (the rule ids
+    they can emit, for documentation and ``--list-rules``), and
+    implement :meth:`check` as a generator of findings.
+    """
+
+    name: str = "base"
+    rules: tuple = ()
+
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+#: Registered checker classes, in registration order.
+CHECKERS: List[Type[Checker]] = []
+
+
+def register(checker_class: Type[Checker]) -> Type[Checker]:
+    """Class decorator adding a checker family to the registry."""
+    CHECKERS.append(checker_class)
+    return checker_class
+
+
+def all_rules() -> List[str]:
+    """Every rule id any registered checker can emit, sorted."""
+    names = set()
+    for checker_class in CHECKERS:
+        names.update(checker_class.rules)
+    return sorted(names)
+
+
+def run_checkers(context: LintContext,
+                 checkers: Iterable[Type[Checker]] = None) -> List[Finding]:
+    """Run checker families over one module; findings come back sorted.
+
+    Suppression comments are **not** applied here — the runner does
+    that, so unit tests can see raw checker output.
+    """
+    findings: List[Finding] = []
+    for checker_class in (CHECKERS if checkers is None else checkers):
+        findings.extend(checker_class().check(context))
+    return sorted(findings)

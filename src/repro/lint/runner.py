@@ -1,0 +1,167 @@
+"""Lint driver: file discovery, suppression, reporting, exit codes.
+
+This is both the engine behind ``fastsim-repro lint`` / ``lint-asm``
+and a standalone console script (``fastsim-lint``). Exit codes follow
+CI convention:
+
+====  ============================================================
+code  meaning
+====  ============================================================
+0     no findings survived suppression
+1     at least one finding (any severity — see docs/lint.md)
+2     usage or I/O error (unreadable path, no inputs)
+====  ============================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+# Importing the checker modules registers their families.
+from repro.lint import asmlint, determinism, memosafety, nodes  # noqa: F401
+from repro.lint.asmlint import ASM_RULES, lint_asm_source
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import LintContext, all_rules, run_checkers
+from repro.lint.reporters import render_json, render_text
+from repro.lint.suppress import apply_suppressions
+
+#: Directory names never descended into during discovery.
+_SKIP_DIRS = frozenset({
+    "__pycache__", ".git", ".pytest_cache", ".hypothesis",
+    ".benchmarks", "repro.egg-info",
+})
+
+
+def lint_source(source: str, path: str = "<string>",
+                strict: Optional[bool] = None) -> List[Finding]:
+    """Lint Python *source*; suppression comments are honoured."""
+    try:
+        context = LintContext.for_source(source, path=path, strict=strict)
+    except SyntaxError as exc:
+        return [Finding(
+            path=path, line=exc.lineno or 1, col=(exc.offset or 0) + 1,
+            rule="lint/syntax-error", severity=Severity.ERROR,
+            message=f"cannot parse file: {exc.msg}",
+        )]
+    return apply_suppressions(run_checkers(context), source)
+
+
+def lint_file(path: str, strict: Optional[bool] = None) -> List[Finding]:
+    """Lint one Python file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return lint_source(source, path=path, strict=strict)
+
+
+def lint_asm_file(path: str) -> List[Finding]:
+    """Lint one ``.s`` assembly file; suppressions are honoured."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return apply_suppressions(lint_asm_source(source, path=path), source)
+
+
+def discover(paths: Sequence[str]) -> Tuple[List[str], List[str]]:
+    """Split *paths* into (python_files, asm_files), walking directories.
+
+    Raises :class:`FileNotFoundError` for a path that does not exist.
+    """
+    python_files: List[str] = []
+    asm_files: List[str] = []
+
+    def classify(file_path: str) -> None:
+        if file_path.endswith(".py"):
+            python_files.append(file_path)
+        elif file_path.endswith(".s"):
+            asm_files.append(file_path)
+
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs
+                    if d not in _SKIP_DIRS and not d.endswith(".egg-info")
+                )
+                for name in sorted(files):
+                    classify(os.path.join(root, name))
+        elif os.path.isfile(path):
+            classify(path)
+        else:
+            raise FileNotFoundError(path)
+    return python_files, asm_files
+
+
+def lint_paths(paths: Sequence[str],
+               strict: Optional[bool] = None) -> List[Finding]:
+    """Lint every ``.py`` and ``.s`` file under *paths*."""
+    python_files, asm_files = discover(paths)
+    findings: List[Finding] = []
+    for file_path in python_files:
+        findings.extend(lint_file(file_path, strict=strict))
+    for file_path in asm_files:
+        findings.extend(lint_asm_file(file_path))
+    return sorted(findings)
+
+
+def report(findings: List[Finding], fmt: str = "text") -> str:
+    """Render findings in ``text`` or ``json`` format."""
+    if fmt == "json":
+        return render_json(findings)
+    return render_text(findings)
+
+
+def exit_code(findings: List[Finding]) -> int:
+    """CI exit code for a finished run (any finding fails the gate)."""
+    return 1 if findings else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Console entry point (``fastsim-lint``)."""
+    parser = argparse.ArgumentParser(
+        prog="fastsim-lint",
+        description=(
+            "Determinism & memo-safety lint for the FastSim "
+            "reproduction (see docs/lint.md)."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="apply record/replay-path-only rules to every module",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every rule id and exit",
+    )
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for rule in sorted(set(all_rules()) | set(ASM_RULES)):
+            print(rule)
+        return 0
+
+    try:
+        findings = lint_paths(
+            options.paths, strict=True if options.strict else None
+        )
+    except FileNotFoundError as exc:
+        print(f"fastsim-lint: no such path: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"fastsim-lint: {exc}", file=sys.stderr)
+        return 2
+    print(report(findings, options.format))
+    return exit_code(findings)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

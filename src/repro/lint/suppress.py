@@ -1,0 +1,58 @@
+"""Per-line suppression comments.
+
+A finding is suppressed when the physical source line it points at
+carries a marker comment naming its rule (or ``all``)::
+
+    tokens = {id(n) for n in nodes}  # repro-lint: disable=det/id-dependent
+    risky()                          # repro-lint: disable=all
+    chaos(), havoc()                 # repro-lint: disable=rule-a,rule-b
+
+The same syntax works in assembly sources after ``!`` or ``#``::
+
+    ba done     ! repro-lint: disable=asm/delay-slot-hazard
+
+Suppressions are deliberate, reviewable exceptions: the marker sits on
+the flagged line, so a reviewer sees the hazard and its waiver together.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, List
+
+from repro.lint.findings import Finding
+
+_MARKER_RE = re.compile(
+    r"repro-lint:\s*disable=([A-Za-z0-9_/,\- ]+)"
+)
+
+
+def suppressions_for(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map 1-based line numbers to the rule names disabled on them."""
+    table: Dict[int, FrozenSet[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _MARKER_RE.search(line)
+        if match is None:
+            continue
+        rules = frozenset(
+            token.strip() for token in match.group(1).split(",")
+            if token.strip()
+        )
+        if rules:
+            table[lineno] = rules
+    return table
+
+
+def apply_suppressions(findings: List[Finding],
+                       source: str) -> List[Finding]:
+    """Drop findings whose line disables their rule (or ``all``)."""
+    table = suppressions_for(source)
+    if not table:
+        return list(findings)
+    kept = []
+    for finding in findings:
+        disabled = table.get(finding.line, frozenset())
+        if finding.rule in disabled or "all" in disabled:
+            continue
+        kept.append(finding)
+    return kept

@@ -57,7 +57,12 @@ class SimStats:
         return self.as_dict() == other.as_dict()
 
     def __repr__(self) -> str:
-        fields = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        # Display-only; insertion order here is the fixed __slots__
+        # order, never replay state.
+        fields = ", ".join(
+            f"{k}={v}" for k, v in
+            self.as_dict().items()  # repro-lint: disable=det/dict-value-iteration
+        )
         return f"SimStats({fields})"
 
 

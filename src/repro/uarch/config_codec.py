@@ -38,7 +38,7 @@ unseen outcome.
 from __future__ import annotations
 
 import struct
-from typing import List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.errors import ConfigCodecError
 from repro.isa.program import Executable
@@ -49,6 +49,42 @@ _HEADER = struct.Struct(">BBII")
 #: Extra bytes the paper's encoding would add on top of ours, used by
 #: the size-accounting model (paper header is 16 bytes).
 PAPER_HEADER_BYTES = 16
+
+#: Machine-readable manifest of exactly the state this codec captures.
+#:
+#: The configuration blob is the p-action cache **key**: two pipeline
+#: states that encode to the same blob share one recorded action chain.
+#: Any attribute of the iQ or the detailed simulator that carries state
+#: between cycles but is *not* listed here would let two distinct
+#: states collide on one key — the classic stale-memoization bug. The
+#: ``repro.lint`` memo-safety checker cross-checks the simulator
+#: sources against this manifest, and the codec test suite asserts the
+#: manifest matches what :func:`encode_config` actually serializes.
+#:
+#: ``entry``
+#:     Per-:class:`IQEntry` state, serialized per entry (``instr`` is
+#:     captured by identity — the walk re-derives it from the address).
+#: ``queue``
+#:     :class:`~repro.uarch.iq.InstructionQueue` attributes:
+#:     ``entries`` is the encoded walk itself; ``capacity`` is a bound
+#:     derived from the processor parameters.
+#: ``pipeline``
+#:     :class:`~repro.uarch.detailed.DetailedSimulator` state in the
+#:     header (``iq`` expands to the per-entry records).
+#: ``signature``
+#:     Attributes bound by the run signature instead of the blob
+#:     (:func:`repro.memo.engine._run_signature` keys the whole cache
+#:     on program text and processor parameters).
+CONFIG_FIELD_MANIFEST: Dict[str, FrozenSet[str]] = {
+    "entry": frozenset({
+        "instr", "stage", "timer", "pred_taken", "mispredicted",
+        "jump_target",
+    }),
+    "queue": frozenset({"entries", "capacity"}),
+    "pipeline": frozenset({"iq", "fetch_pc", "fetch_stalled",
+                           "fetch_halted"}),
+    "signature": frozenset({"executable", "params"}),
+}
 
 
 def encode_config(entries: List[IQEntry], fetch_pc: Optional[int],

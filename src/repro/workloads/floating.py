@@ -332,7 +332,10 @@ def build_fpppp(n: int) -> str:
     straight-line basic blocks of FP arithmetic."""
     b = AsmBuilder()
     b.label("main")
-    b.emit("set coeffs, %i0", "fsub %f7, %f7, %f7")
+    # %f5 feeds the k=0 fsub below before any unrolled step writes it,
+    # so zero it explicitly (caught by `fastsim-repro lint-asm`).
+    b.emit("set coeffs, %i0", "fsub %f7, %f7, %f7",
+           "fsub %f5, %f5, %f5")
     for k in range(4):
         b.emit(f"lddf [%i0 + {8 * k}], %f{k}")
     with b.counted_loop("%i1", n):

@@ -25,12 +25,26 @@ _COND_OPS = ("be", "bne", "bg", "ble")
 
 
 def random_program(seed: int, iterations: int = 25,
-                   blocks: Optional[int] = None) -> str:
-    """Generate assembly source for a random terminating program."""
-    rng = random.Random(seed)
+                   blocks: Optional[int] = None,
+                   rng: Optional[random.Random] = None) -> str:
+    """Generate assembly source for a random terminating program.
+
+    All randomness flows from one explicit stream: either *rng* (when
+    a caller wants to drive several generators from a shared seeded
+    ``random.Random``) or a fresh ``random.Random(seed)``. The shared
+    global ``random`` module is never consulted — the determinism lint
+    (``det/unseeded-random``) holds generated programs to the same
+    replayability standard as the simulator itself.
+    """
+    if rng is None:
+        rng = random.Random(seed)
     lines = [
         "main:",
         "    set buf, %i0",
+        # Define every work register before the random blocks read
+        # them, so generated programs pass `fastsim-repro lint-asm`
+        # (asm/read-before-write) like the hand-written workloads.
+        *[f"    clr {reg}" for reg in WORK_REGS],
         f"    mov {iterations}, %i1",
         "outer:",
     ]
@@ -69,16 +83,24 @@ def random_program(seed: int, iterations: int = 25,
             label += 1
         if rng.random() < 0.3:
             lines.append("    call helper")
+    uses_helper = any(line.strip() == "call helper" for line in lines)
     lines += [
         "    subcc %i1, 1, %i1",
         "    bne outer",
         "    out %l0",
         "    out %l3",
         "    halt",
-        "helper:",
-        "    add %l0, %l1, %l2",
-        "    and %l2, 1023, %l2",
-        "    ret",
+    ]
+    if uses_helper:
+        # Only emitted when some block calls it — an uncalled helper
+        # would be flagged dead by asm/unreachable-block.
+        lines += [
+            "helper:",
+            "    add %l0, %l1, %l2",
+            "    and %l2, 1023, %l2",
+            "    ret",
+        ]
+    lines += [
         "    .data",
         "buf: .space 64",
     ]

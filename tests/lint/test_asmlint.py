@@ -1,0 +1,332 @@
+"""ISA program lint: positive and negative cases for every asm rule."""
+
+import textwrap
+
+from repro.lint.asmlint import lint_asm_source
+
+
+def lint(source):
+    return lint_asm_source(textwrap.dedent(source), path="<test>.s")
+
+
+def rules(source):
+    return sorted({f.rule for f in lint(source)})
+
+
+CLEAN = """
+main:
+    clr %l0
+    mov 10, %l1
+loop:
+    add %l0, %l1, %l0
+    subcc %l1, 1, %l1
+    bne loop
+    out %l0
+    halt
+"""
+
+
+class TestCleanPrograms:
+    def test_clean_loop_passes(self):
+        assert lint(CLEAN) == []
+
+    def test_call_and_return_pass(self):
+        assert rules("""
+main:
+    mov 5, %o0
+    call double
+    out %o0
+    halt
+double:
+    add %o0, %o0, %o0
+    ret
+""") == []
+
+    def test_jump_table_via_data_is_reachable(self):
+        """Labels referenced from .word data are address-taken roots —
+        the m88ksim/vortex dispatch pattern must not be flagged."""
+        assert rules("""
+main:
+    set table, %l0
+    ld [%l0], %l1
+    jmpl [%l1], %g0
+case_a:
+    mov 1, %l2
+    out %l2
+    halt
+    .data
+table:
+    .word case_a
+""") == []
+
+
+class TestUndefinedLabel:
+    def test_branch_to_missing_label(self):
+        findings = lint("""
+main:
+    ba nowhere
+""")
+        assert [f.rule for f in findings] == ["asm/undefined-label"]
+        assert "nowhere" in findings[0].message
+
+    def test_every_undefined_symbol_reported(self):
+        """Unlike assemble(), the lint lists them all."""
+        findings = lint("""
+main:
+    set missing_data, %l0
+    call missing_fn
+    halt
+""")
+        assert [f.rule for f in findings] == ["asm/undefined-label"] * 2
+
+    def test_equ_constants_are_definitions(self):
+        assert rules("""
+    .equ LIMIT, 10
+main:
+    mov LIMIT, %l0
+    out %l0
+    halt
+""") == []
+
+
+class TestParseError:
+    def test_bad_mnemonic_reported_in_place(self):
+        findings = lint("""
+main:
+    frobnicate %l0, %l1
+    halt
+""")
+        assert [f.rule for f in findings] == ["asm/parse-error"]
+        assert findings[0].line == 3
+
+
+class TestReadBeforeWrite:
+    def test_uninitialized_read_flagged(self):
+        findings = lint("""
+main:
+    add %l0, 1, %l1
+    out %l1
+    halt
+""")
+        assert [f.rule for f in findings] == ["asm/read-before-write"]
+        assert "%l0" in findings[0].message
+
+    def test_one_armed_init_flagged(self):
+        """Initialised on one path only — meet is intersection."""
+        findings = lint("""
+main:
+    clr %g1
+    cmp %g1, 0
+    be skip
+    mov 7, %l0
+skip:
+    out %l0
+    halt
+""")
+        assert [f.rule for f in findings] == ["asm/read-before-write"]
+        assert "%l0" in findings[0].message
+
+    def test_both_arms_init_passes(self):
+        assert rules("""
+main:
+    clr %g1
+    cmp %g1, 0
+    be other
+    mov 7, %l0
+    ba join
+other:
+    mov 9, %l0
+join:
+    out %l0
+    halt
+""") == []
+
+    def test_fp_register_tracked(self):
+        findings = lint("""
+main:
+    fadd %f0, %f1, %f2
+    halt
+""")
+        assert {f.rule for f in findings} == {"asm/read-before-write"}
+        assert {"%f0", "%f1"} <= {
+            f.message.split()[0] for f in findings
+        }
+
+    def test_branch_before_cmp_flagged(self):
+        """Reading the condition codes before anything sets them."""
+        findings = lint("""
+main:
+    be away
+    clr %l0
+    out %l0
+away:
+    halt
+""")
+        assert [f.rule for f in findings] == ["asm/read-before-write"]
+        assert "%icc" in findings[0].message
+
+    def test_zeroing_idiom_is_a_write(self):
+        """fsub %f,%f,%f (and sub/xor %r,%r,%r) zero a register; the
+        ISA has no fclr, so the idiom must not read-flag itself."""
+        assert rules("""
+main:
+    fsub %f5, %f5, %f5
+    sub %l3, %l3, %l3
+    fadd %f5, %f5, %f6
+    add %l3, 1, %l3
+    out %l3
+    halt
+""") == []
+
+    def test_callee_save_spill_not_flagged(self):
+        """Function entries assume an unknown caller defined
+        everything, so saving the caller's registers is fine."""
+        assert rules("""
+main:
+    mov 3, %o0
+    call fn
+    out %o0
+    halt
+fn:
+    st %l5, [%sp - 4]
+    add %o0, 1, %o0
+    ld [%sp - 4], %l5
+    ret
+""") == []
+
+    def test_entry_point_still_checked(self):
+        """The unknown-caller waiver never applies to main itself."""
+        assert "asm/read-before-write" in rules("""
+main:
+    out %i3
+    halt
+""")
+
+
+class TestDelaySlotHazard:
+    def test_instruction_after_ba_flagged(self):
+        findings = lint("""
+main:
+    clr %l0
+    ba done
+    add %l0, 1, %l0
+done:
+    out %l0
+    halt
+""")
+        assert [f.rule for f in findings] == ["asm/delay-slot-hazard"]
+        assert findings[0].line == 5
+
+    def test_instruction_after_ret_flagged(self):
+        assert "asm/delay-slot-hazard" in rules("""
+main:
+    call fn
+    out %o0
+    halt
+fn:
+    mov 1, %o0
+    ret
+    nop
+done:
+    halt
+""")
+
+    def test_labelled_successor_is_fine(self):
+        assert rules("""
+main:
+    clr %l0
+    ba done
+next:
+    add %l0, 1, %l0
+done:
+    out %l0
+    halt
+""") == ["asm/unreachable-block"]  # next: is dead but labelled
+
+    def test_conditional_branch_fall_through_is_fine(self):
+        assert rules(CLEAN) == []
+
+
+class TestUnreachableBlock:
+    def test_orphan_label_flagged(self):
+        findings = lint("""
+main:
+    clr %l0
+    out %l0
+    halt
+orphan:
+    mov 1, %l1
+    out %l1
+    halt
+""")
+        assert [f.rule for f in findings] == ["asm/unreachable-block"]
+        assert "orphan" in findings[0].message
+
+    def test_reached_by_fallthrough_not_flagged(self):
+        assert rules("""
+main:
+    clr %l0
+part2:
+    out %l0
+    halt
+""") == []
+
+
+class TestMisalignedMemory:
+    def test_misaligned_word_store_flagged(self):
+        findings = lint("""
+main:
+    clr %l0
+    st %l0, [%sp - 6]
+    halt
+""")
+        assert [f.rule for f in findings] == ["asm/misaligned-memory"]
+        assert "4-byte" in findings[0].message
+
+    def test_aligned_accesses_pass(self):
+        assert rules("""
+main:
+    clr %l0
+    st %l0, [%sp - 8]
+    sth %l0, [%sp - 2]
+    stb %l0, [%sp - 1]
+    halt
+""") == []
+
+    def test_byte_access_never_misaligned(self):
+        assert rules("""
+main:
+    clr %l0
+    stb %l0, [%sp - 3]
+    halt
+""") == []
+
+    def test_double_word_fp_checked_at_eight(self):
+        assert "asm/misaligned-memory" in rules("""
+main:
+    set buf, %l0
+    lddf [%l0 + 4], %f0
+    halt
+    .data
+buf: .space 16
+""")
+
+
+class TestWorkloadsStayClean:
+    def test_all_suite_workloads_lint_clean(self):
+        from repro.workloads.suite import WORKLOADS
+
+        for name, workload in WORKLOADS.items():
+            findings = lint_asm_source(
+                workload.source("tiny"), path=f"{name}.s"
+            )
+            assert findings == [], (name, [f.render() for f in findings])
+
+    def test_fuzz_programs_lint_clean(self):
+        from repro.workloads.fuzz import random_program
+
+        for seed in range(20):
+            findings = lint_asm_source(
+                random_program(seed), path=f"fuzz-{seed}.s"
+            )
+            assert findings == [], (seed, [f.render() for f in findings])

@@ -1,0 +1,61 @@
+"""The repository lints itself clean — the tier-1 gate.
+
+This is the point of the whole subsystem: every determinism and
+memo-safety rule holds over ``src/repro`` right now, so any future
+violation is a regression the CI gate catches. The workload generators
+are held to the same standard through the asm rules.
+"""
+
+import os
+
+import repro
+from repro.lint import exit_code, lint_asm_source, lint_paths
+from repro.lint.asmlint import ASM_RULES
+from repro.lint.registry import CHECKERS, all_rules
+
+SRC_ROOT = os.path.dirname(repro.__file__)
+
+
+class TestSourceTreeIsClean:
+    def test_src_repro_lints_clean(self):
+        findings = lint_paths([SRC_ROOT])
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_exit_code_for_the_tree_is_zero(self):
+        assert exit_code(lint_paths([SRC_ROOT])) == 0
+
+    def test_replay_path_modules_were_actually_strict(self):
+        """Guard against the strict-path matcher silently rotting: the
+        four record/replay modules must exist and classify as strict."""
+        from repro.lint.registry import REPLAY_PATH_SUFFIXES, is_replay_path
+
+        for suffix in REPLAY_PATH_SUFFIXES:
+            path = os.path.join(os.path.dirname(SRC_ROOT), suffix)
+            assert os.path.isfile(path), suffix
+            assert is_replay_path(path), suffix
+
+
+class TestWorkloadProgramsAreClean:
+    def test_generated_suite_sources_pass_asm_lint(self):
+        from repro.workloads.suite import WORKLOADS
+
+        for name, workload in WORKLOADS.items():
+            findings = lint_asm_source(
+                workload.source("test"), path=f"{name}.s"
+            )
+            assert findings == [], (
+                name, [f.render() for f in findings]
+            )
+
+
+class TestRegistryShape:
+    def test_all_four_checker_families_registered(self):
+        names = {checker.name for checker in CHECKERS}
+        assert {"determinism", "memo-safety", "action-nodes"} <= names
+
+    def test_rule_ids_are_namespaced_and_unique(self):
+        rules = all_rules() + list(ASM_RULES)
+        assert len(rules) == len(set(rules))
+        for rule in rules:
+            family, _, name = rule.partition("/")
+            assert family and name, rule

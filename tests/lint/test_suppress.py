@@ -1,0 +1,75 @@
+"""Suppression comments: syntax, scoping, and integration."""
+
+import textwrap
+
+from repro.lint import apply_suppressions, suppressions_for
+from repro.lint.asmlint import lint_asm_source
+from repro.lint.runner import lint_source
+
+
+class TestMarkerParsing:
+    def test_single_rule(self):
+        table = suppressions_for(
+            "x = 1\ny = id(x)  # repro-lint: disable=det/id-dependent\n"
+        )
+        assert table == {2: frozenset({"det/id-dependent"})}
+
+    def test_multiple_rules(self):
+        table = suppressions_for(
+            "z()  # repro-lint: disable=rule-a, rule-b\n"
+        )
+        assert table[1] == frozenset({"rule-a", "rule-b"})
+
+    def test_all_keyword(self):
+        table = suppressions_for("boom()  # repro-lint: disable=all\n")
+        assert table[1] == frozenset({"all"})
+
+    def test_plain_lines_have_no_entry(self):
+        assert suppressions_for("x = 1\ny = 2\n") == {}
+
+
+class TestPythonIntegration:
+    def test_suppressed_finding_dropped(self):
+        source = textwrap.dedent("""
+            import random
+            x = random.random()  # repro-lint: disable=det/unseeded-random
+        """)
+        assert lint_source(source, path="<t>", strict=True) == []
+
+    def test_unrelated_rule_name_does_not_suppress(self):
+        source = textwrap.dedent("""
+            import random
+            x = random.random()  # repro-lint: disable=det/time-dependent
+        """)
+        findings = lint_source(source, path="<t>", strict=True)
+        assert [f.rule for f in findings] == ["det/unseeded-random"]
+
+    def test_disable_all_suppresses_everything(self):
+        source = textwrap.dedent("""
+            import random
+            x = random.random()  # repro-lint: disable=all
+        """)
+        assert lint_source(source, path="<t>", strict=True) == []
+
+    def test_marker_only_covers_its_own_line(self):
+        source = textwrap.dedent("""
+            import random
+            a = random.random()  # repro-lint: disable=det/unseeded-random
+            b = random.random()
+        """)
+        findings = lint_source(source, path="<t>", strict=True)
+        assert len(findings) == 1
+        assert findings[0].line == 4
+
+
+class TestAsmIntegration:
+    def test_bang_comment_marker_works(self):
+        source = textwrap.dedent("""
+        main:
+            clr %l0
+            st %l0, [%sp - 6]  ! repro-lint: disable=asm/misaligned-memory
+            halt
+        """)
+        raw = lint_asm_source(source, path="<t>.s")
+        assert [f.rule for f in raw] == ["asm/misaligned-memory"]
+        assert apply_suppressions(raw, source) == []
