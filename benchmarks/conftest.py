@@ -10,6 +10,10 @@ Environment knobs:
 
 * ``REPRO_BENCH_SCALE`` — workload scale (default ``test``).
 * ``REPRO_BENCH_WORKLOADS`` — comma-separated subset (default all 18).
+* ``REPRO_BENCH_WORKERS`` — campaign worker processes for batch
+  measurements (default 0 = serial, in-process).
+* ``REPRO_BENCH_CACHE_DIR`` — shared p-action cache directory; set it
+  to warm-start FastSim runs across benchmark invocations.
 """
 
 from __future__ import annotations
@@ -36,12 +40,21 @@ def bench_workloads():
     return [n.strip() for n in names.split(",") if n.strip()]
 
 
+def bench_workers() -> int:
+    return int(os.environ.get("REPRO_BENCH_WORKERS", "0"))
+
+
+def bench_cache_dir():
+    return os.environ.get("REPRO_BENCH_CACHE_DIR") or None
+
+
 WORKLOADS = bench_workloads()
 
 
 @pytest.fixture(scope="session")
 def runner() -> SuiteRunner:
-    return SuiteRunner(scale=bench_scale())
+    return SuiteRunner(scale=bench_scale(), workers=bench_workers(),
+                       cache_dir=bench_cache_dir())
 
 
 @pytest.fixture(scope="session")

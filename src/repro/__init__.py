@@ -7,16 +7,20 @@ paper-versus-measured results.
 
 Quick start::
 
-    from repro import assemble, FastSim, SlowSim
+    from repro import simulate, run_campaign
 
-    exe = assemble(open("program.s").read())
-    fast = FastSim(exe).run()
-    slow = SlowSim(exe).run()
+    fast = simulate("compress", engine="fast", scale="tiny")
+    slow = simulate("compress", engine="slow", scale="tiny")
     assert fast.cycles == slow.cycles        # memoization is exact
 
-The top-level namespace re-exports the pieces most users need; each
-subpackage (``repro.isa``, ``repro.uarch``, ``repro.memo``, …) exposes
-its full API.
+    # The whole suite, in parallel, with a warm-start cache directory:
+    campaign = run_campaign(workers=4, cache_dir=".fastsim-cache")
+
+The documented entry points live in :mod:`repro.api` (``simulate``,
+``run_campaign``); the top-level namespace re-exports those plus the
+pieces power users need, and each subpackage (``repro.isa``,
+``repro.uarch``, ``repro.memo``, ``repro.campaign``, …) exposes its
+full API.
 """
 
 from repro.isa import Executable, Instruction, Opcode, assemble
@@ -28,6 +32,12 @@ __all__ = [
     "Executable",
     "Instruction",
     "Opcode",
+    "simulate",
+    "run_campaign",
+    "Campaign",
+    "CampaignRunner",
+    "Job",
+    "PolicySpec",
     "FastSim",
     "SlowSim",
     "IntegratedSimulator",
@@ -45,6 +55,13 @@ def __getattr__(name):
     the simulator stack on first use.
     """
     lazy = {
+        "simulate": ("repro.api", "simulate"),
+        "run_campaign": ("repro.api", "run_campaign"),
+        "Campaign": ("repro.campaign.engine", "Campaign"),
+        "CampaignRunner": ("repro.campaign.engine", "CampaignRunner"),
+        "CampaignResult": ("repro.campaign.engine", "CampaignResult"),
+        "Job": ("repro.campaign.jobs", "Job"),
+        "PolicySpec": ("repro.campaign.jobs", "PolicySpec"),
         "FastSim": ("repro.sim.fastsim", "FastSim"),
         "SlowSim": ("repro.sim.slowsim", "SlowSim"),
         "IntegratedSimulator": ("repro.sim.baseline", "IntegratedSimulator"),

@@ -14,11 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
 from repro.analysis.runner import SuiteRunner
-from repro.memo.policies import (
-    CopyingGCPolicy,
-    FlushOnFullPolicy,
-    GenerationalGCPolicy,
-)
+from repro.campaign.jobs import Job, JobResult, PolicySpec
 from repro.workloads.suite import WORKLOAD_ORDER
 
 #: Default relative cache limits (fraction of the workload's unbounded
@@ -52,6 +48,14 @@ class PolicyStudyRow:
     survival_rate: Optional[float] = None  #: mean bytes surviving a GC
 
 
+def _policy_batch(runner: SuiteRunner,
+                  wanted: List[Job]) -> Dict[str, JobResult]:
+    """Run policy jobs, deduplicated by key (two sweep fractions can
+    clamp to the same byte limit and therefore the same job)."""
+    unique = {job.key: job for job in wanted}
+    return runner.run_batch(list(unique.values()))
+
+
 def figure7(
     runner: SuiteRunner,
     workloads: Optional[Iterable[str]] = None,
@@ -59,26 +63,36 @@ def figure7(
 ) -> List[Figure7Point]:
     """Speedup vs. p-action cache limit, flush-on-full policy."""
     names = list(workloads) if workloads is not None else list(WORKLOAD_ORDER)
-    points = []
+    fractions = list(fractions)
+    # The unbounded fast runs size each workload's sweep; run them (and
+    # the SlowSim baselines) first, then the whole policy grid as one
+    # campaign batch.
+    runner.prefetch(names, ("slow", "fast"))
+    grid: List[tuple] = []
+    wanted: List[Job] = []
     for name in names:
-        slow = runner.run(name, "slow")
-        unbounded = runner.run(name, "fast")
-        natural = max(unbounded.memo.peak_cache_bytes, 1)
+        natural = max(runner.run(name, "fast").memo.peak_cache_bytes, 1)
         for fraction in fractions:
             limit = max(int(natural * fraction), 512)
-            fast = runner.run(name, "fast",
-                              policy=FlushOnFullPolicy(limit))
-            assert fast.cycles == slow.cycles, (
-                f"policy changed results for {name}"
-            )
-            points.append(Figure7Point(
-                benchmark=name,
-                limit_bytes=limit,
-                limit_fraction=fraction,
-                speedup=slow.host_seconds / fast.host_seconds,
-                flushes=fast.memo.evictions,
-                detailed_fraction=fast.memo.detailed_fraction,
-            ))
+            job = runner.job(name, "fast", PolicySpec("flush", limit))
+            grid.append((name, fraction, limit, job.key))
+            wanted.append(job)
+    outcomes = _policy_batch(runner, wanted)
+    points = []
+    for name, fraction, limit, key in grid:
+        slow = runner.run(name, "slow")
+        fast = outcomes[key].result
+        assert fast.cycles == slow.cycles, (
+            f"policy changed results for {name}"
+        )
+        points.append(Figure7Point(
+            benchmark=name,
+            limit_bytes=limit,
+            limit_fraction=fraction,
+            speedup=slow.host_seconds / fast.host_seconds,
+            flushes=fast.memo.evictions,
+            detailed_fraction=fast.memo.detailed_fraction,
+        ))
     return points
 
 
@@ -93,32 +107,36 @@ def gc_policy_study(
     flushing, and little of the cache survives each collection.
     """
     names = list(workloads) if workloads is not None else list(WORKLOAD_ORDER)
-    rows = []
+    runner.prefetch(names, ("slow", "fast"))
+    grid: List[tuple] = []
+    wanted: List[Job] = []
     for name in names:
-        slow = runner.run(name, "slow")
         unbounded = runner.run(name, "fast")
         limit = max(int(unbounded.memo.peak_cache_bytes * fraction), 512)
-        policies = [
-            FlushOnFullPolicy(limit),
-            CopyingGCPolicy(limit),
-            GenerationalGCPolicy(limit),
-        ]
-        for policy in policies:
-            fast = runner.run(name, "fast", policy=policy)
-            assert fast.cycles == slow.cycles
-            survival = None
-            rates = getattr(policy, "survival_rates", None)
-            if rates:
-                survival = sum(rates) / len(rates)
-            rows.append(PolicyStudyRow(
-                benchmark=name,
-                policy=policy.name,
-                limit_bytes=limit,
-                speedup=slow.host_seconds / fast.host_seconds,
-                collections=fast.memo.evictions,
-                detailed_fraction=fast.memo.detailed_fraction,
-                survival_rate=survival,
-            ))
+        for kind in ("flush", "copying-gc", "generational-gc"):
+            job = runner.job(name, "fast", PolicySpec(kind, limit))
+            grid.append((name, kind, limit, job.key))
+            wanted.append(job)
+    outcomes = _policy_batch(runner, wanted)
+    rows = []
+    for name, kind, limit, key in grid:
+        slow = runner.run(name, "slow")
+        outcome = outcomes[key]
+        fast = outcome.result
+        assert fast.cycles == slow.cycles
+        survival = None
+        rates = outcome.metrics.get("survival_rates")
+        if rates:
+            survival = sum(rates) / len(rates)
+        rows.append(PolicyStudyRow(
+            benchmark=name,
+            policy=kind,
+            limit_bytes=limit,
+            speedup=slow.host_seconds / fast.host_seconds,
+            collections=fast.memo.evictions,
+            detailed_fraction=fast.memo.detailed_fraction,
+            survival_rate=survival,
+        ))
     return rows
 
 

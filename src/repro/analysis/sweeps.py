@@ -29,9 +29,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
-from repro.sim.fastsim import FastSim
+from repro.campaign.engine import run_jobs
+from repro.campaign.jobs import Job
+from repro.campaign.progress import ProgressSink
 from repro.uarch.params import ProcessorParams
-from repro.workloads.suite import WORKLOAD_ORDER, load_workload
+from repro.workloads.suite import WORKLOAD_ORDER
 
 
 @dataclass(frozen=True)
@@ -52,26 +54,51 @@ def sweep_parameters(
     variants: Dict[str, ProcessorParams],
     workloads: Optional[Iterable[str]] = None,
     scale: str = "test",
+    workers: int = 0,
+    cache_dir: Optional[str] = None,
+    sink: Optional[ProgressSink] = None,
 ) -> List[SweepPoint]:
-    """Simulate every workload under every parameter variant."""
+    """Simulate every workload under every parameter variant.
+
+    Design points are independent, so the sweep is one campaign:
+    ``workers >= 1`` shards it across a process pool, and ``cache_dir``
+    warm-starts each variant's p-action cache from previous sweeps (the
+    cache store keys on (binary, parameters), so variants never share
+    recorded timing).
+    """
     names = list(workloads) if workloads is not None else list(WORKLOAD_ORDER)
+    jobs = [
+        Job(workload=name, simulator="fast", scale=scale,
+            params=params, variant=label)
+        for label, params in variants.items()
+        for name in names
+    ]
+    outcome = run_jobs(
+        jobs, workers=workers, cache_dir=cache_dir, sink=sink,
+        name=f"sweep-{scale}",
+    )
+    failures = outcome.failed
+    if failures:
+        raise RuntimeError(
+            f"{len(failures)} sweep job(s) failed: "
+            + "; ".join(f"{r.key}: {r.error}" for r in failures[:5])
+        )
     points: List[SweepPoint] = []
-    for label, params in variants.items():
-        for name in names:
-            result = FastSim(load_workload(name, scale), params=params).run()
-            cache = result.cache_stats
-            accesses = cache.l1_load_hits + cache.l1_load_misses
-            miss_rate = cache.l1_load_misses / accesses if accesses else 0.0
-            points.append(SweepPoint(
-                variant=label,
-                workload=name,
-                cycles=result.cycles,
-                instructions=result.instructions,
-                ipc=result.ipc,
-                mispredictions=result.sim_stats.mispredictions,
-                l1_miss_rate=miss_rate,
-                host_seconds=result.host_seconds,
-            ))
+    for job, job_result in zip(jobs, outcome.results):
+        result = job_result.result
+        cache = result.cache_stats
+        accesses = cache.l1_load_hits + cache.l1_load_misses
+        miss_rate = cache.l1_load_misses / accesses if accesses else 0.0
+        points.append(SweepPoint(
+            variant=job.variant,
+            workload=job.workload,
+            cycles=result.cycles,
+            instructions=result.instructions,
+            ipc=result.ipc,
+            mispredictions=result.sim_stats.mispredictions,
+            l1_miss_rate=miss_rate,
+            host_seconds=result.host_seconds,
+        ))
     return points
 
 

@@ -83,6 +83,8 @@ def table2(runner: SuiteRunner,
            workloads: Optional[Iterable[str]] = None) -> List[Table2Row]:
     """Slowdowns of SlowSim and FastSim, and the memoization speedup."""
     rows = []
+    runner.prefetch(_names(workloads), ("slow", "fast"),
+                    include_native=True)
     for name in _names(workloads):
         native = runner.native(name)
         slow = runner.run(name, "slow")
@@ -103,6 +105,7 @@ def table3(runner: SuiteRunner,
     """Simulation rates against the integrated (SimpleScalar-role)
     baseline."""
     rows = []
+    runner.prefetch(_names(workloads), ("slow", "fast", "baseline"))
     for name in _names(workloads):
         slow = runner.run(name, "slow")
         fast = runner.run(name, "fast")
@@ -125,6 +128,7 @@ def table4(runner: SuiteRunner,
            workloads: Optional[Iterable[str]] = None) -> List[Table4Row]:
     """Fraction of instructions simulated in detail vs. replayed."""
     rows = []
+    runner.prefetch(_names(workloads), ("fast",))
     for name in _names(workloads):
         fast = runner.run(name, "fast")
         memo = fast.memo
@@ -142,6 +146,7 @@ def table5(runner: SuiteRunner,
            workloads: Optional[Iterable[str]] = None) -> List[Table5Row]:
     """P-action cache contents and chain statistics."""
     rows = []
+    runner.prefetch(_names(workloads), ("fast",))
     for name in _names(workloads):
         fast = runner.run(name, "fast")
         memo = fast.memo

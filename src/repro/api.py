@@ -1,0 +1,152 @@
+"""The documented entry points: ``simulate`` and ``run_campaign``.
+
+This facade is the supported way in::
+
+    import repro.api as api
+
+    # One measurement — a suite workload, an Executable, or a file.
+    result = api.simulate("compress", engine="fast", scale="tiny")
+
+    # Many measurements — parallel, fault-tolerant, warm-started.
+    campaign = api.run_campaign(
+        workloads=["compress", "go"],
+        simulators=("fast", "slow"),
+        scale="tiny", workers=4, cache_dir=".fastsim-cache",
+    )
+    print(campaign["compress:fast:tiny"].result.summary())
+
+Everything here is re-exported lazily from the top-level ``repro``
+namespace (``repro.simulate``, ``repro.run_campaign``). Direct
+construction of :class:`repro.analysis.SuiteRunner` is deprecated;
+:func:`suite_runner` builds the memoizing facade without the warning.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.campaign.engine import (
+    Campaign,
+    CampaignResult,
+    CampaignRunner,
+)
+from repro.campaign.jobs import Job, PolicySpec
+from repro.campaign.cachedir import CacheStore
+from repro.campaign.progress import ProgressSink, make_sink
+from repro.campaign.worker import simulate_executable
+from repro.isa.program import Executable
+from repro.memo.policies import ReplacementPolicy
+from repro.sim.results import SimulationResult
+from repro.uarch.params import ProcessorParams
+from repro.workloads.suite import WORKLOAD_ORDER, WORKLOADS, load_workload
+
+__all__ = [
+    "simulate",
+    "run_campaign",
+    "suite_runner",
+]
+
+
+def _resolve_executable(exe_or_name: Union[Executable, str],
+                        scale: str) -> Executable:
+    """Accept an Executable, a suite workload name, or a file path."""
+    if isinstance(exe_or_name, Executable):
+        return exe_or_name
+    if exe_or_name in WORKLOADS:
+        return load_workload(exe_or_name, scale)
+    if exe_or_name.endswith(".fsx"):
+        from repro.isa.objfile import load_executable
+
+        return load_executable(exe_or_name)
+    if exe_or_name.endswith(".s"):
+        from repro.isa.assembler import assemble
+
+        with open(exe_or_name) as handle:
+            return assemble(handle.read(), name=exe_or_name)
+    raise ValueError(
+        f"cannot resolve {exe_or_name!r}: not an Executable, not a "
+        f"suite workload (choose from {list(WORKLOAD_ORDER)}), and not "
+        "a .fsx/.s path"
+    )
+
+
+def simulate(
+    exe_or_name: Union[Executable, str],
+    *,
+    engine: str = "fast",
+    scale: str = "test",
+    params: Optional[ProcessorParams] = None,
+    policy: Optional[Union[PolicySpec, ReplacementPolicy]] = None,
+    cache_dir: Optional[str] = None,
+) -> SimulationResult:
+    """Simulate one program under one engine; returns the result.
+
+    *exe_or_name* may be an assembled :class:`Executable`, the name of
+    a suite workload (built at *scale*), or a path to an ``.fsx``
+    binary / ``.s`` source. *engine* is ``fast`` (memoized), ``slow``
+    (direct-execution only), or ``baseline`` (integrated). With
+    *cache_dir*, ``fast`` runs warm-start from (and update) the shared
+    p-action cache store.
+    """
+    executable = _resolve_executable(exe_or_name, scale)
+    if isinstance(policy, PolicySpec):
+        policy = policy.build()
+    store = CacheStore(cache_dir) if cache_dir else None
+    result, _ = simulate_executable(
+        executable, engine, params=params, policy=policy, store=store,
+    )
+    return result
+
+
+def run_campaign(
+    workloads: Optional[Iterable[str]] = None,
+    simulators: Sequence[str] = ("fast", "slow", "baseline"),
+    *,
+    scale: str = "test",
+    params: Optional[ProcessorParams] = None,
+    include_native: bool = False,
+    jobs: Optional[Sequence[Job]] = None,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    timeout: Optional[float] = None,
+    retries: int = 2,
+    progress: Union[ProgressSink, str, None] = None,
+    name: str = "campaign",
+) -> CampaignResult:
+    """Execute a simulation campaign; returns merged results.
+
+    Either pass explicit *jobs*, or let the workload × simulator grid
+    be built from *workloads* (default: the full 18-workload suite) and
+    *simulators*. ``workers=0`` runs serially in-process; ``workers>=1``
+    shards across a worker pool with per-job *timeout* and bounded
+    *retries*. *progress* is a
+    :class:`~repro.campaign.progress.ProgressSink` or one of ``"text"``
+    / ``"jsonl"`` / ``"silent"``. Merged results are deterministic: see
+    :meth:`~repro.campaign.engine.CampaignResult.canonical_json`.
+    """
+    if jobs is not None:
+        campaign = Campaign(jobs=tuple(jobs), name=name)
+    else:
+        names = (list(workloads) if workloads is not None
+                 else list(WORKLOAD_ORDER))
+        campaign = Campaign.grid(
+            names, simulators, scale=scale, params=params,
+            include_native=include_native, name=name,
+        )
+    if isinstance(progress, str):
+        sink = make_sink(progress)
+    else:
+        sink = progress
+    runner = CampaignRunner(
+        workers=workers, cache_dir=cache_dir, timeout=timeout,
+        retries=retries, sink=sink,
+    )
+    return runner.run(campaign)
+
+
+def suite_runner(scale: str = "test", **kwargs):
+    """Build the memoizing table/figure runner without the deprecation
+    warning (accepts the same keywords as ``SuiteRunner``)."""
+    from repro.analysis.runner import SuiteRunner
+
+    return SuiteRunner(scale=scale, **kwargs)

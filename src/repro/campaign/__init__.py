@@ -1,0 +1,67 @@
+"""Parallel campaign execution with warm-start p-action caches.
+
+The paper's evaluation shape — the same workload suite, under several
+simulators, run many times — is embarrassingly parallel and highly
+cache-reusable. This package turns that shape into a first-class
+object:
+
+* :class:`Job` / :class:`PolicySpec` — declarative work units;
+* :class:`Campaign` — an ordered, unique-keyed set of jobs;
+* :class:`CampaignRunner` — multiprocessing execution with per-job
+  timeout, bounded retry + backoff, and crash isolation;
+* :class:`CampaignResult` — deterministically merged results
+  (byte-identical across worker counts) plus JSON-lines metrics;
+* :class:`CacheStore` — shared on-disk p-action caches keyed by
+  binding signature, so repeated campaigns start warm;
+* :class:`ProgressSink` — one progress protocol (text / JSON-lines /
+  silent) shared with the suite runner.
+
+See ``docs/campaign.md`` for the engine's semantics and the cache
+directory layout.
+"""
+
+from repro.campaign.cachedir import CacheStore
+from repro.campaign.engine import (
+    Campaign,
+    CampaignResult,
+    CampaignRunner,
+    run_jobs,
+)
+from repro.campaign.jobs import (
+    Job,
+    JobResult,
+    NativeRun,
+    PolicySpec,
+    SIMULATORS,
+)
+from repro.campaign.progress import (
+    CallbackSink,
+    JsonlSink,
+    NullSink,
+    ProgressSink,
+    TextSink,
+    make_sink,
+)
+from repro.campaign.worker import execute_job, job_kinds, register_job_kind
+
+__all__ = [
+    "SIMULATORS",
+    "Job",
+    "JobResult",
+    "NativeRun",
+    "PolicySpec",
+    "Campaign",
+    "CampaignResult",
+    "CampaignRunner",
+    "run_jobs",
+    "CacheStore",
+    "ProgressSink",
+    "TextSink",
+    "JsonlSink",
+    "NullSink",
+    "CallbackSink",
+    "make_sink",
+    "execute_job",
+    "register_job_kind",
+    "job_kinds",
+]

@@ -1,0 +1,101 @@
+"""Shared on-disk p-action cache directory — campaign warm-start.
+
+Repeated campaigns (CI runs, parameter sweeps, regression timing) keep
+re-simulating the same binaries under the same processor model. Each
+(program text, parameters) pair has a binding signature
+(:func:`repro.memo.engine.run_signature`); this store maps that
+signature to a persisted p-action cache file
+(:mod:`repro.memo.persist`), so any worker — in any process, in any
+later campaign — can start fully warm.
+
+Layout: one ``<signature-hex>.fspc`` file per binding under the root
+directory. Writes go through a per-process temporary file and an atomic
+:func:`os.replace`, so concurrent workers can race on the same
+signature safely (last writer wins; both wrote compatible caches for
+the same binding, so either outcome is sound — the binding signature is
+re-imposed on load and replay never trusts a cache for the wrong
+binary). A corrupt or truncated file is treated as a miss, never an
+error: warm-start is an optimisation, and the bit-identical invariant
+guarantees a cold run produces the same simulated results.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Union
+
+from repro.errors import MemoizationError
+from repro.memo.pcache import PActionCache
+from repro.memo.persist import load_pcache, save_pcache
+
+_SUFFIX = ".fspc"
+
+
+class CacheStore:
+    """A directory of persisted p-action caches keyed by signature."""
+
+    def __init__(self, root: Union[str, "os.PathLike"]):
+        self.root = os.fspath(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    def path_for(self, signature: bytes) -> str:
+        """The cache file path for one binding signature."""
+        return os.path.join(self.root, signature.hex() + _SUFFIX)
+
+    def load(self, signature: bytes) -> Optional[PActionCache]:
+        """Return the persisted cache for *signature*, or None.
+
+        Missing, truncated, or otherwise unreadable files — and files
+        whose stored binding does not match (should never happen, but a
+        hash collision on the file name must not poison a run) — all
+        miss.
+        """
+        path = self.path_for(signature)
+        try:
+            cache = load_pcache(path)
+        except FileNotFoundError:
+            return None
+        except (MemoizationError, OSError, IndexError):
+            return None
+        if cache._bound_program != signature:
+            return None
+        return cache
+
+    def store(self, signature: bytes, cache: PActionCache,
+              known_nodes: int = 0) -> bool:
+        """Persist *cache* unless it holds nothing new.
+
+        *known_nodes* is the node count the run started from (0 for a
+        cold start); when the run recorded nothing beyond it there is
+        nothing worth writing. Returns True when a file was written.
+        """
+        recorded = cache.configs_allocated + cache.actions_allocated
+        if recorded <= known_nodes and os.path.exists(
+                self.path_for(signature)):
+            return False
+        final_path = self.path_for(signature)
+        temp_path = os.path.join(
+            self.root, f".{signature.hex()}.{os.getpid()}.tmp"
+        )
+        try:
+            save_pcache(cache, temp_path)
+            os.replace(temp_path, final_path)
+        finally:
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+        return True
+
+    def entries(self) -> List[str]:
+        """Hex signatures currently persisted, sorted."""
+        found = []
+        for name in os.listdir(self.root):
+            if name.endswith(_SUFFIX) and not name.startswith("."):
+                found.append(name[: -len(_SUFFIX)])
+        return sorted(found)
+
+    def total_bytes(self) -> int:
+        """On-disk footprint of all persisted caches."""
+        return sum(
+            os.path.getsize(os.path.join(self.root, hexsig + _SUFFIX))
+            for hexsig in self.entries()
+        )

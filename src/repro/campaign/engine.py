@@ -1,0 +1,382 @@
+"""The campaign engine — parallel, fault-tolerant job execution.
+
+A :class:`Campaign` is a declarative, ordered set of unique jobs. A
+:class:`CampaignRunner` executes one:
+
+* ``workers=0`` — serially, in-process (no subprocesses, no timeout
+  enforcement; what the suite runner uses for incremental calls);
+* ``workers>=1`` — sharded across single-job worker processes with
+  per-job timeout, bounded retry with exponential backoff, and crash
+  isolation: a dying worker fails (and retries) one job, never the run.
+
+Result merging is deterministic: :class:`CampaignResult` holds job
+results in campaign order, keyed by :attr:`Job.key`, so the merged
+output is byte-identical no matter which workers finished first —
+``workers=1`` and ``workers=N`` produce the same
+:meth:`CampaignResult.canonical_json`. Host-dependent measurements
+(wall times, retries, memoization hit counts under warm-start) are
+deliberately kept out of the canonical payload and emitted as JSON
+lines instead (:meth:`CampaignResult.metrics_jsonl`).
+
+One worker process runs one job and exits. That costs a ``fork`` per
+job (cheap on the platforms this targets) and buys the fault-tolerance
+properties above for free; warm state lives on disk in the shared
+:class:`~repro.campaign.cachedir.CacheStore`, not in worker memory, so
+it survives both worker recycling and entire campaigns.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import multiprocessing.connection
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.campaign.cachedir import CacheStore
+from repro.campaign.jobs import Job, JobResult
+from repro.campaign.progress import NullSink, ProgressSink
+from repro.campaign.worker import child_main, execute_job
+
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """An ordered set of jobs with unique keys."""
+
+    jobs: Tuple[Job, ...]
+    name: str = "campaign"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "jobs", tuple(self.jobs))
+        seen = {}
+        for job in self.jobs:
+            if job.key in seen:
+                raise ValueError(
+                    f"duplicate job key {job.key!r}; give jobs with "
+                    "identical coordinates distinct `variant` labels"
+                )
+            seen[job.key] = job
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    @classmethod
+    def grid(
+        cls,
+        workloads: Sequence[str],
+        simulators: Sequence[str] = ("fast", "slow", "baseline"),
+        scale: str = "test",
+        params=None,
+        include_native: bool = False,
+        name: str = "campaign",
+    ) -> "Campaign":
+        """The common workload × simulator cross-product campaign."""
+        jobs = []
+        for workload in workloads:
+            if include_native:
+                jobs.append(Job(workload=workload, simulator="native",
+                                scale=scale))
+            for simulator in simulators:
+                jobs.append(Job(workload=workload, simulator=simulator,
+                                scale=scale, params=params))
+        return cls(jobs=tuple(jobs), name=name)
+
+
+@dataclass
+class CampaignResult:
+    """Merged results of one campaign run, in campaign (job) order."""
+
+    campaign: Campaign
+    results: List[JobResult]
+    wall_seconds: float = 0.0
+    workers: int = 0
+
+    def __post_init__(self) -> None:
+        self._by_key: Dict[str, JobResult] = {}
+        for result in self.results:
+            self._by_key[result.key] = result
+
+    def __getitem__(self, key: str) -> JobResult:
+        return self._by_key[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._by_key
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    @property
+    def failed(self) -> List[JobResult]:
+        return [result for result in self.results if not result.ok]
+
+    def canonical_dict(self) -> Dict[str, object]:
+        """Host-independent merged payload, in campaign order."""
+        return {
+            "format_version": FORMAT_VERSION,
+            "name": self.campaign.name,
+            "jobs": [result.canonical() for result in self.results],
+        }
+
+    def canonical_json(self) -> str:
+        """The byte-identical merged document (sorted keys, indented)."""
+        return json.dumps(self.canonical_dict(), sort_keys=True,
+                          indent=2) + "\n"
+
+    def metrics_jsonl(self) -> str:
+        """One JSON line of structured metrics per job."""
+        lines = [
+            json.dumps(result.metrics_record(), sort_keys=True,
+                       default=str)
+            for result in self.results
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+@dataclass
+class _InFlight:
+    """One live worker process and the job attempt it owns."""
+
+    index: int
+    job: Job
+    attempt: int
+    process: multiprocessing.Process
+    connection: object
+    deadline: Optional[float]
+
+
+@dataclass
+class _Pending:
+    index: int
+    job: Job
+    attempt: int = 1
+    ready_at: float = 0.0
+
+
+class CampaignRunner:
+    """Executes campaigns; see the module docstring for semantics."""
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache_dir: Optional[str] = None,
+        timeout: Optional[float] = None,
+        retries: int = 2,
+        backoff: float = 0.25,
+        sink: Optional[ProgressSink] = None,
+        mp_context: Optional[object] = None,
+    ):
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.workers = workers
+        self.cache_dir = cache_dir
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.sink = sink if sink is not None else NullSink()
+        if mp_context is None:
+            # fork keeps test-registered job kinds visible in workers
+            # and makes per-job process spawn cheap.
+            try:
+                mp_context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX hosts
+                mp_context = multiprocessing.get_context()
+        self._mp = mp_context
+
+    # ------------------------------------------------------------------
+
+    def run(self, campaign: Campaign) -> CampaignResult:
+        """Execute every job; merged results come back in job order."""
+        self.sink.emit(
+            "campaign-start", name=campaign.name, jobs=len(campaign),
+            workers=self.workers, cache_dir=self.cache_dir,
+        )
+        started = time.monotonic()  # repro-lint: disable=det/time-dependent
+        if self.workers == 0:
+            results = self._run_inline(campaign)
+        else:
+            results = self._run_pool(campaign)
+        wall = time.monotonic() - started  # repro-lint: disable=det/time-dependent
+        outcome = CampaignResult(
+            campaign=campaign, results=results, wall_seconds=wall,
+            workers=self.workers,
+        )
+        self.sink.emit(
+            "campaign-end", name=campaign.name, jobs=len(campaign),
+            failed=len(outcome.failed), wall_seconds=round(wall, 3),
+        )
+        return outcome
+
+    # -- serial in-process path -----------------------------------------
+
+    def _run_inline(self, campaign: Campaign) -> List[JobResult]:
+        store = CacheStore(self.cache_dir) if self.cache_dir else None
+        results = []
+        for job in campaign.jobs:
+            self.sink.emit("job-start", key=job.key, attempt=1)
+            outcome = execute_job(job, store)
+            self._emit_outcome(outcome)
+            results.append(outcome)
+        return results
+
+    # -- parallel pool path ---------------------------------------------
+
+    def _run_pool(self, campaign: Campaign) -> List[JobResult]:
+        pending: List[_Pending] = [
+            _Pending(index=i, job=job)
+            for i, job in enumerate(campaign.jobs)
+        ]
+        in_flight: List[_InFlight] = []
+        finished: Dict[int, JobResult] = {}
+        try:
+            while pending or in_flight:
+                now = time.monotonic()  # repro-lint: disable=det/time-dependent
+                self._launch_ready(pending, in_flight, now)
+                self._wait(pending, in_flight, now)
+                now = time.monotonic()  # repro-lint: disable=det/time-dependent
+                self._collect(pending, in_flight, finished, now)
+        finally:
+            for slot in in_flight:  # pragma: no cover - interrupt path
+                slot.process.terminate()
+                slot.process.join()
+        return [finished[i] for i in range(len(campaign.jobs))]
+
+    def _launch_ready(self, pending: List[_Pending],
+                      in_flight: List[_InFlight], now: float) -> None:
+        while len(in_flight) < self.workers:
+            slot_item = None
+            for item in pending:
+                if item.ready_at <= now:
+                    slot_item = item
+                    break
+            if slot_item is None:
+                return
+            pending.remove(slot_item)
+            receiver, sender = self._mp.Pipe(duplex=False)
+            process = self._mp.Process(
+                target=child_main,
+                args=(sender, slot_item.job, self.cache_dir),
+            )
+            process.start()
+            sender.close()
+            deadline = (now + self.timeout
+                        if self.timeout is not None else None)
+            in_flight.append(_InFlight(
+                index=slot_item.index, job=slot_item.job,
+                attempt=slot_item.attempt, process=process,
+                connection=receiver, deadline=deadline,
+            ))
+            self.sink.emit("job-start", key=slot_item.job.key,
+                           attempt=slot_item.attempt,
+                           worker=process.pid)
+
+    def _wait(self, pending: List[_Pending],
+              in_flight: List[_InFlight], now: float) -> None:
+        """Block until a result, a deadline, or a backoff expiry."""
+        bounds = [slot.deadline for slot in in_flight
+                  if slot.deadline is not None]
+        bounds.extend(item.ready_at for item in pending
+                      if item.ready_at > now)
+        timeout = None
+        if bounds:
+            timeout = max(min(bounds) - now, 0.0)
+        if in_flight:
+            # timeout=None blocks until a worker sends a result or dies
+            # (its pipe end closing makes the connection ready).
+            multiprocessing.connection.wait(
+                [slot.connection for slot in in_flight],
+                timeout=timeout,
+            )
+        elif timeout:
+            time.sleep(timeout)
+
+    def _collect(self, pending: List[_Pending],
+                 in_flight: List[_InFlight],
+                 finished: Dict[int, JobResult], now: float) -> None:
+        for slot in list(in_flight):
+            outcome = None
+            failure = None
+            if slot.connection.poll():
+                try:
+                    outcome = slot.connection.recv()
+                except (EOFError, OSError):
+                    failure = "worker died mid-result"
+            elif not slot.process.is_alive():
+                code = slot.process.exitcode
+                failure = f"worker crashed (exit code {code})"
+            elif slot.deadline is not None and now >= slot.deadline:
+                slot.process.terminate()
+                failure = f"timed out after {self.timeout}s"
+            else:
+                continue  # still running
+
+            in_flight.remove(slot)
+            slot.process.join()
+            slot.connection.close()
+
+            if outcome is not None:
+                outcome.attempts = slot.attempt
+                self._emit_outcome(outcome, worker=slot.process.pid)
+                finished[slot.index] = outcome
+                continue
+
+            # Infrastructure failure: retry with backoff, else fail.
+            if slot.attempt <= self.retries:
+                delay = self.backoff * (2 ** (slot.attempt - 1))
+                self.sink.emit(
+                    "job-retry", key=slot.job.key, attempt=slot.attempt,
+                    error=failure, backoff_seconds=delay,
+                )
+                pending.append(_Pending(
+                    index=slot.index, job=slot.job,
+                    attempt=slot.attempt + 1, ready_at=now + delay,
+                ))
+            else:
+                result = JobResult(
+                    job=slot.job, status="failed",
+                    attempts=slot.attempt, error=failure,
+                )
+                self._emit_outcome(result, worker=slot.process.pid)
+                finished[slot.index] = result
+
+    def _emit_outcome(self, outcome: JobResult,
+                      worker: Optional[int] = None) -> None:
+        kind = "job-ok" if outcome.ok else "job-failed"
+        fields = {
+            "key": outcome.key,
+            "attempt": outcome.attempts,
+            "seconds": round(outcome.host_seconds, 3),
+        }
+        if worker is not None:
+            fields["worker"] = worker
+        if outcome.result is not None:
+            fields["cycles"] = outcome.result.cycles
+            fields["instructions"] = outcome.result.instructions
+        if outcome.error is not None:
+            fields["error"] = outcome.error
+        self.sink.emit(kind, **fields)
+
+
+def run_jobs(
+    jobs: Sequence[Job],
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    timeout: Optional[float] = None,
+    retries: int = 2,
+    sink: Optional[ProgressSink] = None,
+    name: str = "campaign",
+) -> CampaignResult:
+    """One-call convenience over Campaign + CampaignRunner."""
+    runner = CampaignRunner(
+        workers=workers, cache_dir=cache_dir, timeout=timeout,
+        retries=retries, sink=sink,
+    )
+    return runner.run(Campaign(jobs=tuple(jobs), name=name))

@@ -1,0 +1,114 @@
+"""Progress reporting — one sink protocol for every runner.
+
+The suite runner used to split progress between a ``verbose`` print and
+an optional callback; the campaign engine needs structured events
+(job started / finished / retried) as well as plain log lines. Both now
+speak to a single :class:`ProgressSink`:
+
+* :class:`TextSink` — human-readable one-liners to a stream;
+* :class:`JsonlSink` — one JSON object per event (machine-readable,
+  suitable for build logs and dashboards);
+* :class:`NullSink` — silence;
+* :class:`CallbackSink` — adapts a legacy ``Callable[[str], None]``
+  progress callback.
+
+Events are free-form ``(kind, fields)`` pairs; the well-known kinds the
+campaign engine emits are documented in ``docs/campaign.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Callable, Optional, TextIO
+
+
+class ProgressSink:
+    """Protocol: receives structured progress events.
+
+    Subclasses implement :meth:`emit`. ``kind`` names the event
+    (``"log"``, ``"job-start"``, ``"job-ok"``, ``"job-retry"``,
+    ``"job-failed"``, ``"campaign-start"``, ``"campaign-end"``) and the
+    keyword fields carry its payload.
+    """
+
+    def emit(self, kind: str, **fields: object) -> None:
+        raise NotImplementedError
+
+    def log(self, message: str) -> None:
+        """Convenience wrapper for plain log lines."""
+        self.emit("log", message=message)
+
+
+class NullSink(ProgressSink):
+    """Drops every event."""
+
+    def emit(self, kind: str, **fields: object) -> None:
+        pass
+
+
+def _render_text(kind: str, fields: dict) -> str:
+    """One human-readable line per event."""
+    if kind == "log":
+        return str(fields.get("message", ""))
+    parts = [kind]
+    key = fields.get("key")
+    if key is not None:
+        parts.append(str(key))
+    detail = ", ".join(
+        f"{name}={fields[name]}"
+        for name in sorted(fields)
+        if name not in ("key",) and fields[name] is not None
+    )
+    if detail:
+        parts.append(f"({detail})")
+    return " ".join(parts)
+
+
+class TextSink(ProgressSink):
+    """Human-readable progress lines on a stream (default stdout)."""
+
+    def __init__(self, stream: Optional[TextIO] = None):
+        self.stream = stream
+
+    def emit(self, kind: str, **fields: object) -> None:
+        stream = self.stream if self.stream is not None else sys.stdout
+        print(_render_text(kind, fields), file=stream, flush=True)
+
+
+class JsonlSink(ProgressSink):
+    """One JSON object per event, keys sorted for stable output."""
+
+    def __init__(self, stream: Optional[TextIO] = None):
+        self.stream = stream
+
+    def emit(self, kind: str, **fields: object) -> None:
+        stream = self.stream if self.stream is not None else sys.stdout
+        record = dict(fields)
+        record["event"] = kind
+        print(json.dumps(record, sort_keys=True, default=str),
+              file=stream, flush=True)
+
+
+class CallbackSink(ProgressSink):
+    """Adapts the legacy ``progress=callable`` suite-runner argument."""
+
+    def __init__(self, callback: Callable[[str], None]):
+        self.callback = callback
+
+    def emit(self, kind: str, **fields: object) -> None:
+        self.callback(_render_text(kind, fields))
+
+
+def make_sink(
+    mode: str = "text",
+    stream: Optional[TextIO] = None,
+) -> ProgressSink:
+    """Build a sink from a CLI-style mode name."""
+    if mode == "text":
+        return TextSink(stream)
+    if mode in ("jsonl", "json"):
+        return JsonlSink(stream)
+    if mode in ("silent", "null", "none"):
+        return NullSink()
+    raise ValueError(f"unknown progress mode {mode!r}")

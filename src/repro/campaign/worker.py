@@ -1,0 +1,185 @@
+"""Job execution — the one code path every runner drives.
+
+:func:`execute_job` turns a :class:`~repro.campaign.jobs.Job` into a
+:class:`~repro.campaign.jobs.JobResult`. The serial suite runner calls
+it in-process; the parallel :class:`~repro.campaign.engine.CampaignRunner`
+calls it inside a worker subprocess via :func:`child_main`. Keeping one
+executor is what makes "bit-identical under any worker count" a
+structural property rather than a test-enforced accident.
+
+Job *kinds* are pluggable: ``simulate`` (the default) runs a workload
+under one of the four simulators with optional warm-start through a
+:class:`~repro.campaign.cachedir.CacheStore`; tests register
+fault-injecting kinds to exercise the engine's crash/timeout/retry
+paths. Registrations made before workers fork are inherited by them
+(the engine uses the ``fork`` start method where available).
+
+Failure semantics: an exception raised by a kind executor is a
+*deterministic* failure — it is reported once and not retried (re-running
+the same pure function on the same job would fail the same way). Worker
+death and timeouts are *infrastructure* failures and are retried by the
+engine.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+from repro.campaign.cachedir import CacheStore
+from repro.campaign.jobs import Job, JobResult, NativeRun
+from repro.emulator.functional import Interpreter
+from repro.memo.engine import run_signature
+from repro.sim.fastsim import FastSim
+from repro.uarch.params import ProcessorParams
+from repro.workloads.suite import load_workload
+
+JobExecutor = Callable[[Job, Optional[CacheStore]], JobResult]
+
+_JOB_KINDS: Dict[str, JobExecutor] = {}
+
+
+def register_job_kind(name: str, executor: JobExecutor) -> None:
+    """Register an executor for ``Job.kind == name``."""
+    _JOB_KINDS[name] = executor
+
+
+def job_kinds() -> list:
+    """Registered kind names, sorted."""
+    return sorted(_JOB_KINDS)
+
+
+def _effective_params(job: Job) -> ProcessorParams:
+    return job.params if job.params is not None else ProcessorParams.r10k()
+
+
+def native_run(executable) -> NativeRun:
+    """Time plain functional execution of *executable*."""
+    interpreter = Interpreter(executable)
+    started = time.perf_counter()  # repro-lint: disable=det/time-dependent
+    interpreter.run()
+    elapsed = time.perf_counter() - started  # repro-lint: disable=det/time-dependent
+    return NativeRun(
+        seconds=elapsed,
+        instructions=interpreter.state.instret,
+        output=list(interpreter.state.output),
+    )
+
+
+def simulate_executable(
+    executable,
+    simulator: str = "fast",
+    params: Optional[ProcessorParams] = None,
+    policy=None,
+    store: Optional[CacheStore] = None,
+):
+    """Run one simulator over *executable*; returns (result, metrics).
+
+    *policy* is a live :class:`~repro.memo.policies.ReplacementPolicy`
+    (already built from a spec, or caller-supplied). Warm-start through
+    *store* only applies to unbounded ``fast`` runs: a bounded policy's
+    eviction behaviour is part of the experiment, so it must start from
+    the same (cold) cache every time.
+    """
+    metrics: Dict[str, object] = {}
+
+    if simulator == "fast":
+        signature = None
+        pcache = None
+        known_nodes = 0
+        if store is not None and policy is None:
+            effective = (params if params is not None
+                         else ProcessorParams.r10k())
+            signature = run_signature(executable, effective)
+            pcache = store.load(signature)
+            if pcache is not None:
+                known_nodes = (pcache.configs_allocated
+                               + pcache.actions_allocated)
+                metrics["warm_start"] = True
+        sim = FastSim(executable, params=params, policy=policy,
+                      pcache=pcache)
+        result = sim.run()
+        if signature is not None:
+            metrics["cache_saved"] = store.store(
+                signature, sim.pcache, known_nodes
+            )
+    elif simulator == "slow":
+        from repro.sim.slowsim import SlowSim
+
+        result = SlowSim(executable, params=params).run()
+    elif simulator == "baseline":
+        from repro.sim.baseline import IntegratedSimulator
+
+        result = IntegratedSimulator(executable, params=params).run()
+    else:
+        raise ValueError(f"unknown simulator {simulator!r}")
+
+    if policy is not None:
+        metrics["collections"] = result.memo.evictions
+        rates = getattr(policy, "survival_rates", None)
+        if rates:
+            metrics["survival_rates"] = list(rates)
+
+    return result, metrics
+
+
+def _simulate(job: Job, store: Optional[CacheStore]) -> JobResult:
+    """The default kind: run one workload under one simulator."""
+    executable = load_workload(job.workload, job.scale)
+
+    if job.simulator == "native":
+        return JobResult(job=job, status="ok",
+                         native=native_run(executable))
+
+    policy = job.policy.build() if job.policy is not None else None
+    result, metrics = simulate_executable(
+        executable, job.simulator, params=job.params, policy=policy,
+        store=store,
+    )
+    return JobResult(job=job, status="ok", result=result, metrics=metrics)
+
+
+register_job_kind("simulate", _simulate)
+
+
+def execute_job(job: Job, store: Optional[CacheStore] = None) -> JobResult:
+    """Run one job to a JobResult; never raises.
+
+    Exceptions become ``status="failed"`` results (deterministic
+    failures — see the module docstring for why these are not retried).
+    """
+    started = time.perf_counter()  # repro-lint: disable=det/time-dependent
+    executor = _JOB_KINDS.get(job.kind)
+    if executor is None:
+        outcome = JobResult(
+            job=job, status="failed",
+            error=f"unknown job kind {job.kind!r}",
+        )
+    else:
+        try:
+            outcome = executor(job, store)
+        except Exception as exc:
+            outcome = JobResult(
+                job=job, status="failed",
+                error=f"{type(exc).__name__}: {exc}",
+            )
+    outcome.host_seconds = time.perf_counter() - started  # repro-lint: disable=det/time-dependent
+    return outcome
+
+
+def child_main(connection, job: Job, cache_root: Optional[str]) -> None:
+    """Worker-process entry: execute one job, send the result back."""
+    try:
+        store = CacheStore(cache_root) if cache_root else None
+        connection.send(execute_job(job, store))
+    except BaseException as exc:  # result must cross the pipe or the
+        # parent treats this worker as crashed — report what we can.
+        try:
+            connection.send(JobResult(
+                job=job, status="failed",
+                error=f"worker error: {type(exc).__name__}: {exc}",
+            ))
+        except Exception:
+            pass
+    finally:
+        connection.close()

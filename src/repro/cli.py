@@ -1,16 +1,19 @@
 """Command-line interface: ``fastsim-repro``.
 
-Subcommands::
+Subcommands (``fastsim-repro <command> --help`` for each)::
 
     list                      show the workload suite
     params                    print the processor model (paper Table 1)
     run WORKLOAD              simulate one workload under all simulators
+    campaign                  parallel campaign over the suite
+                              (--workers/--cache-dir/--timeout/--retries)
     mix                       dynamic instruction-mix table
     trace WORKLOAD            per-cycle pipeline dump (--cycles N)
     profile WORKLOAD          pipeline utilization report
     asm FILE.s                assemble to an .fsx binary (--output)
     disasm FILE.fsx           disassemble an .fsx binary
     run-binary FILE.fsx       simulate an assembled binary with FastSim
+    calibrate                 host-speed calibration report
     lint [PATH...]            determinism/memo-safety lint (--format
                               json, --strict; default path src/repro)
     lint-asm FILE.s [...]     static checks on assembly programs
@@ -19,7 +22,10 @@ Subcommands::
     figure7                   regenerate the cache-limit sweep
     gc-study                  regenerate the GC-policy comparison
 
-Common options: ``--scale {tiny,test,train}``, ``--workloads a,b,c``.
+Table/figure commands accept ``--workers N`` to shard the underlying
+measurements across a campaign worker pool and ``--cache-dir DIR`` to
+warm-start FastSim runs; common options are ``--scale
+{tiny,test,train}`` and ``--workloads a,b,c``.
 """
 
 from __future__ import annotations
@@ -28,68 +34,162 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.analysis import (
-    SuiteRunner,
-    figure7,
-    gc_policy_study,
-    render_figure7,
-    render_policy_study,
-    render_table2,
-    render_table3,
-    render_table4,
-    render_table5,
-    table2,
-    table3,
-    table4,
-    table5,
-)
-from repro.sim.baseline import IntegratedSimulator
-from repro.sim.fastsim import FastSim
-from repro.sim.slowsim import SlowSim
-from repro.uarch.params import ProcessorParams
 from repro.workloads.suite import WORKLOAD_ORDER, WORKLOADS, load_workload
 
 
-def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
+# ---------------------------------------------------------------------------
+# Parser construction
+# ---------------------------------------------------------------------------
+
+def _scale_options() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--scale", default="test",
+                        choices=["tiny", "test", "train"])
+    return parent
+
+
+def _quiet_option() -> argparse.ArgumentParser:
+    # Historically a global flag, so every subcommand accepts it (it
+    # only affects commands that report progress).
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--quiet", action="store_true",
+                        help="suppress progress messages")
+    return parent
+
+
+def _suite_options() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--workloads",
+                        help="comma-separated subset of the suite")
+    return parent
+
+
+def _pool_options() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--workers", type=int, default=0,
+                        help="worker processes (0 = serial in-process)")
+    parent.add_argument("--cache-dir",
+                        help="shared p-action cache directory "
+                             "(warm-starts FastSim runs)")
+    parent.add_argument("--timeout", type=float,
+                        help="per-job timeout in seconds "
+                             "(parallel runs only)")
+    parent.add_argument("--retries", type=int, default=2,
+                        help="retry budget per job after worker "
+                             "crashes/timeouts (default 2)")
+    return parent
+
+
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="fastsim-repro",
         description="FastSim (ASPLOS '98) reproduction driver",
     )
-    parser.add_argument(
-        "command",
-        choices=["list", "params", "run", "mix", "trace", "profile",
-                 "asm", "disasm", "run-binary", "calibrate", "lint",
-                 "lint-asm", "table2", "table3", "table4", "table5",
-                 "figure7", "gc-study"],
+    commands = parser.add_subparsers(dest="command", metavar="command",
+                                     required=True)
+    scale = _scale_options()
+    quiet = _quiet_option()
+    suite = _suite_options()
+    pool = _pool_options()
+
+    commands.add_parser("list", parents=[quiet],
+                        help="show the workload suite")
+    commands.add_parser("params", parents=[quiet],
+                        help="print the processor model")
+
+    run = commands.add_parser("run", parents=[scale, quiet],
+                              help="simulate one workload under all "
+                                   "simulators")
+    run.add_argument("workload", help="workload name")
+
+    campaign = commands.add_parser(
+        "campaign", parents=[scale, suite, quiet, pool],
+        help="run a parallel simulation campaign",
     )
-    parser.add_argument("workload", nargs="?",
-                        help="workload name or file path, per command")
-    parser.add_argument("extra", nargs="*",
-                        help="additional paths (lint / lint-asm)")
-    parser.add_argument("--scale", default="test",
-                        choices=["tiny", "test", "train"])
-    parser.add_argument("--workloads",
-                        help="comma-separated subset of the suite")
-    parser.add_argument("--cycles", type=int, default=20,
-                        help="cycles to trace (trace command)")
-    parser.add_argument("--output", "-o",
-                        help="output path (asm command)")
-    parser.add_argument("--quiet", action="store_true",
-                        help="suppress progress messages")
-    parser.add_argument("--format", default="text",
-                        choices=["text", "json"], dest="lint_format",
-                        help="lint report format")
-    parser.add_argument("--strict", action="store_true",
-                        help="lint: apply record/replay-path rules "
-                             "to every module")
-    # Intermixed parsing lets options appear between positionals
-    # ("lint --format json src/repro"), which plain parse_args cannot
-    # allocate once the nargs="?"/"*" slots have been consumed.
-    return parser.parse_intermixed_args(argv)
+    campaign.add_argument(
+        "--simulators", default="fast,slow,baseline",
+        help="comma-separated simulators "
+             "(fast, slow, baseline, native)")
+    campaign.add_argument(
+        "--progress", default="text",
+        choices=["text", "jsonl", "silent"],
+        help="progress event format (default text)")
+    campaign.add_argument(
+        "--out", help="write the merged canonical JSON document here "
+                      "(byte-identical across worker counts)")
+    campaign.add_argument(
+        "--metrics", help="write per-job JSON-lines metrics here")
+
+    commands.add_parser("mix", parents=[scale, suite, quiet],
+                        help="dynamic instruction-mix table")
+
+    trace = commands.add_parser("trace", parents=[scale, quiet],
+                                help="per-cycle pipeline dump")
+    trace.add_argument("workload", help="workload name")
+    trace.add_argument("--cycles", type=int, default=20,
+                       help="cycles to trace")
+
+    profile = commands.add_parser("profile", parents=[scale, quiet],
+                                  help="pipeline utilization report")
+    profile.add_argument("workload", help="workload name")
+
+    asm = commands.add_parser("asm", parents=[quiet],
+                              help="assemble a .s source file")
+    asm.add_argument("source", help="assembly source file")
+    asm.add_argument("--output", "-o", help="output .fsx path")
+
+    disasm = commands.add_parser("disasm", parents=[quiet],
+                                 help="disassemble an .fsx binary")
+    disasm.add_argument("binary", help=".fsx file")
+
+    run_binary = commands.add_parser(
+        "run-binary", parents=[quiet],
+        help="simulate an assembled binary with FastSim")
+    run_binary.add_argument("binary", help=".fsx file")
+
+    commands.add_parser("calibrate", parents=[quiet],
+                        help="host-speed calibration")
+
+    lint = commands.add_parser(
+        "lint", parents=[quiet],
+        help="determinism & memo-safety lint")
+    lint.add_argument("paths", nargs="*",
+                      help="files/directories (default src/repro)")
+    lint.add_argument("--format", default="text",
+                      choices=["text", "json"], dest="lint_format",
+                      help="report format")
+    lint.add_argument("--strict", action="store_true",
+                      help="apply record/replay-path rules to every "
+                           "module")
+
+    lint_asm = commands.add_parser(
+        "lint-asm", parents=[quiet],
+        help="static checks on assembly programs")
+    lint_asm.add_argument("paths", nargs="+", metavar="file.s",
+                          help="assembly sources")
+    lint_asm.add_argument("--format", default="text",
+                          choices=["text", "json"], dest="lint_format",
+                          help="report format")
+
+    for name, description in (
+        ("table2", "FastSim vs SlowSim performance"),
+        ("table3", "FastSim vs the integrated baseline"),
+        ("table4", "detailed vs replayed instructions"),
+        ("table5", "p-action cache statistics"),
+        ("figure7", "speedup vs cache-size limit"),
+        ("gc-study", "GC replacement-policy comparison"),
+    ):
+        commands.add_parser(name, parents=[scale, suite, quiet, pool],
+                            help=description)
+    return parser
+
+
+def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
+    return build_parser().parse_args(argv)
 
 
 def _selected(args: argparse.Namespace) -> Optional[List[str]]:
-    if not args.workloads:
+    if not getattr(args, "workloads", None):
         return None
     names = [n.strip() for n in args.workloads.split(",") if n.strip()]
     for name in names:
@@ -100,23 +200,35 @@ def _selected(args: argparse.Namespace) -> Optional[List[str]]:
     return names
 
 
-def _cmd_list() -> None:
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+def _cmd_list() -> int:
     print(f"{'name':10s} {'SPEC95':14s} {'cat':4s} description")
     for name in WORKLOAD_ORDER:
         w = WORKLOADS[name]
         print(f"{w.name:10s} {w.spec_name:14s} {w.category:4s} "
               f"{w.description}")
+    return 0
 
 
-def _cmd_run(args: argparse.Namespace) -> None:
-    if not args.workload:
-        raise SystemExit("run requires a workload name")
+def _cmd_params() -> int:
+    from repro.uarch.params import ProcessorParams
+
+    print(ProcessorParams.r10k().describe())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.api import simulate
+
     executable = load_workload(args.workload, args.scale)
     print(f"workload {args.workload} [{args.scale}]: "
           f"{len(executable.text) // 4} static instructions")
-    fast = FastSim(executable).run()
-    slow = SlowSim(load_workload(args.workload, args.scale)).run()
-    base = IntegratedSimulator(load_workload(args.workload, args.scale)).run()
+    fast = simulate(args.workload, engine="fast", scale=args.scale)
+    slow = simulate(args.workload, engine="slow", scale=args.scale)
+    base = simulate(args.workload, engine="baseline", scale=args.scale)
     for result in (fast, slow, base):
         print(f"  {result.summary()}")
     exact = "yes" if fast.timing_equal(slow) else "NO (bug!)"
@@ -125,109 +237,169 @@ def _cmd_run(args: argparse.Namespace) -> None:
           f"{slow.host_seconds / fast.host_seconds:.1f}x "
           f"(detailed fraction "
           f"{100 * fast.memo.detailed_fraction:.3f}%)")
+    return 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = _parse_args(argv)
-    if args.command == "list":
-        _cmd_list()
-        return 0
-    if args.command == "params":
-        print(ProcessorParams.r10k().describe())
-        return 0
-    if args.command == "run":
-        _cmd_run(args)
-        return 0
-    if args.command == "mix":
-        from repro.analysis.mixes import render_mix_table
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.api import run_campaign
 
-        print(render_mix_table(scale=args.scale,
-                               workloads=_selected(args)))
-        return 0
-    if args.command == "trace":
-        if not args.workload:
-            raise SystemExit("trace requires a workload name")
-        from repro.uarch.trace import trace_pipeline
+    simulators = [s.strip() for s in args.simulators.split(",")
+                  if s.strip()]
+    native = "native" in simulators
+    simulators = [s for s in simulators if s != "native"]
+    progress = "silent" if args.quiet else args.progress
+    result = run_campaign(
+        workloads=_selected(args),
+        simulators=simulators,
+        scale=args.scale,
+        include_native=native,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        timeout=args.timeout,
+        retries=args.retries,
+        progress=progress,
+        name=f"suite-{args.scale}",
+    )
+    if args.out:
+        with open(args.out, "w") as stream:
+            stream.write(result.canonical_json())
+    if args.metrics:
+        with open(args.metrics, "w") as stream:
+            stream.write(result.metrics_jsonl())
+    print(f"campaign: {len(result)} jobs, "
+          f"{len(result.failed)} failed, "
+          f"{result.wall_seconds:.2f}s wall, "
+          f"workers={result.workers}")
+    for job_result in result.results:
+        if job_result.result is not None:
+            line = (f"{job_result.result.cycles} cycles, "
+                    f"{job_result.result.instructions} insts, "
+                    f"{job_result.host_seconds:.2f}s")
+        elif job_result.native is not None:
+            line = (f"{job_result.native.instructions} insts "
+                    f"(native), {job_result.native.seconds:.2f}s")
+        else:
+            line = f"FAILED: {job_result.error}"
+        print(f"  {job_result.key:32s} {line}")
+    return 0 if result.ok else 1
 
-        for cycle_text in trace_pipeline(
-            load_workload(args.workload, args.scale), max_cycles=args.cycles
-        ):
-            print(cycle_text)
-        return 0
-    if args.command == "profile":
-        if not args.workload:
-            raise SystemExit("profile requires a workload name")
-        from repro.uarch.profile import profile_pipeline
 
-        profile = profile_pipeline(load_workload(args.workload, args.scale))
-        print(profile.render(ProcessorParams.r10k()))
-        return 0
-    if args.command == "asm":
-        if not args.workload:
-            raise SystemExit("asm requires a source file")
-        from repro.isa.assembler import assemble
-        from repro.isa.objfile import save_executable
+def _cmd_mix(args: argparse.Namespace) -> int:
+    from repro.analysis.mixes import render_mix_table
 
-        with open(args.workload) as handle:
-            executable = assemble(handle.read(), name=args.workload)
-        output = args.output or args.workload.rsplit(".", 1)[0] + ".fsx"
-        save_executable(executable, output)
-        print(f"wrote {output}: {len(executable.text) // 4} instructions, "
-              f"{len(executable.data)} data bytes")
-        return 0
-    if args.command == "disasm":
-        if not args.workload:
-            raise SystemExit("disasm requires an .fsx file")
-        from repro.isa.disasm import disassemble
-        from repro.isa.objfile import load_executable
+    print(render_mix_table(scale=args.scale, workloads=_selected(args)))
+    return 0
 
-        executable = load_executable(args.workload)
-        print(disassemble(executable.instructions()))
-        return 0
-    if args.command in ("lint", "lint-asm"):
-        from repro.lint import exit_code, lint_paths, report
 
-        def usage_error(message: str) -> "SystemExit":
-            # Usage and I/O problems exit 2 so CI can tell "findings"
-            # (1) from "the lint never ran" (see docs/lint.md).
-            print(message, file=sys.stderr)
-            return SystemExit(2)
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.uarch.trace import trace_pipeline
 
-        paths = [p for p in [args.workload, *args.extra] if p]
-        if args.command == "lint-asm":
-            if not paths:
-                raise usage_error("lint-asm requires at least one .s file")
-            for path in paths:
-                if not path.endswith(".s"):
-                    raise usage_error(f"lint-asm expects .s files: {path}")
-        elif not paths:
-            paths = ["src/repro"]
-        try:
-            findings = lint_paths(
-                paths, strict=True if args.strict else None
-            )
-        except FileNotFoundError as exc:
-            raise usage_error(f"no such path: {exc}")
-        except OSError as exc:
-            raise usage_error(f"cannot lint: {exc}")
-        print(report(findings, args.lint_format))
-        return exit_code(findings)
-    if args.command == "calibrate":
-        from repro.analysis.calibrate import calibrate, render_calibration
+    for cycle_text in trace_pipeline(
+        load_workload(args.workload, args.scale), max_cycles=args.cycles
+    ):
+        print(cycle_text)
+    return 0
 
-        print(render_calibration(calibrate()))
-        return 0
-    if args.command == "run-binary":
-        if not args.workload:
-            raise SystemExit("run-binary requires an .fsx file")
-        from repro.isa.objfile import load_executable
 
-        result = FastSim(load_executable(args.workload)).run()
-        print(result.summary())
-        print(f"output: {result.output}")
-        return 0
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.uarch.profile import profile_pipeline
+    from repro.uarch.params import ProcessorParams
 
-    runner = SuiteRunner(scale=args.scale, verbose=not args.quiet)
+    profile = profile_pipeline(load_workload(args.workload, args.scale))
+    print(profile.render(ProcessorParams.r10k()))
+    return 0
+
+
+def _cmd_asm(args: argparse.Namespace) -> int:
+    from repro.isa.assembler import assemble
+    from repro.isa.objfile import save_executable
+
+    with open(args.source) as handle:
+        executable = assemble(handle.read(), name=args.source)
+    output = args.output or args.source.rsplit(".", 1)[0] + ".fsx"
+    save_executable(executable, output)
+    print(f"wrote {output}: {len(executable.text) // 4} instructions, "
+          f"{len(executable.data)} data bytes")
+    return 0
+
+
+def _cmd_disasm(args: argparse.Namespace) -> int:
+    from repro.isa.disasm import disassemble
+    from repro.isa.objfile import load_executable
+
+    executable = load_executable(args.binary)
+    print(disassemble(executable.instructions()))
+    return 0
+
+
+def _cmd_run_binary(args: argparse.Namespace) -> int:
+    from repro.api import simulate
+
+    result = simulate(args.binary, engine="fast")
+    print(result.summary())
+    print(f"output: {result.output}")
+    return 0
+
+
+def _cmd_calibrate() -> int:
+    from repro.analysis.calibrate import calibrate, render_calibration
+
+    print(render_calibration(calibrate()))
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import exit_code, lint_paths, report
+
+    def usage_error(message: str) -> "SystemExit":
+        # Usage and I/O problems exit 2 so CI can tell "findings"
+        # (1) from "the lint never ran" (see docs/lint.md).
+        print(message, file=sys.stderr)
+        return SystemExit(2)
+
+    paths = list(args.paths)
+    if args.command == "lint-asm":
+        for path in paths:
+            if not path.endswith(".s"):
+                raise usage_error(f"lint-asm expects .s files: {path}")
+    elif not paths:
+        paths = ["src/repro"]
+    strict = getattr(args, "strict", False)
+    try:
+        findings = lint_paths(paths, strict=True if strict else None)
+    except FileNotFoundError as exc:
+        raise usage_error(f"no such path: {exc}")
+    except OSError as exc:
+        raise usage_error(f"cannot lint: {exc}")
+    print(report(findings, args.lint_format))
+    return exit_code(findings)
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        figure7,
+        gc_policy_study,
+        render_figure7,
+        render_policy_study,
+        render_table2,
+        render_table3,
+        render_table4,
+        render_table5,
+        table2,
+        table3,
+        table4,
+        table5,
+    )
+    from repro.api import suite_runner
+
+    runner = suite_runner(
+        scale=args.scale,
+        verbose=not args.quiet,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        timeout=args.timeout,
+        retries=args.retries,
+    )
     names = _selected(args)
     if args.command == "table2":
         print(render_table2(table2(runner, names)))
@@ -242,6 +414,35 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "gc-study":
         print(render_policy_study(gc_policy_study(runner, names)))
     return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "params":
+        return _cmd_params()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
+    if args.command == "mix":
+        return _cmd_mix(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
+    if args.command == "asm":
+        return _cmd_asm(args)
+    if args.command == "disasm":
+        return _cmd_disasm(args)
+    if args.command == "run-binary":
+        return _cmd_run_binary(args)
+    if args.command == "calibrate":
+        return _cmd_calibrate()
+    if args.command in ("lint", "lint-asm"):
+        return _cmd_lint(args)
+    return _cmd_tables(args)
 
 
 def _main_guarded(argv: Optional[List[str]] = None) -> int:

@@ -22,7 +22,7 @@ from repro.memo.actions import (
     StoreIssueNode,
 )
 from repro.memo.dump import cache_summary, dump_chain
-from repro.memo.engine import FastForwardEngine
+from repro.memo.engine import FastForwardEngine, run_signature
 from repro.memo.pcache import PActionCache
 from repro.memo.persist import (
     load_pcache,
@@ -55,6 +55,7 @@ __all__ = [
     "EndNode",
     "PActionCache",
     "FastForwardEngine",
+    "run_signature",
     "ReplacementPolicy",
     "UnboundedPolicy",
     "FlushOnFullPolicy",

@@ -69,7 +69,7 @@ from repro.uarch.interactions import (
     Rollback,
 )
 
-def _run_signature(executable: Executable, params) -> bytes:
+def run_signature(executable: Executable, params) -> bytes:
     """Identity used to prevent unsound p-action cache reuse.
 
     Recorded actions encode the *timing* of one pipeline on one binary:
@@ -77,6 +77,9 @@ def _run_signature(executable: Executable, params) -> bytes:
     parameters would be silently wrong, so the cache is bound to both.
     (Predictor and cache-simulator state need no binding — their
     influence flows through outcome edges, which replay checks.)
+
+    This is also the key under which campaign cache directories store
+    persisted p-action caches (see :mod:`repro.campaign.cachedir`).
     """
     import hashlib
 
@@ -85,6 +88,10 @@ def _run_signature(executable: Executable, params) -> bytes:
     digest.update(executable.text_base.to_bytes(4, "big"))
     digest.update(repr(params).encode())
     return digest.digest()
+
+
+#: Backwards-compatible private alias (pre-campaign name).
+_run_signature = run_signature
 
 
 #: Matching (request type, node type) pairs for resync verification.
@@ -121,7 +128,7 @@ class FastForwardEngine:
     def run(self, max_cycles: int = 50_000_000) -> MemoStats:
         """Simulate the program to completion."""
         self.max_cycles = max_cycles
-        self.cache.bind_program(_run_signature(self.executable, self.params))
+        self.cache.bind_program(run_signature(self.executable, self.params))
         simulator = DetailedSimulator(self.executable, self.params)
         blob = self._encode(simulator)
         node = self.cache.lookup(blob)

@@ -75,6 +75,26 @@ class MemoStats:
     def max_chain_length(self) -> int:
         return max(self.chain_lengths, default=0)
 
+    def as_dict(self) -> Dict[str, object]:
+        """Summary suitable for JSON metrics (chain list collapsed)."""
+        return {
+            "configs_allocated": self.configs_allocated,
+            "actions_allocated": self.actions_allocated,
+            "cache_bytes": self.cache_bytes,
+            "peak_cache_bytes": self.peak_cache_bytes,
+            "actions_replayed": self.actions_replayed,
+            "configs_replayed": self.configs_replayed,
+            "replayed_instructions": self.replayed_instructions,
+            "detailed_instructions": self.detailed_instructions,
+            "replayed_cycles": self.replayed_cycles,
+            "detailed_cycles": self.detailed_cycles,
+            "replay_episodes": self.replay_episodes,
+            "detailed_fraction": self.detailed_fraction,
+            "avg_chain_length": self.avg_chain_length,
+            "max_chain_length": self.max_chain_length,
+            "evictions": self.evictions,
+        }
+
 
 @dataclass
 class SimulationResult:

@@ -73,7 +73,7 @@ PAPER_HEADER_BYTES = 16
 #:     header (``iq`` expands to the per-entry records).
 #: ``signature``
 #:     Attributes bound by the run signature instead of the blob
-#:     (:func:`repro.memo.engine._run_signature` keys the whole cache
+#:     (:func:`repro.memo.engine.run_signature` keys the whole cache
 #:     on program text and processor parameters).
 CONFIG_FIELD_MANIFEST: Dict[str, FrozenSet[str]] = {
     "entry": frozenset({

@@ -1,0 +1,150 @@
+"""Golden tests for the subcommand CLI.
+
+``test_cli.py`` / ``test_cli_toolchain.py`` / ``test_cli_lint.py``
+already pin the behaviour of every pre-existing invocation; this module
+covers what the subparser redesign added — per-command help, the
+``campaign`` subcommand, and the worker-pool options on the table
+commands.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParserShape:
+    def test_subcommand_required(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main([])
+        assert exc.value.code == 2
+
+    def test_unknown_subcommand_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["frobnicate"])
+        assert exc.value.code == 2
+
+    def test_top_level_help_lists_commands(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--help"])
+        assert exc.value.code == 0
+        text = capsys.readouterr().out
+        for command in ("run", "campaign", "lint", "table2", "figure7"):
+            assert command in text
+
+    def test_per_command_help(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["campaign", "--help"])
+        assert exc.value.code == 0
+        text = capsys.readouterr().out
+        for option in ("--workers", "--cache-dir", "--timeout",
+                       "--retries", "--progress"):
+            assert option in text
+
+    def test_options_may_precede_positionals(self):
+        args = build_parser().parse_args(
+            ["run", "--scale", "tiny", "compress"])
+        assert args.workload == "compress"
+        assert args.scale == "tiny"
+
+    def test_pool_options_on_table_commands(self):
+        args = build_parser().parse_args(
+            ["table2", "--workers", "4", "--cache-dir", "/tmp/c",
+             "--timeout", "30", "--retries", "1"])
+        assert args.workers == 4
+        assert args.cache_dir == "/tmp/c"
+        assert args.timeout == 30.0
+        assert args.retries == 1
+
+    def test_run_rejects_pool_options(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "compress", "--workers", "2"])
+
+    def test_quiet_accepted_everywhere(self):
+        """--quiet was a global flag before the subparser redesign;
+        every subcommand must keep accepting it."""
+        for argv in (["list", "--quiet"],
+                     ["run", "compress", "--quiet"],
+                     ["trace", "compress", "--quiet"],
+                     ["asm", "prog.s", "--quiet"],
+                     ["lint", "--quiet"],
+                     ["calibrate", "--quiet"]):
+            assert build_parser().parse_args(argv).quiet is True
+
+
+class TestCampaignCommand:
+    def test_end_to_end_with_artifacts(self, tmp_path, capsys):
+        out = tmp_path / "canonical.json"
+        metrics = tmp_path / "metrics.jsonl"
+        code = main([
+            "campaign", "--scale", "tiny", "--workloads", "compress",
+            "--simulators", "fast", "--workers", "1",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--out", str(out), "--metrics", str(metrics),
+            "--progress", "silent",
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "campaign: 1 jobs, 0 failed" in text
+        assert "compress:fast:tiny" in text
+
+        document = json.loads(out.read_text())
+        assert document["format_version"] == 1
+        assert document["jobs"][0]["key"] == "compress:fast:tiny"
+        assert "host_seconds" not in document["jobs"][0]["result"]
+
+        record = json.loads(metrics.read_text().splitlines()[0])
+        assert record["key"] == "compress:fast:tiny"
+        assert record["host_seconds"] > 0
+
+    def test_workers_do_not_change_canonical_file(self, tmp_path):
+        documents = []
+        for workers in ("1", "3"):
+            out = tmp_path / f"out-{workers}.json"
+            code = main([
+                "campaign", "--scale", "tiny",
+                "--workloads", "compress,go", "--simulators", "fast,slow",
+                "--workers", workers, "--out", str(out),
+                "--progress", "silent",
+            ])
+            assert code == 0
+            documents.append(out.read_bytes())
+        assert documents[0] == documents[1]
+
+    def test_native_simulator_selector(self, capsys):
+        code = main([
+            "campaign", "--scale", "tiny", "--workloads", "compress",
+            "--simulators", "native", "--quiet",
+        ])
+        assert code == 0
+        assert "(native)" in capsys.readouterr().out
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--workloads", "nonesuch", "--quiet"])
+
+    def test_jsonl_progress_stream(self, capsys):
+        code = main([
+            "campaign", "--scale", "tiny", "--workloads", "compress",
+            "--simulators", "fast", "--progress", "jsonl",
+        ])
+        assert code == 0
+        lines = capsys.readouterr().out.splitlines()
+        events = []
+        for line in lines:
+            if line.startswith("{"):
+                events.append(json.loads(line)["event"])
+        assert "campaign-start" in events
+        assert "job-ok" in events
+
+
+class TestTableCommandsOnPool:
+    def test_table2_with_workers_and_cache(self, tmp_path, capsys):
+        code = main([
+            "table2", "--workloads", "compress", "--scale", "tiny",
+            "--quiet", "--workers", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert code == 0
+        assert "Table 2" in capsys.readouterr().out

@@ -7,7 +7,6 @@ fast; the real paper-scale runs live in benchmarks/.
 import pytest
 
 from repro.analysis import (
-    SuiteRunner,
     figure7,
     figure7_series,
     gc_policy_study,
@@ -22,13 +21,14 @@ from repro.analysis import (
     table4,
     table5,
 )
+from repro.api import suite_runner
 
 SUBSET = ["mgrid", "compress"]
 
 
 @pytest.fixture(scope="module")
 def runner():
-    return SuiteRunner(scale="tiny")
+    return suite_runner(scale="tiny")
 
 
 class TestRunner:

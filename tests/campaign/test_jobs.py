@@ -1,0 +1,97 @@
+"""Job / PolicySpec / JobResult / Campaign model tests."""
+
+import pytest
+
+from repro.campaign import Campaign, Job, JobResult, PolicySpec
+from repro.uarch.params import ProcessorParams
+
+
+class TestPolicySpec:
+    def test_token(self):
+        assert PolicySpec("flush", 4096).token == "flush@4096"
+
+    def test_build_matches_kind(self):
+        from repro.memo.policies import FlushOnFullPolicy
+
+        policy = PolicySpec("flush", 4096).build()
+        assert isinstance(policy, FlushOnFullPolicy)
+        # Each build() is a fresh, unshared instance.
+        assert PolicySpec("flush", 4096).build() is not policy
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            PolicySpec("lru", 4096)
+
+    def test_nonpositive_limit_rejected(self):
+        with pytest.raises(ValueError):
+            PolicySpec("flush", 0)
+
+
+class TestJobKey:
+    def test_basic_key(self):
+        assert Job("compress", "fast", "tiny").key == "compress:fast:tiny"
+
+    def test_policy_in_key(self):
+        job = Job("compress", "fast", "tiny",
+                  policy=PolicySpec("flush", 512))
+        assert job.key == "compress:fast:tiny:flush@512"
+
+    def test_variant_in_key_params_not(self):
+        narrow = ProcessorParams.narrow()
+        a = Job("compress", "fast", "tiny", params=narrow, variant="2w")
+        b = Job("compress", "fast", "tiny", variant="2w")
+        assert a.key == b.key == "compress:fast:tiny:2w"
+
+    def test_unknown_simulator_rejected(self):
+        with pytest.raises(ValueError):
+            Job("compress", "warp-drive", "tiny")
+
+    def test_custom_kind_skips_simulator_check(self):
+        job = Job("x", "anything", kind="custom")
+        assert job.kind == "custom"
+
+
+class TestJobResult:
+    def test_canonical_excludes_host_seconds(self):
+        from repro.sim.fastsim import FastSim
+        from repro.workloads.suite import load_workload
+
+        result = FastSim(load_workload("compress", "tiny")).run()
+        outcome = JobResult(job=Job("compress", "fast", "tiny"),
+                            status="ok", result=result,
+                            host_seconds=1.23)
+        payload = outcome.canonical()
+        assert payload["key"] == "compress:fast:tiny"
+        assert "host_seconds" not in payload["result"]
+        assert payload["result"]["cycles"] == result.cycles
+
+    def test_metrics_record_has_host_fields(self):
+        outcome = JobResult(job=Job("compress", "fast", "tiny"),
+                            status="failed", attempts=3,
+                            host_seconds=0.5, error="boom")
+        record = outcome.metrics_record()
+        assert record["retries"] == 2
+        assert record["host_seconds"] == 0.5
+        assert record["error"] == "boom"
+
+
+class TestCampaign:
+    def test_duplicate_keys_rejected(self):
+        narrow = ProcessorParams.narrow()
+        with pytest.raises(ValueError, match="variant"):
+            Campaign(jobs=(
+                Job("compress", "fast", "tiny"),
+                Job("compress", "fast", "tiny", params=narrow),
+            ))
+
+    def test_grid_shape(self):
+        campaign = Campaign.grid(
+            ["compress", "go"], ("fast", "slow"), scale="tiny",
+            include_native=True,
+        )
+        keys = [job.key for job in campaign.jobs]
+        assert keys == [
+            "compress:native:tiny", "compress:fast:tiny",
+            "compress:slow:tiny",
+            "go:native:tiny", "go:fast:tiny", "go:slow:tiny",
+        ]

@@ -1,0 +1,90 @@
+"""ProgressSink tests — one protocol for text, JSON-lines, and legacy
+callback progress, shared by the campaign engine and the suite runner."""
+
+import io
+import json
+
+import pytest
+
+from repro.campaign import (
+    CallbackSink,
+    Job,
+    JsonlSink,
+    NullSink,
+    TextSink,
+    make_sink,
+    run_jobs,
+)
+
+
+class TestSinks:
+    def test_text_renders_key_and_fields(self):
+        stream = io.StringIO()
+        TextSink(stream).emit("job-ok", key="a:fast:tiny", cycles=10)
+        assert stream.getvalue() == "job-ok a:fast:tiny (cycles=10)\n"
+
+    def test_text_log_passthrough(self):
+        stream = io.StringIO()
+        TextSink(stream).log("hello")
+        assert stream.getvalue() == "hello\n"
+
+    def test_jsonl_emits_valid_records(self):
+        stream = io.StringIO()
+        JsonlSink(stream).emit("job-start", key="a:fast:tiny", attempt=1)
+        record = json.loads(stream.getvalue())
+        assert record == {"event": "job-start", "key": "a:fast:tiny",
+                          "attempt": 1}
+
+    def test_callback_adapts_legacy_str_callback(self):
+        lines = []
+        CallbackSink(lines.append).emit("log", message="running foo...")
+        assert lines == ["running foo..."]
+
+    def test_null_sink_drops_everything(self):
+        NullSink().emit("job-ok", key="x")  # must not raise
+
+    def test_make_sink_modes(self):
+        assert isinstance(make_sink("text"), TextSink)
+        assert isinstance(make_sink("jsonl"), JsonlSink)
+        assert isinstance(make_sink("silent"), NullSink)
+        with pytest.raises(ValueError):
+            make_sink("telepathy")
+
+
+class TestEngineEvents:
+    def test_campaign_event_stream(self):
+        stream = io.StringIO()
+        run_jobs([Job("compress", "fast", "tiny")], workers=1,
+                 sink=JsonlSink(stream), name="events")
+        events = [json.loads(line)
+                  for line in stream.getvalue().splitlines()]
+        kinds = [event["event"] for event in events]
+        assert kinds == ["campaign-start", "job-start", "job-ok",
+                         "campaign-end"]
+        assert events[0]["workers"] == 1
+        assert events[2]["cycles"] > 0
+        assert events[3]["failed"] == 0
+
+
+class TestSuiteRunnerRouting:
+    def test_legacy_progress_callback_still_works(self):
+        from repro.api import suite_runner
+
+        lines = []
+        runner = suite_runner(scale="tiny", progress=lines.append)
+        runner.run("compress", "fast")
+        assert any("compress" in line for line in lines)
+
+    def test_quiet_runner_prints_nothing(self, capsys):
+        from repro.api import suite_runner
+
+        runner = suite_runner(scale="tiny", verbose=False)
+        runner.run("compress", "fast")
+        assert capsys.readouterr().out == ""
+
+    def test_verbose_runner_prints_progress(self, capsys):
+        from repro.api import suite_runner
+
+        runner = suite_runner(scale="tiny", verbose=True)
+        runner.run("compress", "fast")
+        assert "compress" in capsys.readouterr().out

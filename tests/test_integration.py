@@ -8,7 +8,8 @@ functional execution, and feed results through the analysis layer.
 import pytest
 
 from repro import assemble
-from repro.analysis import SuiteRunner, table2, table4
+from repro.analysis import table2, table4
+from repro.api import suite_runner
 from repro.branch import BimodalPredictor
 from repro.emulator.functional import run_program
 from repro.memo.dump import cache_summary, dump_chain
@@ -88,7 +89,7 @@ loop:
 
 class TestAnalysisPipeline:
     def test_tables_from_shared_runner(self):
-        runner = SuiteRunner(scale="tiny")
+        runner = suite_runner(scale="tiny")
         rows2 = table2(runner, ["perl"])
         rows4 = table4(runner, ["perl"])
         assert rows2[0].speedup > 1.0
