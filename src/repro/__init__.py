@@ -44,6 +44,8 @@ __all__ = [
     "ProcessorParams",
     "SimulationResult",
     "load_workload",
+    "make_observer",
+    "Observer",
     "__version__",
 ]
 
@@ -72,6 +74,9 @@ def __getattr__(name):
         "WORKLOADS": ("repro.workloads.suite", "WORKLOADS"),
         "trace_pipeline": ("repro.uarch.trace", "trace_pipeline"),
         "profile_pipeline": ("repro.uarch.profile", "profile_pipeline"),
+        "make_observer": ("repro.obs.core", "make_observer"),
+        "Observer": ("repro.obs.core", "Observer"),
+        "NULL_OBS": ("repro.obs.core", "NULL_OBS"),
     }
     if name in lazy:
         import importlib

@@ -68,6 +68,8 @@ class SuiteRunner:
     timeout: Optional[float] = None
     retries: int = 2
     sink: Optional[ProgressSink] = None
+    #: Optional :class:`repro.obs.Observer`; telemetry off when None.
+    obs: Optional[object] = None
     _results: Dict[Tuple[str, str], SimulationResult] = field(
         default_factory=dict
     )
@@ -103,7 +105,7 @@ class SuiteRunner:
         """Run one job in-process; raise on failure."""
         self._log(f"running {job.workload} [{job.scale}] "
                   f"under {job.simulator}...")
-        outcome = execute_job(job, self._store)
+        outcome = execute_job(job, self._store, obs=self.obs)
         if not outcome.ok:
             raise SuiteError(f"{job.key}: {outcome.error}")
         return outcome
@@ -131,7 +133,7 @@ class SuiteRunner:
                       f"under {simulator}...")
             result, _ = simulate_executable(
                 load_workload(name, self.scale), simulator,
-                params=self.params, policy=policy,
+                params=self.params, policy=policy, obs=self.obs,
             )
             return result
         key = (name, simulator)
@@ -154,7 +156,7 @@ class SuiteRunner:
             runner = CampaignRunner(
                 workers=self.workers, cache_dir=self.cache_dir,
                 timeout=self.timeout, retries=self.retries,
-                sink=self.sink,
+                sink=self.sink, obs=self.obs,
             )
             outcome = runner.run(Campaign(
                 jobs=tuple(jobs), name=f"suite-{self.scale}"

@@ -78,6 +78,7 @@ def simulate(
     params: Optional[ProcessorParams] = None,
     policy: Optional[Union[PolicySpec, ReplacementPolicy]] = None,
     cache_dir: Optional[str] = None,
+    obs=None,
 ) -> SimulationResult:
     """Simulate one program under one engine; returns the result.
 
@@ -86,7 +87,10 @@ def simulate(
     binary / ``.s`` source. *engine* is ``fast`` (memoized), ``slow``
     (direct-execution only), or ``baseline`` (integrated). With
     *cache_dir*, ``fast`` runs warm-start from (and update) the shared
-    p-action cache store.
+    p-action cache store. *obs* is an optional
+    :class:`repro.obs.Observer`; telemetry is off (and free) without
+    one, and never changes simulated results either way — see
+    docs/observability.md.
     """
     executable = _resolve_executable(exe_or_name, scale)
     if isinstance(policy, PolicySpec):
@@ -94,6 +98,7 @@ def simulate(
     store = CacheStore(cache_dir) if cache_dir else None
     result, _ = simulate_executable(
         executable, engine, params=params, policy=policy, store=store,
+        obs=obs,
     )
     return result
 
@@ -112,6 +117,7 @@ def run_campaign(
     retries: int = 2,
     progress: Union[ProgressSink, str, None] = None,
     name: str = "campaign",
+    obs=None,
 ) -> CampaignResult:
     """Execute a simulation campaign; returns merged results.
 
@@ -123,6 +129,9 @@ def run_campaign(
     :class:`~repro.campaign.progress.ProgressSink` or one of ``"text"``
     / ``"jsonl"`` / ``"silent"``. Merged results are deterministic: see
     :meth:`~repro.campaign.engine.CampaignResult.canonical_json`.
+    *obs* is an optional :class:`repro.obs.Observer`; the runner traces
+    job lifecycles through it (and, on the serial ``workers=0`` path,
+    the simulations themselves).
     """
     if jobs is not None:
         campaign = Campaign(jobs=tuple(jobs), name=name)
@@ -139,7 +148,7 @@ def run_campaign(
         sink = progress
     runner = CampaignRunner(
         workers=workers, cache_dir=cache_dir, timeout=timeout,
-        retries=retries, sink=sink,
+        retries=retries, sink=sink, obs=obs,
     )
     return runner.run(campaign)
 

@@ -36,8 +36,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.campaign.cachedir import CacheStore
 from repro.campaign.jobs import Job, JobResult
-from repro.campaign.progress import NullSink, ProgressSink
+from repro.campaign.progress import NullSink, ObsSink, ProgressSink, TeeSink
 from repro.campaign.worker import child_main, execute_job
+from repro.obs.core import ensure_observer
 
 FORMAT_VERSION = 1
 
@@ -130,7 +131,12 @@ class CampaignResult:
                           indent=2) + "\n"
 
     def metrics_jsonl(self) -> str:
-        """One JSON line of structured metrics per job."""
+        """One JSON line of structured metrics per job.
+
+        Each record carries ``"schema": "repro.campaign/job-metrics/v2"``
+        and validates under ``python -m repro.obs`` (see
+        docs/campaign.md for the field inventory).
+        """
         lines = [
             json.dumps(result.metrics_record(), sort_keys=True,
                        default=str)
@@ -171,6 +177,7 @@ class CampaignRunner:
         backoff: float = 0.25,
         sink: Optional[ProgressSink] = None,
         mp_context: Optional[object] = None,
+        obs=None,
     ):
         if workers < 0:
             raise ValueError("workers must be >= 0")
@@ -181,7 +188,12 @@ class CampaignRunner:
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
+        self.obs = ensure_observer(obs)
         self.sink = sink if sink is not None else NullSink()
+        if self.obs.enabled:
+            # Telemetry rides the same event stream the progress sinks
+            # see; job lifecycle becomes instants + outcome metrics.
+            self.sink = TeeSink(self.sink, ObsSink(self.obs))
         if mp_context is None:
             # fork keeps test-registered job kinds visible in workers
             # and makes per-job process spawn cheap.
@@ -200,10 +212,13 @@ class CampaignRunner:
             workers=self.workers, cache_dir=self.cache_dir,
         )
         started = time.monotonic()  # repro-lint: disable=det/time-dependent
-        if self.workers == 0:
-            results = self._run_inline(campaign)
-        else:
-            results = self._run_pool(campaign)
+        with self.obs.span("campaign.run", cat="campaign",
+                           campaign=campaign.name, jobs=len(campaign),
+                           workers=self.workers):
+            if self.workers == 0:
+                results = self._run_inline(campaign)
+            else:
+                results = self._run_pool(campaign)
         wall = time.monotonic() - started  # repro-lint: disable=det/time-dependent
         outcome = CampaignResult(
             campaign=campaign, results=results, wall_seconds=wall,
@@ -222,7 +237,9 @@ class CampaignRunner:
         results = []
         for job in campaign.jobs:
             self.sink.emit("job-start", key=job.key, attempt=1)
-            outcome = execute_job(job, store)
+            with self.obs.span("campaign.job", cat="campaign",
+                               key=job.key):
+                outcome = execute_job(job, store, obs=self.obs)
             self._emit_outcome(outcome)
             results.append(outcome)
         return results

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.memo.policies import ReplacementPolicy, make_policy
+from repro.obs.schema import JOB_METRICS_SCHEMA, SCHEMA_KEY
 from repro.sim.results import SimulationResult
 from repro.uarch.params import ProcessorParams
 
@@ -154,8 +155,14 @@ class JobResult:
         return record
 
     def metrics_record(self) -> Dict[str, object]:
-        """Full per-job JSON-lines record (host timing included)."""
+        """Full per-job JSON-lines record (host timing included).
+
+        Records are schema-versioned (``repro.obs/…`` conventions, see
+        docs/campaign.md § "Per-job metrics schema") and validatable
+        with ``python -m repro.obs``.
+        """
         record: Dict[str, object] = {
+            SCHEMA_KEY: JOB_METRICS_SCHEMA,
             "key": self.key,
             "workload": self.job.workload,
             "simulator": self.job.simulator,

@@ -10,7 +10,10 @@ speak to a single :class:`ProgressSink`:
   suitable for build logs and dashboards);
 * :class:`NullSink` — silence;
 * :class:`CallbackSink` — adapts a legacy ``Callable[[str], None]``
-  progress callback.
+  progress callback;
+* :class:`ObsSink` — mirrors events into a :class:`repro.obs.Observer`
+  (instant trace events + job-outcome counters/histograms);
+* :class:`TeeSink` — fans one event stream out to several sinks.
 
 Events are free-form ``(kind, fields)`` pairs; the well-known kinds the
 campaign engine emits are documented in ``docs/campaign.md``.
@@ -98,6 +101,51 @@ class CallbackSink(ProgressSink):
 
     def emit(self, kind: str, **fields: object) -> None:
         self.callback(_render_text(kind, fields))
+
+
+class ObsSink(ProgressSink):
+    """Mirrors progress events into an :class:`repro.obs.Observer`.
+
+    Every event becomes an instant trace event (category
+    ``"campaign"``); job outcomes additionally feed the event-based
+    metrics (``campaign.jobs_ok`` / ``campaign.jobs_failed`` /
+    ``campaign.retries`` counters and the ``campaign.job_ms``
+    wall-time histogram). Stack it next to a Text/Jsonl sink with :class:`TeeSink`
+    when both human output and telemetry are wanted.
+    """
+
+    def __init__(self, obs):
+        self.obs = obs
+
+    def emit(self, kind: str, **fields: object) -> None:
+        obs = self.obs
+        if not obs.enabled:
+            return
+        obs.event(kind, cat="campaign",
+                  **{k: v for k, v in sorted(fields.items())
+                     if v is not None})
+        if kind == "job-ok":
+            obs.counter("campaign.jobs_ok")
+            seconds = fields.get("seconds")
+            if seconds is not None:
+                # histogram buckets are integer-edged: record ms
+                obs.observe("campaign.job_ms",
+                            int(float(seconds) * 1000))
+        elif kind == "job-failed":
+            obs.counter("campaign.jobs_failed")
+        elif kind == "job-retry":
+            obs.counter("campaign.retries")
+
+
+class TeeSink(ProgressSink):
+    """Fans one event stream out to several sinks, in order."""
+
+    def __init__(self, *sinks: ProgressSink):
+        self.sinks = [sink for sink in sinks if sink is not None]
+
+    def emit(self, kind: str, **fields: object) -> None:
+        for sink in self.sinks:
+            sink.emit(kind, **fields)
 
 
 def make_sink(

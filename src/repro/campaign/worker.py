@@ -72,6 +72,7 @@ def simulate_executable(
     params: Optional[ProcessorParams] = None,
     policy=None,
     store: Optional[CacheStore] = None,
+    obs=None,
 ):
     """Run one simulator over *executable*; returns (result, metrics).
 
@@ -79,7 +80,9 @@ def simulate_executable(
     (already built from a spec, or caller-supplied). Warm-start through
     *store* only applies to unbounded ``fast`` runs: a bounded policy's
     eviction behaviour is part of the experiment, so it must start from
-    the same (cold) cache every time.
+    the same (cold) cache every time. *obs* is an
+    :class:`~repro.obs.Observer` (or None — telemetry off); observers
+    read simulation state and never influence results.
     """
     metrics: Dict[str, object] = {}
 
@@ -96,21 +99,27 @@ def simulate_executable(
                 known_nodes = (pcache.configs_allocated
                                + pcache.actions_allocated)
                 metrics["warm_start"] = True
+                if obs is not None:
+                    obs.counter("campaign.warm_starts")
         sim = FastSim(executable, params=params, policy=policy,
-                      pcache=pcache)
+                      pcache=pcache, obs=obs)
         result = sim.run()
         if signature is not None:
             metrics["cache_saved"] = store.store(
                 signature, sim.pcache, known_nodes
             )
+            if obs is not None and metrics["cache_saved"]:
+                obs.counter("campaign.cache_saves")
     elif simulator == "slow":
         from repro.sim.slowsim import SlowSim
 
-        result = SlowSim(executable, params=params).run()
+        result = SlowSim(executable, params=params, obs=obs).run()
     elif simulator == "baseline":
         from repro.sim.baseline import IntegratedSimulator
 
-        result = IntegratedSimulator(executable, params=params).run()
+        result = IntegratedSimulator(
+            executable, params=params, obs=obs
+        ).run()
     else:
         raise ValueError(f"unknown simulator {simulator!r}")
 
@@ -123,7 +132,8 @@ def simulate_executable(
     return result, metrics
 
 
-def _simulate(job: Job, store: Optional[CacheStore]) -> JobResult:
+def _simulate(job: Job, store: Optional[CacheStore],
+              obs=None) -> JobResult:
     """The default kind: run one workload under one simulator."""
     executable = load_workload(job.workload, job.scale)
 
@@ -134,7 +144,7 @@ def _simulate(job: Job, store: Optional[CacheStore]) -> JobResult:
     policy = job.policy.build() if job.policy is not None else None
     result, metrics = simulate_executable(
         executable, job.simulator, params=job.params, policy=policy,
-        store=store,
+        store=store, obs=obs,
     )
     return JobResult(job=job, status="ok", result=result, metrics=metrics)
 
@@ -142,11 +152,30 @@ def _simulate(job: Job, store: Optional[CacheStore]) -> JobResult:
 register_job_kind("simulate", _simulate)
 
 
-def execute_job(job: Job, store: Optional[CacheStore] = None) -> JobResult:
+def _accepts_obs(executor: JobExecutor) -> bool:
+    """Whether *executor* takes the optional third ``obs`` argument.
+
+    Older/test-registered kinds keep the two-argument signature; they
+    simply never see the observer.
+    """
+    import inspect
+
+    try:
+        parameters = inspect.signature(executor).parameters
+    except (TypeError, ValueError):  # builtins, odd callables
+        return False
+    return "obs" in parameters
+
+
+def execute_job(job: Job, store: Optional[CacheStore] = None,
+                obs=None) -> JobResult:
     """Run one job to a JobResult; never raises.
 
     Exceptions become ``status="failed"`` results (deterministic
     failures — see the module docstring for why these are not retried).
+    *obs* reaches the job's simulator only on the in-process (serial)
+    path; pool workers run in their own processes and keep their
+    telemetry local.
     """
     started = time.perf_counter()  # repro-lint: disable=det/time-dependent
     executor = _JOB_KINDS.get(job.kind)
@@ -157,7 +186,10 @@ def execute_job(job: Job, store: Optional[CacheStore] = None) -> JobResult:
         )
     else:
         try:
-            outcome = executor(job, store)
+            if obs is not None and obs.enabled and _accepts_obs(executor):
+                outcome = executor(job, store, obs=obs)
+            else:
+                outcome = executor(job, store)
         except Exception as exc:
             outcome = JobResult(
                 job=job, status="failed",

@@ -17,6 +17,9 @@ Subcommands (``fastsim-repro <command> --help`` for each)::
     lint [PATH...]            determinism/memo-safety lint (--format
                               json, --strict; default path src/repro)
     lint-asm FILE.s [...]     static checks on assembly programs
+    obs FILE.jsonl [...]      validate schema-stamped telemetry streams
+    trace-export FILE.jsonl   convert a trace-event stream to Chrome
+                              trace JSON (chrome://tracing / Perfetto)
     table2 | table3 | table4 | table5
                               regenerate a paper table
     figure7                   regenerate the cache-limit sweep
@@ -26,6 +29,12 @@ Table/figure commands accept ``--workers N`` to shard the underlying
 measurements across a campaign worker pool and ``--cache-dir DIR`` to
 warm-start FastSim runs; common options are ``--scale
 {tiny,test,train}`` and ``--workloads a,b,c``.
+
+``run``, ``campaign``, and the table/figure commands also accept
+``--obs`` (enable telemetry; off by default and free when off),
+``--obs-out BASE`` (write ``BASE.trace.json`` + ``BASE.metrics.jsonl``),
+and ``--obs-sample N`` (sampling period in simulated cycles). See
+docs/observability.md.
 """
 
 from __future__ import annotations
@@ -64,6 +73,20 @@ def _suite_options() -> argparse.ArgumentParser:
     return parent
 
 
+def _obs_options() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--obs", action="store_true",
+                        help="enable telemetry (counters, sampled "
+                             "series, phase spans); off by default")
+    parent.add_argument("--obs-out", metavar="BASE",
+                        help="write BASE.trace.json (Chrome trace) and "
+                             "BASE.metrics.jsonl; implies --obs")
+    parent.add_argument("--obs-sample", type=int, metavar="N",
+                        help="sampling period in simulated cycles "
+                             "(default 256)")
+    return parent
+
+
 def _pool_options() -> argparse.ArgumentParser:
     parent = argparse.ArgumentParser(add_help=False)
     parent.add_argument("--workers", type=int, default=0,
@@ -91,19 +114,20 @@ def build_parser() -> argparse.ArgumentParser:
     quiet = _quiet_option()
     suite = _suite_options()
     pool = _pool_options()
+    obs = _obs_options()
 
     commands.add_parser("list", parents=[quiet],
                         help="show the workload suite")
     commands.add_parser("params", parents=[quiet],
                         help="print the processor model")
 
-    run = commands.add_parser("run", parents=[scale, quiet],
+    run = commands.add_parser("run", parents=[scale, quiet, obs],
                               help="simulate one workload under all "
                                    "simulators")
     run.add_argument("workload", help="workload name")
 
     campaign = commands.add_parser(
-        "campaign", parents=[scale, suite, quiet, pool],
+        "campaign", parents=[scale, suite, quiet, pool, obs],
         help="run a parallel simulation campaign",
     )
     campaign.add_argument(
@@ -171,6 +195,23 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=["text", "json"], dest="lint_format",
                           help="report format")
 
+    obs_cmd = commands.add_parser(
+        "obs", parents=[quiet],
+        help="validate schema-stamped telemetry JSON-lines files")
+    obs_cmd.add_argument("files", nargs="+", metavar="FILE.jsonl",
+                         help="metric / trace-event / job-metrics "
+                              "streams")
+
+    trace_export = commands.add_parser(
+        "trace-export", parents=[quiet],
+        help="convert a trace-event .jsonl stream to Chrome trace JSON")
+    trace_export.add_argument("input", metavar="FILE.jsonl",
+                              help="stream written by a JSON-lines "
+                                   "trace sink")
+    trace_export.add_argument("--output", "-o",
+                              help="output path (default: input with "
+                                   "a .trace.json suffix)")
+
     for name, description in (
         ("table2", "FastSim vs SlowSim performance"),
         ("table3", "FastSim vs the integrated baseline"),
@@ -179,7 +220,8 @@ def build_parser() -> argparse.ArgumentParser:
         ("figure7", "speedup vs cache-size limit"),
         ("gc-study", "GC replacement-policy comparison"),
     ):
-        commands.add_parser(name, parents=[scale, suite, quiet, pool],
+        commands.add_parser(name,
+                            parents=[scale, suite, quiet, pool, obs],
                             help=description)
     return parser
 
@@ -198,6 +240,35 @@ def _selected(args: argparse.Namespace) -> Optional[List[str]]:
                 f"unknown workload {name!r}; choose from {WORKLOAD_ORDER}"
             )
     return names
+
+
+def _make_obs(args: argparse.Namespace):
+    """Build an observer when telemetry was requested, else None."""
+    if not (getattr(args, "obs", False)
+            or getattr(args, "obs_out", None)):
+        return None
+    from repro.obs import make_observer
+
+    sample = getattr(args, "obs_sample", None)
+    if sample is not None:
+        return make_observer(sample_every=sample)
+    return make_observer()
+
+
+def _finish_obs(obs, args: argparse.Namespace) -> None:
+    """Write --obs-out artifacts and print the telemetry digest."""
+    if obs is None:
+        return
+    base = getattr(args, "obs_out", None)
+    if base:
+        trace_path = base + ".trace.json"
+        metrics_path = base + ".metrics.jsonl"
+        obs.write_trace(trace_path)
+        with open(metrics_path, "w") as stream:
+            stream.write(obs.metrics_jsonl())
+        print(f"wrote {trace_path} and {metrics_path}")
+    if not getattr(args, "quiet", False):
+        print(obs.summary())
 
 
 # ---------------------------------------------------------------------------
@@ -226,9 +297,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     executable = load_workload(args.workload, args.scale)
     print(f"workload {args.workload} [{args.scale}]: "
           f"{len(executable.text) // 4} static instructions")
-    fast = simulate(args.workload, engine="fast", scale=args.scale)
-    slow = simulate(args.workload, engine="slow", scale=args.scale)
-    base = simulate(args.workload, engine="baseline", scale=args.scale)
+    obs = _make_obs(args)
+    fast = simulate(args.workload, engine="fast", scale=args.scale,
+                    obs=obs)
+    slow = simulate(args.workload, engine="slow", scale=args.scale,
+                    obs=obs)
+    base = simulate(args.workload, engine="baseline", scale=args.scale,
+                    obs=obs)
     for result in (fast, slow, base):
         print(f"  {result.summary()}")
     exact = "yes" if fast.timing_equal(slow) else "NO (bug!)"
@@ -237,6 +312,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
           f"{slow.host_seconds / fast.host_seconds:.1f}x "
           f"(detailed fraction "
           f"{100 * fast.memo.detailed_fraction:.3f}%)")
+    _finish_obs(obs, args)
     return 0
 
 
@@ -248,6 +324,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     native = "native" in simulators
     simulators = [s for s in simulators if s != "native"]
     progress = "silent" if args.quiet else args.progress
+    obs = _make_obs(args)
     result = run_campaign(
         workloads=_selected(args),
         simulators=simulators,
@@ -259,6 +336,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         retries=args.retries,
         progress=progress,
         name=f"suite-{args.scale}",
+        obs=obs,
     )
     if args.out:
         with open(args.out, "w") as stream:
@@ -266,6 +344,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.metrics:
         with open(args.metrics, "w") as stream:
             stream.write(result.metrics_jsonl())
+    _finish_obs(obs, args)
     print(f"campaign: {len(result)} jobs, "
           f"{len(result.failed)} failed, "
           f"{result.wall_seconds:.2f}s wall, "
@@ -375,6 +454,67 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return exit_code(findings)
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs.__main__ import main as validate_main
+
+    return validate_main(list(args.files))
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.chrome import render_chrome_trace
+    from repro.obs.schema import SCHEMA_KEY, TRACE_SCHEMA, validate_record
+    from repro.obs.spans import TraceEvent
+
+    events = []
+    skipped = 0
+    try:
+        with open(args.input, "r", encoding="utf-8") as handle:
+            for number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    print(f"{args.input}:{number}: not JSON, skipped",
+                          file=sys.stderr)
+                    skipped += 1
+                    continue
+                if (not isinstance(record, dict)
+                        or record.get(SCHEMA_KEY) != TRACE_SCHEMA):
+                    skipped += 1  # mixed stream: ignore other schemas
+                    continue
+                problems = validate_record(record)
+                if problems:
+                    print(f"{args.input}:{number}: {problems[0]}",
+                          file=sys.stderr)
+                    skipped += 1
+                    continue
+                events.append(TraceEvent(
+                    record["name"], record["ph"], record["ts"],
+                    cat=record.get("cat", "obs"),
+                    dur=record.get("dur"),
+                    clock=record.get("clock", "host"),
+                    args=record.get("args"),
+                ))
+    except OSError as exc:
+        print(f"cannot read {args.input}: {exc}", file=sys.stderr)
+        return 2
+    output = args.output
+    if not output:
+        stem = args.input
+        if stem.endswith(".jsonl"):
+            stem = stem[:-len(".jsonl")]
+        output = stem + ".trace.json"
+    with open(output, "w", encoding="utf-8") as handle:
+        handle.write(render_chrome_trace(events))
+    print(f"wrote {output}: {len(events)} events"
+          + (f" ({skipped} non-trace lines skipped)" if skipped else ""))
+    return 0
+
+
 def _cmd_tables(args: argparse.Namespace) -> int:
     from repro.analysis import (
         figure7,
@@ -392,6 +532,7 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     )
     from repro.api import suite_runner
 
+    obs = _make_obs(args)
     runner = suite_runner(
         scale=args.scale,
         verbose=not args.quiet,
@@ -399,6 +540,7 @@ def _cmd_tables(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         timeout=args.timeout,
         retries=args.retries,
+        obs=obs,
     )
     names = _selected(args)
     if args.command == "table2":
@@ -413,6 +555,7 @@ def _cmd_tables(args: argparse.Namespace) -> int:
         print(render_figure7(figure7(runner, names)))
     elif args.command == "gc-study":
         print(render_policy_study(gc_policy_study(runner, names)))
+    _finish_obs(obs, args)
     return 0
 
 
@@ -442,6 +585,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_calibrate()
     if args.command in ("lint", "lint-asm"):
         return _cmd_lint(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
+    if args.command == "trace-export":
+        return _cmd_trace_export(args)
     return _cmd_tables(args)
 
 

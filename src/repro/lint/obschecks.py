@@ -1,0 +1,143 @@
+"""Observability-safety checker (checker family ``obs/``).
+
+``repro.obs`` guarantees that telemetry never changes simulated
+behaviour: with observability off every hook resolves to the
+:data:`repro.obs.core.NULL_OBS` null object and does nothing. That
+guarantee only holds if instrumented code treats hook calls as
+*write-only*: a hook's return value must never flow back into the
+simulation (it differs between the live and null observers), and the
+expressions passed *to* a hook must not mutate anything (they are pure
+reads that could legally be skipped when obs is off).
+
+This family enforces both properties statically over any call that
+syntactically targets an observer — ``obs.<hook>(...)``,
+``self.obs.<hook>(...)``, ``self._obs.<hook>(...)`` and the like, for
+the hook names in :data:`repro.obs.core.HOOK_NAMES`:
+
+``obs/result-used`` (error)
+    An obs hook call whose result is consumed — assigned, returned,
+    compared, used as a condition, or bound with ``with ... as``.
+    Only two shapes are allowed: a bare expression statement, and an
+    un-bound ``with`` item (the span form).
+
+``obs/mutating-arg`` (error)
+    An argument expression of an obs hook call that can mutate state:
+    a walrus assignment (``:=``) or a call to a known mutating method
+    (``append``, ``pop``, ``update``, …). Hook arguments must stay
+    side-effect-free or the obs-off and obs-on runs diverge.
+
+CI runs this family strict over ``src/repro/obs`` and the instrumented
+modules; suppression comments (``# repro-lint: disable=obs/...``) work
+as for every other family.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Checker, LintContext, register
+from repro.obs.core import HOOK_NAMES
+
+#: Method names whose call mutates the receiver — forbidden inside obs
+#: hook arguments (the canonical accidental-state-change shapes).
+MUTATING_METHODS = frozenset({
+    "append", "appendleft", "add", "clear", "discard", "extend",
+    "insert", "pop", "popleft", "popitem", "remove", "reverse",
+    "setdefault", "sort", "update", "write", "writelines",
+})
+
+
+def _is_obs_receiver(node: ast.expr) -> bool:
+    """True when *node* names an observer: ``obs``, ``x.obs``, ``_obs``."""
+    if isinstance(node, ast.Name):
+        return node.id == "obs" or node.id.endswith("_obs")
+    if isinstance(node, ast.Attribute):
+        return node.attr == "obs" or node.attr.endswith("_obs")
+    return False
+
+
+def _is_hook_call(node: ast.AST) -> bool:
+    """True for ``<observer>.<hook>(...)`` calls."""
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in HOOK_NAMES
+            and _is_obs_receiver(node.func.value))
+
+
+@register
+class ObsSafetyChecker(Checker):
+    """Family ``obs/``: telemetry hooks must be write-only and their
+    arguments side-effect-free (zero-overhead-when-off contract)."""
+
+    name = "obs-safety"
+    rules = ("obs/result-used", "obs/mutating-arg")
+
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        allowed: Set[int] = set()
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Expr) and _is_hook_call(node.value):
+                allowed.add(id(node.value))
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if not _is_hook_call(item.context_expr):
+                        continue
+                    if item.optional_vars is None:
+                        allowed.add(id(item.context_expr))
+                    # `with obs.span(...) as x` binds the result and
+                    # stays disallowed: x is None on the null path.
+        for node in ast.walk(context.tree):
+            if not _is_hook_call(node):
+                continue
+            if id(node) not in allowed:
+                yield Finding(
+                    path=context.path, line=node.lineno,
+                    col=node.col_offset + 1,
+                    rule="obs/result-used", severity=Severity.ERROR,
+                    message=(
+                        f"result of obs hook '{node.func.attr}' is "
+                        "consumed: hooks return null-object values "
+                        "when telemetry is off, so their results must "
+                        "be discarded (bare statement or un-bound "
+                        "`with` item)"
+                    ),
+                )
+            yield from self._check_args(context, node)
+
+    def _check_args(self, context: LintContext,
+                    call: ast.Call) -> Iterator[Finding]:
+        values = list(call.args)
+        values.extend(keyword.value for keyword in call.keywords)
+        for value in values:
+            for inner in ast.walk(value):
+                if isinstance(inner, ast.NamedExpr):
+                    yield self._mutating(
+                        context, call, inner,
+                        "walrus assignment inside an obs hook argument"
+                    )
+                elif (isinstance(inner, ast.Call)
+                      and isinstance(inner.func, ast.Attribute)
+                      and inner.func.attr in MUTATING_METHODS):
+                    yield self._mutating(
+                        context, call, inner,
+                        f"call to mutating method "
+                        f"'.{inner.func.attr}()' inside an obs hook "
+                        "argument"
+                    )
+
+    @staticmethod
+    def _mutating(context: LintContext, call: ast.Call,
+                  node: ast.AST, what: str) -> Finding:
+        return Finding(
+            path=context.path,
+            line=getattr(node, "lineno", call.lineno),
+            col=getattr(node, "col_offset", call.col_offset) + 1,
+            rule="obs/mutating-arg",
+            severity=Severity.ERROR,
+            message=(
+                f"{what}: hook arguments are skipped entirely when "
+                "telemetry is off, so they must not change any state "
+                f"(hook '{call.func.attr}')"
+            ),
+        )

@@ -21,7 +21,13 @@ import sys
 from typing import List, Optional, Sequence, Tuple
 
 # Importing the checker modules registers their families.
-from repro.lint import asmlint, determinism, memosafety, nodes  # noqa: F401
+from repro.lint import (  # noqa: F401
+    asmlint,
+    determinism,
+    memosafety,
+    nodes,
+    obschecks,
+)
 from repro.lint.asmlint import ASM_RULES, lint_asm_source
 from repro.lint.findings import Finding, Severity
 from repro.lint.registry import LintContext, all_rules, run_checkers

@@ -54,6 +54,7 @@ from repro.memo.actions import (
 )
 from repro.memo.pcache import AttachPoint, PActionCache
 from repro.memo.policies import ReplacementPolicy, UnboundedPolicy
+from repro.obs.core import ensure_observer
 from repro.sim.results import MemoStats
 from repro.sim.world import World
 from repro.uarch.config_codec import decode_config, encode_config
@@ -114,6 +115,7 @@ class FastForwardEngine:
         world: World,
         pcache: Optional[PActionCache] = None,
         policy: Optional[ReplacementPolicy] = None,
+        obs=None,
     ):
         self.executable = executable
         self.world = world
@@ -122,6 +124,13 @@ class FastForwardEngine:
         self.policy = policy if policy is not None else UnboundedPolicy()
         self.memo = MemoStats()
         self.max_cycles = 0
+        # Observability hooks. ``obs`` resolves to the module-level
+        # null object when disabled; ``_obs_on`` guards per-cycle
+        # sampling so the off path costs one attribute test. Observers
+        # only read engine state (enforced by the obs/ lint family), so
+        # simulated results are identical with obs on or off.
+        self.obs = ensure_observer(obs)
+        self._obs_on = self.obs.enabled
 
     # ------------------------------------------------------------------
 
@@ -142,10 +151,12 @@ class FastForwardEngine:
         while True:
             if mode[0] == "record":
                 _, sim, generator, attach, anchor, send, debt, since = mode
-                mode = self._record(sim, generator, attach, anchor, send,
-                                    debt, since)
+                with self.obs.span("memo.record", cat="memo"):
+                    mode = self._record(sim, generator, attach, anchor,
+                                        send, debt, since)
             elif mode[0] == "replay":
-                mode = self._replay(mode[1])
+                with self.obs.span("memo.replay", cat="memo"):
+                    mode = self._replay(mode[1])
             else:  # finished
                 self.memo.configs_allocated = self.cache.configs_allocated
                 self.memo.actions_allocated = self.cache.actions_allocated
@@ -155,12 +166,22 @@ class FastForwardEngine:
                 return self.memo
 
     def _encode(self, simulator: DetailedSimulator) -> bytes:
-        return encode_config(
+        blob = encode_config(
             simulator.iq.entries,
             simulator.fetch_pc,
             simulator.fetch_stalled,
             simulator.fetch_halted,
         )
+        if self._obs_on:
+            self.obs.counter("memo.encodes")
+            self.obs.observe("memo.config_bytes", len(blob))
+        return blob
+
+    def _end_chain(self, length: int) -> None:
+        """Close one replay chain (statistics + event metrics)."""
+        self.memo.chain_lengths.append(length)
+        if self._obs_on:
+            self.obs.observe("memo.chain_length", length)
 
     # ------------------------------------------------------------------
     # Record (detailed) mode
@@ -177,6 +198,8 @@ class FastForwardEngine:
         world = self.world
         cache = self.cache
         memo = self.memo
+        obs = self.obs
+        obs_on = self._obs_on
         actions_pending = attach is None  # force re-anchor after eviction
 
         def record_node(node: Node):
@@ -228,6 +251,9 @@ class FastForwardEngine:
                 else:
                     world.advance_cycles(1)
                     memo.detailed_cycles += 1
+                if obs_on:
+                    obs.sample_cycle(world.cycle, self,
+                                     simulator.occupancy)
                 if world.cycle > self.max_cycles:
                     raise SimulationError(
                         f"exceeded {self.max_cycles} simulated cycles"
@@ -300,6 +326,8 @@ class FastForwardEngine:
         world = self.world
         cache = self.cache
         memo = self.memo
+        obs = self.obs
+        obs_on = self._obs_on
         memo.replay_episodes += 1
         chain_length = 0
         chain_log: List[Tuple[Node, object]] = []
@@ -312,7 +340,7 @@ class FastForwardEngine:
             node = position
             if node is None:
                 # Chain pruned by a replacement policy: re-record it.
-                memo.chain_lengths.append(chain_length)
+                self._end_chain(chain_length)
                 return self._resync(last_blob, chain_log, came_from,
                                     log_anchor)
             cache.touch(node)
@@ -330,6 +358,8 @@ class FastForwardEngine:
             if kind is AdvanceNode:
                 world.advance_cycles(node.delta)
                 memo.replayed_cycles += node.delta
+                if obs_on:
+                    obs.sample_cycle(world.cycle, self)
                 if world.cycle > self.max_cycles:
                     raise SimulationError(
                         f"exceeded {self.max_cycles} simulated cycles"
@@ -374,7 +404,7 @@ class FastForwardEngine:
                 log_anchor = world.cycle
                 successor = node.edges.get(outcome_key)
                 if successor is None:
-                    memo.chain_lengths.append(chain_length)
+                    self._end_chain(chain_length)
                     return self._resync(last_blob, chain_log,
                                         (node, outcome_key), log_anchor)
                 came_from = (node, outcome_key)
@@ -394,7 +424,7 @@ class FastForwardEngine:
                 log_anchor = world.cycle
                 successor = node.edges.get(reply)
                 if successor is None:
-                    memo.chain_lengths.append(chain_length)
+                    self._end_chain(chain_length)
                     return self._resync(last_blob, chain_log,
                                         (node, reply), log_anchor)
                 came_from = (node, reply)
@@ -406,7 +436,7 @@ class FastForwardEngine:
                 memo.replayed_cycles += node.delta
                 memo.actions_replayed += 1
                 chain_length += 1
-                memo.chain_lengths.append(chain_length)
+                self._end_chain(chain_length)
                 return ("finished",)
 
             raise SimulationError(  # pragma: no cover
@@ -430,43 +460,48 @@ class FastForwardEngine:
         """
         if blob is None:
             raise SimulationError("fall-back before any configuration")
-        entries, fetch_pc, stalled, halted = decode_config(
-            blob, self.executable
-        )
-        simulator = DetailedSimulator(self.executable, self.params)
-        simulator.restore(entries, fetch_pc, stalled, halted)
-        generator = simulator.run()
+        if self._obs_on:
+            self.obs.counter("memo.resyncs")
+            self.obs.observe("memo.resync_log_length", len(chain_log))
+        with self.obs.span("memo.resync", cat="memo"):
+            entries, fetch_pc, stalled, halted = decode_config(
+                blob, self.executable
+            )
+            simulator = DetailedSimulator(self.executable, self.params)
+            simulator.restore(entries, fetch_pc, stalled, halted)
+            generator = simulator.run()
 
-        send = None
-        for node, value in chain_log:
-            expected = _REQUEST_FOR_NODE[type(node)]
-            while True:
-                request = generator.send(send)
-                send = None
-                if type(request) is CycleBoundary:
-                    continue  # cycles were already counted during replay
-                break
-            if type(request) is not expected:
-                raise SimulationError(
-                    f"resync desync: simulator yielded {request!r}, "
-                    f"log has {node!r}"
-                )
-            if node.is_outcome:
-                send = value
-        # Align the world clock with the resumed simulator. The resumed
-        # generator's first cycle boundary ends cycle ``b0``:
-        # ``log_anchor`` when the prefix left the simulator mid-cycle
-        # (non-empty log), else the cycle after the owning configuration.
-        # Boundaries whose cycles the replayer already advanced past are
-        # "debt" and must be swallowed instead of advancing the clock;
-        # conversely, resuming exactly at a configuration owes the one
-        # advance the skipped record-mode boundary would have done.
-        world_cycle = self.world.cycle
-        anchor = world_cycle  # cycle of the last action on this branch
-        b0 = log_anchor if chain_log else log_anchor + 1
-        if world_cycle < b0:
-            self.world.advance_cycles(b0 - world_cycle)
-            self.memo.detailed_cycles += b0 - world_cycle
-        cycle_debt = max(0, world_cycle - b0)
-        return ("record", simulator, generator, attach, anchor,
-                send, cycle_debt, bool(chain_log))
+            send = None
+            for node, value in chain_log:
+                expected = _REQUEST_FOR_NODE[type(node)]
+                while True:
+                    request = generator.send(send)
+                    send = None
+                    if type(request) is CycleBoundary:
+                        continue  # cycles already counted during replay
+                    break
+                if type(request) is not expected:
+                    raise SimulationError(
+                        f"resync desync: simulator yielded {request!r}, "
+                        f"log has {node!r}"
+                    )
+                if node.is_outcome:
+                    send = value
+            # Align the world clock with the resumed simulator. The
+            # resumed generator's first cycle boundary ends cycle
+            # ``b0``: ``log_anchor`` when the prefix left the simulator
+            # mid-cycle (non-empty log), else the cycle after the
+            # owning configuration. Boundaries whose cycles the
+            # replayer already advanced past are "debt" and must be
+            # swallowed instead of advancing the clock; conversely,
+            # resuming exactly at a configuration owes the one advance
+            # the skipped record-mode boundary would have done.
+            world_cycle = self.world.cycle
+            anchor = world_cycle  # cycle of the last action on branch
+            b0 = log_anchor if chain_log else log_anchor + 1
+            if world_cycle < b0:
+                self.world.advance_cycles(b0 - world_cycle)
+                self.memo.detailed_cycles += b0 - world_cycle
+            cycle_debt = max(0, world_cycle - b0)
+            return ("record", simulator, generator, attach, anchor,
+                    send, cycle_debt, bool(chain_log))

@@ -59,6 +59,23 @@ class PActionCache:
                 "create a fresh PActionCache per executable"
             )
 
+    def snapshot(self) -> Dict[str, object]:
+        """Read-only live view for observability and the ``obs`` CLI.
+
+        Keys are explicitly sorted so exported snapshots are stable
+        documents; nothing here walks the graph (O(1)), so it is safe
+        to call per sample while a simulation is running.
+        """
+        return {
+            "actions_allocated": self.actions_allocated,
+            "bytes_used": self.bytes_used,
+            "collections": self.collections,
+            "configs_allocated": self.configs_allocated,
+            "configs_live": len(self.index),
+            "peak_bytes": self.peak_bytes,
+            "touch_clock": self.touch_clock,
+        }
+
     # -- lookup -----------------------------------------------------------
 
     def lookup(self, blob: bytes) -> Optional[ConfigNode]:

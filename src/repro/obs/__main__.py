@@ -1,0 +1,39 @@
+"""``python -m repro.obs`` — validate JSON-lines metric/trace files.
+
+Exit codes follow the lint convention: 0 = every line valid, 1 = at
+least one invalid line, 2 = usage/I-O error. CI runs this over the
+streams a campaign emitted with ``--obs`` / ``--metrics``.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from repro.obs.schema import validate_file
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or any(arg in ("-h", "--help") for arg in argv):
+        print("usage: python -m repro.obs FILE.jsonl [FILE.jsonl ...]",
+              file=sys.stderr)
+        return 2 if not argv else 0
+    problems = []
+    for path in argv:
+        try:
+            problems.extend(validate_file(path))
+        except OSError as exc:
+            print(f"cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"{len(problems)} invalid line(s)", file=sys.stderr)
+        return 1
+    print(f"{len(argv)} file(s) valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

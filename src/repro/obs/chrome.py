@@ -1,0 +1,93 @@
+"""Chrome ``trace_event`` export — view traces in Perfetto.
+
+Converts :class:`~repro.obs.spans.TraceEvent` streams into the JSON
+object format consumed by ``chrome://tracing`` and
+https://ui.perfetto.dev (the *JSON Array Format* with a
+``traceEvents`` wrapper).
+
+The two clocks get two synthetic processes so their timelines never
+interleave misleadingly:
+
+* pid 1 — **host clock**: phase spans and job lifecycles, timestamps
+  in real microseconds;
+* pid 2 — **simulated clock**: pipeline traces and sampled counter
+  tracks, one "microsecond" per simulated cycle.
+
+Output is deterministic for deterministic event streams: keys are
+sorted and events keep emission order.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List
+
+from repro.obs.spans import CLOCK_SIM, TraceEvent
+
+#: Synthetic process ids, one per clock domain.
+PID_HOST = 1
+PID_SIM = 2
+
+_PROCESS_NAMES = {
+    PID_HOST: "fastsim host (wall clock)",
+    PID_SIM: "fastsim simulation (cycle clock)",
+}
+
+
+def _metadata_events() -> List[Dict[str, object]]:
+    events = []
+    for pid in sorted(_PROCESS_NAMES):
+        events.append({
+            "args": {"name": _PROCESS_NAMES[pid]},
+            "cat": "__metadata",
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "ts": 0,
+        })
+    return events
+
+
+def chrome_event(event: TraceEvent) -> Dict[str, object]:
+    """One TraceEvent in Chrome trace_event form."""
+    pid = PID_SIM if event.clock == CLOCK_SIM else PID_HOST
+    record: Dict[str, object] = {
+        "cat": event.cat,
+        "name": event.name,
+        "ph": event.ph,
+        "pid": pid,
+        "tid": 0,
+        "ts": event.ts,
+    }
+    if event.ph == "X":
+        # Complete events must carry a duration; clamp zero-length
+        # spans to a visible sliver.
+        record["dur"] = max(event.dur or 0.0, 0.01)
+    if event.args:
+        record["args"] = {key: event.args[key]
+                          for key in sorted(event.args)}
+    return record
+
+
+def chrome_trace(events: Iterable[TraceEvent]) -> Dict[str, object]:
+    """The full exportable document (``traceEvents`` wrapper form)."""
+    trace_events = _metadata_events()
+    trace_events.extend(chrome_event(event) for event in events)
+    return {
+        "displayTimeUnit": "ms",
+        "otherData": {"exporter": "repro.obs"},
+        "traceEvents": trace_events,
+    }
+
+
+def render_chrome_trace(events: Iterable[TraceEvent]) -> str:
+    """JSON text of the Chrome trace (sorted keys, trailing newline)."""
+    return json.dumps(chrome_trace(events), sort_keys=True,
+                      default=str, indent=1) + "\n"
+
+
+def write_chrome_trace(path: str, events: Iterable[TraceEvent]) -> None:
+    """Write a ``.json`` trace loadable by chrome://tracing / Perfetto."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_chrome_trace(events))

@@ -1,0 +1,244 @@
+"""Metric instruments and the registry (``repro.obs`` layer 1).
+
+Three metric classes, following the sampled / event / aggregated
+taxonomy (docs/observability.md):
+
+* **sampled** — :class:`SampledSeries`: periodic snapshots of a live
+  value (iQ occupancy every N cycles, p-action cache bytes). Sample
+  timestamps are *simulated* cycles, so series are deterministic.
+* **event-based** — :class:`Counter` increments and
+  :class:`Histogram` observations driven by simulation events (replay
+  chain ends, cache-store hits, job completions).
+* **aggregated** — end-of-run summaries: :class:`Gauge` finals and
+  the percentile view every :class:`Histogram` computes from its
+  fixed buckets.
+
+All instruments are plain accumulators: they never call back into the
+simulation, never read host state, and render with explicitly sorted
+keys so exported metric documents are stable for ``cmp``-based checks.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Tuple
+
+#: Default histogram bucket upper bounds (generic magnitude ladder).
+DEFAULT_BUCKETS = (
+    1, 2, 5, 10, 20, 50, 100, 200, 500,
+    1_000, 2_000, 5_000, 10_000, 20_000, 50_000,
+    100_000, 1_000_000,
+)
+
+#: Default cap on retained samples per series.
+DEFAULT_MAX_SAMPLES = 4096
+
+
+class Counter:
+    """Monotonic event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "value": self.value}
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: object = 0
+
+    def set(self, value: object) -> None:
+        self.value = value
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket distribution with derived percentiles.
+
+    ``bounds`` are inclusive upper edges; one overflow bucket catches
+    everything above the last edge. Percentiles are reported as the
+    upper edge of the bucket containing the requested rank — coarse,
+    but deterministic and constant-memory.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total",
+                 "minimum", "maximum")
+
+    def __init__(self, name: str,
+                 bounds: Optional[Tuple[float, ...]] = None):
+        self.name = name
+        self.bounds = tuple(sorted(bounds if bounds is not None
+                                   else DEFAULT_BUCKETS))
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Upper bucket edge covering the *q*-quantile (0 < q <= 1)."""
+        if not self.count:
+            return None
+        rank = q * self.count
+        running = 0
+        for index, bucket_count in enumerate(self.counts):
+            running += bucket_count
+            if running >= rank:
+                if index < len(self.bounds):
+                    return float(self.bounds[index])
+                return float(self.maximum)
+        return float(self.maximum)  # pragma: no cover - q > 1 guard
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "buckets": {str(edge): count for edge, count
+                        in zip(self.bounds, self.counts)},
+            "count": self.count,
+            "max": self.maximum,
+            "mean": self.mean,
+            "min": self.minimum,
+            "name": self.name,
+            "overflow": self.counts[-1],
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+            "total": self.total,
+        }
+
+
+class SampledSeries:
+    """Bounded (timestamp, value) series sampled on a simulated clock.
+
+    The cap keeps long campaigns from accumulating unbounded sample
+    memory; drops are counted, never silent (docs/observability.md).
+    """
+
+    __slots__ = ("name", "max_samples", "samples", "dropped")
+
+    def __init__(self, name: str, max_samples: int = DEFAULT_MAX_SAMPLES):
+        self.name = name
+        self.max_samples = max_samples
+        self.samples: List[Tuple[int, object]] = []
+        self.dropped = 0
+
+    def append(self, timestamp: int, value: object) -> None:
+        if len(self.samples) >= self.max_samples:
+            self.dropped += 1
+            return
+        self.samples.append((timestamp, value))
+
+    def last(self) -> Optional[Tuple[int, object]]:
+        return self.samples[-1] if self.samples else None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "dropped": self.dropped,
+            "name": self.name,
+            "samples": [[timestamp, value]
+                        for timestamp, value in self.samples],
+        }
+
+
+class MetricsRegistry:
+    """Namespace of instruments, created on first use.
+
+    ``registry.counter("memo.resyncs").inc()`` — instruments are
+    keyed by name, and every rendering walks names in sorted order so
+    two runs that recorded the same values produce byte-identical
+    documents regardless of creation order.
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self.series: Dict[str, SampledSeries] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = self.counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            instrument = self.gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str,
+                  bounds: Optional[Tuple[float, ...]] = None) -> Histogram:
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            instrument = self.histograms[name] = Histogram(name, bounds)
+        return instrument
+
+    def sampled(self, name: str,
+                max_samples: int = DEFAULT_MAX_SAMPLES) -> SampledSeries:
+        instrument = self.series.get(name)
+        if instrument is None:
+            instrument = self.series[name] = SampledSeries(name, max_samples)
+        return instrument
+
+    def as_dict(self) -> Dict[str, object]:
+        """Full registry contents, every level explicitly sorted."""
+        return {
+            "counters": {name: self.counters[name].value
+                         for name in sorted(self.counters)},
+            "gauges": {name: self.gauges[name].value
+                       for name in sorted(self.gauges)},
+            "histograms": {name: self.histograms[name].as_dict()
+                           for name in sorted(self.histograms)},
+            "series": {name: self.series[name].as_dict()
+                       for name in sorted(self.series)},
+        }
+
+    def records(self) -> List[Dict[str, object]]:
+        """One flat record per instrument, sorted by (kind, name).
+
+        These are the payloads the JSON-lines metrics stream carries
+        (schema ``repro.obs/metric/v1`` — see :mod:`repro.obs.schema`).
+        """
+        out: List[Dict[str, object]] = []
+        for name in sorted(self.counters):
+            out.append({"kind": "counter", "name": name,
+                        "value": self.counters[name].value})
+        for name in sorted(self.gauges):
+            out.append({"kind": "gauge", "name": name,
+                        "value": self.gauges[name].value})
+        for name in sorted(self.histograms):
+            record = self.histograms[name].as_dict()
+            record["kind"] = "histogram"
+            out.append(record)
+        for name in sorted(self.series):
+            record = self.series[name].as_dict()
+            record["kind"] = "series"
+            out.append(record)
+        return out

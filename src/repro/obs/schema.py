@@ -1,0 +1,127 @@
+"""JSON-lines record schemas and the validator ``repro.obs`` exports.
+
+Every machine-readable line the observability layer emits carries a
+``"schema"`` field naming its record shape and version::
+
+    {"schema": "repro.obs/metric/v1", "kind": "counter", ...}
+    {"schema": "repro.obs/trace-event/v1", "name": "memo.record", ...}
+    {"schema": "repro.campaign/job-metrics/v2", "key": "compress:fast:tiny", ...}
+
+Versioned schemas are what make ``cmp``- and ``jq``-based CI checks
+safe: a consumer can reject lines it does not understand instead of
+silently misreading them, and a schema bump is an explicit, reviewable
+event. :func:`validate_record` / :func:`validate_lines` implement a
+deliberately small structural check (required fields + types) — not a
+full JSON-Schema engine — and are what the CI job and the test suite
+run over emitted streams. ``python -m repro.obs FILE...`` validates
+files from the command line.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Tuple
+
+SCHEMA_KEY = "schema"
+
+#: One metric instrument (counter/gauge/histogram/series) snapshot.
+METRIC_SCHEMA = "repro.obs/metric/v1"
+#: One trace event (span/instant/counter sample).
+TRACE_SCHEMA = "repro.obs/trace-event/v1"
+#: One campaign per-job metrics record (schema-versioned successor of
+#: the PR-2 ad-hoc dicts; documented in docs/campaign.md).
+JOB_METRICS_SCHEMA = "repro.campaign/job-metrics/v2"
+
+_NUMBER = (int, float)
+
+#: Required fields per schema: name -> (type or tuple of types).
+_REQUIRED: Dict[str, Dict[str, tuple]] = {
+    METRIC_SCHEMA: {
+        "kind": (str,),
+        "name": (str,),
+    },
+    TRACE_SCHEMA: {
+        "name": (str,),
+        "ph": (str,),
+        "ts": _NUMBER,
+        "cat": (str,),
+        "clock": (str,),
+    },
+    JOB_METRICS_SCHEMA: {
+        "key": (str,),
+        "status": (str,),
+        "attempts": (int,),
+        "retries": (int,),
+        "host_seconds": _NUMBER,
+    },
+}
+
+#: Closed vocabularies for enum-like fields.
+_ENUMS: Dict[Tuple[str, str], tuple] = {
+    (METRIC_SCHEMA, "kind"): ("counter", "gauge", "histogram", "series"),
+    (TRACE_SCHEMA, "ph"): ("X", "i", "C"),
+    (TRACE_SCHEMA, "clock"): ("host", "sim"),
+    (JOB_METRICS_SCHEMA, "status"): ("ok", "failed"),
+}
+
+
+def stamp(schema: str, record: Dict[str, object]) -> Dict[str, object]:
+    """Return *record* with its schema field set (copies, never mutates)."""
+    stamped = dict(record)
+    stamped[SCHEMA_KEY] = schema
+    return stamped
+
+
+def validate_record(record: object) -> List[str]:
+    """Structural problems with one decoded record ([] when valid)."""
+    if not isinstance(record, dict):
+        return [f"record is {type(record).__name__}, not an object"]
+    schema = record.get(SCHEMA_KEY)
+    if not isinstance(schema, str):
+        return ["missing or non-string 'schema' field"]
+    required = _REQUIRED.get(schema)
+    if required is None:
+        return [f"unknown schema {schema!r}"]
+    problems = []
+    for field in sorted(required):
+        types = required[field]
+        if field not in record:
+            problems.append(f"{schema}: missing required field {field!r}")
+        elif not isinstance(record[field], types):
+            problems.append(
+                f"{schema}: field {field!r} is "
+                f"{type(record[field]).__name__}, expected "
+                f"{'/'.join(t.__name__ for t in types)}"
+            )
+    for (enum_schema, field), allowed in sorted(_ENUMS.items()):
+        if enum_schema == schema and field in record:
+            if record[field] not in allowed:
+                problems.append(
+                    f"{schema}: field {field!r} value "
+                    f"{record[field]!r} not in {allowed}"
+                )
+    return problems
+
+
+def validate_lines(lines: Iterable[str]) -> List[str]:
+    """Validate a JSON-lines stream; returns per-line problems."""
+    problems = []
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            problems.append(f"line {number}: not JSON ({exc})")
+            continue
+        for problem in validate_record(record):
+            problems.append(f"line {number}: {problem}")
+    return problems
+
+
+def validate_file(path: str) -> List[str]:
+    """Validate one ``.jsonl`` file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return [f"{path}: {problem}"
+                for problem in validate_lines(handle)]

@@ -1,0 +1,212 @@
+"""Span tracer and trace-event sinks (``repro.obs`` layer 2).
+
+One event model — :class:`TraceEvent`, a subset of the Chrome
+``trace_event`` format — carries every trace in the system: memo-engine
+phase spans, campaign job lifecycles, and per-cycle pipeline traces
+(:mod:`repro.uarch.trace` emits into the same sinks). Events live on
+one of two clocks:
+
+* ``clock="host"`` — wall microseconds since tracer start (phase
+  durations, job wall times);
+* ``clock="sim"`` — simulated cycle numbers (pipeline traces, sampled
+  counter tracks). Sim-clock events are deterministic.
+
+Sinks are deliberately dumb: :class:`RingBufferSink` keeps the last N
+events in memory for live introspection, :class:`JsonlTraceSink`
+streams schema-stamped JSON lines, :class:`NullTraceSink` drops
+everything. The Chrome exporter (:mod:`repro.obs.chrome`) consumes the
+same events.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import Dict, Iterable, List, Optional, TextIO
+
+from repro.obs.schema import TRACE_SCHEMA, stamp
+
+#: Chrome trace_event phase codes this model uses.
+PHASES = ("X", "i", "C")  # complete span, instant, counter sample
+
+CLOCK_HOST = "host"
+CLOCK_SIM = "sim"
+
+
+class TraceEvent:
+    """One trace event (span, instant, or counter sample)."""
+
+    __slots__ = ("name", "ph", "ts", "dur", "cat", "clock", "args")
+
+    def __init__(self, name: str, ph: str, ts: float, cat: str = "obs",
+                 dur: Optional[float] = None, clock: str = CLOCK_HOST,
+                 args: Optional[Dict[str, object]] = None):
+        self.name = name
+        self.ph = ph
+        self.ts = ts
+        self.dur = dur
+        self.cat = cat
+        self.clock = clock
+        self.args = args
+
+    def as_dict(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "cat": self.cat,
+            "clock": self.clock,
+            "name": self.name,
+            "ph": self.ph,
+            "ts": self.ts,
+        }
+        if self.dur is not None:
+            record["dur"] = self.dur
+        if self.args:
+            record["args"] = {key: self.args[key]
+                              for key in sorted(self.args)}
+        return record
+
+    def __repr__(self) -> str:
+        return (f"TraceEvent({self.name!r}, ph={self.ph!r}, "
+                f"ts={self.ts}, clock={self.clock!r})")
+
+
+class TraceSink:
+    """Protocol: receives :class:`TraceEvent` objects."""
+
+    def emit(self, event: TraceEvent) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+class NullTraceSink(TraceSink):
+    """Drops every event."""
+
+    def emit(self, event: TraceEvent) -> None:
+        pass
+
+
+class RingBufferSink(TraceSink):
+    """Keeps the most recent *capacity* events in memory.
+
+    This is the live-introspection window: ``Observer.snapshot()``
+    reads it while a simulation is mid-flight.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        self.capacity = capacity
+        self._events: deque = deque(maxlen=capacity)
+        self.emitted = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        self._events.append(event)
+        self.emitted += 1
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    @property
+    def dropped(self) -> int:
+        return self.emitted - len(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class JsonlTraceSink(TraceSink):
+    """One schema-stamped JSON line per event."""
+
+    def __init__(self, stream: TextIO):
+        self.stream = stream
+
+    def emit(self, event: TraceEvent) -> None:
+        record = stamp(TRACE_SCHEMA, event.as_dict())
+        self.stream.write(json.dumps(record, sort_keys=True,
+                                     default=str) + "\n")
+
+    def close(self) -> None:
+        self.stream.flush()
+
+
+class _Span:
+    """Context manager emitting one complete ('X') event on exit."""
+
+    __slots__ = ("tracer", "name", "cat", "args", "started")
+
+    def __init__(self, tracer: "SpanTracer", name: str, cat: str,
+                 args: Optional[Dict[str, object]]):
+        self.tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+        self.started = 0.0
+
+    def __enter__(self) -> None:
+        self.started = self.tracer.now_us()
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        ended = self.tracer.now_us()
+        self.tracer.emit(TraceEvent(
+            self.name, "X", self.started, cat=self.cat,
+            dur=ended - self.started, clock=CLOCK_HOST, args=self.args,
+        ))
+        return False
+
+
+class SpanTracer:
+    """Fans events out to sinks; owns the host-clock origin.
+
+    Host timestamps are microseconds relative to tracer construction,
+    so traces from one run line up on one timeline. The host clock is
+    observability-only and never reaches simulation state (the
+    ``obs/`` lint family enforces this at the call sites).
+    """
+
+    def __init__(self, *sinks: TraceSink):
+        self.sinks: List[TraceSink] = list(sinks)
+        self._origin = time.perf_counter()  # repro-lint: disable=det/time-dependent
+
+    def now_us(self) -> float:
+        """Microseconds since tracer start (host clock)."""
+        return (time.perf_counter() - self._origin) * 1e6  # repro-lint: disable=det/time-dependent
+
+    def add_sink(self, sink: TraceSink) -> None:
+        self.sinks.append(sink)
+
+    def emit(self, event: TraceEvent) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def span(self, name: str, cat: str = "obs",
+             args: Optional[Dict[str, object]] = None) -> _Span:
+        """Time a ``with`` block as one complete span event."""
+        return _Span(self, name, cat, args)
+
+    def instant(self, name: str, cat: str = "obs",
+                ts: Optional[float] = None, clock: str = CLOCK_HOST,
+                args: Optional[Dict[str, object]] = None) -> None:
+        """Emit a point-in-time event (defaults to the host clock)."""
+        if ts is None:
+            ts = self.now_us()
+        self.emit(TraceEvent(name, "i", ts, cat=cat, clock=clock,
+                             args=args))
+
+    def counter_sample(self, name: str, ts: float,
+                       values: Dict[str, object],
+                       cat: str = "obs",
+                       clock: str = CLOCK_SIM) -> None:
+        """Emit a counter-track sample (defaults to the sim clock)."""
+        self.emit(TraceEvent(name, "C", ts, cat=cat, clock=clock,
+                             args=values))
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+def events_as_dicts(events: Iterable[TraceEvent]) -> List[Dict[str, object]]:
+    """Render events for JSON embedding (stable key order)."""
+    return [event.as_dict() for event in events]

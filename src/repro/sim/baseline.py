@@ -41,6 +41,7 @@ from repro.isa.encoding import decode
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import InstrClass, LAT_AGEN
 from repro.isa.program import Executable
+from repro.obs.core import ensure_observer
 from repro.sim.results import SimulationResult
 from repro.sim.world import SimStats
 from repro.uarch.iq import (
@@ -103,9 +104,11 @@ class IntegratedSimulator:
         executable: Executable,
         params: Optional[ProcessorParams] = None,
         predictor: Optional[BranchPredictor] = None,
+        obs=None,
     ):
         self.executable = executable
         self.params = params if params is not None else ProcessorParams.r10k()
+        self.obs = ensure_observer(obs)
         if predictor is None:
             predictor = BimodalPredictor(self.params.bht_entries)
         self.predictor = predictor
@@ -124,19 +127,30 @@ class IntegratedSimulator:
     # ------------------------------------------------------------------
 
     def run(self, max_cycles: int = 50_000_000) -> SimulationResult:
+        obs = self.obs
+        obs_on = obs.enabled
         started = time.perf_counter()
-        while True:
-            if self._retire():
-                break
-            self._progress_execution()
-            self._issue()
-            self._dispatch()
-            self._fetch()
-            self.cycle += 1
-            self.stats.cycles += 1
-            if self.cycle > max_cycles:
-                raise SimulationError(f"exceeded {max_cycles} cycles")
+        with obs.span("sim.run", cat="sim", simulator=self.name):
+            while True:
+                if self._retire():
+                    break
+                self._progress_execution()
+                self._issue()
+                self._dispatch()
+                self._fetch()
+                self.cycle += 1
+                self.stats.cycles += 1
+                if self.cycle > max_cycles:
+                    raise SimulationError(f"exceeded {max_cycles} cycles")
+                if obs_on:
+                    obs.sample_pipeline(self.cycle, len(self.rob))
         elapsed = time.perf_counter() - started
+        if obs_on:
+            obs.gauge("sim.cycles", self.stats.cycles)
+            obs.gauge(
+                "sim.instructions", self.stats.retired_instructions
+            )
+            obs.gauge("frontend.rollbacks", self.rollbacks)
         return SimulationResult(
             name=self.name,
             cycles=self.stats.cycles,

@@ -28,6 +28,7 @@ from repro.isa.program import Executable
 from repro.memo.engine import FastForwardEngine
 from repro.memo.pcache import PActionCache
 from repro.memo.policies import ReplacementPolicy
+from repro.obs.core import ensure_observer
 from repro.sim.results import SimulationResult
 from repro.sim.world import World
 from repro.uarch.params import ProcessorParams
@@ -45,12 +46,15 @@ class FastSim:
         predictor: Optional[BranchPredictor] = None,
         policy: Optional[ReplacementPolicy] = None,
         pcache: Optional[PActionCache] = None,
+        obs=None,
     ):
         self.executable = executable
         self.params = params if params is not None else ProcessorParams.r10k()
+        self.obs = ensure_observer(obs)
         self.world = World(executable, self.params, predictor)
         self.engine = FastForwardEngine(
-            executable, self.world, pcache=pcache, policy=policy
+            executable, self.world, pcache=pcache, policy=policy,
+            obs=self.obs,
         )
 
     @property
@@ -61,10 +65,18 @@ class FastSim:
     def run(self, max_cycles: int = 50_000_000) -> SimulationResult:
         """Simulate to completion; returns the result record."""
         started = time.perf_counter()
-        memo = self.engine.run(max_cycles)
+        with self.obs.span("sim.run", cat="sim", simulator=self.name):
+            memo = self.engine.run(max_cycles)
         elapsed = time.perf_counter() - started
         world = self.world
         frontend = world.frontend
+        if self.obs.enabled:
+            self.obs.gauge("sim.cycles", world.stats.cycles)
+            self.obs.gauge(
+                "sim.instructions", world.stats.retired_instructions
+            )
+            self.obs.gauge("frontend.rollbacks", frontend.rollbacks)
+            self.obs.gauge("memo.pcache_peak_bytes", self.pcache.peak_bytes)
         return SimulationResult(
             name=self.name,
             cycles=world.stats.cycles,

@@ -76,23 +76,28 @@ class MemoStats:
         return max(self.chain_lengths, default=0)
 
     def as_dict(self) -> Dict[str, object]:
-        """Summary suitable for JSON metrics (chain list collapsed)."""
+        """Summary suitable for JSON metrics (chain list collapsed).
+
+        Keys are explicitly sorted: these dicts are embedded in JSON
+        documents that downstream tooling byte-compares, so insertion
+        order is part of the contract (golden-tested).
+        """
         return {
-            "configs_allocated": self.configs_allocated,
             "actions_allocated": self.actions_allocated,
-            "cache_bytes": self.cache_bytes,
-            "peak_cache_bytes": self.peak_cache_bytes,
             "actions_replayed": self.actions_replayed,
-            "configs_replayed": self.configs_replayed,
-            "replayed_instructions": self.replayed_instructions,
-            "detailed_instructions": self.detailed_instructions,
-            "replayed_cycles": self.replayed_cycles,
-            "detailed_cycles": self.detailed_cycles,
-            "replay_episodes": self.replay_episodes,
-            "detailed_fraction": self.detailed_fraction,
             "avg_chain_length": self.avg_chain_length,
-            "max_chain_length": self.max_chain_length,
+            "cache_bytes": self.cache_bytes,
+            "configs_allocated": self.configs_allocated,
+            "configs_replayed": self.configs_replayed,
+            "detailed_cycles": self.detailed_cycles,
+            "detailed_fraction": self.detailed_fraction,
+            "detailed_instructions": self.detailed_instructions,
             "evictions": self.evictions,
+            "max_chain_length": self.max_chain_length,
+            "peak_cache_bytes": self.peak_cache_bytes,
+            "replay_episodes": self.replay_episodes,
+            "replayed_cycles": self.replayed_cycles,
+            "replayed_instructions": self.replayed_instructions,
         }
 
 
@@ -151,13 +156,14 @@ class SimulationResult:
         )
 
     def as_dict(self) -> Dict[str, object]:
+        """JSON-ready record; keys explicitly sorted (golden-tested)."""
         return {
-            "name": self.name,
+            "cache_stats": self.cache_stats.as_dict(),
             "cycles": self.cycles,
+            "host_seconds": self.host_seconds,
             "instructions": self.instructions,
             "ipc": self.ipc,
+            "name": self.name,
             "output": list(self.output),
-            "host_seconds": self.host_seconds,
             "sim_stats": self.sim_stats.as_dict(),
-            "cache_stats": self.cache_stats.as_dict(),
         }

@@ -16,6 +16,7 @@ from typing import Optional
 from repro.branch.predictor import BranchPredictor
 from repro.errors import SimulationError
 from repro.isa.program import Executable
+from repro.obs.core import ensure_observer
 from repro.sim.results import SimulationResult
 from repro.sim.world import World
 from repro.uarch.detailed import DetailedSimulator
@@ -42,9 +43,11 @@ class SlowSim:
         executable: Executable,
         params: Optional[ProcessorParams] = None,
         predictor: Optional[BranchPredictor] = None,
+        obs=None,
     ):
         self.executable = executable
         self.params = params if params is not None else ProcessorParams.r10k()
+        self.obs = ensure_observer(obs)
         self.world = World(executable, self.params, predictor)
         self.simulator = DetailedSimulator(executable, self.params)
 
@@ -52,38 +55,49 @@ class SlowSim:
         """Simulate to completion; returns the result record."""
         world = self.world
         generator = self.simulator.run()
+        obs = self.obs
+        obs_on = obs.enabled
         started = time.perf_counter()
         outcome = None
         finished = False
-        while not finished:
-            try:
-                request = generator.send(outcome)
-            except StopIteration:
-                break
-            outcome = None
-            if type(request) is CycleBoundary:
-                world.advance_cycles(1)
-                if world.cycle > max_cycles:
-                    raise SimulationError(
-                        f"exceeded {max_cycles} simulated cycles"
-                    )
-            elif type(request) is GetControl:
-                outcome = world.get_control()
-            elif type(request) is IssueLoad:
-                outcome = world.issue_load(request.ordinal)
-            elif type(request) is PollLoad:
-                outcome = world.poll_load(request.ordinal)
-            elif type(request) is IssueStore:
-                outcome = world.issue_store(request.ordinal)
-            elif type(request) is Retire:
-                world.retire(request)
-            elif type(request) is Rollback:
-                world.rollback(request)
-            elif type(request) is Finished:
-                finished = True
-            else:  # pragma: no cover - protocol violation
-                raise SimulationError(f"unknown request {request!r}")
+        with obs.span("sim.run", cat="sim", simulator=self.name):
+            while not finished:
+                try:
+                    request = generator.send(outcome)
+                except StopIteration:
+                    break
+                outcome = None
+                if type(request) is CycleBoundary:
+                    world.advance_cycles(1)
+                    if world.cycle > max_cycles:
+                        raise SimulationError(
+                            f"exceeded {max_cycles} simulated cycles"
+                        )
+                    if obs_on:
+                        obs.sample_pipeline(
+                            world.cycle, self.simulator.occupancy
+                        )
+                elif type(request) is GetControl:
+                    outcome = world.get_control()
+                elif type(request) is IssueLoad:
+                    outcome = world.issue_load(request.ordinal)
+                elif type(request) is PollLoad:
+                    outcome = world.poll_load(request.ordinal)
+                elif type(request) is IssueStore:
+                    outcome = world.issue_store(request.ordinal)
+                elif type(request) is Retire:
+                    world.retire(request)
+                elif type(request) is Rollback:
+                    world.rollback(request)
+                elif type(request) is Finished:
+                    finished = True
+                else:  # pragma: no cover - protocol violation
+                    raise SimulationError(f"unknown request {request!r}")
         elapsed = time.perf_counter() - started
+        if obs_on:
+            obs.gauge("sim.cycles", world.stats.cycles)
+            obs.gauge("sim.instructions", world.stats.retired_instructions)
+            obs.gauge("frontend.rollbacks", world.frontend.rollbacks)
         return self._result(elapsed)
 
     def _result(self, elapsed: float) -> SimulationResult:

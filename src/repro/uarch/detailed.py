@@ -75,6 +75,12 @@ class DetailedSimulator:
         self.fetch_stalled = False  #: waiting for an indirect jump
         self.fetch_halted = False  #: a halt instruction was fetched
 
+    @property
+    def occupancy(self) -> int:
+        """In-flight instruction count — the sampled iQ-occupancy
+        series' source (read-only; observers must never mutate)."""
+        return len(self.iq.entries)
+
     # ------------------------------------------------------------------
     # Restore (used when fast-forwarding falls back to detailed mode)
     # ------------------------------------------------------------------

@@ -12,6 +12,14 @@ renders each cycle's iQ as one line per in-flight instruction::
 Use :func:`trace_pipeline` for a list of rendered cycles, or
 :class:`PipelineTracer` to observe cycles programmatically (e.g. to
 assert on occupancy in tests).
+
+The tracer is built on the :mod:`repro.obs` span-sink protocol: pass
+``sink=`` any :class:`~repro.obs.spans.TraceSink` (a ring buffer, a
+JSON-lines stream, or an :class:`~repro.obs.Observer`'s ring) and every
+cycle is also emitted as a simulated-clock counter event, so a pipeline
+trace lands on the same timeline as the memo-engine spans in a Chrome
+trace export. :func:`trace_pipeline` remains the thin
+render-to-strings wrapper it always was.
 """
 
 from __future__ import annotations
@@ -22,6 +30,7 @@ from typing import Callable, List, Optional
 from repro.branch.predictor import BranchPredictor
 from repro.isa.disasm import format_instruction
 from repro.isa.program import Executable
+from repro.obs.spans import CLOCK_SIM, TraceEvent, TraceSink
 from repro.uarch.detailed import DetailedSimulator
 from repro.uarch.interactions import (
     CycleBoundary,
@@ -52,6 +61,23 @@ class CycleSnapshot:
         return sum(1 for e in self.entries if e.stage is stage)
 
 
+def snapshot_event(snapshot: CycleSnapshot) -> TraceEvent:
+    """One simulated-clock counter event for a cycle snapshot.
+
+    The counter tracks (occupancy plus per-stage breakdown) render as
+    stacked series on the sim-clock timeline in Perfetto, next to the
+    memo-engine sample track.
+    """
+    values = {"occupancy": snapshot.occupancy(),
+              "retired": snapshot.retired_so_far}
+    for stage in Stage:
+        count = snapshot.count_stage(stage)
+        if count:
+            values[stage.name.lower()] = count
+    return TraceEvent("pipeline.cycle", "C", snapshot.cycle,
+                      cat="pipeline", clock=CLOCK_SIM, args=values)
+
+
 def _copy_entry(entry: IQEntry) -> IQEntry:
     return IQEntry(entry.instr, entry.stage, entry.timer, entry.pred_taken,
                    entry.mispredicted, entry.jump_target)
@@ -65,6 +91,7 @@ class PipelineTracer:
         executable: Executable,
         params: Optional[ProcessorParams] = None,
         predictor: Optional[BranchPredictor] = None,
+        sink: Optional[TraceSink] = None,
     ):
         # Imported here: repro.sim.world imports repro.uarch submodules,
         # so a module-level import would be circular via the package
@@ -74,16 +101,20 @@ class PipelineTracer:
         self.params = params if params is not None else ProcessorParams.r10k()
         self.simulator = DetailedSimulator(executable, self.params)
         self.world = World(executable, self.params, predictor)
+        self.sink = sink
 
-    def run(self, on_cycle: Callable[[CycleSnapshot], None],
+    def run(self, on_cycle: Optional[Callable[[CycleSnapshot], None]] = None,
             max_cycles: int = 10_000) -> int:
         """Simulate, calling *on_cycle* at every boundary.
 
         Returns the final cycle count. Stops at *max_cycles* without
-        error (traces are usually of prefixes).
+        error (traces are usually of prefixes). When the tracer was
+        built with a ``sink``, every cycle is also emitted to it as a
+        :func:`snapshot_event`; *on_cycle* may then be omitted.
         """
         world = self.world
         simulator = self.simulator
+        sink = self.sink
         generator = simulator.run()
         outcome = None
         while True:
@@ -94,11 +125,15 @@ class PipelineTracer:
             outcome = None
             kind = type(request)
             if kind is CycleBoundary:
-                on_cycle(CycleSnapshot(
+                snapshot = CycleSnapshot(
                     cycle=world.cycle,
                     entries=[_copy_entry(e) for e in simulator.iq.entries],
                     retired_so_far=world.stats.retired_instructions,
-                ))
+                )
+                if on_cycle is not None:
+                    on_cycle(snapshot)
+                if sink is not None:
+                    sink.emit(snapshot_event(snapshot))
                 world.advance_cycles(1)
                 if world.cycle >= max_cycles:
                     break

@@ -57,6 +57,23 @@ class TestDeterministicMerge:
             assert record["host_seconds"] > 0
             assert record["retries"] == 0
 
+    def test_metrics_jsonl_schema_versioned_and_valid(self):
+        """Satellite: per-job metric records carry the v2 schema stamp
+        and validate under `python -m repro.obs` (docs/campaign.md)."""
+        from repro.obs.schema import (
+            JOB_METRICS_SCHEMA,
+            SCHEMA_KEY,
+            validate_lines,
+        )
+
+        outcome = run_jobs(JOBS[:2], workers=0, name="schema")
+        lines = outcome.metrics_jsonl().splitlines()
+        assert validate_lines(lines) == []
+        for line in lines:
+            record = json.loads(line)
+            assert record[SCHEMA_KEY] == JOB_METRICS_SCHEMA
+            assert record["cycles"] > 0
+
 
 def _crash_once(job, store):
     marker = os.path.join(job.workload, "crashed-once")

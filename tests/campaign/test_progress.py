@@ -15,6 +15,8 @@ from repro.campaign import (
     make_sink,
     run_jobs,
 )
+from repro.campaign.progress import ObsSink, TeeSink
+from repro.obs.core import NULL_OBS, make_observer
 
 
 class TestSinks:
@@ -49,6 +51,60 @@ class TestSinks:
         assert isinstance(make_sink("silent"), NullSink)
         with pytest.raises(ValueError):
             make_sink("telepathy")
+
+
+class TestObsSink:
+    def test_events_mirrored_into_observer(self):
+        obs = make_observer()
+        sink = ObsSink(obs)
+        sink.emit("job-start", key="a:fast:tiny", attempt=1)
+        sink.emit("job-ok", key="a:fast:tiny", seconds=0.125, cycles=941)
+        names = [event.name for event in obs.trace_events()]
+        assert names == ["job-start", "job-ok"]
+        assert obs.registry.counters["campaign.jobs_ok"].value == 1
+        histogram = obs.registry.histograms["campaign.job_ms"]
+        assert histogram.count == 1 and histogram.total == 125
+
+    def test_failure_and_retry_counters(self):
+        obs = make_observer()
+        sink = ObsSink(obs)
+        sink.emit("job-retry", key="k", attempt=2)
+        sink.emit("job-failed", key="k", error="boom")
+        counters = obs.registry.counters
+        assert counters["campaign.retries"].value == 1
+        assert counters["campaign.jobs_failed"].value == 1
+
+    def test_name_field_does_not_collide(self):
+        """campaign-start carries name=...; the hook's own first
+        parameter is positional-only so this must pass through."""
+        obs = make_observer()
+        ObsSink(obs).emit("campaign-start", name="suite", jobs=4)
+        [event] = obs.trace_events()
+        assert event.args == {"jobs": 4, "name": "suite"}
+
+    def test_disabled_observer_short_circuits(self):
+        ObsSink(NULL_OBS).emit("job-ok", key="k", seconds=1.0)  # no raise
+
+    def test_none_fields_dropped(self):
+        obs = make_observer()
+        ObsSink(obs).emit("job-ok", key="k", error=None)
+        [event] = obs.trace_events()
+        assert event.args == {"key": "k"}
+
+
+class TestTeeSink:
+    def test_fans_out_in_order(self):
+        stream_a, stream_b = io.StringIO(), io.StringIO()
+        tee = TeeSink(JsonlSink(stream_a), JsonlSink(stream_b))
+        tee.emit("job-ok", key="k")
+        assert stream_a.getvalue() == stream_b.getvalue() != ""
+
+    def test_none_sinks_filtered(self):
+        stream = io.StringIO()
+        tee = TeeSink(None, TextSink(stream), None)
+        tee.log("hello")
+        assert stream.getvalue() == "hello\n"
+        assert len(tee.sinks) == 1
 
 
 class TestEngineEvents:

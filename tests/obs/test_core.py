@@ -1,0 +1,214 @@
+"""Tests for the Observer / NullObserver pair and the sampling hooks."""
+
+import inspect
+import io
+import json
+
+import pytest
+
+from repro.isa import assemble
+from repro.obs.core import (
+    DEFAULT_SAMPLE_EVERY,
+    HOOK_NAMES,
+    NULL_OBS,
+    NullObserver,
+    Observer,
+    ensure_observer,
+    make_observer,
+)
+from repro.obs.schema import METRIC_SCHEMA, validate_lines
+from repro.sim.fastsim import FastSim
+
+LOOP = """
+main:
+    mov 300, %l0
+    clr %l1
+loop:
+    add %l1, %l0, %l1
+    subcc %l0, 1, %l0
+    bne loop
+    out %l1
+    halt
+"""
+
+
+class TestNullObserver:
+    def test_is_disabled(self):
+        assert NULL_OBS.enabled is False
+        assert isinstance(NULL_OBS, NullObserver)
+
+    def test_every_hook_is_a_noop(self):
+        NULL_OBS.event("x", cat="y", extra=1)
+        NULL_OBS.counter("c", 5)
+        NULL_OBS.gauge("g", 3)
+        NULL_OBS.observe("h", 10)
+        NULL_OBS.sample_pipeline(0, 4)
+        with NULL_OBS.span("s", cat="z", pc=1):
+            pass
+        assert NULL_OBS.snapshot() == {"enabled": False}
+        assert NULL_OBS.trace_events() == []
+
+    def test_span_context_manager_is_shared(self):
+        assert NULL_OBS.span("a") is NULL_OBS.span("b")
+
+    def test_api_parity_with_live_observer(self):
+        """Instrumented code must not care which observer it holds."""
+        live = make_observer()
+        for hook in HOOK_NAMES:
+            null_sig = inspect.signature(getattr(NullObserver, hook))
+            live_sig = inspect.signature(getattr(Observer, hook))
+            assert null_sig.parameters.keys() == live_sig.parameters.keys(), hook
+            assert callable(getattr(live, hook))
+            assert callable(getattr(NULL_OBS, hook))
+
+    def test_name_is_positional_only(self):
+        """An args kwarg named `name` must not collide with the hook's
+        own first parameter (campaign events carry a `name` field)."""
+        NULL_OBS.event("campaign-start", cat="campaign", name="suite")
+        live = make_observer()
+        live.event("campaign-start", cat="campaign", name="suite")
+        with live.span("campaign.run", cat="campaign", name="suite"):
+            pass
+
+
+class TestEnsureObserver:
+    def test_none_becomes_null(self):
+        assert ensure_observer(None) is NULL_OBS
+
+    def test_live_passes_through(self):
+        live = make_observer()
+        assert ensure_observer(live) is live
+
+
+class TestObserverHooks:
+    def test_counter_gauge_histogram(self):
+        obs = make_observer()
+        obs.counter("memo.resyncs")
+        obs.counter("memo.resyncs", 2)
+        obs.gauge("sim.cycles", 941)
+        obs.observe("memo.chain_length", 17)
+        registry = obs.registry
+        assert registry.counters["memo.resyncs"].value == 3
+        assert registry.gauges["sim.cycles"].value == 941
+        assert registry.histograms["memo.chain_length"].count == 1
+
+    def test_span_and_event_reach_ring(self):
+        obs = make_observer()
+        with obs.span("memo.record", cat="memo"):
+            obs.event("resync", cat="memo", pc=4)
+        names = [event.name for event in obs.trace_events()]
+        assert names == ["resync", "memo.record"]
+
+    def test_invalid_sample_every_rejected(self):
+        with pytest.raises(ValueError):
+            make_observer(sample_every=0)
+
+
+class TestStripeSampling:
+    def test_samples_once_per_stripe(self):
+        obs = make_observer(sample_every=100)
+        for cycle in (0, 1, 99, 100, 150, 200):
+            obs.sample_pipeline(cycle, cycle)
+        series = obs.registry.series["pipeline.iq_occupancy"]
+        assert [timestamp for timestamp, _ in series.samples] == [0, 100, 200]
+
+    def test_default_period(self):
+        assert DEFAULT_SAMPLE_EVERY == 256
+        obs = make_observer()
+        assert obs.sample_every == 256
+
+    def test_counter_track_mirrors_series(self):
+        obs = make_observer(sample_every=10)
+        obs.sample_pipeline(0, 4)
+        [event] = obs.trace_events()
+        assert event.ph == "C"
+        assert event.clock == "sim"
+        assert event.args == {"iq_occupancy": 4}
+
+
+class TestSampleCycle:
+    def run_observed(self, sample_every=64):
+        obs = make_observer(sample_every=sample_every)
+        FastSim(assemble(LOOP), obs=obs).run()
+        return obs
+
+    def test_memo_series_populated(self):
+        obs = self.run_observed()
+        series = obs.registry.series
+        assert "memo.pcache_bytes" in series
+        assert "memo.pcache_configs" in series
+        assert "memo.hit_ratio" in series
+        assert "pipeline.iq_occupancy" in series
+        assert len(series["memo.pcache_bytes"].samples) > 1
+
+    def test_hit_ratio_bounded(self):
+        obs = self.run_observed()
+        for _, value in obs.registry.series["memo.hit_ratio"].samples:
+            assert 0.0 <= value <= 1.0
+
+    def test_end_of_run_gauges(self):
+        obs = self.run_observed()
+        gauges = obs.registry.gauges
+        assert gauges["sim.cycles"].value > 0
+        assert gauges["sim.instructions"].value > 0
+        assert gauges["memo.pcache_peak_bytes"].value > 0
+
+    def test_memo_event_counters(self):
+        obs = self.run_observed()
+        counters = obs.registry.counters
+        assert counters["memo.encodes"].value > 0
+
+    def test_run_span_recorded(self):
+        obs = self.run_observed()
+        names = {event.name for event in obs.trace_events()}
+        assert "sim.run" in names
+
+
+class TestIntrospectionAndExport:
+    def observed(self):
+        obs = make_observer(sample_every=64)
+        FastSim(assemble(LOOP), obs=obs).run()
+        return obs
+
+    def test_snapshot_shape(self):
+        obs = self.observed()
+        snapshot = obs.snapshot()
+        assert snapshot["enabled"] is True
+        assert "memo.encodes" in snapshot["metrics"]["counters"]
+        assert snapshot["spans_emitted"] > 0
+        assert len(snapshot["recent_events"]) <= 32
+
+    def test_metrics_jsonl_validates(self):
+        obs = self.observed()
+        lines = obs.metrics_jsonl().splitlines()
+        assert lines
+        assert validate_lines(lines) == []
+        kinds = {json.loads(line)["kind"] for line in lines}
+        assert {"counter", "gauge", "histogram", "series"} <= kinds
+        assert all(json.loads(line)["schema"] == METRIC_SCHEMA
+                   for line in lines)
+
+    def test_write_trace_is_loadable(self, tmp_path):
+        obs = self.observed()
+        path = tmp_path / "run.trace.json"
+        obs.write_trace(str(path))
+        document = json.loads(path.read_text())
+        names = {event["name"] for event in document["traceEvents"]}
+        assert "sim.run" in names
+        assert "process_name" in names  # metadata present
+
+    def test_summary_mentions_instruments(self):
+        text = self.observed().summary()
+        assert "counters:" in text
+        assert "memo.encodes" in text
+        assert "sampled series" in text
+        assert "trace events:" in text
+
+    def test_trace_stream_receives_jsonl(self):
+        stream = io.StringIO()
+        obs = make_observer(sample_every=64, trace_stream=stream)
+        FastSim(assemble(LOOP), obs=obs).run()
+        obs.tracer.close()
+        lines = stream.getvalue().splitlines()
+        assert lines
+        assert validate_lines(lines) == []

@@ -1,0 +1,165 @@
+"""Unit tests for the metric instruments and registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SampledSeries,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("memo.resyncs")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_as_dict(self):
+        counter = Counter("x")
+        counter.inc(2)
+        assert counter.as_dict() == {"name": "x", "value": 2}
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = Gauge("sim.cycles")
+        gauge.set(10)
+        gauge.set(941)
+        assert gauge.value == 941
+        assert gauge.as_dict() == {"name": "sim.cycles", "value": 941}
+
+
+class TestHistogram:
+    def test_bucketing_and_overflow(self):
+        histogram = Histogram("h", bounds=(10, 100))
+        for value in (1, 10, 11, 100, 101, 5000):
+            histogram.observe(value)
+        # counts: <=10, <=100, overflow
+        assert histogram.counts == [2, 2, 2]
+        assert histogram.count == 6
+        assert histogram.minimum == 1
+        assert histogram.maximum == 5000
+
+    def test_bounds_are_sorted(self):
+        histogram = Histogram("h", bounds=(100, 10, 50))
+        assert histogram.bounds == (10, 50, 100)
+
+    def test_percentiles_are_bucket_edges(self):
+        histogram = Histogram("h", bounds=(10, 100, 1000))
+        for _ in range(90):
+            histogram.observe(5)
+        for _ in range(10):
+            histogram.observe(500)
+        assert histogram.percentile(0.50) == 10.0
+        assert histogram.percentile(0.90) == 10.0
+        assert histogram.percentile(0.99) == 1000.0
+
+    def test_percentile_overflow_reports_maximum(self):
+        histogram = Histogram("h", bounds=(10,))
+        histogram.observe(123456)
+        assert histogram.percentile(0.99) == 123456.0
+
+    def test_percentile_empty_is_none(self):
+        assert Histogram("h").percentile(0.5) is None
+
+    def test_mean(self):
+        histogram = Histogram("h")
+        histogram.observe(10)
+        histogram.observe(20)
+        assert histogram.mean == 15.0
+        assert Histogram("empty").mean == 0.0
+
+    def test_as_dict_keys_sorted(self):
+        histogram = Histogram("h", bounds=(1, 2))
+        histogram.observe(1)
+        record = histogram.as_dict()
+        assert list(record) == sorted(record)
+        assert record["buckets"] == {"1": 1, "2": 0}
+        assert record["overflow"] == 0
+
+    def test_default_buckets_cover_magnitudes(self):
+        assert DEFAULT_BUCKETS[0] == 1
+        assert DEFAULT_BUCKETS[-1] == 1_000_000
+        assert DEFAULT_BUCKETS == tuple(sorted(DEFAULT_BUCKETS))
+
+
+class TestSampledSeries:
+    def test_appends_in_order(self):
+        series = SampledSeries("iq")
+        series.append(0, 3)
+        series.append(256, 7)
+        assert series.samples == [(0, 3), (256, 7)]
+        assert series.last() == (256, 7)
+        assert series.dropped == 0
+
+    def test_cap_counts_drops_never_silent(self):
+        series = SampledSeries("iq", max_samples=2)
+        for cycle in range(5):
+            series.append(cycle, cycle)
+        assert len(series.samples) == 2
+        assert series.dropped == 3
+        assert series.as_dict()["dropped"] == 3
+
+    def test_last_empty(self):
+        assert SampledSeries("iq").last() is None
+
+    def test_as_dict_samples_are_pairs(self):
+        series = SampledSeries("iq")
+        series.append(10, 4)
+        assert series.as_dict()["samples"] == [[10, 4]]
+
+
+class TestMetricsRegistry:
+    def test_instruments_created_on_first_use(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.counter("a").inc()
+        assert registry.counter("a").value == 2
+
+    def test_histogram_bounds_fixed_at_creation(self):
+        registry = MetricsRegistry()
+        first = registry.histogram("h", bounds=(1, 2))
+        second = registry.histogram("h", bounds=(999,))
+        assert second is first
+        assert first.bounds == (1, 2)
+
+    def test_as_dict_sorted_regardless_of_creation_order(self):
+        registry = MetricsRegistry()
+        registry.counter("zebra").inc()
+        registry.counter("alpha").inc()
+        registry.gauge("g").set(1)
+        registry.sampled("s").append(0, 1)
+        data = registry.as_dict()
+        assert list(data) == ["counters", "gauges", "histograms", "series"]
+        assert list(data["counters"]) == ["alpha", "zebra"]
+
+    def test_records_ordered_by_kind_then_name(self):
+        registry = MetricsRegistry()
+        registry.sampled("series.b").append(0, 1)
+        registry.histogram("hist.a").observe(5)
+        registry.gauge("gauge.z").set(3)
+        registry.counter("counter.m").inc()
+        records = registry.records()
+        assert [record["kind"] for record in records] == [
+            "counter", "gauge", "histogram", "series"]
+        assert records[0]["name"] == "counter.m"
+        assert records[3]["name"] == "series.b"
+
+    def test_equal_registries_render_identically(self):
+        """Creation order must not leak into the rendering (cmp-based
+        CI checks depend on this)."""
+        import json
+
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        forward.counter("a").inc()
+        forward.counter("b").inc(2)
+        backward.counter("b").inc(2)
+        backward.counter("a").inc()
+        assert (json.dumps(forward.as_dict(), sort_keys=True)
+                == json.dumps(backward.as_dict(), sort_keys=True))

@@ -1,0 +1,116 @@
+"""Tests for the JSON-lines schemas, validator, and CLI validator."""
+
+import json
+
+from repro.campaign.jobs import Job, JobResult
+from repro.obs.__main__ import main as obs_main
+from repro.obs.schema import (
+    JOB_METRICS_SCHEMA,
+    METRIC_SCHEMA,
+    SCHEMA_KEY,
+    TRACE_SCHEMA,
+    stamp,
+    validate_file,
+    validate_lines,
+    validate_record,
+)
+
+
+class TestStamp:
+    def test_adds_schema_field_without_mutating(self):
+        record = {"kind": "counter", "name": "c"}
+        stamped = stamp(METRIC_SCHEMA, record)
+        assert stamped[SCHEMA_KEY] == METRIC_SCHEMA
+        assert SCHEMA_KEY not in record  # original untouched
+
+
+class TestValidateRecord:
+    def test_valid_metric(self):
+        record = stamp(METRIC_SCHEMA,
+                       {"kind": "gauge", "name": "x", "value": 1})
+        assert validate_record(record) == []
+
+    def test_valid_trace_event(self):
+        record = stamp(TRACE_SCHEMA, {"name": "s", "ph": "X", "ts": 1.0,
+                                      "cat": "memo", "clock": "host"})
+        assert validate_record(record) == []
+
+    def test_missing_schema(self):
+        assert validate_record({"name": "x"}) == [
+            "missing or non-string 'schema' field"]
+
+    def test_unknown_schema(self):
+        problems = validate_record({SCHEMA_KEY: "bogus/v9"})
+        assert problems and "unknown schema" in problems[0]
+
+    def test_non_object(self):
+        problems = validate_record([1, 2])
+        assert problems and "not an object" in problems[0]
+
+    def test_missing_required_field(self):
+        record = stamp(TRACE_SCHEMA, {"name": "s", "ph": "X", "ts": 1.0,
+                                      "cat": "memo"})
+        problems = validate_record(record)
+        assert any("'clock'" in problem for problem in problems)
+
+    def test_wrong_type(self):
+        record = stamp(METRIC_SCHEMA, {"kind": "counter", "name": 7})
+        problems = validate_record(record)
+        assert any("expected str" in problem for problem in problems)
+
+    def test_enum_violation(self):
+        record = stamp(TRACE_SCHEMA, {"name": "s", "ph": "Z", "ts": 1.0,
+                                      "cat": "memo", "clock": "host"})
+        problems = validate_record(record)
+        assert any("'ph'" in problem for problem in problems)
+
+
+class TestValidateLines:
+    def test_blank_lines_skipped(self):
+        line = json.dumps(stamp(METRIC_SCHEMA,
+                                {"kind": "counter", "name": "c"}))
+        assert validate_lines(["", line, "  "]) == []
+
+    def test_bad_json_reported_with_line_number(self):
+        problems = validate_lines(["{not json"])
+        assert problems and problems[0].startswith("line 1: not JSON")
+
+
+class TestJobMetricsSchema:
+    def make_record(self):
+        job = Job("compress", "fast", "tiny")
+        result = JobResult(job=job, status="ok", host_seconds=0.25)
+        return result.metrics_record()
+
+    def test_job_record_is_stamped_and_valid(self):
+        record = self.make_record()
+        assert record[SCHEMA_KEY] == JOB_METRICS_SCHEMA
+        assert validate_record(record) == []
+
+    def test_failed_status_valid(self):
+        job = Job("compress", "fast", "tiny")
+        result = JobResult(job=job, status="failed", error="boom")
+        assert validate_record(result.metrics_record()) == []
+
+
+class TestCliValidator:
+    def write(self, tmp_path, name, lines):
+        path = tmp_path / name
+        path.write_text("\n".join(lines) + "\n")
+        return str(path)
+
+    def test_valid_file_exit_zero(self, tmp_path, capsys):
+        line = json.dumps(stamp(METRIC_SCHEMA,
+                                {"kind": "counter", "name": "c"}))
+        path = self.write(tmp_path, "ok.jsonl", [line])
+        assert obs_main([path]) == 0
+        assert validate_file(path) == []
+
+    def test_invalid_file_exit_one(self, tmp_path, capsys):
+        path = self.write(tmp_path, "bad.jsonl", ['{"schema": "nope"}'])
+        assert obs_main([path]) == 1
+        problems = validate_file(path)
+        assert problems and path in problems[0]
+
+    def test_missing_file_exit_two(self, tmp_path):
+        assert obs_main([str(tmp_path / "absent.jsonl")]) == 2

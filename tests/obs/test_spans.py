@@ -1,0 +1,149 @@
+"""Tests for the span tracer, sinks, and the Chrome exporter."""
+
+import io
+import json
+
+from repro.obs.chrome import (
+    PID_HOST,
+    PID_SIM,
+    chrome_event,
+    chrome_trace,
+    render_chrome_trace,
+)
+from repro.obs.schema import TRACE_SCHEMA, validate_lines
+from repro.obs.spans import (
+    CLOCK_HOST,
+    CLOCK_SIM,
+    JsonlTraceSink,
+    NullTraceSink,
+    RingBufferSink,
+    SpanTracer,
+    TraceEvent,
+    events_as_dicts,
+)
+
+
+class TestSpanTracer:
+    def test_span_emits_complete_event_with_duration(self):
+        sink = RingBufferSink()
+        tracer = SpanTracer(sink)
+        with tracer.span("memo.record", cat="memo", args={"pc": 64}):
+            pass
+        [event] = sink.events
+        assert event.ph == "X"
+        assert event.name == "memo.record"
+        assert event.cat == "memo"
+        assert event.clock == CLOCK_HOST
+        assert event.dur is not None and event.dur >= 0
+        assert event.args == {"pc": 64}
+
+    def test_spans_nest_and_both_emit(self):
+        sink = RingBufferSink()
+        tracer = SpanTracer(sink)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        # inner exits first, so it lands in the sink first.
+        assert [event.name for event in sink.events] == ["inner", "outer"]
+
+    def test_span_emitted_even_on_exception(self):
+        sink = RingBufferSink()
+        tracer = SpanTracer(sink)
+        try:
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert [event.name for event in sink.events] == ["boom"]
+
+    def test_instant_and_counter_sample(self):
+        sink = RingBufferSink()
+        tracer = SpanTracer(sink)
+        tracer.instant("job-ok", cat="campaign")
+        tracer.counter_sample("memo.sampled", 512, {"iq_occupancy": 9})
+        instant, counter = sink.events
+        assert (instant.ph, instant.clock) == ("i", CLOCK_HOST)
+        assert (counter.ph, counter.clock) == ("C", CLOCK_SIM)
+        assert counter.ts == 512
+        assert counter.args == {"iq_occupancy": 9}
+
+    def test_timestamps_are_monotonic(self):
+        tracer = SpanTracer(NullTraceSink())
+        first = tracer.now_us()
+        second = tracer.now_us()
+        assert second >= first >= 0
+
+    def test_fan_out_to_multiple_sinks(self):
+        ring_a, ring_b = RingBufferSink(), RingBufferSink()
+        tracer = SpanTracer(ring_a)
+        tracer.add_sink(ring_b)
+        tracer.instant("tick")
+        assert len(ring_a) == len(ring_b) == 1
+
+
+class TestRingBufferSink:
+    def test_keeps_most_recent_and_counts_drops(self):
+        sink = RingBufferSink(capacity=3)
+        for index in range(10):
+            sink.emit(TraceEvent(f"e{index}", "i", index))
+        assert sink.emitted == 10
+        assert sink.dropped == 7
+        assert [event.name for event in sink.events] == ["e7", "e8", "e9"]
+
+
+class TestJsonlTraceSink:
+    def test_lines_are_schema_stamped_and_valid(self):
+        stream = io.StringIO()
+        sink = JsonlTraceSink(stream)
+        sink.emit(TraceEvent("memo.replay", "X", 1.0, cat="memo", dur=2.5))
+        sink.emit(TraceEvent("pipeline.cycle", "C", 300, clock=CLOCK_SIM,
+                             args={"occupancy": 4}))
+        sink.close()
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert validate_lines(lines) == []
+        first = json.loads(lines[0])
+        assert first["schema"] == TRACE_SCHEMA
+        assert first["dur"] == 2.5
+
+
+class TestTraceEvent:
+    def test_as_dict_sorted_and_sparse(self):
+        event = TraceEvent("x", "i", 5.0, args={"b": 1, "a": 2})
+        record = event.as_dict()
+        assert list(record) == ["cat", "clock", "name", "ph", "ts", "args"]
+        assert list(record["args"]) == ["a", "b"]
+        assert "dur" not in record
+
+    def test_events_as_dicts(self):
+        events = [TraceEvent("a", "i", 1), TraceEvent("b", "i", 2)]
+        assert [r["name"] for r in events_as_dicts(events)] == ["a", "b"]
+
+
+class TestChromeExport:
+    def test_clock_maps_to_process(self):
+        host = chrome_event(TraceEvent("span", "X", 1.0, dur=2.0))
+        sim = chrome_event(TraceEvent("track", "C", 100, clock=CLOCK_SIM))
+        assert host["pid"] == PID_HOST
+        assert sim["pid"] == PID_SIM
+
+    def test_zero_length_span_gets_visible_sliver(self):
+        record = chrome_event(TraceEvent("s", "X", 1.0, dur=0.0))
+        assert record["dur"] == 0.01
+
+    def test_document_structure(self):
+        document = chrome_trace([TraceEvent("s", "X", 0.0, dur=1.0)])
+        assert document["displayTimeUnit"] == "ms"
+        metadata = [e for e in document["traceEvents"] if e["ph"] == "M"]
+        assert {e["pid"] for e in metadata} == {PID_HOST, PID_SIM}
+        # Metadata first, then the payload events in emission order.
+        assert document["traceEvents"][-1]["name"] == "s"
+
+    def test_render_is_valid_json_and_deterministic(self):
+        events = [TraceEvent("a", "i", 1, clock=CLOCK_SIM),
+                  TraceEvent("b", "C", 2, clock=CLOCK_SIM,
+                             args={"v": 3})]
+        text = render_chrome_trace(events)
+        assert text == render_chrome_trace(events)
+        parsed = json.loads(text)
+        assert len(parsed["traceEvents"]) == 4  # 2 metadata + 2 payload

@@ -88,6 +88,51 @@ class TestMemoStats:
         assert memo.max_chain_length == 0
 
 
+class TestGoldenKeyOrder:
+    """as_dict key order is a documented, schema-like contract: exported
+    documents are diffed byte-for-byte across runs and releases, so any
+    reordering must show up as an explicit golden-test edit here."""
+
+    MEMO_KEYS = [
+        "actions_allocated",
+        "actions_replayed",
+        "avg_chain_length",
+        "cache_bytes",
+        "configs_allocated",
+        "configs_replayed",
+        "detailed_cycles",
+        "detailed_fraction",
+        "detailed_instructions",
+        "evictions",
+        "max_chain_length",
+        "peak_cache_bytes",
+        "replay_episodes",
+        "replayed_cycles",
+        "replayed_instructions",
+    ]
+
+    RESULT_KEYS = [
+        "cache_stats",
+        "cycles",
+        "host_seconds",
+        "instructions",
+        "ipc",
+        "name",
+        "output",
+        "sim_stats",
+    ]
+
+    def test_memo_stats_golden_key_order(self):
+        assert list(MemoStats().as_dict()) == self.MEMO_KEYS
+
+    def test_simulation_result_golden_key_order(self):
+        assert list(make_result().as_dict()) == self.RESULT_KEYS
+
+    def test_keys_are_sorted(self):
+        assert self.MEMO_KEYS == sorted(self.MEMO_KEYS)
+        assert self.RESULT_KEYS == sorted(self.RESULT_KEYS)
+
+
 class TestStatsEquality:
     def test_simstats_equality(self):
         a, b = SimStats(), SimStats()
