@@ -79,6 +79,8 @@ def simulate(
     policy: Optional[Union[PolicySpec, ReplacementPolicy]] = None,
     cache_dir: Optional[str] = None,
     obs=None,
+    audit_every: Optional[int] = None,
+    audit_seed: int = 0,
 ) -> SimulationResult:
     """Simulate one program under one engine; returns the result.
 
@@ -90,15 +92,18 @@ def simulate(
     p-action cache store. *obs* is an optional
     :class:`repro.obs.Observer`; telemetry is off (and free) without
     one, and never changes simulated results either way — see
-    docs/observability.md.
+    docs/observability.md. *audit_every* (``fast`` only) enables the
+    :class:`~repro.guard.GuardedEngine`'s online replay audits —
+    results stay bit-identical to an unguarded run; see
+    docs/robustness.md.
     """
     executable = _resolve_executable(exe_or_name, scale)
     if isinstance(policy, PolicySpec):
         policy = policy.build()
-    store = CacheStore(cache_dir) if cache_dir else None
+    store = CacheStore(cache_dir, obs=obs) if cache_dir else None
     result, _ = simulate_executable(
         executable, engine, params=params, policy=policy, store=store,
-        obs=obs,
+        obs=obs, audit_every=audit_every, audit_seed=audit_seed,
     )
     return result
 
@@ -118,6 +123,8 @@ def run_campaign(
     progress: Union[ProgressSink, str, None] = None,
     name: str = "campaign",
     obs=None,
+    audit_every: Optional[int] = None,
+    audit_seed: int = 0,
 ) -> CampaignResult:
     """Execute a simulation campaign; returns merged results.
 
@@ -131,7 +138,9 @@ def run_campaign(
     :meth:`~repro.campaign.engine.CampaignResult.canonical_json`.
     *obs* is an optional :class:`repro.obs.Observer`; the runner traces
     job lifecycles through it (and, on the serial ``workers=0`` path,
-    the simulations themselves).
+    the simulations themselves). *audit_every* turns on online replay
+    audits for every ``fast`` job (see docs/robustness.md) without
+    changing canonical output.
     """
     if jobs is not None:
         campaign = Campaign(jobs=tuple(jobs), name=name)
@@ -141,6 +150,19 @@ def run_campaign(
         campaign = Campaign.grid(
             names, simulators, scale=scale, params=params,
             include_native=include_native, name=name,
+        )
+    if audit_every is not None:
+        from dataclasses import replace
+
+        campaign = Campaign(
+            jobs=tuple(
+                replace(job, audit_every=audit_every,
+                        audit_seed=audit_seed)
+                if job.simulator == "fast" and job.kind == "simulate"
+                else job
+                for job in campaign.jobs
+            ),
+            name=campaign.name,
         )
     if isinstance(progress, str):
         sink = make_sink(progress)

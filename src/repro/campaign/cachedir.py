@@ -16,7 +16,13 @@ the same binding, so either outcome is sound — the binding signature is
 re-imposed on load and replay never trusts a cache for the wrong
 binary). A corrupt or truncated file is treated as a miss, never an
 error: warm-start is an optimisation, and the bit-identical invariant
-guarantees a cold run produces the same simulated results.
+guarantees a cold run produces the same simulated results. Corrupt
+files are **quarantined**, not silently skipped: the damaged file is
+atomically renamed to ``<name>.bad`` (preserving the evidence and
+preventing every later run from tripping over it), counted in the
+``guard.cache_quarantined`` obs metric, and reported through the
+progress sink as a ``cache-quarantined`` event (a WARNING line in
+text mode) — see docs/robustness.md.
 """
 
 from __future__ import annotations
@@ -27,15 +33,23 @@ from typing import List, Optional, Union
 from repro.errors import MemoizationError
 from repro.memo.pcache import PActionCache
 from repro.memo.persist import load_pcache, save_pcache
+from repro.obs.core import ensure_observer
 
 _SUFFIX = ".fspc"
+#: Appended to a corrupt cache file's name when it is quarantined.
+QUARANTINE_SUFFIX = ".bad"
 
 
 class CacheStore:
     """A directory of persisted p-action caches keyed by signature."""
 
-    def __init__(self, root: Union[str, "os.PathLike"]):
+    def __init__(self, root: Union[str, "os.PathLike"], obs=None,
+                 sink=None):
         self.root = os.fspath(root)
+        self.obs = ensure_observer(obs)
+        self.sink = sink
+        #: Base names of files quarantined by this store instance.
+        self.quarantined: List[str] = []
         os.makedirs(self.root, exist_ok=True)
 
     def path_for(self, signature: bytes) -> str:
@@ -45,21 +59,43 @@ class CacheStore:
     def load(self, signature: bytes) -> Optional[PActionCache]:
         """Return the persisted cache for *signature*, or None.
 
-        Missing, truncated, or otherwise unreadable files — and files
-        whose stored binding does not match (should never happen, but a
-        hash collision on the file name must not poison a run) — all
-        miss.
+        Missing files miss silently. Corrupt or unreadable files — and
+        files whose stored binding does not match (should never happen,
+        but a hash collision on the file name must not poison a run) —
+        miss *and* are quarantined: renamed to ``<name>.bad`` so later
+        runs re-record a clean cache instead of re-parsing damage.
         """
         path = self.path_for(signature)
         try:
             cache = load_pcache(path)
         except FileNotFoundError:
             return None
-        except (MemoizationError, OSError, IndexError):
+        except (MemoizationError, OSError, IndexError) as exc:
+            self._quarantine(path, exc)
             return None
         if cache._bound_program != signature:
+            self._quarantine(path, MemoizationError(
+                "persisted cache bound to a different program"))
             return None
         return cache
+
+    def _quarantine(self, path: str, exc: Exception) -> None:
+        """Rename a corrupt cache file aside and report it."""
+        name = os.path.basename(path)
+        try:
+            os.replace(path, path + QUARANTINE_SUFFIX)
+        except OSError:
+            # Concurrent worker already moved it (or the file vanished);
+            # the report below still records that *we* hit corruption.
+            pass
+        self.quarantined.append(name)
+        if self.obs.enabled:
+            self.obs.counter("guard.cache_quarantined")
+            self.obs.event("guard.cache-quarantined", cat="guard",
+                           file=name, error=str(exc))
+        if self.sink is not None:
+            self.sink.emit("cache-quarantined", file=name,
+                           error=str(exc))
 
     def store(self, signature: bytes, cache: PActionCache,
               known_nodes: int = 0) -> bool:

@@ -233,7 +233,9 @@ class CampaignRunner:
     # -- serial in-process path -----------------------------------------
 
     def _run_inline(self, campaign: Campaign) -> List[JobResult]:
-        store = CacheStore(self.cache_dir) if self.cache_dir else None
+        store = (CacheStore(self.cache_dir, obs=self.obs,
+                            sink=self.sink)
+                 if self.cache_dir else None)
         results = []
         for job in campaign.jobs:
             self.sink.emit("job-start", key=job.key, attempt=1)

@@ -90,6 +90,14 @@ class Job:
     #: Executor registered in :mod:`repro.campaign.worker`. The default
     #: runs a simulator; tests register fault-injecting kinds.
     kind: str = "simulate"
+    #: Online replay auditing (``fast`` jobs only): sample every Nth
+    #: replay episode through :class:`repro.guard.engine.GuardedEngine`.
+    #: None disables guarding. Deliberately **not** part of the key:
+    #: auditing must never change canonical results, so a guarded and
+    #: an unguarded run of the same coordinates are the same
+    #: measurement.
+    audit_every: Optional[int] = None
+    audit_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.kind == "simulate" and self.simulator not in SIMULATORS:

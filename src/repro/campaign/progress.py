@@ -54,7 +54,11 @@ def _render_text(kind: str, fields: dict) -> str:
     """One human-readable line per event."""
     if kind == "log":
         return str(fields.get("message", ""))
-    parts = [kind]
+    parts = []
+    if kind == "cache-quarantined":
+        # Cache rot must be visible to operators, not a silent miss.
+        parts.append("WARNING:")
+    parts.append(kind)
     key = fields.get("key")
     if key is not None:
         parts.append(str(key))

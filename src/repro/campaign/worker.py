@@ -29,6 +29,7 @@ from typing import Callable, Dict, Optional
 from repro.campaign.cachedir import CacheStore
 from repro.campaign.jobs import Job, JobResult, NativeRun
 from repro.emulator.functional import Interpreter
+from repro.guard import faults
 from repro.memo.engine import run_signature
 from repro.sim.fastsim import FastSim
 from repro.uarch.params import ProcessorParams
@@ -73,6 +74,8 @@ def simulate_executable(
     policy=None,
     store: Optional[CacheStore] = None,
     obs=None,
+    audit_every: Optional[int] = None,
+    audit_seed: int = 0,
 ):
     """Run one simulator over *executable*; returns (result, metrics).
 
@@ -82,7 +85,10 @@ def simulate_executable(
     eviction behaviour is part of the experiment, so it must start from
     the same (cold) cache every time. *obs* is an
     :class:`~repro.obs.Observer` (or None — telemetry off); observers
-    read simulation state and never influence results.
+    read simulation state and never influence results. *audit_every*
+    (``fast`` only) routes the run through the
+    :class:`~repro.guard.engine.GuardedEngine`, which samples replay
+    episodes and re-verifies them against a fresh detailed simulator.
     """
     metrics: Dict[str, object] = {}
 
@@ -101,9 +107,23 @@ def simulate_executable(
                 metrics["warm_start"] = True
                 if obs is not None:
                     obs.counter("campaign.warm_starts")
+        if pcache is not None:
+            plan = faults.active_plan()
+            if plan is not None:
+                injected = faults.apply_memory_faults(pcache, plan)
+                if injected:
+                    metrics["faults_injected"] = injected
         sim = FastSim(executable, params=params, policy=policy,
-                      pcache=pcache, obs=obs)
+                      pcache=pcache, obs=obs,
+                      audit_every=audit_every, audit_seed=audit_seed)
         result = sim.run()
+        if audit_every is not None:
+            metrics["audits"] = sim.engine.audits
+            metrics["audit_divergences"] = sim.engine.divergences
+            if sim.engine.reports:
+                metrics["divergence_reports"] = [
+                    report.as_dict() for report in sim.engine.reports
+                ]
         if signature is not None:
             metrics["cache_saved"] = store.store(
                 signature, sim.pcache, known_nodes
@@ -145,7 +165,11 @@ def _simulate(job: Job, store: Optional[CacheStore],
     result, metrics = simulate_executable(
         executable, job.simulator, params=job.params, policy=policy,
         store=store, obs=obs,
+        audit_every=getattr(job, "audit_every", None),
+        audit_seed=getattr(job, "audit_seed", 0),
     )
+    if store is not None and store.quarantined:
+        metrics["cache_quarantined"] = list(store.quarantined)
     return JobResult(job=job, status="ok", result=result, metrics=metrics)
 
 
@@ -178,6 +202,10 @@ def execute_job(job: Job, store: Optional[CacheStore] = None,
     telemetry local.
     """
     started = time.perf_counter()  # repro-lint: disable=det/time-dependent
+    plan = faults.active_plan()
+    if plan is not None:
+        # Chaos hook: may os._exit() this process (crash-once per plan).
+        faults.maybe_crash(job.key, plan)
     executor = _JOB_KINDS.get(job.kind)
     if executor is None:
         outcome = JobResult(

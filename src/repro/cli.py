@@ -5,8 +5,14 @@ Subcommands (``fastsim-repro <command> --help`` for each)::
     list                      show the workload suite
     params                    print the processor model (paper Table 1)
     run WORKLOAD              simulate one workload under all simulators
+                              (--guard / --audit-every N for online
+                              replay audits)
     campaign                  parallel campaign over the suite
-                              (--workers/--cache-dir/--timeout/--retries)
+                              (--workers/--cache-dir/--timeout/--retries,
+                              --guard/--audit-every)
+    chaos                     deterministic fault-injection drill:
+                              prove a fault-riddled warm campaign is
+                              byte-identical to a clean cold run
     mix                       dynamic instruction-mix table
     trace WORKLOAD            per-cycle pipeline dump (--cycles N)
     profile WORKLOAD          pipeline utilization report
@@ -87,6 +93,31 @@ def _obs_options() -> argparse.ArgumentParser:
     return parent
 
 
+def _guard_options() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--guard", action="store_true",
+                        help="audit every replay episode against "
+                             "detailed re-execution (shorthand for "
+                             "--audit-every 1)")
+    parent.add_argument("--audit-every", type=int, metavar="N",
+                        help="audit every Nth replay episode "
+                             "(deterministically sampled; see "
+                             "docs/robustness.md)")
+    parent.add_argument("--audit-seed", type=int, default=0,
+                        help="seed for audit sampling phase "
+                             "(default 0)")
+    return parent
+
+
+def _effective_audit(args: argparse.Namespace):
+    """Resolve --guard/--audit-every to an audit_every value (or None)."""
+    if getattr(args, "audit_every", None) is not None:
+        return args.audit_every
+    if getattr(args, "guard", False):
+        return 1
+    return None
+
+
 def _pool_options() -> argparse.ArgumentParser:
     parent = argparse.ArgumentParser(add_help=False)
     parent.add_argument("--workers", type=int, default=0,
@@ -115,19 +146,20 @@ def build_parser() -> argparse.ArgumentParser:
     suite = _suite_options()
     pool = _pool_options()
     obs = _obs_options()
+    guard = _guard_options()
 
     commands.add_parser("list", parents=[quiet],
                         help="show the workload suite")
     commands.add_parser("params", parents=[quiet],
                         help="print the processor model")
 
-    run = commands.add_parser("run", parents=[scale, quiet, obs],
+    run = commands.add_parser("run", parents=[scale, quiet, obs, guard],
                               help="simulate one workload under all "
                                    "simulators")
     run.add_argument("workload", help="workload name")
 
     campaign = commands.add_parser(
-        "campaign", parents=[scale, suite, quiet, pool, obs],
+        "campaign", parents=[scale, suite, quiet, pool, obs, guard],
         help="run a parallel simulation campaign",
     )
     campaign.add_argument(
@@ -143,6 +175,30 @@ def build_parser() -> argparse.ArgumentParser:
                       "(byte-identical across worker counts)")
     campaign.add_argument(
         "--metrics", help="write per-job JSON-lines metrics here")
+
+    chaos = commands.add_parser(
+        "chaos", parents=[scale, suite, quiet],
+        help="deterministic fault-injection drill (byte-identical "
+             "output under disk corruption, forced divergence, and a "
+             "worker crash)")
+    chaos.add_argument("--workers", type=int, default=2,
+                       help="worker processes for the chaotic run "
+                            "(default 2; must be >= 1)")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="fault-plan seed (default 0)")
+    chaos.add_argument("--disk-bit-flips", type=int, default=1,
+                       help="persisted cache files to bit-flip")
+    chaos.add_argument("--disk-truncations", type=int, default=1,
+                       help="persisted cache files to truncate")
+    chaos.add_argument("--no-divergence", action="store_true",
+                       help="skip the forced in-memory divergence")
+    chaos.add_argument("--no-crash", action="store_true",
+                       help="skip the injected worker crash")
+    chaos.add_argument("--work-dir",
+                       help="directory for caches and crash markers "
+                            "(default: a fresh temporary directory)")
+    chaos.add_argument("--json", dest="chaos_json", metavar="FILE",
+                       help="write the machine-readable drill summary")
 
     commands.add_parser("mix", parents=[scale, suite, quiet],
                         help="dynamic instruction-mix table")
@@ -298,8 +354,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"workload {args.workload} [{args.scale}]: "
           f"{len(executable.text) // 4} static instructions")
     obs = _make_obs(args)
+    audit_every = _effective_audit(args)
     fast = simulate(args.workload, engine="fast", scale=args.scale,
-                    obs=obs)
+                    obs=obs, audit_every=audit_every,
+                    audit_seed=args.audit_seed)
     slow = simulate(args.workload, engine="slow", scale=args.scale,
                     obs=obs)
     base = simulate(args.workload, engine="baseline", scale=args.scale,
@@ -308,6 +366,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"  {result.summary()}")
     exact = "yes" if fast.timing_equal(slow) else "NO (bug!)"
     print(f"  FastSim == SlowSim cycle-exact: {exact}")
+    if audit_every is not None:
+        print(f"  replay audits: every {audit_every} episode(s), "
+              f"seed {args.audit_seed}")
     print(f"  memoization speedup: "
           f"{slow.host_seconds / fast.host_seconds:.1f}x "
           f"(detailed fraction "
@@ -337,6 +398,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         progress=progress,
         name=f"suite-{args.scale}",
         obs=obs,
+        audit_every=_effective_audit(args),
+        audit_seed=args.audit_seed,
     )
     if args.out:
         with open(args.out, "w") as stream:
@@ -361,6 +424,34 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             line = f"FAILED: {job_result.error}"
         print(f"  {job_result.key:32s} {line}")
     return 0 if result.ok else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.campaign.progress import NullSink, TextSink
+    from repro.guard.chaos import main_json, run_chaos
+
+    sink = NullSink() if args.quiet else TextSink()
+    try:
+        report = run_chaos(
+            workloads=_selected(args),
+            scale=args.scale,
+            workers=args.workers,
+            seed=args.seed,
+            disk_bit_flips=args.disk_bit_flips,
+            disk_truncations=args.disk_truncations,
+            force_divergence=not args.no_divergence,
+            crash=not args.no_crash,
+            work_dir=args.work_dir,
+            sink=sink,
+        )
+    except ValueError as exc:
+        print(f"chaos: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    if args.chaos_json:
+        with open(args.chaos_json, "w") as stream:
+            stream.write(main_json(report))
+    return 0 if report.ok else 1
 
 
 def _cmd_mix(args: argparse.Namespace) -> int:
@@ -569,6 +660,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "mix":
         return _cmd_mix(args)
     if args.command == "trace":

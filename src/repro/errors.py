@@ -2,7 +2,24 @@
 
 Every error raised by this package derives from :class:`ReproError`, so
 callers embedding the simulator can catch one type. Subsystems raise the
-more specific subclasses below.
+more specific subclasses below::
+
+    ReproError
+    ├── AssemblerError          malformed assembly source
+    ├── EncodingError           instruction (de)coding failure
+    ├── EmulationError          functional-execution fault
+    │   └── MemoryFault         misaligned / out-of-segment access
+    ├── SimulationError         timing simulator inconsistency
+    ├── ConfigCodecError        μ-arch configuration (de)code failure
+    ├── MemoizationError        p-action cache structural violation
+    │   └── PCacheCorruptError  persisted cache failed integrity checks
+    └── WorkloadError           invalid workload parameters
+
+:class:`PCacheCorruptError` is the *only* exception the persistence
+layer (:mod:`repro.memo.persist`) lets escape for damaged input: raw
+``struct.error`` / ``EOFError`` / decoder exceptions are wrapped so
+callers can distinguish "this file is rotten" from "this code is
+broken" (see docs/robustness.md).
 """
 
 from __future__ import annotations
@@ -49,6 +66,29 @@ class ConfigCodecError(ReproError):
 
 class MemoizationError(ReproError):
     """Raised for p-action cache structural violations."""
+
+
+class PCacheCorruptError(MemoizationError):
+    """A persisted p-action cache failed its integrity checks.
+
+    Raised by :mod:`repro.memo.persist` for any damaged input —
+    truncation, bit rot, bad checksums, unknown tags — naming where the
+    damage was found. ``offset`` is the byte offset in the stream (or
+    -1 when unknown) and ``record`` the zero-based node-record index
+    (or -1 for header/trailer damage).
+    """
+
+    def __init__(self, message: str, offset: int = -1, record: int = -1):
+        self.offset = offset
+        self.record = record
+        where = []
+        if record >= 0:
+            where.append(f"record {record}")
+        if offset >= 0:
+            where.append(f"offset {offset}")
+        if where:
+            message = f"{message} ({', '.join(where)})"
+        super().__init__(message)
 
 
 class WorkloadError(ReproError):

@@ -1,0 +1,251 @@
+"""The chaos drill — prove robustness end-to-end, deterministically.
+
+:func:`run_chaos` stages the full failure gauntlet against a real
+campaign and checks the one property everything in this repo hangs on:
+**canonical output is byte-identical no matter what breaks**.
+
+The drill:
+
+1. run the campaign clean — cold caches, serial, unguarded — and keep
+   its :meth:`~repro.campaign.engine.CampaignResult.canonical_json` as
+   the baseline;
+2. run it again with a shared cache directory to persist p-action
+   caches;
+3. corrupt the persisted files per a seeded :class:`FaultPlan`
+   (bit flips + truncations), and install the plan so warm-loading
+   workers also corrupt their in-memory caches (forced divergence on
+   the root chain) and the first attempt of one job crashes outright;
+4. run the campaign warm, guarded (``audit_every=1``), across a worker
+   pool — every layer of defence fires: FSPC checksums quarantine the
+   damaged files, the :class:`~repro.guard.engine.GuardedEngine`
+   detects the divergences and falls back to detailed simulation, the
+   campaign engine retries the crashed worker;
+5. byte-compare the canonical documents and report what fired.
+
+Everything is seeded; the same arguments injure the same bytes and the
+drill passes or fails reproducibly. The CI ``chaos`` job runs this via
+``fastsim-repro chaos`` (see docs/robustness.md).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.campaign.cachedir import QUARANTINE_SUFFIX
+from repro.campaign.engine import Campaign, CampaignRunner
+from repro.campaign.progress import NullSink, ProgressSink
+from repro.guard.faults import (
+    FaultPlan,
+    clear_plan,
+    inject_disk_faults,
+    install_plan,
+)
+
+#: Default workload subset — small enough for CI, varied enough to
+#: exercise loads, stores, branches, and rollbacks.
+DEFAULT_WORKLOADS = ("compress", "go", "tomcatv")
+
+
+@dataclass
+class ChaosReport:
+    """What the drill did and whether the invariant held."""
+
+    identical: bool
+    jobs: int
+    failed: int
+    workers: int
+    crash_job: str
+    crashed: bool
+    disk_faults: List[Dict[str, object]] = field(default_factory=list)
+    memory_faults: List[str] = field(default_factory=list)
+    quarantined: List[str] = field(default_factory=list)
+    divergences: int = 0
+    audits: int = 0
+    baseline_json: str = ""
+    chaos_json: str = ""
+
+    #: Whether the plan asked for a forced in-memory divergence.
+    expected_divergence: bool = True
+
+    @property
+    def ok(self) -> bool:
+        """The drill passes only if output survived *and* the faults
+        actually fired (a drill that injures nothing proves nothing)."""
+        return (self.identical and self.failed == 0
+                and bool(self.disk_faults) and bool(self.quarantined)
+                and (self.divergences > 0
+                     or not self.expected_divergence)
+                and (self.crashed or not self.crash_job))
+
+    def render(self) -> str:
+        lines = [
+            f"chaos drill: {'PASS' if self.ok else 'FAIL'}",
+            f"  jobs                 {self.jobs} "
+            f"({self.failed} failed), workers={self.workers}",
+            f"  canonical identical  {self.identical}",
+            f"  disk faults          {len(self.disk_faults)} "
+            f"({', '.join(sorted({str(f['kind']) for f in self.disk_faults}))})"
+            if self.disk_faults else "  disk faults          0",
+            f"  quarantined files    {len(self.quarantined)}",
+            f"  memory faults        "
+            f"{', '.join(self.memory_faults) if self.memory_faults else 0}",
+            f"  audits / divergences {self.audits} / {self.divergences}",
+        ]
+        if self.crash_job:
+            status = "crashed+retried" if self.crashed else "NO CRASH"
+            lines.append(f"  worker crash         {self.crash_job} "
+                         f"({status})")
+        return "\n".join(lines)
+
+
+def _collect_guard_metrics(report: ChaosReport, results) -> None:
+    for job_result in results:
+        metrics = job_result.metrics
+        report.divergences += int(metrics.get("audit_divergences", 0))
+        report.audits += int(metrics.get("audits", 0))
+        for label in metrics.get("faults_injected", ()):
+            report.memory_faults.append(f"{job_result.key}:{label}")
+
+
+def run_chaos(
+    workloads: Optional[Sequence[str]] = None,
+    scale: str = "tiny",
+    workers: int = 2,
+    seed: int = 0,
+    disk_bit_flips: int = 1,
+    disk_truncations: int = 1,
+    force_divergence: bool = True,
+    crash: bool = True,
+    audit_every: int = 1,
+    audit_seed: int = 0,
+    work_dir: Optional[str] = None,
+    sink: Optional[ProgressSink] = None,
+    obs=None,
+) -> ChaosReport:
+    """Run the deterministic chaos drill; returns a :class:`ChaosReport`.
+
+    *work_dir* holds the cache store and crash marker (a temporary
+    directory is created — and left for inspection on failure — when
+    omitted). ``crash`` requires ``workers >= 1``: the injected crash
+    kills the executing process, which on the serial path would be the
+    caller. Disk faults must leave at least one persisted cache intact
+    or the forced divergence has no warm chain to corrupt. Any
+    installed :class:`FaultPlan` is cleared on exit.
+    """
+    if workers < 1:
+        raise ValueError("chaos needs a worker pool (workers >= 1); "
+                         "the injected crash would kill the caller")
+    names = list(workloads) if workloads else list(DEFAULT_WORKLOADS)
+    if force_divergence and disk_bit_flips + disk_truncations >= len(names):
+        raise ValueError(
+            "disk faults would corrupt every persisted cache; leave at "
+            "least one intact so the forced divergence can warm-load "
+            "(fewer faults, or more workloads)"
+        )
+    sink = sink if sink is not None else NullSink()
+
+    if work_dir is None:
+        work_dir = tempfile.mkdtemp(prefix="fastsim-chaos-")
+    cache_dir = os.path.join(work_dir, "pcache")
+    scratch = os.path.join(work_dir, "scratch")
+    os.makedirs(scratch, exist_ok=True)
+
+    def build_campaign(audited: bool) -> Campaign:
+        from dataclasses import replace
+
+        campaign = Campaign.grid(names, simulators=("fast",),
+                                 scale=scale, name=f"chaos-{scale}")
+        if not audited:
+            return campaign
+        return Campaign(
+            jobs=tuple(
+                replace(job, audit_every=audit_every,
+                        audit_seed=audit_seed)
+                for job in campaign.jobs
+            ),
+            name=campaign.name,
+        )
+
+    # 1. Clean cold serial baseline — the ground truth.
+    sink.log("chaos: baseline (cold, serial, unguarded)")
+    baseline = CampaignRunner(workers=0, sink=sink,
+                              obs=obs).run(build_campaign(False))
+    baseline_json = baseline.canonical_json()
+
+    # 2. Populate the shared cache store.
+    sink.log("chaos: recording persisted caches")
+    CampaignRunner(workers=0, cache_dir=cache_dir, sink=sink,
+                   obs=obs).run(build_campaign(False))
+
+    crash_job = build_campaign(False).jobs[0].key if crash else ""
+    plan = FaultPlan(
+        seed=seed,
+        disk_bit_flips=disk_bit_flips,
+        disk_truncations=disk_truncations,
+        force_divergence=force_divergence,
+        crash_job=crash_job,
+        scratch=scratch,
+    )
+
+    # 3. Injure the store and arm the in-process injectors.
+    disk_faults = inject_disk_faults(cache_dir, plan)
+    sink.log(f"chaos: injected {len(disk_faults)} disk faults")
+    install_plan(plan)
+    try:
+        # 4. The fault-riddled warm, guarded, parallel run.
+        sink.log(f"chaos: warm guarded campaign (workers={workers})")
+        chaotic = CampaignRunner(
+            workers=workers, cache_dir=cache_dir, sink=sink, obs=obs,
+        ).run(build_campaign(True))
+    finally:
+        clear_plan()
+    chaos_json = chaotic.canonical_json()
+
+    # 5. Verdict.
+    report = ChaosReport(
+        identical=chaos_json == baseline_json,
+        jobs=len(chaotic),
+        failed=len(chaotic.failed),
+        workers=workers,
+        crash_job=crash_job,
+        crashed=bool(crash_job) and os.path.exists(os.path.join(
+            scratch, "crashed-" + crash_job.replace(":", "_"))),
+        disk_faults=disk_faults,
+        quarantined=sorted(
+            name for name in os.listdir(cache_dir)
+            if name.endswith(QUARANTINE_SUFFIX)
+        ),
+        baseline_json=baseline_json,
+        chaos_json=chaos_json,
+        expected_divergence=force_divergence,
+    )
+    _collect_guard_metrics(report, chaotic.results)
+    if obs is not None and getattr(obs, "enabled", False):
+        obs.event("guard.chaos-drill", cat="guard",
+                  ok=report.ok, identical=report.identical,
+                  divergences=report.divergences,
+                  quarantined=len(report.quarantined))
+    return report
+
+
+def main_json(report: ChaosReport) -> str:
+    """A machine-readable drill summary (CI artifact)."""
+    payload = {
+        "ok": report.ok,
+        "identical": report.identical,
+        "jobs": report.jobs,
+        "failed": report.failed,
+        "workers": report.workers,
+        "disk_faults": report.disk_faults,
+        "memory_faults": report.memory_faults,
+        "quarantined": report.quarantined,
+        "audits": report.audits,
+        "divergences": report.divergences,
+        "crash_job": report.crash_job,
+        "crashed": report.crashed,
+    }
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"

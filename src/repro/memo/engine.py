@@ -36,9 +36,10 @@ for every workload.
 
 from __future__ import annotations
 
+import struct
 from typing import List, Optional, Tuple
 
-from repro.errors import SimulationError
+from repro.errors import MemoizationError, SimulationError
 from repro.isa.program import Executable
 from repro.memo.actions import (
     AdvanceNode,
@@ -464,9 +465,21 @@ class FastForwardEngine:
             self.obs.counter("memo.resyncs")
             self.obs.observe("memo.resync_log_length", len(chain_log))
         with self.obs.span("memo.resync", cat="memo"):
-            entries, fetch_pc, stalled, halted = decode_config(
-                blob, self.executable
-            )
+            try:
+                entries, fetch_pc, stalled, halted = decode_config(
+                    blob, self.executable
+                )
+            except MemoizationError:
+                raise
+            except (ValueError, IndexError, struct.error) as exc:
+                # A blob that cannot decode is corrupt in-memory state:
+                # the engine cannot resynchronize from it, and silently
+                # proceeding would emit wrong numbers. Surface it as
+                # the memoization failure it is (docs/robustness.md).
+                raise MemoizationError(
+                    f"cannot resynchronize: undecodable configuration "
+                    f"snapshot ({type(exc).__name__}: {exc})"
+                ) from exc
             simulator = DetailedSimulator(self.executable, self.params)
             simulator.restore(entries, fetch_pc, stalled, halted)
             generator = simulator.run()

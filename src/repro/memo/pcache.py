@@ -40,6 +40,14 @@ class PActionCache:
         self.collections = 0
         #: Identity of the program this cache's configurations describe.
         self._bound_program: Optional[bytes] = None
+        #: The key of the most recent :meth:`lookup` hit. The guard's
+        #: audit engine uses it as the *trusted* encoding of the state
+        #: a replay episode entered from (the key was produced by
+        #: ``encode_config`` moments before the hit, so it is immune to
+        #: in-memory corruption of the node's ``blob`` attribute).
+        self.last_lookup_blob: Optional[bytes] = None
+        #: Chains invalidated (quarantined) by the audit engine.
+        self.invalidations = 0
 
     def __len__(self) -> int:
         return len(self.index)
@@ -72,6 +80,7 @@ class PActionCache:
             "collections": self.collections,
             "configs_allocated": self.configs_allocated,
             "configs_live": len(self.index),
+            "invalidations": self.invalidations,
             "peak_bytes": self.peak_bytes,
             "touch_clock": self.touch_clock,
         }
@@ -83,7 +92,25 @@ class PActionCache:
         node = self.index.get(blob)
         if node is not None:
             self.touch(node)
+            self.last_lookup_blob = blob
         return node
+
+    def invalidate(self, node: ConfigNode) -> None:
+        """Quarantine *node*'s chain: unlink it and drop its index entry.
+
+        Used by the audit engine when a replayed chain diverges from
+        detailed re-execution (in-memory corruption, stale warm-start
+        state). The configuration is removed from the index — keyed by
+        identity, not by ``node.blob``, which may itself be the
+        corrupted field — and its outgoing chain is severed, so every
+        path into the node degrades to the safe pruned-chain fall-back
+        and a fresh configuration is recorded for that state.
+        """
+        for key, candidate in list(self.index.items()):
+            if candidate is node:
+                del self.index[key]
+        node.next = None
+        self.invalidations += 1
 
     def touch(self, node: Node) -> None:
         """Mark *node* as used (replay traversal / recording)."""

@@ -6,14 +6,38 @@ prefixes, repeated CI runs) can start fully warm. This module
 serialises the configuration→action graph to a flat record stream and
 back.
 
-Format (all integers big-endian):
+Two on-disk formats exist (all integers big-endian):
 
-* header: magic ``FSPC``, u32 node count, u16 binding-signature length,
-  signature bytes;
-* one record per node, identified by a dense index. Single successors
-  and outcome edges reference nodes by index (``0xFFFFFFFF`` = none).
-  Outcome-edge keys are encoded by type tag (int / control-outcome
-  tuple).
+**v2 (current, integrity-checked)** — written by :func:`write_pcache`:
+
+* preamble: magic ``FSPC``, u32 sentinel ``0xFFFFFFFF``, u16 format
+  version (2);
+* header: u32 node count, u16 binding-signature length, signature
+  bytes, u32 CRC32 over every preceding byte (preamble included);
+* one framed record per node: u32 payload length, the payload (the
+  node encoding described below), u32 CRC32 over the payload;
+* trailer: the SHA-256 digest (32 bytes) of every preceding byte.
+
+**v1 (legacy, un-checksummed)** — magic followed directly by the u32
+node count (which is capped far below the v2 sentinel, so the two
+formats are self-distinguishing), u16 signature length, signature, and
+bare node payloads. v1 files are still readable; new files are always
+written as v2 unless ``version=1`` is forced (used by compat tests).
+
+Node payloads are identical in both formats: a type tag, the node's
+fields, then either the outcome-edge table (keys encoded by type tag)
+or the single-successor index (``0xFFFFFFFF`` = none). Nodes are
+identified by dense index.
+
+Damaged input raises :class:`~repro.errors.PCacheCorruptError` — and
+only that (raw ``struct.error`` / ``EOFError`` from decode internals
+never escape), naming the failing record and byte offset.
+:func:`read_pcache`/:func:`load_pcache` accept ``strict=False`` to
+*salvage* instead: CRC-valid records are kept, damaged records are
+dropped, and every link into a dropped or missing node is severed —
+safe by construction, because the replay engine treats a severed chain
+exactly like one pruned by a replacement policy (it falls back to
+detailed simulation).
 
 The binding signature (program text + processor parameters) is stored
 and re-imposed on load, so a persisted cache can never be replayed
@@ -22,10 +46,12 @@ against the wrong binary or machine model.
 
 from __future__ import annotations
 
+import hashlib
 import io
-from typing import BinaryIO, Dict, List, Optional, Union
+import zlib
+from typing import BinaryIO, Dict, List, Optional, Tuple, Union
 
-from repro.errors import MemoizationError
+from repro.errors import MemoizationError, PCacheCorruptError
 from repro.memo.actions import (
     AdvanceNode,
     ConfigNode,
@@ -42,7 +68,17 @@ from repro.memo.pcache import PActionCache
 from repro.uarch.config_codec import config_size_bytes
 
 MAGIC = b"FSPC"
+#: Current on-disk format version.
+FORMAT_VERSION = 2
+#: Marker after the magic that distinguishes versioned (v2+) files
+#: from legacy v1 files, whose node count occupies the same bytes.
+_VERSION_SENTINEL = 0xFFFFFFFF
 _NONE = 0xFFFFFFFF
+#: Sanity bound for one framed record payload (a node encoding is tens
+#: of bytes; the largest possible edge table is well under this).
+_MAX_RECORD_BYTES = 1 << 24
+#: SHA-256 digest size (the v2 whole-file trailer).
+_TRAILER_BYTES = 32
 
 _NODE_TAGS = {
     ConfigNode: 0,
@@ -61,6 +97,15 @@ _TAG_NODES = {tag: cls for cls, tag in _NODE_TAGS.items()}
 _KEY_INT = 0
 _KEY_TUPLE = 1
 
+#: Exceptions a damaged payload can trip inside the node decoder. Only
+#: :class:`PCacheCorruptError` may escape this module for bad input.
+_DECODE_ERRORS = (IndexError, ValueError, KeyError, TypeError,
+                  EOFError, OverflowError, MemoryError)
+
+
+# ---------------------------------------------------------------------------
+# Low-level encode helpers (shared by both format versions)
+# ---------------------------------------------------------------------------
 
 def _write_u32(stream: BinaryIO, value: int) -> None:
     stream.write(value.to_bytes(4, "big"))
@@ -68,20 +113,6 @@ def _write_u32(stream: BinaryIO, value: int) -> None:
 
 def _write_i32(stream: BinaryIO, value: int) -> None:
     stream.write(value.to_bytes(4, "big", signed=True))
-
-
-def _read_u32(stream: BinaryIO) -> int:
-    raw = stream.read(4)
-    if len(raw) != 4:
-        raise MemoizationError("truncated p-action cache file")
-    return int.from_bytes(raw, "big")
-
-
-def _read_i32(stream: BinaryIO) -> int:
-    raw = stream.read(4)
-    if len(raw) != 4:
-        raise MemoizationError("truncated p-action cache file")
-    return int.from_bytes(raw, "big", signed=True)
 
 
 def _write_key(stream: BinaryIO, key) -> None:
@@ -105,23 +136,39 @@ def _write_key(stream: BinaryIO, key) -> None:
         raise MemoizationError(f"unsupported edge key {key!r}")
 
 
-def _read_key(stream: BinaryIO):
-    tag = stream.read(1)[0]
-    if tag == _KEY_INT:
-        return _read_i32(stream)
-    if tag == _KEY_TUPLE:
-        length = stream.read(1)[0]
-        items = []
-        for _ in range(length):
-            kind = stream.read(1)
-            if kind == b"b":
-                items.append(stream.read(1) == b"\x01")
-            elif kind == b"i":
-                items.append(_read_i32(stream))
-            else:
-                raise MemoizationError(f"bad key element tag {kind!r}")
-        return tuple(items)
-    raise MemoizationError(f"bad edge key tag {tag}")
+def _encode_record(node: Node, index_of: Dict[int, int]) -> bytes:
+    """One node's payload bytes (format-independent)."""
+    stream = io.BytesIO()
+    kind = type(node)
+    stream.write(bytes([_NODE_TAGS[kind]]))
+    if kind is ConfigNode:
+        _write_u32(stream, len(node.blob))
+        stream.write(node.blob)
+    elif kind is AdvanceNode or kind is EndNode:
+        _write_u32(stream, node.delta)
+    elif kind is RetireNode:
+        for field in (node.count, node.loads, node.stores,
+                      node.controls, node.branches):
+            stream.write(bytes([field]))
+    elif kind is RollbackNode:
+        _write_u32(stream, node.control_ordinal)
+        for field in (node.squashed_loads, node.squashed_stores,
+                      node.squashed_controls):
+            stream.write(bytes([field]))
+    elif kind in (LoadIssueNode, LoadPollNode, StoreIssueNode):
+        _write_u32(stream, node.ordinal)
+    # ControlNode has no payload.
+    if node.is_outcome:
+        stream.write(len(node.edges).to_bytes(2, "big"))
+        for key, successor in node.edges.items():
+            _write_key(stream, key)
+            _write_u32(stream, index_of[id(successor)])
+    else:
+        _write_u32(
+            stream,
+            index_of[id(node.next)] if node.next is not None else _NONE,
+        )
+    return stream.getvalue()
 
 
 def _collect_nodes(cache: PActionCache) -> List[Node]:
@@ -141,119 +188,365 @@ def _collect_nodes(cache: PActionCache) -> List[Node]:
     return ordered
 
 
-def write_pcache(cache: PActionCache, stream: BinaryIO) -> None:
-    """Serialise *cache* (including its program binding) to *stream*."""
+# ---------------------------------------------------------------------------
+# Writing
+# ---------------------------------------------------------------------------
+
+def write_pcache(cache: PActionCache, stream: BinaryIO,
+                 version: int = FORMAT_VERSION) -> None:
+    """Serialise *cache* (including its program binding) to *stream*.
+
+    *version* selects the on-disk format: 2 (default, integrity
+    checked) or 1 (the legacy un-checksummed layout, kept so the
+    compat reader stays honest under test).
+    """
+    if version not in (1, 2):
+        raise MemoizationError(f"unsupported FSPC version {version}")
     nodes = _collect_nodes(cache)
     index_of: Dict[int, int] = {id(n): i for i, n in enumerate(nodes)}
     signature = cache._bound_program or b""
-    stream.write(MAGIC)
-    _write_u32(stream, len(nodes))
-    stream.write(len(signature).to_bytes(2, "big"))
-    stream.write(signature)
+
+    if version == 1:
+        stream.write(MAGIC)
+        _write_u32(stream, len(nodes))
+        stream.write(len(signature).to_bytes(2, "big"))
+        stream.write(signature)
+        for node in nodes:
+            stream.write(_encode_record(node, index_of))
+        return
+
+    digest = hashlib.sha256()
+
+    def out(chunk: bytes) -> None:
+        digest.update(chunk)
+        stream.write(chunk)
+
+    header = io.BytesIO()
+    header.write(MAGIC)
+    _write_u32(header, _VERSION_SENTINEL)
+    header.write(FORMAT_VERSION.to_bytes(2, "big"))
+    _write_u32(header, len(nodes))
+    header.write(len(signature).to_bytes(2, "big"))
+    header.write(signature)
+    header_bytes = header.getvalue()
+    out(header_bytes)
+    out(zlib.crc32(header_bytes).to_bytes(4, "big"))
     for node in nodes:
-        kind = type(node)
-        stream.write(bytes([_NODE_TAGS[kind]]))
-        if kind is ConfigNode:
-            _write_u32(stream, len(node.blob))
-            stream.write(node.blob)
-        elif kind is AdvanceNode or kind is EndNode:
-            _write_u32(stream, node.delta)
-        elif kind is RetireNode:
-            for field in (node.count, node.loads, node.stores,
-                          node.controls, node.branches):
-                stream.write(bytes([field]))
-        elif kind is RollbackNode:
-            _write_u32(stream, node.control_ordinal)
-            for field in (node.squashed_loads, node.squashed_stores,
-                          node.squashed_controls):
-                stream.write(bytes([field]))
-        elif kind in (LoadIssueNode, LoadPollNode, StoreIssueNode):
-            _write_u32(stream, node.ordinal)
-        # ControlNode has no payload.
-        if node.is_outcome:
-            stream.write(len(node.edges).to_bytes(2, "big"))
-            for key, successor in node.edges.items():
-                _write_key(stream, key)
-                _write_u32(stream, index_of[id(successor)])
-        else:
-            _write_u32(
-                stream,
-                index_of[id(node.next)] if node.next is not None else _NONE,
+        payload = _encode_record(node, index_of)
+        out(len(payload).to_bytes(4, "big"))
+        out(payload)
+        out(zlib.crc32(payload).to_bytes(4, "big"))
+    stream.write(digest.digest())
+
+
+# ---------------------------------------------------------------------------
+# Reading
+# ---------------------------------------------------------------------------
+
+class _Reader:
+    """Bounded reads over an in-memory buffer, tracking the offset."""
+
+    def __init__(self, data: bytes, record: int = -1):
+        self.data = data
+        self.pos = 0
+        #: Record index attached to errors (-1 = header/structure).
+        self.record = record
+
+    def remaining(self) -> int:
+        return len(self.data) - self.pos
+
+    def corrupt(self, message: str) -> PCacheCorruptError:
+        return PCacheCorruptError(message, offset=self.pos,
+                                  record=self.record)
+
+    def read(self, count: int) -> bytes:
+        chunk = self.data[self.pos:self.pos + count]
+        if len(chunk) != count:
+            raise self.corrupt(
+                f"truncated: wanted {count} bytes, {len(chunk)} left"
             )
+        self.pos += count
+        return chunk
+
+    def u8(self) -> int:
+        return self.read(1)[0]
+
+    def u16(self) -> int:
+        return int.from_bytes(self.read(2), "big")
+
+    def u32(self) -> int:
+        return int.from_bytes(self.read(4), "big")
+
+    def i32(self) -> int:
+        return int.from_bytes(self.read(4), "big", signed=True)
 
 
-def read_pcache(stream: BinaryIO) -> PActionCache:
-    """Deserialise a cache written by :func:`write_pcache`."""
-    if stream.read(4) != MAGIC:
-        raise MemoizationError("not a p-action cache file")
-    count = _read_u32(stream)
-    sig_len = int.from_bytes(stream.read(2), "big")
-    signature = stream.read(sig_len)
-    nodes: List[Node] = []
-    links: List[Optional[object]] = []  # per node: int or [(key, int)]
-    for _ in range(count):
-        tag = stream.read(1)[0]
-        kind = _TAG_NODES.get(tag)
-        if kind is None:
-            raise MemoizationError(f"unknown node tag {tag}")
-        if kind is ConfigNode:
-            blob_len = _read_u32(stream)
-            blob = stream.read(blob_len)
-            node = ConfigNode(blob, config_size_bytes(blob))
-        elif kind is AdvanceNode:
-            node = AdvanceNode(_read_u32(stream))
-        elif kind is EndNode:
-            node = EndNode(_read_u32(stream))
-        elif kind is RetireNode:
-            fields = stream.read(5)
-            node = RetireNode(*fields)
-        elif kind is RollbackNode:
-            ordinal = _read_u32(stream)
-            fields = stream.read(3)
-            node = RollbackNode(ordinal, *fields)
-        elif kind is ControlNode:
-            node = ControlNode()
-        else:  # load issue / poll, store issue
-            node = kind(_read_u32(stream))
-        if node.is_outcome:
-            n_edges = int.from_bytes(stream.read(2), "big")
-            edge_links = []
-            for _ in range(n_edges):
-                key = _read_key(stream)
-                edge_links.append((key, _read_u32(stream)))
-            links.append(edge_links)
-        else:
-            links.append(_read_u32(stream))
-        nodes.append(node)
+def _read_key(reader: _Reader):
+    tag = reader.u8()
+    if tag == _KEY_INT:
+        return reader.i32()
+    if tag == _KEY_TUPLE:
+        length = reader.u8()
+        items = []
+        for _ in range(length):
+            kind = reader.read(1)
+            if kind == b"b":
+                items.append(reader.read(1) == b"\x01")
+            elif kind == b"i":
+                items.append(reader.i32())
+            else:
+                raise reader.corrupt(f"bad key element tag {kind!r}")
+        return tuple(items)
+    raise reader.corrupt(f"bad edge key tag {tag}")
+
+
+#: Per node: the single-successor index, or [(edge key, index), ...].
+_Link = Union[int, List[Tuple[object, int]]]
+
+
+def _parse_record(reader: _Reader) -> Tuple[Node, _Link]:
+    """Decode one node payload positioned at *reader*."""
+    tag = reader.u8()
+    kind = _TAG_NODES.get(tag)
+    if kind is None:
+        raise reader.corrupt(f"unknown node tag {tag}")
+    if kind is ConfigNode:
+        blob_len = reader.u32()
+        if blob_len > _MAX_RECORD_BYTES:
+            raise reader.corrupt(f"implausible config size {blob_len}")
+        blob = reader.read(blob_len)
+        node: Node = ConfigNode(blob, config_size_bytes(blob))
+    elif kind is AdvanceNode:
+        node = AdvanceNode(reader.u32())
+    elif kind is EndNode:
+        node = EndNode(reader.u32())
+    elif kind is RetireNode:
+        fields = reader.read(5)
+        node = RetireNode(*fields)
+    elif kind is RollbackNode:
+        ordinal = reader.u32()
+        fields = reader.read(3)
+        node = RollbackNode(ordinal, *fields)
+    elif kind is ControlNode:
+        node = ControlNode()
+    else:  # load issue / poll, store issue
+        node = kind(reader.u32())
+    if node.is_outcome:
+        n_edges = reader.u16()
+        edge_links: List[Tuple[object, int]] = []
+        for _ in range(n_edges):
+            key = _read_key(reader)
+            edge_links.append((key, reader.u32()))
+        return node, edge_links
+    return node, reader.u32()
+
+
+def _link_up(nodes: List[Optional[Node]], links: List[Optional[_Link]],
+             signature: bytes) -> PActionCache:
+    """Assemble a cache from parsed nodes, severing broken links.
+
+    ``None`` entries stand for records that were dropped during a
+    salvage; any reference to one (or to an out-of-range index) is
+    severed — the replay engine treats a severed chain like one pruned
+    by a replacement policy and falls back to detailed simulation, so
+    salvage never risks wrong timing.
+    """
+    count = len(nodes)
+
+    def resolve(target: int) -> Optional[Node]:
+        if 0 <= target < count:
+            return nodes[target]
+        return None
 
     cache = PActionCache()
     if signature:
         cache.bind_program(signature)
     for node, link in zip(nodes, links):
+        if node is None:
+            continue
         if node.is_outcome:
             for key, target in link:
-                node.edges[key] = nodes[target]
+                successor = resolve(target)
+                if successor is not None:
+                    node.edges[key] = successor
         elif link != _NONE:
-            node.next = nodes[link]
+            node.next = resolve(link)
         if type(node) is ConfigNode:
             cache.index[node.blob] = node
+    live = [n for n in nodes if n is not None]
     cache.configs_allocated = sum(
-        1 for n in nodes if type(n) is ConfigNode
+        1 for n in live if type(n) is ConfigNode
     )
-    cache.actions_allocated = len(nodes) - cache.configs_allocated
+    cache.actions_allocated = len(live) - cache.configs_allocated
     cache.bytes_used = cache._measure()
     cache.peak_bytes = cache.bytes_used
     return cache
 
 
+def _read_v1(reader: _Reader, strict: bool) -> PActionCache:
+    """The legacy path: no checksums, best-effort prefix salvage."""
+    count = reader.u32()
+    if count > _MAX_RECORD_BYTES:
+        raise reader.corrupt(f"implausible node count {count}")
+    sig_len = reader.u16()
+    signature = reader.read(sig_len)
+    nodes: List[Optional[Node]] = []
+    links: List[Optional[_Link]] = []
+    for index in range(count):
+        reader.record = index
+        try:
+            node, link = _parse_record(reader)
+        except PCacheCorruptError:
+            if strict:
+                raise
+            # v1 records are unframed: once one is damaged the stream
+            # position is untrustworthy, so keep only the valid prefix.
+            nodes.extend([None] * (count - index))
+            links.extend([None] * (count - index))
+            break
+        nodes.append(node)
+        links.append(link)
+    return _link_up(nodes, links, signature)
+
+
+def _read_v2(reader: _Reader, strict: bool) -> PActionCache:
+    """The integrity-checked path: CRC framing + whole-file digest."""
+    version = reader.u16()
+    if version != FORMAT_VERSION:
+        raise reader.corrupt(f"unsupported FSPC format version {version}")
+    count = reader.u32()
+    if count > _MAX_RECORD_BYTES:
+        raise reader.corrupt(f"implausible node count {count}")
+    sig_len = reader.u16()
+    signature = reader.read(sig_len)
+    stored_crc = reader.u32()
+    actual_crc = zlib.crc32(reader.data[: reader.pos - 4])
+    if stored_crc != actual_crc and strict:
+        raise PCacheCorruptError("header CRC mismatch",
+                                 offset=reader.pos - 4, record=-1)
+
+    nodes: List[Optional[Node]] = []
+    links: List[Optional[_Link]] = []
+    framing_lost = False
+    for index in range(count):
+        reader.record = index
+        if framing_lost:
+            nodes.append(None)
+            links.append(None)
+            continue
+        record_start = reader.pos
+        try:
+            payload_len = reader.u32()
+            if payload_len > _MAX_RECORD_BYTES or (
+                    payload_len + 4 > reader.remaining()):
+                raise reader.corrupt(
+                    f"implausible record length {payload_len}"
+                )
+            payload = reader.read(payload_len)
+            stored = reader.u32()
+        except PCacheCorruptError:
+            if strict:
+                raise
+            framing_lost = True
+            nodes.append(None)
+            links.append(None)
+            continue
+        if zlib.crc32(payload) != stored:
+            if strict:
+                raise PCacheCorruptError(
+                    "record CRC mismatch", offset=record_start,
+                    record=index,
+                )
+            # Framing is intact (the length field parsed and the bytes
+            # were there), so drop just this record and carry on.
+            nodes.append(None)
+            links.append(None)
+            continue
+        body = _Reader(payload, record=index)
+        try:
+            node, link = _parse_record(body)
+        except PCacheCorruptError as exc:
+            if strict:
+                raise PCacheCorruptError(
+                    f"undecodable record despite valid CRC: {exc}",
+                    offset=record_start, record=index,
+                )
+            nodes.append(None)
+            links.append(None)
+            continue
+        nodes.append(node)
+        links.append(link)
+
+    reader.record = -1
+    if not framing_lost:
+        trailer_start = reader.pos
+        try:
+            stored_digest = reader.read(_TRAILER_BYTES)
+        except PCacheCorruptError:
+            if strict:
+                raise
+            stored_digest = None
+        if stored_digest is not None:
+            actual = hashlib.sha256(reader.data[:trailer_start]).digest()
+            if stored_digest != actual and strict:
+                raise PCacheCorruptError(
+                    "whole-file digest mismatch", offset=trailer_start,
+                    record=-1,
+                )
+            if reader.remaining() and strict:
+                # The digest is the last thing a writer emits; bytes
+                # after it mean the file was appended to or spliced.
+                raise PCacheCorruptError(
+                    f"{reader.remaining()} trailing bytes after the "
+                    "whole-file digest", offset=reader.pos, record=-1,
+                )
+    elif strict:  # pragma: no cover - strict raised inside the loop
+        raise reader.corrupt("record framing lost")
+    return _link_up(nodes, links, signature)
+
+
+def read_pcache(stream: BinaryIO,
+                strict: bool = True) -> PActionCache:
+    """Deserialise a cache written by :func:`write_pcache`.
+
+    With ``strict=True`` (the default) any integrity violation raises
+    :class:`~repro.errors.PCacheCorruptError` naming the failing record
+    and offset. With ``strict=False`` the valid portion is salvaged:
+    damaged records are dropped and links into them severed, which the
+    replay engine handles exactly like a pruned chain.
+    """
+    data = stream.read()
+    reader = _Reader(data)
+    try:
+        magic = reader.read(4)
+        if magic != MAGIC:
+            raise PCacheCorruptError("not a p-action cache file",
+                                     offset=0)
+        marker = reader.u32()
+        if marker == _VERSION_SENTINEL:
+            return _read_v2(reader, strict)
+        reader.pos -= 4  # the marker was v1's node count
+        return _read_v1(reader, strict)
+    except PCacheCorruptError:
+        raise
+    except _DECODE_ERRORS as exc:
+        # Belt and braces: no decoder internals may leak for bad input.
+        raise PCacheCorruptError(
+            f"undecodable p-action cache: {type(exc).__name__}: {exc}",
+            offset=reader.pos, record=reader.record,
+        )
+
+
 def save_pcache(cache: PActionCache,
-                path: Union[str, "io.PathLike"]) -> None:
-    """Write *cache* to *path*."""
+                path: Union[str, "io.PathLike"],
+                version: int = FORMAT_VERSION) -> None:
+    """Write *cache* to *path* (current format unless overridden)."""
     with open(path, "wb") as stream:
-        write_pcache(cache, stream)
+        write_pcache(cache, stream, version=version)
 
 
-def load_pcache(path: Union[str, "io.PathLike"]) -> PActionCache:
-    """Read a cache from *path*."""
+def load_pcache(path: Union[str, "io.PathLike"],
+                strict: bool = True) -> PActionCache:
+    """Read a cache from *path*; see :func:`read_pcache` for *strict*."""
     with open(path, "rb") as stream:
-        return read_pcache(stream)
+        return read_pcache(stream, strict=strict)

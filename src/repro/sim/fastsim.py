@@ -16,6 +16,11 @@ its memory (paper §4.3)::
 
     exe = assemble(source)
     result = FastSim(exe, policy=FlushOnFullPolicy(1 << 20)).run()
+
+Pass ``audit_every=N`` (optionally with ``audit_seed``) to run under
+the :class:`~repro.guard.GuardedEngine`, which audits sampled replay
+episodes against detailed re-execution and quarantines corrupted
+chains instead of replaying them (see docs/robustness.md).
 """
 
 from __future__ import annotations
@@ -47,15 +52,26 @@ class FastSim:
         policy: Optional[ReplacementPolicy] = None,
         pcache: Optional[PActionCache] = None,
         obs=None,
+        audit_every: Optional[int] = None,
+        audit_seed: int = 0,
     ):
         self.executable = executable
         self.params = params if params is not None else ProcessorParams.r10k()
         self.obs = ensure_observer(obs)
         self.world = World(executable, self.params, predictor)
-        self.engine = FastForwardEngine(
-            executable, self.world, pcache=pcache, policy=policy,
-            obs=self.obs,
-        )
+        if audit_every is not None:
+            from repro.guard.engine import GuardedEngine
+
+            self.engine = GuardedEngine(
+                executable, self.world, pcache=pcache, policy=policy,
+                obs=self.obs, audit_every=audit_every,
+                audit_seed=audit_seed,
+            )
+        else:
+            self.engine = FastForwardEngine(
+                executable, self.world, pcache=pcache, policy=policy,
+                obs=self.obs,
+            )
 
     @property
     def pcache(self) -> PActionCache:

@@ -1,0 +1,112 @@
+"""CacheStore quarantine: corrupt files become visible misses."""
+
+import io
+
+import pytest
+
+from repro.branch import NotTakenPredictor
+from repro.campaign.cachedir import QUARANTINE_SUFFIX, CacheStore
+from repro.campaign.engine import Campaign, CampaignRunner
+from repro.campaign.jobs import Job
+from repro.campaign.progress import CallbackSink
+from repro.memo.engine import run_signature
+from repro.sim.fastsim import FastSim
+from repro.uarch.params import ProcessorParams
+from repro.workloads import load_workload
+
+
+@pytest.fixture()
+def populated(tmp_path):
+    """A store holding one real persisted cache; returns
+    (store_root, signature, reference_result)."""
+    executable = load_workload("compress", "tiny")
+    sim = FastSim(executable, predictor=NotTakenPredictor())
+    result = sim.run()
+    store = CacheStore(tmp_path)
+    signature = run_signature(executable, ProcessorParams.r10k())
+    store.store(signature, sim.pcache)
+    return tmp_path, signature, result
+
+
+def _corrupt_file(path):
+    data = bytearray(path.read_bytes())
+    data[len(data) // 2] ^= 0x40
+    path.write_bytes(bytes(data))
+
+
+class TestQuarantine:
+    def test_corrupt_file_is_renamed_and_reported(self, populated):
+        root, signature, _ = populated
+        path = root / (signature.hex() + ".fspc")
+        _corrupt_file(path)
+
+        lines = []
+        store = CacheStore(root, sink=CallbackSink(lines.append))
+        assert store.load(signature) is None
+        assert not path.exists()
+        assert path.with_suffix(".fspc" + QUARANTINE_SUFFIX).exists()
+        assert store.quarantined == [signature.hex() + ".fspc"]
+        assert any("WARNING:" in line and "cache-quarantined" in line
+                   for line in lines)
+
+    def test_quarantine_counts_in_obs(self, populated):
+        from repro.obs import make_observer
+
+        root, signature, _ = populated
+        _corrupt_file(root / (signature.hex() + ".fspc"))
+        obs = make_observer()
+        store = CacheStore(root, obs=obs)
+        store.load(signature)
+        counter = obs.registry.counters["guard.cache_quarantined"]
+        assert counter.value == 1
+
+    def test_clean_load_untouched(self, populated):
+        root, signature, _ = populated
+        store = CacheStore(root)
+        assert store.load(signature) is not None
+        assert store.quarantined == []
+
+    def test_missing_file_not_quarantined(self, populated):
+        root, _, _ = populated
+        store = CacheStore(root)
+        assert store.load(b"\x00" * 32) is None
+        assert store.quarantined == []
+
+    def test_next_run_records_fresh_cache(self, populated):
+        """After quarantine the signature slot is free: a warm-start
+        miss records and persists a clean replacement."""
+        root, signature, reference = populated
+        _corrupt_file(root / (signature.hex() + ".fspc"))
+        store = CacheStore(root)
+        assert store.load(signature) is None
+
+        executable = load_workload("compress", "tiny")
+        sim = FastSim(executable, predictor=NotTakenPredictor())
+        assert sim.run().timing_equal(reference)
+        assert store.store(signature, sim.pcache)
+        fresh = CacheStore(root)
+        assert fresh.load(signature) is not None
+        assert fresh.quarantined == []
+
+
+class TestCampaignWithQuarantine:
+    def test_warm_campaign_identical_despite_corruption(self, tmp_path):
+        """A campaign whose warm store is corrupt produces canonical
+        output byte-identical to its own cold run."""
+        cache_dir = str(tmp_path / "store")
+        campaign = Campaign(
+            jobs=(Job(workload="compress", simulator="fast",
+                      scale="tiny"),),
+            name="quarantine-test",
+        )
+        cold = CampaignRunner(workers=0,
+                              cache_dir=cache_dir).run(campaign)
+        for path in (tmp_path / "store").glob("*.fspc"):
+            _corrupt_file(path)
+        warm = CampaignRunner(workers=0,
+                              cache_dir=cache_dir).run(campaign)
+        assert warm.canonical_json() == cold.canonical_json()
+        bad = list((tmp_path / "store").glob("*" + QUARANTINE_SUFFIX))
+        assert len(bad) == 1
+        metrics = warm.results[0].metrics
+        assert metrics.get("cache_quarantined")

@@ -1,0 +1,38 @@
+"""The end-to-end chaos drill as a test (CI runs it via the CLI too)."""
+
+import pytest
+
+from repro.guard.chaos import main_json, run_chaos
+from repro.guard.faults import active_plan
+
+
+class TestChaosDrill:
+    def test_full_drill_byte_identical(self, tmp_path):
+        report = run_chaos(scale="tiny", workers=2,
+                           work_dir=str(tmp_path))
+        assert report.identical, "canonical output changed under faults"
+        assert report.ok, report.render()
+        assert report.failed == 0
+        assert len(report.quarantined) == len(report.disk_faults) == 2
+        assert report.divergences >= 1
+        assert report.crashed
+        # The drill must clean up after itself.
+        assert active_plan() is None
+
+    def test_summary_is_json(self, tmp_path):
+        import json
+
+        report = run_chaos(scale="tiny", workers=1, crash=False,
+                           work_dir=str(tmp_path))
+        payload = json.loads(main_json(report))
+        assert payload["ok"] is True
+        assert payload["crash_job"] == ""
+
+    def test_rejects_serial_crash(self, tmp_path):
+        with pytest.raises(ValueError, match="worker pool"):
+            run_chaos(workers=0, work_dir=str(tmp_path))
+
+    def test_rejects_total_disk_damage(self, tmp_path):
+        with pytest.raises(ValueError, match="every persisted cache"):
+            run_chaos(workloads=["compress"], disk_bit_flips=1,
+                      work_dir=str(tmp_path))

@@ -1,0 +1,137 @@
+"""Fault injectors: deterministic, contained, and actually injurious."""
+
+import io
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.branch import NotTakenPredictor
+from repro.errors import PCacheCorruptError
+from repro.guard.faults import (
+    CRASH_EXIT_CODE,
+    FaultPlan,
+    active_plan,
+    apply_memory_faults,
+    clear_plan,
+    force_chain_divergence,
+    inject_disk_faults,
+    install_plan,
+)
+from repro.memo.persist import read_pcache, save_pcache
+from repro.sim.fastsim import FastSim
+from repro.workloads import load_workload
+
+
+@pytest.fixture()
+def store_dir(tmp_path):
+    """A directory with two persisted caches from real runs."""
+    for index, name in enumerate(("compress", "go")):
+        sim = FastSim(load_workload(name, "tiny"),
+                      predictor=NotTakenPredictor())
+        sim.run()
+        save_pcache(sim.pcache, tmp_path / f"{index:02d}{name}.fspc")
+    return tmp_path
+
+
+@pytest.fixture()
+def recorded_cache():
+    sim = FastSim(load_workload("compress", "tiny"),
+                  predictor=NotTakenPredictor())
+    sim.run()
+    return sim.pcache
+
+
+class TestDiskFaults:
+    def test_deterministic(self, store_dir, tmp_path):
+        """Same plan + same store contents → identical injuries."""
+        import shutil
+
+        copy = tmp_path / "copy"
+        shutil.copytree(store_dir, copy)
+        plan = FaultPlan(seed=3, disk_bit_flips=1, disk_truncations=1)
+        first = inject_disk_faults(str(store_dir), plan)
+        second = inject_disk_faults(str(copy), plan)
+        assert [f["kind"] for f in first] == ["bit-flip", "truncate"]
+        assert first == second
+
+    def test_damage_is_detected_by_loader(self, store_dir):
+        plan = FaultPlan(seed=0, disk_bit_flips=2)
+        injected = inject_disk_faults(str(store_dir), plan)
+        assert len(injected) == 2
+        for fault in injected:
+            path = store_dir / str(fault["file"])
+            with pytest.raises(PCacheCorruptError):
+                with open(path, "rb") as stream:
+                    read_pcache(io.BytesIO(stream.read()))
+
+    def test_empty_store(self, tmp_path):
+        plan = FaultPlan(seed=0, disk_bit_flips=5)
+        assert inject_disk_faults(str(tmp_path), plan) == []
+
+
+class TestMemoryFaults:
+    def test_forced_divergence_hits_replayed_prefix(self, recorded_cache):
+        label = force_chain_divergence(recorded_cache)
+        assert label is not None and label.startswith("forced:")
+
+    def test_apply_respects_plan(self, recorded_cache):
+        assert apply_memory_faults(
+            recorded_cache, FaultPlan()) == []
+        labels = apply_memory_faults(
+            recorded_cache,
+            FaultPlan(seed=1, force_divergence=True, node_bit_flips=2),
+        )
+        assert labels[0].startswith("forced:")
+        assert len(labels) >= 1
+
+    def test_forced_divergence_caught_by_guard(self, recorded_cache):
+        reference = FastSim(load_workload("compress", "tiny"),
+                            predictor=NotTakenPredictor()).run()
+        force_chain_divergence(recorded_cache)
+        sim = FastSim(load_workload("compress", "tiny"),
+                      predictor=NotTakenPredictor(),
+                      pcache=recorded_cache, audit_every=1)
+        result = sim.run()
+        assert sim.engine.divergences >= 1
+        assert result.timing_equal(reference)
+
+
+class TestPlanInstallation:
+    def test_install_and_clear(self):
+        plan = FaultPlan(seed=9)
+        install_plan(plan)
+        try:
+            assert active_plan() is plan
+        finally:
+            clear_plan()
+        assert active_plan() is None
+
+
+class TestCrash:
+    def test_wrong_key_is_noop(self, tmp_path):
+        from repro.guard.faults import maybe_crash
+
+        plan = FaultPlan(crash_job="other:fast:tiny",
+                         scratch=str(tmp_path))
+        maybe_crash("this:fast:tiny", plan)  # must not exit
+        assert os.listdir(tmp_path) == []
+
+    def test_crashes_once_then_passes(self, tmp_path):
+        """First matching call dies with CRASH_EXIT_CODE; the marker
+        makes every retry a no-op. Exercised in a subprocess because
+        the crash is a real os._exit."""
+        script = (
+            "import sys\n"
+            "from repro.guard.faults import FaultPlan, maybe_crash\n"
+            "plan = FaultPlan(crash_job='j:fast:tiny', "
+            f"scratch={str(tmp_path)!r})\n"
+            "maybe_crash('j:fast:tiny', plan)\n"
+            "sys.exit(0)\n"
+        )
+        env = dict(os.environ, PYTHONPATH="src")
+        first = subprocess.run([sys.executable, "-c", script], env=env)
+        assert first.returncode == CRASH_EXIT_CODE
+        second = subprocess.run([sys.executable, "-c", script], env=env)
+        assert second.returncode == 0

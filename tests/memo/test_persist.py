@@ -88,11 +88,13 @@ class TestErrors:
             read_pcache(io.BytesIO(b"NOPE" + bytes(16)))
 
     def test_truncated(self, recorded):
+        from repro.errors import PCacheCorruptError
+
         cache, _ = recorded
         buffer = io.BytesIO()
         write_pcache(cache, buffer)
         blob = buffer.getvalue()
-        with pytest.raises(Exception):
+        with pytest.raises(PCacheCorruptError):
             read_pcache(io.BytesIO(blob[: len(blob) // 2]))
 
     def test_empty_cache_round_trips(self):

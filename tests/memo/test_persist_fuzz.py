@@ -1,0 +1,122 @@
+"""Byte-level fuzz suite for the FSPC persistence format.
+
+The robustness contract (docs/robustness.md): for ANY damaged input,
+``read_pcache`` either returns a cache equivalent to a clean load
+(possible only when the damage misses every checked byte — it cannot,
+for FSPC v2, because the trailer digest covers the whole file) or
+raises :class:`~repro.errors.PCacheCorruptError`. Nothing else: no
+other exception type, no hang, and never a silently-wrong cache.
+
+Exhaustive over truncation points; seeded-random over bit flips (the
+full cross-product of offset × bit is ~1M cases — a 512-case sample
+per run is plenty, and the seed makes failures reproducible).
+"""
+
+import io
+import random
+
+import pytest
+
+from repro.branch import NotTakenPredictor
+from repro.errors import PCacheCorruptError
+from repro.memo.persist import read_pcache, write_pcache
+from repro.sim.fastsim import FastSim
+from repro.workloads import load_workload
+
+BIT_FLIP_SAMPLES = 512
+FUZZ_SEED = 0x5EED
+
+
+@pytest.fixture(scope="module")
+def blob():
+    """A clean serialized cache from one real run."""
+    sim = FastSim(load_workload("compress", "tiny"),
+                  predictor=NotTakenPredictor())
+    sim.run()
+    buffer = io.BytesIO()
+    write_pcache(sim.pcache, buffer)
+    return buffer.getvalue()
+
+
+def _equivalent(cache, reference) -> bool:
+    return (len(cache) == len(reference)
+            and cache.configs_allocated == reference.configs_allocated
+            and cache.actions_allocated == reference.actions_allocated
+            and set(cache.index) == set(reference.index))
+
+
+class TestTruncation:
+    def test_every_truncation_point(self, blob):
+        """All len(blob) prefixes: corrupt-error, never anything else."""
+        reference = read_pcache(io.BytesIO(blob))
+        for cut in range(len(blob)):
+            try:
+                cache = read_pcache(io.BytesIO(blob[:cut]))
+            except PCacheCorruptError:
+                continue
+            pytest.fail(
+                f"truncation at {cut}/{len(blob)} produced a cache "
+                f"({len(cache)} nodes, reference "
+                f"{len(reference)}) instead of PCacheCorruptError"
+            )
+
+    def test_one_extra_byte_detected(self, blob):
+        """Trailing garbage after the digest is also corruption."""
+        with pytest.raises(PCacheCorruptError):
+            read_pcache(io.BytesIO(blob + b"\x00"))
+
+
+class TestBitFlips:
+    def test_seeded_single_bit_flips(self, blob):
+        """Any single flipped bit must fail the integrity checks.
+
+        FSPC v2 ends in a SHA-256 digest of everything before it, so
+        there is no un-checked byte: every flip must raise.
+        """
+        rng = random.Random(FUZZ_SEED)
+        seen = set()
+        for _ in range(BIT_FLIP_SAMPLES):
+            offset = rng.randrange(len(blob))
+            bit = rng.randrange(8)
+            if (offset, bit) in seen:
+                continue
+            seen.add((offset, bit))
+            damaged = bytearray(blob)
+            damaged[offset] ^= 1 << bit
+            try:
+                read_pcache(io.BytesIO(bytes(damaged)))
+            except PCacheCorruptError:
+                continue
+            pytest.fail(
+                f"bit flip at offset {offset} bit {bit} was not "
+                "detected"
+            )
+
+    def test_error_names_location(self, blob):
+        """Corruption reports carry offset context for debugging."""
+        damaged = bytearray(blob)
+        damaged[len(damaged) // 2] ^= 0x10
+        with pytest.raises(PCacheCorruptError) as excinfo:
+            read_pcache(io.BytesIO(bytes(damaged)))
+        message = str(excinfo.value)
+        assert "offset" in message or "record" in message
+
+
+class TestSalvage:
+    def test_strict_false_still_usable(self, blob, tmp_path):
+        """Salvage mode recovers a usable prefix from a damaged tail
+        and a full cache from a clean file."""
+        from repro.memo.persist import load_pcache
+
+        path = tmp_path / "clean.fspc"
+        path.write_bytes(blob)
+        clean = load_pcache(path, strict=False)
+        reference = read_pcache(io.BytesIO(blob))
+        assert _equivalent(clean, reference)
+
+        cut = tmp_path / "cut.fspc"
+        cut.write_bytes(blob[: int(len(blob) * 0.75)])
+        salvaged = load_pcache(cut, strict=False)
+        # Whatever survived must be a consistent, rebuilt cache.
+        assert salvaged.bytes_used == salvaged._measure()
+        assert len(salvaged) <= len(reference)
