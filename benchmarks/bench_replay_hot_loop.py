@@ -1,0 +1,192 @@
+"""Replay-phase speedup of chain compilation (``repro.turbo``).
+
+Measures the fast-forward replay loop — interpreted vs compiled — on
+the most memo-heavy workloads and writes ``BENCH_5.json`` at the repo
+root (schema: workload → ``{wall_s, cycles_per_s,
+speedup_vs_interpreted, ...}``).
+
+"Memo-heavy" is ranked by replay-action density: the number of
+p-action-cache actions the replay loop processes per simulated cycle
+on a fully warm run (every workload is 100% replay once warm, so hit
+rate alone cannot discriminate). The default workload set is the top
+three by that metric — ``go``, ``perl``, ``gcc`` — re-derivable with
+``--rank``.
+
+Methodology (noise-robust; hot loops are milliseconds long):
+
+* per workload × mode, a fresh :class:`~repro.memo.PActionCache` is
+  filled by ``--warm`` untimed runs (record phase + segment warm-up);
+* the replay phase is then timed as ``sim.run()`` on a pre-built
+  ``FastSim`` sharing the warm cache — construction (memory-system
+  allocation, a large fixed cost) is excluded from the window;
+* the two modes are timed **interleaved** (interpreted, compiled,
+  interpreted, …) so slow drift in host load hits both equally;
+* the **minimum** of ``--repeats`` runs is reported, the standard
+  estimator for a deterministic computation under scheduler noise;
+* canonical results (``as_dict()`` minus host timing) are asserted
+  byte-identical between the two modes — the benchmark *is* a
+  bit-identity check, not just a timer.
+
+Run directly (``python benchmarks/bench_replay_hot_loop.py``); this is
+not a pytest benchmark because it compares two engine configurations
+in one process rather than producing one fixture-driven number. CI
+runs ``--quick --min-speedup 1.0`` as the perf-smoke gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from typing import Dict, List, Optional
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.memo.pcache import PActionCache  # noqa: E402
+from repro.sim.fastsim import FastSim  # noqa: E402
+from repro.workloads.suite import (  # noqa: E402
+    WORKLOAD_ORDER,
+    load_workload,
+)
+
+#: Top three workloads by replay-action density (see module docstring;
+#: verify with ``--rank``).
+DEFAULT_WORKLOADS = ["go", "perl", "gcc"]
+
+
+def _warm_cache(executable, turbo: bool, warm: int) -> PActionCache:
+    """A cache filled by *warm* untimed runs (record + segment warm-up)."""
+    cache = PActionCache()
+    for _ in range(warm):
+        FastSim(executable, pcache=cache, turbo=turbo).run()
+    return cache
+
+
+def _one_run(executable, cache: PActionCache, turbo: bool):
+    """One timed warm replay (construction excluded from the window)."""
+    sim = FastSim(executable, pcache=cache, turbo=turbo)
+    started = time.perf_counter()
+    outcome = sim.run()
+    return time.perf_counter() - started, outcome
+
+
+def bench_workload(name: str, scale: str, warm: int,
+                   repeats: int) -> Dict[str, object]:
+    """Measure one workload; raises if the modes ever disagree."""
+    executable = load_workload(name, scale)
+    interp_cache = _warm_cache(executable, False, warm)
+    turbo_cache = _warm_cache(executable, True, warm)
+    interp_s = turbo_s = None
+    interp_result = turbo_result = None
+    for _ in range(repeats):
+        elapsed, outcome = _one_run(executable, interp_cache, False)
+        if interp_s is None or elapsed < interp_s:
+            interp_s, interp_result = elapsed, outcome
+        elapsed, outcome = _one_run(executable, turbo_cache, True)
+        if turbo_s is None or elapsed < turbo_s:
+            turbo_s, turbo_result = elapsed, outcome
+    interp_out = interp_result.as_dict()
+    interp_out.pop("host_seconds", None)
+    turbo_out = turbo_result.as_dict()
+    turbo_out.pop("host_seconds", None)
+    cycles = turbo_result.cycles
+    if interp_out != turbo_out:
+        raise AssertionError(
+            f"{name}: compiled replay diverged from interpreted replay "
+            "(bit-identity violation)"
+        )
+    return {
+        "wall_s": round(turbo_s, 6),
+        "interpreted_wall_s": round(interp_s, 6),
+        "cycles": cycles,
+        "cycles_per_s": round(cycles / turbo_s, 1),
+        "speedup_vs_interpreted": round(interp_s / turbo_s, 3),
+        "identical": True,
+        "scale": scale,
+        "repeats": repeats,
+    }
+
+
+def rank_by_density(scale: str) -> List[tuple]:
+    """(density, workload) for the whole suite, heaviest first."""
+    rows = []
+    for name in WORKLOAD_ORDER:
+        executable = load_workload(name, scale)
+        cache = PActionCache()
+        FastSim(executable, pcache=cache).run()
+        warm = FastSim(executable, pcache=cache).run()
+        rows.append(
+            (warm.memo.actions_replayed / warm.cycles, name)
+        )
+    return sorted(rows, reverse=True)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workloads",
+                        help="comma-separated workloads (default "
+                             f"{','.join(DEFAULT_WORKLOADS)})")
+    parser.add_argument("--scale", default="test",
+                        choices=["tiny", "test", "train"])
+    parser.add_argument("--warm", type=int, default=3,
+                        help="untimed cache-filling runs (default 3)")
+    parser.add_argument("--repeats", type=int, default=10,
+                        help="timed runs per mode; minimum is "
+                             "reported (default 10)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: one workload, fewer repeats")
+    parser.add_argument("--min-speedup", type=float, default=0.0,
+                        help="fail (exit 1) if the best workload's "
+                             "speedup is below this")
+    parser.add_argument("--rank", action="store_true",
+                        help="print the replay-action density ranking "
+                             "and exit")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_5.json"),
+                        help="output JSON path (default BENCH_5.json "
+                             "at the repo root)")
+    args = parser.parse_args(argv)
+
+    if args.rank:
+        for density, name in rank_by_density(args.scale):
+            print(f"{name:10s} actions/cycle={density:.3f}")
+        return 0
+
+    if args.workloads:
+        names = [n.strip() for n in args.workloads.split(",")
+                 if n.strip()]
+    elif args.quick:
+        names = ["m88ksim"]
+    else:
+        names = list(DEFAULT_WORKLOADS)
+    repeats = 4 if args.quick and args.repeats == 10 else args.repeats
+    for name in names:
+        if name not in WORKLOAD_ORDER:
+            parser.error(f"unknown workload {name!r}")
+
+    document: Dict[str, Dict[str, object]] = {}
+    for name in names:
+        row = bench_workload(name, args.scale, args.warm, repeats)
+        document[name] = row
+        print(f"{name:10s} interpreted={row['interpreted_wall_s']*1e3:8.2f}ms"
+              f" compiled={row['wall_s']*1e3:8.2f}ms"
+              f" speedup={row['speedup_vs_interpreted']:.2f}x"
+              f" identical={row['identical']}")
+
+    with open(args.out, "w", encoding="utf-8") as stream:
+        json.dump(document, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    print(f"wrote {args.out}")
+
+    best = max(row["speedup_vs_interpreted"] for row in document.values())
+    if best < args.min_speedup:
+        print(f"FAIL: best speedup {best:.2f}x < "
+              f"--min-speedup {args.min_speedup}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

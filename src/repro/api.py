@@ -81,6 +81,8 @@ def simulate(
     obs=None,
     audit_every: Optional[int] = None,
     audit_seed: int = 0,
+    turbo: bool = True,
+    turbo_threshold: Optional[int] = None,
 ) -> SimulationResult:
     """Simulate one program under one engine; returns the result.
 
@@ -95,7 +97,9 @@ def simulate(
     docs/observability.md. *audit_every* (``fast`` only) enables the
     :class:`~repro.guard.GuardedEngine`'s online replay audits —
     results stay bit-identical to an unguarded run; see
-    docs/robustness.md.
+    docs/robustness.md. *turbo* / *turbo_threshold* (``fast`` only)
+    control chain compilation of hot replay paths — on by default,
+    bit-identical either way; see docs/performance.md.
     """
     executable = _resolve_executable(exe_or_name, scale)
     if isinstance(policy, PolicySpec):
@@ -104,6 +108,7 @@ def simulate(
     result, _ = simulate_executable(
         executable, engine, params=params, policy=policy, store=store,
         obs=obs, audit_every=audit_every, audit_seed=audit_seed,
+        turbo=turbo, turbo_threshold=turbo_threshold,
     )
     return result
 
@@ -125,6 +130,8 @@ def run_campaign(
     obs=None,
     audit_every: Optional[int] = None,
     audit_seed: int = 0,
+    turbo: bool = True,
+    turbo_threshold: Optional[int] = None,
 ) -> CampaignResult:
     """Execute a simulation campaign; returns merged results.
 
@@ -140,7 +147,9 @@ def run_campaign(
     job lifecycles through it (and, on the serial ``workers=0`` path,
     the simulations themselves). *audit_every* turns on online replay
     audits for every ``fast`` job (see docs/robustness.md) without
-    changing canonical output.
+    changing canonical output. *turbo* / *turbo_threshold* control
+    chain compilation for every ``fast`` job (on by default) — also
+    without changing canonical output (docs/performance.md).
     """
     if jobs is not None:
         campaign = Campaign(jobs=tuple(jobs), name=name)
@@ -151,13 +160,19 @@ def run_campaign(
             names, simulators, scale=scale, params=params,
             include_native=include_native, name=name,
         )
+    overrides = {}
     if audit_every is not None:
+        overrides.update(audit_every=audit_every, audit_seed=audit_seed)
+    if not turbo:
+        overrides.update(turbo=False)
+    if turbo_threshold is not None:
+        overrides.update(turbo_threshold=turbo_threshold)
+    if overrides:
         from dataclasses import replace
 
         campaign = Campaign(
             jobs=tuple(
-                replace(job, audit_every=audit_every,
-                        audit_seed=audit_seed)
+                replace(job, **overrides)
                 if job.simulator == "fast" and job.kind == "simulate"
                 else job
                 for job in campaign.jobs

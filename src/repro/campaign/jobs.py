@@ -98,6 +98,16 @@ class Job:
     #: measurement.
     audit_every: Optional[int] = None
     audit_seed: int = 0
+    #: Chain compilation of hot replay paths (``fast`` jobs only):
+    #: True (the default) compiles action chains traversed more than a
+    #: threshold number of times (:mod:`repro.memo.compile`), False
+    #: forces the interpreted replay loop. ``turbo_threshold``
+    #: overrides the compile threshold. Like ``audit_every``,
+    #: deliberately **not** part of the key: compilation must never
+    #: change canonical results, so a compiled and an interpreted run
+    #: of the same coordinates are the same measurement.
+    turbo: bool = True
+    turbo_threshold: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.kind == "simulate" and self.simulator not in SIMULATORS:

@@ -30,6 +30,7 @@ from repro.campaign.cachedir import CacheStore
 from repro.campaign.jobs import Job, JobResult, NativeRun
 from repro.emulator.functional import Interpreter
 from repro.guard import faults
+from repro.memo.compile import TurboConfig
 from repro.memo.engine import run_signature
 from repro.sim.fastsim import FastSim
 from repro.uarch.params import ProcessorParams
@@ -76,6 +77,8 @@ def simulate_executable(
     obs=None,
     audit_every: Optional[int] = None,
     audit_seed: int = 0,
+    turbo: bool = True,
+    turbo_threshold: Optional[int] = None,
 ):
     """Run one simulator over *executable*; returns (result, metrics).
 
@@ -89,6 +92,9 @@ def simulate_executable(
     (``fast`` only) routes the run through the
     :class:`~repro.guard.engine.GuardedEngine`, which samples replay
     episodes and re-verifies them against a fresh detailed simulator.
+    *turbo* / *turbo_threshold* control chain compilation of hot
+    replay paths (``fast`` only; on by default) — canonical results
+    are bit-identical either way, see docs/performance.md.
     """
     metrics: Dict[str, object] = {}
 
@@ -113,10 +119,19 @@ def simulate_executable(
                 injected = faults.apply_memory_faults(pcache, plan)
                 if injected:
                     metrics["faults_injected"] = injected
+        turbo_cfg = (
+            TurboConfig(enabled=bool(turbo), threshold=turbo_threshold)
+            if turbo_threshold is not None else turbo
+        )
         sim = FastSim(executable, params=params, policy=policy,
                       pcache=pcache, obs=obs,
-                      audit_every=audit_every, audit_seed=audit_seed)
+                      audit_every=audit_every, audit_seed=audit_seed,
+                      turbo=turbo_cfg)
         result = sim.run()
+        table = sim.pcache.turbo
+        if sim.engine.turbo.enabled and table is not None:
+            # Host-side diagnostics (metrics, not canonical output).
+            metrics["turbo"] = table.snapshot()
         if audit_every is not None:
             metrics["audits"] = sim.engine.audits
             metrics["audit_divergences"] = sim.engine.divergences
@@ -167,6 +182,8 @@ def _simulate(job: Job, store: Optional[CacheStore],
         store=store, obs=obs,
         audit_every=getattr(job, "audit_every", None),
         audit_seed=getattr(job, "audit_seed", 0),
+        turbo=getattr(job, "turbo", True),
+        turbo_threshold=getattr(job, "turbo_threshold", None),
     )
     if store is not None and store.quarantined:
         metrics["cache_quarantined"] = list(store.quarantined)

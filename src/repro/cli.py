@@ -6,10 +6,12 @@ Subcommands (``fastsim-repro <command> --help`` for each)::
     params                    print the processor model (paper Table 1)
     run WORKLOAD              simulate one workload under all simulators
                               (--guard / --audit-every N for online
-                              replay audits)
+                              replay audits; --no-turbo /
+                              --turbo-threshold N for chain compilation)
     campaign                  parallel campaign over the suite
                               (--workers/--cache-dir/--timeout/--retries,
-                              --guard/--audit-every)
+                              --guard/--audit-every,
+                              --no-turbo/--turbo-threshold)
     chaos                     deterministic fault-injection drill:
                               prove a fault-riddled warm campaign is
                               byte-identical to a clean cold run
@@ -109,6 +111,22 @@ def _guard_options() -> argparse.ArgumentParser:
     return parent
 
 
+def _turbo_options() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_mutually_exclusive_group()
+    group.add_argument("--turbo", dest="turbo", action="store_true",
+                       default=True,
+                       help="compile hot replay chains to flat "
+                            "segments (the default; bit-identical to "
+                            "the interpreted loop)")
+    group.add_argument("--no-turbo", dest="turbo", action="store_false",
+                       help="force the interpreted replay loop")
+    parent.add_argument("--turbo-threshold", type=int, metavar="N",
+                        help="traversals before a chain is compiled "
+                             "(default 8; see docs/performance.md)")
+    return parent
+
+
 def _effective_audit(args: argparse.Namespace):
     """Resolve --guard/--audit-every to an audit_every value (or None)."""
     if getattr(args, "audit_every", None) is not None:
@@ -147,19 +165,22 @@ def build_parser() -> argparse.ArgumentParser:
     pool = _pool_options()
     obs = _obs_options()
     guard = _guard_options()
+    turbo = _turbo_options()
 
     commands.add_parser("list", parents=[quiet],
                         help="show the workload suite")
     commands.add_parser("params", parents=[quiet],
                         help="print the processor model")
 
-    run = commands.add_parser("run", parents=[scale, quiet, obs, guard],
+    run = commands.add_parser("run",
+                              parents=[scale, quiet, obs, guard, turbo],
                               help="simulate one workload under all "
                                    "simulators")
     run.add_argument("workload", help="workload name")
 
     campaign = commands.add_parser(
-        "campaign", parents=[scale, suite, quiet, pool, obs, guard],
+        "campaign",
+        parents=[scale, suite, quiet, pool, obs, guard, turbo],
         help="run a parallel simulation campaign",
     )
     campaign.add_argument(
@@ -357,7 +378,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     audit_every = _effective_audit(args)
     fast = simulate(args.workload, engine="fast", scale=args.scale,
                     obs=obs, audit_every=audit_every,
-                    audit_seed=args.audit_seed)
+                    audit_seed=args.audit_seed, turbo=args.turbo,
+                    turbo_threshold=args.turbo_threshold)
     slow = simulate(args.workload, engine="slow", scale=args.scale,
                     obs=obs)
     base = simulate(args.workload, engine="baseline", scale=args.scale,
@@ -400,6 +422,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         obs=obs,
         audit_every=_effective_audit(args),
         audit_seed=args.audit_seed,
+        turbo=args.turbo,
+        turbo_threshold=args.turbo_threshold,
     )
     if args.out:
         with open(args.out, "w") as stream:

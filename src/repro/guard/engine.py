@@ -147,9 +147,10 @@ class GuardedEngine(FastForwardEngine):
     """
 
     def __init__(self, executable, world, pcache=None, policy=None,
-                 obs=None, audit_every: int = 1, audit_seed: int = 0):
+                 obs=None, audit_every: int = 1, audit_seed: int = 0,
+                 turbo=None):
         super().__init__(executable, world, pcache=pcache, policy=policy,
-                         obs=obs)
+                         obs=obs, turbo=turbo)
         if audit_every < 1:
             raise ValueError("audit_every must be >= 1")
         self.audit_every = audit_every
@@ -355,8 +356,11 @@ class GuardedEngine(FastForwardEngine):
             else:
                 # The corrupt suffix is spliced out when record mode
                 # attaches the fresh branch at *attach*; count it as an
-                # invalidation for snapshot()/operator visibility.
+                # invalidation for snapshot()/operator visibility, and
+                # bump the graph generation so compiled replay segments
+                # built over the suffix are revalidated before reuse.
                 cache.invalidations += 1
+                cache.graph_generation += 1
             report = DivergenceReport(
                 kind=label,
                 episode=ordinal,

@@ -4,6 +4,8 @@
 * :class:`FastForwardEngine` — record/replay/resync driver
 * replacement policies — unbounded, flush-on-full, copying GC,
   generational GC (§4.3)
+* chain compilation — hot replay paths compiled to flat segments
+  (:class:`TurboConfig`, :mod:`repro.memo.compile`)
 """
 
 from repro.memo.actions import (
@@ -20,6 +22,15 @@ from repro.memo.actions import (
     RetireNode,
     RollbackNode,
     StoreIssueNode,
+)
+from repro.memo.compile import (
+    CompiledSegment,
+    DEFAULT_COMPILE_THRESHOLD,
+    SegmentTable,
+    TurboConfig,
+    compile_segment,
+    patch_log,
+    revalidate,
 )
 from repro.memo.dump import cache_summary, dump_chain
 from repro.memo.engine import FastForwardEngine, run_signature
@@ -56,6 +67,13 @@ __all__ = [
     "PActionCache",
     "FastForwardEngine",
     "run_signature",
+    "TurboConfig",
+    "SegmentTable",
+    "CompiledSegment",
+    "DEFAULT_COMPILE_THRESHOLD",
+    "compile_segment",
+    "patch_log",
+    "revalidate",
     "ReplacementPolicy",
     "UnboundedPolicy",
     "FlushOnFullPolicy",

@@ -46,7 +46,7 @@ EDGE_BYTES = 8
 class Node:
     """Base class: every node knows its successor(s) and GC metadata."""
 
-    __slots__ = ("next", "touch_gen", "generation")
+    __slots__ = ("next", "touch_gen", "generation", "seg", "seg_hits")
 
     def __init__(self) -> None:
         self.next: Optional[Node] = None
@@ -54,9 +54,23 @@ class Node:
         self.touch_gen = 0
         #: 0 = young, 1 = old (for the generational collector).
         self.generation = 0
+        #: Compiled replay segment headed at this node (repro.memo.compile);
+        #: derived state — never persisted, rebuilt on demand.
+        self.seg = None
+        #: Replay traversals of this node as a segment head, counted up
+        #: to the compile threshold.
+        self.seg_hits = 0
 
     is_config = False
     is_outcome = False
+    #: True for single-successor action nodes whose advance deltas the
+    #: chain compiler may fuse (replay neither calls a cycle-sensitive
+    #: world method nor resets the chain log).
+    is_linear = False
+    #: True for action nodes that may head a compiled replay segment
+    #: (every recordable action; configurations and end nodes are
+    #: handled by the interpreter and passed through / terminate).
+    can_head = False
 
     def size_bytes(self) -> int:
         return ACTION_BYTES
@@ -84,6 +98,8 @@ class AdvanceNode(Node):
     """Advance the simulation cycle counter by *delta* cycles."""
 
     __slots__ = ("delta",)
+    is_linear = True
+    can_head = True
 
     def __init__(self, delta: int):
         super().__init__()
@@ -97,6 +113,8 @@ class RetireNode(Node):
     """Retire instructions; advances statistics and queue cursors."""
 
     __slots__ = ("count", "loads", "stores", "controls", "branches")
+    is_linear = True
+    can_head = True
 
     def __init__(self, count: int, loads: int, stores: int, controls: int,
                  branches: int):
@@ -116,6 +134,8 @@ class RollbackNode(Node):
 
     __slots__ = ("control_ordinal", "squashed_loads", "squashed_stores",
                  "squashed_controls")
+    is_linear = True
+    can_head = True
 
     def __init__(self, control_ordinal: int, squashed_loads: int,
                  squashed_stores: int, squashed_controls: int):
@@ -137,6 +157,7 @@ class OutcomeNode(Node):
 
     __slots__ = ("edges",)
     is_outcome = True
+    can_head = True
 
     def __init__(self) -> None:
         super().__init__()

@@ -36,6 +36,7 @@ for every workload.
 
 from __future__ import annotations
 
+import hashlib
 import struct
 from typing import List, Optional, Tuple
 
@@ -52,6 +53,13 @@ from repro.memo.actions import (
     RetireNode,
     RollbackNode,
     StoreIssueNode,
+)
+from repro.memo.compile import (
+    SegmentTable,
+    TurboConfig,
+    compile_segment,
+    patch_log,
+    revalidate,
 )
 from repro.memo.pcache import AttachPoint, PActionCache
 from repro.memo.policies import ReplacementPolicy, UnboundedPolicy
@@ -71,6 +79,7 @@ from repro.uarch.interactions import (
     Rollback,
 )
 
+
 def run_signature(executable: Executable, params) -> bytes:
     """Identity used to prevent unsound p-action cache reuse.
 
@@ -83,8 +92,6 @@ def run_signature(executable: Executable, params) -> bytes:
     This is also the key under which campaign cache directories store
     persisted p-action caches (see :mod:`repro.campaign.cachedir`).
     """
-    import hashlib
-
     digest = hashlib.sha256()
     digest.update(executable.text)
     digest.update(executable.text_base.to_bytes(4, "big"))
@@ -117,12 +124,24 @@ class FastForwardEngine:
         pcache: Optional[PActionCache] = None,
         policy: Optional[ReplacementPolicy] = None,
         obs=None,
+        turbo=None,
     ):
         self.executable = executable
         self.world = world
         self.params = world.params
         self.cache = pcache if pcache is not None else PActionCache()
         self.policy = policy if policy is not None else UnboundedPolicy()
+        # Chain compilation (repro.turbo): accepts None (defaults),
+        # a bool, or a TurboConfig. The segment table lives on the
+        # cache so compiled segments stay warm across engines sharing
+        # a pcache, and so replacement policies can flush deferred
+        # touches before collecting (docs/performance.md).
+        self.turbo = TurboConfig.resolve(turbo)
+        if self.turbo.enabled and self.cache.turbo is None:
+            self.cache.turbo = SegmentTable(self.turbo.threshold)
+        #: Reusable buffer for control records captured by compiled
+        #: segment replays (patched into chain-log templates).
+        self._ctl_records: List = []
         self.memo = MemoStats()
         self.max_cycles = 0
         # Observability hooks. ``obs`` resolves to the module-level
@@ -323,6 +342,19 @@ class FastForwardEngine:
 
         Returns ``("record", ...)`` after a fall-back resync, or
         ``("finished",)``.
+
+        When chain compilation is enabled (:mod:`repro.memo.compile`),
+        hot regions of the graph — linear actions, pass-through
+        configurations and guarded single-edge outcomes — are replayed
+        as straight-line compiled segments instead of node-at-a-time
+        interpretation. ``fast`` marks the positions where a segment
+        can begin (after a configuration, a followed outcome edge, or
+        a previous segment); interior nodes of an uncompiled region pay
+        a single extra boolean test. The graph cannot mutate during an
+        unguarded replay episode (attaches happen in record mode,
+        collections at record-mode configuration boundaries, guard
+        invalidations inside audited episodes), so the structural
+        generation is read once per episode.
         """
         world = self.world
         cache = self.cache
@@ -337,6 +369,16 @@ class FastForwardEngine:
         position: Optional[Node] = entry
         came_from: Optional[AttachPoint] = None
 
+        table = cache.turbo if self.turbo.enabled else None
+        turbo_on = table is not None
+        fast = False
+        if turbo_on:
+            graph_gen = cache.graph_generation
+            threshold = table.threshold
+            max_cycles = self.max_cycles
+            ctl: List = self._ctl_records
+            ctl_append = ctl.append
+
         while True:
             node = position
             if node is None:
@@ -344,6 +386,122 @@ class FastForwardEngine:
                 self._end_chain(chain_length)
                 return self._resync(last_blob, chain_log, came_from,
                                     log_anchor)
+
+            if fast and node.can_head:
+                seg = node.seg
+                if seg is None:
+                    node.seg_hits = hits = node.seg_hits + 1
+                    if hits >= threshold:
+                        node.seg_hits = 0
+                        seg = table.register(
+                            compile_segment(node, graph_gen)
+                        )
+                        node.seg = seg
+                        if obs_on:
+                            obs.counter("turbo.segments_compiled")
+                elif seg is not None and seg.generation != graph_gen:
+                    # Something in the graph changed since compilation.
+                    # Usually it changed elsewhere: a cheap structural
+                    # re-walk revives the segment; otherwise discard
+                    # and re-warm toward recompilation.
+                    if revalidate(seg, graph_gen):
+                        table.revalidations += 1
+                        if obs_on:
+                            obs.counter("turbo.revalidations")
+                    else:
+                        table.invalidations += 1
+                        if obs_on:
+                            obs.counter("turbo.invalidations")
+                        node.seg = None
+                        node.seg_hits = 1
+                        seg = None
+                # A segment whose fused total could cross the cycle
+                # budget is interpreted instead, so the abort raises at
+                # the exact advance the interpreter would have raised.
+                if (seg is not None
+                        and world.cycle + seg.cycles <= max_cycles):
+                    ctl.clear()
+                    result = seg.fn(world, seg.requests, seg.keys,
+                                    ctl_append)
+                    if result is None:
+                        # Full replay: apply the per-segment constants.
+                        clock = cache.touch_clock + len(seg.nodes)
+                        cache.touch_clock = clock
+                        seg.touched_at = clock
+                        memo.actions_replayed += seg.n_actions
+                        memo.configs_replayed += seg.n_configs
+                        memo.replayed_cycles += seg.cycles
+                        memo.replayed_instructions += seg.instructions
+                        chain_length += seg.n_actions
+                        if seg.n_configs:
+                            last_blob = seg.last_blob
+                            chain_log = patch_log(seg.log_tail, ctl)
+                        elif seg.log_tail:
+                            chain_log.extend(
+                                patch_log(seg.log_tail, ctl)
+                            )
+                        if seg.sets_anchor:
+                            log_anchor = world.cycle - seg.trailing_delta
+                        came_from = seg.last_attach
+                        table.segment_replays += 1
+                        if obs_on:
+                            obs.counter("turbo.segment_replays")
+                            obs.sample_cycle(world.cycle, self)
+                        position = seg.end
+                        continue
+                    # Early return: either the segment's dynamic
+                    # terminal (a multi-edge outcome whose edge is
+                    # looked up here, exactly like the interpreter) or
+                    # a guard miss (within one generation the reply
+                    # cannot have an edge — adding one bumps the
+                    # generation — so the lookup below misses and this
+                    # is exactly the interpreter's fall-back).
+                    gid, actual = result
+                    (xnode, is_control, n_act, visited, cyc, instr,
+                     n_cfg, xblob, template) = seg.exit_meta[gid]
+                    if visited == len(seg.nodes):
+                        # Full traversal (terminal): batched touch.
+                        clock = cache.touch_clock + visited
+                        cache.touch_clock = clock
+                        seg.touched_at = clock
+                    else:
+                        # Rare partial traversal: touch the visited
+                        # prefix exactly as the interpreter would.
+                        for touched in seg.nodes[:visited]:
+                            cache.touch(touched)
+                    memo.actions_replayed += n_act
+                    memo.configs_replayed += n_cfg
+                    memo.replayed_cycles += cyc
+                    memo.replayed_instructions += instr
+                    chain_length += n_act
+                    if xblob is not None:
+                        last_blob = xblob
+                        chain_log = patch_log(template, ctl)
+                    else:
+                        chain_log.extend(patch_log(template, ctl))
+                    chain_log.append((xnode, actual))
+                    log_anchor = world.cycle
+                    edge_key = (actual.outcome_key() if is_control
+                                else actual)
+                    successor = xnode.edges.get(edge_key)
+                    if successor is None:
+                        table.side_exits += 1
+                        if obs_on:
+                            obs.counter("turbo.side_exits")
+                            obs.sample_cycle(world.cycle, self)
+                        self._end_chain(chain_length)
+                        return self._resync(last_blob, chain_log,
+                                            (xnode, edge_key),
+                                            log_anchor)
+                    came_from = (xnode, edge_key)
+                    table.segment_replays += 1
+                    if obs_on:
+                        obs.counter("turbo.segment_replays")
+                        obs.sample_cycle(world.cycle, self)
+                    position = successor
+                    continue
+                fast = False  # interpret the rest of this cold region
+
             cache.touch(node)
             kind = type(node)
 
@@ -354,6 +512,7 @@ class FastForwardEngine:
                 log_anchor = world.cycle
                 came_from = (node, None)
                 position = node.next
+                fast = turbo_on
                 continue
 
             if kind is AdvanceNode:
@@ -410,6 +569,7 @@ class FastForwardEngine:
                                         (node, outcome_key), log_anchor)
                 came_from = (node, outcome_key)
                 position = successor
+                fast = turbo_on
                 continue
 
             if kind in (LoadIssueNode, LoadPollNode, StoreIssueNode):
@@ -430,6 +590,7 @@ class FastForwardEngine:
                                         (node, reply), log_anchor)
                 came_from = (node, reply)
                 position = successor
+                fast = turbo_on
                 continue
 
             if kind is EndNode:

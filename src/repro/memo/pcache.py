@@ -40,6 +40,17 @@ class PActionCache:
         self.collections = 0
         #: Identity of the program this cache's configurations describe.
         self._bound_program: Optional[bytes] = None
+        #: Structural-mutation generation. Bumped by every operation
+        #: that changes node linkage or membership (attach, invalidate,
+        #: clear, rebuild); compiled replay segments record the value
+        #: they were built under and are discarded on mismatch, so the
+        #: turbo fast path can never walk stale pointers
+        #: (:mod:`repro.memo.compile`).
+        self.graph_generation = 0
+        #: Chain-compilation registry (:class:`repro.memo.compile.
+        #: SegmentTable`); installed by the engine when turbo is
+        #: enabled, None otherwise. Derived state — never persisted.
+        self.turbo = None
         #: The key of the most recent :meth:`lookup` hit. The guard's
         #: audit engine uses it as the *trusted* encoding of the state
         #: a replay episode entered from (the key was produced by
@@ -105,12 +116,25 @@ class PActionCache:
         corrupted field — and its outgoing chain is severed, so every
         path into the node degrades to the safe pruned-chain fall-back
         and a fresh configuration is recorded for that state.
+
+        ``node.blob`` is tried as the index key first — the common case
+        where the blob field itself is intact — falling back to the
+        full scan only when that probe misses (the blob may be the
+        corrupted field).
         """
-        for key, candidate in list(self.index.items()):
-            if candidate is node:
-                del self.index[key]
+        try:
+            hit = self.index.get(node.blob)
+        except TypeError:  # blob corrupted into something unhashable
+            hit = None
+        if hit is node:
+            del self.index[node.blob]
+        else:
+            for key, candidate in list(self.index.items()):
+                if candidate is node:
+                    del self.index[key]
         node.next = None
         self.invalidations += 1
+        self.graph_generation += 1
 
     def touch(self, node: Node) -> None:
         """Mark *node* as used (replay traversal / recording)."""
@@ -165,14 +189,29 @@ class PActionCache:
                 )
             parent.edges[key] = node
             self.account_edge(parent)
+        self.graph_generation += 1
 
     # -- wholesale replacement support ----------------------------------------
+
+    def prepare_collection(self) -> None:
+        """Hook a replacement policy calls before computing survivals.
+
+        Materializes the turbo fast path's deferred per-node touches
+        (see :meth:`repro.memo.compile.SegmentTable.flush_touches`) so
+        ``touch_gen``-based survival decisions are identical with chain
+        compilation on or off.
+        """
+        if self.turbo is not None:
+            self.turbo.flush_touches(self.graph_generation)
 
     def clear(self) -> None:
         """Drop everything (the flush-on-full policy)."""
         self.index.clear()
         self.bytes_used = 0
         self.collections += 1
+        self.graph_generation += 1
+        if self.turbo is not None:
+            self.turbo.segments = []
 
     def rebuild(self, kept: Dict[bytes, ConfigNode]) -> None:
         """Replace the index after a garbage collection and re-account.
@@ -183,22 +222,10 @@ class PActionCache:
         self.index = kept
         self.bytes_used = self._measure()
         self.collections += 1
+        self.graph_generation += 1
 
     def _measure(self) -> int:
-        seen = set()
-        total = 0
-        stack = list(self.index.values())
-        while stack:
-            node = stack.pop()
-            if id(node) in seen:
-                continue
-            seen.add(id(node))
-            total += node.size_bytes()
-            if node.is_outcome:
-                stack.extend(node.edges.values())
-            elif node.next is not None:
-                stack.append(node.next)
-        return total
+        return sum(node.size_bytes() for node in self.reachable_nodes())
 
     def reachable_nodes(self):
         """Iterate every node reachable from the configuration index."""

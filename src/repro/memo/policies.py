@@ -96,6 +96,9 @@ class CopyingGCPolicy(ReplacementPolicy):
     def maybe_collect(self, cache: PActionCache) -> bool:
         if cache.bytes_used <= self.limit_bytes:
             return False
+        # Materialize any touches the compiled fast path deferred, so
+        # survival below sees what interpreted replay would have left.
+        cache.prepare_collection()
         before = cache.bytes_used
         threshold = self._last_collection_clock
         kept: Dict[bytes, ConfigNode] = {}
@@ -135,6 +138,7 @@ class GenerationalGCPolicy(ReplacementPolicy):
     def maybe_collect(self, cache: PActionCache) -> bool:
         if cache.bytes_used <= self.limit_bytes:
             return False
+        cache.prepare_collection()
         before = cache.bytes_used
         threshold = self._last_collection_clock
         self._minor_count += 1

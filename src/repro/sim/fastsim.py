@@ -21,6 +21,11 @@ Pass ``audit_every=N`` (optionally with ``audit_seed``) to run under
 the :class:`~repro.guard.GuardedEngine`, which audits sampled replay
 episodes against detailed re-execution and quarantines corrupted
 chains instead of replaying them (see docs/robustness.md).
+
+Chain compilation of hot replay paths (:mod:`repro.memo.compile`) is
+on by default; pass ``turbo=False`` to force the interpreted replay
+loop, or a :class:`~repro.memo.TurboConfig` to tune the compile
+threshold (see docs/performance.md). Both modes are bit-identical.
 """
 
 from __future__ import annotations
@@ -54,6 +59,7 @@ class FastSim:
         obs=None,
         audit_every: Optional[int] = None,
         audit_seed: int = 0,
+        turbo=None,
     ):
         self.executable = executable
         self.params = params if params is not None else ProcessorParams.r10k()
@@ -65,12 +71,12 @@ class FastSim:
             self.engine = GuardedEngine(
                 executable, self.world, pcache=pcache, policy=policy,
                 obs=self.obs, audit_every=audit_every,
-                audit_seed=audit_seed,
+                audit_seed=audit_seed, turbo=turbo,
             )
         else:
             self.engine = FastForwardEngine(
                 executable, self.world, pcache=pcache, policy=policy,
-                obs=self.obs,
+                obs=self.obs, turbo=turbo,
             )
 
     @property

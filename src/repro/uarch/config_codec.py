@@ -135,12 +135,10 @@ def decode_config(
     fetch_stalled = bool(flags & 1)
     fetch_halted = bool(flags & 2)
     offset = _HEADER.size
-    packed_states = []
-    for _ in range(count):
-        if offset + 2 > len(blob):
-            raise ConfigCodecError("truncated per-entry state")
-        packed_states.append(int.from_bytes(blob[offset:offset + 2], "big"))
-        offset += 2
+    if offset + 2 * count > len(blob):
+        raise ConfigCodecError("truncated per-entry state")
+    packed_states = struct.unpack_from(f">{count}H", blob, offset)
+    offset += 2 * count
 
     # First pass over the packed states to know how many indirect
     # targets to read is impossible without the instructions, so decode

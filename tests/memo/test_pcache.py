@@ -120,6 +120,23 @@ class TestTraversal:
         cache = self.build_small_graph()
         assert cache._measure() == cache.bytes_used
 
+    def test_measure_counts_shared_suffix_once(self):
+        # Two configurations converging on one suffix: _measure must
+        # agree with a reachable_nodes walk (each node counted once,
+        # not once per path into it).
+        cache = PActionCache()
+        first = cache.alloc_config(make_blob(1))
+        second = cache.alloc_config(make_blob(2))
+        shared = cache.alloc_action(AdvanceNode(2))
+        tail = cache.alloc_action(EndNode(1))
+        cache.attach((first, None), shared)
+        cache.attach((second, None), shared)
+        cache.attach((shared, None), tail)
+        walked = sum(n.size_bytes() for n in cache.reachable_nodes())
+        assert cache._measure() == walked
+        assert walked == (first.size_bytes() + second.size_bytes()
+                          + shared.size_bytes() + tail.size_bytes())
+
     def test_touch_clock_advances(self):
         cache = PActionCache()
         node = cache.alloc_config(make_blob(1))
