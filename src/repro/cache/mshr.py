@@ -69,7 +69,9 @@ class MSHRFile:
 
     def release_completed(self, now: int) -> None:
         """Retire every fill whose completion cycle has passed."""
-        done = [line for line, when in self._inflight.items() if when <= now]
+        # Order-insensitive: the comprehension selects a *set* of lines
+        # to delete; no recorded value depends on visit order.
+        done = [line for line, when in self._inflight.items() if when <= now]  # repro-lint: disable=det/dict-value-iteration
         for line in done:
             del self._inflight[line]
 

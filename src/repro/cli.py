@@ -257,11 +257,22 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("paths", nargs="*",
                       help="files/directories (default src/repro)")
     lint.add_argument("--format", default="text",
-                      choices=["text", "json"], dest="lint_format",
-                      help="report format")
+                      choices=["text", "json", "sarif"],
+                      dest="lint_format", help="report format")
     lint.add_argument("--strict", action="store_true",
                       help="apply record/replay-path rules to every "
                            "module")
+    lint.add_argument("--flow", action="store_true",
+                      help="whole-program flow analysis (call-graph "
+                           "reachability, taint, effects, codegen "
+                           "contracts)")
+    lint.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="lint files on N worker processes")
+    lint.add_argument("--baseline", metavar="FILE",
+                      help="subtract findings accepted by FILE")
+    lint.add_argument("--write-baseline", metavar="FILE",
+                      dest="write_baseline",
+                      help="accept current findings into FILE")
 
     lint_asm = commands.add_parser(
         "lint-asm", parents=[quiet],
@@ -269,8 +280,8 @@ def build_parser() -> argparse.ArgumentParser:
     lint_asm.add_argument("paths", nargs="+", metavar="file.s",
                           help="assembly sources")
     lint_asm.add_argument("--format", default="text",
-                          choices=["text", "json"], dest="lint_format",
-                          help="report format")
+                          choices=["text", "json", "sarif"],
+                          dest="lint_format", help="report format")
 
     obs_cmd = commands.add_parser(
         "obs", parents=[quiet],
@@ -543,7 +554,17 @@ def _cmd_calibrate() -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from repro.lint import exit_code, lint_paths, report
+    import json as json_module
+
+    from repro.lint import (
+        apply_baseline,
+        exit_code,
+        lint_flow,
+        lint_paths,
+        load_baseline,
+        report,
+        save_baseline,
+    )
 
     def usage_error(message: str) -> "SystemExit":
         # Usage and I/O problems exit 2 so CI can tell "findings"
@@ -559,12 +580,34 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     elif not paths:
         paths = ["src/repro"]
     strict = getattr(args, "strict", False)
+    jobs = getattr(args, "jobs", 1)
+    if jobs < 1:
+        raise usage_error("--jobs must be >= 1")
     try:
-        findings = lint_paths(paths, strict=True if strict else None)
+        if getattr(args, "flow", False):
+            findings = lint_flow(paths, jobs=jobs)
+        else:
+            findings = lint_paths(paths, strict=True if strict else None,
+                                  jobs=jobs)
     except FileNotFoundError as exc:
         raise usage_error(f"no such path: {exc}")
     except OSError as exc:
         raise usage_error(f"cannot lint: {exc}")
+    if getattr(args, "write_baseline", None):
+        save_baseline(args.write_baseline, findings)
+        print(f"baseline: accepted {len(findings)} finding(s) into "
+              f"{args.write_baseline}")
+        return 0
+    if getattr(args, "baseline", None):
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError,
+                json_module.JSONDecodeError) as exc:
+            raise usage_error(str(exc))
+        findings, absorbed = apply_baseline(findings, baseline)
+        if absorbed:
+            print(f"baseline: {absorbed} accepted finding(s) hidden",
+                  file=sys.stderr)
     print(report(findings, args.lint_format))
     return exit_code(findings)
 

@@ -14,7 +14,14 @@ determinism               :mod:`repro.lint.determinism`
 memo-safety               :mod:`repro.lint.memosafety`
 action-node discipline    :mod:`repro.lint.nodes`
 ISA program lint          :mod:`repro.lint.asmlint`
+flow session (project)    :mod:`repro.lint.flow` (taint, effects,
+                          codegen contracts — ``--flow``)
 ========================  ===========================================
+
+The per-file families above see one module at a time; the flow session
+parses the whole package, computes replay reachability from the call
+graph, and layers interprocedural checkers on top (docs/lint.md,
+"Two tiers").
 
 Entry points: ``fastsim-repro lint`` / ``fastsim-repro lint-asm``
 (CLI), the ``fastsim-lint`` console script, or programmatically::
@@ -29,21 +36,37 @@ documented in docs/lint.md.
 from repro.lint.findings import Finding, Severity
 from repro.lint.registry import (
     CHECKERS,
+    PROJECT_CHECKERS,
     REPLAY_PATH_SUFFIXES,
     Checker,
     LintContext,
+    ProjectChecker,
     all_rules,
     is_replay_path,
     register,
+    register_project,
     run_checkers,
 )
-from repro.lint.suppress import apply_suppressions, suppressions_for
+from repro.lint.suppress import (
+    apply_suppressions,
+    file_suppressions_for,
+    suppressions_for,
+)
 from repro.lint.asmlint import ASM_RULES, lint_asm_source
+from repro.lint.baseline import (
+    apply_baseline,
+    fingerprint,
+    load_baseline,
+    make_baseline,
+    save_baseline,
+)
+from repro.lint.reporters import render_sarif, validate_sarif
 from repro.lint.runner import (
     discover,
     exit_code,
     lint_asm_file,
     lint_file,
+    lint_flow,
     lint_paths,
     lint_source,
     main,
@@ -56,21 +79,33 @@ __all__ = [
     "Checker",
     "Finding",
     "LintContext",
+    "PROJECT_CHECKERS",
+    "ProjectChecker",
     "REPLAY_PATH_SUFFIXES",
     "Severity",
     "all_rules",
+    "apply_baseline",
     "apply_suppressions",
     "discover",
     "exit_code",
+    "file_suppressions_for",
+    "fingerprint",
     "is_replay_path",
     "lint_asm_file",
     "lint_asm_source",
     "lint_file",
+    "lint_flow",
     "lint_paths",
     "lint_source",
+    "load_baseline",
     "main",
+    "make_baseline",
+    "render_sarif",
     "report",
     "register",
+    "register_project",
     "run_checkers",
+    "save_baseline",
     "suppressions_for",
+    "validate_sarif",
 ]

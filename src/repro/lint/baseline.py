@@ -1,0 +1,103 @@
+"""Baseline ratchet — adopt deeper rules without a flag day.
+
+A baseline file records the *accepted* findings of one lint run as
+stable fingerprints. Subsequent runs subtract the baseline, so only
+**new** findings fail the gate — and because a fingerprint disappears
+from the comparison the moment its finding is fixed, the baseline can
+only shrink in effect: a ratchet, not a blanket waiver.
+
+Fingerprints are ``sha256(path|rule|message)`` — deliberately **not**
+including the line number, so reflowing a file does not resurrect an
+accepted finding, while any change to what the checker actually says
+(different rule, different message, different file) counts as new.
+Identical findings in one file share a fingerprint; the baseline
+stores a count per fingerprint, so *adding* a second identical hazard
+still fails.
+
+File format (JSON, sorted, diff-friendly)::
+
+    {
+      "version": 1,
+      "fingerprints": {"<hex>": {"count": N, "note": "path: message"}}
+    }
+
+Workflow: ``fastsim-lint --write-baseline lint-baseline.json`` accepts
+the current findings; ``fastsim-lint --baseline lint-baseline.json``
+gates on anything the baseline does not cover.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List, Tuple
+
+from repro.lint.findings import Finding
+
+#: Schema version of the baseline file.
+BASELINE_VERSION = 1
+
+
+def fingerprint(finding: Finding) -> str:
+    """Stable identity of *finding* (line-number independent)."""
+    payload = f"{finding.path}|{finding.rule}|{finding.message}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def make_baseline(findings: List[Finding]) -> Dict:
+    """Baseline document accepting exactly *findings*."""
+    fingerprints: Dict[str, Dict] = {}
+    for finding in findings:
+        key = fingerprint(finding)
+        entry = fingerprints.setdefault(key, {
+            "count": 0,
+            "note": f"{finding.path}: {finding.message} [{finding.rule}]",
+        })
+        entry["count"] += 1
+    return {"version": BASELINE_VERSION, "fingerprints": fingerprints}
+
+
+def save_baseline(path: str, findings: List[Finding]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(make_baseline(findings), handle, indent=2,
+                  sort_keys=True)
+        handle.write("\n")
+
+
+def load_baseline(path: str) -> Dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or "fingerprints" not in document:
+        raise ValueError(f"{path}: not a lint baseline file")
+    version = document.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: baseline version {version!r} is not supported "
+            f"(expected {BASELINE_VERSION})"
+        )
+    return document
+
+
+def apply_baseline(findings: List[Finding],
+                   baseline: Dict) -> Tuple[List[Finding], int]:
+    """Subtract baselined findings.
+
+    Returns ``(new_findings, suppressed_count)``. Per fingerprint, up
+    to the baselined *count* findings are absorbed (sorted order, so
+    the survivors are deterministic); any excess — a second identical
+    hazard added later — stays on the gate.
+    """
+    budgets = {
+        key: int(entry.get("count", 0))
+        for key, entry in baseline.get("fingerprints", {}).items()
+    }
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in sorted(findings):
+        key = fingerprint(finding)
+        if budgets.get(key, 0) > 0:
+            budgets[key] -= 1
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, suppressed

@@ -23,6 +23,9 @@ Rules
 ``det/id-dependent`` (record/replay path only)
     ``id(...)`` — CPython addresses differ run to run, so an ``id``
     must never reach an outcome key, edge table, or statistic.
+    Exempt: id() used purely as an identity *key* (set membership,
+    dict subscript/key) — both runs see the same partition even
+    though the raw addresses differ (:func:`identity_key_uses`).
 
 ``det/salted-hash`` (record/replay path only)
     Builtin ``hash(...)`` — string hashing is salted per process
@@ -51,7 +54,7 @@ from repro.lint.findings import Finding, Severity
 from repro.lint.registry import Checker, LintContext, register
 
 #: ``random`` module functions that consume the shared global RNG.
-_GLOBAL_RNG_FUNCS = frozenset({
+GLOBAL_RNG_FUNCS = frozenset({
     "random", "randint", "randrange", "choice", "choices", "shuffle",
     "sample", "uniform", "triangular", "betavariate", "expovariate",
     "gammavariate", "gauss", "lognormvariate", "normalvariate",
@@ -60,7 +63,7 @@ _GLOBAL_RNG_FUNCS = frozenset({
 })
 
 #: (module, attribute) calls that read a host clock.
-_CLOCK_CALLS = frozenset({
+CLOCK_CALLS = frozenset({
     ("time", "time"), ("time", "time_ns"),
     ("time", "monotonic"), ("time", "monotonic_ns"),
     ("time", "perf_counter"), ("time", "perf_counter_ns"),
@@ -69,14 +72,77 @@ _CLOCK_CALLS = frozenset({
 })
 
 #: (module, attribute) calls that read OS entropy.
-_ENTROPY_CALLS = frozenset({
+ENTROPY_CALLS = frozenset({
     ("os", "urandom"), ("uuid", "uuid1"), ("uuid", "uuid4"),
+})
+
+# Back-compat aliases (the tables predate the flow session, which
+# shares them interprocedurally and needed them public).
+_GLOBAL_RNG_FUNCS = GLOBAL_RNG_FUNCS
+_CLOCK_CALLS = CLOCK_CALLS
+_ENTROPY_CALLS = ENTROPY_CALLS
+
+#: Rules that fire only with strict scoping: on record/replay-path
+#: modules in per-file mode, or inside computed replay-reachable
+#: functions in ``--flow`` mode. ``det/unseeded-random`` fires
+#: everywhere and is deliberately absent.
+STRICT_ONLY_RULES = frozenset({
+    "det/time-dependent",
+    "det/id-dependent",
+    "det/salted-hash",
+    "det/set-iteration",
+    "det/dict-value-iteration",
 })
 
 #: Set-method calls that yield a new (unordered) set.
 _SET_PRODUCING_METHODS = frozenset({
     "union", "intersection", "difference", "symmetric_difference", "copy",
 })
+
+
+def _is_id_call(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "id")
+
+
+def identity_key_uses(tree: ast.AST) -> Set[int]:
+    """``id(...)`` calls used purely as identity *keys* — membership
+    tests, set elements, dict subscripts/keys — returned as AST node
+    ids. An id() value that only ever partitions objects by identity
+    (and is never ordered, recorded, or arithmetic on) is replay-safe:
+    both record and replay see the same partition even though the raw
+    addresses differ. ``det/id-dependent`` skips these uses."""
+    absolved: Set[int] = set()
+
+    def absolve(candidate: ast.AST) -> None:
+        if _is_id_call(candidate):
+            absolved.add(id(candidate))
+
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("add", "discard", "remove")
+                and len(node.args) == 1 and not node.keywords):
+            absolve(node.args[0])
+        elif isinstance(node, ast.Compare):
+            if any(isinstance(op, (ast.In, ast.NotIn)) for op in node.ops):
+                absolve(node.left)
+                for comparator in node.comparators:
+                    absolve(comparator)
+        elif isinstance(node, ast.Subscript):
+            absolve(node.slice)
+        elif isinstance(node, ast.Dict):
+            for key in node.keys:
+                if key is not None:
+                    absolve(key)
+        elif isinstance(node, (ast.Set, ast.SetComp)):
+            for element in (node.elts if isinstance(node, ast.Set)
+                            else [node.elt]):
+                absolve(element)
+        elif isinstance(node, ast.DictComp):
+            absolve(node.key)
+    return absolved
 
 
 def _is_set_expr(node: ast.AST, set_locals: Set[str]) -> bool:
@@ -116,6 +182,8 @@ class _DeterminismVisitor(ast.NodeVisitor):
         #: local name -> (module, attr) for ``from x import y``
         self.from_imports: Dict[str, Tuple[str, str]] = {}
         self.scopes: List[_Scope] = [_Scope()]
+        #: id() calls used purely as identity keys (never flagged).
+        self.absolved_ids = identity_key_uses(context.tree)
 
     # -- helpers --------------------------------------------------------
 
@@ -228,7 +296,7 @@ class _DeterminismVisitor(ast.NodeVisitor):
                     "record and replay",
                 )
         if self.context.strict and isinstance(node.func, ast.Name):
-            if node.func.id == "id":
+            if node.func.id == "id" and id(node) not in self.absolved_ids:
                 self._emit(
                     node, "det/id-dependent", Severity.ERROR,
                     "id() values are CPython addresses and differ "

@@ -1,0 +1,179 @@
+"""Per-function control-flow graphs.
+
+A deliberately small CFG: basic blocks of statements linked by
+successor edges, built from the structured control flow Python offers
+(``if``/``for``/``while``/``try``/``with``, ``return``/``raise``/
+``break``/``continue``). The interprocedural analyses walk statements
+in block order — today they are flow-insensitive within a function,
+but call-site extraction, reachable-statement iteration, and the
+function span table all come from here, so the graph is the one place
+that knows a function's shape.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+FunctionNode = ast.AST  # FunctionDef | AsyncFunctionDef
+
+
+class Block:
+    """One basic block: statements executed without branching."""
+
+    __slots__ = ("index", "statements", "successors")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.statements: List[ast.stmt] = []
+        self.successors: List["Block"] = []
+
+    def link(self, other: Optional["Block"]) -> None:
+        if other is not None and other not in self.successors:
+            self.successors.append(other)
+
+    def __repr__(self) -> str:
+        return (f"<Block {self.index}: {len(self.statements)} stmts "
+                f"-> {[b.index for b in self.successors]}>")
+
+
+@dataclass
+class CFG:
+    """Control-flow graph of one function body."""
+
+    entry: Block
+    blocks: List[Block] = field(default_factory=list)
+
+    def statements(self):
+        """Iterate every statement, block order (deterministic)."""
+        for block in self.blocks:
+            yield from block.statements
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.blocks: List[Block] = []
+
+    def new_block(self) -> Block:
+        block = Block(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def build(self, body: List[ast.stmt]) -> CFG:
+        entry = self.new_block()
+        exit_block = self.new_block()
+        last = self._body(body, entry, exit_block, None, None)
+        if last is not None:
+            last.link(exit_block)
+        return CFG(entry=entry, blocks=self.blocks)
+
+    def _body(self, statements: List[ast.stmt], current: Block,
+              fn_exit: Block, loop_head: Optional[Block],
+              loop_exit: Optional[Block]) -> Optional[Block]:
+        """Append *statements* starting in *current*; return the block
+        control falls out of, or None if every path left."""
+        for statement in statements:
+            if current is None:
+                current = self.new_block()  # unreachable tail; keep it
+            kind = type(statement)
+            if kind in (ast.If,):
+                current.statements.append(statement)
+                after = self.new_block()
+                for branch in (statement.body, statement.orelse):
+                    if branch:
+                        head = self.new_block()
+                        current.link(head)
+                        last = self._body(branch, head, fn_exit,
+                                          loop_head, loop_exit)
+                        if last is not None:
+                            last.link(after)
+                    else:
+                        current.link(after)
+                current = after
+            elif kind in (ast.For, ast.AsyncFor, ast.While):
+                current.statements.append(statement)
+                head = self.new_block()
+                after = self.new_block()
+                current.link(head)
+                current.link(after)  # zero-iteration / false condition
+                last = self._body(statement.body, head, fn_exit,
+                                  head, after)
+                if last is not None:
+                    last.link(head)
+                if statement.orelse:
+                    else_head = self.new_block()
+                    head.link(else_head)
+                    last = self._body(statement.orelse, else_head,
+                                      fn_exit, loop_head, loop_exit)
+                    if last is not None:
+                        last.link(after)
+                current = after
+            elif kind in (ast.Try, getattr(ast, "TryStar", ast.Try)):
+                current.statements.append(statement)
+                after = self.new_block()
+                body_head = self.new_block()
+                current.link(body_head)
+                last = self._body(statement.body, body_head, fn_exit,
+                                  loop_head, loop_exit)
+                for handler in statement.handlers:
+                    handler_head = self.new_block()
+                    body_head.link(handler_head)  # approximation
+                    handler_last = self._body(handler.body, handler_head,
+                                              fn_exit, loop_head,
+                                              loop_exit)
+                    if handler_last is not None:
+                        handler_last.link(after)
+                if statement.orelse and last is not None:
+                    else_head = self.new_block()
+                    last.link(else_head)
+                    last = self._body(statement.orelse, else_head,
+                                      fn_exit, loop_head, loop_exit)
+                if statement.finalbody:
+                    final_head = self.new_block()
+                    if last is not None:
+                        last.link(final_head)
+                    body_head.link(final_head)
+                    last = self._body(statement.finalbody, final_head,
+                                      fn_exit, loop_head, loop_exit)
+                if last is not None:
+                    last.link(after)
+                current = after
+            elif kind in (ast.With, ast.AsyncWith):
+                current.statements.append(statement)
+                inner = self.new_block()
+                current.link(inner)
+                current = self._body(statement.body, inner, fn_exit,
+                                     loop_head, loop_exit)
+            elif kind in (ast.Return, ast.Raise):
+                current.statements.append(statement)
+                current.link(fn_exit)
+                current = None
+            elif kind is ast.Break:
+                current.statements.append(statement)
+                current.link(loop_exit)
+                current = None
+            elif kind is ast.Continue:
+                current.statements.append(statement)
+                current.link(loop_head)
+                current = None
+            else:
+                current.statements.append(statement)
+        return current
+
+
+def build_cfg(function: FunctionNode) -> CFG:
+    """Build the CFG of one ``FunctionDef`` / ``AsyncFunctionDef``."""
+    return _Builder().build(list(function.body))
+
+
+def function_span(function: FunctionNode) -> Tuple[int, int]:
+    """Inclusive (first, last) source line of *function*."""
+    end = getattr(function, "end_lineno", None)
+    if end is None:  # pragma: no cover - pre-3.8 safety net
+        end = max((getattr(n, "lineno", function.lineno)
+                   for n in ast.walk(function)), default=function.lineno)
+    first = function.lineno
+    if function.decorator_list:
+        first = min(first, function.decorator_list[0].lineno)
+    return first, end

@@ -1,0 +1,369 @@
+"""Turbo codegen contracts (flow family 3).
+
+``repro.memo.compile`` generates Python at runtime and ``exec``\\ s it
+on the replay hot path. A code generator is the one part of the
+simulator a source-level lint cannot see — unless the lint *runs* it.
+This family compiles representative action chains (every node kind,
+guards, terminals, inlined and table keys), captures the generated
+source, parses it, and enforces the contract that keeps compiled
+replay bit-identical to interpreted replay:
+
+``flow/codegen-name`` (error)
+    Generated code references a name outside the whitelist: the
+    segment parameters (``world``/``R``/``K``/``ctl_a``), the world
+    binding aliases, and the two reply locals (``r``/``rec``). Any
+    other name is smuggled state.
+
+``flow/codegen-attr`` (error)
+    Generated code accesses an attribute other than ``world.<m>`` for
+    a sanctioned world method, or ``rec.outcome_key``. The attribute
+    surface *is* the side-effect surface.
+
+``flow/codegen-shape`` (error)
+    A generated statement deviates from the five allowed shapes
+    (binding, reply call, effect call, guard, return). New shapes mean
+    the emitter grew behavior the contract never reviewed.
+
+``flow/codegen-drift`` (error)
+    The emitter's :data:`~repro.memo.compile.WORLD_BINDINGS` table and
+    the interpreted replay loop's world-call set have diverged, or a
+    :data:`~repro.memo.compile.SEG_TEMPLATES` entry references an
+    alias the bindings table does not define. Compiled and interpreted
+    replay must perform the same world calls — drift here is how
+    "bit-identical with turbo on or off" silently stops being true.
+
+The interpreter side is derived *statically* from the session's module
+graph (the ``world.<method>(...)`` calls inside
+``FastForwardEngine._replay``), so the cross-check needs no live
+engine and works on fixture packages too.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import textwrap
+from typing import Iterator, List, Set
+
+#: A ``str.format`` replacement field inside a SEG_TEMPLATES entry.
+_FORMAT_FIELD_RE = re.compile(r"\{[^{}]*\}")
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import ProjectChecker, register_project
+
+RULE_NAME = "flow/codegen-name"
+RULE_ATTR = "flow/codegen-attr"
+RULE_SHAPE = "flow/codegen-shape"
+RULE_DRIFT = "flow/codegen-drift"
+
+#: Parameters of every generated segment function.
+SEG_PARAMS = ("world", "R", "K", "ctl_a")
+
+#: Locals generated code may bind (world aliases come from
+#: WORLD_BINDINGS at check time; these are the reply captures).
+REPLY_LOCALS = ("r", "rec")
+
+#: The one non-world method generated code may call on a reply.
+REPLY_METHODS = frozenset({"outcome_key"})
+
+
+def build_audit_chains():
+    """Representative action chains covering every emitter path.
+
+    Returns ``[(label, head, node_count)]``. Built from the real node
+    classes so the audit compiles exactly what production would.
+    """
+    from repro.memo.actions import (
+        AdvanceNode,
+        ConfigNode,
+        ControlNode,
+        EndNode,
+        LoadIssueNode,
+        LoadPollNode,
+        RetireNode,
+        RollbackNode,
+        StoreIssueNode,
+    )
+
+    chains = []
+
+    # 1. Linear fusion: advances fuse, retire/rollback emit requests.
+    a1, a2 = AdvanceNode(3), AdvanceNode(2)
+    retire = RetireNode(4, 1, 1, 0, 1)
+    rollback = RollbackNode(2, 1, 0, 0)
+    end = EndNode(0)
+    a1.next, a2.next, retire.next, rollback.next = a2, retire, rollback, end
+    chains.append(("linear", a1, 4))
+
+    # 2. Guarded outcomes: one of each kind, single-edge (inlinable
+    #    int key, then a non-inlinable tuple-of-list key through K).
+    adv = AdvanceNode(1)
+    load = LoadIssueNode(0)
+    poll = LoadPollNode(0)
+    store = StoreIssueNode(1)
+    tail = EndNode(0)
+    adv.next = load
+    load.edges[7] = poll
+    poll.edges[(3, (1, 2))] = store
+    store.edges[5] = tail
+    chains.append(("guards", adv, 4))
+
+    # 3. Control guard + config pass-through + dynamic terminal.
+    config = ConfigNode(b"\x01\x02", 2)
+    ctl = ControlNode()
+    adv2 = AdvanceNode(9)
+    terminal = ControlNode()
+    head = AdvanceNode(1)
+    head.next = config
+    config.next = ctl
+    ctl.edges[("ctl", 0, True)] = adv2
+    adv2.next = terminal
+    terminal.edges[("ctl", 1, True)] = EndNode(0)
+    terminal.edges[("ctl", 1, False)] = EndNode(1)
+    chains.append(("control-terminal", head, 5))
+
+    return chains
+
+
+def interpreter_world_calls(session) -> Set[str]:
+    """World methods the interpreted replay loop calls, derived
+    statically from the session's parsed ``engine`` module."""
+    methods: Set[str] = set()
+    for qualname in session.callgraph.match_suffix(
+            "FastForwardEngine._replay"):
+        fn = session.callgraph.functions[qualname]
+        for statement in fn.cfg.statements():
+            for node in ast.walk(statement):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if (isinstance(func, ast.Attribute)
+                        and isinstance(func.value, ast.Name)
+                        and func.value.id == "world"):
+                    methods.add(func.attr)
+                elif (isinstance(func, ast.Attribute)
+                        and isinstance(func.value, ast.Attribute)
+                        and func.value.attr == "world"):
+                    methods.add(func.attr)
+    return methods
+
+
+class _GeneratedSourceAuditor:
+    """Parses one captured segment source and checks the contract."""
+
+    def __init__(self, path: str, label: str, source: str,
+                 world_methods: Set[str], aliases: Set[str]):
+        self.path = path
+        self.label = label
+        self.source = source
+        self.world_methods = world_methods
+        self.allowed_names = set(SEG_PARAMS) | set(REPLY_LOCALS) | aliases
+        self.findings: List[Finding] = []
+
+    def _emit(self, rule: str, message: str, line: int = 1) -> None:
+        self.findings.append(Finding(
+            path=self.path, line=line, col=1, rule=rule,
+            severity=Severity.ERROR,
+            message=f"[chain '{self.label}'] {message}",
+        ))
+
+    def audit(self) -> List[Finding]:
+        try:
+            tree = ast.parse(self.source)
+        except SyntaxError as exc:
+            self._emit(RULE_SHAPE,
+                       f"generated source does not parse: {exc.msg}",
+                       exc.lineno or 1)
+            return self.findings
+        if (len(tree.body) != 1
+                or not isinstance(tree.body[0], ast.FunctionDef)):
+            self._emit(RULE_SHAPE,
+                       "generated module must be exactly one function")
+            return self.findings
+        fn = tree.body[0]
+        self._check_names(fn)
+        self._check_attrs(fn)
+        for statement in fn.body:
+            self._check_shape(statement)
+        return self.findings
+
+    def _check_names(self, fn: ast.FunctionDef) -> None:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Name):
+                if node.id not in self.allowed_names:
+                    self._emit(
+                        RULE_NAME,
+                        f"generated code references name "
+                        f"'{node.id}' outside the segment whitelist",
+                        node.lineno,
+                    )
+
+    def _check_attrs(self, fn: ast.FunctionDef) -> None:
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Attribute):
+                continue
+            base = node.value
+            if isinstance(base, ast.Name) and base.id == "world":
+                if node.attr not in self.world_methods:
+                    self._emit(
+                        RULE_ATTR,
+                        f"generated code binds world.{node.attr}, "
+                        "which interpreted replay never calls",
+                        node.lineno,
+                    )
+            elif isinstance(base, ast.Name) and base.id == "rec":
+                if node.attr not in REPLY_METHODS:
+                    self._emit(
+                        RULE_ATTR,
+                        f"generated code accesses rec.{node.attr}; "
+                        "only outcome_key() is sanctioned",
+                        node.lineno,
+                    )
+            else:
+                self._emit(
+                    RULE_ATTR,
+                    "generated code contains an attribute access "
+                    "outside world.<method> / rec.outcome_key",
+                    node.lineno,
+                )
+
+    def _check_shape(self, statement: ast.stmt) -> None:
+        line = getattr(statement, "lineno", 1)
+        if isinstance(statement, ast.Assign):
+            if (len(statement.targets) == 1
+                    and isinstance(statement.targets[0], ast.Name)
+                    and isinstance(statement.value,
+                                   (ast.Attribute, ast.Call))):
+                return  # binding or reply-capture call
+        elif isinstance(statement, ast.Expr):
+            if isinstance(statement.value, ast.Call):
+                return  # effect call (w_adv/w_ret/w_rb/ctl_a)
+        elif isinstance(statement, ast.If):
+            test = statement.test
+            if (isinstance(test, ast.Compare)
+                    and len(test.ops) == 1
+                    and isinstance(test.ops[0], ast.NotEq)
+                    and len(statement.body) == 1
+                    and not statement.orelse
+                    and isinstance(statement.body[0], ast.Return)):
+                return  # guard with side-exit return
+        elif isinstance(statement, ast.Return):
+            return
+        self._emit(
+            RULE_SHAPE,
+            f"generated statement shape {type(statement).__name__} is "
+            "outside the segment contract (binding / reply call / "
+            "effect call / guard / return)",
+            line,
+        )
+
+
+def _template_aliases(template: str) -> Set[str]:
+    """Names a SEG_TEMPLATES entry references outside its fields.
+
+    Format fields are substituted with a dummy literal so the template
+    parses as the statement it will expand to (``w_ret(R[{index}])``
+    becomes ``w_ret(R[0])``); any :class:`ast.Name` left is an alias
+    the template hardcodes. Templates whose fields *are* the statement
+    structure (the ``bind`` line) do not parse and contribute nothing
+    — their aliases come straight from ``WORLD_BINDINGS``.
+    """
+    names: Set[str] = set()
+    rendered = _FORMAT_FIELD_RE.sub("0", template)
+    try:
+        tree = ast.parse(textwrap.dedent(rendered).strip() or "pass")
+    except SyntaxError:
+        return names
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+    return names
+
+
+@register_project
+class CodegenContractChecker(ProjectChecker):
+    """Flow family 3: audit the turbo emitter's generated source and
+    cross-check it against the interpreter's side-effect set."""
+
+    name = "flow-codegen"
+    rules = (RULE_NAME, RULE_ATTR, RULE_SHAPE, RULE_DRIFT)
+
+    def check(self, session) -> Iterator[Finding]:
+        compile_module = session.compile_module()
+        if compile_module is None:
+            return  # package has no turbo emitter; nothing to audit
+        path = compile_module.path
+        from repro.memo import compile as compiler
+
+        world_methods = set(
+            target.split(".", 1)[1]
+            for target in compiler.WORLD_BINDINGS.values()
+            if target.startswith("world.")
+        )
+        yield from self._check_drift(session, path, compiler,
+                                     world_methods)
+        aliases = set(compiler.WORLD_BINDINGS)
+        for label, head, _count in build_audit_chains():
+            segment = compiler.compile_segment(head, generation=0,
+                                               capture_source=True)
+            auditor = _GeneratedSourceAuditor(
+                path, label, segment.source, world_methods, aliases)
+            yield from auditor.audit()
+
+    def _check_drift(self, session, path: str, compiler,
+                     world_methods: Set[str]) -> Iterator[Finding]:
+        line = self._bindings_line(session, path)
+        interp = interpreter_world_calls(session)
+        if interp:
+            for method in sorted(world_methods - interp):
+                yield Finding(
+                    path=path, line=line, col=1, rule=RULE_DRIFT,
+                    severity=Severity.ERROR,
+                    message=(
+                        f"WORLD_BINDINGS exposes world.{method} but "
+                        "the interpreted replay loop never calls it; "
+                        "compiled and interpreted replay must share "
+                        "one side-effect surface"
+                    ),
+                )
+            for method in sorted(interp - world_methods):
+                yield Finding(
+                    path=path, line=line, col=1, rule=RULE_DRIFT,
+                    severity=Severity.ERROR,
+                    message=(
+                        f"interpreted replay calls world.{method} but "
+                        "WORLD_BINDINGS cannot emit it; a chain "
+                        "containing that action would compile to a "
+                        "segment with different effects"
+                    ),
+                )
+        # Every alias a template mentions must be bindable.
+        bindable = set(compiler.WORLD_BINDINGS) | set(SEG_PARAMS) | set(
+            REPLY_LOCALS)
+        for key in sorted(compiler.SEG_TEMPLATES):
+            for name in sorted(
+                    _template_aliases(compiler.SEG_TEMPLATES[key])):
+                if name not in bindable:
+                    yield Finding(
+                        path=path, line=line, col=1, rule=RULE_DRIFT,
+                        severity=Severity.ERROR,
+                        message=(
+                            f"SEG_TEMPLATES['{key}'] references "
+                            f"'{name}', which WORLD_BINDINGS does not "
+                            "define and the segment signature does "
+                            "not provide"
+                        ),
+                    )
+
+    @staticmethod
+    def _bindings_line(session, path: str) -> int:
+        info = session.modgraph.by_path.get(path)
+        if info is None:
+            return 1
+        for node in info.tree.body:
+            if (isinstance(node, ast.Assign)
+                    and any(isinstance(t, ast.Name)
+                            and t.id == "WORLD_BINDINGS"
+                            for t in node.targets)):
+                return node.lineno
+        return 1

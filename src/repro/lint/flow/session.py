@@ -1,0 +1,165 @@
+"""Flow session: whole-program orchestration.
+
+One :class:`FlowSession` = one analyzed package. It builds the module
+graph and call graph once, computes the set of functions reachable
+from the record/replay entry points, and then
+
+1. runs the **per-file** checker families over every module with
+   strict scoping *computed* from reachability: rules in
+   :data:`~repro.lint.determinism.STRICT_ONLY_RULES` keep only the
+   findings that fall inside a replay-reachable function's line span.
+   This replaces the hardcoded ``REPLAY_PATH_SUFFIXES`` allowlist —
+   a helper module three imports away from the engine gets exactly
+   the same strict treatment as the engine itself, and module-level
+   code that never runs during replay gets none;
+2. runs every registered **project** checker family
+   (:data:`~repro.lint.registry.PROJECT_CHECKERS`: taint, effects,
+   codegen contracts) over the session.
+
+Findings come back unsuppressed — the runner owns suppression, so
+tests can see raw checker output (same contract as ``run_checkers``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.lint.determinism import STRICT_ONLY_RULES
+from repro.lint.findings import Finding
+from repro.lint.flow.callgraph import CallGraph
+from repro.lint.flow.effects import EffectTable
+from repro.lint.flow.modgraph import ModuleGraph, ModuleInfo
+from repro.lint.registry import (
+    PROJECT_CHECKERS,
+    LintContext,
+    run_checkers,
+)
+
+#: Qualname suffixes of the record/replay entry points. Everything
+#: transitively callable from these is "the replay path"; strict
+#: determinism rules and the flow families scope to that set. The
+#: suffixes are class-qualified but package-agnostic so fixture
+#: packages exercise the session the same way ``src/repro`` does.
+REPLAY_ENTRY_SUFFIXES = (
+    "FastSim.run",                 # the public simulation driver
+    "FastForwardEngine.run",       # memo engine mode dispatch
+    "FastForwardEngine._record",   # record pass
+    "FastForwardEngine._replay",   # replay pass (turbo dispatch too)
+    "FastForwardEngine._resync",   # divergence recovery
+    "compile_segment",             # turbo segment compilation
+)
+
+
+class FlowSession:
+    """Whole-program analysis state for one package."""
+
+    def __init__(self, root: str, package: Optional[str] = None,
+                 paths: Optional[List[str]] = None,
+                 entries: Sequence[str] = REPLAY_ENTRY_SUFFIXES):
+        self.root = root
+        self.entries = tuple(entries)
+        self.modgraph = ModuleGraph.build(root, package=package,
+                                          paths=paths)
+        self.callgraph = CallGraph(self.modgraph)
+        self._reachable: Optional[FrozenSet[str]] = None
+        self._effects: Optional[EffectTable] = None
+
+    # -- derived state ----------------------------------------------------
+
+    @property
+    def anchor_path(self) -> str:
+        """Path findings without a better anchor point at (the package
+        ``__init__``, or the first module, or the root)."""
+        init_name = self.modgraph.package
+        info = self.modgraph.modules.get(init_name)
+        if info is not None:
+            return info.path
+        for name in sorted(self.modgraph.modules):
+            return self.modgraph.modules[name].path
+        return self.root
+
+    def entry_functions(self) -> List[str]:
+        """Qualnames the entry suffixes matched, sorted."""
+        matched: List[str] = []
+        for suffix in self.entries:
+            for qualname in self.callgraph.match_suffix(suffix):
+                if qualname not in matched:
+                    matched.append(qualname)
+        return sorted(matched)
+
+    def reachable(self) -> FrozenSet[str]:
+        """Function qualnames reachable from the replay entry points."""
+        if self._reachable is None:
+            self._reachable = self.callgraph.reachable_from(
+                self.entry_functions())
+        return self._reachable
+
+    def reachable_spans(self) -> Dict[str, List[Tuple[int, int]]]:
+        """Per-path, sorted line spans of replay-reachable functions."""
+        spans: Dict[str, List[Tuple[int, int]]] = {}
+        for qualname in sorted(self.reachable()):
+            fn = self.callgraph.functions[qualname]
+            spans.setdefault(fn.module.path, []).append(fn.span)
+        for path in spans:
+            spans[path].sort()
+        return spans
+
+    def effects(self) -> EffectTable:
+        """Lazily-built attribute effect table (shared by checkers)."""
+        if self._effects is None:
+            self._effects = EffectTable(self.callgraph)
+        return self._effects
+
+    def compile_module(self) -> Optional[ModuleInfo]:
+        """The package's turbo emitter module, if it has one."""
+        for name in sorted(self.modgraph.modules):
+            if name.endswith("memo.compile"):
+                return self.modgraph.modules[name]
+        return None
+
+    # -- running checkers -------------------------------------------------
+
+    def per_file_findings(self) -> List[Finding]:
+        """Per-file families over every module, with strict-only rules
+        scoped to replay-reachable function spans (unsuppressed)."""
+        spans = self.reachable_spans()
+        findings: List[Finding] = []
+        for name in sorted(self.modgraph.modules):
+            info = self.modgraph.modules[name]
+            context = LintContext(path=info.path, source=info.source,
+                                  tree=info.tree, strict=True)
+            module_spans = spans.get(info.path, [])
+            for finding in run_checkers(context):
+                if finding.rule in STRICT_ONLY_RULES and not _in_spans(
+                        finding.line, module_spans):
+                    continue
+                findings.append(finding)
+        return findings
+
+    def project_findings(self) -> List[Finding]:
+        """Registered project (flow) checker families (unsuppressed)."""
+        findings: List[Finding] = []
+        for checker_class in PROJECT_CHECKERS:
+            findings.extend(checker_class().check(self))
+        return sorted(findings)
+
+    def run(self, per_file: bool = True) -> List[Finding]:
+        """The full session: per-file (strict-scoped) + project
+        families, sorted, unsuppressed."""
+        findings = self.per_file_findings() if per_file else []
+        findings.extend(self.project_findings())
+        return sorted(findings)
+
+
+def _in_spans(line: int, spans: List[Tuple[int, int]]) -> bool:
+    return any(start <= line <= end for start, end in spans)
+
+
+def run_flow_checkers(root: str, package: Optional[str] = None,
+                      paths: Optional[List[str]] = None,
+                      entries: Sequence[str] = REPLAY_ENTRY_SUFFIXES,
+                      per_file: bool = True) -> List[Finding]:
+    """Convenience wrapper: build a session and run it."""
+    session = FlowSession(root, package=package, paths=paths,
+                          entries=entries)
+    return session.run(per_file=per_file)

@@ -19,8 +19,11 @@ from repro.lint.findings import Finding
 
 #: Module paths forming the record/replay core, where iteration-order
 #: and identity hazards would leak into recorded action chains and
-#: break bit-identical replay. Determinism rules marked *strict-only*
-#: fire only here (see docs/lint.md).
+#: break bit-identical replay. In **per-file** mode, determinism rules
+#: marked *strict-only* fire only here; the ``--flow`` session ignores
+#: this list and scopes those rules to the *computed* set of functions
+#: reachable from the record/replay entry points instead (see
+#: docs/lint.md).
 REPLAY_PATH_SUFFIXES = (
     "repro/memo/engine.py",
     "repro/memo/actions.py",
@@ -74,8 +77,29 @@ class Checker:
         yield  # pragma: no cover
 
 
+class ProjectChecker:
+    """Base class for whole-program checker families.
+
+    Where :class:`Checker` sees one parsed module, a project checker's
+    :meth:`check` receives a :class:`repro.lint.flow.FlowSession` —
+    module graph, call graph, and replay reachability — and may emit
+    findings anywhere in the analyzed package. Registered families run
+    once per session, after the per-file families.
+    """
+
+    name: str = "project-base"
+    rules: tuple = ()
+
+    def check(self, session) -> Iterator[Finding]:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
 #: Registered checker classes, in registration order.
 CHECKERS: List[Type[Checker]] = []
+
+#: Registered project-wide checker classes (the flow session).
+PROJECT_CHECKERS: List[Type[ProjectChecker]] = []
 
 
 def register(checker_class: Type[Checker]) -> Type[Checker]:
@@ -84,10 +108,19 @@ def register(checker_class: Type[Checker]) -> Type[Checker]:
     return checker_class
 
 
+def register_project(
+        checker_class: Type[ProjectChecker]) -> Type[ProjectChecker]:
+    """Class decorator adding a project-wide (flow) checker family."""
+    PROJECT_CHECKERS.append(checker_class)
+    return checker_class
+
+
 def all_rules() -> List[str]:
     """Every rule id any registered checker can emit, sorted."""
     names = set()
     for checker_class in CHECKERS:
+        names.update(checker_class.rules)
+    for checker_class in PROJECT_CHECKERS:
         names.update(checker_class.rules)
     return sorted(names)
 

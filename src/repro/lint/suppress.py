@@ -13,6 +13,17 @@ The same syntax works in assembly sources after ``!`` or ``#``::
 
 Suppressions are deliberate, reviewable exceptions: the marker sits on
 the flagged line, so a reviewer sees the hazard and its waiver together.
+
+**File-level** suppression disables a rule for a whole module when the
+marker appears in the first :data:`FILE_MARKER_WINDOW` lines::
+
+    # repro-lint: disable-file=det/dict-value-iteration
+
+Per-line markers compose with findings that point at one statement;
+the file form exists for findings that describe a module-level
+property and for adopting the flow session on legacy modules without
+a baseline. The head-of-file window keeps the waiver where a reader
+looking at the module sees it immediately.
 """
 
 from __future__ import annotations
@@ -25,6 +36,13 @@ from repro.lint.findings import Finding
 _MARKER_RE = re.compile(
     r"repro-lint:\s*disable=([A-Za-z0-9_/,\- ]+)"
 )
+
+_FILE_MARKER_RE = re.compile(
+    r"repro-lint:\s*disable-file=([A-Za-z0-9_/,\- ]+)"
+)
+
+#: A ``disable-file`` marker must sit in the first N physical lines.
+FILE_MARKER_WINDOW = 5
 
 
 def suppressions_for(source: str) -> Dict[int, FrozenSet[str]]:
@@ -43,14 +61,32 @@ def suppressions_for(source: str) -> Dict[int, FrozenSet[str]]:
     return table
 
 
+def file_suppressions_for(source: str) -> FrozenSet[str]:
+    """Rules disabled module-wide by a head-of-file marker."""
+    rules: set = set()
+    for line in source.splitlines()[:FILE_MARKER_WINDOW]:
+        match = _FILE_MARKER_RE.search(line)
+        if match is None:
+            continue
+        rules.update(
+            token.strip() for token in match.group(1).split(",")
+            if token.strip()
+        )
+    return frozenset(rules)
+
+
 def apply_suppressions(findings: List[Finding],
                        source: str) -> List[Finding]:
-    """Drop findings whose line disables their rule (or ``all``)."""
+    """Drop findings whose line — or whole file — disables their rule
+    (or ``all``)."""
     table = suppressions_for(source)
-    if not table:
+    file_rules = file_suppressions_for(source)
+    if not table and not file_rules:
         return list(findings)
     kept = []
     for finding in findings:
+        if finding.rule in file_rules or "all" in file_rules:
+            continue
         disabled = table.get(finding.line, frozenset())
         if finding.rule in disabled or "all" in disabled:
             continue

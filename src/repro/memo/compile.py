@@ -115,6 +115,43 @@ DEFAULT_COMPILE_THRESHOLD = 8
 #: chains so generated functions stay small).
 MAX_SEGMENT_NODES = 512
 
+#: Signature of every generated segment function. ``world`` is the
+#: live world adapter, ``R`` the pre-built request tuple, ``K`` the
+#: non-inlinable key tuple, ``ctl_a`` the control-record collector.
+SEG_HEADER = "def _seg(world, R, K, ctl_a):\n"
+
+#: Local alias -> world attribute each generated binding line caches.
+#: The values are, by construction, exactly the world methods the
+#: interpreted replay loop (:meth:`FastForwardEngine._replay`) calls —
+#: the flow lint's codegen checker cross-checks this table against the
+#: interpreter source so compiler/interpreter drift is a lint error.
+WORLD_BINDINGS = {
+    "w_adv": "world.advance_cycles", "w_ret": "world.retire",
+    "w_rb": "world.rollback", "w_get": "world.get_control",
+    "w_il": "world.issue_load", "w_pl": "world.poll_load",
+    "w_st": "world.issue_store",
+}
+
+#: Every line shape :func:`compile_segment` can emit, as
+#: ``str.format`` templates. Exposed as a module constant so the flow
+#: lint can audit the emitter (and tests can inject a mutation to
+#: prove the audit bites). Generated code never contains any other
+#: statement shape.
+SEG_TEMPLATES = {
+    "bind": "    {name} = {target}\n",
+    "advance": "    w_adv({delta})",
+    "retire": "    w_ret(R[{index}])",
+    "rollback": "    w_rb(R[{index}])",
+    "control_call": "    rec = w_get()",
+    "control_log": "    ctl_a(rec)",
+    "load_issue": "    r = w_il({ordinal})",
+    "load_poll": "    r = w_pl({ordinal})",
+    "store_issue": "    r = w_st({ordinal})",
+    "guard": "    if {test} != {key}: return ({index}, {ret})",
+    "terminal": "    return ({index}, {ret})",
+    "epilogue": "    return None\n",
+}
+
 
 @dataclass(frozen=True)
 class TurboConfig:
@@ -166,6 +203,7 @@ class CompiledSegment:
 
     __slots__ = (
         "fn",           #: generated straight-line replay function
+        "source",       #: generated source (capture_source=True only)
         "nodes",        #: tuple of covered nodes, traversal order
         "requests",     #: tuple of pre-built Retire/Rollback requests
         "keys",         #: tuple of non-inlinable expected edge keys
@@ -190,8 +228,10 @@ class CompiledSegment:
     def __init__(self, fn, nodes, requests, keys, n_actions, n_configs,
                  n_ctl, cycles, instructions, last_blob, log_tail,
                  sets_anchor, trailing_delta, last_attach, end,
-                 exit_meta, guard_keys, has_terminal, generation):
+                 exit_meta, guard_keys, has_terminal, generation,
+                 source=None):
         self.fn = fn
+        self.source = source
         self.nodes = nodes
         self.requests = requests
         self.keys = keys
@@ -241,13 +281,18 @@ def patch_log(template: Tuple, ctl: List) -> List[Tuple[Node, object]]:
     ]
 
 
-def compile_segment(head: Node, generation: int) -> CompiledSegment:
+def compile_segment(head: Node, generation: int,
+                    capture_source: bool = False) -> CompiledSegment:
     """Compile the statically-known region starting at *head*.
 
     *head* must be an action node (``can_head``). The walk covers
     linear actions, configurations, and single-edge outcome nodes
     (which become guards); it stops at multi-edge outcomes, end nodes,
     pruned links, revisits, or :data:`MAX_SEGMENT_NODES`.
+
+    *capture_source* keeps the generated source on the segment's
+    ``source`` slot (the flow lint's codegen audit reads it; replay
+    never needs it, so by default it is dropped after ``compile()``).
     """
     nodes: List[Node] = []
     requests: List[object] = []
@@ -275,7 +320,7 @@ def compile_segment(head: Node, generation: int) -> CompiledSegment:
         nonlocal pending, applied
         if pending:
             used.add("w_adv")
-            lines.append(f"    w_adv({pending})")
+            lines.append(SEG_TEMPLATES["advance"].format(delta=pending))
             applied += pending
             pending = 0
 
@@ -297,26 +342,29 @@ def compile_segment(head: Node, generation: int) -> CompiledSegment:
             node, is_control, n_actions + 1, len(nodes) + 1, applied,
             instructions, n_configs, last_blob, tuple(log_since),
         ))
-        lines.append(
-            f"    if {test_expr} != {key_expr(key)}: "
-            f"return ({len(exit_meta) - 1}, {ret_expr})"
-        )
+        lines.append(SEG_TEMPLATES["guard"].format(
+            test=test_expr, key=key_expr(key),
+            index=len(exit_meta) - 1, ret=ret_expr,
+        ))
 
     def outcome_call(kind, node) -> Tuple[str, str]:
         """Emit the world call for an outcome node; return (expr, ret)."""
         if kind is ControlNode:
             used.add("w_get")
-            lines.append("    rec = w_get()")
+            lines.append(SEG_TEMPLATES["control_call"])
             return "rec.outcome_key()", "rec"
         if kind is LoadIssueNode:
             used.add("w_il")
-            lines.append(f"    r = w_il({node.ordinal})")
+            lines.append(SEG_TEMPLATES["load_issue"].format(
+                ordinal=node.ordinal))
         elif kind is LoadPollNode:
             used.add("w_pl")
-            lines.append(f"    r = w_pl({node.ordinal})")
+            lines.append(SEG_TEMPLATES["load_poll"].format(
+                ordinal=node.ordinal))
         else:  # StoreIssueNode
             used.add("w_st")
-            lines.append(f"    r = w_st({node.ordinal})")
+            lines.append(SEG_TEMPLATES["store_issue"].format(
+                ordinal=node.ordinal))
         return "r", "r"
 
     has_terminal = False
@@ -332,7 +380,8 @@ def compile_segment(head: Node, generation: int) -> CompiledSegment:
             used.add("w_ret")
             requests.append(Retire(node.count, node.loads, node.stores,
                                    node.controls, node.branches))
-            lines.append(f"    w_ret(R[{len(requests) - 1}])")
+            lines.append(SEG_TEMPLATES["retire"].format(
+                index=len(requests) - 1))
             instructions += node.count
             log_since.append((node, None))
             sets_anchor = True
@@ -343,7 +392,8 @@ def compile_segment(head: Node, generation: int) -> CompiledSegment:
                                      node.squashed_loads,
                                      node.squashed_stores,
                                      node.squashed_controls))
-            lines.append(f"    w_rb(R[{len(requests) - 1}])")
+            lines.append(SEG_TEMPLATES["rollback"].format(
+                index=len(requests) - 1))
             log_since.append((node, None))
             sets_anchor = True
             trailing = 0
@@ -366,7 +416,7 @@ def compile_segment(head: Node, generation: int) -> CompiledSegment:
             guard(node, test, ret, key, is_control)
             if is_control:
                 used.add("ctl_a")
-                lines.append("    ctl_a(rec)")
+                lines.append(SEG_TEMPLATES["control_log"])
                 log_since.append((node, _CtlSlot(n_ctl)))
                 n_ctl += 1
             else:
@@ -392,7 +442,8 @@ def compile_segment(head: Node, generation: int) -> CompiledSegment:
                 len(nodes) + 1, applied, instructions, n_configs,
                 last_blob, tuple(log_since),
             ))
-            lines.append(f"    return ({len(exit_meta) - 1}, {ret})")
+            lines.append(SEG_TEMPLATES["terminal"].format(
+                index=len(exit_meta) - 1, ret=ret))
             nodes.append(node)
             n_actions += 1
             has_terminal = True
@@ -407,17 +458,12 @@ def compile_segment(head: Node, generation: int) -> CompiledSegment:
         node = node.next
     flush()
 
-    source = "def _seg(world, R, K, ctl_a):\n"
-    binds = {
-        "w_adv": "world.advance_cycles", "w_ret": "world.retire",
-        "w_rb": "world.rollback", "w_get": "world.get_control",
-        "w_il": "world.issue_load", "w_pl": "world.poll_load",
-        "w_st": "world.issue_store",
-    }
-    for name in sorted(used & set(binds)):
-        source += f"    {name} = {binds[name]}\n"
+    source = SEG_HEADER
+    for name in sorted(used & set(WORLD_BINDINGS)):
+        source += SEG_TEMPLATES["bind"].format(
+            name=name, target=WORLD_BINDINGS[name])
     source += "\n".join(lines) + ("\n" if lines else "")
-    source += "    return None\n"
+    source += SEG_TEMPLATES["epilogue"]
     namespace: dict = {}
     exec(compile(source, "<repro.turbo segment>", "exec"),  # noqa: S102
          namespace)
@@ -428,6 +474,7 @@ def compile_segment(head: Node, generation: int) -> CompiledSegment:
         tuple(log_since), sets_anchor, trailing,
         (nodes[-1], last_key), node, tuple(exit_meta),
         tuple(guard_keys), has_terminal, generation,
+        source=source if capture_source else None,
     )
 
 

@@ -102,7 +102,10 @@ class CopyingGCPolicy(ReplacementPolicy):
         before = cache.bytes_used
         threshold = self._last_collection_clock
         kept: Dict[bytes, ConfigNode] = {}
-        for blob, node in cache.index.items():
+        # Per-node survival filter: insertion order of ``index`` is the
+        # (deterministic) recording order, and the decision for each
+        # node is independent of visit order.
+        for blob, node in cache.index.items():  # repro-lint: disable=det/dict-value-iteration
             if node.touch_gen > threshold:
                 kept[blob] = node
         for node in list(_walk(kept)):
@@ -144,7 +147,8 @@ class GenerationalGCPolicy(ReplacementPolicy):
         self._minor_count += 1
         major = self._minor_count % self.MAJOR_EVERY == 0
         kept: Dict[bytes, ConfigNode] = {}
-        for blob, node in cache.index.items():
+        # Same order-insensitive survival filter as SizeLimitPolicy.
+        for blob, node in cache.index.items():  # repro-lint: disable=det/dict-value-iteration
             survive = node.touch_gen > threshold or (
                 not major and node.generation > 0
             )
@@ -191,8 +195,9 @@ def _prune_dead_successors(node: Node, threshold: int,
                            keep_old: bool = False) -> None:
     """Unlink successors that were not used since the last collection."""
     if node.is_outcome:
+        # Order-insensitive: selects the *set* of dead edges to unlink.
         dead = [
-            key for key, succ in node.edges.items()
+            key for key, succ in node.edges.items()  # repro-lint: disable=det/dict-value-iteration
             if not _alive(succ, threshold, keep_old)
         ]
         for key in dead:

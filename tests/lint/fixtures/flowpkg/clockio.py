@@ -1,0 +1,14 @@
+"""Helper module far from any replay-path allowlist."""
+
+import time
+
+
+def read_clock() -> float:
+    """Returns a host-clock value — a nondeterminism source whose
+    taint must follow the return value into the replay path."""
+    return time.perf_counter()
+
+
+def harmless() -> int:
+    """Deterministic helper; must produce no findings."""
+    return 42

@@ -1,0 +1,23 @@
+"""Replay engine of the fixture package (entry-point suffix match)."""
+
+from flowpkg.clockio import harmless, read_clock
+from flowpkg.pipeline import DetailedSimulator, poke_warmup
+
+
+class FastForwardEngine:
+    """Matches the ``FastForwardEngine._replay`` entry suffix."""
+
+    def __init__(self):
+        self.sim = DetailedSimulator()
+        self.budget = harmless()
+
+    def _replay(self, entry):
+        skew = read_clock()  # seeded flow/tainted-call
+        poke_warmup(self.sim)
+        return entry, skew
+
+
+def bystander() -> float:
+    """Unreachable from the entry points: calls the tainted helper but
+    must produce no flow finding (reachability scoping)."""
+    return read_clock()

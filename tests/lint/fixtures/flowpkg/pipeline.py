@@ -1,0 +1,22 @@
+"""Pipeline state classes + an outside writer the per-file memo-safety
+checker cannot see (it only inspects ``self.<attr>`` inside the class
+bodies)."""
+
+
+class DetailedSimulator:
+    """Manifest class: allowed pipeline fields only, written via self
+    (the per-file checker's domain — must stay quiet)."""
+
+    def __init__(self):
+        self.iq = None
+        self.fetch_pc = 0
+        self.fetch_stalled = False
+        self.fetch_halted = False
+
+
+def poke_warmup(sim: DetailedSimulator) -> None:
+    """Writes state onto the simulator from *outside* the class: the
+    codec never serializes ``warmup_flag``, so two pipeline states
+    differing only in it would collide on one configuration key."""
+    sim.fetch_pc = 0          # manifest field: allowed
+    sim.warmup_flag = True    # seeded flow/unmanifested-write

@@ -1,0 +1,222 @@
+"""Runner-layer features: input dedupe, the ``--jobs`` process pool,
+file-level suppressions, the SARIF reporter, and the baseline ratchet.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.lint.baseline import (
+    BASELINE_VERSION,
+    apply_baseline,
+    fingerprint,
+    load_baseline,
+    make_baseline,
+    save_baseline,
+)
+from repro.lint.reporters import (
+    SARIF_VERSION,
+    render_sarif,
+    validate_sarif,
+)
+from repro.lint.runner import (
+    discover,
+    lint_paths,
+    lint_source,
+    main,
+    report,
+)
+from repro.lint.suppress import (
+    FILE_MARKER_WINDOW,
+    apply_suppressions,
+    file_suppressions_for,
+)
+
+RNG_SOURCE = "import random\n\n\ndef roll():\n    return random.random()\n"
+
+FIXTURE_ROOT = os.path.join(
+    os.path.dirname(__file__), "fixtures", "flowpkg")
+
+
+@pytest.fixture
+def rng_tree(tmp_path):
+    """Three files that each fire det/unseeded-random once."""
+    for name in ("a.py", "b.py", "c.py"):
+        (tmp_path / name).write_text(RNG_SOURCE)
+    return tmp_path
+
+
+class TestDiscoverDedupe:
+    def test_file_plus_containing_directory_lints_once(self, rng_tree):
+        python_files, _ = discover(
+            [str(rng_tree / "a.py"), str(rng_tree)])
+        assert sorted(os.path.basename(p) for p in python_files) == [
+            "a.py", "b.py", "c.py"]
+
+    def test_first_occurrence_order_is_kept(self, rng_tree):
+        python_files, _ = discover(
+            [str(rng_tree / "c.py"), str(rng_tree)])
+        assert [os.path.basename(p) for p in python_files] == [
+            "c.py", "a.py", "b.py"]
+
+    def test_same_directory_twice_is_one_walk(self, rng_tree):
+        once, _ = discover([str(rng_tree)])
+        twice, _ = discover([str(rng_tree), str(rng_tree)])
+        assert twice == once
+
+
+class TestJobsPool:
+    def test_parallel_report_is_identical_to_serial(self, rng_tree):
+        serial = lint_paths([str(rng_tree)], jobs=1)
+        parallel = lint_paths([str(rng_tree)], jobs=2)
+        assert serial  # three seeded findings — not a vacuous equality
+        assert parallel == serial
+
+    def test_jobs_below_one_is_a_usage_error(self, rng_tree, capsys):
+        assert main(["--jobs", "0", str(rng_tree)]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+
+class TestFileSuppressions:
+    def test_head_of_file_marker_disables_rule_module_wide(self):
+        source = ("# repro-lint: disable-file=det/unseeded-random\n"
+                  + RNG_SOURCE)
+        assert lint_source(source, path="x.py") == []
+
+    def test_marker_outside_the_window_has_no_effect(self):
+        filler = "# padding\n" * FILE_MARKER_WINDOW
+        source = (filler
+                  + "# repro-lint: disable-file=det/unseeded-random\n"
+                  + RNG_SOURCE)
+        findings = lint_source(source, path="x.py")
+        assert [f.rule for f in findings] == ["det/unseeded-random"]
+
+    def test_disable_file_all(self):
+        source = "# repro-lint: disable-file=all\n" + RNG_SOURCE
+        assert lint_source(source, path="x.py") == []
+
+    def test_file_marker_parsing(self):
+        source = "# repro-lint: disable-file=rule-a, rule-b\nx = 1\n"
+        assert file_suppressions_for(source) == frozenset(
+            {"rule-a", "rule-b"})
+
+    def test_file_marker_does_not_hide_other_rules(self):
+        source = "# repro-lint: disable-file=det/id-dependent\n" + RNG_SOURCE
+        findings = apply_suppressions(
+            lint_source(source, path="x.py"), source)
+        assert [f.rule for f in findings] == ["det/unseeded-random"]
+
+
+class TestSarifReporter:
+    def _findings(self):
+        return lint_source(RNG_SOURCE, path="pkg/mod.py")
+
+    def test_document_shape(self):
+        document = json.loads(render_sarif(self._findings()))
+        assert document["version"] == SARIF_VERSION
+        run = document["runs"][0]
+        declared = {rule["id"]
+                    for rule in run["tool"]["driver"]["rules"]}
+        result = run["results"][0]
+        assert result["ruleId"] == "det/unseeded-random"
+        assert result["ruleId"] in declared
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "pkg/mod.py"
+        assert location["region"]["startLine"] == 5
+
+    def test_report_format_sarif_validates(self):
+        document = json.loads(report(self._findings(), "sarif"))
+        assert validate_sarif(document) == []
+
+    def test_empty_run_still_validates(self):
+        assert validate_sarif(json.loads(render_sarif([]))) == []
+
+    def test_validator_rejects_structural_damage(self):
+        document = json.loads(render_sarif(self._findings()))
+        document["runs"][0]["results"][0].pop("message")
+        assert validate_sarif(document)
+        assert validate_sarif({"version": SARIF_VERSION, "runs": []})
+        assert validate_sarif({"runs": [{}]})
+
+
+class TestBaselineRatchet:
+    def _findings(self, path="pkg/mod.py"):
+        return lint_source(RNG_SOURCE, path=path)
+
+    def test_roundtrip_absorbs_accepted_findings(self, tmp_path):
+        findings = self._findings()
+        baseline_path = str(tmp_path / "baseline.json")
+        save_baseline(baseline_path, findings)
+        baseline = load_baseline(baseline_path)
+        kept, absorbed = apply_baseline(findings, baseline)
+        assert kept == []
+        assert absorbed == len(findings)
+
+    def test_fingerprint_ignores_line_numbers(self):
+        shifted = lint_source("\n\n" + RNG_SOURCE, path="pkg/mod.py")
+        baseline = make_baseline(self._findings())
+        kept, _ = apply_baseline(shifted, baseline)
+        assert kept == []
+
+    def test_new_findings_stay_on_the_gate(self):
+        baseline = make_baseline(self._findings(path="pkg/old.py"))
+        kept, absorbed = apply_baseline(
+            self._findings(path="pkg/new.py"), baseline)
+        assert absorbed == 0
+        assert [f.rule for f in kept] == ["det/unseeded-random"]
+
+    def test_count_budget_catches_a_second_identical_hazard(self):
+        baseline = make_baseline(self._findings())
+        doubled = lint_source(
+            RNG_SOURCE + "\n\ndef again():\n    return random.random()\n",
+            path="pkg/mod.py")
+        assert len(doubled) == 2
+        assert fingerprint(doubled[0]) == fingerprint(doubled[1])
+        kept, absorbed = apply_baseline(doubled, baseline)
+        assert absorbed == 1
+        assert len(kept) == 1
+
+    def test_load_rejects_foreign_documents(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"hello": 1}')
+        with pytest.raises(ValueError):
+            load_baseline(str(bad))
+        versioned = tmp_path / "versioned.json"
+        versioned.write_text(json.dumps(
+            {"version": BASELINE_VERSION + 1, "fingerprints": {}}))
+        with pytest.raises(ValueError):
+            load_baseline(str(versioned))
+
+
+class TestCliIntegration:
+    def test_write_then_gate_with_baseline(self, rng_tree, capsys):
+        baseline_path = str(rng_tree / "baseline.json")
+        assert main(["--write-baseline", baseline_path,
+                     str(rng_tree)]) == 0
+        capsys.readouterr()
+        assert main(["--baseline", baseline_path, str(rng_tree)]) == 0
+        out = capsys.readouterr()
+        assert "clean" in out.out
+        assert "hidden" in out.err
+
+    def test_bad_baseline_is_a_usage_error(self, rng_tree, capsys):
+        bad = rng_tree / "bad.json"
+        bad.write_text("{}")
+        assert main(["--baseline", str(bad), str(rng_tree)]) == 2
+        capsys.readouterr()
+
+    def test_flow_mode_gates_on_the_fixture_package(self, capsys):
+        assert main(["--flow", FIXTURE_ROOT]) == 1
+        out = capsys.readouterr().out
+        assert "flow/tainted-call" in out
+        assert "flow/unmanifested-write" in out
+
+    def test_list_rules_includes_flow_family(self, capsys):
+        assert main(["--list-rules"]) == 0
+        rules = capsys.readouterr().out.split()
+        for rule in ("flow/tainted-call", "flow/missing-entry",
+                     "flow/unmanifested-write", "flow/codegen-name",
+                     "flow/codegen-attr", "flow/codegen-shape",
+                     "flow/codegen-drift"):
+            assert rule in rules
