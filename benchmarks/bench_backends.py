@@ -1,0 +1,204 @@
+"""Executor-backend wall-clock and tier hit-rate comparison.
+
+Runs the same campaign under the ``fork`` and ``queue`` backends —
+cold through a two-tier cache, then warm from a fresh local tier that
+must read through to the shared tier — and writes ``BENCH_7.json`` at
+the repo root (schema: backend → ``{cold_wall_s, warm_wall_s,
+warm_speedup, tier: {...}, ...}``).
+
+Methodology:
+
+* every configuration runs the identical job grid
+  (``workloads × fast`` at one scale) with the same worker count;
+* the cold pass starts with empty local *and* shared tiers, so it
+  measures raw placement overhead (process forks vs in-process
+  threads) plus the simulate+record work;
+* the warm pass gets a **fresh local tier** over the now-warm shared
+  tier, so its tier counters prove the read-through/promotion path
+  (``shared_hits``/``promotions``) and its wall clock measures the
+  replay-from-cache regime the paper's speedup claims live in;
+* per backend × temperature, the **minimum** of ``--repeats`` runs is
+  reported (each repeat re-cools its tiers), the standard estimator
+  for a deterministic computation under scheduler noise;
+* canonical output is asserted byte-identical across *every* cell and
+  a serial baseline — the benchmark *is* a bit-identity check, not
+  just a timer.
+
+Run directly (``python benchmarks/bench_backends.py``); ``--quick``
+shrinks the grid for CI smoke use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import shutil
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.campaign import Campaign, CampaignRunner  # noqa: E402
+from repro.workloads.suite import WORKLOAD_ORDER  # noqa: E402
+
+DEFAULT_WORKLOADS = ["compress", "go", "tomcatv", "mgrid"]
+BACKENDS = ("fork", "queue")
+
+
+def _build_campaign(names: List[str], scale: str) -> Campaign:
+    return Campaign.grid(names, simulators=("fast",), scale=scale,
+                         name="bench-backends")
+
+
+def _timed_run(campaign: Campaign, workers: int, backend: str,
+               cache_dir: str, shared_dir: str):
+    runner = CampaignRunner(workers=workers, backend=backend,
+                            cache_dir=cache_dir,
+                            shared_cache_dir=shared_dir)
+    started = time.perf_counter()
+    outcome = runner.run(campaign)
+    return time.perf_counter() - started, outcome
+
+
+def _tier_totals(outcome) -> Dict[str, int]:
+    totals: Dict[str, int] = {}
+    for result in outcome.results:
+        for key, value in result.metrics.get("cache_tier", {}).items():
+            totals[key] = totals.get(key, 0) + int(value)
+    return totals
+
+
+def bench_backend(backend: str, campaign: Campaign, workers: int,
+                  repeats: int, work_dir: str,
+                  expected: str) -> Dict[str, object]:
+    """Cold + warm minima for one backend; raises on any divergence."""
+    cold_s = warm_s = None
+    cold_tier = warm_tier = {}
+    for repeat in range(repeats):
+        root = pathlib.Path(work_dir) / f"{backend}-{repeat}"
+        shared = str(root / "shared")
+        elapsed, outcome = _timed_run(campaign, workers, backend,
+                                      str(root / "cold-local"), shared)
+        if not outcome.ok:
+            raise AssertionError(f"{backend} cold: {outcome.failed}")
+        if outcome.canonical_json() != expected:
+            raise AssertionError(
+                f"{backend} cold diverged from the serial baseline "
+                "(bit-identity violation)"
+            )
+        if cold_s is None or elapsed < cold_s:
+            cold_s, cold_tier = elapsed, _tier_totals(outcome)
+        # Warm: a fresh local tier over the shared tier the cold pass
+        # just filled — every hit must come through promotion.
+        elapsed, outcome = _timed_run(campaign, workers, backend,
+                                      str(root / "warm-local"), shared)
+        if outcome.canonical_json() != expected:
+            raise AssertionError(
+                f"{backend} warm diverged from the serial baseline "
+                "(bit-identity violation)"
+            )
+        tier = _tier_totals(outcome)
+        if not tier.get("shared_hits"):
+            raise AssertionError(
+                f"{backend} warm pass never hit the shared tier: {tier}"
+            )
+        if warm_s is None or elapsed < warm_s:
+            warm_s, warm_tier = elapsed, tier
+        shutil.rmtree(root, ignore_errors=True)
+    jobs = len(campaign.jobs)
+
+    def rates(tier: Dict[str, int]) -> Dict[str, object]:
+        lookups = (tier.get("local_hits", 0) + tier.get("shared_hits", 0)
+                   + tier.get("misses", 0))
+        return {
+            **tier,
+            "hit_rate": round(
+                (tier.get("local_hits", 0) + tier.get("shared_hits", 0))
+                / lookups, 3) if lookups else 0.0,
+        }
+
+    return {
+        "cold_wall_s": round(cold_s, 6),
+        "warm_wall_s": round(warm_s, 6),
+        "warm_speedup": round(cold_s / warm_s, 3),
+        "cold_jobs_per_s": round(jobs / cold_s, 2),
+        "warm_jobs_per_s": round(jobs / warm_s, 2),
+        "tier_cold": rates(cold_tier),
+        "tier_warm": rates(warm_tier),
+        "identical": True,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workloads",
+                        help="comma-separated workloads (default "
+                             f"{','.join(DEFAULT_WORKLOADS)})")
+    parser.add_argument("--scale", default="test",
+                        choices=["tiny", "test", "train"])
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed runs per backend × temperature; "
+                             "minimum is reported (default 3)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: two workloads at tiny scale, "
+                             "one repeat")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_7.json"),
+                        help="output JSON path (default BENCH_7.json "
+                             "at the repo root)")
+    args = parser.parse_args(argv)
+
+    if args.workloads:
+        names = [n.strip() for n in args.workloads.split(",")
+                 if n.strip()]
+    elif args.quick:
+        names = ["compress", "go"]
+    else:
+        names = list(DEFAULT_WORKLOADS)
+    for name in names:
+        if name not in WORKLOAD_ORDER:
+            parser.error(f"unknown workload {name!r}")
+    scale = "tiny" if args.quick and args.scale == "test" else args.scale
+    repeats = 1 if args.quick and args.repeats == 3 else args.repeats
+
+    campaign = _build_campaign(names, scale)
+    baseline = CampaignRunner(workers=0).run(campaign)
+    if not baseline.ok:
+        print(f"serial baseline failed: {baseline.failed}",
+              file=sys.stderr)
+        return 1
+    expected = baseline.canonical_json()
+
+    work_dir = tempfile.mkdtemp(prefix="bench-backends-")
+    document: Dict[str, object] = {
+        "scale": scale,
+        "workers": args.workers,
+        "workloads": names,
+        "repeats": repeats,
+    }
+    try:
+        for backend in BACKENDS:
+            row = bench_backend(backend, campaign, args.workers,
+                                repeats, work_dir, expected)
+            document[backend] = row
+            print(f"{backend:6s} cold={row['cold_wall_s']*1e3:8.1f}ms"
+                  f" warm={row['warm_wall_s']*1e3:8.1f}ms"
+                  f" warm_speedup={row['warm_speedup']:.2f}x"
+                  f" warm_hit_rate={row['tier_warm']['hit_rate']:.2f}"
+                  f" identical={row['identical']}")
+    finally:
+        shutil.rmtree(work_dir, ignore_errors=True)
+
+    with open(args.out, "w", encoding="utf-8") as stream:
+        json.dump(document, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.campaign.cachedir import CacheStore
+from repro.campaign.cachedir import make_store
 from repro.campaign.engine import Campaign, CampaignRunner
 from repro.campaign.jobs import Job, JobResult, NativeRun, PolicySpec
 from repro.campaign.progress import (
@@ -64,12 +64,18 @@ class SuiteRunner:
     workers: int = 0
     #: Shared p-action cache directory for warm-started FastSim runs.
     cache_dir: Optional[str] = None
+    #: Optional shared (remote-style) cache tier layered under
+    #: ``cache_dir`` — see docs/distributed.md.
+    shared_cache_dir: Optional[str] = None
     #: Per-job timeout / retry budget for the parallel path.
     timeout: Optional[float] = None
     retries: int = 2
     sink: Optional[ProgressSink] = None
     #: Optional :class:`repro.obs.Observer`; telemetry off when None.
     obs: Optional[object] = None
+    #: Executor backend for the parallel path (``fork`` / ``subprocess``
+    #: / ``queue``); None keeps the campaign default.
+    backend: Optional[str] = None
     _results: Dict[Tuple[str, str], SimulationResult] = field(
         default_factory=dict
     )
@@ -83,9 +89,7 @@ class SuiteRunner:
                 self.sink = TextSink()
             else:
                 self.sink = NullSink()
-        self._store = (
-            CacheStore(self.cache_dir) if self.cache_dir else None
-        )
+        self._store = make_store(self.cache_dir, self.shared_cache_dir)
 
     def _log(self, message: str) -> None:
         self.sink.log(message)
@@ -156,7 +160,8 @@ class SuiteRunner:
             runner = CampaignRunner(
                 workers=self.workers, cache_dir=self.cache_dir,
                 timeout=self.timeout, retries=self.retries,
-                sink=self.sink, obs=self.obs,
+                sink=self.sink, obs=self.obs, backend=self.backend,
+                shared_cache_dir=self.shared_cache_dir,
             )
             outcome = runner.run(Campaign(
                 jobs=tuple(jobs), name=f"suite-{self.scale}"

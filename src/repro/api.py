@@ -1,4 +1,5 @@
-"""The documented entry points: ``simulate`` and ``run_campaign``.
+"""The documented entry points: ``simulate``, ``run_campaign``, and
+the submit/await pair ``submit_campaign`` / :class:`CampaignHandle`.
 
 This facade is the supported way in::
 
@@ -15,9 +16,27 @@ This facade is the supported way in::
     )
     print(campaign["compress:fast:tiny"].result.summary())
 
+    # The same campaign, submitted instead of awaited: queue it, watch
+    # progress, block only when the result is needed.
+    handle = api.submit_campaign(
+        workloads=["compress", "go"], scale="tiny", workers=4,
+        backend="queue", cache_dir=".fastsim-cache",
+        shared_cache_dir="/shared/fastsim-cache",
+    )
+    print(handle.progress())        # {"jobs": 6, "ok": 2, ...}
+    campaign = handle.result(timeout=600)
+
+``run_campaign`` *is* ``submit_campaign(...).result()`` — the blocking
+form is a thin shim over the submit/await split, so both produce
+byte-identical merged payloads by construction, and every existing
+``run_campaign`` signature keeps working (mirroring the
+:class:`~repro.analysis.SuiteRunner` treatment: the legacy entry point
+stays supported while new code targets the richer one).
+
 Everything here is re-exported lazily from the top-level ``repro``
-namespace (``repro.simulate``, ``repro.run_campaign``). Direct
-construction of :class:`repro.analysis.SuiteRunner` is deprecated;
+namespace (``repro.simulate``, ``repro.run_campaign``,
+``repro.submit_campaign``). Direct construction of
+:class:`repro.analysis.SuiteRunner` is deprecated;
 :func:`suite_runner` builds the memoizing facade without the warning.
 """
 
@@ -25,14 +44,16 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence, Union
 
+from repro.campaign.backends import ExecutorBackend
 from repro.campaign.engine import (
     Campaign,
     CampaignResult,
     CampaignRunner,
 )
+from repro.campaign.handle import CampaignHandle, ProgressCounter
 from repro.campaign.jobs import Job, PolicySpec
-from repro.campaign.cachedir import CacheStore
-from repro.campaign.progress import ProgressSink, make_sink
+from repro.campaign.cachedir import make_store
+from repro.campaign.progress import ProgressSink, TeeSink, make_sink
 from repro.campaign.worker import simulate_executable
 from repro.isa.program import Executable
 from repro.memo.policies import ReplacementPolicy
@@ -43,6 +64,8 @@ from repro.workloads.suite import WORKLOAD_ORDER, WORKLOADS, load_workload
 __all__ = [
     "simulate",
     "run_campaign",
+    "submit_campaign",
+    "CampaignHandle",
     "suite_runner",
 ]
 
@@ -78,11 +101,13 @@ def simulate(
     params: Optional[ProcessorParams] = None,
     policy: Optional[Union[PolicySpec, ReplacementPolicy]] = None,
     cache_dir: Optional[str] = None,
+    shared_cache_dir: Optional[str] = None,
     obs=None,
     audit_every: Optional[int] = None,
     audit_seed: int = 0,
     turbo: bool = True,
     turbo_threshold: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> SimulationResult:
     """Simulate one program under one engine; returns the result.
 
@@ -99,12 +124,47 @@ def simulate(
     results stay bit-identical to an unguarded run; see
     docs/robustness.md. *turbo* / *turbo_threshold* (``fast`` only)
     control chain compilation of hot replay paths — on by default,
-    bit-identical either way; see docs/performance.md.
+    bit-identical either way; see docs/performance.md. With
+    *shared_cache_dir* (requires *cache_dir*), warm-start reads
+    through a two-tier store — local dir first, then the shared tier,
+    promoting byte-exact hits locally; see docs/distributed.md.
+    *backend* routes the run through a one-job campaign on the named
+    executor backend (``fast`` suite workloads only — backends place
+    jobs by workload name); results are byte-identical to the
+    in-process path, which ``backend=None`` (the default) keeps using.
     """
+    if backend is not None:
+        if (not isinstance(exe_or_name, str)
+                or exe_or_name not in WORKLOADS):
+            raise ValueError(
+                "backend= places jobs by suite workload name; pass "
+                f"one of {list(WORKLOAD_ORDER)} (or drop backend= to "
+                "simulate an Executable or file in-process)"
+            )
+        if isinstance(policy, ReplacementPolicy):
+            raise ValueError(
+                "backend= cannot ship a live ReplacementPolicy across "
+                "a placement boundary; pass a declarative PolicySpec"
+            )
+        outcome = run_campaign(
+            jobs=[Job(workload=exe_or_name, simulator=engine,
+                      scale=scale, params=params, policy=policy)],
+            workers=1, cache_dir=cache_dir,
+            shared_cache_dir=shared_cache_dir, obs=obs,
+            audit_every=audit_every, audit_seed=audit_seed,
+            turbo=turbo, turbo_threshold=turbo_threshold,
+            backend=backend, name=f"simulate-{exe_or_name}",
+        )
+        job_result = outcome.results[0]
+        if not job_result.ok:
+            raise RuntimeError(
+                f"{job_result.key}: {job_result.error}"
+            )
+        return job_result.result
     executable = _resolve_executable(exe_or_name, scale)
     if isinstance(policy, PolicySpec):
         policy = policy.build()
-    store = CacheStore(cache_dir, obs=obs) if cache_dir else None
+    store = make_store(cache_dir, shared_cache_dir, obs=obs)
     result, _ = simulate_executable(
         executable, engine, params=params, policy=policy, store=store,
         obs=obs, audit_every=audit_every, audit_seed=audit_seed,
@@ -113,52 +173,33 @@ def simulate(
     return result
 
 
-def run_campaign(
-    workloads: Optional[Iterable[str]] = None,
-    simulators: Sequence[str] = ("fast", "slow", "baseline"),
-    *,
-    scale: str = "test",
-    params: Optional[ProcessorParams] = None,
-    include_native: bool = False,
-    jobs: Optional[Sequence[Job]] = None,
-    workers: int = 1,
-    cache_dir: Optional[str] = None,
-    timeout: Optional[float] = None,
-    retries: int = 2,
-    progress: Union[ProgressSink, str, None] = None,
-    name: str = "campaign",
-    obs=None,
-    audit_every: Optional[int] = None,
-    audit_seed: int = 0,
-    turbo: bool = True,
-    turbo_threshold: Optional[int] = None,
-) -> CampaignResult:
-    """Execute a simulation campaign; returns merged results.
-
-    Either pass explicit *jobs*, or let the workload × simulator grid
-    be built from *workloads* (default: the full 18-workload suite) and
-    *simulators*. ``workers=0`` runs serially in-process; ``workers>=1``
-    shards across a worker pool with per-job *timeout* and bounded
-    *retries*. *progress* is a
-    :class:`~repro.campaign.progress.ProgressSink` or one of ``"text"``
-    / ``"jsonl"`` / ``"silent"``. Merged results are deterministic: see
-    :meth:`~repro.campaign.engine.CampaignResult.canonical_json`.
-    *obs* is an optional :class:`repro.obs.Observer`; the runner traces
-    job lifecycles through it (and, on the serial ``workers=0`` path,
-    the simulations themselves). *audit_every* turns on online replay
-    audits for every ``fast`` job (see docs/robustness.md) without
-    changing canonical output. *turbo* / *turbo_threshold* control
-    chain compilation for every ``fast`` job (on by default) — also
-    without changing canonical output (docs/performance.md).
-    """
+def _build_campaign(
+    workloads: Optional[Iterable[str]],
+    simulators: Sequence[str],
+    scale: str,
+    params: Optional[ProcessorParams],
+    include_native: bool,
+    jobs: Optional[Sequence[Job]],
+    name: str,
+    backend: Union[str, ExecutorBackend, None],
+    audit_every: Optional[int],
+    audit_seed: int,
+    turbo: bool,
+    turbo_threshold: Optional[int],
+) -> Campaign:
+    """The campaign both entry points build — grid or explicit jobs,
+    with audit/turbo overrides applied to the ``fast`` simulate jobs."""
+    campaign_backend = backend if isinstance(backend, str) else "fork"
     if jobs is not None:
-        campaign = Campaign(jobs=tuple(jobs), name=name)
+        campaign = Campaign(jobs=tuple(jobs), name=name,
+                            backend=campaign_backend)
     else:
         names = (list(workloads) if workloads is not None
                  else list(WORKLOAD_ORDER))
         campaign = Campaign.grid(
             names, simulators, scale=scale, params=params,
             include_native=include_native, name=name,
+            backend=campaign_backend,
         )
     overrides = {}
     if audit_every is not None:
@@ -178,16 +219,122 @@ def run_campaign(
                 for job in campaign.jobs
             ),
             name=campaign.name,
+            backend=campaign.backend,
         )
+    return campaign
+
+
+def submit_campaign(
+    workloads: Optional[Iterable[str]] = None,
+    simulators: Sequence[str] = ("fast", "slow", "baseline"),
+    *,
+    scale: str = "test",
+    params: Optional[ProcessorParams] = None,
+    include_native: bool = False,
+    jobs: Optional[Sequence[Job]] = None,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    shared_cache_dir: Optional[str] = None,
+    timeout: Optional[float] = None,
+    retries: int = 2,
+    progress: Union[ProgressSink, str, None] = None,
+    name: str = "campaign",
+    obs=None,
+    audit_every: Optional[int] = None,
+    audit_seed: int = 0,
+    turbo: bool = True,
+    turbo_threshold: Optional[int] = None,
+    backend: Union[str, ExecutorBackend, None] = None,
+) -> CampaignHandle:
+    """Submit a campaign for background execution; returns a handle.
+
+    Accepts exactly what :func:`run_campaign` accepts and starts the
+    run on a background thread immediately. The returned
+    :class:`~repro.campaign.handle.CampaignHandle` awaits the merged
+    result (``handle.result(timeout=...)``), reports live job counts
+    (``handle.progress()``), requests early termination
+    (``handle.cancel()`` — unfinished jobs come back
+    ``status="cancelled"``), and exposes host-side diagnostics
+    (``handle.metrics()``). ``handle.result()`` is byte-for-byte the
+    payload the blocking form returns, because the blocking form *is*
+    submit-then-await. *backend* picks the executor backend (``fork``,
+    ``subprocess``, ``queue`` — see docs/distributed.md);
+    *shared_cache_dir* (with *cache_dir* as the local tier) warm-starts
+    through a two-tier read-through/write-back store.
+    """
+    campaign = _build_campaign(
+        workloads, simulators, scale, params, include_native, jobs,
+        name, backend, audit_every, audit_seed, turbo, turbo_threshold,
+    )
     if isinstance(progress, str):
         sink = make_sink(progress)
     else:
         sink = progress
+    counter = ProgressCounter()
+    sink = counter if sink is None else TeeSink(sink, counter)
     runner = CampaignRunner(
         workers=workers, cache_dir=cache_dir, timeout=timeout,
-        retries=retries, sink=sink, obs=obs,
+        retries=retries, sink=sink, obs=obs, backend=backend,
+        shared_cache_dir=shared_cache_dir,
     )
-    return runner.run(campaign)
+    return CampaignHandle(campaign, runner, counter)
+
+
+def run_campaign(
+    workloads: Optional[Iterable[str]] = None,
+    simulators: Sequence[str] = ("fast", "slow", "baseline"),
+    *,
+    scale: str = "test",
+    params: Optional[ProcessorParams] = None,
+    include_native: bool = False,
+    jobs: Optional[Sequence[Job]] = None,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    shared_cache_dir: Optional[str] = None,
+    timeout: Optional[float] = None,
+    retries: int = 2,
+    progress: Union[ProgressSink, str, None] = None,
+    name: str = "campaign",
+    obs=None,
+    audit_every: Optional[int] = None,
+    audit_seed: int = 0,
+    turbo: bool = True,
+    turbo_threshold: Optional[int] = None,
+    backend: Union[str, ExecutorBackend, None] = None,
+) -> CampaignResult:
+    """Execute a simulation campaign; returns merged results.
+
+    The blocking form of :func:`submit_campaign` — literally
+    submit-then-await, so the payload is byte-identical to
+    ``submit_campaign(...).result()``. Either pass explicit *jobs*, or
+    let the workload × simulator grid be built from *workloads*
+    (default: the full 18-workload suite) and *simulators*.
+    ``workers=0`` runs serially in-process; ``workers>=1`` shards
+    across the selected executor *backend* (``fork`` — the default —
+    ``subprocess``, or ``queue``; see docs/distributed.md) with
+    per-job *timeout* and bounded *retries*. *progress* is a
+    :class:`~repro.campaign.progress.ProgressSink` or one of ``"text"``
+    / ``"jsonl"`` / ``"silent"``. With *shared_cache_dir*, warm-start
+    reads through a two-tier store (*cache_dir* is the local tier).
+    Merged results are deterministic: see
+    :meth:`~repro.campaign.engine.CampaignResult.canonical_json`.
+    *obs* is an optional :class:`repro.obs.Observer`; the runner traces
+    job lifecycles through it (and, on the serial ``workers=0`` path,
+    the simulations themselves). *audit_every* turns on online replay
+    audits for every ``fast`` job (see docs/robustness.md) without
+    changing canonical output. *turbo* / *turbo_threshold* control
+    chain compilation for every ``fast`` job (on by default) — also
+    without changing canonical output (docs/performance.md).
+    """
+    handle = submit_campaign(
+        workloads, simulators, scale=scale, params=params,
+        include_native=include_native, jobs=jobs, workers=workers,
+        cache_dir=cache_dir, shared_cache_dir=shared_cache_dir,
+        timeout=timeout, retries=retries, progress=progress, name=name,
+        obs=obs, audit_every=audit_every, audit_seed=audit_seed,
+        turbo=turbo, turbo_threshold=turbo_threshold, backend=backend,
+    )
+    return handle.result()
 
 
 def suite_runner(scale: str = "test", **kwargs):

@@ -7,26 +7,48 @@ object:
 
 * :class:`Job` / :class:`PolicySpec` — declarative work units;
 * :class:`Campaign` — an ordered, unique-keyed set of jobs;
-* :class:`CampaignRunner` — multiprocessing execution with per-job
-  timeout, bounded retry + backoff, and crash isolation;
+* :class:`CampaignRunner` — pool execution over a pluggable
+  :class:`ExecutorBackend` (``fork`` / ``subprocess`` / ``queue``)
+  with per-job timeout, bounded retry + backoff, and crash isolation
+  on the process-based backends;
+* :class:`CampaignHandle` — the submit/await form
+  (:func:`repro.api.submit_campaign`): background execution with
+  ``result(timeout=)`` / ``progress()`` / ``cancel()`` / ``metrics()``;
 * :class:`CampaignResult` — deterministically merged results
-  (byte-identical across worker counts) plus JSON-lines metrics;
-* :class:`CacheStore` — shared on-disk p-action caches keyed by
-  binding signature, so repeated campaigns start warm;
+  (byte-identical across worker counts, backends, and cache tierings)
+  plus JSON-lines metrics;
+* :class:`CacheStore` / :class:`TieredCacheStore` — shared on-disk
+  p-action caches content-addressed by binding signature (optionally
+  a local tier reading through to a shared one), so repeated
+  campaigns start warm on every placement;
 * :class:`ProgressSink` — one progress protocol (text / JSON-lines /
   silent) shared with the suite runner.
 
 See ``docs/campaign.md`` for the engine's semantics and the cache
-directory layout.
+directory layout, and ``docs/distributed.md`` for the backend
+capability matrix and tier semantics.
 """
 
-from repro.campaign.cachedir import CacheStore
+from repro.campaign.backends import (
+    BACKEND_NAMES,
+    DEFAULT_BACKEND,
+    ExecutorBackend,
+    make_backend,
+    validate_backend,
+)
+from repro.campaign.cachedir import (
+    CacheStore,
+    StoreSpec,
+    TieredCacheStore,
+    make_store,
+)
 from repro.campaign.engine import (
     Campaign,
     CampaignResult,
     CampaignRunner,
     run_jobs,
 )
+from repro.campaign.handle import CampaignHandle, ProgressCounter
 from repro.campaign.jobs import (
     Job,
     JobResult,
@@ -53,8 +75,18 @@ __all__ = [
     "Campaign",
     "CampaignResult",
     "CampaignRunner",
+    "CampaignHandle",
+    "ProgressCounter",
     "run_jobs",
     "CacheStore",
+    "TieredCacheStore",
+    "StoreSpec",
+    "make_store",
+    "ExecutorBackend",
+    "make_backend",
+    "validate_backend",
+    "BACKEND_NAMES",
+    "DEFAULT_BACKEND",
     "ProgressSink",
     "TextSink",
     "JsonlSink",

@@ -1,0 +1,97 @@
+"""Pluggable campaign executor backends.
+
+The :class:`~repro.campaign.engine.CampaignRunner` schedules; a
+backend places. Three ship in-tree (see docs/distributed.md for the
+capability matrix and when to pick which):
+
+* ``fork`` — today's default: one forked child per job attempt, full
+  crash isolation, inherits test-registered kinds and fault plans;
+* ``subprocess`` — persistent spawn-isolated workers driven over a
+  stdio job protocol (the stepping stone to SSH placement);
+* ``queue`` — in-process work-stealing threads with per-worker deques
+  and steal-on-idle.
+
+Selection is campaign-level only (``Campaign.backend``,
+``repro.api.run_campaign(backend=…)``, CLI ``--backend``); per-job
+overrides are rejected, and the backend — like ``turbo`` — is
+excluded from every cache key, because it must never change canonical
+output: merged :class:`~repro.campaign.engine.CampaignResult` bytes
+are identical across backends, worker counts, and cache tierings.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+from repro.campaign.backends.base import (
+    Attempt,
+    AttemptOutcome,
+    BackendContext,
+    ExecutorBackend,
+)
+
+
+def _load_fork() -> type:
+    from repro.campaign.backends.fork import ForkBackend
+
+    return ForkBackend
+
+
+def _load_subprocess() -> type:
+    from repro.campaign.backends.stdio import SubprocessBackend
+
+    return SubprocessBackend
+
+
+def _load_queue() -> type:
+    from repro.campaign.backends.queue import QueueBackend
+
+    return QueueBackend
+
+
+_LOADERS = {
+    "fork": _load_fork,
+    "subprocess": _load_subprocess,
+    "queue": _load_queue,
+}
+
+#: Registered backend names, in documentation order.
+BACKEND_NAMES: Tuple[str, ...] = ("fork", "subprocess", "queue")
+
+#: The backend used when nothing selects one.
+DEFAULT_BACKEND = "fork"
+
+
+def validate_backend(name: str) -> str:
+    """Return *name* if registered, else raise the canonical error."""
+    if name not in _LOADERS:
+        raise ValueError(
+            f"unknown executor backend {name!r}; "
+            f"choose from {list(BACKEND_NAMES)}"
+        )
+    return name
+
+
+def make_backend(
+    backend: Union[str, ExecutorBackend, None],
+) -> ExecutorBackend:
+    """Build an executor backend from a name (or pass an instance
+    through). ``None`` selects :data:`DEFAULT_BACKEND`."""
+    if backend is None:
+        backend = DEFAULT_BACKEND
+    if isinstance(backend, ExecutorBackend):
+        return backend
+    backend_class = _LOADERS[validate_backend(backend)]()
+    return backend_class()
+
+
+__all__ = [
+    "Attempt",
+    "AttemptOutcome",
+    "BackendContext",
+    "ExecutorBackend",
+    "BACKEND_NAMES",
+    "DEFAULT_BACKEND",
+    "make_backend",
+    "validate_backend",
+]

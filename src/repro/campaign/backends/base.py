@@ -1,0 +1,133 @@
+"""The executor boundary — where campaign scheduling meets placement.
+
+The :class:`~repro.campaign.engine.CampaignRunner` owns *policy*:
+campaign order, retry budgets, backoff, deadline arithmetic, result
+merging, progress events. An :class:`ExecutorBackend` owns *mechanism*:
+where an attempt physically runs (a forked child, a spawn-isolated
+stdio worker, a work-stealing thread) and how its outcome gets back.
+Keeping the split here is what lets one declarative
+:class:`~repro.campaign.engine.Campaign` fan out over any placement
+while the merged canonical output stays byte-identical — the backend
+never sees (and so can never reorder, drop, or mutate) the merge.
+
+The engine drives a backend through a strict lifecycle::
+
+    backend.start(context)
+    while work remains:
+        while backend.active() < backend.capacity() and ready jobs:
+            backend.submit(Attempt(...))
+        backend.wait(timeout)          # block until progress is possible
+        for done in backend.reap(now): # completed / crashed / timed out
+            ...retry or record...
+    backend.shutdown()
+
+Every attempt comes back exactly once, as an :class:`AttemptOutcome`:
+either a :class:`~repro.campaign.jobs.JobResult` (including
+deterministic failures — the executor raised) or an *infrastructure*
+failure string (worker death, timeout), which is the engine's cue to
+retry. Backends report host-side mechanism metrics (forks, respawns,
+steals) through :meth:`ExecutorBackend.metrics`; these are
+diagnostics, never part of canonical output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.campaign.cachedir import StoreSpec
+from repro.campaign.jobs import Job, JobResult
+
+
+@dataclass(frozen=True)
+class Attempt:
+    """One scheduled execution attempt of one campaign job."""
+
+    index: int  #: Position of the job in the campaign (merge order).
+    job: Job
+    attempt: int  #: 1-based attempt number (retries increment it).
+    #: Absolute ``time.monotonic()`` deadline, or None for no timeout.
+    #: Backends without preemption (``queue``) ignore it — documented
+    #: in docs/distributed.md's capability matrix.
+    deadline: Optional[float] = None
+
+
+@dataclass
+class AttemptOutcome:
+    """What became of one attempt — a result or an infra failure."""
+
+    attempt: Attempt
+    #: The job's result (ok *or* deterministic failure), when the
+    #: attempt ran to completion.
+    result: Optional[JobResult] = None
+    #: Infrastructure failure description (worker crash, timeout) when
+    #: ``result`` is None; the engine retries these.
+    failure: Optional[str] = None
+    #: Host-side identity of the worker that ran the attempt (pid,
+    #: thread label) — progress-event colour, never canonical.
+    worker: Optional[object] = None
+
+
+@dataclass
+class BackendContext:
+    """Everything a backend may need at :meth:`ExecutorBackend.start`."""
+
+    workers: int
+    store_spec: StoreSpec = field(default_factory=StoreSpec)
+    #: The engine's per-job timeout (seconds) — backends that enforce
+    #: deadlines use it to phrase the failure; None means no timeout.
+    timeout: Optional[float] = None
+    obs: object = None
+    sink: object = None
+    #: Multiprocessing context (fork where available); process-based
+    #: backends take their Process/Pipe primitives from here so tests
+    #: can substitute.
+    mp_context: object = None
+
+
+class ExecutorBackend:
+    """Protocol: executes attempts somewhere, reports outcomes once.
+
+    Subclasses implement the six methods below; see the module
+    docstring for the driving loop and docs/distributed.md for the
+    capability matrix (isolation, timeout enforcement, crash retry)
+    of the built-in ``fork`` / ``subprocess`` / ``queue`` backends.
+    """
+
+    #: Registry name (``fork`` / ``subprocess`` / ``queue``).
+    name: str = "?"
+
+    def start(self, context: BackendContext) -> None:
+        raise NotImplementedError
+
+    def capacity(self) -> int:
+        """Max attempts this backend wants in flight at once."""
+        raise NotImplementedError
+
+    def active(self) -> int:
+        """Attempts currently submitted and not yet reaped."""
+        raise NotImplementedError
+
+    def submit(self, attempt: Attempt) -> None:
+        raise NotImplementedError
+
+    def wait(self, timeout: Optional[float]) -> None:
+        """Block until an outcome may be available (or *timeout*)."""
+        raise NotImplementedError
+
+    def reap(self, now: float) -> List[AttemptOutcome]:
+        """Outcomes completed since the last call (may be empty).
+
+        *now* is the engine's ``time.monotonic()`` reading; backends
+        that enforce deadlines compare it against each in-flight
+        attempt's :attr:`Attempt.deadline`.
+        """
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Tear down workers; in-flight attempts may be abandoned."""
+        raise NotImplementedError
+
+    def metrics(self) -> Dict[str, int]:
+        """Host-side mechanism counters (sorted-key rendered)."""
+        return {}

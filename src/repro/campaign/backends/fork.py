@@ -1,0 +1,136 @@
+"""The fork backend — one forked child process per job attempt.
+
+This is the original campaign executor, extracted behind the
+:class:`~repro.campaign.backends.base.ExecutorBackend` boundary. One
+worker process runs one job and exits: that costs a ``fork`` per job
+(cheap on the platforms this targets) and buys full crash isolation —
+a dying worker fails one attempt, never the run — plus free
+inheritance of parent-process state (test-registered job kinds, an
+installed :class:`~repro.guard.faults.FaultPlan`). Warm state lives on
+disk in the shared cache store, not in worker memory, so it survives
+worker recycling and entire campaigns.
+
+Capabilities: process isolation, hard timeout enforcement (terminate),
+crash retry, plan/kind inheritance. See docs/distributed.md.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.campaign.backends.base import (
+    Attempt,
+    AttemptOutcome,
+    BackendContext,
+    ExecutorBackend,
+)
+from repro.campaign.worker import child_main
+
+
+@dataclass
+class _Slot:
+    """One live worker process and the attempt it owns."""
+
+    attempt: Attempt
+    process: multiprocessing.Process
+    connection: object
+
+
+class ForkBackend(ExecutorBackend):
+    """Today's default: per-attempt forked workers over pipes."""
+
+    name = "fork"
+
+    def __init__(self) -> None:
+        self._context: Optional[BackendContext] = None
+        self._slots: List[_Slot] = []
+        self._counters: Dict[str, int] = {"forks": 0, "crashes": 0,
+                                          "timeouts": 0}
+
+    def start(self, context: BackendContext) -> None:
+        self._context = context
+        mp_context = context.mp_context
+        if mp_context is None:
+            # fork keeps test-registered job kinds (and any installed
+            # fault plan) visible in workers and makes per-job process
+            # spawn cheap.
+            try:
+                mp_context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX hosts
+                mp_context = multiprocessing.get_context()
+        self._mp = mp_context
+
+    def capacity(self) -> int:
+        return self._context.workers
+
+    def active(self) -> int:
+        return len(self._slots)
+
+    def submit(self, attempt: Attempt) -> None:
+        receiver, sender = self._mp.Pipe(duplex=False)
+        process = self._mp.Process(
+            target=child_main,
+            args=(sender, attempt.job, self._context.store_spec),
+        )
+        process.start()
+        sender.close()
+        self._counters["forks"] += 1
+        self._slots.append(_Slot(attempt=attempt, process=process,
+                                 connection=receiver))
+
+    def wait(self, timeout: Optional[float]) -> None:
+        if self._slots:
+            # timeout=None blocks until a worker sends a result or dies
+            # (its pipe end closing makes the connection ready).
+            multiprocessing.connection.wait(
+                [slot.connection for slot in self._slots],
+                timeout=timeout,
+            )
+        elif timeout:
+            time.sleep(timeout)
+
+    def reap(self, now: float) -> List[AttemptOutcome]:
+        outcomes: List[AttemptOutcome] = []
+        for slot in list(self._slots):
+            result = None
+            failure = None
+            deadline = slot.attempt.deadline
+            if slot.connection.poll():
+                try:
+                    result = slot.connection.recv()
+                except (EOFError, OSError):
+                    failure = "worker died mid-result"
+                    self._counters["crashes"] += 1
+            elif not slot.process.is_alive():
+                code = slot.process.exitcode
+                failure = f"worker crashed (exit code {code})"
+                self._counters["crashes"] += 1
+            elif deadline is not None and now >= deadline:
+                slot.process.terminate()
+                self._counters["timeouts"] += 1
+                failure = f"timed out after {self._context.timeout}s"
+            else:
+                continue  # still running
+
+            self._slots.remove(slot)
+            slot.process.join()
+            slot.connection.close()
+            outcomes.append(AttemptOutcome(
+                attempt=slot.attempt, result=result, failure=failure,
+                worker=slot.process.pid,
+            ))
+        return outcomes
+
+    def shutdown(self) -> None:
+        for slot in self._slots:  # pragma: no cover - interrupt path
+            slot.process.terminate()
+            slot.process.join()
+            slot.connection.close()
+        self._slots = []
+
+    def metrics(self) -> Dict[str, int]:
+        return dict(self._counters)

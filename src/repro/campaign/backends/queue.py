@@ -1,0 +1,166 @@
+"""The queue backend — in-process work-stealing worker threads.
+
+Each worker thread owns a deque of attempts. Submission deals
+round-robin onto the owners' deques; a worker takes work from the
+*front* of its own deque and, when that runs dry, **steals from the
+back** of the busiest sibling's deque — the classic split that keeps
+owner and thief off the same end. One slow job therefore never strands
+the attempts queued behind it: idle siblings drain them
+(``tests/campaign/test_backends.py`` proves it with a deliberately
+starved schedule, and the ``steals`` counter in
+:meth:`QueueBackend.metrics` / the ``backend.queue.steals`` obs
+counter make theft visible).
+
+Running in-process buys zero serialization and zero spawn cost, and
+makes the backend the natural host for future same-address-space
+executors; the costs are the GIL (threads interleave rather than
+parallelise pure-Python simulation) and no preemption — deadlines are
+ignored (no thread kill in CPython) and a crash-style ``os._exit``
+would take the whole campaign with it, which is why chaos drills
+refuse this backend for the crash injection. Deterministic failures
+are unaffected: :func:`~repro.campaign.worker.execute_job` never
+raises, so every attempt produces exactly one outcome.
+
+The byte-identity invariant holds because each attempt builds its own
+simulator over its own store handle and the engine merges by campaign
+index; completion order — scrambled by stealing — is invisible in
+canonical output.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+from typing import Deque, Dict, List, Optional
+
+from repro.campaign.backends.base import (
+    Attempt,
+    AttemptOutcome,
+    BackendContext,
+    ExecutorBackend,
+)
+from repro.campaign.worker import execute_job
+
+
+class QueueBackend(ExecutorBackend):
+    """Work-stealing thread pool with per-worker deques."""
+
+    name = "queue"
+
+    #: Effectively-unbounded capacity: the whole ready set is dealt to
+    #: the deques at once so stealing has something to steal.
+    UNBOUNDED = 1 << 30
+
+    def __init__(self) -> None:
+        self._context: Optional[BackendContext] = None
+        self._threads: List[threading.Thread] = []
+        self._deques: List[Deque[Attempt]] = []
+        self._lock = threading.Lock()
+        self._work_ready = threading.Condition(self._lock)
+        self._done = threading.Condition(self._lock)
+        self._completed: List[AttemptOutcome] = []
+        self._active = 0
+        self._stopping = False
+        self._deal_cursor = 0
+        self._counters: Dict[str, int] = {"dispatches": 0, "steals": 0}
+
+    # -- worker threads -------------------------------------------------
+
+    def _take(self, mine: int) -> Optional[Attempt]:
+        """Next attempt for worker *mine*: own front, else steal.
+
+        Caller holds the lock. Victim choice is the longest sibling
+        deque (ties to the lowest index) — steady under any schedule.
+        """
+        if self._deques[mine]:
+            return self._deques[mine].popleft()
+        victim = None
+        for index, deque in enumerate(self._deques):
+            if index != mine and deque:
+                if victim is None or len(deque) > len(self._deques[victim]):
+                    victim = index
+        if victim is None:
+            return None
+        self._counters["steals"] += 1
+        obs = self._context.obs
+        if obs is not None and getattr(obs, "enabled", False):
+            obs.counter("backend.queue.steals")
+        return self._deques[victim].pop()
+
+    def _worker(self, mine: int) -> None:
+        store = self._context.store_spec.build()
+        while True:
+            with self._lock:
+                attempt = self._take(mine)
+                while attempt is None and not self._stopping:
+                    self._work_ready.wait()
+                    attempt = self._take(mine)
+                if attempt is None:
+                    return
+            # execute_job never raises; exceptions become failed
+            # JobResults (deterministic failures, not retried).
+            result = execute_job(attempt.job, store)
+            with self._lock:
+                self._active -= 1
+                self._completed.append(AttemptOutcome(
+                    attempt=attempt, result=result,
+                    worker=f"queue-{mine}",
+                ))
+                self._done.notify_all()
+
+    # -- ExecutorBackend ------------------------------------------------
+
+    def start(self, context: BackendContext) -> None:
+        self._context = context
+        for index in range(context.workers):
+            self._deques.append(collections.deque())
+            thread = threading.Thread(
+                target=self._worker, args=(index,),
+                name=f"campaign-queue-{index}", daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def capacity(self) -> int:
+        return self.UNBOUNDED
+
+    def active(self) -> int:
+        with self._lock:
+            return self._active
+
+    def submit(self, attempt: Attempt) -> None:
+        with self._lock:
+            owner = self._deal_cursor % len(self._deques)
+            self._deal_cursor += 1
+            self._deques[owner].append(attempt)
+            self._active += 1
+            self._counters["dispatches"] += 1
+            self._work_ready.notify_all()
+
+    def wait(self, timeout: Optional[float]) -> None:
+        with self._lock:
+            if not self._completed:
+                # Doubles as the backoff sleep when nothing is active:
+                # no completion will arrive, so the wait just times out.
+                self._done.wait(timeout)
+
+    def reap(self, now: float) -> List[AttemptOutcome]:
+        # No preemption: Attempt.deadline is deliberately ignored (see
+        # the module docstring and docs/distributed.md).
+        with self._lock:
+            outcomes = self._completed
+            self._completed = []
+        return outcomes
+
+    def shutdown(self) -> None:
+        with self._lock:
+            self._stopping = True
+            for deque in self._deques:
+                deque.clear()
+            self._work_ready.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads = []
+
+    def metrics(self) -> Dict[str, int]:
+        return dict(self._counters)

@@ -1,0 +1,266 @@
+"""The subprocess backend — spawn-isolated stdio workers.
+
+Where the ``fork`` backend relies on address-space inheritance, this
+backend drives **fresh interpreters** (``python -m
+repro.campaign.backends.stdio_worker``) over a length-framed pickle
+protocol on stdin/stdout — the stepping stone to SSH placement: the
+job envelope already carries everything a worker on another machine
+would need (the :class:`~repro.campaign.jobs.Job`, the
+:class:`~repro.campaign.cachedir.StoreSpec`, the active
+:class:`~repro.guard.faults.FaultPlan`), and the transport is two byte
+pipes that could as well be ``ssh host python -m …``.
+
+Workers are persistent — one spawn amortises over many jobs — and
+single-tenant: each runs one job at a time, so a crash (or an injected
+chaos kill) costs exactly one attempt; the parent sees the dead pipe,
+reports an infrastructure failure for the engine to retry, and
+respawns the worker lazily. Timeouts are enforced by killing the
+worker.
+
+Because workers are spawn-isolated, they see only importable state:
+job kinds registered by the parent process at runtime (tests do this)
+do not exist in the worker and fail deterministically as unknown
+kinds; the installed fault plan IS shipped, in the envelope. See
+docs/distributed.md for the full capability matrix.
+
+Wire format: 4-byte big-endian length + pickle, both directions.
+Request: ``{"job": Job, "store": StoreSpec, "plan": FaultPlan|None}``.
+Response: a :class:`~repro.campaign.jobs.JobResult`.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import selectors
+import struct
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.campaign.backends.base import (
+    Attempt,
+    AttemptOutcome,
+    BackendContext,
+    ExecutorBackend,
+)
+from repro.guard import faults
+
+#: struct format of the frame-length prefix.
+LENGTH_PREFIX = ">I"
+_PREFIX_SIZE = struct.calcsize(LENGTH_PREFIX)
+
+WORKER_MODULE = "repro.campaign.backends.stdio_worker"
+
+
+def write_frame(stream, payload: object) -> None:
+    """Pickle *payload* and write one length-prefixed frame."""
+    data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    stream.write(struct.pack(LENGTH_PREFIX, len(data)) + data)
+    stream.flush()
+
+
+def read_frame(stream) -> object:
+    """Read one frame; raises EOFError on a closed/short stream."""
+    prefix = stream.read(_PREFIX_SIZE)
+    if len(prefix) != _PREFIX_SIZE:
+        raise EOFError("stream closed before frame length")
+    (length,) = struct.unpack(LENGTH_PREFIX, prefix)
+    chunks = []
+    remaining = length
+    while remaining:
+        chunk = stream.read(remaining)
+        if not chunk:
+            raise EOFError("stream closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return pickle.loads(b"".join(chunks))
+
+
+@dataclass
+class _Worker:
+    """One spawned interpreter and the attempt it is running."""
+
+    process: subprocess.Popen
+    attempt: Optional[Attempt] = None
+
+    @property
+    def idle(self) -> bool:
+        return self.attempt is None
+
+
+class SubprocessBackend(ExecutorBackend):
+    """Persistent spawn-isolated workers over a stdio job protocol."""
+
+    name = "subprocess"
+
+    def __init__(self) -> None:
+        self._context: Optional[BackendContext] = None
+        self._workers: List[_Worker] = []
+        self._counters: Dict[str, int] = {
+            "spawns": 0, "respawns": 0, "dispatches": 0,
+            "crashes": 0, "timeouts": 0,
+        }
+
+    # -- worker lifecycle ----------------------------------------------
+
+    def _spawn(self) -> _Worker:
+        # A spawned interpreter must find the repro package the same
+        # way this process does, venv or source tree alike.
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [path for path in sys.path if path]
+        )
+        process = subprocess.Popen(
+            [sys.executable, "-m", WORKER_MODULE],
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            env=env,
+        )
+        self._counters["spawns"] += 1
+        worker = _Worker(process=process)
+        self._workers.append(worker)
+        return worker
+
+    def _retire(self, worker: _Worker, kill: bool = False) -> None:
+        self._workers.remove(worker)
+        if kill and worker.process.poll() is None:
+            worker.process.kill()
+        for stream in (worker.process.stdin, worker.process.stdout):
+            try:
+                stream.close()
+            except OSError:  # pragma: no cover - broken pipe on close
+                pass
+        worker.process.wait()
+
+    # -- ExecutorBackend ------------------------------------------------
+
+    def start(self, context: BackendContext) -> None:
+        self._context = context
+
+    def capacity(self) -> int:
+        return self._context.workers
+
+    def active(self) -> int:
+        return sum(1 for worker in self._workers if not worker.idle)
+
+    def submit(self, attempt: Attempt) -> None:
+        worker = next((w for w in self._workers
+                       if w.idle and w.process.poll() is None), None)
+        if worker is None:
+            if any(w.idle for w in self._workers):
+                # An idle worker died between jobs; replace it.
+                for dead in [w for w in self._workers
+                             if w.idle and w.process.poll() is not None]:
+                    self._retire(dead)
+                self._counters["respawns"] += 1
+            worker = self._spawn()
+        envelope = {
+            "job": attempt.job,
+            "store": self._context.store_spec,
+            "plan": faults.active_plan(),
+        }
+        worker.attempt = attempt
+        self._counters["dispatches"] += 1
+        try:
+            write_frame(worker.process.stdin, envelope)
+        except (OSError, ValueError):
+            # Dead on arrival: reap() will see the closed stdout and
+            # report the infrastructure failure for this attempt.
+            pass
+
+    def wait(self, timeout: Optional[float]) -> None:
+        busy = [w for w in self._workers if not w.idle]
+        if not busy:
+            if timeout:
+                time.sleep(timeout)
+            return
+        selector = selectors.DefaultSelector()
+        try:
+            for worker in busy:
+                selector.register(worker.process.stdout,
+                                  selectors.EVENT_READ)
+            selector.select(timeout)
+        finally:
+            selector.close()
+
+    def reap(self, now: float) -> List[AttemptOutcome]:
+        outcomes: List[AttemptOutcome] = []
+        selector = selectors.DefaultSelector()
+        ready = set()
+        try:
+            busy = [w for w in self._workers if not w.idle]
+            for worker in busy:
+                selector.register(worker.process.stdout,
+                                  selectors.EVENT_READ, worker)
+            for key, _ in selector.select(0):
+                ready.add(key.data.process.pid)
+        finally:
+            selector.close()
+
+        for worker in list(self._workers):
+            if worker.idle:
+                continue
+            attempt = worker.attempt
+            pid = worker.process.pid
+            deadline = attempt.deadline
+            if pid in ready:
+                # The worker is writing (or died); a blocking framed
+                # read either completes quickly or hits EOF.
+                try:
+                    result = read_frame(worker.process.stdout)
+                except (EOFError, OSError, pickle.UnpicklingError):
+                    code = worker.process.poll()
+                    self._counters["crashes"] += 1
+                    self._retire(worker, kill=True)
+                    outcomes.append(AttemptOutcome(
+                        attempt=attempt,
+                        failure=f"worker crashed (exit code {code})",
+                        worker=pid,
+                    ))
+                    continue
+                worker.attempt = None
+                outcomes.append(AttemptOutcome(
+                    attempt=attempt, result=result, worker=pid,
+                ))
+            elif worker.process.poll() is not None:
+                code = worker.process.poll()
+                self._counters["crashes"] += 1
+                self._retire(worker)
+                outcomes.append(AttemptOutcome(
+                    attempt=attempt,
+                    failure=f"worker crashed (exit code {code})",
+                    worker=pid,
+                ))
+            elif deadline is not None and now >= deadline:
+                self._counters["timeouts"] += 1
+                self._retire(worker, kill=True)
+                outcomes.append(AttemptOutcome(
+                    attempt=attempt,
+                    failure=("timed out after "
+                             f"{self._context.timeout}s"),
+                    worker=pid,
+                ))
+        return outcomes
+
+    def shutdown(self) -> None:
+        for worker in list(self._workers):
+            if worker.idle and worker.process.poll() is None:
+                # Polite EOF lets an idle worker exit cleanly.
+                try:
+                    worker.process.stdin.close()
+                except OSError:  # pragma: no cover
+                    pass
+                try:
+                    worker.process.wait(timeout=2.0)
+                except subprocess.TimeoutExpired:  # pragma: no cover
+                    worker.process.kill()
+                    worker.process.wait()
+                worker.process.stdout.close()
+                self._workers.remove(worker)
+            else:
+                self._retire(worker, kill=True)
+
+    def metrics(self) -> Dict[str, int]:
+        return dict(self._counters)

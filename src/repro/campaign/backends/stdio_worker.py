@@ -1,0 +1,64 @@
+"""Worker-side main loop of the subprocess backend's stdio protocol.
+
+Run as ``python -m repro.campaign.backends.stdio_worker`` by
+:class:`~repro.campaign.backends.stdio.SubprocessBackend`. Reads
+length-framed pickled job envelopes from stdin, executes each through
+:func:`repro.campaign.worker.execute_job` (the same single code path
+every other backend drives — that sameness is the byte-identity
+invariant's foundation), and writes the framed
+:class:`~repro.campaign.jobs.JobResult` back on the *protocol* stream.
+
+The protocol stream is a private dup of fd 1 taken at startup;
+``sys.stdout`` is then rebound onto stderr so stray prints from job
+code can never corrupt a frame. EOF on stdin is the clean shutdown
+signal. An envelope's :class:`~repro.guard.faults.FaultPlan` (chaos
+drills) is installed before the job runs — spawn isolation means
+nothing is inherited, so everything arrives in the envelope — and an
+installed plan's crash injection may ``os._exit`` this process, which
+the parent observes as a dead pipe and retries.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+
+def main() -> int:
+    # Capture the protocol stream, then point fd 1 (and sys.stdout) at
+    # stderr so job-side prints cannot interleave with frames.
+    protocol_out = os.fdopen(os.dup(sys.stdout.fileno()), "wb")
+    os.dup2(sys.stderr.fileno(), sys.stdout.fileno())
+    sys.stdout = sys.stderr
+    protocol_in = os.fdopen(os.dup(sys.stdin.fileno()), "rb")
+
+    from repro.campaign.backends.stdio import read_frame, write_frame
+    from repro.campaign.jobs import JobResult
+    from repro.campaign.worker import execute_job
+    from repro.guard import faults
+
+    while True:
+        try:
+            envelope = read_frame(protocol_in)
+        except EOFError:
+            return 0
+        job = envelope["job"]
+        plan = envelope.get("plan")
+        if plan is not None:
+            faults.install_plan(plan)
+        else:
+            faults.clear_plan()
+        try:
+            store = envelope["store"].build()
+            result = execute_job(job, store)
+        except BaseException as exc:  # the frame must go out or the
+            # parent treats this worker as crashed — report what we can.
+            result = JobResult(
+                job=job, status="failed",
+                error=f"worker error: {type(exc).__name__}: {exc}",
+            )
+        write_frame(protocol_out, result)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,21 +1,27 @@
-"""Shared on-disk p-action cache directory — campaign warm-start.
+"""Shared on-disk p-action cache stores — campaign warm-start.
 
 Repeated campaigns (CI runs, parameter sweeps, regression timing) keep
 re-simulating the same binaries under the same processor model. Each
 (program text, parameters) pair has a binding signature
-(:func:`repro.memo.engine.run_signature`); this store maps that
-signature to a persisted p-action cache file
-(:mod:`repro.memo.persist`), so any worker — in any process, in any
-later campaign — can start fully warm.
+(:func:`repro.memo.engine.run_signature`); a :class:`CacheStore` maps
+that signature to a persisted p-action cache file
+(:mod:`repro.memo.persist`), so any worker — in any process, on any
+placement, in any later campaign — can start fully warm.
 
-Layout: one ``<signature-hex>.fspc`` file per binding under the root
-directory. Writes go through a per-process temporary file and an atomic
-:func:`os.replace`, so concurrent workers can race on the same
-signature safely (last writer wins; both wrote compatible caches for
-the same binding, so either outcome is sound — the binding signature is
-re-imposed on load and replay never trusts a cache for the wrong
-binary). A corrupt or truncated file is treated as a miss, never an
-error: warm-start is an optimisation, and the bit-identical invariant
+The store is **content-addressed by the run signature**: the file name
+*is* the SHA-256 digest of everything that defines the cache's content
+(program text, text base, processor parameters), so two writers racing
+on the same name are by construction writing caches for the same
+binding, and a reader can never be handed bytes for the wrong binary —
+the binding is re-imposed on load. Writes are concurrency-safe for
+many writers, including many threads of one process (the work-stealing
+queue backend) and unrelated processes on a shared filesystem: each
+write goes through a per-process *and* per-thread unique temporary
+file and one atomic :func:`os.replace` (last writer wins; both wrote
+compatible caches for the same binding, so either outcome is sound).
+
+A corrupt or truncated file is treated as a miss, never an error:
+warm-start is an optimisation, and the bit-identical invariant
 guarantees a cold run produces the same simulated results. Corrupt
 files are **quarantined**, not silently skipped: the damaged file is
 atomically renamed to ``<name>.bad`` (preserving the evidence and
@@ -23,12 +29,29 @@ preventing every later run from tripping over it), counted in the
 ``guard.cache_quarantined`` obs metric, and reported through the
 progress sink as a ``cache-quarantined`` event (a WARNING line in
 text mode) — see docs/robustness.md.
+
+Two-tier layout
+---------------
+
+:class:`TieredCacheStore` layers a fast **local** directory over a
+**shared** remote-style store (an NFS/rsync'd/object-store-mounted
+directory): reads go local-first and *read through* to the shared tier
+(promoting hits into the local dir byte-for-byte), writes land locally
+and are *written back* to the shared tier. One worker's miss therefore
+warms every placement — the enabling property for executor backends
+that span processes and, eventually, hosts (docs/distributed.md).
+Corruption in either tier quarantines in that tier and falls back to
+the next one (or to a cold run); the canonical output is byte-identical
+regardless, which ``fastsim-repro chaos --tiered`` drills end-to-end.
 """
 
 from __future__ import annotations
 
+import itertools
 import os
-from typing import List, Optional, Union
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
 
 from repro.errors import MemoizationError
 from repro.memo.pcache import PActionCache
@@ -38,6 +61,10 @@ from repro.obs.core import ensure_observer
 _SUFFIX = ".fspc"
 #: Appended to a corrupt cache file's name when it is quarantined.
 QUARANTINE_SUFFIX = ".bad"
+
+#: Process-wide monotonic counter making temp names unique per writer
+#: even when one process writes from many threads (the queue backend).
+_TEMP_SEQUENCE = itertools.count()
 
 
 class CacheStore:
@@ -97,6 +124,20 @@ class CacheStore:
             self.sink.emit("cache-quarantined", file=name,
                            error=str(exc))
 
+    def _temp_path(self, signature: bytes) -> str:
+        """A writer-unique temporary name next to the final path.
+
+        Unique across processes (pid), across threads of one process
+        (thread ident), and across successive writes by one thread
+        (sequence counter) — any number of concurrent writers may
+        target the same signature without touching each other's bytes.
+        """
+        return os.path.join(
+            self.root,
+            f".{signature.hex()}.{os.getpid()}"
+            f".{threading.get_ident()}.{next(_TEMP_SEQUENCE)}.tmp",
+        )
+
     def store(self, signature: bytes, cache: PActionCache,
               known_nodes: int = 0) -> bool:
         """Persist *cache* unless it holds nothing new.
@@ -110,9 +151,7 @@ class CacheStore:
                 self.path_for(signature)):
             return False
         final_path = self.path_for(signature)
-        temp_path = os.path.join(
-            self.root, f".{signature.hex()}.{os.getpid()}.tmp"
-        )
+        temp_path = self._temp_path(signature)
         try:
             save_pcache(cache, temp_path)
             os.replace(temp_path, final_path)
@@ -120,6 +159,41 @@ class CacheStore:
             if os.path.exists(temp_path):
                 os.unlink(temp_path)
         return True
+
+    # -- raw byte transfer (tier promotion / write-back) ---------------
+
+    def read_bytes(self, signature: bytes) -> Optional[bytes]:
+        """The persisted file's raw bytes, or None when missing.
+
+        No integrity check happens here — the receiving tier's
+        :meth:`load` re-validates, and a corrupt transfer quarantines
+        there exactly like a corrupt local write would.
+        """
+        try:
+            with open(self.path_for(signature), "rb") as stream:
+                return stream.read()
+        except OSError:
+            return None
+
+    def write_bytes(self, signature: bytes, data: bytes) -> None:
+        """Atomically install raw persisted-cache bytes for *signature*.
+
+        Used for byte-exact tier promotion and write-back: copying the
+        file instead of re-serialising guarantees both tiers hold
+        identical bytes for one binding.
+        """
+        temp_path = self._temp_path(signature)
+        try:
+            with open(temp_path, "wb") as stream:
+                stream.write(data)
+            os.replace(temp_path, self.path_for(signature))
+        finally:
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+
+    def has(self, signature: bytes) -> bool:
+        """Whether a persisted file exists for *signature* (no parse)."""
+        return os.path.exists(self.path_for(signature))
 
     def entries(self) -> List[str]:
         """Hex signatures currently persisted, sorted."""
@@ -135,3 +209,135 @@ class CacheStore:
             os.path.getsize(os.path.join(self.root, hexsig + _SUFFIX))
             for hexsig in self.entries()
         )
+
+
+class TieredCacheStore:
+    """A local read-through/write-back dir over a shared store.
+
+    Duck-typed to :class:`CacheStore` where the campaign engine and
+    workers care (``load`` / ``store`` / ``quarantined`` / ``entries``
+    / ``total_bytes``). Tier traffic is counted per instance
+    (:attr:`tier_stats`, surfaced in per-job metrics records as
+    ``cache_tier``) and in obs counters (``cache.tier_local_hits``,
+    ``cache.tier_shared_hits``, ``cache.tier_misses``,
+    ``cache.tier_promotions``, ``cache.tier_writebacks``).
+    """
+
+    def __init__(self, local: Union[str, "os.PathLike", CacheStore],
+                 shared: Union[str, "os.PathLike", CacheStore],
+                 obs=None, sink=None):
+        self.obs = ensure_observer(obs)
+        self.sink = sink
+        self.local = (local if isinstance(local, CacheStore)
+                      else CacheStore(local, obs=obs, sink=sink))
+        self.shared = (shared if isinstance(shared, CacheStore)
+                       else CacheStore(shared, obs=obs, sink=sink))
+        self.tier_stats: Dict[str, int] = {
+            "local_hits": 0, "shared_hits": 0, "misses": 0,
+            "promotions": 0, "writebacks": 0,
+        }
+
+    def _count(self, stat: str) -> None:
+        self.tier_stats[stat] += 1
+        if self.obs.enabled:
+            self.obs.counter(f"cache.tier_{stat}")
+
+    @property
+    def root(self) -> str:
+        """The local tier's directory (what single-tier callers see)."""
+        return self.local.root
+
+    @property
+    def quarantined(self) -> List[str]:
+        """Files quarantined in either tier by this instance."""
+        return list(self.local.quarantined) + list(self.shared.quarantined)
+
+    def path_for(self, signature: bytes) -> str:
+        return self.local.path_for(signature)
+
+    def load(self, signature: bytes) -> Optional[PActionCache]:
+        """Local-first read-through load with byte-exact promotion.
+
+        A shared-tier hit is copied into the local dir *as bytes*, so
+        the promoted file is identical to what every other placement
+        promotes. Corruption quarantines in whichever tier served the
+        bytes and falls through (shared, then cold).
+        """
+        cache = self.local.load(signature)
+        if cache is not None:
+            self._count("local_hits")
+            return cache
+        cache = self.shared.load(signature)
+        if cache is not None:
+            self._count("shared_hits")
+            data = self.shared.read_bytes(signature)
+            if data is not None:
+                self.local.write_bytes(signature, data)
+                self._count("promotions")
+            return cache
+        self._count("misses")
+        return None
+
+    def store(self, signature: bytes, cache: PActionCache,
+              known_nodes: int = 0) -> bool:
+        """Write locally, then write the same bytes back to the shared
+        tier (skipped only when the local write itself was skipped and
+        the shared tier already holds the binding)."""
+        saved = self.local.store(signature, cache, known_nodes)
+        if saved or not self.shared.has(signature):
+            data = self.local.read_bytes(signature)
+            if data is not None:
+                self.shared.write_bytes(signature, data)
+                self._count("writebacks")
+        return saved
+
+    def entries(self) -> List[str]:
+        """Hex signatures reachable through either tier, sorted."""
+        return sorted(set(self.local.entries())
+                      | set(self.shared.entries()))
+
+    def total_bytes(self) -> int:
+        return self.local.total_bytes() + self.shared.total_bytes()
+
+
+@dataclass(frozen=True)
+class StoreSpec:
+    """A picklable recipe for a cache store.
+
+    Jobs cross process boundaries (fork pipes, the subprocess stdio
+    protocol), so workers receive the *description* of the store and
+    build their own instance — exactly like :class:`PolicySpec` for
+    replacement policies. ``cache_dir`` alone builds a flat
+    :class:`CacheStore`; adding ``shared_dir`` builds a
+    :class:`TieredCacheStore` with ``cache_dir`` as the local tier.
+    Both None means no store (always-cold runs).
+    """
+
+    cache_dir: Optional[str] = None
+    shared_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.shared_dir and not self.cache_dir:
+            raise ValueError(
+                "a shared cache tier needs a local tier: pass "
+                "cache_dir alongside shared_dir"
+            )
+
+    def __bool__(self) -> bool:
+        return self.cache_dir is not None
+
+    def build(self, obs=None, sink=None):
+        """Instantiate the described store (or None)."""
+        if not self.cache_dir:
+            return None
+        if self.shared_dir:
+            return TieredCacheStore(self.cache_dir, self.shared_dir,
+                                    obs=obs, sink=sink)
+        return CacheStore(self.cache_dir, obs=obs, sink=sink)
+
+
+def make_store(cache_dir: Optional[str] = None,
+               shared_dir: Optional[str] = None, obs=None, sink=None):
+    """One-call convenience over :class:`StoreSpec`."""
+    return StoreSpec(cache_dir=cache_dir,
+                     shared_dir=shared_dir).build(obs=obs, sink=sink)

@@ -1,43 +1,60 @@
 """The campaign engine — parallel, fault-tolerant job execution.
 
-A :class:`Campaign` is a declarative, ordered set of unique jobs. A
-:class:`CampaignRunner` executes one:
+A :class:`Campaign` is a declarative, ordered set of unique jobs plus
+the executor backend that should place them. A :class:`CampaignRunner`
+executes one:
 
-* ``workers=0`` — serially, in-process (no subprocesses, no timeout
+* ``workers=0`` — serially, in-process (no backend, no timeout
   enforcement; what the suite runner uses for incremental calls);
-* ``workers>=1`` — sharded across single-job worker processes with
-  per-job timeout, bounded retry with exponential backoff, and crash
-  isolation: a dying worker fails (and retries) one job, never the run.
+* ``workers>=1`` — sharded across an
+  :class:`~repro.campaign.backends.ExecutorBackend` (``fork`` —
+  per-job forked processes, the default; ``subprocess`` —
+  spawn-isolated stdio workers; ``queue`` — in-process work-stealing
+  threads) with per-job timeout where the backend can enforce it,
+  bounded retry with exponential backoff for infrastructure failures,
+  and crash isolation on the process-based backends.
 
 Result merging is deterministic: :class:`CampaignResult` holds job
 results in campaign order, keyed by :attr:`Job.key`, so the merged
-output is byte-identical no matter which workers finished first —
-``workers=1`` and ``workers=N`` produce the same
+output is byte-identical no matter which backend ran the jobs or which
+workers finished first — ``workers=1`` and ``workers=N``, ``fork`` and
+``queue``, flat and tiered caches all produce the same
 :meth:`CampaignResult.canonical_json`. Host-dependent measurements
-(wall times, retries, memoization hit counts under warm-start) are
-deliberately kept out of the canonical payload and emitted as JSON
-lines instead (:meth:`CampaignResult.metrics_jsonl`).
+(wall times, retries, memoization hit counts under warm-start, tier
+hit rates, steal counts) are deliberately kept out of the canonical
+payload and emitted as JSON lines / backend metrics instead
+(:meth:`CampaignResult.metrics_jsonl`,
+:attr:`CampaignRunner.backend_metrics`).
 
-One worker process runs one job and exits. That costs a ``fork`` per
-job (cheap on the platforms this targets) and buys the fault-tolerance
-properties above for free; warm state lives on disk in the shared
-:class:`~repro.campaign.cachedir.CacheStore`, not in worker memory, so
-it survives both worker recycling and entire campaigns.
+The engine owns scheduling *policy* (order, retries, deadlines,
+merge); backends own placement *mechanism* — see
+:mod:`repro.campaign.backends.base` for the boundary and
+docs/distributed.md for the capability matrix. Warm state lives on
+disk in the shared :class:`~repro.campaign.cachedir.CacheStore` (or a
+:class:`~repro.campaign.cachedir.TieredCacheStore` when a shared tier
+is configured), not in worker memory, so it survives worker recycling,
+entire campaigns, and placement changes.
 """
 
 from __future__ import annotations
 
 import json
-import multiprocessing
-import multiprocessing.connection
+import threading
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.campaign.cachedir import CacheStore
+from repro.campaign.backends import (
+    BackendContext,
+    ExecutorBackend,
+    make_backend,
+    validate_backend,
+)
+from repro.campaign.backends.base import Attempt
+from repro.campaign.cachedir import StoreSpec
 from repro.campaign.jobs import Job, JobResult
 from repro.campaign.progress import NullSink, ObsSink, ProgressSink, TeeSink
-from repro.campaign.worker import child_main, execute_job
+from repro.campaign.worker import execute_job
 from repro.obs.core import ensure_observer
 
 FORMAT_VERSION = 1
@@ -45,13 +62,23 @@ FORMAT_VERSION = 1
 
 @dataclass(frozen=True)
 class Campaign:
-    """An ordered set of jobs with unique keys."""
+    """An ordered set of jobs with unique keys, plus their placement.
+
+    ``backend`` names the executor backend the campaign should run on
+    (``fork`` / ``subprocess`` / ``queue``). It is campaign-level by
+    design: per-job backend overrides are rejected (see
+    :class:`~repro.campaign.jobs.Job`), and the backend is excluded
+    from job cache keys because — like ``turbo`` — it must never
+    change canonical results.
+    """
 
     jobs: Tuple[Job, ...]
     name: str = "campaign"
+    backend: str = "fork"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "jobs", tuple(self.jobs))
+        validate_backend(self.backend)
         seen = {}
         for job in self.jobs:
             if job.key in seen:
@@ -73,6 +100,7 @@ class Campaign:
         params=None,
         include_native: bool = False,
         name: str = "campaign",
+        backend: str = "fork",
     ) -> "Campaign":
         """The common workload × simulator cross-product campaign."""
         jobs = []
@@ -83,7 +111,7 @@ class Campaign:
             for simulator in simulators:
                 jobs.append(Job(workload=workload, simulator=simulator,
                                 scale=scale, params=params))
-        return cls(jobs=tuple(jobs), name=name)
+        return cls(jobs=tuple(jobs), name=name, backend=backend)
 
 
 @dataclass
@@ -118,7 +146,11 @@ class CampaignResult:
         return [result for result in self.results if not result.ok]
 
     def canonical_dict(self) -> Dict[str, object]:
-        """Host-independent merged payload, in campaign order."""
+        """Host-independent merged payload, in campaign order.
+
+        Deliberately excludes the backend, worker count, and cache
+        tiering — placement is invisible in canonical output.
+        """
         return {
             "format_version": FORMAT_VERSION,
             "name": self.campaign.name,
@@ -146,23 +178,15 @@ class CampaignResult:
 
 
 @dataclass
-class _InFlight:
-    """One live worker process and the job attempt it owns."""
-
-    index: int
-    job: Job
-    attempt: int
-    process: multiprocessing.Process
-    connection: object
-    deadline: Optional[float]
-
-
-@dataclass
 class _Pending:
     index: int
     job: Job
     attempt: int = 1
     ready_at: float = 0.0
+
+
+class CampaignCancelled(RuntimeError):
+    """Raised internally to unwind a cancelled campaign run."""
 
 
 class CampaignRunner:
@@ -178,38 +202,66 @@ class CampaignRunner:
         sink: Optional[ProgressSink] = None,
         mp_context: Optional[object] = None,
         obs=None,
+        backend: Union[str, ExecutorBackend, None] = None,
+        shared_cache_dir: Optional[str] = None,
     ):
         if workers < 0:
             raise ValueError("workers must be >= 0")
         if retries < 0:
             raise ValueError("retries must be >= 0")
         self.workers = workers
-        self.cache_dir = cache_dir
+        self.store_spec = StoreSpec(cache_dir=cache_dir,
+                                    shared_dir=shared_cache_dir)
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
         self.obs = ensure_observer(obs)
+        #: Backend override; None defers to ``Campaign.backend``.
+        self.backend = backend
+        if isinstance(backend, str):
+            validate_backend(backend)
         self.sink = sink if sink is not None else NullSink()
         if self.obs.enabled:
             # Telemetry rides the same event stream the progress sinks
             # see; job lifecycle becomes instants + outcome metrics.
             self.sink = TeeSink(self.sink, ObsSink(self.obs))
-        if mp_context is None:
-            # fork keeps test-registered job kinds visible in workers
-            # and makes per-job process spawn cheap.
-            try:
-                mp_context = multiprocessing.get_context("fork")
-            except ValueError:  # pragma: no cover - non-POSIX hosts
-                mp_context = multiprocessing.get_context()
         self._mp = mp_context
+        #: Mechanism counters of the backend that ran the last
+        #: campaign (forks/steals/respawns/…) — host diagnostics.
+        self.backend_metrics: Dict[str, object] = {}
+        self._cancel = threading.Event()
+
+    @property
+    def cache_dir(self) -> Optional[str]:
+        """The local cache tier's directory (compat accessor)."""
+        return self.store_spec.cache_dir
 
     # ------------------------------------------------------------------
 
+    def cancel(self) -> None:
+        """Ask a run in progress (possibly on another thread) to stop.
+
+        Jobs not yet finished come back ``status="cancelled"``; jobs
+        already merged keep their results. Idempotent; harmless when
+        nothing is running.
+        """
+        self._cancel.set()
+
+    def _check_cancelled(self) -> None:
+        if self._cancel.is_set():
+            raise CampaignCancelled()
+
     def run(self, campaign: Campaign) -> CampaignResult:
         """Execute every job; merged results come back in job order."""
+        backend_name = (self.backend if self.backend is not None
+                        else campaign.backend)
+        self._cancel.clear()
         self.sink.emit(
             "campaign-start", name=campaign.name, jobs=len(campaign),
-            workers=self.workers, cache_dir=self.cache_dir,
+            workers=self.workers, cache_dir=self.store_spec.cache_dir,
+            shared_cache_dir=self.store_spec.shared_dir,
+            backend=(backend_name if isinstance(backend_name, str)
+                     else backend_name.name),
         )
         started = time.monotonic()  # repro-lint: disable=det/time-dependent
         with self.obs.span("campaign.run", cat="campaign",
@@ -218,7 +270,7 @@ class CampaignRunner:
             if self.workers == 0:
                 results = self._run_inline(campaign)
             else:
-                results = self._run_pool(campaign)
+                results = self._run_backend(campaign, backend_name)
         wall = time.monotonic() - started  # repro-lint: disable=det/time-dependent
         outcome = CampaignResult(
             campaign=campaign, results=results, wall_seconds=wall,
@@ -233,11 +285,17 @@ class CampaignRunner:
     # -- serial in-process path -----------------------------------------
 
     def _run_inline(self, campaign: Campaign) -> List[JobResult]:
-        store = (CacheStore(self.cache_dir, obs=self.obs,
-                            sink=self.sink)
-                 if self.cache_dir else None)
+        store = self.store_spec.build(obs=self.obs, sink=self.sink)
         results = []
-        for job in campaign.jobs:
+        for position, job in enumerate(campaign.jobs):
+            if self._cancel.is_set():
+                results.extend(
+                    self._cancelled_result(late)
+                    for late in campaign.jobs[position:]
+                )
+                self.sink.emit("campaign-cancelled", name=campaign.name,
+                               remaining=len(campaign) - position)
+                break
             self.sink.emit("job-start", key=job.key, attempt=1)
             with self.obs.span("campaign.job", cat="campaign",
                                key=job.key):
@@ -246,31 +304,54 @@ class CampaignRunner:
             results.append(outcome)
         return results
 
-    # -- parallel pool path ---------------------------------------------
+    # -- backend pool path ----------------------------------------------
 
-    def _run_pool(self, campaign: Campaign) -> List[JobResult]:
+    def _run_backend(self, campaign: Campaign,
+                     backend_name) -> List[JobResult]:
+        backend = make_backend(backend_name)
+        backend.start(BackendContext(
+            workers=self.workers, store_spec=self.store_spec,
+            timeout=self.timeout, obs=self.obs, sink=self.sink,
+            mp_context=self._mp,
+        ))
         pending: List[_Pending] = [
             _Pending(index=i, job=job)
             for i, job in enumerate(campaign.jobs)
         ]
-        in_flight: List[_InFlight] = []
+        in_flight: Dict[int, Attempt] = {}
         finished: Dict[int, JobResult] = {}
         try:
             while pending or in_flight:
+                self._check_cancelled()
                 now = time.monotonic()  # repro-lint: disable=det/time-dependent
-                self._launch_ready(pending, in_flight, now)
-                self._wait(pending, in_flight, now)
+                self._launch_ready(backend, pending, in_flight, now)
+                self._wait(backend, pending, in_flight, now)
                 now = time.monotonic()  # repro-lint: disable=det/time-dependent
-                self._collect(pending, in_flight, finished, now)
+                self._collect(backend, pending, in_flight, finished, now)
+        except CampaignCancelled:
+            self.sink.emit(
+                "campaign-cancelled", name=campaign.name,
+                remaining=len(campaign.jobs) - len(finished),
+            )
         finally:
-            for slot in in_flight:  # pragma: no cover - interrupt path
-                slot.process.terminate()
-                slot.process.join()
-        return [finished[i] for i in range(len(campaign.jobs))]
+            backend.shutdown()
+            self.backend_metrics = dict(
+                backend=backend.name, **backend.metrics()
+            )
+        return [
+            finished.get(i) if finished.get(i) is not None
+            else self._cancelled_result(job)
+            for i, job in enumerate(campaign.jobs)
+        ]
 
-    def _launch_ready(self, pending: List[_Pending],
-                      in_flight: List[_InFlight], now: float) -> None:
-        while len(in_flight) < self.workers:
+    def _cancelled_result(self, job: Job) -> JobResult:
+        return JobResult(job=job, status="cancelled",
+                         error="cancelled before completion")
+
+    def _launch_ready(self, backend: ExecutorBackend,
+                      pending: List[_Pending],
+                      in_flight: Dict[int, Attempt], now: float) -> None:
+        while backend.active() < backend.capacity():
             slot_item = None
             for item in pending:
                 if item.ready_at <= now:
@@ -279,95 +360,66 @@ class CampaignRunner:
             if slot_item is None:
                 return
             pending.remove(slot_item)
-            receiver, sender = self._mp.Pipe(duplex=False)
-            process = self._mp.Process(
-                target=child_main,
-                args=(sender, slot_item.job, self.cache_dir),
-            )
-            process.start()
-            sender.close()
             deadline = (now + self.timeout
                         if self.timeout is not None else None)
-            in_flight.append(_InFlight(
-                index=slot_item.index, job=slot_item.job,
-                attempt=slot_item.attempt, process=process,
-                connection=receiver, deadline=deadline,
-            ))
+            attempt = Attempt(index=slot_item.index, job=slot_item.job,
+                              attempt=slot_item.attempt,
+                              deadline=deadline)
+            backend.submit(attempt)
+            in_flight[attempt.index] = attempt
             self.sink.emit("job-start", key=slot_item.job.key,
-                           attempt=slot_item.attempt,
-                           worker=process.pid)
+                           attempt=slot_item.attempt)
 
-    def _wait(self, pending: List[_Pending],
-              in_flight: List[_InFlight], now: float) -> None:
+    def _wait(self, backend: ExecutorBackend, pending: List[_Pending],
+              in_flight: Dict[int, Attempt], now: float) -> None:
         """Block until a result, a deadline, or a backoff expiry."""
-        bounds = [slot.deadline for slot in in_flight
-                  if slot.deadline is not None]
+        bounds = [attempt.deadline for attempt in in_flight.values()
+                  if attempt.deadline is not None]
         bounds.extend(item.ready_at for item in pending
                       if item.ready_at > now)
         timeout = None
         if bounds:
             timeout = max(min(bounds) - now, 0.0)
-        if in_flight:
-            # timeout=None blocks until a worker sends a result or dies
-            # (its pipe end closing makes the connection ready).
-            multiprocessing.connection.wait(
-                [slot.connection for slot in in_flight],
-                timeout=timeout,
-            )
-        elif timeout:
-            time.sleep(timeout)
+        if self._cancel.is_set():
+            return
+        backend.wait(timeout)
 
-    def _collect(self, pending: List[_Pending],
-                 in_flight: List[_InFlight],
+    def _collect(self, backend: ExecutorBackend,
+                 pending: List[_Pending], in_flight: Dict[int, Attempt],
                  finished: Dict[int, JobResult], now: float) -> None:
-        for slot in list(in_flight):
-            outcome = None
-            failure = None
-            if slot.connection.poll():
-                try:
-                    outcome = slot.connection.recv()
-                except (EOFError, OSError):
-                    failure = "worker died mid-result"
-            elif not slot.process.is_alive():
-                code = slot.process.exitcode
-                failure = f"worker crashed (exit code {code})"
-            elif slot.deadline is not None and now >= slot.deadline:
-                slot.process.terminate()
-                failure = f"timed out after {self.timeout}s"
-            else:
-                continue  # still running
+        for outcome in backend.reap(now):
+            attempt = outcome.attempt
+            in_flight.pop(attempt.index, None)
 
-            in_flight.remove(slot)
-            slot.process.join()
-            slot.connection.close()
-
-            if outcome is not None:
-                outcome.attempts = slot.attempt
-                self._emit_outcome(outcome, worker=slot.process.pid)
-                finished[slot.index] = outcome
+            if outcome.result is not None:
+                outcome.result.attempts = attempt.attempt
+                self._emit_outcome(outcome.result, worker=outcome.worker)
+                finished[attempt.index] = outcome.result
                 continue
 
             # Infrastructure failure: retry with backoff, else fail.
-            if slot.attempt <= self.retries:
-                delay = self.backoff * (2 ** (slot.attempt - 1))
+            failure = outcome.failure or "worker lost"
+            if attempt.attempt <= self.retries:
+                delay = self.backoff * (2 ** (attempt.attempt - 1))
                 self.sink.emit(
-                    "job-retry", key=slot.job.key, attempt=slot.attempt,
-                    error=failure, backoff_seconds=delay,
+                    "job-retry", key=attempt.job.key,
+                    attempt=attempt.attempt, error=failure,
+                    backoff_seconds=delay,
                 )
                 pending.append(_Pending(
-                    index=slot.index, job=slot.job,
-                    attempt=slot.attempt + 1, ready_at=now + delay,
+                    index=attempt.index, job=attempt.job,
+                    attempt=attempt.attempt + 1, ready_at=now + delay,
                 ))
             else:
                 result = JobResult(
-                    job=slot.job, status="failed",
-                    attempts=slot.attempt, error=failure,
+                    job=attempt.job, status="failed",
+                    attempts=attempt.attempt, error=failure,
                 )
-                self._emit_outcome(result, worker=slot.process.pid)
-                finished[slot.index] = result
+                self._emit_outcome(result, worker=outcome.worker)
+                finished[attempt.index] = result
 
     def _emit_outcome(self, outcome: JobResult,
-                      worker: Optional[int] = None) -> None:
+                      worker: Optional[object] = None) -> None:
         kind = "job-ok" if outcome.ok else "job-failed"
         fields = {
             "key": outcome.key,
@@ -392,10 +444,14 @@ def run_jobs(
     retries: int = 2,
     sink: Optional[ProgressSink] = None,
     name: str = "campaign",
+    backend: str = "fork",
+    shared_cache_dir: Optional[str] = None,
 ) -> CampaignResult:
     """One-call convenience over Campaign + CampaignRunner."""
     runner = CampaignRunner(
         workers=workers, cache_dir=cache_dir, timeout=timeout,
         retries=retries, sink=sink,
+        shared_cache_dir=shared_cache_dir,
     )
-    return runner.run(Campaign(jobs=tuple(jobs), name=name))
+    return runner.run(Campaign(jobs=tuple(jobs), name=name,
+                               backend=backend))

@@ -1,0 +1,145 @@
+"""Submit/await campaign execution — :class:`CampaignHandle`.
+
+:func:`repro.api.submit_campaign` returns immediately with a handle to
+a campaign running on a background thread; the legacy blocking
+:func:`repro.api.run_campaign` is literally submit-then-await, so the
+two produce byte-identical merged payloads by construction. The handle
+exposes the four operations a caller queueing work needs:
+
+* :meth:`CampaignHandle.result` — block (optionally with a timeout)
+  for the merged :class:`~repro.campaign.engine.CampaignResult`;
+* :meth:`CampaignHandle.progress` — a point-in-time snapshot of job
+  counts, fed by the same event stream the progress sinks see;
+* :meth:`CampaignHandle.cancel` — ask the engine to stop placing work;
+  unfinished jobs come back ``status="cancelled"``;
+* :meth:`CampaignHandle.metrics` — host-side diagnostics (wall time,
+  backend mechanism counters) once the run finishes.
+
+Progress counting piggybacks on the engine's event stream via a
+:class:`ProgressCounter` teed next to the caller's sink — the handle
+never reaches into engine internals, so any backend (and the serial
+``workers=0`` path) reports identically.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+from repro.campaign.engine import Campaign, CampaignResult, CampaignRunner
+from repro.campaign.progress import ProgressSink
+
+
+class ProgressCounter(ProgressSink):
+    """Thread-safe job counters fed by campaign progress events.
+
+    ``attempts`` counts ``job-start`` events (one per attempt, so
+    retries re-count); ``ok`` / ``failed`` / ``retries`` mirror the
+    outcome events. The counter is a regular sink so it composes with
+    Text/Jsonl/Obs sinks through
+    :class:`~repro.campaign.progress.TeeSink`.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: Dict[str, int] = {
+            "jobs": 0, "attempts": 0, "ok": 0, "failed": 0,
+            "retries": 0,
+        }
+
+    def emit(self, kind: str, **fields: object) -> None:
+        with self._lock:
+            if kind == "campaign-start":
+                self._counts["jobs"] = int(fields.get("jobs", 0))
+            elif kind == "job-start":
+                self._counts["attempts"] += 1
+            elif kind == "job-ok":
+                self._counts["ok"] += 1
+            elif kind == "job-failed":
+                self._counts["failed"] += 1
+            elif kind == "job-retry":
+                self._counts["retries"] += 1
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            counts = dict(self._counts)
+        counts["finished"] = counts["ok"] + counts["failed"]
+        return counts
+
+
+class CampaignHandle:
+    """A campaign running in the background; see the module docstring."""
+
+    def __init__(self, campaign: Campaign, runner: CampaignRunner,
+                 counter: Optional[ProgressCounter] = None):
+        self._campaign = campaign
+        self._runner = runner
+        self._counter = counter if counter is not None else ProgressCounter()
+        self._outcome: Optional[CampaignResult] = None
+        self._error: Optional[BaseException] = None
+        self._finished = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=f"campaign-{campaign.name}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        try:
+            self._outcome = self._runner.run(self._campaign)
+        except BaseException as exc:  # surfaced from result(), not lost
+            self._error = exc
+        finally:
+            self._finished.set()
+
+    @property
+    def campaign(self) -> Campaign:
+        return self._campaign
+
+    def done(self) -> bool:
+        """Whether the run has finished (successfully or not)."""
+        return self._finished.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> CampaignResult:
+        """Block until the merged result is ready.
+
+        With *timeout* (seconds), raises :class:`TimeoutError` if the
+        campaign is still running when it expires — the run itself
+        keeps going and ``result()`` may be called again. Re-raises
+        whatever the runner raised, if it failed outright.
+        """
+        if not self._finished.wait(timeout):
+            raise TimeoutError(
+                f"campaign {self._campaign.name!r} still running "
+                f"after {timeout}s"
+            )
+        self._thread.join()
+        if self._error is not None:
+            raise self._error
+        return self._outcome
+
+    def progress(self) -> Dict[str, object]:
+        """Point-in-time job counts plus a ``done`` flag."""
+        snapshot: Dict[str, object] = dict(self._counter.snapshot())
+        snapshot["done"] = self.done()
+        return snapshot
+
+    def cancel(self) -> None:
+        """Ask the run to stop; jobs not yet finished are reported
+        ``status="cancelled"`` in the merged result. Idempotent."""
+        self._runner.cancel()
+
+    def metrics(self) -> Dict[str, object]:
+        """Host-side diagnostics: progress counts, and — once the run
+        is done — wall-clock seconds plus the executor backend's
+        mechanism counters (forks/steals/respawns/…). Never part of
+        canonical output."""
+        record: Dict[str, object] = {"progress": self.progress()}
+        if self.done() and self._outcome is not None:
+            record["wall_seconds"] = self._outcome.wall_seconds
+            record["workers"] = self._outcome.workers
+            record["backend"] = dict(self._runner.backend_metrics)
+        return record
+
+
+__all__ = ["CampaignHandle", "ProgressCounter"]

@@ -108,12 +108,25 @@ class Job:
     #: of the same coordinates are the same measurement.
     turbo: bool = True
     turbo_threshold: Optional[int] = None
+    #: Always None. The executor backend is a campaign-level placement
+    #: decision (:attr:`repro.campaign.engine.Campaign.backend`), never
+    #: a per-job one: jobs are the unit of *measurement*, backends the
+    #: unit of *mechanism*, and letting them mix would invite cache
+    #: keys (and canonical output) to vary with placement. The field
+    #: exists only to catch the mistake with a clear error.
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.kind == "simulate" and self.simulator not in SIMULATORS:
             raise ValueError(
                 f"unknown simulator {self.simulator!r}; "
                 f"choose from {SIMULATORS}"
+            )
+        if self.backend is not None:
+            raise ValueError(
+                "backend is a campaign-level setting, not a per-job "
+                "override: pass Campaign(backend=...) / "
+                "run_campaign(backend=...) / --backend instead"
             )
 
     @property
@@ -137,7 +150,7 @@ class JobResult:
     """Outcome of one job, including retry and timing metrics."""
 
     job: Job
-    status: str  #: "ok" | "failed"
+    status: str  #: "ok" | "failed" | "cancelled"
     attempts: int = 1
     #: Wall-clock seconds of the successful attempt's execution.
     host_seconds: float = 0.0

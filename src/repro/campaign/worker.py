@@ -26,7 +26,7 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, Optional
 
-from repro.campaign.cachedir import CacheStore
+from repro.campaign.cachedir import CacheStore, StoreSpec
 from repro.campaign.jobs import Job, JobResult, NativeRun
 from repro.emulator.functional import Interpreter
 from repro.guard import faults
@@ -187,6 +187,11 @@ def _simulate(job: Job, store: Optional[CacheStore],
     )
     if store is not None and store.quarantined:
         metrics["cache_quarantined"] = list(store.quarantined)
+    tier_stats = getattr(store, "tier_stats", None)
+    if tier_stats is not None:
+        # Host diagnostics: tier hit rates vary with cache temperature
+        # and never enter canonical output.
+        metrics["cache_tier"] = dict(tier_stats)
     return JobResult(job=job, status="ok", result=result, metrics=metrics)
 
 
@@ -244,10 +249,19 @@ def execute_job(job: Job, store: Optional[CacheStore] = None,
     return outcome
 
 
-def child_main(connection, job: Job, cache_root: Optional[str]) -> None:
-    """Worker-process entry: execute one job, send the result back."""
+def child_main(connection, job: Job, store_spec=None) -> None:
+    """Worker-process entry: execute one job, send the result back.
+
+    *store_spec* is a :class:`~repro.campaign.cachedir.StoreSpec` (the
+    fork backend ships the recipe; the child builds its own store
+    handles) — a plain cache-directory string is also accepted for
+    compatibility with older callers.
+    """
     try:
-        store = CacheStore(cache_root) if cache_root else None
+        if isinstance(store_spec, StoreSpec):
+            store = store_spec.build()
+        else:
+            store = CacheStore(store_spec) if store_spec else None
         connection.send(execute_job(job, store))
     except BaseException as exc:  # result must cross the pipe or the
         # parent treats this worker as crashed — report what we can.

@@ -10,11 +10,15 @@ Subcommands (``fastsim-repro <command> --help`` for each)::
                               --turbo-threshold N for chain compilation)
     campaign                  parallel campaign over the suite
                               (--workers/--cache-dir/--timeout/--retries,
+                              --backend {fork,subprocess,queue},
+                              --shared-cache-dir for a two-tier cache,
                               --guard/--audit-every,
                               --no-turbo/--turbo-threshold)
     chaos                     deterministic fault-injection drill:
                               prove a fault-riddled warm campaign is
                               byte-identical to a clean cold run
+                              (--backend, --tiered to corrupt a shared
+                              cache tier instead of a flat one)
     mix                       dynamic instruction-mix table
     trace WORKLOAD            per-cycle pipeline dump (--cycles N)
     profile WORKLOAD          pipeline utilization report
@@ -34,9 +38,11 @@ Subcommands (``fastsim-repro <command> --help`` for each)::
     gc-study                  regenerate the GC-policy comparison
 
 Table/figure commands accept ``--workers N`` to shard the underlying
-measurements across a campaign worker pool and ``--cache-dir DIR`` to
+measurements across a campaign worker pool (placed by ``--backend``)
+and ``--cache-dir DIR`` (plus optional ``--shared-cache-dir DIR``) to
 warm-start FastSim runs; common options are ``--scale
-{tiny,test,train}`` and ``--workloads a,b,c``.
+{tiny,test,train}`` and ``--workloads a,b,c``. See docs/distributed.md
+for the backend capability matrix and cache-tier semantics.
 
 ``run``, ``campaign``, and the table/figure commands also accept
 ``--obs`` (enable telemetry; off by default and free when off),
@@ -143,12 +149,24 @@ def _pool_options() -> argparse.ArgumentParser:
     parent.add_argument("--cache-dir",
                         help="shared p-action cache directory "
                              "(warm-starts FastSim runs)")
+    parent.add_argument("--shared-cache-dir", metavar="DIR",
+                        help="shared (remote-style) cache tier layered "
+                             "under --cache-dir: reads fall through to "
+                             "it, writes are copied back "
+                             "(see docs/distributed.md)")
     parent.add_argument("--timeout", type=float,
                         help="per-job timeout in seconds "
                              "(parallel runs only)")
     parent.add_argument("--retries", type=int, default=2,
                         help="retry budget per job after worker "
                              "crashes/timeouts (default 2)")
+    parent.add_argument("--backend", default="fork",
+                        choices=["fork", "subprocess", "queue"],
+                        help="executor backend for parallel runs: fork "
+                             "(per-job forked workers, default), "
+                             "subprocess (spawn-isolated stdio "
+                             "workers), queue (in-process "
+                             "work-stealing threads)")
     return parent
 
 
@@ -205,6 +223,15 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--workers", type=int, default=2,
                        help="worker processes for the chaotic run "
                             "(default 2; must be >= 1)")
+    chaos.add_argument("--backend", default="fork",
+                       choices=["fork", "subprocess", "queue"],
+                       help="executor backend for the chaotic run "
+                            "(queue refuses the crash injection: no "
+                            "process isolation)")
+    chaos.add_argument("--tiered", action="store_true",
+                       help="run the drill against a two-tier cache "
+                            "and corrupt the SHARED tier (proves "
+                            "quarantine + re-run, not divergence)")
     chaos.add_argument("--seed", type=int, default=0,
                        help="fault-plan seed (default 0)")
     chaos.add_argument("--disk-bit-flips", type=int, default=1,
@@ -426,8 +453,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         include_native=native,
         workers=args.workers,
         cache_dir=args.cache_dir,
+        shared_cache_dir=args.shared_cache_dir,
         timeout=args.timeout,
         retries=args.retries,
+        backend=args.backend,
         progress=progress,
         name=f"suite-{args.scale}",
         obs=obs,
@@ -478,6 +507,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             crash=not args.no_crash,
             work_dir=args.work_dir,
             sink=sink,
+            backend=args.backend,
+            tiered=args.tiered,
         )
     except ValueError as exc:
         print(f"chaos: {exc}", file=sys.stderr)
@@ -696,9 +727,11 @@ def _cmd_tables(args: argparse.Namespace) -> int:
         verbose=not args.quiet,
         workers=args.workers,
         cache_dir=args.cache_dir,
+        shared_cache_dir=args.shared_cache_dir,
         timeout=args.timeout,
         retries=args.retries,
         obs=obs,
+        backend=args.backend,
     )
     names = _selected(args)
     if args.command == "table2":

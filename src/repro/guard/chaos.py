@@ -60,6 +60,10 @@ class ChaosReport:
     workers: int
     crash_job: str
     crashed: bool
+    backend: str = "fork"
+    #: Whether the drill corrupted a shared cache tier (two-tier mode)
+    #: rather than a flat store.
+    tiered: bool = False
     disk_faults: List[Dict[str, object]] = field(default_factory=list)
     memory_faults: List[str] = field(default_factory=list)
     quarantined: List[str] = field(default_factory=list)
@@ -85,7 +89,9 @@ class ChaosReport:
         lines = [
             f"chaos drill: {'PASS' if self.ok else 'FAIL'}",
             f"  jobs                 {self.jobs} "
-            f"({self.failed} failed), workers={self.workers}",
+            f"({self.failed} failed), workers={self.workers}, "
+            f"backend={self.backend}"
+            + (", tiered cache" if self.tiered else ""),
             f"  canonical identical  {self.identical}",
             f"  disk faults          {len(self.disk_faults)} "
             f"({', '.join(sorted({str(f['kind']) for f in self.disk_faults}))})"
@@ -125,6 +131,8 @@ def run_chaos(
     work_dir: Optional[str] = None,
     sink: Optional[ProgressSink] = None,
     obs=None,
+    backend: str = "fork",
+    tiered: bool = False,
 ) -> ChaosReport:
     """Run the deterministic chaos drill; returns a :class:`ChaosReport`.
 
@@ -132,13 +140,27 @@ def run_chaos(
     directory is created — and left for inspection on failure — when
     omitted). ``crash`` requires ``workers >= 1``: the injected crash
     kills the executing process, which on the serial path would be the
-    caller. Disk faults must leave at least one persisted cache intact
-    or the forced divergence has no warm chain to corrupt. Any
-    installed :class:`FaultPlan` is cleared on exit.
+    caller. It also requires a process-isolated *backend* — the
+    ``queue`` backend runs jobs on caller threads, so the injected
+    ``os._exit`` would take the drill itself down (pass
+    ``crash=False`` to drill the queue backend). With *tiered*, the
+    drill records caches through a two-tier store and corrupts the
+    **shared** tier: the chaotic run starts with a fresh local tier,
+    so every warm read falls through to the injured shared files,
+    which must quarantine and re-run — not diverge. Disk faults must
+    leave at least one persisted cache intact or the forced divergence
+    has no warm chain to corrupt. Any installed :class:`FaultPlan` is
+    cleared on exit.
     """
     if workers < 1:
         raise ValueError("chaos needs a worker pool (workers >= 1); "
                          "the injected crash would kill the caller")
+    if crash and backend == "queue":
+        raise ValueError(
+            "the queue backend has no process isolation — the "
+            "injected crash would kill the drill itself; pass "
+            "crash=False (--no-crash) or a process-isolated backend"
+        )
     names = list(workloads) if workloads else list(DEFAULT_WORKLOADS)
     if force_divergence and disk_bit_flips + disk_truncations >= len(names):
         raise ValueError(
@@ -153,6 +175,13 @@ def run_chaos(
     cache_dir = os.path.join(work_dir, "pcache")
     scratch = os.path.join(work_dir, "scratch")
     os.makedirs(scratch, exist_ok=True)
+    # Two-tier mode: caches are recorded through local+shared tiers,
+    # the SHARED tier is injured, and the chaotic run gets a fresh
+    # local tier so every warm read must fall through to the damage.
+    shared_dir = os.path.join(work_dir, "shared-pcache") if tiered else None
+    chaos_cache_dir = (os.path.join(work_dir, "pcache-chaotic")
+                       if tiered else cache_dir)
+    fault_dir = shared_dir if tiered else cache_dir
 
     def build_campaign(audited: bool) -> Campaign:
         from dataclasses import replace
@@ -176,9 +205,12 @@ def run_chaos(
                               obs=obs).run(build_campaign(False))
     baseline_json = baseline.canonical_json()
 
-    # 2. Populate the shared cache store.
-    sink.log("chaos: recording persisted caches")
-    CampaignRunner(workers=0, cache_dir=cache_dir, sink=sink,
+    # 2. Populate the shared cache store (write-back fills the shared
+    # tier in two-tier mode).
+    sink.log("chaos: recording persisted caches"
+             + (" (tiered)" if tiered else ""))
+    CampaignRunner(workers=0, cache_dir=cache_dir,
+                   shared_cache_dir=shared_dir, sink=sink,
                    obs=obs).run(build_campaign(False))
 
     crash_job = build_campaign(False).jobs[0].key if crash else ""
@@ -192,14 +224,18 @@ def run_chaos(
     )
 
     # 3. Injure the store and arm the in-process injectors.
-    disk_faults = inject_disk_faults(cache_dir, plan)
-    sink.log(f"chaos: injected {len(disk_faults)} disk faults")
+    disk_faults = inject_disk_faults(fault_dir, plan)
+    sink.log(f"chaos: injected {len(disk_faults)} disk faults"
+             + (" into the shared tier" if tiered else ""))
     install_plan(plan)
     try:
         # 4. The fault-riddled warm, guarded, parallel run.
-        sink.log(f"chaos: warm guarded campaign (workers={workers})")
+        sink.log(f"chaos: warm guarded campaign (workers={workers}, "
+                 f"backend={backend})")
         chaotic = CampaignRunner(
-            workers=workers, cache_dir=cache_dir, sink=sink, obs=obs,
+            workers=workers, cache_dir=chaos_cache_dir,
+            shared_cache_dir=shared_dir, sink=sink, obs=obs,
+            backend=backend,
         ).run(build_campaign(True))
     finally:
         clear_plan()
@@ -216,12 +252,14 @@ def run_chaos(
             scratch, "crashed-" + crash_job.replace(":", "_"))),
         disk_faults=disk_faults,
         quarantined=sorted(
-            name for name in os.listdir(cache_dir)
+            name for name in os.listdir(fault_dir)
             if name.endswith(QUARANTINE_SUFFIX)
         ),
         baseline_json=baseline_json,
         chaos_json=chaos_json,
         expected_divergence=force_divergence,
+        backend=backend,
+        tiered=tiered,
     )
     _collect_guard_metrics(report, chaotic.results)
     if obs is not None and getattr(obs, "enabled", False):
@@ -247,5 +285,7 @@ def main_json(report: ChaosReport) -> str:
         "divergences": report.divergences,
         "crash_job": report.crash_job,
         "crashed": report.crashed,
+        "backend": report.backend,
+        "tiered": report.tiered,
     }
     return json.dumps(payload, sort_keys=True, indent=2) + "\n"

@@ -1,0 +1,173 @@
+"""Executor backend tests: the cross-backend byte-identity matrix,
+work-stealing, spawn-isolation semantics, and backend selection.
+
+The matrix test is the tentpole invariant: every backend × cache
+temperature × tier configuration merges the same canonical bytes as a
+serial cold run. Capability differences (spawn isolation, stealing,
+no preemption) are exercised where they are observable.
+"""
+
+import os
+
+import pytest
+
+from repro.campaign import (
+    BACKEND_NAMES,
+    Campaign,
+    CampaignRunner,
+    Job,
+    JobResult,
+    register_job_kind,
+    run_jobs,
+)
+from repro.guard.faults import FaultPlan, clear_plan, install_plan
+
+JOBS = tuple(
+    Job(workload, "fast", "tiny")
+    for workload in ("compress", "go", "tomcatv")
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_fault_plan():
+    yield
+    clear_plan()
+
+
+class TestByteIdentityMatrix:
+    def test_all_backends_all_tiers_cold_and_warm(self, tmp_path):
+        """fork/subprocess/queue × cold/warm × flat/tiered all merge
+        byte-identically to a serial cold run."""
+        baseline = run_jobs(JOBS, workers=0, name="matrix")
+        expected = baseline.canonical_json()
+        for backend in BACKEND_NAMES:
+            for tiered in (False, True):
+                label = f"{backend}-{'tiered' if tiered else 'flat'}"
+                local = str(tmp_path / label / "local")
+                shared = (str(tmp_path / label / "shared")
+                          if tiered else None)
+                for temperature in ("cold", "warm"):
+                    outcome = run_jobs(
+                        JOBS, workers=2, cache_dir=local,
+                        shared_cache_dir=shared, backend=backend,
+                        name="matrix",
+                    )
+                    assert outcome.ok, (
+                        f"{label} {temperature}: {outcome.failed}"
+                    )
+                    assert outcome.canonical_json() == expected, (
+                        f"{label} {temperature} diverged"
+                    )
+
+    def test_backend_not_in_canonical_output(self):
+        outcome = run_jobs(JOBS[:1], workers=1, backend="queue",
+                           name="hidden")
+        assert "queue" not in outcome.canonical_json()
+
+
+def _nap(job, store):
+    import time
+
+    time.sleep(float(job.scale))
+    return JobResult(job=job, status="ok")
+
+
+register_job_kind("test-nap", _nap)
+
+
+class TestWorkStealing:
+    def test_idle_worker_steals_behind_slow_job(self):
+        """One slow job must not strand the quick jobs dealt behind it
+        on the same deque — the idle sibling steals them."""
+        jobs = [Job(workload="slowpoke", kind="test-nap", scale="1.0")]
+        jobs += [
+            Job(workload=f"quick-{i}", kind="test-nap", scale="0.0")
+            for i in range(6)
+        ]
+        runner = CampaignRunner(workers=2, backend="queue")
+        outcome = runner.run(Campaign(jobs=tuple(jobs), name="steal"))
+        assert outcome.ok
+        assert runner.backend_metrics["backend"] == "queue"
+        # Round-robin dealing puts ~3 quick jobs behind the slow one;
+        # the other worker drains its own deque in microseconds and
+        # must steal at least one of them.
+        assert runner.backend_metrics["steals"] >= 1
+        # Stealing scrambles completion order; merge order must not be.
+        assert [r.key for r in outcome.results] == [j.key for j in jobs]
+
+    def test_queue_backend_ignores_deadlines(self):
+        """No thread preemption: the timeout is documented as
+        unenforced on the queue backend, and the job completes."""
+        job = Job(workload="napper", kind="test-nap", scale="0.3")
+        runner = CampaignRunner(workers=1, timeout=0.05,
+                                backend="queue")
+        outcome = runner.run(Campaign(jobs=(job,), name="no-preempt"))
+        assert outcome.ok
+
+
+class TestSubprocessIsolation:
+    def test_crash_once_is_retried_via_envelope_plan(self, tmp_path):
+        """Spawn-isolated workers inherit nothing — the fault plan
+        arrives in the job envelope, the injected crash kills one
+        worker, and the engine retries on a fresh one."""
+        job = JOBS[0]
+        install_plan(FaultPlan(seed=0, crash_job=job.key,
+                               scratch=str(tmp_path)))
+        runner = CampaignRunner(workers=1, retries=2, backoff=0.01,
+                                backend="subprocess")
+        outcome = runner.run(Campaign(jobs=(job,), name="spawn-crash"))
+        clear_plan()
+        assert outcome.ok
+        assert outcome.results[0].attempts == 2
+        assert runner.backend_metrics["crashes"] == 1
+        # The crash must match the clean run byte-for-byte.
+        clean = run_jobs((job,), workers=0, name="spawn-crash")
+        assert outcome.canonical_json() == clean.canonical_json()
+
+    def test_runtime_registered_kinds_fail_deterministically(self):
+        """Test-registered kinds exist only in this process; a spawned
+        worker reports them as unknown — a deterministic failure, not
+        a retry loop."""
+        job = Job(workload="ghost", kind="test-nap", scale="0.0")
+        runner = CampaignRunner(workers=1, retries=3, backoff=0.01,
+                                backend="subprocess")
+        outcome = runner.run(Campaign(jobs=(job,), name="spawn-kind"))
+        assert not outcome.ok
+        assert outcome.results[0].attempts == 1
+        assert "unknown job kind" in outcome.results[0].error
+
+
+class TestBackendSelection:
+    def test_job_level_backend_override_rejected(self):
+        with pytest.raises(ValueError, match="campaign-level"):
+            Job(workload="compress", backend="queue")
+
+    def test_unknown_backend_rejected_everywhere(self):
+        with pytest.raises(ValueError, match="unknown executor backend"):
+            Campaign(jobs=JOBS[:1], backend="bogus")
+        with pytest.raises(ValueError, match="unknown executor backend"):
+            CampaignRunner(backend="bogus")
+
+    def test_runner_backend_overrides_campaign(self):
+        campaign = Campaign(jobs=JOBS[:1], name="override",
+                            backend="fork")
+        runner = CampaignRunner(workers=1, backend="queue")
+        outcome = runner.run(campaign)
+        assert outcome.ok
+        assert runner.backend_metrics["backend"] == "queue"
+
+    def test_campaign_backend_used_by_default(self):
+        campaign = Campaign(jobs=JOBS[:1], name="default",
+                            backend="queue")
+        runner = CampaignRunner(workers=1)
+        outcome = runner.run(campaign)
+        assert outcome.ok
+        assert runner.backend_metrics["backend"] == "queue"
+
+    def test_serial_path_ignores_backend(self):
+        campaign = Campaign(jobs=JOBS[:1], name="serial",
+                            backend="subprocess")
+        runner = CampaignRunner(workers=0)
+        outcome = runner.run(campaign)
+        assert outcome.ok
+        assert runner.backend_metrics == {}

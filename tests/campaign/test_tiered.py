@@ -1,0 +1,114 @@
+"""Two-tier cache store tests: read-through, write-back, byte-exact
+promotion, shared-tier corruption, and the StoreSpec recipe."""
+
+import filecmp
+import os
+
+import pytest
+
+from repro.campaign import (
+    CacheStore,
+    Job,
+    StoreSpec,
+    TieredCacheStore,
+    make_store,
+    run_jobs,
+)
+from repro.guard.faults import FaultPlan, inject_disk_faults
+
+JOB = Job("compress", "fast", "tiny")
+
+
+def _entries_equal(local: str, shared: str, hexsig: str) -> bool:
+    name = hexsig + ".fspc"
+    return filecmp.cmp(os.path.join(local, name),
+                       os.path.join(shared, name), shallow=False)
+
+
+class TestTieredStore:
+    def test_write_back_fills_both_tiers_byte_identically(self, tmp_path):
+        local, shared = str(tmp_path / "local"), str(tmp_path / "shared")
+        outcome = run_jobs((JOB,), workers=0, cache_dir=local,
+                           shared_cache_dir=shared, name="tiered")
+        assert outcome.ok
+        local_store, shared_store = CacheStore(local), CacheStore(shared)
+        assert local_store.entries() == shared_store.entries() != []
+        for hexsig in local_store.entries():
+            assert _entries_equal(local, shared, hexsig)
+        stats = outcome.results[0].metrics["cache_tier"]
+        assert stats["misses"] == 1 and stats["writebacks"] == 1
+
+    def test_read_through_promotes_shared_hit_locally(self, tmp_path):
+        seeded = str(tmp_path / "seeded")
+        shared = str(tmp_path / "shared")
+        run_jobs((JOB,), workers=0, cache_dir=seeded,
+                 shared_cache_dir=shared, name="seed")
+        # A brand-new placement: empty local tier, warm shared tier.
+        fresh = str(tmp_path / "fresh")
+        outcome = run_jobs((JOB,), workers=0, cache_dir=fresh,
+                           shared_cache_dir=shared, name="promote")
+        assert outcome.ok
+        stats = outcome.results[0].metrics["cache_tier"]
+        assert stats["shared_hits"] == 1
+        assert stats["promotions"] == 1
+        assert stats["local_hits"] == 0
+        assert outcome.results[0].metrics.get("warm_start") is True
+        for hexsig in CacheStore(fresh).entries():
+            assert _entries_equal(fresh, shared, hexsig)
+
+    def test_local_hit_never_touches_shared(self, tmp_path):
+        local = str(tmp_path / "local")
+        shared = str(tmp_path / "shared")
+        run_jobs((JOB,), workers=0, cache_dir=local,
+                 shared_cache_dir=shared, name="seed")
+        outcome = run_jobs((JOB,), workers=0, cache_dir=local,
+                           shared_cache_dir=shared, name="localhit")
+        stats = outcome.results[0].metrics["cache_tier"]
+        assert stats["local_hits"] == 1
+        assert stats["shared_hits"] == 0 and stats["promotions"] == 0
+
+    def test_corrupt_shared_tier_quarantines_and_reruns(self, tmp_path):
+        """Satellite: FaultPlan bit-flips on the shared tier must
+        quarantine there and re-run byte-identically, not diverge."""
+        baseline = run_jobs((JOB,), workers=0, name="corrupt")
+        seeded = str(tmp_path / "seeded")
+        shared = str(tmp_path / "shared")
+        run_jobs((JOB,), workers=0, cache_dir=seeded,
+                 shared_cache_dir=shared, name="seed")
+        faults = inject_disk_faults(shared, FaultPlan(seed=3,
+                                                      disk_bit_flips=1))
+        assert faults, "the drill must actually injure a file"
+        fresh = str(tmp_path / "fresh")
+        outcome = run_jobs((JOB,), workers=2, cache_dir=fresh,
+                           shared_cache_dir=shared, name="corrupt")
+        assert outcome.ok
+        assert outcome.canonical_json() == baseline.canonical_json()
+        assert any(name.endswith(".bad") for name in os.listdir(shared))
+
+    def test_quarantined_property_merges_tiers(self, tmp_path):
+        store = TieredCacheStore(str(tmp_path / "l"), str(tmp_path / "s"))
+        store.local.quarantined.append("a.fspc")
+        store.shared.quarantined.append("b.fspc")
+        assert store.quarantined == ["a.fspc", "b.fspc"]
+
+
+class TestStoreSpec:
+    def test_shared_without_local_rejected(self):
+        with pytest.raises(ValueError, match="local tier"):
+            StoreSpec(shared_dir="/somewhere/shared")
+
+    def test_build_matches_configuration(self, tmp_path):
+        assert StoreSpec().build() is None
+        flat = StoreSpec(cache_dir=str(tmp_path / "flat")).build()
+        assert isinstance(flat, CacheStore)
+        tiered = make_store(str(tmp_path / "l"), str(tmp_path / "s"))
+        assert isinstance(tiered, TieredCacheStore)
+
+    def test_spec_is_picklable(self, tmp_path):
+        import pickle
+
+        spec = StoreSpec(cache_dir=str(tmp_path / "l"),
+                         shared_dir=str(tmp_path / "s"))
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert isinstance(clone.build(), TieredCacheStore)
