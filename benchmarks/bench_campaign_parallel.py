@@ -1,4 +1,4 @@
-"""Campaign engine — parallel speedup over the serial suite runner.
+"""Campaign engine — parallel speedup and observability overhead.
 
 Acceptance benchmark for the ``repro.campaign`` engine: the full
 workload × {fast, slow, baseline} grid at tiny scale, measured three
@@ -14,40 +14,120 @@ It asserts the paper-critical invariant along the way: all three merged
 canonical documents are byte-identical — parallelism and warm-start are
 pure performance knobs, invisible in every simulated statistic.
 
+Since the distributed-telemetry PR the file also measures the cost of
+that telemetry: the same parallel campaign with observability off vs
+on (worker collectors + blob shipping + deterministic merge), asserting
+canonical byte-identity between the two and gating the wall-clock
+overhead. Run standalone (``python benchmarks/bench_campaign_parallel.py
+--quick``) it writes ``BENCH_8.json`` at the repo root (schema:
+``{off_wall_s, on_wall_s, overhead_frac, blobs_merged, ...}``) and
+exits non-zero when the overhead exceeds ``--max-overhead`` — the
+perf-smoke CI gate. Minima over ``--repeats`` runs are compared, the
+standard estimator for a deterministic computation under scheduler
+noise.
+
 Scale/workloads follow the usual ``REPRO_BENCH_*`` knobs (tiny scale by
 default here: the point is engine overhead and scheduling, not long
 simulations).
 """
 
+from __future__ import annotations
+
+import argparse
+import json
 import os
+import pathlib
+import sys
 import time
+from typing import Dict, List, Optional
 
-import pytest
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from conftest import bench_workloads, write_result
-from repro.campaign import Campaign, CampaignRunner
+from repro.campaign import Campaign, CampaignRunner  # noqa: E402
+
+try:  # absent in the standalone perf-smoke environment
+    import pytest
+except ImportError:  # pragma: no cover - CLI use only needs main()
+    pytest = None
 
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "tiny")
-GRID = Campaign.grid(bench_workloads(), ("fast", "slow", "baseline"),
-                     scale=SCALE, name=f"suite-{SCALE}")
 
 
-def _run(workers, cache_dir=None):
-    runner = CampaignRunner(workers=workers, cache_dir=cache_dir)
+def _grid(workloads: List[str]) -> Campaign:
+    return Campaign.grid(workloads, ("fast", "slow", "baseline"),
+                         scale=SCALE, name=f"suite-{SCALE}")
+
+
+def _run(campaign: Campaign, workers, cache_dir=None, obs=None):
+    runner = CampaignRunner(workers=workers, cache_dir=cache_dir,
+                            obs=obs)
     started = time.perf_counter()
-    outcome = runner.run(GRID)
+    outcome = runner.run(campaign)
     elapsed = time.perf_counter() - started
     assert outcome.ok, [r.error for r in outcome.failed]
     return outcome, elapsed
 
 
+def measure_obs_overhead(campaign: Campaign, workers: int,
+                         repeats: int) -> Dict[str, object]:
+    """Min-of-*repeats* wall time, obs off vs on, byte-compared.
+
+    The obs-on pass exercises the whole collect → ship → merge
+    pipeline: every worker builds a collector, ships a telemetry blob
+    on the result channel, and the engine merges them after the run.
+    """
+    from repro.obs import make_observer
+
+    off_s = on_s = None
+    expected = None
+    blobs = 0
+    for _ in range(repeats):
+        outcome, elapsed = _run(campaign, workers=workers)
+        if expected is None:
+            expected = outcome.canonical_json()
+        if off_s is None or elapsed < off_s:
+            off_s = elapsed
+        obs = make_observer()
+        outcome, elapsed = _run(campaign, workers=workers, obs=obs)
+        assert outcome.canonical_json() == expected, (
+            "obs-on canonical output diverged from obs-off "
+            "(bit-identity violation)"
+        )
+        counter = obs.registry.counters.get("obs.worker_blobs_merged")
+        blobs = counter.value if counter is not None else 0
+        assert blobs == len(campaign.jobs), (
+            f"expected one telemetry blob per job, merged {blobs}"
+        )
+        if on_s is None or elapsed < on_s:
+            on_s = elapsed
+    overhead = on_s / off_s - 1.0
+    return {
+        "jobs": len(campaign.jobs),
+        "workers": workers,
+        "repeats": repeats,
+        "off_wall_s": round(off_s, 6),
+        "on_wall_s": round(on_s, 6),
+        "overhead_frac": round(overhead, 4),
+        "blobs_merged": blobs,
+        "identical": True,
+    }
+
+
+# -- pytest entry points --------------------------------------------------
+
+
 def test_parallel_campaign_speedup(results_dir, tmp_path_factory):
+    from conftest import bench_workloads, write_result
+
+    grid = _grid(bench_workloads())
     cache_dir = str(tmp_path_factory.mktemp("pcache"))
 
-    serial, serial_s = _run(workers=0)
-    parallel, parallel_s = _run(workers=4)
-    warm, warm_s = _run(workers=4, cache_dir=cache_dir)  # cold fill
-    warm2, warm2_s = _run(workers=4, cache_dir=cache_dir)
+    serial, serial_s = _run(grid, workers=0)
+    parallel, parallel_s = _run(grid, workers=4)
+    warm, warm_s = _run(grid, workers=4, cache_dir=cache_dir)  # cold fill
+    warm2, warm2_s = _run(grid, workers=4, cache_dir=cache_dir)
 
     # The invariant first: worker count and warm-start must not change
     # one byte of the merged canonical output.
@@ -58,7 +138,7 @@ def test_parallel_campaign_speedup(results_dir, tmp_path_factory):
     cores = os.cpu_count() or 1
     speedup = serial_s / parallel_s
     report = "\n".join([
-        f"campaign grid: {len(GRID)} jobs [{SCALE}], "
+        f"campaign grid: {len(grid)} jobs [{SCALE}], "
         f"{cores} host cores",
         f"serial (workers=0):          {serial_s:8.2f}s",
         f"parallel (workers=4):        {parallel_s:8.2f}s  "
@@ -81,10 +161,89 @@ def test_parallel_campaign_speedup(results_dir, tmp_path_factory):
     assert speedup > 1.2, f"parallel campaign only {speedup:.2f}x"
 
 
-@pytest.mark.parametrize("workers", [1, 2, 4])
-def test_pool_scaling(benchmark, workers):
-    """Per-pool-size timing for the scaling curve in results/."""
-    outcome = benchmark.pedantic(
-        lambda: _run(workers=workers)[0], rounds=1, iterations=1
-    )
-    assert outcome.ok
+def test_obs_overhead(results_dir):
+    from conftest import bench_workloads, write_result
+
+    grid = _grid(bench_workloads())
+    row = measure_obs_overhead(grid, workers=4, repeats=2)
+    report = "\n".join([
+        f"observed campaign: {row['jobs']} jobs [{SCALE}], 4 workers",
+        f"obs off: {row['off_wall_s']:8.3f}s",
+        f"obs on:  {row['on_wall_s']:8.3f}s  "
+        f"({100 * row['overhead_frac']:+.1f}%)",
+        f"telemetry blobs merged: {row['blobs_merged']}",
+        "canonical outputs: byte-identical obs-on vs obs-off",
+    ])
+    write_result(results_dir, "campaign_obs_overhead.txt", report)
+
+
+if pytest is not None:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_pool_scaling(benchmark, workers):
+        """Per-pool-size timing for the scaling curve in results/."""
+        from conftest import bench_workloads
+
+        grid = _grid(bench_workloads())
+        outcome = benchmark.pedantic(
+            lambda: _run(grid, workers=workers)[0], rounds=1,
+            iterations=1,
+        )
+        assert outcome.ok
+
+
+# -- standalone CLI (the perf-smoke gate) ---------------------------------
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="obs-on vs obs-off campaign overhead gate")
+    parser.add_argument("--workloads",
+                        help="comma-separated workloads "
+                             "(default compress,go,mgrid)")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed runs per mode; minima are "
+                             "compared (default 3)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: two workloads, two repeats")
+    parser.add_argument("--max-overhead", type=float, default=0.05,
+                        help="fail if obs-on exceeds obs-off by more "
+                             "than this fraction (default 0.05)")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_8.json"),
+                        help="output JSON path (default BENCH_8.json "
+                             "at the repo root)")
+    args = parser.parse_args(argv)
+
+    if args.workloads:
+        names = [n.strip() for n in args.workloads.split(",")
+                 if n.strip()]
+    elif args.quick:
+        names = ["compress", "go"]
+    else:
+        names = ["compress", "go", "mgrid"]
+    repeats = 2 if args.quick and args.repeats == 3 else args.repeats
+
+    grid = _grid(names)
+    row = measure_obs_overhead(grid, workers=args.workers,
+                               repeats=repeats)
+    document = {"scale": SCALE, "workloads": names, **row,
+                "max_overhead": args.max_overhead}
+    with open(args.out, "w", encoding="utf-8") as stream:
+        json.dump(document, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    print(f"obs off={row['off_wall_s'] * 1e3:8.1f}ms "
+          f"on={row['on_wall_s'] * 1e3:8.1f}ms "
+          f"overhead={100 * row['overhead_frac']:+.1f}% "
+          f"(gate {100 * args.max_overhead:.0f}%) "
+          f"blobs={row['blobs_merged']} identical=True")
+    print(f"wrote {args.out}")
+    if row["overhead_frac"] > args.max_overhead:
+        print(f"FAIL: observability overhead "
+              f"{100 * row['overhead_frac']:.1f}% exceeds the "
+              f"{100 * args.max_overhead:.0f}% budget", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,7 +50,11 @@ from repro.campaign.engine import (
     CampaignResult,
     CampaignRunner,
 )
-from repro.campaign.handle import CampaignHandle, ProgressCounter
+from repro.campaign.handle import (
+    CampaignHandle,
+    EventStream,
+    ProgressCounter,
+)
 from repro.campaign.jobs import Job, PolicySpec
 from repro.campaign.cachedir import make_store
 from repro.campaign.progress import ProgressSink, TeeSink, make_sink
@@ -252,7 +256,9 @@ def submit_campaign(
     run on a background thread immediately. The returned
     :class:`~repro.campaign.handle.CampaignHandle` awaits the merged
     result (``handle.result(timeout=...)``), reports live job counts
-    (``handle.progress()``), requests early termination
+    (``handle.progress()``), streams schema-stamped live events
+    (``handle.events()`` — replay-then-live, SSE-ready; see
+    docs/observability.md), requests early termination
     (``handle.cancel()`` — unfinished jobs come back
     ``status="cancelled"``), and exposes host-side diagnostics
     (``handle.metrics()``). ``handle.result()`` is byte-for-byte the
@@ -271,13 +277,15 @@ def submit_campaign(
     else:
         sink = progress
     counter = ProgressCounter()
-    sink = counter if sink is None else TeeSink(sink, counter)
+    events = EventStream()
+    sink = (TeeSink(counter, events) if sink is None
+            else TeeSink(sink, counter, events))
     runner = CampaignRunner(
         workers=workers, cache_dir=cache_dir, timeout=timeout,
         retries=retries, sink=sink, obs=obs, backend=backend,
         shared_cache_dir=shared_cache_dir,
     )
-    return CampaignHandle(campaign, runner, counter)
+    return CampaignHandle(campaign, runner, counter, events)
 
 
 def run_campaign(

@@ -83,6 +83,12 @@ class BackendContext:
     #: backends take their Process/Pipe primitives from here so tests
     #: can substitute.
     mp_context: object = None
+    #: Worker-side telemetry recipe
+    #: (:class:`~repro.obs.worker.TelemetrySpec`) the backend ships to
+    #: each attempt, or None when observability is off — the
+    #: zero-overhead contract: backends test this once per submit and
+    #: put nothing in the envelope when it is None.
+    telemetry: object = None
 
 
 class ExecutorBackend:

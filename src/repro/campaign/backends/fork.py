@@ -74,7 +74,8 @@ class ForkBackend(ExecutorBackend):
         receiver, sender = self._mp.Pipe(duplex=False)
         process = self._mp.Process(
             target=child_main,
-            args=(sender, attempt.job, self._context.store_spec),
+            args=(sender, attempt.job, self._context.store_spec,
+                  self._context.telemetry, attempt.attempt),
         )
         process.start()
         sender.close()

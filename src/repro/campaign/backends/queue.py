@@ -39,7 +39,7 @@ from repro.campaign.backends.base import (
     BackendContext,
     ExecutorBackend,
 )
-from repro.campaign.worker import execute_job
+from repro.campaign.worker import execute_attempt
 
 
 class QueueBackend(ExecutorBackend):
@@ -81,14 +81,16 @@ class QueueBackend(ExecutorBackend):
                     victim = index
         if victim is None:
             return None
+        # The internal counter is the single source of truth; the
+        # engine mirrors backend counters into obs after shutdown, so
+        # metrics() and the `backend.queue.steals` obs counter can
+        # never disagree (they used to: the obs bump here only ran
+        # with obs enabled).
         self._counters["steals"] += 1
-        obs = self._context.obs
-        if obs is not None and getattr(obs, "enabled", False):
-            obs.counter("backend.queue.steals")
         return self._deques[victim].pop()
 
     def _worker(self, mine: int) -> None:
-        store = self._context.store_spec.build()
+        context = self._context
         while True:
             with self._lock:
                 attempt = self._take(mine)
@@ -97,9 +99,15 @@ class QueueBackend(ExecutorBackend):
                     attempt = self._take(mine)
                 if attempt is None:
                     return
-            # execute_job never raises; exceptions become failed
-            # JobResults (deterministic failures, not retried).
-            result = execute_job(attempt.job, store)
+            # execute_attempt never raises; exceptions become failed
+            # JobResults (deterministic failures, not retried). Each
+            # attempt builds its own store handle (and, when observed,
+            # its own local collector shipped back on the result).
+            result = execute_attempt(
+                attempt.job, context.store_spec,
+                telemetry=context.telemetry,
+                worker=f"queue-{mine}", attempt=attempt.attempt,
+            )
             with self._lock:
                 self._active -= 1
                 self._completed.append(AttemptOutcome(

@@ -24,8 +24,15 @@ kinds; the installed fault plan IS shipped, in the envelope. See
 docs/distributed.md for the full capability matrix.
 
 Wire format: 4-byte big-endian length + pickle, both directions.
-Request: ``{"job": Job, "store": StoreSpec, "plan": FaultPlan|None}``.
-Response: a :class:`~repro.campaign.jobs.JobResult`.
+Request (protocol v2): ``{"v": 2, "job": Job, "store": StoreSpec,
+"plan": FaultPlan|None, "telemetry": TelemetrySpec|None, "attempt":
+int}``. ``telemetry`` (present and non-None only when the parent
+observer is live — the zero-overhead contract) makes the worker
+collect its own deep telemetry and attach the blob to the response.
+Response: a :class:`~repro.campaign.jobs.JobResult` (with
+``.telemetry`` set when collection was requested). Parent and worker
+always ship together, so the version key is a debugging aid, not a
+negotiation.
 """
 
 from __future__ import annotations
@@ -47,6 +54,9 @@ from repro.campaign.backends.base import (
     ExecutorBackend,
 )
 from repro.guard import faults
+
+#: Envelope protocol version (v2 added telemetry + attempt keys).
+PROTOCOL_VERSION = 2
 
 #: struct format of the frame-length prefix.
 LENGTH_PREFIX = ">I"
@@ -157,9 +167,12 @@ class SubprocessBackend(ExecutorBackend):
                 self._counters["respawns"] += 1
             worker = self._spawn()
         envelope = {
+            "v": PROTOCOL_VERSION,
             "job": attempt.job,
             "store": self._context.store_spec,
             "plan": faults.active_plan(),
+            "telemetry": self._context.telemetry,
+            "attempt": attempt.attempt,
         }
         worker.attempt = attempt
         self._counters["dispatches"] += 1

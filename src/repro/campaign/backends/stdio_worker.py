@@ -34,7 +34,7 @@ def main() -> int:
 
     from repro.campaign.backends.stdio import read_frame, write_frame
     from repro.campaign.jobs import JobResult
-    from repro.campaign.worker import execute_job
+    from repro.campaign.worker import execute_attempt
     from repro.guard import faults
 
     while True:
@@ -49,8 +49,14 @@ def main() -> int:
         else:
             faults.clear_plan()
         try:
-            store = envelope["store"].build()
-            result = execute_job(job, store)
+            # Protocol v2 keys; absent on a v1 parent, and None unless
+            # the parent observer is live (the zero-overhead contract).
+            result = execute_attempt(
+                job, envelope["store"],
+                telemetry=envelope.get("telemetry"),
+                worker=f"spawn-{os.getpid()}",
+                attempt=envelope.get("attempt", 1),
+            )
         except BaseException as exc:  # the frame must go out or the
             # parent treats this worker as crashed — report what we can.
             result = JobResult(

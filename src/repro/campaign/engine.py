@@ -41,7 +41,7 @@ from __future__ import annotations
 import json
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.campaign.backends import (
@@ -56,6 +56,8 @@ from repro.campaign.jobs import Job, JobResult
 from repro.campaign.progress import NullSink, ObsSink, ProgressSink, TeeSink
 from repro.campaign.worker import execute_job
 from repro.obs.core import ensure_observer
+from repro.obs.schema import CAMPAIGN_METRICS_SCHEMA, stamp
+from repro.obs.worker import TelemetrySpec, merge_telemetry
 
 FORMAT_VERSION = 1
 
@@ -122,6 +124,11 @@ class CampaignResult:
     results: List[JobResult]
     wall_seconds: float = 0.0
     workers: int = 0
+    #: Executor-backend mechanism counters of the run
+    #: (``{"backend": name, "forks": …, "steals": …}``; empty on the
+    #: serial path) — host diagnostics, surfaced in the campaign-level
+    #: metrics record, never in canonical output.
+    backend_metrics: Dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self._by_key: Dict[str, JobResult] = {}
@@ -162,18 +169,43 @@ class CampaignResult:
         return json.dumps(self.canonical_dict(), sort_keys=True,
                           indent=2) + "\n"
 
-    def metrics_jsonl(self) -> str:
-        """One JSON line of structured metrics per job.
+    def campaign_metrics_record(self) -> Dict[str, object]:
+        """The campaign-level summary record closing a metrics stream.
 
-        Each record carries ``"schema": "repro.campaign/job-metrics/v2"``
-        and validates under ``python -m repro.obs`` (see
-        docs/campaign.md for the field inventory).
+        Carries the run's wall time, worker count, and the executor
+        backend's mechanism counters (forks/steals/respawns) — the
+        uniform home for host-side mechanism metrics, whichever
+        backend ran the jobs. Schema
+        ``repro.campaign/campaign-metrics/v1``.
+        """
+        return stamp(CAMPAIGN_METRICS_SCHEMA, {
+            "name": self.campaign.name,
+            "jobs": len(self.results),
+            "failed": len(self.failed),
+            "wall_seconds": self.wall_seconds,
+            "workers": self.workers,
+            "backend": {str(name): self.backend_metrics[name]
+                        for name in sorted(self.backend_metrics)},
+        })
+
+    def metrics_jsonl(self) -> str:
+        """One JSON line of structured metrics per job, plus one
+        campaign-level summary line.
+
+        Per-job records carry
+        ``"schema": "repro.campaign/job-metrics/v3"``; the closing
+        line carries ``repro.campaign/campaign-metrics/v1`` with the
+        backend mechanism counters. Everything validates under
+        ``python -m repro.obs`` (see docs/campaign.md for the field
+        inventory).
         """
         lines = [
             json.dumps(result.metrics_record(), sort_keys=True,
                        default=str)
             for result in self.results
         ]
+        lines.append(json.dumps(self.campaign_metrics_record(),
+                                sort_keys=True, default=str))
         return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -229,6 +261,9 @@ class CampaignRunner:
         #: Mechanism counters of the backend that ran the last
         #: campaign (forks/steals/respawns/…) — host diagnostics.
         self.backend_metrics: Dict[str, object] = {}
+        #: Worker telemetry blobs collected during the current run
+        #: (observed backend paths only), merged after the run.
+        self._telemetry: List[Dict[str, object]] = []
         self._cancel = threading.Event()
 
     @property
@@ -256,6 +291,8 @@ class CampaignRunner:
         backend_name = (self.backend if self.backend is not None
                         else campaign.backend)
         self._cancel.clear()
+        self.backend_metrics = {}
+        self._telemetry = []
         self.sink.emit(
             "campaign-start", name=campaign.name, jobs=len(campaign),
             workers=self.workers, cache_dir=self.store_spec.cache_dir,
@@ -271,11 +308,29 @@ class CampaignRunner:
                 results = self._run_inline(campaign)
             else:
                 results = self._run_backend(campaign, backend_name)
+        if self._telemetry:
+            # Shipped worker blobs → one campaign-wide registry and a
+            # multi-lane trace, in deterministic (job_key, attempt)
+            # order — see repro.obs.worker. Never touches results.
+            with self.obs.span("campaign.merge_telemetry",
+                               cat="campaign",
+                               blobs=len(self._telemetry)):
+                merge_telemetry(self.obs, self._telemetry)
+            self._telemetry = []
         wall = time.monotonic() - started  # repro-lint: disable=det/time-dependent
         outcome = CampaignResult(
             campaign=campaign, results=results, wall_seconds=wall,
             workers=self.workers,
+            backend_metrics=dict(self.backend_metrics),
         )
+        for result in outcome.results:
+            # One event per job in merge (campaign) order — the
+            # ordered completion feed handle.events() subscribers and
+            # SSE bridges consume.
+            self.sink.emit(
+                "job-merged", key=result.key, status=result.status,
+                attempts=result.attempts, worker=result.worker,
+            )
         self.sink.emit(
             "campaign-end", name=campaign.name, jobs=len(campaign),
             failed=len(outcome.failed), wall_seconds=round(wall, 3),
@@ -313,6 +368,7 @@ class CampaignRunner:
             workers=self.workers, store_spec=self.store_spec,
             timeout=self.timeout, obs=self.obs, sink=self.sink,
             mp_context=self._mp,
+            telemetry=TelemetrySpec.from_observer(self.obs),
         ))
         pending: List[_Pending] = [
             _Pending(index=i, job=job)
@@ -335,9 +391,17 @@ class CampaignRunner:
             )
         finally:
             backend.shutdown()
-            self.backend_metrics = dict(
-                backend=backend.name, **backend.metrics()
-            )
+            counters = backend.metrics()
+            self.backend_metrics = dict(backend=backend.name,
+                                        **counters)
+            # Mirror mechanism counters into the merged registry after
+            # shutdown: the backend's internal counters are the single
+            # source of truth, so the obs view can never disagree with
+            # metrics() (the old per-event bumps could — see the
+            # queue backend's steal accounting).
+            for name in sorted(counters):
+                self.obs.counter(f"backend.{backend.name}.{name}",
+                                 int(counters[name]))
         return [
             finished.get(i) if finished.get(i) is not None
             else self._cancelled_result(job)
@@ -393,6 +457,21 @@ class CampaignRunner:
 
             if outcome.result is not None:
                 outcome.result.attempts = attempt.attempt
+                blob = outcome.result.telemetry
+                if blob is not None:
+                    # Strip the shipped blob off the result *before*
+                    # anything canonical can see it; the engine's
+                    # attempt number is authoritative for merge order.
+                    outcome.result.telemetry = None
+                    if self.obs.enabled and isinstance(blob, dict):
+                        blob["attempt"] = attempt.attempt
+                        self._telemetry.append(blob)
+                if outcome.result.worker is None:
+                    label = (blob.get("worker")
+                             if isinstance(blob, dict) else None)
+                    if label is None and outcome.worker is not None:
+                        label = str(outcome.worker)
+                    outcome.result.worker = label
                 self._emit_outcome(outcome.result, worker=outcome.worker)
                 finished[attempt.index] = outcome.result
                 continue

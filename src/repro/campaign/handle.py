@@ -4,30 +4,36 @@
 a campaign running on a background thread; the legacy blocking
 :func:`repro.api.run_campaign` is literally submit-then-await, so the
 two produce byte-identical merged payloads by construction. The handle
-exposes the four operations a caller queueing work needs:
+exposes the operations a caller queueing work needs:
 
 * :meth:`CampaignHandle.result` — block (optionally with a timeout)
   for the merged :class:`~repro.campaign.engine.CampaignResult`;
 * :meth:`CampaignHandle.progress` — a point-in-time snapshot of job
   counts, fed by the same event stream the progress sinks see;
+* :meth:`CampaignHandle.events` — a subscribable live iterator of
+  schema-stamped campaign events (``repro.campaign/event/v1``): every
+  subscriber replays the stream from the start and then follows it
+  live until the run ends — the SSE-ready primitive a
+  simulation-as-a-service front end needs (ROADMAP open item 1);
 * :meth:`CampaignHandle.cancel` — ask the engine to stop placing work;
   unfinished jobs come back ``status="cancelled"``;
 * :meth:`CampaignHandle.metrics` — host-side diagnostics (wall time,
   backend mechanism counters) once the run finishes.
 
-Progress counting piggybacks on the engine's event stream via a
-:class:`ProgressCounter` teed next to the caller's sink — the handle
-never reaches into engine internals, so any backend (and the serial
+Progress counting and the event stream piggyback on the engine's
+event stream via sinks teed next to the caller's — the handle never
+reaches into engine internals, so any backend (and the serial
 ``workers=0`` path) reports identically.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Dict, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.campaign.engine import Campaign, CampaignResult, CampaignRunner
 from repro.campaign.progress import ProgressSink
+from repro.obs.schema import EVENT_SCHEMA, stamp
 
 
 class ProgressCounter(ProgressSink):
@@ -67,14 +73,75 @@ class ProgressCounter(ProgressSink):
         return counts
 
 
+class EventStream(ProgressSink):
+    """Replayable, thread-safe stream of schema-stamped campaign events.
+
+    A regular :class:`~repro.campaign.progress.ProgressSink` teed into
+    the runner's sink chain: every engine event becomes one
+    ``repro.campaign/event/v1`` record with a monotonically increasing
+    ``seq``. :meth:`subscribe` iterators replay the history from
+    ``seq`` 0 and then block for new events until :meth:`close` — so a
+    late subscriber (an SSE endpoint attaching mid-run, a test
+    awaiting completion) sees exactly the same ordered records as an
+    early one. The stream is bounded by the campaign's own event count
+    (a handful per job), so replay-from-zero is cheap by construction.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._records: List[Dict[str, object]] = []
+        self._closed = False
+
+    def emit(self, kind: str, **fields: object) -> None:
+        record: Dict[str, object] = {
+            name: fields[name] for name in sorted(fields)
+            if fields[name] is not None
+        }
+        record["event"] = kind
+        with self._cond:
+            record["seq"] = len(self._records)
+            self._records.append(stamp(EVENT_SCHEMA, record))
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        """End the stream; blocked subscribers drain and stop."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def subscribe(self) -> Iterator[Dict[str, object]]:
+        """Iterate every event from the start, live until closed."""
+        index = 0
+        while True:
+            with self._cond:
+                while (index >= len(self._records)
+                       and not self._closed):
+                    self._cond.wait()
+                if index >= len(self._records):
+                    return
+                record = self._records[index]
+            index += 1
+            yield record
+
+
 class CampaignHandle:
     """A campaign running in the background; see the module docstring."""
 
     def __init__(self, campaign: Campaign, runner: CampaignRunner,
-                 counter: Optional[ProgressCounter] = None):
+                 counter: Optional[ProgressCounter] = None,
+                 events: Optional[EventStream] = None):
         self._campaign = campaign
         self._runner = runner
         self._counter = counter if counter is not None else ProgressCounter()
+        #: The stream must be teed into the runner's sink chain by the
+        #: caller (submit_campaign does); a handle built without one
+        #: still closes its private stream, so events() terminates.
+        self._events = events if events is not None else EventStream()
         self._outcome: Optional[CampaignResult] = None
         self._error: Optional[BaseException] = None
         self._finished = threading.Event()
@@ -91,6 +158,7 @@ class CampaignHandle:
             self._error = exc
         finally:
             self._finished.set()
+            self._events.close()
 
     @property
     def campaign(self) -> Campaign:
@@ -124,6 +192,18 @@ class CampaignHandle:
         snapshot["done"] = self.done()
         return snapshot
 
+    def events(self) -> Iterator[Dict[str, object]]:
+        """Subscribe to the live, schema-stamped event stream.
+
+        Yields one ``repro.campaign/event/v1`` record per engine event
+        — campaign/job lifecycle, retries, and one ``job-merged``
+        record per job in merge order once results are final — then
+        stops when the run ends. Safe to call from any thread, any
+        number of times; every subscriber sees the full ordered
+        history (replay then live).
+        """
+        return self._events.subscribe()
+
     def cancel(self) -> None:
         """Ask the run to stop; jobs not yet finished are reported
         ``status="cancelled"`` in the merged result. Idempotent."""
@@ -142,4 +222,4 @@ class CampaignHandle:
         return record
 
 
-__all__ = ["CampaignHandle", "ProgressCounter"]
+__all__ = ["CampaignHandle", "EventStream", "ProgressCounter"]

@@ -159,6 +159,17 @@ class JobResult:
     error: Optional[str] = None
     #: Kind-specific extras (policy collections, survival rates, …).
     metrics: Dict[str, object] = field(default_factory=dict)
+    #: Lane label of the worker that produced the final attempt
+    #: (``fork-<pid>`` / ``spawn-<pid>`` / ``queue-<i>``) — host-side
+    #: identity for metrics and traces, never canonical.
+    worker: Optional[str] = None
+    #: In-transit worker telemetry blob
+    #: (``repro.obs/worker-telemetry/v1``, see :mod:`repro.obs.worker`).
+    #: Set by observed workers, popped off by the engine at collect
+    #: time and merged into the campaign observer — it never reaches
+    #: :meth:`canonical` or :meth:`metrics_record`, and stays None
+    #: (costing nothing on the wire) when observability is off.
+    telemetry: Optional[Dict[str, object]] = None
 
     @property
     def key(self) -> str:
@@ -207,6 +218,8 @@ class JobResult:
             record["variant"] = self.job.variant
         if self.job.policy is not None:
             record["policy"] = self.job.policy.token
+        if self.worker is not None:
+            record["worker"] = self.worker
         if self.result is not None:
             record["cycles"] = self.result.cycles
             record["instructions"] = self.result.instructions

@@ -249,20 +249,56 @@ def execute_job(job: Job, store: Optional[CacheStore] = None,
     return outcome
 
 
-def child_main(connection, job: Job, store_spec=None) -> None:
+def execute_attempt(job: Job, store_spec=None, telemetry=None,
+                    worker: object = None, attempt: int = 1) -> JobResult:
+    """Run one attempt, optionally under a worker-side collector.
+
+    The single path every backend worker drives. *store_spec* is a
+    :class:`~repro.campaign.cachedir.StoreSpec` (a plain
+    cache-directory string is also accepted for compatibility).
+    *telemetry* is a :class:`~repro.obs.worker.TelemetrySpec` or None —
+    the disabled path costs exactly this one ``is None`` test and
+    ships nothing. When set, the attempt runs against a local
+    :class:`~repro.obs.worker.WorkerCollector` (same observer surface
+    as the serial path — memo spans, sampled series, cache-tier
+    counters — collected locally), wrapped in a ``worker.job`` span
+    labelled *worker*, and the rendered blob rides back on
+    ``result.telemetry`` for the engine to merge.
+    """
+    if not isinstance(store_spec, StoreSpec):
+        store_spec = StoreSpec(cache_dir=store_spec or None)
+    if telemetry is None:
+        return execute_job(job, store_spec.build())
+    collector = telemetry.collector(worker if worker is not None
+                                    else "worker")
+    observer = collector.observer
+    store = store_spec.build(obs=observer)
+    with observer.span("worker.job", cat="campaign", key=job.key,
+                       attempt=attempt):
+        result = execute_job(job, store, obs=observer)
+    result.telemetry = collector.blob(job.key, attempt)
+    return result
+
+
+def child_main(connection, job: Job, store_spec=None, telemetry=None,
+               attempt: int = 1) -> None:
     """Worker-process entry: execute one job, send the result back.
 
     *store_spec* is a :class:`~repro.campaign.cachedir.StoreSpec` (the
     fork backend ships the recipe; the child builds its own store
     handles) — a plain cache-directory string is also accepted for
-    compatibility with older callers.
+    compatibility with older callers. *telemetry* (a
+    :class:`~repro.obs.worker.TelemetrySpec`, shipped only when the
+    parent observer is live) makes the child collect its own deep
+    telemetry and attach the blob to the result crossing the pipe.
     """
     try:
-        if isinstance(store_spec, StoreSpec):
-            store = store_spec.build()
-        else:
-            store = CacheStore(store_spec) if store_spec else None
-        connection.send(execute_job(job, store))
+        import os
+
+        connection.send(execute_attempt(
+            job, store_spec, telemetry=telemetry,
+            worker=f"fork-{os.getpid()}", attempt=attempt,
+        ))
     except BaseException as exc:  # result must cross the pipe or the
         # parent treats this worker as crashed — report what we can.
         try:

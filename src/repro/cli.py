@@ -312,10 +312,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     obs_cmd = commands.add_parser(
         "obs", parents=[quiet],
-        help="validate schema-stamped telemetry JSON-lines files")
+        help="validate telemetry files, or `obs report` a dashboard")
     obs_cmd.add_argument("files", nargs="+", metavar="FILE.jsonl",
                          help="metric / trace-event / job-metrics "
-                              "streams")
+                              "streams (or Chrome trace JSON); prefix "
+                              "with `report` to render the campaign "
+                              "dashboard instead of validating")
 
     trace_export = commands.add_parser(
         "trace-export", parents=[quiet],
@@ -644,9 +646,14 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
+    files = list(args.files)
+    if files and files[0] == "report":
+        from repro.obs.report import main as report_main
+
+        return report_main(files[1:])
     from repro.obs.__main__ import main as validate_main
 
-    return validate_main(list(args.files))
+    return validate_main(files)
 
 
 def _cmd_trace_export(args: argparse.Namespace) -> int:
@@ -687,6 +694,7 @@ def _cmd_trace_export(args: argparse.Namespace) -> int:
                     dur=record.get("dur"),
                     clock=record.get("clock", "host"),
                     args=record.get("args"),
+                    lane=record.get("lane"),
                 ))
     except OSError as exc:
         print(f"cannot read {args.input}: {exc}", file=sys.stderr)

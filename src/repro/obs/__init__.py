@@ -49,10 +49,15 @@ from repro.obs.metrics import (
     SampledSeries,
 )
 from repro.obs.schema import (
+    CAMPAIGN_METRICS_SCHEMA,
+    EVENT_SCHEMA,
     JOB_METRICS_SCHEMA,
+    JOB_METRICS_SCHEMA_V2,
     METRIC_SCHEMA,
     TRACE_SCHEMA,
+    WORKER_TELEMETRY_SCHEMA,
     stamp,
+    validate_chrome_trace,
     validate_file,
     validate_lines,
     validate_record,
@@ -65,12 +70,20 @@ from repro.obs.spans import (
     TraceEvent,
     TraceSink,
 )
+from repro.obs.worker import (
+    TelemetrySpec,
+    WorkerCollector,
+    merge_telemetry,
+)
 
 __all__ = [
+    "CAMPAIGN_METRICS_SCHEMA",
     "Counter",
+    "EVENT_SCHEMA",
     "Gauge",
     "Histogram",
     "JOB_METRICS_SCHEMA",
+    "JOB_METRICS_SCHEMA_V2",
     "JsonlTraceSink",
     "METRIC_SCHEMA",
     "MetricsRegistry",
@@ -82,13 +95,18 @@ __all__ = [
     "SampledSeries",
     "SpanTracer",
     "TRACE_SCHEMA",
+    "TelemetrySpec",
     "TraceEvent",
     "TraceSink",
+    "WORKER_TELEMETRY_SCHEMA",
+    "WorkerCollector",
     "chrome_trace",
     "ensure_observer",
     "make_observer",
+    "merge_telemetry",
     "render_chrome_trace",
     "stamp",
+    "validate_chrome_trace",
     "validate_file",
     "validate_lines",
     "validate_record",

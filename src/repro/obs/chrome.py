@@ -5,13 +5,17 @@ object format consumed by ``chrome://tracing`` and
 https://ui.perfetto.dev (the *JSON Array Format* with a
 ``traceEvents`` wrapper).
 
-The two clocks get two synthetic processes so their timelines never
-interleave misleadingly:
+Each timeline gets its own synthetic process so they never interleave
+misleadingly:
 
 * pid 1 — **host clock**: phase spans and job lifecycles, timestamps
   in real microseconds;
 * pid 2 — **simulated clock**: pipeline traces and sampled counter
-  tracks, one "microsecond" per simulated cycle.
+  tracks, one "microsecond" per simulated cycle;
+* pid 3+ — **worker lanes**: events shipped back by campaign workers
+  through the distributed-telemetry channel (:mod:`repro.obs.worker`),
+  one process per distinct :attr:`TraceEvent.lane` label, assigned in
+  sorted-label order so the mapping is deterministic.
 
 Output is deterministic for deterministic event streams: keys are
 sorted and events keep emission order.
@@ -20,13 +24,15 @@ sorted and events keep emission order.
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional
 
 from repro.obs.spans import CLOCK_SIM, TraceEvent
 
 #: Synthetic process ids, one per clock domain.
 PID_HOST = 1
 PID_SIM = 2
+#: First pid handed to worker lanes (one per sorted lane label).
+PID_WORKER_BASE = 3
 
 _PROCESS_NAMES = {
     PID_HOST: "fastsim host (wall clock)",
@@ -34,11 +40,23 @@ _PROCESS_NAMES = {
 }
 
 
-def _metadata_events() -> List[Dict[str, object]]:
+def lane_pids(events: Iterable[TraceEvent]) -> Dict[str, int]:
+    """Deterministic lane-label → pid map (sorted labels, pid 3+)."""
+    labels = sorted({event.lane for event in events
+                     if event.lane is not None})
+    return {label: PID_WORKER_BASE + index
+            for index, label in enumerate(labels)}
+
+
+def _metadata_events(lanes: Optional[Dict[str, int]] = None
+                     ) -> List[Dict[str, object]]:
+    names = dict(_PROCESS_NAMES)
+    for label in sorted(lanes or ()):
+        names[lanes[label]] = f"fastsim worker {label}"
     events = []
-    for pid in sorted(_PROCESS_NAMES):
+    for pid in sorted(names):
         events.append({
-            "args": {"name": _PROCESS_NAMES[pid]},
+            "args": {"name": names[pid]},
             "cat": "__metadata",
             "name": "process_name",
             "ph": "M",
@@ -49,9 +67,18 @@ def _metadata_events() -> List[Dict[str, object]]:
     return events
 
 
-def chrome_event(event: TraceEvent) -> Dict[str, object]:
-    """One TraceEvent in Chrome trace_event form."""
+def chrome_event(event: TraceEvent,
+                 lanes: Optional[Dict[str, int]] = None
+                 ) -> Dict[str, object]:
+    """One TraceEvent in Chrome trace_event form.
+
+    *lanes* maps worker-lane labels to pids (see :func:`lane_pids`);
+    an event with a lane not in the map (or with no map) falls back to
+    its clock-domain pid so standalone conversion stays valid.
+    """
     pid = PID_SIM if event.clock == CLOCK_SIM else PID_HOST
+    if event.lane is not None and lanes:
+        pid = lanes.get(event.lane, pid)
     record: Dict[str, object] = {
         "cat": event.cat,
         "name": event.name,
@@ -72,8 +99,10 @@ def chrome_event(event: TraceEvent) -> Dict[str, object]:
 
 def chrome_trace(events: Iterable[TraceEvent]) -> Dict[str, object]:
     """The full exportable document (``traceEvents`` wrapper form)."""
-    trace_events = _metadata_events()
-    trace_events.extend(chrome_event(event) for event in events)
+    events = list(events)
+    lanes = lane_pids(events)
+    trace_events = _metadata_events(lanes)
+    trace_events.extend(chrome_event(event, lanes) for event in events)
     return {
         "displayTimeUnit": "ms",
         "otherData": {"exporter": "repro.obs"},

@@ -5,7 +5,7 @@ Every machine-readable line the observability layer emits carries a
 
     {"schema": "repro.obs/metric/v1", "kind": "counter", ...}
     {"schema": "repro.obs/trace-event/v1", "name": "memo.record", ...}
-    {"schema": "repro.campaign/job-metrics/v2", "key": "compress:fast:tiny", ...}
+    {"schema": "repro.campaign/job-metrics/v3", "key": "compress:fast:tiny", ...}
 
 Versioned schemas are what make ``cmp``- and ``jq``-based CI checks
 safe: a consumer can reject lines it does not understand instead of
@@ -14,7 +14,9 @@ event. :func:`validate_record` / :func:`validate_lines` implement a
 deliberately small structural check (required fields + types) — not a
 full JSON-Schema engine — and are what the CI job and the test suite
 run over emitted streams. ``python -m repro.obs FILE...`` validates
-files from the command line.
+files from the command line; a file whose whole body is one JSON
+object with a ``traceEvents`` array is validated as a Chrome trace
+document (:func:`validate_chrome_trace`) instead of line by line.
 """
 
 from __future__ import annotations
@@ -28,9 +30,24 @@ SCHEMA_KEY = "schema"
 METRIC_SCHEMA = "repro.obs/metric/v1"
 #: One trace event (span/instant/counter sample).
 TRACE_SCHEMA = "repro.obs/trace-event/v1"
-#: One campaign per-job metrics record (schema-versioned successor of
-#: the PR-2 ad-hoc dicts; documented in docs/campaign.md).
-JOB_METRICS_SCHEMA = "repro.campaign/job-metrics/v2"
+#: One worker's shipped telemetry blob (registry snapshot + ring
+#: events), carried inside the backend result channel and merged by
+#: the engine — see :mod:`repro.obs.worker`.
+WORKER_TELEMETRY_SCHEMA = "repro.obs/worker-telemetry/v1"
+#: One campaign per-job metrics record. v3 adds the ``worker`` lane
+#: label and the ``cancelled`` status (both shipped since the backends
+#: PR); documented in docs/campaign.md.
+JOB_METRICS_SCHEMA = "repro.campaign/job-metrics/v3"
+#: The v2 shape (pre-distributed-telemetry) stays valid for archived
+#: streams.
+JOB_METRICS_SCHEMA_V2 = "repro.campaign/job-metrics/v2"
+#: One campaign-level summary record closing a metrics stream:
+#: wall time, worker count, and the executor backend's mechanism
+#: counters (forks/steals/respawns) under ``"backend"``.
+CAMPAIGN_METRICS_SCHEMA = "repro.campaign/campaign-metrics/v1"
+#: One live campaign event from :meth:`CampaignHandle.events`
+#: (SSE-ready; see docs/observability.md).
+EVENT_SCHEMA = "repro.campaign/event/v1"
 
 _NUMBER = (int, float)
 
@@ -47,12 +64,39 @@ _REQUIRED: Dict[str, Dict[str, tuple]] = {
         "cat": (str,),
         "clock": (str,),
     },
+    WORKER_TELEMETRY_SCHEMA: {
+        "job_key": (str,),
+        "attempt": (int,),
+        "worker": (str,),
+        "metrics": (dict,),
+        "events": (list,),
+        "spans_dropped": (int,),
+    },
     JOB_METRICS_SCHEMA: {
         "key": (str,),
         "status": (str,),
         "attempts": (int,),
         "retries": (int,),
         "host_seconds": _NUMBER,
+    },
+    JOB_METRICS_SCHEMA_V2: {
+        "key": (str,),
+        "status": (str,),
+        "attempts": (int,),
+        "retries": (int,),
+        "host_seconds": _NUMBER,
+    },
+    CAMPAIGN_METRICS_SCHEMA: {
+        "name": (str,),
+        "jobs": (int,),
+        "failed": (int,),
+        "wall_seconds": _NUMBER,
+        "workers": (int,),
+        "backend": (dict,),
+    },
+    EVENT_SCHEMA: {
+        "event": (str,),
+        "seq": (int,),
     },
 }
 
@@ -61,8 +105,12 @@ _ENUMS: Dict[Tuple[str, str], tuple] = {
     (METRIC_SCHEMA, "kind"): ("counter", "gauge", "histogram", "series"),
     (TRACE_SCHEMA, "ph"): ("X", "i", "C"),
     (TRACE_SCHEMA, "clock"): ("host", "sim"),
-    (JOB_METRICS_SCHEMA, "status"): ("ok", "failed"),
+    (JOB_METRICS_SCHEMA, "status"): ("ok", "failed", "cancelled"),
+    (JOB_METRICS_SCHEMA_V2, "status"): ("ok", "failed"),
 }
+
+#: Chrome trace_event phases the exporter may emit ("M" = metadata).
+_CHROME_PHASES = ("C", "M", "X", "i")
 
 
 def stamp(schema: str, record: Dict[str, object]) -> Dict[str, object]:
@@ -103,6 +151,47 @@ def validate_record(record: object) -> List[str]:
     return problems
 
 
+def validate_chrome_trace(document: object) -> List[str]:
+    """Structural problems with a Chrome ``traceEvents`` document.
+
+    The exporter's output (:mod:`repro.obs.chrome`) is not JSON lines,
+    so it gets its own check: a ``traceEvents`` array whose entries
+    carry the trace_event required fields, known phases, integer
+    pid/tid lanes, and durations on complete ('X') events.
+    """
+    if not isinstance(document, dict):
+        return [f"document is {type(document).__name__}, not an object"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-array 'traceEvents'"]
+    if not events:
+        return ["'traceEvents' is empty"]
+    problems = []
+    for number, event in enumerate(events):
+        where = f"traceEvents[{number}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for field, types in (("name", (str,)), ("ph", (str,)),
+                             ("pid", (int,)), ("tid", (int,)),
+                             ("ts", _NUMBER)):
+            if field not in event:
+                problems.append(f"{where}: missing {field!r}")
+            elif not isinstance(event[field], types):
+                problems.append(
+                    f"{where}: field {field!r} is "
+                    f"{type(event[field]).__name__}"
+                )
+        phase = event.get("ph")
+        if isinstance(phase, str) and phase not in _CHROME_PHASES:
+            problems.append(
+                f"{where}: phase {phase!r} not in {_CHROME_PHASES}"
+            )
+        if phase == "X" and not isinstance(event.get("dur"), _NUMBER):
+            problems.append(f"{where}: 'X' event without numeric 'dur'")
+    return problems
+
+
 def validate_lines(lines: Iterable[str]) -> List[str]:
     """Validate a JSON-lines stream; returns per-line problems."""
     problems = []
@@ -121,7 +210,16 @@ def validate_lines(lines: Iterable[str]) -> List[str]:
 
 
 def validate_file(path: str) -> List[str]:
-    """Validate one ``.jsonl`` file."""
+    """Validate one file — ``.jsonl`` streams or a Chrome trace JSON."""
     with open(path, "r", encoding="utf-8") as handle:
-        return [f"{path}: {problem}"
-                for problem in validate_lines(handle)]
+        text = handle.read()
+    if text.lstrip().startswith("{"):
+        try:
+            document = json.loads(text)
+        except ValueError:
+            document = None
+        if isinstance(document, dict) and "traceEvents" in document:
+            return [f"{path}: {problem}"
+                    for problem in validate_chrome_trace(document)]
+    return [f"{path}: {problem}"
+            for problem in validate_lines(text.splitlines())]

@@ -35,13 +35,22 @@ CLOCK_SIM = "sim"
 
 
 class TraceEvent:
-    """One trace event (span, instant, or counter sample)."""
+    """One trace event (span, instant, or counter sample).
 
-    __slots__ = ("name", "ph", "ts", "dur", "cat", "clock", "args")
+    ``lane`` labels the worker that produced the event when it arrived
+    through the distributed-telemetry merge (:mod:`repro.obs.worker`);
+    the Chrome exporter gives each lane its own synthetic process so
+    per-worker timelines render side by side. None (the default) means
+    the event belongs to the parent process's clock-domain lanes.
+    """
+
+    __slots__ = ("name", "ph", "ts", "dur", "cat", "clock", "args",
+                 "lane")
 
     def __init__(self, name: str, ph: str, ts: float, cat: str = "obs",
                  dur: Optional[float] = None, clock: str = CLOCK_HOST,
-                 args: Optional[Dict[str, object]] = None):
+                 args: Optional[Dict[str, object]] = None,
+                 lane: Optional[str] = None):
         self.name = name
         self.ph = ph
         self.ts = ts
@@ -49,6 +58,7 @@ class TraceEvent:
         self.cat = cat
         self.clock = clock
         self.args = args
+        self.lane = lane
 
     def as_dict(self) -> Dict[str, object]:
         record: Dict[str, object] = {
@@ -60,6 +70,8 @@ class TraceEvent:
         }
         if self.dur is not None:
             record["dur"] = self.dur
+        if self.lane is not None:
+            record["lane"] = self.lane
         if self.args:
             record["args"] = {key: self.args[key]
                               for key in sorted(self.args)}

@@ -95,6 +95,27 @@ class TestWorkStealing:
         # Stealing scrambles completion order; merge order must not be.
         assert [r.key for r in outcome.results] == [j.key for j in jobs]
 
+    def test_steal_counter_mirrors_into_obs(self):
+        """The backend's internal counter is authoritative; the obs
+        counter is a shutdown-time mirror, so the two can never
+        disagree (they used to: the obs bump only happened when obs
+        was enabled, the internal count always)."""
+        from repro.obs import make_observer
+
+        jobs = [Job(workload="slowpoke", kind="test-nap", scale="0.5")]
+        jobs += [
+            Job(workload=f"quick-{i}", kind="test-nap", scale="0.0")
+            for i in range(6)
+        ]
+        obs = make_observer()
+        runner = CampaignRunner(workers=2, backend="queue", obs=obs)
+        outcome = runner.run(Campaign(jobs=tuple(jobs), name="mirror"))
+        assert outcome.ok
+        steals = runner.backend_metrics["steals"]
+        assert steals >= 1
+        mirrored = obs.registry.counters["backend.queue.steals"].value
+        assert mirrored == steals
+
     def test_queue_backend_ignores_deadlines(self):
         """No thread preemption: the timeout is documented as
         unenforced on the queue backend, and the job completes."""

@@ -50,17 +50,23 @@ class TestDeterministicMerge:
     def test_metrics_jsonl_one_line_per_job(self):
         outcome = run_jobs(JOBS[:2], workers=2, name="metrics")
         lines = outcome.metrics_jsonl().splitlines()
-        assert len(lines) == 2
-        for line in lines:
+        # One record per job plus the closing campaign-metrics record.
+        assert len(lines) == 3
+        for line in lines[:2]:
             record = json.loads(line)
             assert record["status"] == "ok"
             assert record["host_seconds"] > 0
             assert record["retries"] == 0
+        closing = json.loads(lines[-1])
+        assert closing["schema"] == "repro.campaign/campaign-metrics/v1"
+        assert closing["jobs"] == 2 and closing["failed"] == 0
 
     def test_metrics_jsonl_schema_versioned_and_valid(self):
-        """Satellite: per-job metric records carry the v2 schema stamp
-        and validate under `python -m repro.obs` (docs/campaign.md)."""
+        """Satellite: per-job metric records carry the v3 schema stamp,
+        the stream closes with a campaign-metrics record, and the whole
+        stream validates under `python -m repro.obs` (docs/campaign.md)."""
         from repro.obs.schema import (
+            CAMPAIGN_METRICS_SCHEMA,
             JOB_METRICS_SCHEMA,
             SCHEMA_KEY,
             validate_lines,
@@ -69,10 +75,13 @@ class TestDeterministicMerge:
         outcome = run_jobs(JOBS[:2], workers=0, name="schema")
         lines = outcome.metrics_jsonl().splitlines()
         assert validate_lines(lines) == []
-        for line in lines:
+        for line in lines[:-1]:
             record = json.loads(line)
             assert record[SCHEMA_KEY] == JOB_METRICS_SCHEMA
             assert record["cycles"] > 0
+        closing = json.loads(lines[-1])
+        assert closing[SCHEMA_KEY] == CAMPAIGN_METRICS_SCHEMA
+        assert closing["name"] == "schema"
 
 
 def _crash_once(job, store):

@@ -86,3 +86,37 @@ class TestSubmitAwait:
         handle.cancel()
         outcome = handle.result(timeout=120)
         assert any(r.status == "cancelled" for r in outcome.results)
+
+
+class TestEventStream:
+    def test_events_are_stamped_ordered_and_terminate(self):
+        """Acceptance: >=1 schema-stamped event per job completion, in
+        merge order, and the stream ends when the run does."""
+        from repro.obs.schema import EVENT_SCHEMA, SCHEMA_KEY, \
+            validate_record
+
+        handle = submit_campaign(jobs=JOBS, workers=2, name="events")
+        events = list(handle.events())  # blocks until the stream closes
+        assert handle.done()
+        for record in events:
+            assert record[SCHEMA_KEY] == EVENT_SCHEMA
+            assert validate_record(record) == []
+        assert [record["seq"] for record in events] == list(
+            range(len(events)))
+        merged = [record for record in events
+                  if record["event"] == "job-merged"]
+        # One per job, in merge (= submission) order, after outcomes.
+        assert [record["key"] for record in merged] == [
+            job.key for job in JOBS]
+        kinds = [record["event"] for record in events]
+        assert kinds[0] == "campaign-start"
+        assert kinds[-1] == "campaign-end"
+        assert kinds.index("job-merged") > kinds.index("job-ok")
+
+    def test_late_subscriber_replays_full_history(self):
+        handle = submit_campaign(jobs=JOBS, workers=1, name="replay")
+        handle.result(timeout=120)  # run is over before we subscribe
+        first = list(handle.events())
+        second = list(handle.events())
+        assert first == second
+        assert first, "late subscribers must still see the history"

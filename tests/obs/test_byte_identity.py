@@ -6,9 +6,13 @@ campaign documents. These tests run the same work with observability
 enabled and disabled and require byte-identical results.
 """
 
+import pytest
+
 from repro.campaign import Campaign, CampaignRunner, Job
 from repro.isa import assemble
+from repro.obs.chrome import chrome_trace
 from repro.obs.core import make_observer
+from repro.obs.schema import validate_chrome_trace
 from repro.sim.baseline import IntegratedSimulator
 from repro.sim.fastsim import FastSim
 from repro.sim.slowsim import SlowSim
@@ -119,3 +123,58 @@ class TestCampaignIdentity:
         names = {event.name for event in obs.trace_events()}
         assert "campaign.run" in names
         assert "campaign.job" in names
+
+
+class TestDistributedIdentityMatrix:
+    """The tentpole matrix: every backend × obs on/off × turbo on/off.
+
+    Worker-shipped telemetry must never leak into canonical campaign
+    output — the obs-on run of each cell must match its obs-off twin
+    byte for byte — while the merged observer must hold real worker
+    telemetry (blobs merged, distinct lanes) whose Chrome export is
+    schema-valid.
+    """
+
+    @staticmethod
+    def jobs(turbo):
+        # turbo_threshold=2 makes chain compilation actually fire at
+        # tiny scale, so the turbo-on cells exercise the compiled loop.
+        return (
+            Job("compress", "fast", "tiny", turbo=turbo,
+                turbo_threshold=2 if turbo else None),
+            Job("compress", "slow", "tiny", turbo=turbo),
+        )
+
+    @staticmethod
+    def run(jobs, backend, obs):
+        runner = CampaignRunner(workers=2, obs=obs, backend=backend)
+        return runner.run(Campaign(jobs=jobs, name="matrix"))
+
+    @pytest.mark.parametrize("backend", ["fork", "subprocess", "queue"])
+    @pytest.mark.parametrize("turbo", [True, False],
+                             ids=["turbo", "no-turbo"])
+    def test_canonical_identical_and_trace_valid(self, backend, turbo):
+        jobs = self.jobs(turbo)
+        off = self.run(jobs, backend, obs=None)
+        obs = make_observer(sample_every=64)
+        on = self.run(jobs, backend, obs=obs)
+
+        # 1. obs-on canonical output is byte-identical to obs-off.
+        assert on.canonical_json() == off.canonical_json()
+
+        # 2. Zero overhead when off: no blob ever reached a result.
+        assert all(r.telemetry is None for r in off.results)
+        # Blobs are stripped before results are merged on-path too.
+        assert all(r.telemetry is None for r in on.results)
+
+        # 3. The merge really happened: one blob per job, worker lane
+        # labels recorded, and the merged Chrome trace is schema-valid.
+        merged = obs.registry.counters["obs.worker_blobs_merged"].value
+        assert merged == len(jobs)
+        workers = {r.worker for r in on.results}
+        assert all(w and w.split("-")[0] in ("fork", "spawn", "queue")
+                   for w in workers)
+        document = chrome_trace(obs.trace_events())
+        assert validate_chrome_trace(document) == []
+        lanes = {e.lane for e in obs.trace_events() if e.lane is not None}
+        assert lanes == workers

@@ -92,6 +92,93 @@ class TestJobMetricsSchema:
         result = JobResult(job=job, status="failed", error="boom")
         assert validate_record(result.metrics_record()) == []
 
+    def test_v3_accepts_cancelled_and_worker(self):
+        job = Job("compress", "fast", "tiny")
+        result = JobResult(job=job, status="cancelled",
+                           error="cancelled before completion",
+                           worker="fork-42")
+        record = result.metrics_record()
+        assert record["worker"] == "fork-42"
+        assert validate_record(record) == []
+
+    def test_v2_records_still_validate(self):
+        """Old streams on disk must keep validating (docs/campaign.md)."""
+        from repro.obs.schema import JOB_METRICS_SCHEMA_V2
+
+        record = stamp(JOB_METRICS_SCHEMA_V2, {
+            "key": "compress:fast:tiny", "workload": "compress",
+            "simulator": "fast", "scale": "tiny", "status": "ok",
+            "attempts": 1, "retries": 0, "host_seconds": 0.25,
+        })
+        assert validate_record(record) == []
+        # ...but v2 does not know the "cancelled" status.
+        assert validate_record(dict(record, status="cancelled"))
+
+
+class TestNewCampaignSchemas:
+    def test_worker_telemetry_record(self):
+        from repro.obs.schema import WORKER_TELEMETRY_SCHEMA
+
+        record = stamp(WORKER_TELEMETRY_SCHEMA, {
+            "job_key": "compress:fast:tiny", "attempt": 1,
+            "worker": "fork-7", "metrics": {}, "events": [],
+            "spans_dropped": 0,
+        })
+        assert validate_record(record) == []
+        broken = dict(record)
+        del broken["worker"]
+        assert validate_record(broken)
+
+    def test_campaign_metrics_record(self):
+        from repro.obs.schema import CAMPAIGN_METRICS_SCHEMA
+
+        record = stamp(CAMPAIGN_METRICS_SCHEMA, {
+            "name": "demo", "jobs": 2, "failed": 0,
+            "wall_seconds": 0.5, "workers": 2,
+            "backend": {"backend": "fork"},
+        })
+        assert validate_record(record) == []
+        assert validate_record(dict(record, jobs="two"))
+
+    def test_event_record(self):
+        from repro.obs.schema import EVENT_SCHEMA
+
+        record = stamp(EVENT_SCHEMA, {"event": "job-merged", "seq": 3,
+                                      "key": "compress:fast:tiny"})
+        assert validate_record(record) == []
+        assert validate_record(dict(record, seq="three"))
+
+
+class TestChromeTraceValidation:
+    def document(self):
+        return {"traceEvents": [
+            {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+             "ts": 0, "args": {"name": "fastsim host"}},
+            {"name": "campaign.run", "ph": "X", "pid": 1, "tid": 1,
+             "ts": 0.0, "dur": 12.5, "cat": "campaign"},
+        ]}
+
+    def test_valid_document(self):
+        from repro.obs.schema import validate_chrome_trace
+
+        assert validate_chrome_trace(self.document()) == []
+
+    def test_problems_reported(self):
+        from repro.obs.schema import validate_chrome_trace
+
+        document = self.document()
+        document["traceEvents"][1].pop("dur")       # X without dur
+        document["traceEvents"].append({"name": "x", "ph": "?",
+                                        "pid": 1, "tid": 1, "ts": 0})
+        problems = validate_chrome_trace(document)
+        assert len(problems) == 2
+        assert validate_chrome_trace({"traceEvents": "nope"})
+
+    def test_validate_file_detects_chrome_documents(self, tmp_path):
+        path = tmp_path / "x.trace.json"
+        path.write_text(json.dumps(self.document()))
+        assert validate_file(str(path)) == []
+
 
 class TestCliValidator:
     def write(self, tmp_path, name, lines):

@@ -1,0 +1,144 @@
+"""Worker-side telemetry collection and the deterministic merge."""
+
+from repro.obs.core import NULL_OBS, make_observer
+from repro.obs.schema import (
+    SCHEMA_KEY,
+    WORKER_TELEMETRY_SCHEMA,
+    validate_record,
+)
+from repro.obs.worker import (
+    DEFAULT_RING_CAPACITY,
+    TelemetrySpec,
+    merge_telemetry,
+)
+
+
+def blob_for(worker, job_key="job-a", attempt=1, fill=None):
+    spec = TelemetrySpec(sample_every=16)
+    collector = spec.collector(worker)
+    if fill is not None:
+        fill(collector.observer)
+    return collector.blob(job_key, attempt)
+
+
+class TestTelemetrySpec:
+    def test_disabled_observer_gives_no_spec(self):
+        """The zero-overhead contract's first hop: nothing to ship."""
+        assert TelemetrySpec.from_observer(None) is None
+        assert TelemetrySpec.from_observer(NULL_OBS) is None
+
+    def test_enabled_observer_mirrors_configuration(self):
+        obs = make_observer(sample_every=42)
+        spec = TelemetrySpec.from_observer(obs)
+        assert spec == TelemetrySpec(sample_every=42,
+                                     ring_capacity=DEFAULT_RING_CAPACITY)
+
+    def test_spec_is_picklable(self):
+        import pickle
+
+        spec = TelemetrySpec(sample_every=8, ring_capacity=64)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestCollectorBlob:
+    def test_blob_is_schema_stamped_and_valid(self):
+        def fill(obs):
+            obs.counter("memo.encodes", 3)
+            with obs.span("memo.record", cat="memo"):
+                pass
+
+        blob = blob_for("fork-123", fill=fill)
+        assert blob[SCHEMA_KEY] == WORKER_TELEMETRY_SCHEMA
+        assert validate_record(blob) == []
+        assert blob["worker"] == "fork-123"
+        assert blob["metrics"]["counters"]["memo.encodes"] == 3
+        assert any(e["name"] == "memo.record" for e in blob["events"])
+
+    def test_ring_capacity_bounds_shipped_events(self):
+        spec = TelemetrySpec(ring_capacity=4)
+        collector = spec.collector("w")
+        for index in range(10):
+            collector.observer.event(f"e{index}")
+        blob = collector.blob("job", 1)
+        assert len(blob["events"]) == 4
+        assert blob["spans_dropped"] == 6
+
+
+class TestMerge:
+    def test_merge_order_is_deterministic(self):
+        """Completion order must not leak into the merged registry."""
+
+        def fill_a(obs):
+            obs.gauge("sim.cycles", 100)
+
+        def fill_b(obs):
+            obs.gauge("sim.cycles", 200)
+
+        blobs = [blob_for("w2", job_key="job-b", fill=fill_b),
+                 blob_for("w1", job_key="job-a", fill=fill_a)]
+        first = make_observer()
+        merge_telemetry(first, blobs)
+        second = make_observer()
+        merge_telemetry(second, list(reversed(blobs)))
+        assert first.registry.as_dict() == second.registry.as_dict()
+        assert first.metrics_jsonl() == second.metrics_jsonl()
+
+    def test_counters_sum_gauges_and_series_namespaced(self):
+        def fill(obs):
+            obs.counter("memo.encodes", 5)
+            obs.gauge("sim.cycles", 321)
+            obs.registry.sampled("memo.hit_ratio").append(256, 0.5)
+
+        obs = make_observer()
+        merge_telemetry(obs, [blob_for("w1", job_key="job-a", fill=fill),
+                              blob_for("w2", job_key="job-b", fill=fill)])
+        registry = obs.registry
+        assert registry.counters["memo.encodes"].value == 10
+        assert registry.gauges["sim.cycles@job-a"].value == 321
+        assert registry.gauges["sim.cycles@job-b"].value == 321
+        assert registry.series["memo.hit_ratio@job-a"].last() == (256, 0.5)
+        assert registry.counters["obs.worker_blobs_merged"].value == 2
+
+    def test_histograms_merge_bucketwise(self):
+        def fill(obs):
+            for value in (1, 5, 500):
+                obs.observe("memo.chain_len", value, bounds=(10, 100))
+
+        obs = make_observer()
+        merge_telemetry(obs, [blob_for("w1", fill=fill),
+                              blob_for("w2", job_key="job-b", fill=fill)])
+        histogram = obs.registry.histograms["memo.chain_len"]
+        assert histogram.count == 6
+        assert histogram.counts == [4, 0, 2]  # <=10, <=100, overflow
+        assert histogram.minimum == 1 and histogram.maximum == 500
+
+    def test_histogram_bounds_mismatch_is_counted_not_merged(self):
+        def fill_narrow(obs):
+            obs.observe("memo.chain_len", 1, bounds=(10,))
+
+        def fill_wide(obs):
+            obs.observe("memo.chain_len", 1, bounds=(10, 100))
+
+        obs = make_observer()
+        merge_telemetry(obs, [blob_for("w1", fill=fill_narrow),
+                              blob_for("w2", job_key="job-b",
+                                       fill=fill_wide)])
+        mismatches = obs.registry.counters["obs.merge_histogram_mismatch"]
+        assert mismatches.value == 1
+
+    def test_events_reemitted_with_lane(self):
+        def fill(obs):
+            with obs.span("memo.record", cat="memo"):
+                pass
+
+        obs = make_observer()
+        merge_telemetry(obs, [blob_for("fork-9", fill=fill)])
+        lanes = {event.lane for event in obs.trace_events()
+                 if event.name == "memo.record"}
+        assert lanes == {"fork-9"}
+
+    def test_empty_and_junk_blobs_are_ignored(self):
+        obs = make_observer()
+        assert merge_telemetry(obs, []) == 0
+        assert merge_telemetry(obs, [None, "junk"]) == 0
+        assert "obs.worker_blobs_merged" not in obs.registry.counters
