@@ -249,6 +249,9 @@ def submit_campaign(
     turbo: bool = True,
     turbo_threshold: Optional[int] = None,
     backend: Union[str, ExecutorBackend, None] = None,
+    journal: Optional[str] = None,
+    resume: Optional[str] = None,
+    hang_after: Optional[float] = None,
 ) -> CampaignHandle:
     """Submit a campaign for background execution; returns a handle.
 
@@ -266,7 +269,11 @@ def submit_campaign(
     submit-then-await. *backend* picks the executor backend (``fork``,
     ``subprocess``, ``queue`` — see docs/distributed.md);
     *shared_cache_dir* (with *cache_dir* as the local tier) warm-starts
-    through a two-tier read-through/write-back store.
+    through a two-tier read-through/write-back store. *journal* makes
+    the engine keep a durable crash journal at that path; *resume*
+    replays one, skipping jobs already completed (byte-identical merge
+    — see docs/robustness.md § Crash-safe campaigns); *hang_after*
+    (seconds) arms worker hang detection via heartbeats.
     """
     campaign = _build_campaign(
         workloads, simulators, scale, params, include_native, jobs,
@@ -284,6 +291,7 @@ def submit_campaign(
         workers=workers, cache_dir=cache_dir, timeout=timeout,
         retries=retries, sink=sink, obs=obs, backend=backend,
         shared_cache_dir=shared_cache_dir,
+        journal=journal, resume=resume, hang_after=hang_after,
     )
     return CampaignHandle(campaign, runner, counter, events)
 
@@ -309,6 +317,9 @@ def run_campaign(
     turbo: bool = True,
     turbo_threshold: Optional[int] = None,
     backend: Union[str, ExecutorBackend, None] = None,
+    journal: Optional[str] = None,
+    resume: Optional[str] = None,
+    hang_after: Optional[float] = None,
 ) -> CampaignResult:
     """Execute a simulation campaign; returns merged results.
 
@@ -341,6 +352,7 @@ def run_campaign(
         timeout=timeout, retries=retries, progress=progress, name=name,
         obs=obs, audit_every=audit_every, audit_seed=audit_seed,
         turbo=turbo, turbo_threshold=turbo_threshold, backend=backend,
+        journal=journal, resume=resume, hang_after=hang_after,
     )
     return handle.result()
 

@@ -22,7 +22,13 @@ object:
   a local tier reading through to a shared one), so repeated
   campaigns start warm on every placement;
 * :class:`ProgressSink` — one progress protocol (text / JSON-lines /
-  silent) shared with the suite runner.
+  silent) shared with the suite runner;
+* :class:`CampaignJournal` / :func:`read_journal` /
+  :func:`verify_resume` — the durable crash journal
+  (``repro.campaign/journal/v1``) behind
+  ``CampaignRunner(journal=... / resume=...)``: a killed run resumes
+  with completed jobs skipped and the merged payload byte-identical
+  to an uninterrupted run (see docs/robustness.md).
 
 See ``docs/campaign.md`` for the engine's semantics and the cache
 directory layout, and ``docs/distributed.md`` for the backend
@@ -38,9 +44,12 @@ from repro.campaign.backends import (
 )
 from repro.campaign.cachedir import (
     CacheStore,
+    CircuitBreaker,
     StoreSpec,
     TieredCacheStore,
     make_store,
+    reset_breakers,
+    shared_tier_breaker,
 )
 from repro.campaign.engine import (
     Campaign,
@@ -64,6 +73,14 @@ from repro.campaign.progress import (
     TextSink,
     make_sink,
 )
+from repro.campaign.supervise import (
+    CampaignJournal,
+    JournalReplay,
+    heartbeat_interval,
+    read_journal,
+    retry_delay,
+    verify_resume,
+)
 from repro.campaign.worker import execute_job, job_kinds, register_job_kind
 
 __all__ = [
@@ -82,6 +99,15 @@ __all__ = [
     "TieredCacheStore",
     "StoreSpec",
     "make_store",
+    "CircuitBreaker",
+    "shared_tier_breaker",
+    "reset_breakers",
+    "CampaignJournal",
+    "JournalReplay",
+    "read_journal",
+    "verify_resume",
+    "retry_delay",
+    "heartbeat_interval",
     "ExecutorBackend",
     "make_backend",
     "validate_backend",

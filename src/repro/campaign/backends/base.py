@@ -47,8 +47,11 @@ class Attempt:
     job: Job
     attempt: int  #: 1-based attempt number (retries increment it).
     #: Absolute ``time.monotonic()`` deadline, or None for no timeout.
-    #: Backends without preemption (``queue``) ignore it — documented
-    #: in docs/distributed.md's capability matrix.
+    #: Process-based backends enforce it preemptively (terminate /
+    #: kill); the ``queue`` backend enforces it cooperatively —
+    #: expired queued attempts are failed without running, expired
+    #: running attempts are abandoned and their worker replaced (see
+    #: docs/distributed.md's capability matrix).
     deadline: Optional[float] = None
 
 
@@ -63,6 +66,11 @@ class AttemptOutcome:
     #: Infrastructure failure description (worker crash, timeout) when
     #: ``result`` is None; the engine retries these.
     failure: Optional[str] = None
+    #: Classification of an infrastructure failure: ``"crash"`` /
+    #: ``"timeout"`` / ``"hang"``. Crashes feed the engine's
+    #: poison-job quarantine; the distinction also keeps hang
+    #: detection separate from deadline expiry in events and metrics.
+    failure_kind: Optional[str] = None
     #: Host-side identity of the worker that ran the attempt (pid,
     #: thread label) — progress-event colour, never canonical.
     worker: Optional[object] = None
@@ -89,6 +97,11 @@ class BackendContext:
     #: zero-overhead contract: backends test this once per submit and
     #: put nothing in the envelope when it is None.
     telemetry: object = None
+    #: Supervisor hang budget (seconds): a worker silent for longer —
+    #: no heartbeat on its result channel (fork/subprocess), no
+    #: completion since dispatch (queue) — is presumed hung and
+    #: replaced. None disables hang detection (the default).
+    hang_after: Optional[float] = None
 
 
 class ExecutorBackend:

@@ -11,7 +11,13 @@ disk in the shared cache store, not in worker memory, so it survives
 worker recycling and entire campaigns.
 
 Capabilities: process isolation, hard timeout enforcement (terminate),
-crash retry, plan/kind inheritance. See docs/distributed.md.
+crash retry, plan/kind inheritance, heartbeat hang detection. When the
+engine sets a ``hang_after`` budget, each child interleaves
+:data:`~repro.campaign.supervise.HEARTBEAT` sentinels with its result
+on the same pipe; a child silent for longer than the budget is
+presumed wedged (not merely slow — a slow child still beats) and is
+terminated with a ``worker hung`` failure, distinct from deadline
+expiry. See docs/distributed.md and docs/robustness.md.
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ from repro.campaign.backends.base import (
     BackendContext,
     ExecutorBackend,
 )
+from repro.campaign.supervise import Heartbeat, heartbeat_interval
 from repro.campaign.worker import child_main
 
 
@@ -38,6 +45,9 @@ class _Slot:
     attempt: Attempt
     process: multiprocessing.Process
     connection: object
+    #: Monotonic time of the last liveness signal (submit, or the most
+    #: recent heartbeat drained from the pipe).
+    last_beat: float = 0.0
 
 
 class ForkBackend(ExecutorBackend):
@@ -49,7 +59,7 @@ class ForkBackend(ExecutorBackend):
         self._context: Optional[BackendContext] = None
         self._slots: List[_Slot] = []
         self._counters: Dict[str, int] = {"forks": 0, "crashes": 0,
-                                          "timeouts": 0}
+                                          "timeouts": 0, "hangs": 0}
 
     def start(self, context: BackendContext) -> None:
         self._context = context
@@ -75,13 +85,16 @@ class ForkBackend(ExecutorBackend):
         process = self._mp.Process(
             target=child_main,
             args=(sender, attempt.job, self._context.store_spec,
-                  self._context.telemetry, attempt.attempt),
+                  self._context.telemetry, attempt.attempt,
+                  heartbeat_interval(self._context.hang_after)),
         )
         process.start()
         sender.close()
         self._counters["forks"] += 1
-        self._slots.append(_Slot(attempt=attempt, process=process,
-                                 connection=receiver))
+        self._slots.append(_Slot(
+            attempt=attempt, process=process, connection=receiver,
+            last_beat=time.monotonic(),  # repro-lint: disable=det/time-dependent
+        ))
 
     def wait(self, timeout: Optional[float]) -> None:
         if self._slots:
@@ -96,33 +109,54 @@ class ForkBackend(ExecutorBackend):
 
     def reap(self, now: float) -> List[AttemptOutcome]:
         outcomes: List[AttemptOutcome] = []
+        hang_after = self._context.hang_after
         for slot in list(self._slots):
             result = None
             failure = None
+            kind = None
             deadline = slot.attempt.deadline
-            if slot.connection.poll():
+            # Drain heartbeats interleaved ahead of the result on the
+            # same pipe; each one refreshes the slot's liveness clock.
+            while result is None and failure is None \
+                    and slot.connection.poll():
                 try:
-                    result = slot.connection.recv()
+                    payload = slot.connection.recv()
                 except (EOFError, OSError):
                     failure = "worker died mid-result"
+                    kind = "crash"
                     self._counters["crashes"] += 1
-            elif not slot.process.is_alive():
-                code = slot.process.exitcode
-                failure = f"worker crashed (exit code {code})"
-                self._counters["crashes"] += 1
-            elif deadline is not None and now >= deadline:
-                slot.process.terminate()
-                self._counters["timeouts"] += 1
-                failure = f"timed out after {self._context.timeout}s"
-            else:
-                continue  # still running
+                    break
+                if isinstance(payload, Heartbeat):
+                    slot.last_beat = now
+                    continue
+                result = payload
+            if result is None and failure is None:
+                if not slot.process.is_alive():
+                    code = slot.process.exitcode
+                    failure = f"worker crashed (exit code {code})"
+                    kind = "crash"
+                    self._counters["crashes"] += 1
+                elif deadline is not None and now >= deadline:
+                    slot.process.terminate()
+                    self._counters["timeouts"] += 1
+                    failure = f"timed out after {self._context.timeout}s"
+                    kind = "timeout"
+                elif (hang_after is not None
+                        and now - slot.last_beat >= hang_after):
+                    slot.process.terminate()
+                    self._counters["hangs"] += 1
+                    failure = (f"worker hung (no heartbeat for "
+                               f"{hang_after}s)")
+                    kind = "hang"
+                else:
+                    continue  # still running
 
             self._slots.remove(slot)
             slot.process.join()
             slot.connection.close()
             outcomes.append(AttemptOutcome(
                 attempt=slot.attempt, result=result, failure=failure,
-                worker=slot.process.pid,
+                failure_kind=kind, worker=slot.process.pid,
             ))
         return outcomes
 

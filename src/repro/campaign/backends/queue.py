@@ -14,12 +14,26 @@ counter make theft visible).
 Running in-process buys zero serialization and zero spawn cost, and
 makes the backend the natural host for future same-address-space
 executors; the costs are the GIL (threads interleave rather than
-parallelise pure-Python simulation) and no preemption — deadlines are
-ignored (no thread kill in CPython) and a crash-style ``os._exit``
-would take the whole campaign with it, which is why chaos drills
-refuse this backend for the crash injection. Deterministic failures
-are unaffected: :func:`~repro.campaign.worker.execute_job` never
-raises, so every attempt produces exactly one outcome.
+parallelise pure-Python simulation) and no *hard* preemption — there
+is no thread kill in CPython, and a crash-style ``os._exit`` would
+take the whole campaign with it, which is why chaos drills refuse
+this backend for the crash injection. Deterministic failures are
+unaffected: :func:`~repro.campaign.worker.execute_job` never raises,
+so every attempt produces exactly one outcome.
+
+Deadlines are enforced **cooperatively**: the worker loop checks each
+attempt's deadline before starting it (an attempt that expired while
+queued fails without running), and the engine-driven :meth:`reap`
+sweep abandons a *running* attempt whose deadline has passed — the
+timed-out outcome is reported immediately, the stuck thread's
+eventual result is discarded, and a replacement worker thread takes
+over the lane. The same sweep implements hang detection when the
+supervisor's ``hang_after`` budget is set: with no heartbeat channel
+out of a thread, "no completion since dispatch" is the (coarse)
+liveness signal, so only set ``hang_after`` comfortably above the
+longest legitimate job. Abandoned threads are daemons; they exit on
+completion and can never report a stale outcome (a per-dispatch token
+invalidates them).
 
 The byte-identity invariant holds because each attempt builds its own
 simulator over its own store handle and the engine merges by campaign
@@ -31,7 +45,8 @@ from __future__ import annotations
 
 import collections
 import threading
-from typing import Deque, Dict, List, Optional
+import time
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.campaign.backends.base import (
     Attempt,
@@ -62,7 +77,16 @@ class QueueBackend(ExecutorBackend):
         self._active = 0
         self._stopping = False
         self._deal_cursor = 0
-        self._counters: Dict[str, int] = {"dispatches": 0, "steals": 0}
+        #: worker index -> (attempt, started, token) while executing.
+        self._running: Dict[int, Tuple[Attempt, float, int]] = {}
+        #: Dispatch tokens whose outcome the supervisor already
+        #: reported (deadline/hang); the owning thread discards its
+        #: result and exits when it sees its token here.
+        self._abandoned: set = set()
+        self._token = 0
+        self._counters: Dict[str, int] = {"dispatches": 0, "steals": 0,
+                                          "timeouts": 0, "hangs": 0,
+                                          "abandoned": 0}
 
     # -- worker threads -------------------------------------------------
 
@@ -99,6 +123,17 @@ class QueueBackend(ExecutorBackend):
                     attempt = self._take(mine)
                 if attempt is None:
                     return
+                now = time.monotonic()  # repro-lint: disable=det/time-dependent
+                if (attempt.deadline is not None
+                        and now >= attempt.deadline):
+                    # Cooperative deadline check in the worker loop:
+                    # the attempt expired while queued, so fail it
+                    # without running it.
+                    self._fail_locked(attempt, mine, "timeout")
+                    continue
+                self._token += 1
+                token = self._token
+                self._running[mine] = (attempt, now, token)
             # execute_attempt never raises; exceptions become failed
             # JobResults (deterministic failures, not retried). Each
             # attempt builds its own store handle (and, when observed,
@@ -109,6 +144,14 @@ class QueueBackend(ExecutorBackend):
                 worker=f"queue-{mine}", attempt=attempt.attempt,
             )
             with self._lock:
+                if token in self._abandoned:
+                    # The supervisor timed this attempt out (or called
+                    # it hung) and already reported the outcome and
+                    # replaced this lane; the stale result must not
+                    # surface twice.
+                    self._abandoned.discard(token)
+                    return
+                self._running.pop(mine, None)
                 self._active -= 1
                 self._completed.append(AttemptOutcome(
                     attempt=attempt, result=result,
@@ -116,18 +159,41 @@ class QueueBackend(ExecutorBackend):
                 ))
                 self._done.notify_all()
 
+    def _fail_locked(self, attempt: Attempt, mine: int,
+                     kind: str) -> None:
+        """Report an infra failure for *attempt* (lock held)."""
+        if kind == "timeout":
+            failure = f"timed out after {self._context.timeout}s"
+        else:
+            failure = (f"worker hung (no progress for "
+                       f"{self._context.hang_after}s)")
+        self._counters["timeouts" if kind == "timeout" else "hangs"] += 1
+        self._active -= 1
+        self._completed.append(AttemptOutcome(
+            attempt=attempt, failure=failure, failure_kind=kind,
+            worker=f"queue-{mine}",
+        ))
+        self._done.notify_all()
+
     # -- ExecutorBackend ------------------------------------------------
 
     def start(self, context: BackendContext) -> None:
         self._context = context
         for index in range(context.workers):
             self._deques.append(collections.deque())
-            thread = threading.Thread(
-                target=self._worker, args=(index,),
-                name=f"campaign-queue-{index}", daemon=True,
-            )
+            self._spawn(index)
+
+    def _spawn(self, index: int) -> None:
+        """(Re)start the worker thread owning lane *index*."""
+        thread = threading.Thread(
+            target=self._worker, args=(index,),
+            name=f"campaign-queue-{index}", daemon=True,
+        )
+        if index < len(self._threads):
+            self._threads[index] = thread
+        else:
             self._threads.append(thread)
-            thread.start()
+        thread.start()
 
     def capacity(self) -> int:
         return self.UNBOUNDED
@@ -153,9 +219,44 @@ class QueueBackend(ExecutorBackend):
                 self._done.wait(timeout)
 
     def reap(self, now: float) -> List[AttemptOutcome]:
-        # No preemption: Attempt.deadline is deliberately ignored (see
-        # the module docstring and docs/distributed.md).
         with self._lock:
+            hang_after = self._context.hang_after
+            # Cooperative deadlines, queued half: attempts that expired
+            # while waiting in a deque fail without ever running.
+            for mine, deque in enumerate(self._deques):
+                if not deque:
+                    continue
+                expired = [attempt for attempt in deque
+                           if attempt.deadline is not None
+                           and now >= attempt.deadline]
+                if not expired:
+                    continue
+                keep = [attempt for attempt in deque
+                        if attempt not in expired]
+                deque.clear()
+                deque.extend(keep)
+                for attempt in expired:
+                    self._fail_locked(attempt, mine, "timeout")
+            # Running half: abandon a worker past its attempt's
+            # deadline (or silent past the hang budget), report the
+            # failure now, and hand the lane to a fresh thread. The
+            # stuck thread's eventual result dies on its token.
+            for mine in list(self._running):
+                attempt, started, token = self._running[mine]
+                kind = None
+                if (attempt.deadline is not None
+                        and now >= attempt.deadline):
+                    kind = "timeout"
+                elif (hang_after is not None
+                        and now - started >= hang_after):
+                    kind = "hang"
+                if kind is None:
+                    continue
+                del self._running[mine]
+                self._abandoned.add(token)
+                self._counters["abandoned"] += 1
+                self._fail_locked(attempt, mine, kind)
+                self._spawn(mine)
             outcomes = self._completed
             self._completed = []
         return outcomes

@@ -24,15 +24,21 @@ kinds; the installed fault plan IS shipped, in the envelope. See
 docs/distributed.md for the full capability matrix.
 
 Wire format: 4-byte big-endian length + pickle, both directions.
-Request (protocol v2): ``{"v": 2, "job": Job, "store": StoreSpec,
+Request (protocol v3): ``{"v": 3, "job": Job, "store": StoreSpec,
 "plan": FaultPlan|None, "telemetry": TelemetrySpec|None, "attempt":
-int}``. ``telemetry`` (present and non-None only when the parent
-observer is live — the zero-overhead contract) makes the worker
-collect its own deep telemetry and attach the blob to the response.
-Response: a :class:`~repro.campaign.jobs.JobResult` (with
-``.telemetry`` set when collection was requested). Parent and worker
-always ship together, so the version key is a debugging aid, not a
-negotiation.
+int, "heartbeat": float|None}``. ``telemetry`` (present and non-None
+only when the parent observer is live — the zero-overhead contract)
+makes the worker collect its own deep telemetry and attach the blob
+to the response. ``heartbeat`` (v3; set when the engine supervises
+with ``hang_after``) makes the worker interleave
+:class:`~repro.campaign.supervise.Heartbeat` frames with the result
+at that period, so the parent can tell a *hung* worker — silent
+beyond the budget, killed with a ``worker hung`` failure — from a
+slow one, distinctly from deadline expiry. Response: a
+:class:`~repro.campaign.jobs.JobResult` (with ``.telemetry`` set when
+collection was requested), possibly preceded by heartbeat frames.
+Parent and worker always ship together, so the version key is a
+debugging aid, not a negotiation.
 """
 
 from __future__ import annotations
@@ -53,10 +59,12 @@ from repro.campaign.backends.base import (
     BackendContext,
     ExecutorBackend,
 )
+from repro.campaign.supervise import Heartbeat, heartbeat_interval
 from repro.guard import faults
 
-#: Envelope protocol version (v2 added telemetry + attempt keys).
-PROTOCOL_VERSION = 2
+#: Envelope protocol version (v2 added telemetry + attempt keys; v3
+#: added the heartbeat key and heartbeat response frames).
+PROTOCOL_VERSION = 3
 
 #: struct format of the frame-length prefix.
 LENGTH_PREFIX = ">I"
@@ -95,6 +103,9 @@ class _Worker:
 
     process: subprocess.Popen
     attempt: Optional[Attempt] = None
+    #: Monotonic time of the last liveness signal (dispatch, or the
+    #: most recent heartbeat frame).
+    last_beat: float = 0.0
 
     @property
     def idle(self) -> bool:
@@ -111,7 +122,7 @@ class SubprocessBackend(ExecutorBackend):
         self._workers: List[_Worker] = []
         self._counters: Dict[str, int] = {
             "spawns": 0, "respawns": 0, "dispatches": 0,
-            "crashes": 0, "timeouts": 0,
+            "crashes": 0, "timeouts": 0, "hangs": 0,
         }
 
     # -- worker lifecycle ----------------------------------------------
@@ -173,8 +184,10 @@ class SubprocessBackend(ExecutorBackend):
             "plan": faults.active_plan(),
             "telemetry": self._context.telemetry,
             "attempt": attempt.attempt,
+            "heartbeat": heartbeat_interval(self._context.hang_after),
         }
         worker.attempt = attempt
+        worker.last_beat = time.monotonic()  # repro-lint: disable=det/time-dependent
         self._counters["dispatches"] += 1
         try:
             write_frame(worker.process.stdin, envelope)
@@ -220,7 +233,9 @@ class SubprocessBackend(ExecutorBackend):
             deadline = attempt.deadline
             if pid in ready:
                 # The worker is writing (or died); a blocking framed
-                # read either completes quickly or hits EOF.
+                # read either completes quickly or hits EOF. A
+                # heartbeat frame just refreshes the liveness clock —
+                # the result follows on a later reap.
                 try:
                     result = read_frame(worker.process.stdout)
                 except (EOFError, OSError, pickle.UnpicklingError):
@@ -230,8 +245,11 @@ class SubprocessBackend(ExecutorBackend):
                     outcomes.append(AttemptOutcome(
                         attempt=attempt,
                         failure=f"worker crashed (exit code {code})",
-                        worker=pid,
+                        failure_kind="crash", worker=pid,
                     ))
+                    continue
+                if isinstance(result, Heartbeat):
+                    worker.last_beat = now
                     continue
                 worker.attempt = None
                 outcomes.append(AttemptOutcome(
@@ -244,7 +262,7 @@ class SubprocessBackend(ExecutorBackend):
                 outcomes.append(AttemptOutcome(
                     attempt=attempt,
                     failure=f"worker crashed (exit code {code})",
-                    worker=pid,
+                    failure_kind="crash", worker=pid,
                 ))
             elif deadline is not None and now >= deadline:
                 self._counters["timeouts"] += 1
@@ -253,7 +271,18 @@ class SubprocessBackend(ExecutorBackend):
                     attempt=attempt,
                     failure=("timed out after "
                              f"{self._context.timeout}s"),
-                    worker=pid,
+                    failure_kind="timeout", worker=pid,
+                ))
+            elif (self._context.hang_after is not None
+                    and now - worker.last_beat
+                    >= self._context.hang_after):
+                self._counters["hangs"] += 1
+                self._retire(worker, kill=True)
+                outcomes.append(AttemptOutcome(
+                    attempt=attempt,
+                    failure=(f"worker hung (no heartbeat for "
+                             f"{self._context.hang_after}s)"),
+                    failure_kind="hang", worker=pid,
                 ))
         return outcomes
 

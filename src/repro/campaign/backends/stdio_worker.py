@@ -16,12 +16,22 @@ drills) is installed before the job runs — spawn isolation means
 nothing is inherited, so everything arrives in the envelope — and an
 installed plan's crash injection may ``os._exit`` this process, which
 the parent observes as a dead pipe and retries.
+
+When an envelope carries a ``heartbeat`` interval (protocol v3; set
+when the engine supervises with ``hang_after``), a daemon thread
+interleaves :data:`~repro.campaign.supervise.HEARTBEAT` frames with
+the result on the protocol stream — under a shared write lock, so a
+beat can never corrupt the result frame. The thread consults
+:func:`~repro.guard.faults.hang_active` so an injected hang silences
+the beats too (otherwise a wedged job with a healthy beat thread would
+look alive forever).
 """
 
 from __future__ import annotations
 
 import os
 import sys
+import threading
 
 
 def main() -> int:
@@ -34,8 +44,21 @@ def main() -> int:
 
     from repro.campaign.backends.stdio import read_frame, write_frame
     from repro.campaign.jobs import JobResult
+    from repro.campaign.supervise import HEARTBEAT
     from repro.campaign.worker import execute_attempt
     from repro.guard import faults
+
+    write_lock = threading.Lock()
+
+    def _beat(interval: float, stop: threading.Event) -> None:
+        while not stop.wait(interval):
+            if faults.hang_active():
+                continue  # an injected hang must look hung
+            try:
+                with write_lock:
+                    write_frame(protocol_out, HEARTBEAT)
+            except (OSError, ValueError):  # parent gone; job thread
+                return  # will hit the same wall on its result frame
 
     while True:
         try:
@@ -48,6 +71,13 @@ def main() -> int:
             faults.install_plan(plan)
         else:
             faults.clear_plan()
+        interval = envelope.get("heartbeat")
+        stop = threading.Event()
+        beater = None
+        if interval is not None:
+            beater = threading.Thread(target=_beat,
+                                      args=(interval, stop), daemon=True)
+            beater.start()
         try:
             # Protocol v2 keys; absent on a v1 parent, and None unless
             # the parent observer is live (the zero-overhead contract).
@@ -63,7 +93,18 @@ def main() -> int:
                 job=job, status="failed",
                 error=f"worker error: {type(exc).__name__}: {exc}",
             )
-        write_frame(protocol_out, result)
+        finally:
+            stop.set()
+            if beater is not None:
+                beater.join(timeout=1.0)
+        try:
+            with write_lock:
+                write_frame(protocol_out, result)
+        except BrokenPipeError:
+            # Parent died (e.g. the chaos drill SIGKILLs the engine
+            # mid-campaign). Nothing to report to and nobody reaping —
+            # exit quietly rather than tracebacking to stderr.
+            return 1
 
 
 if __name__ == "__main__":

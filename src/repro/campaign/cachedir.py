@@ -43,6 +43,20 @@ that span processes and, eventually, hosts (docs/distributed.md).
 Corruption in either tier quarantines in that tier and falls back to
 the next one (or to a cold run); the canonical output is byte-identical
 regardless, which ``fastsim-repro chaos --tiered`` drills end-to-end.
+
+The shared tier additionally sits behind a **circuit breaker**
+(:class:`CircuitBreaker`): a storage outage (NFS server gone, mount
+wedged) would otherwise charge every job a fresh round of I/O errors.
+After ``threshold`` consecutive shared-tier failures the breaker
+opens — shared operations short-circuit to a miss, the campaign
+degrades to local-only caching, and a ``cache-breaker-open`` WARNING
+progress event plus ``cache.breaker_*`` counters record the
+degradation. After ``cooldown`` seconds one half-open probe is let
+through; success closes the breaker again. Breaker state is
+process-wide per shared root (module registry), so it persists across
+the per-attempt store instances built from :class:`StoreSpec` —
+exactly what the persistent ``subprocess`` workers and the ``queue``
+backend's threads need (see docs/robustness.md).
 """
 
 from __future__ import annotations
@@ -50,8 +64,9 @@ from __future__ import annotations
 import itertools
 import os
 import threading
+import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Union
 
 from repro.errors import MemoizationError
 from repro.memo.pcache import PActionCache
@@ -65,6 +80,96 @@ QUARANTINE_SUFFIX = ".bad"
 #: Process-wide monotonic counter making temp names unique per writer
 #: even when one process writes from many threads (the queue backend).
 _TEMP_SEQUENCE = itertools.count()
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker (closed → open → half-open).
+
+    Thread-safe; shared by every store instance pointing at one shared
+    root (see :func:`shared_tier_breaker`). ``allow`` gates an
+    operation, ``record_success`` / ``record_failure`` report how it
+    went. While open, all calls are refused until *cooldown* seconds
+    have passed, then exactly one probe is admitted at a time
+    (half-open): its success closes the breaker, its failure re-opens
+    it for another cooldown.
+    """
+
+    def __init__(self, threshold: int = 3, cooldown: float = 5.0):
+        if threshold < 1:
+            raise ValueError("breaker threshold must be >= 1")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._state = "closed"
+        self._opened_at = 0.0
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self, now: float) -> bool:
+        """Whether an operation may proceed at time *now*."""
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if (self._state == "open"
+                    and now - self._opened_at >= self.cooldown):
+                self._state = "half-open"
+                self._probing = True
+                return True
+            if self._state == "half-open" and not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> bool:
+        """Report success; True when this closed an open breaker."""
+        with self._lock:
+            self._failures = 0
+            self._probing = False
+            if self._state != "closed":
+                self._state = "closed"
+                return True
+            return False
+
+    def record_failure(self, now: float) -> bool:
+        """Report a failure; True when this *opened* the breaker."""
+        with self._lock:
+            self._failures += 1
+            self._probing = False
+            if (self._state == "half-open"
+                    or self._failures >= self.threshold):
+                newly = self._state != "open"
+                self._state = "open"
+                self._opened_at = now
+                return newly
+            return False
+
+
+#: Process-wide breaker per shared-tier root: campaign attempts build
+#: short-lived store instances from a StoreSpec, but outage state must
+#: outlive them or the breaker would never accumulate failures.
+_BREAKERS: Dict[str, CircuitBreaker] = {}
+_BREAKERS_LOCK = threading.Lock()
+
+
+def shared_tier_breaker(root: Union[str, "os.PathLike"]) -> CircuitBreaker:
+    """The process-wide breaker guarding the shared tier at *root*."""
+    key = os.path.abspath(os.fspath(root))
+    with _BREAKERS_LOCK:
+        breaker = _BREAKERS.get(key)
+        if breaker is None:
+            breaker = _BREAKERS[key] = CircuitBreaker()
+        return breaker
+
+
+def reset_breakers() -> None:
+    """Forget all breaker state (tests and fresh chaos drills)."""
+    with _BREAKERS_LOCK:
+        _BREAKERS.clear()
 
 
 class CacheStore:
@@ -221,6 +326,16 @@ class TieredCacheStore:
     ``cache_tier``) and in obs counters (``cache.tier_local_hits``,
     ``cache.tier_shared_hits``, ``cache.tier_misses``,
     ``cache.tier_promotions``, ``cache.tier_writebacks``).
+
+    Every shared-tier operation goes through the process-wide
+    :class:`CircuitBreaker` for the shared root (plus the shared-tier
+    outage fault injector when a plan is armed): I/O failures count
+    toward opening it, and while it is open shared reads degrade to
+    misses and write-backs are skipped — the local tier and the
+    byte-identical merged output are unaffected. Breaker traffic is
+    counted in ``tier_stats`` (``breaker_failures`` /
+    ``breaker_short_circuits`` / ``breaker_opened``) and
+    ``cache.breaker_*`` obs counters.
     """
 
     def __init__(self, local: Union[str, "os.PathLike", CacheStore],
@@ -232,15 +347,64 @@ class TieredCacheStore:
                       else CacheStore(local, obs=obs, sink=sink))
         self.shared = (shared if isinstance(shared, CacheStore)
                        else CacheStore(shared, obs=obs, sink=sink))
+        self.breaker = shared_tier_breaker(self.shared.root)
         self.tier_stats: Dict[str, int] = {
             "local_hits": 0, "shared_hits": 0, "misses": 0,
             "promotions": 0, "writebacks": 0,
+            "breaker_failures": 0, "breaker_short_circuits": 0,
+            "breaker_opened": 0,
         }
 
     def _count(self, stat: str) -> None:
         self.tier_stats[stat] += 1
         if self.obs.enabled:
             self.obs.counter(f"cache.tier_{stat}")
+
+    def _count_breaker(self, stat: str) -> None:
+        self.tier_stats[f"breaker_{stat}"] += 1
+        if self.obs.enabled:
+            self.obs.counter(f"cache.breaker_{stat}")
+
+    def _shared_call(self, func: Callable[[], object], default=None):
+        """Run one shared-tier operation behind the circuit breaker.
+
+        Injected outages (``FaultPlan.shared_outage_after``) and real
+        I/O errors both count as failures; either way the caller gets
+        *default* back and the campaign carries on local-only. Note
+        that errors *inside* ``CacheStore.load`` are already absorbed
+        by quarantine — the breaker sees raw byte transfer and
+        existence checks, plus everything the fault injector raises.
+        """
+        now = time.monotonic()  # repro-lint: disable=det/time-dependent
+        if not self.breaker.allow(now):
+            self._count_breaker("short_circuits")
+            return default
+        try:
+            from repro.guard import faults
+
+            plan = faults.active_plan()
+            if plan is not None:
+                faults.maybe_shared_outage(plan)
+            value = func()
+        except OSError as exc:
+            self._count_breaker("failures")
+            if self.breaker.record_failure(now):
+                self._count_breaker("opened")
+                if self.obs.enabled:
+                    self.obs.event("cache.breaker-open", cat="cache",
+                                   error=str(exc))
+                if self.sink is not None:
+                    self.sink.emit(
+                        "cache-breaker-open", tier="shared",
+                        error=str(exc),
+                        cooldown_seconds=self.breaker.cooldown)
+            return default
+        if self.breaker.record_success():
+            if self.obs.enabled:
+                self.obs.event("cache.breaker-closed", cat="cache")
+            if self.sink is not None:
+                self.sink.emit("cache-breaker-closed", tier="shared")
+        return value
 
     @property
     def root(self) -> str:
@@ -267,10 +431,11 @@ class TieredCacheStore:
         if cache is not None:
             self._count("local_hits")
             return cache
-        cache = self.shared.load(signature)
+        cache = self._shared_call(lambda: self.shared.load(signature))
         if cache is not None:
             self._count("shared_hits")
-            data = self.shared.read_bytes(signature)
+            data = self._shared_call(
+                lambda: self.shared.read_bytes(signature))
             if data is not None:
                 self.local.write_bytes(signature, data)
                 self._count("promotions")
@@ -284,12 +449,20 @@ class TieredCacheStore:
         tier (skipped only when the local write itself was skipped and
         the shared tier already holds the binding)."""
         saved = self.local.store(signature, cache, known_nodes)
+        wrote = self._shared_call(
+            lambda: self._write_back(signature, saved), default=False)
+        if wrote:
+            self._count("writebacks")
+        return saved
+
+    def _write_back(self, signature: bytes, saved: bool) -> bool:
+        """The shared half of :meth:`store`; runs behind the breaker."""
         if saved or not self.shared.has(signature):
             data = self.local.read_bytes(signature)
             if data is not None:
                 self.shared.write_bytes(signature, data)
-                self._count("writebacks")
-        return saved
+                return True
+        return False
 
     def entries(self) -> List[str]:
         """Hex signatures reachable through either tier, sorted."""

@@ -39,6 +39,7 @@ entire campaigns, and placement changes.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -54,7 +55,16 @@ from repro.campaign.backends.base import Attempt
 from repro.campaign.cachedir import StoreSpec
 from repro.campaign.jobs import Job, JobResult
 from repro.campaign.progress import NullSink, ObsSink, ProgressSink, TeeSink
+from repro.campaign.supervise import (
+    CampaignJournal,
+    classify_failure,
+    read_journal,
+    retry_delay,
+    verify_resume,
+)
 from repro.campaign.worker import execute_job
+from repro.errors import PoisonedJobError
+from repro.guard import faults
 from repro.obs.core import ensure_observer
 from repro.obs.schema import CAMPAIGN_METRICS_SCHEMA, stamp
 from repro.obs.worker import TelemetrySpec, merge_telemetry
@@ -236,17 +246,48 @@ class CampaignRunner:
         obs=None,
         backend: Union[str, ExecutorBackend, None] = None,
         shared_cache_dir: Optional[str] = None,
+        journal: Optional[str] = None,
+        resume: Optional[str] = None,
+        hang_after: Optional[float] = None,
+        poison_threshold: int = 3,
     ):
         if workers < 0:
             raise ValueError("workers must be >= 0")
         if retries < 0:
             raise ValueError("retries must be >= 0")
+        if poison_threshold < 1:
+            raise ValueError("poison_threshold must be >= 1")
+        if hang_after is not None and hang_after <= 0:
+            raise ValueError("hang_after must be > 0")
+        if (journal is not None and resume is not None
+                and journal != resume):
+            raise ValueError(
+                "journal and resume must name the same file when both "
+                "are given (a resumed run keeps appending in place)")
         self.workers = workers
         self.store_spec = StoreSpec(cache_dir=cache_dir,
                                     shared_dir=shared_cache_dir)
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
+        #: Durable journal path (``--journal``); every submit/outcome
+        #: boundary appends a fsync'd record here. ``resume`` implies
+        #: journalling to the same file.
+        self.journal_path = journal if journal is not None else resume
+        #: Journal to replay before running (``--resume``): completed
+        #: jobs are verified against the campaign and skipped.
+        self.resume_path = resume
+        #: Supervisor hang budget (seconds): workers silent longer are
+        #: presumed hung and replaced; None disables (the default).
+        self.hang_after = hang_after
+        #: Worker crashes per job key before the job is quarantined as
+        #: poison (``status="poisoned"``) instead of retried further.
+        self.poison_threshold = poison_threshold
+        #: Jobs skipped via journal replay on the last :meth:`run`.
+        self.resumed = 0
+        self._journal: Optional[CampaignJournal] = None
+        self._crash_counts: Dict[str, int] = {}
+        self._durable_outcomes = 0
         self.obs = ensure_observer(obs)
         #: Backend override; None defers to ``Campaign.backend``.
         self.backend = backend
@@ -287,95 +328,191 @@ class CampaignRunner:
             raise CampaignCancelled()
 
     def run(self, campaign: Campaign) -> CampaignResult:
-        """Execute every job; merged results come back in job order."""
+        """Execute every job; merged results come back in job order.
+
+        With ``resume=`` set, the journal at that path is replayed
+        first: recorded job keys are verified against *campaign*
+        (:func:`~repro.campaign.supervise.verify_resume`), jobs with a
+        durable terminal outcome are skipped, and their recorded
+        results merge in place — byte-identical to an uninterrupted
+        run. With ``journal=`` set, every attempt and outcome boundary
+        appends a durable record for a later resume.
+        """
         backend_name = (self.backend if self.backend is not None
                         else campaign.backend)
         self._cancel.clear()
         self.backend_metrics = {}
         self._telemetry = []
-        self.sink.emit(
-            "campaign-start", name=campaign.name, jobs=len(campaign),
-            workers=self.workers, cache_dir=self.store_spec.cache_dir,
-            shared_cache_dir=self.store_spec.shared_dir,
-            backend=(backend_name if isinstance(backend_name, str)
-                     else backend_name.name),
-        )
-        started = time.monotonic()  # repro-lint: disable=det/time-dependent
-        with self.obs.span("campaign.run", cat="campaign",
-                           campaign=campaign.name, jobs=len(campaign),
-                           workers=self.workers):
-            if self.workers == 0:
-                results = self._run_inline(campaign)
-            else:
-                results = self._run_backend(campaign, backend_name)
-        if self._telemetry:
-            # Shipped worker blobs → one campaign-wide registry and a
-            # multi-lane trace, in deterministic (job_key, attempt)
-            # order — see repro.obs.worker. Never touches results.
-            with self.obs.span("campaign.merge_telemetry",
-                               cat="campaign",
-                               blobs=len(self._telemetry)):
-                merge_telemetry(self.obs, self._telemetry)
-            self._telemetry = []
-        wall = time.monotonic() - started  # repro-lint: disable=det/time-dependent
-        outcome = CampaignResult(
-            campaign=campaign, results=results, wall_seconds=wall,
-            workers=self.workers,
-            backend_metrics=dict(self.backend_metrics),
-        )
-        for result in outcome.results:
-            # One event per job in merge (campaign) order — the
-            # ordered completion feed handle.events() subscribers and
-            # SSE bridges consume.
+        self._crash_counts = {}
+        self._durable_outcomes = 0
+        resumed = self._load_resume(campaign)
+        self.resumed = len(resumed)
+        self._journal = (CampaignJournal(self.journal_path)
+                         if self.journal_path is not None else None)
+        try:
+            if self._journal is not None:
+                if self._journal.records_written == 0:
+                    self._journal.append(
+                        "campaign-open", name=campaign.name,
+                        backend=(backend_name
+                                 if isinstance(backend_name, str)
+                                 else backend_name.name),
+                        jobs=[job.key for job in campaign.jobs],
+                    )
+                else:
+                    self._journal.append("campaign-resume",
+                                         name=campaign.name,
+                                         skipped=len(resumed))
             self.sink.emit(
-                "job-merged", key=result.key, status=result.status,
-                attempts=result.attempts, worker=result.worker,
+                "campaign-start", name=campaign.name, jobs=len(campaign),
+                workers=self.workers, cache_dir=self.store_spec.cache_dir,
+                shared_cache_dir=self.store_spec.shared_dir,
+                backend=(backend_name if isinstance(backend_name, str)
+                         else backend_name.name),
             )
-        self.sink.emit(
-            "campaign-end", name=campaign.name, jobs=len(campaign),
-            failed=len(outcome.failed), wall_seconds=round(wall, 3),
-        )
-        return outcome
+            for index in sorted(resumed):
+                replayed = resumed[index]
+                self.sink.emit("job-resumed", key=replayed.key,
+                               status=replayed.status,
+                               attempt=replayed.attempts)
+            started = time.monotonic()  # repro-lint: disable=det/time-dependent
+            with self.obs.span("campaign.run", cat="campaign",
+                               campaign=campaign.name, jobs=len(campaign),
+                               workers=self.workers):
+                if self.workers == 0:
+                    results = self._run_inline(campaign, resumed)
+                else:
+                    results = self._run_backend(campaign, backend_name,
+                                                resumed)
+            if self._telemetry:
+                # Shipped worker blobs → one campaign-wide registry and a
+                # multi-lane trace, in deterministic (job_key, attempt)
+                # order — see repro.obs.worker. Never touches results.
+                with self.obs.span("campaign.merge_telemetry",
+                                   cat="campaign",
+                                   blobs=len(self._telemetry)):
+                    merge_telemetry(self.obs, self._telemetry)
+                self._telemetry = []
+            wall = time.monotonic() - started  # repro-lint: disable=det/time-dependent
+            outcome = CampaignResult(
+                campaign=campaign, results=results, wall_seconds=wall,
+                workers=self.workers,
+                backend_metrics=dict(self.backend_metrics),
+            )
+            for result in outcome.results:
+                # One event per job in merge (campaign) order — the
+                # ordered completion feed handle.events() subscribers and
+                # SSE bridges consume.
+                self.sink.emit(
+                    "job-merged", key=result.key, status=result.status,
+                    attempts=result.attempts, worker=result.worker,
+                )
+            self.sink.emit(
+                "campaign-end", name=campaign.name, jobs=len(campaign),
+                failed=len(outcome.failed), wall_seconds=round(wall, 3),
+            )
+            if self._journal is not None:
+                # Terminal record: distinguishes a run that *finished*
+                # (even cancelled — jobs not run are recorded as such)
+                # from a journal cut short by a crash.
+                self._journal.append(
+                    "campaign-cancelled" if self._cancel.is_set()
+                    else "campaign-end",
+                    name=campaign.name, failed=len(outcome.failed),
+                )
+            return outcome
+        finally:
+            if self._journal is not None:
+                self._journal.close()
+                self._journal = None
+
+    def _load_resume(self, campaign: Campaign) -> Dict[int, JobResult]:
+        """Replay + verify the resume journal; index → recorded result.
+
+        A missing or empty journal resumes as a fresh run (the crash
+        may have come before anything durable landed).
+        """
+        if self.resume_path is None or not os.path.exists(self.resume_path):
+            return {}
+        replay = read_journal(self.resume_path)
+        verify_resume(replay, campaign.name,
+                      [job.key for job in campaign.jobs])
+        return {
+            index: replay.outcomes[job.key]
+            for index, job in enumerate(campaign.jobs)
+            if job.key in replay.outcomes
+        }
+
+    def _journal_outcome(self, result: JobResult) -> None:
+        """Durably record one terminal job outcome.
+
+        Also drives the engine-kill chaos hook, which counts *durable*
+        outcomes — the kill always lands just after a record the resume
+        path can replay.
+        """
+        if self._journal is None:
+            return
+        self._journal.append("outcome", key=result.key,
+                             status=result.status,
+                             attempts=result.attempts, result=result)
+        self._durable_outcomes += 1
+        plan = faults.active_plan()
+        if plan is not None:
+            faults.maybe_kill_engine(self._durable_outcomes, plan)
 
     # -- serial in-process path -----------------------------------------
 
-    def _run_inline(self, campaign: Campaign) -> List[JobResult]:
+    def _run_inline(self, campaign: Campaign,
+                    resumed: Optional[Dict[int, JobResult]] = None,
+                    ) -> List[JobResult]:
+        resumed = resumed or {}
         store = self.store_spec.build(obs=self.obs, sink=self.sink)
         results = []
         for position, job in enumerate(campaign.jobs):
+            if position in resumed:
+                results.append(resumed[position])
+                continue
             if self._cancel.is_set():
                 results.extend(
-                    self._cancelled_result(late)
-                    for late in campaign.jobs[position:]
+                    resumed.get(late_position)
+                    or self._cancelled_result(campaign.jobs[late_position])
+                    for late_position in range(position, len(campaign))
                 )
                 self.sink.emit("campaign-cancelled", name=campaign.name,
                                remaining=len(campaign) - position)
                 break
             self.sink.emit("job-start", key=job.key, attempt=1)
+            if self._journal is not None:
+                self._journal.append("attempt", key=job.key, attempt=1)
             with self.obs.span("campaign.job", cat="campaign",
                                key=job.key):
                 outcome = execute_job(job, store, obs=self.obs)
             self._emit_outcome(outcome)
+            self._journal_outcome(outcome)
             results.append(outcome)
         return results
 
     # -- backend pool path ----------------------------------------------
 
-    def _run_backend(self, campaign: Campaign,
-                     backend_name) -> List[JobResult]:
+    def _run_backend(self, campaign: Campaign, backend_name,
+                     resumed: Optional[Dict[int, JobResult]] = None,
+                     ) -> List[JobResult]:
+        resumed = resumed or {}
         backend = make_backend(backend_name)
         backend.start(BackendContext(
             workers=self.workers, store_spec=self.store_spec,
             timeout=self.timeout, obs=self.obs, sink=self.sink,
             mp_context=self._mp,
             telemetry=TelemetrySpec.from_observer(self.obs),
+            hang_after=self.hang_after,
         ))
         pending: List[_Pending] = [
             _Pending(index=i, job=job)
             for i, job in enumerate(campaign.jobs)
+            if i not in resumed
         ]
         in_flight: Dict[int, Attempt] = {}
-        finished: Dict[int, JobResult] = {}
+        finished: Dict[int, JobResult] = dict(resumed)
         try:
             while pending or in_flight:
                 self._check_cancelled()
@@ -433,6 +570,9 @@ class CampaignRunner:
             in_flight[attempt.index] = attempt
             self.sink.emit("job-start", key=slot_item.job.key,
                            attempt=slot_item.attempt)
+            if self._journal is not None:
+                self._journal.append("attempt", key=slot_item.job.key,
+                                     attempt=slot_item.attempt)
 
     def _wait(self, backend: ExecutorBackend, pending: List[_Pending],
               in_flight: Dict[int, Attempt], now: float) -> None:
@@ -441,9 +581,18 @@ class CampaignRunner:
                   if attempt.deadline is not None]
         bounds.extend(item.ready_at for item in pending
                       if item.ready_at > now)
+        if self.hang_after is not None and in_flight:
+            # Wake at least twice per hang budget so the supervisor's
+            # reap sweep runs even when nothing else bounds the wait.
+            bounds.append(now + self.hang_after / 2.0)
         timeout = None
         if bounds:
             timeout = max(min(bounds) - now, 0.0)
+            if timeout == 0.0:
+                # A bound already passed; the next reap resolves it.
+                # The tiny floor keeps the loop from spinning in the
+                # window where it cannot.
+                timeout = 0.02
         if self._cancel.is_set():
             return
         backend.wait(timeout)
@@ -474,16 +623,37 @@ class CampaignRunner:
                     outcome.result.worker = label
                 self._emit_outcome(outcome.result, worker=outcome.worker)
                 finished[attempt.index] = outcome.result
+                self._journal_outcome(outcome.result)
                 continue
 
-            # Infrastructure failure: retry with backoff, else fail.
+            # Infrastructure failure: quarantine a poison job, else
+            # retry with jittered backoff, else fail.
             failure = outcome.failure or "worker lost"
+            kind = outcome.failure_kind or classify_failure(failure)
+            if kind == "crash":
+                key = attempt.job.key
+                crashes = self._crash_counts.get(key, 0) + 1
+                self._crash_counts[key] = crashes
+                if crashes >= self.poison_threshold:
+                    # A job that keeps killing workers is isolated
+                    # instead of burning the retry budget (and more
+                    # workers) on it; sibling jobs keep running.
+                    result = JobResult(
+                        job=attempt.job, status="poisoned",
+                        attempts=attempt.attempt,
+                        error=str(PoisonedJobError(key, crashes, failure)),
+                    )
+                    self._emit_outcome(result, worker=outcome.worker)
+                    finished[attempt.index] = result
+                    self._journal_outcome(result)
+                    continue
             if attempt.attempt <= self.retries:
-                delay = self.backoff * (2 ** (attempt.attempt - 1))
+                delay = retry_delay(self.backoff, attempt.job.key,
+                                    attempt.attempt)
                 self.sink.emit(
                     "job-retry", key=attempt.job.key,
                     attempt=attempt.attempt, error=failure,
-                    backoff_seconds=delay,
+                    backoff_seconds=round(delay, 4),
                 )
                 pending.append(_Pending(
                     index=attempt.index, job=attempt.job,
@@ -496,10 +666,16 @@ class CampaignRunner:
                 )
                 self._emit_outcome(result, worker=outcome.worker)
                 finished[attempt.index] = result
+                self._journal_outcome(result)
 
     def _emit_outcome(self, outcome: JobResult,
                       worker: Optional[object] = None) -> None:
-        kind = "job-ok" if outcome.ok else "job-failed"
+        if outcome.ok:
+            kind = "job-ok"
+        elif outcome.status == "poisoned":
+            kind = "job-poisoned"
+        else:
+            kind = "job-failed"
         fields = {
             "key": outcome.key,
             "attempt": outcome.attempts,
@@ -525,12 +701,16 @@ def run_jobs(
     name: str = "campaign",
     backend: str = "fork",
     shared_cache_dir: Optional[str] = None,
+    journal: Optional[str] = None,
+    resume: Optional[str] = None,
+    hang_after: Optional[float] = None,
 ) -> CampaignResult:
     """One-call convenience over Campaign + CampaignRunner."""
     runner = CampaignRunner(
         workers=workers, cache_dir=cache_dir, timeout=timeout,
         retries=retries, sink=sink,
         shared_cache_dir=shared_cache_dir,
+        journal=journal, resume=resume, hang_after=hang_after,
     )
     return runner.run(Campaign(jobs=tuple(jobs), name=name,
                                backend=backend))

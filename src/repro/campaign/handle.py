@@ -40,17 +40,18 @@ class ProgressCounter(ProgressSink):
     """Thread-safe job counters fed by campaign progress events.
 
     ``attempts`` counts ``job-start`` events (one per attempt, so
-    retries re-count); ``ok`` / ``failed`` / ``retries`` mirror the
-    outcome events. The counter is a regular sink so it composes with
-    Text/Jsonl/Obs sinks through
-    :class:`~repro.campaign.progress.TeeSink`.
+    retries re-count); ``ok`` / ``failed`` / ``poisoned`` / ``retries``
+    mirror the outcome events, and ``resumed`` counts jobs skipped via
+    journal replay (their recorded outcomes merge without re-running).
+    The counter is a regular sink so it composes with Text/Jsonl/Obs
+    sinks through :class:`~repro.campaign.progress.TeeSink`.
     """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counts: Dict[str, int] = {
             "jobs": 0, "attempts": 0, "ok": 0, "failed": 0,
-            "retries": 0,
+            "poisoned": 0, "retries": 0, "resumed": 0,
         }
 
     def emit(self, kind: str, **fields: object) -> None:
@@ -63,13 +64,18 @@ class ProgressCounter(ProgressSink):
                 self._counts["ok"] += 1
             elif kind == "job-failed":
                 self._counts["failed"] += 1
+            elif kind == "job-poisoned":
+                self._counts["poisoned"] += 1
             elif kind == "job-retry":
                 self._counts["retries"] += 1
+            elif kind == "job-resumed":
+                self._counts["resumed"] += 1
 
     def snapshot(self) -> Dict[str, int]:
         with self._lock:
             counts = dict(self._counts)
-        counts["finished"] = counts["ok"] + counts["failed"]
+        counts["finished"] = (counts["ok"] + counts["failed"]
+                              + counts["poisoned"] + counts["resumed"])
         return counts
 
 
@@ -206,7 +212,14 @@ class CampaignHandle:
 
     def cancel(self) -> None:
         """Ask the run to stop; jobs not yet finished are reported
-        ``status="cancelled"`` in the merged result. Idempotent."""
+        ``status="cancelled"`` in the merged result. Idempotent.
+
+        A cancelled run still terminates its streams properly: the
+        event stream closes after a final ``campaign-end`` record, and
+        when the runner journals (``journal=``/``resume=``) the journal
+        gets a terminal ``campaign-cancelled`` record — so neither a
+        subscriber nor a later resume can mistake cancellation for a
+        crash."""
         self._runner.cancel()
 
     def metrics(self) -> Dict[str, object]:

@@ -150,7 +150,7 @@ class JobResult:
     """Outcome of one job, including retry and timing metrics."""
 
     job: Job
-    status: str  #: "ok" | "failed" | "cancelled"
+    status: str  #: "ok" | "failed" | "cancelled" | "poisoned"
     attempts: int = 1
     #: Wall-clock seconds of the successful attempt's execution.
     host_seconds: float = 0.0

@@ -55,8 +55,10 @@ def _render_text(kind: str, fields: dict) -> str:
     if kind == "log":
         return str(fields.get("message", ""))
     parts = []
-    if kind == "cache-quarantined":
-        # Cache rot must be visible to operators, not a silent miss.
+    if kind in ("cache-quarantined", "cache-breaker-open",
+                "job-poisoned"):
+        # Cache rot, a tripped shared-tier breaker, and a quarantined
+        # poison job must be visible to operators, not silent.
         parts.append("WARNING:")
     parts.append(kind)
     key = fields.get("key")
@@ -137,8 +139,12 @@ class ObsSink(ProgressSink):
                             int(float(seconds) * 1000))
         elif kind == "job-failed":
             obs.counter("campaign.jobs_failed")
+        elif kind == "job-poisoned":
+            obs.counter("campaign.jobs_poisoned")
         elif kind == "job-retry":
             obs.counter("campaign.retries")
+        elif kind == "job-resumed":
+            obs.counter("campaign.jobs_resumed")
 
 
 class TeeSink(ProgressSink):

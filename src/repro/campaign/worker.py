@@ -226,8 +226,10 @@ def execute_job(job: Job, store: Optional[CacheStore] = None,
     started = time.perf_counter()  # repro-lint: disable=det/time-dependent
     plan = faults.active_plan()
     if plan is not None:
-        # Chaos hook: may os._exit() this process (crash-once per plan).
+        # Chaos hooks: may os._exit() this process (crash-once per
+        # plan) or sleep past the supervisor's hang budget (hang-once).
         faults.maybe_crash(job.key, plan)
+        faults.maybe_hang(job.key, plan)
     executor = _JOB_KINDS.get(job.kind)
     if executor is None:
         outcome = JobResult(
@@ -281,7 +283,7 @@ def execute_attempt(job: Job, store_spec=None, telemetry=None,
 
 
 def child_main(connection, job: Job, store_spec=None, telemetry=None,
-               attempt: int = 1) -> None:
+               attempt: int = 1, heartbeat=None) -> None:
     """Worker-process entry: execute one job, send the result back.
 
     *store_spec* is a :class:`~repro.campaign.cachedir.StoreSpec` (the
@@ -291,22 +293,56 @@ def child_main(connection, job: Job, store_spec=None, telemetry=None,
     :class:`~repro.obs.worker.TelemetrySpec`, shipped only when the
     parent observer is live) makes the child collect its own deep
     telemetry and attach the blob to the result crossing the pipe.
+    *heartbeat* (seconds, or None) makes a daemon thread interleave
+    :data:`~repro.campaign.supervise.HEARTBEAT` sentinels with the
+    result on the same pipe, under a send lock, so the parent's
+    supervisor can tell hung from slow; the thread consults
+    :func:`~repro.guard.faults.hang_active` so an injected hang
+    silences the beats too.
     """
-    try:
-        import os
+    import os
+    import threading
 
-        connection.send(execute_attempt(
+    from repro.campaign.supervise import HEARTBEAT
+
+    send_lock = threading.Lock()
+    stop = threading.Event()
+
+    def _beat() -> None:
+        while not stop.wait(heartbeat):
+            if faults.hang_active():
+                continue  # an injected hang must look hung
+            try:
+                with send_lock:
+                    connection.send(HEARTBEAT)
+            except (OSError, ValueError):  # parent gone
+                return
+
+    beater = None
+    if heartbeat is not None:
+        beater = threading.Thread(target=_beat, daemon=True)
+        beater.start()
+    try:
+        result = execute_attempt(
             job, store_spec, telemetry=telemetry,
             worker=f"fork-{os.getpid()}", attempt=attempt,
-        ))
+        )
+        stop.set()
+        if beater is not None:
+            beater.join(timeout=1.0)
+        with send_lock:
+            connection.send(result)
     except BaseException as exc:  # result must cross the pipe or the
         # parent treats this worker as crashed — report what we can.
+        stop.set()
         try:
-            connection.send(JobResult(
-                job=job, status="failed",
-                error=f"worker error: {type(exc).__name__}: {exc}",
-            ))
+            with send_lock:
+                connection.send(JobResult(
+                    job=job, status="failed",
+                    error=f"worker error: {type(exc).__name__}: {exc}",
+                ))
         except Exception:
             pass
     finally:
+        stop.set()
         connection.close()

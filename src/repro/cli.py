@@ -214,6 +214,22 @@ def build_parser() -> argparse.ArgumentParser:
                       "(byte-identical across worker counts)")
     campaign.add_argument(
         "--metrics", help="write per-job JSON-lines metrics here")
+    campaign.add_argument(
+        "--journal", metavar="FILE",
+        help="keep a durable crash journal at FILE (CRC-framed, "
+             "fsync'd per record); a killed run can be resumed with "
+             "--resume FILE (see docs/robustness.md)")
+    campaign.add_argument(
+        "--resume", metavar="FILE",
+        help="resume from the journal at FILE: completed jobs are "
+             "verified and skipped, the merged document stays "
+             "byte-identical to an uninterrupted run (implies "
+             "--journal FILE)")
+    campaign.add_argument(
+        "--hang-after", type=float, metavar="SECONDS",
+        help="supervise workers with heartbeats: one silent for "
+             "SECONDS is presumed hung and replaced (distinct from "
+             "--timeout deadline expiry)")
 
     chaos = commands.add_parser(
         "chaos", parents=[scale, suite, quiet],
@@ -242,6 +258,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip the forced in-memory divergence")
     chaos.add_argument("--no-crash", action="store_true",
                        help="skip the injected worker crash")
+    chaos.add_argument("--hang", action="store_true",
+                       help="also wedge one worker mid-job; the "
+                            "supervisor must detect the silent worker "
+                            "and replace it (heartbeat hang "
+                            "detection)")
+    chaos.add_argument("--shared-outage", action="store_true",
+                       help="fail shared-cache-tier operations; the "
+                            "tiered store's circuit breaker must trip "
+                            "and the run degrade to local-only "
+                            "(requires --tiered and a non-fork "
+                            "backend)")
+    chaos.add_argument("--resume-drill", action="store_true",
+                       help="run the engine-kill drill instead: kill "
+                            "the journaled engine mid-campaign, "
+                            "resume from the journal, byte-compare "
+                            "against a clean cold run")
+    chaos.add_argument("--kill-after", type=int, default=1,
+                       help="(with --resume-drill) durable outcomes "
+                            "to allow before the engine is killed "
+                            "(default 1)")
     chaos.add_argument("--work-dir",
                        help="directory for caches and crash markers "
                             "(default: a fresh temporary directory)")
@@ -466,6 +502,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         audit_seed=args.audit_seed,
         turbo=args.turbo,
         turbo_threshold=args.turbo_threshold,
+        journal=args.journal,
+        resume=args.resume,
+        hang_after=args.hang_after,
     )
     if args.out:
         with open(args.out, "w") as stream:
@@ -494,9 +533,41 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.campaign.progress import NullSink, TextSink
-    from repro.guard.chaos import main_json, run_chaos
+    from repro.guard.chaos import main_json, run_chaos, run_resume_drill
 
     sink = NullSink() if args.quiet else TextSink()
+    if args.resume_drill:
+        try:
+            resume_report = run_resume_drill(
+                workloads=_selected(args),
+                scale=args.scale,
+                workers=max(args.workers, 1),
+                backend=args.backend,
+                kill_after=args.kill_after,
+                work_dir=args.work_dir,
+                sink=sink,
+            )
+        except ValueError as exc:
+            print(f"chaos: {exc}", file=sys.stderr)
+            return 2
+        print(resume_report.render())
+        if args.chaos_json:
+            import json
+
+            payload = {
+                "ok": resume_report.ok,
+                "identical": resume_report.identical,
+                "jobs": resume_report.jobs,
+                "resumed": resume_report.resumed,
+                "kill_after": resume_report.kill_after,
+                "exit_code": resume_report.exit_code,
+                "killed": resume_report.killed,
+                "backend": resume_report.backend,
+            }
+            with open(args.chaos_json, "w") as stream:
+                json.dump(payload, stream, sort_keys=True, indent=2)
+                stream.write("\n")
+        return 0 if resume_report.ok else 1
     try:
         report = run_chaos(
             workloads=_selected(args),
@@ -511,6 +582,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             sink=sink,
             backend=args.backend,
             tiered=args.tiered,
+            hang=args.hang,
+            shared_outage=args.shared_outage,
         )
     except ValueError as exc:
         print(f"chaos: {exc}", file=sys.stderr)

@@ -13,6 +13,8 @@ more specific subclasses below::
     ├── ConfigCodecError        μ-arch configuration (de)code failure
     ├── MemoizationError        p-action cache structural violation
     │   └── PCacheCorruptError  persisted cache failed integrity checks
+    ├── CampaignError           campaign orchestration failure
+    │   └── PoisonedJobError    job quarantined after crashing workers
     └── WorkloadError           invalid workload parameters
 
 :class:`PCacheCorruptError` is the *only* exception the persistence
@@ -88,6 +90,32 @@ class PCacheCorruptError(MemoizationError):
             where.append(f"offset {offset}")
         if where:
             message = f"{message} ({', '.join(where)})"
+        super().__init__(message)
+
+
+class CampaignError(ReproError):
+    """Raised for campaign orchestration failures (journal/resume)."""
+
+
+class PoisonedJobError(CampaignError):
+    """A job was quarantined after crashing its workers repeatedly.
+
+    The campaign engine isolates a job whose attempts keep killing
+    worker processes (``crashes >= poison_threshold``) instead of
+    burning the whole campaign's retry budget on it. The merged
+    :class:`~repro.campaign.jobs.JobResult` carries
+    ``status="poisoned"`` and this error's message; sibling jobs are
+    unaffected (see docs/robustness.md).
+    """
+
+    def __init__(self, job_key: str, crashes: int, last_failure: str = ""):
+        self.job_key = job_key
+        self.crashes = crashes
+        self.last_failure = last_failure
+        message = (f"job {job_key!r} crashed {crashes} worker(s); "
+                   f"quarantined as poison")
+        if last_failure:
+            message = f"{message} (last failure: {last_failure})"
         super().__init__(message)
 
 

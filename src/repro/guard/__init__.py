@@ -13,10 +13,13 @@ bit-identical invariant in depth:
   un-audited wrong numbers);
 * :mod:`repro.guard.faults` — seeded, deterministic fault injectors
   (disk bit-flips/truncation, in-memory node corruption, forced
-  divergence, worker crashes) behind a :class:`FaultPlan`;
-* :mod:`repro.guard.chaos` — the end-to-end chaos drill: prove a
+  divergence, worker crashes/hangs, engine kills, shared-tier
+  outages) behind a :class:`FaultPlan`;
+* :mod:`repro.guard.chaos` — the end-to-end chaos drills: prove a
   fault-riddled warm campaign produces output byte-identical to a
-  clean cold run (the ``fastsim-repro chaos`` CLI).
+  clean cold run (the ``fastsim-repro chaos`` CLI), and prove a
+  SIGKILL'd journaled engine resumes to the same bytes
+  (:func:`run_resume_drill`, ``fastsim-repro chaos --resume-drill``).
 
 The integrity-checked FSPC v2 persistence format itself lives in
 :mod:`repro.memo.persist`; see docs/robustness.md for the threat model
@@ -26,18 +29,24 @@ and how the layers compose.
 from repro.guard.engine import DivergenceReport, GuardedEngine
 from repro.guard.faults import (
     CRASH_EXIT_CODE,
+    ENGINE_KILL_EXIT_CODE,
     FaultPlan,
     active_plan,
     apply_memory_faults,
     clear_plan,
     force_chain_divergence,
+    hang_active,
     inject_disk_faults,
     install_plan,
     maybe_crash,
+    maybe_hang,
+    maybe_kill_engine,
+    maybe_shared_outage,
 )
 
 __all__ = [
     "CRASH_EXIT_CODE",
+    "ENGINE_KILL_EXIT_CODE",
     "DivergenceReport",
     "FaultPlan",
     "GuardedEngine",
@@ -45,7 +54,11 @@ __all__ = [
     "apply_memory_faults",
     "clear_plan",
     "force_chain_divergence",
+    "hang_active",
     "inject_disk_faults",
     "install_plan",
     "maybe_crash",
+    "maybe_hang",
+    "maybe_kill_engine",
+    "maybe_shared_outage",
 ]

@@ -25,20 +25,33 @@ The drill:
 Everything is seeded; the same arguments injure the same bytes and the
 drill passes or fails reproducibly. The CI ``chaos`` job runs this via
 ``fastsim-repro chaos`` (see docs/robustness.md).
+
+Two further drills ride on the same machinery: ``hang=True`` wedges
+one worker mid-job (heartbeats stop; the supervisor must detect and
+replace it), ``shared_outage=True`` fails shared-cache-tier
+operations (the :class:`~repro.campaign.cachedir.TieredCacheStore`
+circuit breaker must trip and degrade to local-only) — both still
+demanding byte-identical output. :func:`run_resume_drill` is the
+engine-kill counterpart: it SIGKILLs the campaign *engine*
+mid-campaign (via :func:`~repro.guard.faults.maybe_kill_engine`),
+resumes from the durable journal, and ``cmp``s the merged document
+against a clean cold run.
 """
 
 from __future__ import annotations
 
 import json
+import multiprocessing
 import os
 import tempfile
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.campaign.cachedir import QUARANTINE_SUFFIX
+from repro.campaign.cachedir import QUARANTINE_SUFFIX, reset_breakers
 from repro.campaign.engine import Campaign, CampaignRunner
 from repro.campaign.progress import NullSink, ProgressSink
 from repro.guard.faults import (
+    ENGINE_KILL_EXIT_CODE,
     FaultPlan,
     clear_plan,
     inject_disk_faults,
@@ -74,16 +87,30 @@ class ChaosReport:
 
     #: Whether the plan asked for a forced in-memory divergence.
     expected_divergence: bool = True
+    #: Whether the plan injected on-disk corruption (the quarantine
+    #: gates only apply when it did).
+    expected_disk_damage: bool = True
+    #: Job wedged by the injected hang ("" = no hang drill) and
+    #: whether it actually fired (marker file seen).
+    hang_job: str = ""
+    hung: bool = False
+    #: Whether a shared-tier outage was injected, and how many times
+    #: job stores reported newly opening the circuit breaker.
+    shared_outage: bool = False
+    breaker_opened: int = 0
 
     @property
     def ok(self) -> bool:
         """The drill passes only if output survived *and* the faults
         actually fired (a drill that injures nothing proves nothing)."""
         return (self.identical and self.failed == 0
-                and bool(self.disk_faults) and bool(self.quarantined)
+                and (bool(self.disk_faults) and bool(self.quarantined)
+                     or not self.expected_disk_damage)
                 and (self.divergences > 0
                      or not self.expected_divergence)
-                and (self.crashed or not self.crash_job))
+                and (self.crashed or not self.crash_job)
+                and (self.hung or not self.hang_job)
+                and (self.breaker_opened > 0 or not self.shared_outage))
 
     def render(self) -> str:
         lines = [
@@ -105,6 +132,12 @@ class ChaosReport:
             status = "crashed+retried" if self.crashed else "NO CRASH"
             lines.append(f"  worker crash         {self.crash_job} "
                          f"({status})")
+        if self.hang_job:
+            status = "hung+replaced" if self.hung else "NO HANG"
+            lines.append(f"  worker hang          {self.hang_job} "
+                         f"({status})")
+        if self.shared_outage:
+            lines.append(f"  breaker opened       {self.breaker_opened}")
         return "\n".join(lines)
 
 
@@ -115,6 +148,8 @@ def _collect_guard_metrics(report: ChaosReport, results) -> None:
         report.audits += int(metrics.get("audits", 0))
         for label in metrics.get("faults_injected", ()):
             report.memory_faults.append(f"{job_result.key}:{label}")
+        cache_tier = metrics.get("cache_tier") or {}
+        report.breaker_opened += int(cache_tier.get("breaker_opened", 0))
 
 
 def run_chaos(
@@ -133,6 +168,8 @@ def run_chaos(
     obs=None,
     backend: str = "fork",
     tiered: bool = False,
+    hang: bool = False,
+    shared_outage: bool = False,
 ) -> ChaosReport:
     """Run the deterministic chaos drill; returns a :class:`ChaosReport`.
 
@@ -151,6 +188,17 @@ def run_chaos(
     leave at least one persisted cache intact or the forced divergence
     has no warm chain to corrupt. Any installed :class:`FaultPlan` is
     cleared on exit.
+
+    *hang* additionally wedges the last job's first attempt (the
+    worker goes silent mid-job); the chaotic runner supervises with a
+    short ``hang_after`` budget and must detect, replace, and retry —
+    any backend works. *shared_outage* (requires *tiered*) fails
+    shared-tier operations after the first one; the tiered store's
+    circuit breaker must trip (``breaker_opened``) and the campaign
+    degrade to local-only with identical canonical output. It needs a
+    backend whose workers live long enough to accumulate consecutive
+    failures — per-attempt forked workers never do, so ``fork`` is
+    rejected.
     """
     if workers < 1:
         raise ValueError("chaos needs a worker pool (workers >= 1); "
@@ -160,6 +208,18 @@ def run_chaos(
             "the queue backend has no process isolation — the "
             "injected crash would kill the drill itself; pass "
             "crash=False (--no-crash) or a process-isolated backend"
+        )
+    if shared_outage and not tiered:
+        raise ValueError(
+            "shared_outage drills the shared cache tier's circuit "
+            "breaker; it requires tiered=True"
+        )
+    if shared_outage and backend == "fork":
+        raise ValueError(
+            "per-attempt forked workers reset the outage/breaker "
+            "state every job, so the breaker can never accumulate "
+            "its consecutive-failure threshold; use the queue or "
+            "subprocess backend for shared_outage"
         )
     names = list(workloads) if workloads else list(DEFAULT_WORKLOADS)
     if force_divergence and disk_bit_flips + disk_truncations >= len(names):
@@ -213,13 +273,17 @@ def run_chaos(
                    shared_cache_dir=shared_dir, sink=sink,
                    obs=obs).run(build_campaign(False))
 
-    crash_job = build_campaign(False).jobs[0].key if crash else ""
+    jobs = build_campaign(False).jobs
+    crash_job = jobs[0].key if crash else ""
+    hang_job = jobs[-1].key if hang else ""
     plan = FaultPlan(
         seed=seed,
         disk_bit_flips=disk_bit_flips,
         disk_truncations=disk_truncations,
         force_divergence=force_divergence,
         crash_job=crash_job,
+        hang_job=hang_job,
+        shared_outage_after=1 if shared_outage else -1,
         scratch=scratch,
     )
 
@@ -227,18 +291,27 @@ def run_chaos(
     disk_faults = inject_disk_faults(fault_dir, plan)
     sink.log(f"chaos: injected {len(disk_faults)} disk faults"
              + (" into the shared tier" if tiered else ""))
+    reset_breakers()
     install_plan(plan)
     try:
         # 4. The fault-riddled warm, guarded, parallel run.
-        sink.log(f"chaos: warm guarded campaign (workers={workers}, "
+        # The subprocess outage drill funnels every job through one
+        # persistent worker: the breaker needs a single process to see
+        # the full run of consecutive shared-tier failures, and jobs
+        # spread across a pool would each contribute only a couple.
+        chaos_workers = (1 if shared_outage and backend == "subprocess"
+                         else workers)
+        sink.log(f"chaos: warm guarded campaign (workers={chaos_workers}, "
                  f"backend={backend})")
         chaotic = CampaignRunner(
-            workers=workers, cache_dir=chaos_cache_dir,
+            workers=chaos_workers, cache_dir=chaos_cache_dir,
             shared_cache_dir=shared_dir, sink=sink, obs=obs,
             backend=backend,
+            hang_after=1.5 if hang else None,
         ).run(build_campaign(True))
     finally:
         clear_plan()
+        reset_breakers()
     chaos_json = chaotic.canonical_json()
 
     # 5. Verdict.
@@ -258,8 +331,13 @@ def run_chaos(
         baseline_json=baseline_json,
         chaos_json=chaos_json,
         expected_divergence=force_divergence,
+        expected_disk_damage=disk_bit_flips + disk_truncations > 0,
         backend=backend,
         tiered=tiered,
+        hang_job=hang_job,
+        hung=bool(hang_job) and os.path.exists(os.path.join(
+            scratch, "hung-" + hang_job.replace(":", "_"))),
+        shared_outage=shared_outage,
     )
     _collect_guard_metrics(report, chaotic.results)
     if obs is not None and getattr(obs, "enabled", False):
@@ -287,5 +365,160 @@ def main_json(report: ChaosReport) -> str:
         "crashed": report.crashed,
         "backend": report.backend,
         "tiered": report.tiered,
+        "hang_job": report.hang_job,
+        "hung": report.hung,
+        "shared_outage": report.shared_outage,
+        "breaker_opened": report.breaker_opened,
     }
     return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+
+# ----------------------------------------------------------------------
+# The engine-kill resume drill (journal + resume, cmp-identical)
+# ----------------------------------------------------------------------
+
+@dataclass
+class ResumeReport:
+    """What the engine-kill resume drill did and whether it held."""
+
+    identical: bool
+    jobs: int
+    #: Jobs the resumed run skipped via journal replay.
+    resumed: int
+    kill_after: int
+    #: Exit code of the doomed engine process (must be
+    #: :data:`~repro.guard.faults.ENGINE_KILL_EXIT_CODE`).
+    exit_code: Optional[int]
+    backend: str = "fork"
+    baseline_json: str = ""
+    resumed_json: str = ""
+
+    @property
+    def killed(self) -> bool:
+        return self.exit_code == ENGINE_KILL_EXIT_CODE
+
+    @property
+    def ok(self) -> bool:
+        """Pass = the engine really died mid-campaign, the resumed run
+        skipped exactly the journaled outcomes, and the merged document
+        is byte-identical to an uninterrupted cold run."""
+        return (self.identical and self.killed
+                and self.resumed == self.kill_after)
+
+    def render(self) -> str:
+        return "\n".join([
+            f"resume drill: {'PASS' if self.ok else 'FAIL'}",
+            f"  backend              {self.backend}",
+            f"  engine killed        {self.killed} "
+            f"(exit code {self.exit_code})",
+            f"  journaled outcomes   {self.kill_after}",
+            f"  jobs resumed/total   {self.resumed}/{self.jobs}",
+            f"  canonical identical  {self.identical}",
+        ])
+
+
+def _run_doomed(names, scale, workers, backend, journal,
+                kill_after, scratch) -> None:
+    """Child-process body: run journaled until the injected kill.
+
+    The kill is ``os._exit`` (no cleanup, no atexit) — the closest
+    in-process approximation of SIGKILL that still lets the fault plan
+    choose the moment: immediately after the ``kill_after``-th outcome
+    record became durable.
+    """
+    install_plan(FaultPlan(kill_engine_after=kill_after,
+                           scratch=scratch))
+    try:
+        CampaignRunner(
+            workers=workers, backend=backend, journal=journal,
+            sink=NullSink(),
+        ).run(Campaign.grid(names, simulators=("fast",), scale=scale,
+                            name=f"resume-{scale}"))
+    finally:
+        clear_plan()
+    # Reaching this line means the kill never fired; exit 0 so the
+    # parent's exit-code assertion flags the drill as failed.
+    os._exit(0)
+
+
+def run_resume_drill(
+    workloads: Optional[Sequence[str]] = None,
+    scale: str = "tiny",
+    workers: int = 2,
+    backend: str = "fork",
+    kill_after: int = 1,
+    work_dir: Optional[str] = None,
+    sink: Optional[ProgressSink] = None,
+) -> ResumeReport:
+    """Kill the engine mid-campaign, resume from the journal, compare.
+
+    The sequence the crash-safety claim rests on (docs/robustness.md):
+
+    1. clean cold serial run — baseline canonical document;
+    2. the same campaign, journaled, in a forked child engine whose
+       fault plan kills it (``os._exit``) right after *kill_after*
+       outcomes are durably journaled — the parent asserts the child
+       died with :data:`~repro.guard.faults.ENGINE_KILL_EXIT_CODE`;
+    3. ``CampaignRunner(resume=journal)`` replays the journal, skips
+       the recorded jobs, runs the rest on *backend*;
+    4. the resumed merged document must be byte-identical to the
+       baseline, with exactly *kill_after* jobs skipped.
+    """
+    names = list(workloads) if workloads else list(DEFAULT_WORKLOADS)
+    if kill_after < 1:
+        raise ValueError("kill_after must be >= 1 (a kill before any "
+                         "durable outcome is just a fresh run)")
+    if kill_after >= len(names):
+        raise ValueError(
+            "kill_after must leave at least one job unfinished, or "
+            "the resume has nothing to prove")
+    sink = sink if sink is not None else NullSink()
+    if work_dir is None:
+        work_dir = tempfile.mkdtemp(prefix="fastsim-resume-")
+    journal = os.path.join(work_dir, "campaign.journal")
+    scratch = os.path.join(work_dir, "scratch")
+    os.makedirs(scratch, exist_ok=True)
+
+    def build_campaign() -> Campaign:
+        return Campaign.grid(names, simulators=("fast",), scale=scale,
+                             name=f"resume-{scale}")
+
+    # 1. Clean cold serial baseline — the ground truth.
+    sink.log("resume drill: baseline (cold, serial)")
+    baseline_json = CampaignRunner(
+        workers=0, sink=sink).run(build_campaign()).canonical_json()
+
+    # 2. The doomed journaled run, in its own engine process.
+    sink.log(f"resume drill: doomed engine (kill after {kill_after} "
+             f"outcomes, backend={backend})")
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX hosts
+        context = multiprocessing.get_context()
+    child = context.Process(
+        target=_run_doomed,
+        args=(names, scale, workers, backend, journal, kill_after,
+              scratch),
+    )
+    child.start()
+    child.join(timeout=300)
+    if child.is_alive():  # pragma: no cover - only on a wedged drill
+        child.terminate()
+        child.join()
+    exit_code = child.exitcode
+
+    # 3 + 4. Resume from the journal; compare against the baseline.
+    sink.log("resume drill: resuming from journal")
+    resumer = CampaignRunner(workers=workers, backend=backend,
+                             resume=journal, sink=sink)
+    resumed_json = resumer.run(build_campaign()).canonical_json()
+    return ResumeReport(
+        identical=resumed_json == baseline_json,
+        jobs=len(names),
+        resumed=resumer.resumed,
+        kill_after=kill_after,
+        exit_code=exit_code,
+        backend=backend,
+        baseline_json=baseline_json,
+        resumed_json=resumed_json,
+    )

@@ -18,7 +18,16 @@ still produces canonical output byte-identical to a clean cold run
   :class:`~repro.guard.engine.GuardedEngine` must detect and recover
   from;
 * **worker crash** — kill the first attempt of one named campaign job
-  (:func:`maybe_crash`), exercising the engine's retry path.
+  (:func:`maybe_crash`), exercising the engine's retry path;
+* **worker hang** — wedge the first attempt of one named job
+  (:func:`maybe_hang`): the worker goes silent (heartbeats stop) for
+  ``hang_seconds``, exercising the supervisor's hang detection and
+  worker replacement;
+* **engine kill** — die mid-campaign after N merged outcomes
+  (:func:`maybe_kill_engine`), exercising the journal + resume path;
+* **shared-tier outage** — fail every shared-cache-tier operation
+  after the first N (:func:`maybe_shared_outage`), exercising the
+  :class:`~repro.campaign.cachedir.TieredCacheStore` circuit breaker.
 
 Everything is driven by a :class:`FaultPlan` installed process-wide
 with :func:`install_plan`. Campaign workers are forked, so a plan
@@ -50,6 +59,10 @@ from repro.memo.pcache import PActionCache
 #: progress events as ``worker crashed (exit code 86)``).
 CRASH_EXIT_CODE = 86
 
+#: Exit code used by the injected engine kill — distinct from the
+#: worker code so the resume drill can assert *which* process died.
+ENGINE_KILL_EXIT_CODE = 97
+
 
 @dataclass(frozen=True)
 class FaultPlan:
@@ -73,7 +86,20 @@ class FaultPlan:
     force_divergence: bool = False
     #: ``Job.key`` whose first execution attempt calls ``os._exit``.
     crash_job: str = ""
-    #: Directory for the crash-once marker file.
+    #: ``Job.key`` whose first execution attempt wedges: the worker
+    #: stops heartbeating and sleeps ``hang_seconds`` (hang-once, same
+    #: marker mechanism as ``crash_job``).
+    hang_job: str = ""
+    #: How long the injected hang sleeps. Keep well above the
+    #: supervisor's ``hang_after`` so detection always wins the race.
+    hang_seconds: float = 30.0
+    #: Kill the campaign *engine* (``os._exit``) after this many
+    #: outcomes have been merged and journaled; 0 disables.
+    kill_engine_after: int = 0
+    #: Fail every shared-cache-tier operation after the first N in
+    #: this process (simulated storage outage); -1 disables.
+    shared_outage_after: int = -1
+    #: Directory for the crash-once / hang-once marker files.
     scratch: str = ""
 
 
@@ -85,9 +111,20 @@ _ACTIVE: Optional[FaultPlan] = None
 
 
 def install_plan(plan: FaultPlan) -> None:
-    """Activate *plan* for this process and all workers forked later."""
-    global _ACTIVE
+    """Activate *plan* for this process and all workers forked later.
+
+    Re-installing the *same* plan is a no-op that preserves per-process
+    fault state: persistent workers (the subprocess backend) arm the
+    plan once per envelope, and the shared-outage op counter must keep
+    running across jobs or a long outage would look like a series of
+    one-op blips and the circuit breaker could never accumulate its
+    consecutive-failure threshold.
+    """
+    global _ACTIVE, _SHARED_OPS
+    if plan == _ACTIVE:
+        return
     _ACTIVE = plan
+    _SHARED_OPS = 0
 
 
 def active_plan() -> Optional[FaultPlan]:
@@ -97,8 +134,10 @@ def active_plan() -> Optional[FaultPlan]:
 
 def clear_plan() -> None:
     """Deactivate fault injection."""
-    global _ACTIVE
+    global _ACTIVE, _SHARED_OPS, _HANG_ACTIVE
     _ACTIVE = None
+    _SHARED_OPS = 0
+    _HANG_ACTIVE = False
 
 
 # ----------------------------------------------------------------------
@@ -265,3 +304,92 @@ def maybe_crash(job_key: str, plan: FaultPlan) -> None:
         return
     os.close(fd)
     os._exit(CRASH_EXIT_CODE)
+
+
+# ----------------------------------------------------------------------
+# Worker hang
+# ----------------------------------------------------------------------
+
+_HANG_ACTIVE = False
+
+
+def hang_active() -> bool:
+    """True while this process is deliberately wedged by a hang fault.
+
+    Worker heartbeat threads consult this and go silent, so an
+    injected hang looks exactly like a wedged worker to the engine
+    (a sleeping thread alone would keep beating).
+    """
+    return _HANG_ACTIVE
+
+
+def maybe_hang(job_key: str, plan: FaultPlan) -> None:
+    """Wedge this worker if *plan* schedules a hang for *job_key*.
+
+    Hang-once semantics, same atomic marker as :func:`maybe_crash`:
+    the first attempt stops heartbeating and sleeps
+    ``plan.hang_seconds``; the retry finds the marker and runs
+    normally. The supervisor must detect the silence (``hang_after``)
+    and replace the worker long before the sleep ends.
+    """
+    global _HANG_ACTIVE
+    if not plan.hang_job or plan.hang_job != job_key:
+        return
+    if not plan.scratch:
+        return
+    marker = os.path.join(
+        plan.scratch, "hung-" + plan.hang_job.replace(":", "_")
+    )
+    try:
+        fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return
+    os.close(fd)
+    _HANG_ACTIVE = True
+    try:
+        import time
+
+        time.sleep(plan.hang_seconds)
+    finally:
+        _HANG_ACTIVE = False
+
+
+# ----------------------------------------------------------------------
+# Engine kill (mid-campaign crash, exercising journal + resume)
+# ----------------------------------------------------------------------
+
+def maybe_kill_engine(merged_outcomes: int, plan: FaultPlan) -> None:
+    """Kill the engine process once *merged_outcomes* reaches the plan.
+
+    Called by the engine immediately after an outcome record is
+    durably journaled, so a killed run leaves exactly
+    ``kill_engine_after`` replayable outcomes behind.
+    """
+    if plan.kill_engine_after <= 0:
+        return
+    if merged_outcomes >= plan.kill_engine_after:
+        os._exit(ENGINE_KILL_EXIT_CODE)
+
+
+# ----------------------------------------------------------------------
+# Shared-tier outage
+# ----------------------------------------------------------------------
+
+_SHARED_OPS = 0
+
+
+def maybe_shared_outage(plan: FaultPlan) -> None:
+    """Raise OSError for shared-tier ops past the plan's budget.
+
+    The counter is per-process (reset by :func:`install_plan` /
+    :func:`clear_plan`): with the fork backend every attempt sees a
+    fresh budget, which keeps the drill deterministic per attempt.
+    """
+    global _SHARED_OPS
+    if plan.shared_outage_after < 0:
+        return
+    _SHARED_OPS += 1
+    if _SHARED_OPS > plan.shared_outage_after:
+        raise OSError(
+            f"injected shared-tier outage (op {_SHARED_OPS}, budget "
+            f"{plan.shared_outage_after})")

@@ -48,6 +48,10 @@ CAMPAIGN_METRICS_SCHEMA = "repro.campaign/campaign-metrics/v1"
 #: One live campaign event from :meth:`CampaignHandle.events`
 #: (SSE-ready; see docs/observability.md).
 EVENT_SCHEMA = "repro.campaign/event/v1"
+#: One durable campaign-journal record (CRC-framed on disk, written at
+#: submit/attempt/outcome/merge boundaries; replayed by
+#: ``CampaignRunner(resume=...)`` — see docs/robustness.md).
+JOURNAL_SCHEMA = "repro.campaign/journal/v1"
 
 _NUMBER = (int, float)
 
@@ -98,6 +102,10 @@ _REQUIRED: Dict[str, Dict[str, tuple]] = {
         "event": (str,),
         "seq": (int,),
     },
+    JOURNAL_SCHEMA: {
+        "kind": (str,),
+        "seq": (int,),
+    },
 }
 
 #: Closed vocabularies for enum-like fields.
@@ -105,8 +113,12 @@ _ENUMS: Dict[Tuple[str, str], tuple] = {
     (METRIC_SCHEMA, "kind"): ("counter", "gauge", "histogram", "series"),
     (TRACE_SCHEMA, "ph"): ("X", "i", "C"),
     (TRACE_SCHEMA, "clock"): ("host", "sim"),
-    (JOB_METRICS_SCHEMA, "status"): ("ok", "failed", "cancelled"),
+    (JOB_METRICS_SCHEMA, "status"): ("ok", "failed", "cancelled",
+                                     "poisoned"),
     (JOB_METRICS_SCHEMA_V2, "status"): ("ok", "failed"),
+    (JOURNAL_SCHEMA, "kind"): ("campaign-open", "campaign-resume",
+                               "attempt", "outcome", "campaign-end",
+                               "campaign-cancelled"),
 }
 
 #: Chrome trace_event phases the exporter may emit ("M" = metadata).

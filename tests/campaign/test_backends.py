@@ -116,14 +116,23 @@ class TestWorkStealing:
         mirrored = obs.registry.counters["backend.queue.steals"].value
         assert mirrored == steals
 
-    def test_queue_backend_ignores_deadlines(self):
-        """No thread preemption: the timeout is documented as
-        unenforced on the queue backend, and the job completes."""
-        job = Job(workload="napper", kind="test-nap", scale="0.3")
-        runner = CampaignRunner(workers=1, timeout=0.05,
+    def test_queue_backend_enforces_deadlines_cooperatively(self):
+        """No thread preemption, but deadlines are enforced: an
+        expired running job is abandoned at the reap sweep (its lane
+        replaced, its late result discarded) and reported as timed
+        out — same contract the process backends give."""
+        job = Job(workload="napper", kind="test-nap", scale="0.4")
+        quick = Job(workload="quick", kind="test-nap", scale="0.0")
+        runner = CampaignRunner(workers=2, timeout=0.05,
                                 backend="queue")
-        outcome = runner.run(Campaign(jobs=(job,), name="no-preempt"))
-        assert outcome.ok
+        outcome = runner.run(Campaign(jobs=(job, quick),
+                                      name="preempt"))
+        assert not outcome.ok
+        slow, fast = outcome.results
+        assert slow.status == "failed"
+        assert "timed out" in slow.error
+        assert fast.ok
+        assert runner.backend_metrics["timeouts"] >= 1
 
 
 class TestSubprocessIsolation:

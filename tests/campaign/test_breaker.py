@@ -1,0 +1,153 @@
+"""Shared-tier circuit breaker tests: the state machine itself, the
+process-wide per-root registry, and the end-to-end degradation — a
+shared-tier outage mid-campaign trips the breaker, the run degrades to
+local-only caching, and the merged bytes do not move.
+"""
+
+import pytest
+
+from repro.campaign import (
+    Campaign,
+    CampaignRunner,
+    CircuitBreaker,
+    Job,
+    TieredCacheStore,
+    reset_breakers,
+    run_jobs,
+    shared_tier_breaker,
+)
+from repro.campaign.progress import NullSink
+from repro.guard.faults import FaultPlan, clear_plan, install_plan
+
+JOBS = tuple(
+    Job(workload, "fast", "tiny") for workload in ("compress", "li")
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_breakers_and_plan():
+    reset_breakers()
+    yield
+    clear_plan()
+    reset_breakers()
+
+
+class TestCircuitBreakerStateMachine:
+    def test_opens_only_at_consecutive_threshold(self):
+        breaker = CircuitBreaker(threshold=3, cooldown=10.0)
+        assert breaker.state == "closed"
+        assert breaker.record_failure(0.0) is False
+        assert breaker.record_failure(0.1) is False
+        assert breaker.record_failure(0.2) is True  # the opening edge
+        assert breaker.state == "open"
+        assert breaker.record_failure(0.3) is False  # already open
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker = CircuitBreaker(threshold=2, cooldown=10.0)
+        breaker.record_failure(0.0)
+        breaker.record_success()
+        breaker.record_failure(0.1)
+        assert breaker.state == "closed"
+
+    def test_open_short_circuits_until_cooldown(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=5.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(1.0) is False
+        assert breaker.allow(4.9) is False
+        assert breaker.allow(5.1) is True  # the half-open probe
+
+    def test_half_open_probe_closes_or_reopens(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=5.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(6.0) is True
+        assert breaker.record_success() is True  # closed the breaker
+        assert breaker.state == "closed"
+        breaker.record_failure(10.0)
+        assert breaker.allow(16.0) is True
+        breaker.record_failure(16.0)  # the probe failed
+        assert breaker.state == "open"
+        assert breaker.allow(17.0) is False
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError, match="threshold"):
+            CircuitBreaker(threshold=0)
+
+
+class TestBreakerRegistry:
+    def test_one_breaker_per_shared_root(self, tmp_path):
+        a = shared_tier_breaker(tmp_path / "shared")
+        assert shared_tier_breaker(tmp_path / "shared") is a
+        assert shared_tier_breaker(tmp_path / "other") is not a
+
+    def test_store_instances_share_the_breaker(self, tmp_path):
+        """Per-attempt stores must not each start with a fresh failure
+        count, or the threshold could never accumulate."""
+        first = TieredCacheStore(str(tmp_path / "l1"),
+                                 str(tmp_path / "s"))
+        second = TieredCacheStore(str(tmp_path / "l2"),
+                                  str(tmp_path / "s"))
+        assert first.breaker is second.breaker
+
+    def test_reset_forgets_state(self, tmp_path):
+        breaker = shared_tier_breaker(tmp_path / "shared")
+        breaker.record_failure(0.0)
+        reset_breakers()
+        assert shared_tier_breaker(tmp_path / "shared").state == "closed"
+
+
+class TestOutageDegradation:
+    def test_outage_trips_breaker_and_preserves_bytes(self, tmp_path):
+        """Every shared-tier op failing mid-campaign must open the
+        breaker (counted in per-job cache_tier metrics), keep the local
+        tier working, and leave the canonical output untouched."""
+        baseline = run_jobs(JOBS, workers=0, name="outage")
+        install_plan(FaultPlan(shared_outage_after=0))
+        runner = CampaignRunner(
+            workers=2, backend="queue",
+            cache_dir=str(tmp_path / "local"),
+            shared_cache_dir=str(tmp_path / "shared"),
+            sink=NullSink())
+        outcome = runner.run(Campaign(jobs=JOBS, name="outage"))
+        clear_plan()
+        assert outcome.ok
+        assert outcome.canonical_json() == baseline.canonical_json()
+        tiers = [r.metrics["cache_tier"] for r in outcome.results]
+        assert sum(t["breaker_failures"] for t in tiers) >= 3
+        assert sum(t["breaker_opened"] for t in tiers) == 1
+        # Once open, later shared calls short-circuit without I/O.
+        assert sum(t["breaker_short_circuits"] for t in tiers) >= 1
+
+    def test_breaker_events_reach_the_sink(self, tmp_path):
+        from repro.campaign.progress import ProgressSink
+
+        class _Events(ProgressSink):
+            def __init__(self):
+                self.kinds = []
+
+            def emit(self, kind, **fields):
+                self.kinds.append(kind)
+
+        sink = _Events()
+        install_plan(FaultPlan(shared_outage_after=0))
+        store = TieredCacheStore(str(tmp_path / "l"),
+                                 str(tmp_path / "s"), sink=sink)
+        for _ in range(3):
+            assert store.load(b"\x00" * 32) is None
+        clear_plan()
+        assert "cache-breaker-open" in sink.kinds
+
+    def test_local_tier_unaffected_by_open_breaker(self, tmp_path):
+        """With the breaker held open, a campaign still caches locally
+        (writes land, second run hits) — degraded, not disabled."""
+        install_plan(FaultPlan(shared_outage_after=0))
+        local = str(tmp_path / "local")
+        shared = str(tmp_path / "shared")
+        first = run_jobs(JOBS[:1], workers=0, cache_dir=local,
+                         shared_cache_dir=shared, name="degraded")
+        second = run_jobs(JOBS[:1], workers=0, cache_dir=local,
+                          shared_cache_dir=shared, name="degraded")
+        clear_plan()
+        assert first.ok and second.ok
+        stats = second.results[0].metrics["cache_tier"]
+        assert stats["local_hits"] == 1
+        assert first.canonical_json() == second.canonical_json()

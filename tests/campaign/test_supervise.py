@@ -1,0 +1,337 @@
+"""Crash-safe campaign tests: the durable journal, resume skipping,
+kill→resume byte-identity on every backend, hang detection, poison
+quarantine, cooperative queue deadlines, and seeded retry jitter.
+
+The tentpole assertion is the resume drill matrix: a SIGKILL'd
+journaled engine, resumed from its journal, merges bytes identical to
+an uninterrupted cold run — per backend, with the journal's skip count
+asserted exactly.
+"""
+
+import os
+
+import pytest
+
+from repro.campaign import (
+    Campaign,
+    CampaignJournal,
+    CampaignRunner,
+    Job,
+    JobResult,
+    read_journal,
+    register_job_kind,
+    retry_delay,
+    run_jobs,
+    verify_resume,
+)
+from repro.campaign.progress import NullSink, ProgressSink
+from repro.campaign.supervise import JournalReplay, heartbeat_interval
+from repro.errors import CampaignError, PoisonedJobError
+from repro.guard.faults import (
+    CRASH_EXIT_CODE,
+    FaultPlan,
+    clear_plan,
+    install_plan,
+)
+from repro.obs import validate_record
+
+JOBS = tuple(
+    Job(workload, "fast", "tiny")
+    for workload in ("compress", "li", "go")
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_fault_plan():
+    yield
+    clear_plan()
+
+
+def _crash_always(job, store):
+    os._exit(CRASH_EXIT_CODE)
+
+
+def _nap_supervised(job, store):
+    import time
+
+    time.sleep(float(job.scale))
+    return JobResult(job=job, status="ok")
+
+
+register_job_kind("test-crash-always", _crash_always)
+register_job_kind("test-nap-supervised", _nap_supervised)
+
+
+class _RecordingSink(ProgressSink):
+    """Collects event kinds in emission order."""
+
+    def __init__(self):
+        self.kinds = []
+
+    def emit(self, kind, **fields):
+        self.kinds.append(kind)
+
+
+class TestJournal:
+    def test_roundtrip_schema_stamped_records(self, tmp_path):
+        path = str(tmp_path / "c.journal")
+        with CampaignJournal(path) as journal:
+            journal.append("campaign-open", name="j", backend="fork",
+                           jobs=["a:fast:tiny"])
+            journal.append("attempt", key="a:fast:tiny", attempt=1)
+        replay = read_journal(path)
+        assert [r["kind"] for r in replay.records] == [
+            "campaign-open", "attempt"]
+        assert [r["seq"] for r in replay.records] == [0, 1]
+        assert replay.torn_records == 0
+        for record in replay.records:
+            assert validate_record(record) == []
+
+    def test_reopen_continues_sequence(self, tmp_path):
+        path = str(tmp_path / "c.journal")
+        with CampaignJournal(path) as journal:
+            journal.append("campaign-open", name="j", backend="fork",
+                           jobs=[])
+        with CampaignJournal(path) as journal:
+            assert journal.records_written == 1
+            record = journal.append("campaign-end", name="j", failed=0)
+        assert record["seq"] == 1
+        assert read_journal(path).terminal == "campaign-end"
+
+    def test_torn_tail_drops_only_the_last_frame(self, tmp_path):
+        """A SIGKILL mid-append leaves a partial frame; the reader must
+        keep every record before it and count exactly one torn frame."""
+        path = str(tmp_path / "c.journal")
+        with CampaignJournal(path) as journal:
+            journal.append("campaign-open", name="j", backend="fork",
+                           jobs=[])
+            journal.append("attempt", key="a", attempt=1)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as stream:
+            stream.truncate(size - 3)  # tear the CRC off the tail
+        replay = read_journal(path)
+        assert [r["kind"] for r in replay.records] == ["campaign-open"]
+        assert replay.torn_records == 1
+        assert replay.terminal is None
+
+    def test_corrupt_payload_stops_replay(self, tmp_path):
+        path = str(tmp_path / "c.journal")
+        with CampaignJournal(path) as journal:
+            journal.append("campaign-open", name="j", backend="fork",
+                           jobs=[])
+        with open(path, "r+b") as stream:
+            stream.seek(-6, os.SEEK_END)
+            byte = stream.read(1)
+            stream.seek(-6, os.SEEK_END)
+            stream.write(bytes([byte[0] ^ 0xFF]))
+        replay = read_journal(path)
+        assert replay.records == []
+        assert replay.torn_records == 1
+
+    def test_non_journal_file_rejected(self, tmp_path):
+        path = str(tmp_path / "not-a-journal")
+        with open(path, "wb") as stream:
+            stream.write(b"definitely not FSCJ framed data")
+        with pytest.raises(CampaignError, match="not a campaign journal"):
+            read_journal(path)
+
+
+class TestVerifyResume:
+    def test_wrong_campaign_name_rejected(self, tmp_path):
+        replay = JournalReplay(path="j", name="other", job_keys=["a"])
+        with pytest.raises(CampaignError, match="not 'mine'"):
+            verify_resume(replay, "mine", ["a"])
+
+    def test_job_set_mismatch_names_the_difference(self):
+        replay = JournalReplay(path="j", name="mine",
+                               job_keys=["a", "b"])
+        with pytest.raises(CampaignError, match="missing.*c"):
+            verify_resume(replay, "mine", ["a", "c"])
+
+    def test_empty_journal_passes(self):
+        """Crash before the open record landed: resume is a fresh run."""
+        verify_resume(JournalReplay(path="j"), "mine", ["a"])
+
+
+class TestResume:
+    def test_resume_skips_completed_and_matches_bytes(self, tmp_path):
+        journal = str(tmp_path / "c.journal")
+        campaign = Campaign(jobs=JOBS, name="resume")
+        first = CampaignRunner(workers=0, journal=journal,
+                               sink=NullSink()).run(campaign)
+        assert first.ok
+        sink = _RecordingSink()
+        resumer = CampaignRunner(workers=0, resume=journal, sink=sink)
+        second = resumer.run(campaign)
+        assert resumer.resumed == len(JOBS)
+        assert sink.kinds.count("job-resumed") == len(JOBS)
+        assert "job-start" not in sink.kinds  # nothing re-ran
+        assert second.canonical_json() == first.canonical_json()
+
+    def test_resume_after_partial_journal(self, tmp_path):
+        """A journal holding only some outcomes re-runs the rest and
+        still merges the uninterrupted bytes — across backends."""
+        campaign = Campaign(jobs=JOBS, name="partial")
+        expected = run_jobs(JOBS, workers=0,
+                            name="partial").canonical_json()
+        journal = str(tmp_path / "c.journal")
+        with CampaignJournal(journal) as writer:
+            writer.append("campaign-open", name="partial",
+                          backend="fork", jobs=[j.key for j in JOBS])
+            done = CampaignRunner(workers=0, sink=NullSink()).run(
+                Campaign(jobs=JOBS[:1], name="seed")).results[0]
+            writer.append("outcome", key=done.key, status=done.status,
+                          attempts=done.attempts, result=done)
+        for backend in ("fork", "subprocess", "queue"):
+            # A resumed run keeps journaling into the same file, so
+            # give each backend its own copy of the partial journal.
+            copy = str(tmp_path / f"{backend}.journal")
+            with open(journal, "rb") as src, open(copy, "wb") as dst:
+                dst.write(src.read())
+            resumer = CampaignRunner(workers=2, backend=backend,
+                                     resume=copy, sink=NullSink())
+            outcome = resumer.run(campaign)
+            assert resumer.resumed == 1, backend
+            assert outcome.canonical_json() == expected, backend
+            # ...and the copy is now itself a complete journal.
+            assert read_journal(copy).completed == len(JOBS)
+
+    def test_journal_resume_disagreement_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="same file"):
+            CampaignRunner(journal=str(tmp_path / "a"),
+                           resume=str(tmp_path / "b"))
+
+    def test_foreign_journal_rejected(self, tmp_path):
+        journal = str(tmp_path / "c.journal")
+        CampaignRunner(workers=0, journal=journal, sink=NullSink()).run(
+            Campaign(jobs=JOBS[:1], name="first"))
+        with pytest.raises(CampaignError, match="journal"):
+            CampaignRunner(workers=0, resume=journal,
+                           sink=NullSink()).run(
+                Campaign(jobs=JOBS, name="second"))
+
+    def test_cancel_writes_terminal_cancelled_record(self, tmp_path):
+        journal = str(tmp_path / "c.journal")
+
+        class _CancelAfterFirst(_RecordingSink):
+            def emit(self, kind, **fields):
+                super().emit(kind, **fields)
+                if kind == "job-ok":
+                    runner.cancel()
+
+        sink = _CancelAfterFirst()
+        runner = CampaignRunner(workers=0, journal=journal, sink=sink)
+        outcome = runner.run(Campaign(jobs=JOBS, name="cancelled"))
+        statuses = [r.status for r in outcome.results]
+        assert statuses == ["ok", "cancelled", "cancelled"]
+        assert sink.kinds[-1] == "campaign-end"  # stream terminates
+        replay = read_journal(journal)
+        assert replay.terminal == "campaign-cancelled"
+        assert replay.completed == 1  # only the finished job is skippable
+
+
+class TestResumeDrill:
+    @pytest.mark.parametrize("backend", ("fork", "subprocess", "queue"))
+    def test_kill_resume_byte_identical(self, tmp_path, backend):
+        """SIGKILL the journaled engine after exactly one durable
+        outcome; the resumed run must skip exactly that job and merge
+        bytes identical to a clean cold run."""
+        from repro.guard.chaos import run_resume_drill
+
+        report = run_resume_drill(
+            workloads=["compress", "li", "go"], scale="tiny",
+            workers=2, backend=backend, kill_after=1,
+            work_dir=str(tmp_path))
+        assert report.killed, report.exit_code
+        assert report.resumed == 1
+        assert report.identical
+        assert report.ok
+
+    def test_kill_after_bounds_validated(self):
+        from repro.guard.chaos import run_resume_drill
+
+        with pytest.raises(ValueError):
+            run_resume_drill(workloads=["compress"], kill_after=1)
+
+
+class TestPoisonQuarantine:
+    def test_repeated_crasher_is_quarantined(self, tmp_path):
+        """A job that crashes its worker on every attempt must be
+        isolated as ``poisoned`` at the threshold — without burning
+        the full retry budget or harming its siblings."""
+        poison = Job(workload="bomb", kind="test-crash-always")
+        good = JOBS[0]
+        runner = CampaignRunner(workers=2, retries=5, backoff=0.01,
+                                backend="fork", poison_threshold=2,
+                                sink=NullSink())
+        outcome = runner.run(Campaign(jobs=(poison, good),
+                                      name="poison"))
+        bad, sibling = outcome.results
+        assert bad.status == "poisoned"
+        assert bad.attempts == 2  # threshold, not the retry budget
+        assert "quarantined as poison" in bad.error
+        assert sibling.ok
+
+    def test_poisoned_error_type_is_informative(self):
+        error = PoisonedJobError("k", 3, "worker crashed (exit code 86)")
+        assert "k" in str(error) and "3" in str(error)
+
+    def test_deterministic_failures_are_not_poison(self):
+        """Only infrastructure crashes count toward quarantine; a job
+        failing deterministically keeps the plain failed status."""
+        outcome = run_jobs(
+            (Job(workload="ghost", kind="test-does-not-exist"),),
+            workers=1, backend="queue", name="notpoison")
+        assert outcome.results[0].status == "failed"
+
+
+class TestHangDetection:
+    def test_fork_worker_hang_detected_and_retried(self, tmp_path):
+        """An injected hang (worker stops heartbeating, sleeps far past
+        the budget) must be detected as *hung* — not timed out — the
+        worker replaced, and the retry succeed."""
+        job = JOBS[0]
+        install_plan(FaultPlan(hang_job=job.key, hang_seconds=30.0,
+                               scratch=str(tmp_path)))
+        runner = CampaignRunner(workers=1, retries=2, backoff=0.01,
+                                backend="fork", hang_after=0.6,
+                                sink=NullSink())
+        outcome = runner.run(Campaign(jobs=(job,), name="hang"))
+        clear_plan()
+        assert outcome.ok
+        assert outcome.results[0].attempts == 2
+        assert runner.backend_metrics["hangs"] == 1
+        clean = run_jobs((job,), workers=0, name="hang")
+        assert outcome.canonical_json() == clean.canonical_json()
+
+    def test_heartbeat_interval_scales_with_budget(self):
+        assert heartbeat_interval(None) is None
+        assert heartbeat_interval(4.0) == 1.0
+        assert heartbeat_interval(40.0) == 1.0  # capped
+        assert heartbeat_interval(0.04) == 0.02  # floored
+
+    def test_slow_job_is_not_a_hang(self):
+        """A heartbeating slow job outlives the hang budget."""
+        job = Job(workload="slow", kind="test-nap-supervised",
+                  scale="0.8")
+        runner = CampaignRunner(workers=1, backend="fork",
+                                hang_after=0.3, sink=NullSink())
+        outcome = runner.run(Campaign(jobs=(job,), name="slow"))
+        assert outcome.ok
+        assert runner.backend_metrics["hangs"] == 0
+
+
+class TestRetryJitter:
+    def test_deterministic_across_calls(self):
+        assert retry_delay(0.5, "a:fast:tiny", 2) == retry_delay(
+            0.5, "a:fast:tiny", 2)
+
+    def test_spreads_distinct_jobs(self):
+        delays = {retry_delay(0.5, f"job-{i}", 1) for i in range(16)}
+        assert len(delays) == 16
+
+    def test_bounded_exponential_envelope(self):
+        for attempt in (1, 2, 3):
+            base = 0.25 * 2 ** (attempt - 1)
+            delay = retry_delay(0.25, "k", attempt)
+            assert base <= delay < 1.5 * base

@@ -85,6 +85,44 @@ class TestTieredStore:
         assert outcome.canonical_json() == baseline.canonical_json()
         assert any(name.endswith(".bad") for name in os.listdir(shared))
 
+    def test_corrupt_shared_tier_with_concurrent_writers(self, tmp_path):
+        """Satellite: corrupt *every* shared entry, then run a parallel
+        campaign whose workers concurrently read through and write
+        back. Quarantine must stay per-tier (shared files bagged, the
+        local tier untouched), the re-promoted shared entries must be
+        byte-exact copies of the local ones, and the merged output must
+        match a clean serial run."""
+        jobs = tuple(Job(w, "fast", "tiny")
+                     for w in ("compress", "li", "go"))
+        baseline = run_jobs(jobs, workers=0, name="cw")
+        seeded = str(tmp_path / "seeded")
+        shared = str(tmp_path / "shared")
+        run_jobs(jobs, workers=0, cache_dir=seeded,
+                 shared_cache_dir=shared, name="seed")
+        entries = CacheStore(shared).entries()
+        faults = inject_disk_faults(
+            shared, FaultPlan(seed=7, disk_bit_flips=len(entries)))
+        assert len(faults) == len(entries)
+        fresh = str(tmp_path / "fresh")
+        outcome = run_jobs(jobs, workers=2, cache_dir=fresh,
+                           shared_cache_dir=shared, name="cw")
+        assert outcome.ok
+        assert outcome.canonical_json() == baseline.canonical_json()
+        # Per-tier bookkeeping: every corrupt shared entry quarantined,
+        # nothing quarantined locally, and the per-job counters saw
+        # zero shared hits (every read fell through to a miss).
+        bagged = [n for n in os.listdir(shared) if n.endswith(".bad")]
+        assert len(bagged) == len(entries)
+        assert not any(n.endswith(".bad") for n in os.listdir(fresh))
+        tiers = [r.metrics["cache_tier"] for r in outcome.results]
+        assert sum(t["shared_hits"] for t in tiers) == 0
+        assert sum(t["misses"] for t in tiers) == len(jobs)
+        # Write-back repopulated the shared tier byte-exactly.
+        repopulated = CacheStore(shared).entries()
+        assert repopulated == CacheStore(fresh).entries()
+        for hexsig in repopulated:
+            assert _entries_equal(fresh, shared, hexsig)
+
     def test_quarantined_property_merges_tiers(self, tmp_path):
         store = TieredCacheStore(str(tmp_path / "l"), str(tmp_path / "s"))
         store.local.quarantined.append("a.fspc")
