@@ -1,42 +1,55 @@
-"""Replay-phase speedup of chain compilation (``repro.turbo``).
+"""Replay-phase speedup of the full turbo stack (``BENCH_10.json``).
 
-Measures the fast-forward replay loop — interpreted vs compiled — on
-the most memo-heavy workloads and writes ``BENCH_5.json`` at the repo
-root (schema: workload → ``{wall_s, cycles_per_s,
-speedup_vs_interpreted, ...}``).
+Sweeps the whole 18-workload suite across the three performance tiers
+(docs/performance.md § Where the time goes):
 
-"Memo-heavy" is ranked by replay-action density: the number of
-p-action-cache actions the replay loop processes per simulated cycle
-on a fully warm run (every workload is 100% replay once warm, so hit
-rate alone cannot discriminate). The default workload set is the top
-three by that metric — ``go``, ``perl``, ``gcc`` — re-derivable with
-``--rank``.
+* ``interpreted`` — warm p-cache, but every speed layer off: the
+  interpreted replay loop, per-instruction ``step()`` dispatch, no L1
+  filter. The honest baseline.
+* ``cold`` — empty p-cache, all layers on: the price of the first run
+  (record phase + compile warm-up).
+* ``warm`` — warm p-cache, all layers on, but segments must re-warm
+  and recompile in-process (what PR 9 and earlier shipped).
+* ``persisted_warm`` — warm p-cache **plus** the persisted compiled
+  segment archive (:mod:`repro.memo.segstore`): segments install
+  before the first replay. The headline configuration.
+
+plus two ablations of the persisted-warm configuration
+(``no_frontend`` — threaded-code dispatch off; ``no_filter`` — the
+direct-mapped L1 filter off), so each layer's contribution is
+separable.
 
 Methodology (noise-robust; hot loops are milliseconds long):
 
-* per workload × mode, a fresh :class:`~repro.memo.PActionCache` is
-  filled by ``--warm`` untimed runs (record phase + segment warm-up);
-* the replay phase is then timed as ``sim.run()`` on a pre-built
-  ``FastSim`` sharing the warm cache — construction (memory-system
-  allocation, a large fixed cost) is excluded from the window;
-* the two modes are timed **interleaved** (interpreted, compiled,
-  interpreted, …) so slow drift in host load hits both equally;
-* the **minimum** of ``--repeats`` runs is reported, the standard
-  estimator for a deterministic computation under scheduler noise;
+* per workload, one untimed fill run produces the warm p-cache and its
+  segment archive; every timed run starts from a **fresh deserialize**
+  of those bytes (construction and deserialization are excluded from
+  the timing window; segment *install* is not — it is part of what
+  persisted-warm buys);
+* modes are timed **interleaved** so slow host-load drift hits all
+  equally, and the **minimum** of ``--repeats`` runs is reported;
 * canonical results (``as_dict()`` minus host timing) are asserted
-  byte-identical between the two modes — the benchmark *is* a
-  bit-identity check, not just a timer.
+  byte-identical across *all six* configurations per workload — the
+  benchmark is a bit-identity check first and a timer second;
+* the summary row reports **geometric means**, and ``--min-speedup``
+  gates the geomean persisted-warm-vs-interpreted speedup (CI's
+  perf-smoke floor).
 
-Run directly (``python benchmarks/bench_replay_hot_loop.py``); this is
-not a pytest benchmark because it compares two engine configurations
-in one process rather than producing one fixture-driven number. CI
-runs ``--quick --min-speedup 1.0`` as the perf-smoke gate.
+Environment knobs (same semantics as benchmarks/conftest.py):
+``REPRO_BENCH_SCALE`` (default ``test``), ``REPRO_BENCH_WORKLOADS``
+(comma-separated subset, default all 18), ``REPRO_BENCH_CACHE_DIR``
+(persist fill-run artifacts across invocations through a
+:class:`~repro.campaign.cachedir.CacheStore`). CLI flags override the
+environment.
 """
 
 from __future__ import annotations
 
 import argparse
+import io
 import json
+import math
+import os
 import pathlib
 import sys
 import time
@@ -45,144 +58,216 @@ from typing import Dict, List, Optional
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.campaign.cachedir import CacheStore  # noqa: E402
+from repro.memo.engine import run_signature  # noqa: E402
 from repro.memo.pcache import PActionCache  # noqa: E402
+from repro.memo.persist import read_pcache, write_pcache  # noqa: E402
+from repro.memo.segstore import capture, dumps, loads  # noqa: E402
 from repro.sim.fastsim import FastSim  # noqa: E402
+from repro.uarch.params import ProcessorParams  # noqa: E402
 from repro.workloads.suite import (  # noqa: E402
     WORKLOAD_ORDER,
     load_workload,
 )
 
-#: Top three workloads by replay-action density (see module docstring;
-#: verify with ``--rank``).
-DEFAULT_WORKLOADS = ["go", "perl", "gcc"]
+#: Timed configurations: name -> FastSim keyword overrides. ``pcache``
+#: handling is per-mode: ``cold`` starts empty, everything else starts
+#: from the fill run's serialized bytes; ``persisted*``/``no_*`` modes
+#: additionally install the segment archive.
+MODES = ("interpreted", "cold", "warm", "persisted_warm",
+         "no_frontend", "no_filter")
 
 
-def _warm_cache(executable, turbo: bool, warm: int) -> PActionCache:
-    """A cache filled by *warm* untimed runs (record + segment warm-up)."""
+def _env_workloads() -> List[str]:
+    names = os.environ.get("REPRO_BENCH_WORKLOADS")
+    if not names:
+        return list(WORKLOAD_ORDER)
+    return [n.strip() for n in names.split(",") if n.strip()]
+
+
+def _fill(executable, store: Optional[CacheStore], signature):
+    """The untimed fill run: warm p-cache bytes + segment archive bytes.
+
+    With a ``REPRO_BENCH_CACHE_DIR`` store, artifacts persist across
+    invocations — later runs skip the fill entirely.
+    """
+    if store is not None:
+        cached = store.load(signature)
+        archive = store.load_segments(signature)
+        if cached is not None and archive is not None:
+            buffer = io.BytesIO()
+            write_pcache(cached, buffer)
+            return buffer.getvalue(), dumps(archive)
     cache = PActionCache()
-    for _ in range(warm):
-        FastSim(executable, pcache=cache, turbo=turbo).run()
-    return cache
+    FastSim(executable, pcache=cache, turbo=True).run()
+    FastSim(executable, pcache=cache, turbo=True).run()
+    buffer = io.BytesIO()
+    write_pcache(cache, buffer)
+    seg_blob = dumps(capture(cache))
+    if store is not None:
+        store.store(signature, cache)
+        store.store_segments(signature, capture(cache))
+    return buffer.getvalue(), seg_blob
 
 
-def _one_run(executable, cache: PActionCache, turbo: bool):
-    """One timed warm replay (construction excluded from the window)."""
-    sim = FastSim(executable, pcache=cache, turbo=turbo)
-    started = time.perf_counter()
-    outcome = sim.run()
-    return time.perf_counter() - started, outcome
+def _build(executable, mode: str, pcache_blob: bytes, seg_blob: bytes):
+    """An un-run FastSim for *mode* (all setup outside the window)."""
+    if mode == "cold":
+        return FastSim(executable, pcache=PActionCache(), turbo=True)
+    pcache = read_pcache(io.BytesIO(pcache_blob))
+    if mode == "interpreted":
+        return FastSim(executable, pcache=pcache, turbo=False,
+                       threaded_frontend=False, l1_filter=False)
+    if mode == "warm":
+        return FastSim(executable, pcache=pcache, turbo=True)
+    segstore = loads(seg_blob)
+    if mode == "no_frontend":
+        return FastSim(executable, pcache=pcache, turbo=True,
+                       segstore=segstore, threaded_frontend=False)
+    if mode == "no_filter":
+        return FastSim(executable, pcache=pcache, turbo=True,
+                       segstore=segstore, l1_filter=False)
+    return FastSim(executable, pcache=pcache, turbo=True,
+                   segstore=segstore)  # persisted_warm
 
 
-def bench_workload(name: str, scale: str, warm: int,
-                   repeats: int) -> Dict[str, object]:
-    """Measure one workload; raises if the modes ever disagree."""
+def bench_workload(name: str, scale: str, repeats: int,
+                   store: Optional[CacheStore]) -> Dict[str, object]:
+    """Measure one workload; raises if any mode ever disagrees."""
     executable = load_workload(name, scale)
-    interp_cache = _warm_cache(executable, False, warm)
-    turbo_cache = _warm_cache(executable, True, warm)
-    interp_s = turbo_s = None
-    interp_result = turbo_result = None
+    signature = run_signature(executable, ProcessorParams.r10k())
+    pcache_blob, seg_blob = _fill(executable, store, signature)
+
+    walls: Dict[str, float] = {}
+    outputs: Dict[str, Dict[str, object]] = {}
+    cycles = 0
     for _ in range(repeats):
-        elapsed, outcome = _one_run(executable, interp_cache, False)
-        if interp_s is None or elapsed < interp_s:
-            interp_s, interp_result = elapsed, outcome
-        elapsed, outcome = _one_run(executable, turbo_cache, True)
-        if turbo_s is None or elapsed < turbo_s:
-            turbo_s, turbo_result = elapsed, outcome
-    interp_out = interp_result.as_dict()
-    interp_out.pop("host_seconds", None)
-    turbo_out = turbo_result.as_dict()
-    turbo_out.pop("host_seconds", None)
-    cycles = turbo_result.cycles
-    if interp_out != turbo_out:
-        raise AssertionError(
-            f"{name}: compiled replay diverged from interpreted replay "
-            "(bit-identity violation)"
-        )
-    return {
-        "wall_s": round(turbo_s, 6),
-        "interpreted_wall_s": round(interp_s, 6),
+        for mode in MODES:
+            sim = _build(executable, mode, pcache_blob, seg_blob)
+            started = time.perf_counter()
+            outcome = sim.run()
+            elapsed = time.perf_counter() - started
+            if mode not in walls or elapsed < walls[mode]:
+                walls[mode] = elapsed
+            data = outcome.as_dict()
+            data.pop("host_seconds", None)
+            outputs[mode] = data
+            cycles = outcome.cycles
+    reference = outputs["interpreted"]
+    for mode in MODES:
+        if outputs[mode] != reference:
+            raise AssertionError(
+                f"{name}: mode {mode!r} diverged from the interpreted "
+                "baseline (bit-identity violation)"
+            )
+    best = walls["persisted_warm"]
+    row: Dict[str, object] = {
+        f"{mode}_wall_s": round(walls[mode], 6) for mode in MODES
+    }
+    row.update({
         "cycles": cycles,
-        "cycles_per_s": round(cycles / turbo_s, 1),
-        "speedup_vs_interpreted": round(interp_s / turbo_s, 3),
+        "cycles_per_s": round(cycles / best, 1),
+        "speedup_persisted_vs_interpreted":
+            round(walls["interpreted"] / best, 3),
+        "speedup_warm_vs_interpreted":
+            round(walls["interpreted"] / walls["warm"], 3),
         "identical": True,
         "scale": scale,
         "repeats": repeats,
+    })
+    return row
+
+
+def _geomean(values: List[float]) -> float:
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def summarize(document: Dict[str, Dict[str, object]]) -> Dict[str, object]:
+    """The ``_geomean`` row over every measured workload."""
+    rows = [row for key, row in document.items()
+            if not key.startswith("_")]
+    persisted = [row["speedup_persisted_vs_interpreted"] for row in rows]
+    warm = [row["speedup_warm_vs_interpreted"] for row in rows]
+    frontend = [row["no_frontend_wall_s"] / row["persisted_warm_wall_s"]
+                for row in rows]
+    filt = [row["no_filter_wall_s"] / row["persisted_warm_wall_s"]
+            for row in rows]
+    return {
+        "workloads": len(rows),
+        "speedup_persisted_vs_interpreted":
+            round(_geomean(persisted), 3),
+        "speedup_warm_vs_interpreted": round(_geomean(warm), 3),
+        "frontend_ablation_slowdown": round(_geomean(frontend), 3),
+        "filter_ablation_slowdown": round(_geomean(filt), 3),
+        "identical": all(row["identical"] for row in rows),
     }
-
-
-def rank_by_density(scale: str) -> List[tuple]:
-    """(density, workload) for the whole suite, heaviest first."""
-    rows = []
-    for name in WORKLOAD_ORDER:
-        executable = load_workload(name, scale)
-        cache = PActionCache()
-        FastSim(executable, pcache=cache).run()
-        warm = FastSim(executable, pcache=cache).run()
-        rows.append(
-            (warm.memo.actions_replayed / warm.cycles, name)
-        )
-    return sorted(rows, reverse=True)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--workloads",
-                        help="comma-separated workloads (default "
-                             f"{','.join(DEFAULT_WORKLOADS)})")
-    parser.add_argument("--scale", default="test",
-                        choices=["tiny", "test", "train"])
-    parser.add_argument("--warm", type=int, default=3,
-                        help="untimed cache-filling runs (default 3)")
-    parser.add_argument("--repeats", type=int, default=10,
+                        help="comma-separated workloads (default: "
+                             "$REPRO_BENCH_WORKLOADS or all 18)")
+    parser.add_argument("--scale",
+                        default=os.environ.get("REPRO_BENCH_SCALE",
+                                               "test"),
+                        choices=["tiny", "test", "train"],
+                        help="workload scale (default: "
+                             "$REPRO_BENCH_SCALE or test)")
+    parser.add_argument("--repeats", type=int, default=5,
                         help="timed runs per mode; minimum is "
-                             "reported (default 10)")
+                             "reported (default 5)")
     parser.add_argument("--quick", action="store_true",
-                        help="CI smoke: one workload, fewer repeats")
+                        help="CI smoke: fewer repeats")
     parser.add_argument("--min-speedup", type=float, default=0.0,
-                        help="fail (exit 1) if the best workload's "
-                             "speedup is below this")
-    parser.add_argument("--rank", action="store_true",
-                        help="print the replay-action density ranking "
-                             "and exit")
-    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_5.json"),
-                        help="output JSON path (default BENCH_5.json "
+                        help="fail (exit 1) if the GEOMEAN "
+                             "persisted-warm speedup is below this")
+    parser.add_argument("--cache-dir",
+                        default=os.environ.get("REPRO_BENCH_CACHE_DIR"),
+                        help="persist fill-run artifacts here across "
+                             "invocations (default: "
+                             "$REPRO_BENCH_CACHE_DIR)")
+    parser.add_argument("--out",
+                        default=str(REPO_ROOT / "BENCH_10.json"),
+                        help="output JSON path (default BENCH_10.json "
                              "at the repo root)")
     args = parser.parse_args(argv)
-
-    if args.rank:
-        for density, name in rank_by_density(args.scale):
-            print(f"{name:10s} actions/cycle={density:.3f}")
-        return 0
 
     if args.workloads:
         names = [n.strip() for n in args.workloads.split(",")
                  if n.strip()]
-    elif args.quick:
-        names = ["m88ksim"]
     else:
-        names = list(DEFAULT_WORKLOADS)
-    repeats = 4 if args.quick and args.repeats == 10 else args.repeats
+        names = _env_workloads()
+    repeats = 2 if args.quick and args.repeats == 5 else args.repeats
     for name in names:
         if name not in WORKLOAD_ORDER:
             parser.error(f"unknown workload {name!r}")
+    store = CacheStore(args.cache_dir) if args.cache_dir else None
 
     document: Dict[str, Dict[str, object]] = {}
     for name in names:
-        row = bench_workload(name, args.scale, args.warm, repeats)
+        row = bench_workload(name, args.scale, repeats, store)
         document[name] = row
-        print(f"{name:10s} interpreted={row['interpreted_wall_s']*1e3:8.2f}ms"
-              f" compiled={row['wall_s']*1e3:8.2f}ms"
-              f" speedup={row['speedup_vs_interpreted']:.2f}x"
+        print(f"{name:10s}"
+              f" interp={row['interpreted_wall_s'] * 1e3:8.2f}ms"
+              f" warm={row['warm_wall_s'] * 1e3:8.2f}ms"
+              f" persisted={row['persisted_warm_wall_s'] * 1e3:8.2f}ms"
+              f" speedup={row['speedup_persisted_vs_interpreted']:.2f}x"
               f" identical={row['identical']}")
+    document["_geomean"] = summary = summarize(document)
+    print(f"{'geomean':10s} persisted-warm speedup "
+          f"{summary['speedup_persisted_vs_interpreted']:.2f}x over "
+          f"{summary['workloads']} workloads "
+          f"(warm {summary['speedup_warm_vs_interpreted']:.2f}x)")
 
     with open(args.out, "w", encoding="utf-8") as stream:
         json.dump(document, stream, indent=2, sort_keys=True)
         stream.write("\n")
     print(f"wrote {args.out}")
 
-    best = max(row["speedup_vs_interpreted"] for row in document.values())
-    if best < args.min_speedup:
-        print(f"FAIL: best speedup {best:.2f}x < "
+    geomean = summary["speedup_persisted_vs_interpreted"]
+    if geomean < args.min_speedup:
+        print(f"FAIL: geomean persisted-warm speedup {geomean:.2f}x < "
               f"--min-speedup {args.min_speedup}", file=sys.stderr)
         return 1
     return 0

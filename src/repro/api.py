@@ -111,6 +111,8 @@ def simulate(
     audit_seed: int = 0,
     turbo: bool = True,
     turbo_threshold: Optional[int] = None,
+    threaded_frontend: bool = True,
+    l1_filter: bool = True,
     backend: Optional[str] = None,
 ) -> SimulationResult:
     """Simulate one program under one engine; returns the result.
@@ -128,7 +130,10 @@ def simulate(
     results stay bit-identical to an unguarded run; see
     docs/robustness.md. *turbo* / *turbo_threshold* (``fast`` only)
     control chain compilation of hot replay paths — on by default,
-    bit-identical either way; see docs/performance.md. With
+    bit-identical either way; see docs/performance.md.
+    *threaded_frontend* / *l1_filter* (``fast`` only) toggle the
+    host-side frontend/memory-hierarchy speed layers for ablation —
+    also on by default and bit-identical either way. With
     *shared_cache_dir* (requires *cache_dir*), warm-start reads
     through a two-tier store — local dir first, then the shared tier,
     promoting byte-exact hits locally; see docs/distributed.md.
@@ -157,6 +162,7 @@ def simulate(
             shared_cache_dir=shared_cache_dir, obs=obs,
             audit_every=audit_every, audit_seed=audit_seed,
             turbo=turbo, turbo_threshold=turbo_threshold,
+            threaded_frontend=threaded_frontend, l1_filter=l1_filter,
             backend=backend, name=f"simulate-{exe_or_name}",
         )
         job_result = outcome.results[0]
@@ -173,6 +179,7 @@ def simulate(
         executable, engine, params=params, policy=policy, store=store,
         obs=obs, audit_every=audit_every, audit_seed=audit_seed,
         turbo=turbo, turbo_threshold=turbo_threshold,
+        threaded_frontend=threaded_frontend, l1_filter=l1_filter,
     )
     return result
 
@@ -190,6 +197,8 @@ def _build_campaign(
     audit_seed: int,
     turbo: bool,
     turbo_threshold: Optional[int],
+    threaded_frontend: bool = True,
+    l1_filter: bool = True,
 ) -> Campaign:
     """The campaign both entry points build — grid or explicit jobs,
     with audit/turbo overrides applied to the ``fast`` simulate jobs."""
@@ -212,6 +221,10 @@ def _build_campaign(
         overrides.update(turbo=False)
     if turbo_threshold is not None:
         overrides.update(turbo_threshold=turbo_threshold)
+    if not threaded_frontend:
+        overrides.update(threaded_frontend=False)
+    if not l1_filter:
+        overrides.update(l1_filter=False)
     if overrides:
         from dataclasses import replace
 
@@ -248,6 +261,8 @@ def submit_campaign(
     audit_seed: int = 0,
     turbo: bool = True,
     turbo_threshold: Optional[int] = None,
+    threaded_frontend: bool = True,
+    l1_filter: bool = True,
     backend: Union[str, ExecutorBackend, None] = None,
     journal: Optional[str] = None,
     resume: Optional[str] = None,
@@ -278,6 +293,7 @@ def submit_campaign(
     campaign = _build_campaign(
         workloads, simulators, scale, params, include_native, jobs,
         name, backend, audit_every, audit_seed, turbo, turbo_threshold,
+        threaded_frontend=threaded_frontend, l1_filter=l1_filter,
     )
     if isinstance(progress, str):
         sink = make_sink(progress)
@@ -316,6 +332,8 @@ def run_campaign(
     audit_seed: int = 0,
     turbo: bool = True,
     turbo_threshold: Optional[int] = None,
+    threaded_frontend: bool = True,
+    l1_filter: bool = True,
     backend: Union[str, ExecutorBackend, None] = None,
     journal: Optional[str] = None,
     resume: Optional[str] = None,
@@ -351,7 +369,9 @@ def run_campaign(
         cache_dir=cache_dir, shared_cache_dir=shared_cache_dir,
         timeout=timeout, retries=retries, progress=progress, name=name,
         obs=obs, audit_every=audit_every, audit_seed=audit_seed,
-        turbo=turbo, turbo_threshold=turbo_threshold, backend=backend,
+        turbo=turbo, turbo_threshold=turbo_threshold,
+        threaded_frontend=threaded_frontend, l1_filter=l1_filter,
+        backend=backend,
         journal=journal, resume=resume, hang_after=hang_after,
     )
     return handle.result()

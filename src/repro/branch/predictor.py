@@ -71,16 +71,21 @@ class BimodalPredictor(BranchPredictor):
         return (pc >> 2) & (self.entries - 1)
 
     def predict_and_update(self, pc: int, taken: bool) -> bool:
-        index = self._index(pc)
-        counter = self._table[index]
+        # One call per conditional branch: ``_index``/``_tally`` are
+        # inlined here (same arithmetic as the helpers).
+        table = self._table
+        index = (pc >> 2) & (self.entries - 1)
+        counter = table[index]
         predicted = counter >= TAKEN_THRESHOLD
         if taken:
             if counter < 3:
-                self._table[index] = counter + 1
+                table[index] = counter + 1
         else:
             if counter > 0:
-                self._table[index] = counter - 1
-        self._tally(predicted, taken)
+                table[index] = counter - 1
+        self._predictions += 1
+        if predicted != taken:
+            self._mispredictions += 1
         return predicted
 
     def reset(self) -> None:

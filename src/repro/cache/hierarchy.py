@@ -41,6 +41,11 @@ from repro.errors import SimulationError
 #: :meth:`MemorySystem.poll_load` return value meaning "data available".
 READY = 0
 
+#: Entries in the DEW-style direct-mapped L1 load filter. Must be a
+#: power of two; sized so the filter itself stays resident in the host
+#: CPU's cache while covering far more lines than a hot loop touches.
+FILTER_SIZE = 256
+
 
 @dataclass
 class _LoadRequest:
@@ -83,7 +88,8 @@ class CacheStats:
 class MemorySystem:
     """Non-blocking L1 + L2 + bus + DRAM timing model."""
 
-    def __init__(self, params: Optional[MemorySystemParams] = None):
+    def __init__(self, params: Optional[MemorySystemParams] = None,
+                 l1_filter: bool = True):
         self.params = params if params is not None else MemorySystemParams()
         self.l1 = TagArray(self.params.l1)
         self.l2 = TagArray(self.params.l2)
@@ -95,6 +101,21 @@ class MemorySystem:
         self._next_token = 0
         #: Completion times of stores occupying store-buffer slots.
         self._store_slots: List[int] = []
+        #: DEW-style direct-mapped load filter: ``slot -> (line, way)``
+        #: short-circuiting repeated same-line L1 load hits before the
+        #: full MSHR + set lookup. Invariant: an entry exists only for a
+        #: line currently valid in the L1 tags with no in-flight L1 MSHR
+        #: newer than the insert — inserts happen only on the probe-hit
+        #: path (which the in-flight check precedes), and every L1
+        #: eviction/invalidation clears the matching entry. The filter
+        #: is a host-side accelerator: hit/miss statistics, LRU motion,
+        #: and returned intervals are byte-identical with it off.
+        self._filter_enabled = bool(l1_filter)
+        self._filter_mask = FILTER_SIZE - 1
+        self._filter: List[Optional[tuple]] = [None] * FILTER_SIZE
+        self.filter_hits = 0
+        self.filter_misses = 0
+        self.filter_invalidations = 0
 
     # ------------------------------------------------------------------
     # Loads
@@ -109,6 +130,26 @@ class MemorySystem:
         self.stats.loads += 1
         params = self.params
         line = self.l1.line_address(address)
+
+        slot = -1
+        if self._filter_enabled:
+            slot = (line >> self.l1._line_shift) & self._filter_mask
+            entry = self._filter[slot]
+            if entry is not None and entry[0] == line:
+                # Filtered hit: the line is proven present with no
+                # in-flight fill, so replay the probe-hit bookkeeping
+                # without touching MSHRs or walking the set. Deferring
+                # release_completed is unobservable — every other MSHR
+                # reader releases first (at a time >= now).
+                self.filter_hits += 1
+                self.stats.l1_load_hits += 1
+                self.l1.touch(entry[1])
+                ready = now + params.l1_hit_latency
+                request = self._remember(address, width, now, ready,
+                                         l1_hit=True, l2_hit=True)
+                return request.token, max(1, ready - now)
+            self.filter_misses += 1
+
         self.l1_mshrs.release_completed(now)
         self.l2_mshrs.release_completed(now)
 
@@ -121,8 +162,11 @@ class MemorySystem:
                                      l1_hit=False, l2_hit=True)
             return request.token, max(1, completion - now)
 
-        if self.l1.probe(address):
+        way = self.l1.probe_line(line)
+        if way is not None:
             self.stats.l1_load_hits += 1
+            if slot >= 0:
+                self._filter[slot] = (line, way)
             ready = now + params.l1_hit_latency
             request = self._remember(address, width, now, ready,
                                      l1_hit=True, l2_hit=True)
@@ -182,11 +226,14 @@ class MemorySystem:
         line = self.l1.line_address(address)
         if not is_store or self.l1.contains(line):
             # Write-through L1 does not allocate on store misses.
-            self.l1.fill(line)
+            displaced = self.l1.fill(line)
+            if displaced is not None:
+                self._filter_invalidate(displaced[0])
         evicted = self.l2.fill(self.l2.line_address(address),
                                dirty=is_store)
         if evicted is not None:
             self.l1.invalidate(evicted[0])
+            self._filter_invalidate(evicted[0])
 
     def cancel_load(self, token: int) -> None:
         """Forget an issued load (squashed wrong-path instruction).
@@ -296,8 +343,11 @@ class MemorySystem:
         return request_done + params.memory_latency
 
     def _fill_l1(self, line: int) -> None:
-        """Insert *line* into L1 (write-through: evictions are silent)."""
-        self.l1.fill(line)
+        """Insert *line* into L1 (write-through: evictions are silent —
+        but the load filter must forget the displaced line)."""
+        evicted = self.l1.fill(line)
+        if evicted is not None:
+            self._filter_invalidate(evicted[0])
 
     def _fill_l2(self, line: int, dirty: bool) -> None:
         """Insert *line* into L2, scheduling a writeback if needed."""
@@ -308,6 +358,23 @@ class MemorySystem:
             # Inclusive-enough behaviour: drop the line from L1 as well so
             # both levels stay consistent about what is cached.
             self.l1.invalidate(evicted[0])
+            self._filter_invalidate(evicted[0])
+
+    def _filter_invalidate(self, line: int) -> None:
+        """Exact invalidation: clear the filter slot iff it names *line*."""
+        slot = (line >> self.l1._line_shift) & self._filter_mask
+        entry = self._filter[slot]
+        if entry is not None and entry[0] == line:
+            self._filter[slot] = None
+            self.filter_invalidations += 1
+
+    def filter_stats(self) -> Dict[str, int]:
+        """Host-side filter effectiveness counters (never canonical)."""
+        return {
+            "hits": self.filter_hits,
+            "misses": self.filter_misses,
+            "invalidations": self.filter_invalidations,
+        }
 
     # ------------------------------------------------------------------
 

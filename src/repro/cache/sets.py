@@ -65,6 +65,29 @@ class TagArray:
         self.misses += 1
         return False
 
+    def probe_line(self, line_addr: int,
+                   update_lru: bool = True) -> Optional[_Way]:
+        """:meth:`probe` for an already line-aligned address, returning
+        the hit :class:`_Way` (or None on miss) so callers can remember
+        it. Statistics and LRU behave exactly like :meth:`probe`."""
+        ways, tag = self._locate(line_addr)
+        for way in ways:
+            if way.tag == tag:
+                if update_lru:
+                    self._clock += 1
+                    way.lru = self._clock
+                self.hits += 1
+                return way
+        self.misses += 1
+        return None
+
+    def touch(self, way: _Way) -> None:
+        """Refresh LRU + count a hit for a way a filter already proved
+        present — byte-for-byte the bookkeeping of a :meth:`probe` hit."""
+        self._clock += 1
+        way.lru = self._clock
+        self.hits += 1
+
     def contains(self, address: int) -> bool:
         """Hit/miss check without touching LRU or statistics."""
         ways, tag = self._locate(self.line_address(address))

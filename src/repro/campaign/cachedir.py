@@ -69,11 +69,16 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Union
 
 from repro.errors import MemoizationError
+from repro.memo import segstore
 from repro.memo.pcache import PActionCache
 from repro.memo.persist import load_pcache, save_pcache
 from repro.obs.core import ensure_observer
 
 _SUFFIX = ".fspc"
+#: Sibling file carrying the persisted compiled segments for a binding
+#: (:mod:`repro.memo.segstore`); same name, different suffix, same
+#: quarantine/miss semantics as the p-cache itself.
+_SEG_SUFFIX = ".fsseg"
 #: Appended to a corrupt cache file's name when it is quarantined.
 QUARANTINE_SUFFIX = ".bad"
 
@@ -188,6 +193,10 @@ class CacheStore:
         """The cache file path for one binding signature."""
         return os.path.join(self.root, signature.hex() + _SUFFIX)
 
+    def seg_path_for(self, signature: bytes) -> str:
+        """The compiled-segment archive path for one binding signature."""
+        return os.path.join(self.root, signature.hex() + _SEG_SUFFIX)
+
     def load(self, signature: bytes) -> Optional[PActionCache]:
         """Return the persisted cache for *signature*, or None.
 
@@ -210,6 +219,25 @@ class CacheStore:
                 "persisted cache bound to a different program"))
             return None
         return cache
+
+    def load_segments(self, signature: bytes):
+        """The persisted segment archive for *signature*, or None.
+
+        Same contract as :meth:`load`: missing files miss silently,
+        damaged files miss *and* quarantine. A quarantined (or even a
+        silently wrong) archive can never corrupt a run — install
+        recompiles every record from the live graph and digest-checks
+        it (:mod:`repro.memo.segstore`) — so this path is pure
+        optimisation, like warm-start itself.
+        """
+        path = self.seg_path_for(signature)
+        try:
+            return segstore.load_segments(path)
+        except FileNotFoundError:
+            return None
+        except (MemoizationError, OSError, IndexError) as exc:
+            self._quarantine(path, exc)
+            return None
 
     def _quarantine(self, path: str, exc: Exception) -> None:
         """Rename a corrupt cache file aside and report it."""
@@ -265,23 +293,47 @@ class CacheStore:
                 os.unlink(temp_path)
         return True
 
+    def store_segments(self, signature: bytes, archive) -> bool:
+        """Persist a :class:`~repro.memo.segstore.SegmentArchive`.
+
+        Empty archives are not worth a file (a later run simply
+        re-warms); returns True when a file was written. The write is
+        concurrency-safe exactly like :meth:`store` (writer-unique
+        temp file + atomic replace).
+        """
+        if not archive.records:
+            return False
+        temp_path = self._temp_path(signature)
+        try:
+            with open(temp_path, "wb") as stream:
+                segstore.write_segments(archive, stream)
+            os.replace(temp_path, self.seg_path_for(signature))
+        finally:
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+        return True
+
     # -- raw byte transfer (tier promotion / write-back) ---------------
 
-    def read_bytes(self, signature: bytes) -> Optional[bytes]:
+    def read_bytes(self, signature: bytes,
+                   suffix: str = _SUFFIX) -> Optional[bytes]:
         """The persisted file's raw bytes, or None when missing.
 
         No integrity check happens here — the receiving tier's
         :meth:`load` re-validates, and a corrupt transfer quarantines
-        there exactly like a corrupt local write would.
+        there exactly like a corrupt local write would. *suffix*
+        selects the p-cache file (default) or its ``.fsseg`` sibling.
         """
         try:
-            with open(self.path_for(signature), "rb") as stream:
+            path = os.path.join(self.root, signature.hex() + suffix)
+            with open(path, "rb") as stream:
                 return stream.read()
         except OSError:
             return None
 
-    def write_bytes(self, signature: bytes, data: bytes) -> None:
-        """Atomically install raw persisted-cache bytes for *signature*.
+    def write_bytes(self, signature: bytes, data: bytes,
+                    suffix: str = _SUFFIX) -> None:
+        """Atomically install raw persisted bytes for *signature*.
 
         Used for byte-exact tier promotion and write-back: copying the
         file instead of re-serialising guarantees both tiers hold
@@ -291,14 +343,16 @@ class CacheStore:
         try:
             with open(temp_path, "wb") as stream:
                 stream.write(data)
-            os.replace(temp_path, self.path_for(signature))
+            os.replace(temp_path,
+                       os.path.join(self.root, signature.hex() + suffix))
         finally:
             if os.path.exists(temp_path):
                 os.unlink(temp_path)
 
-    def has(self, signature: bytes) -> bool:
+    def has(self, signature: bytes, suffix: str = _SUFFIX) -> bool:
         """Whether a persisted file exists for *signature* (no parse)."""
-        return os.path.exists(self.path_for(signature))
+        return os.path.exists(
+            os.path.join(self.root, signature.hex() + suffix))
 
     def entries(self) -> List[str]:
         """Hex signatures currently persisted, sorted."""
@@ -351,6 +405,8 @@ class TieredCacheStore:
         self.tier_stats: Dict[str, int] = {
             "local_hits": 0, "shared_hits": 0, "misses": 0,
             "promotions": 0, "writebacks": 0,
+            "seg_local_hits": 0, "seg_shared_hits": 0, "seg_misses": 0,
+            "seg_promotions": 0, "seg_writebacks": 0,
             "breaker_failures": 0, "breaker_short_circuits": 0,
             "breaker_opened": 0,
         }
@@ -443,6 +499,31 @@ class TieredCacheStore:
         self._count("misses")
         return None
 
+    def load_segments(self, signature: bytes):
+        """Local-first read-through segment load, like :meth:`load`.
+
+        A shared-tier archive is promoted into the local dir byte-for-
+        byte; corruption quarantines in whichever tier served the bytes
+        and falls through. Counted separately (``seg_*`` tier stats) so
+        the p-cache hit-rate numbers stay undiluted.
+        """
+        archive = self.local.load_segments(signature)
+        if archive is not None:
+            self._count("seg_local_hits")
+            return archive
+        archive = self._shared_call(
+            lambda: self.shared.load_segments(signature))
+        if archive is not None:
+            self._count("seg_shared_hits")
+            data = self._shared_call(
+                lambda: self.shared.read_bytes(signature, _SEG_SUFFIX))
+            if data is not None:
+                self.local.write_bytes(signature, data, _SEG_SUFFIX)
+                self._count("seg_promotions")
+            return archive
+        self._count("seg_misses")
+        return None
+
     def store(self, signature: bytes, cache: PActionCache,
               known_nodes: int = 0) -> bool:
         """Write locally, then write the same bytes back to the shared
@@ -455,12 +536,23 @@ class TieredCacheStore:
             self._count("writebacks")
         return saved
 
-    def _write_back(self, signature: bytes, saved: bool) -> bool:
+    def store_segments(self, signature: bytes, archive) -> bool:
+        """Write the archive locally, then byte-exact write-back."""
+        saved = self.local.store_segments(signature, archive)
+        wrote = self._shared_call(
+            lambda: self._write_back(signature, saved, _SEG_SUFFIX),
+            default=False)
+        if wrote:
+            self._count("seg_writebacks")
+        return saved
+
+    def _write_back(self, signature: bytes, saved: bool,
+                    suffix: str = _SUFFIX) -> bool:
         """The shared half of :meth:`store`; runs behind the breaker."""
-        if saved or not self.shared.has(signature):
-            data = self.local.read_bytes(signature)
+        if saved or not self.shared.has(signature, suffix):
+            data = self.local.read_bytes(signature, suffix)
             if data is not None:
-                self.shared.write_bytes(signature, data)
+                self.shared.write_bytes(signature, data, suffix)
                 return True
         return False
 

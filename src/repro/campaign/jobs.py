@@ -108,6 +108,13 @@ class Job:
     #: of the same coordinates are the same measurement.
     turbo: bool = True
     turbo_threshold: Optional[int] = None
+    #: Host-side speed layers (``fast`` jobs only): threaded-code
+    #: dispatch in the speculative frontend and the direct-mapped L1
+    #: filter in the memory hierarchy. Both on by default; exposed for
+    #: ablation benchmarks. Like ``turbo``, deliberately **not** part
+    #: of the key — neither may ever change canonical results.
+    threaded_frontend: bool = True
+    l1_filter: bool = True
     #: Always None. The executor backend is a campaign-level placement
     #: decision (:attr:`repro.campaign.engine.Campaign.backend`), never
     #: a per-job one: jobs are the unit of *measurement*, backends the

@@ -79,6 +79,8 @@ def simulate_executable(
     audit_seed: int = 0,
     turbo: bool = True,
     turbo_threshold: Optional[int] = None,
+    threaded_frontend: bool = True,
+    l1_filter: bool = True,
 ):
     """Run one simulator over *executable*; returns (result, metrics).
 
@@ -95,6 +97,13 @@ def simulate_executable(
     *turbo* / *turbo_threshold* control chain compilation of hot
     replay paths (``fast`` only; on by default) — canonical results
     are bit-identical either way, see docs/performance.md.
+    *threaded_frontend* / *l1_filter* toggle the host-side frontend
+    and memory-hierarchy speed layers (``fast`` only; on by default;
+    never change canonical results). When warm-starting with turbo on,
+    the compiled-segment archive persisted next to the p-cache
+    (``.fsseg``, :mod:`repro.memo.segstore`) is loaded and installed so
+    the run skips segment re-warm-up, and the run's own live segments
+    are captured back to the store afterwards.
     """
     metrics: Dict[str, object] = {}
 
@@ -123,15 +132,26 @@ def simulate_executable(
             TurboConfig(enabled=bool(turbo), threshold=turbo_threshold)
             if turbo_threshold is not None else turbo
         )
+        seg_archive = None
+        if (pcache is not None and bool(turbo)
+                and hasattr(store, "load_segments")):
+            # Segments only install against the graph they were captured
+            # from, so a cold p-cache makes the archive useless — skip
+            # the read entirely.
+            seg_archive = store.load_segments(signature)
         sim = FastSim(executable, params=params, policy=policy,
                       pcache=pcache, obs=obs,
                       audit_every=audit_every, audit_seed=audit_seed,
-                      turbo=turbo_cfg)
+                      turbo=turbo_cfg,
+                      threaded_frontend=threaded_frontend,
+                      l1_filter=l1_filter, segstore=seg_archive)
         result = sim.run()
         table = sim.pcache.turbo
         if sim.engine.turbo.enabled and table is not None:
             # Host-side diagnostics (metrics, not canonical output).
             metrics["turbo"] = table.snapshot()
+        if sim.segstore_stats is not None:
+            metrics["segstore"] = dict(sim.segstore_stats)
         if audit_every is not None:
             metrics["audits"] = sim.engine.audits
             metrics["audit_divergences"] = sim.engine.divergences
@@ -145,6 +165,12 @@ def simulate_executable(
             )
             if obs is not None and metrics["cache_saved"]:
                 obs.counter("campaign.cache_saves")
+            if (sim.engine.turbo.enabled and table is not None
+                    and hasattr(store, "store_segments")):
+                from repro.memo.segstore import capture
+
+                metrics["segments_saved"] = store.store_segments(
+                    signature, capture(sim.pcache))
     elif simulator == "slow":
         from repro.sim.slowsim import SlowSim
 
@@ -184,6 +210,8 @@ def _simulate(job: Job, store: Optional[CacheStore],
         audit_seed=getattr(job, "audit_seed", 0),
         turbo=getattr(job, "turbo", True),
         turbo_threshold=getattr(job, "turbo_threshold", None),
+        threaded_frontend=getattr(job, "threaded_frontend", True),
+        l1_filter=getattr(job, "l1_filter", True),
     )
     if store is not None and store.quarantined:
         metrics["cache_quarantined"] = list(store.quarantined)

@@ -130,6 +130,17 @@ def _turbo_options() -> argparse.ArgumentParser:
     parent.add_argument("--turbo-threshold", type=int, metavar="N",
                         help="traversals before a chain is compiled "
                              "(default 8; see docs/performance.md)")
+    parent.add_argument("--no-threaded-frontend",
+                        dest="threaded_frontend", action="store_false",
+                        default=True,
+                        help="disable threaded-code dispatch in the "
+                             "speculative frontend (ablation; "
+                             "bit-identical either way)")
+    parent.add_argument("--no-l1-filter", dest="l1_filter",
+                        action="store_false", default=True,
+                        help="disable the direct-mapped L1 filter in "
+                             "the memory hierarchy (ablation; "
+                             "bit-identical either way)")
     return parent
 
 
@@ -455,7 +466,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     fast = simulate(args.workload, engine="fast", scale=args.scale,
                     obs=obs, audit_every=audit_every,
                     audit_seed=args.audit_seed, turbo=args.turbo,
-                    turbo_threshold=args.turbo_threshold)
+                    turbo_threshold=args.turbo_threshold,
+                    threaded_frontend=args.threaded_frontend,
+                    l1_filter=args.l1_filter)
     slow = simulate(args.workload, engine="slow", scale=args.scale,
                     obs=obs)
     base = simulate(args.workload, engine="baseline", scale=args.scale,
@@ -502,6 +515,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         audit_seed=args.audit_seed,
         turbo=args.turbo,
         turbo_threshold=args.turbo_threshold,
+        threaded_frontend=args.threaded_frontend,
+        l1_filter=args.l1_filter,
         journal=args.journal,
         resume=args.resume,
         hang_after=args.hang_after,

@@ -28,6 +28,7 @@ from typing import Optional
 from repro.branch.predictor import BranchPredictor
 from repro.emulator.checkpoint import BQ_CAPACITY, BranchCheckpointQueue
 from repro.emulator.functional import Interpreter
+from repro.emulator.threaded import TERM_COND, BlockCache
 from repro.emulator.queues import (
     ControlKind,
     ControlRecord,
@@ -49,17 +50,40 @@ class SpeculativeFrontend:
         max_instructions: int = 500_000_000,
         bq_capacity: int = BQ_CAPACITY,
         state=None,
+        threaded: bool = True,
     ):
         """*state* (optional) lets the frontend pick up mid-program from
         an existing :class:`~repro.emulator.state.ArchState` — used by
         the sampling simulator to alternate functional skipping with
-        detailed measurement windows."""
+        detailed measurement windows.
+
+        *threaded* (default on) runs straight-line code through the
+        threaded-code block dispatcher (:mod:`repro.emulator.threaded`)
+        instead of per-instruction ``step()`` dispatch. Control events,
+        records, and every canonical result are byte-identical either
+        way — the knob exists for ablation benchmarks."""
         self.executable = executable
         self.predictor = predictor
         self.interpreter = Interpreter(executable, state)
         self.queues = RecordQueues()
         self.bq = BranchCheckpointQueue(bq_capacity)
         self.max_instructions = max_instructions
+        self.threaded = bool(threaded)
+        self._blocks = (BlockCache(self.interpreter, self.queues)
+                        if self.threaded else None)
+        # Pre-bound hot-path references: every object here is
+        # identity-stable for the lifetime of the frontend (queues are
+        # truncated in place, state/predictor/bq never replaced), so
+        # run_one_event — called once per control event — skips the
+        # attribute chase and bound-method allocation per call.
+        self._block_at = (self._blocks.block_at
+                          if self._blocks is not None else None)
+        self._step = self.interpreter.step
+        self._loads = self.queues.loads
+        self._stores = self.queues.stores
+        self._controls = self.queues.controls
+        self._controls_append = self.queues.controls.append
+        self._bq_save = self.bq.save
         #: Total instructions functionally executed, wrong paths included.
         self.executed_instructions = 0
         #: Instructions undone by misprediction rollbacks.
@@ -100,76 +124,172 @@ class SpeculativeFrontend:
             queues.controls.append(record)
             return record
 
-        while True:
-            if self.executed_instructions >= self.max_instructions:
-                raise SimulationError(
-                    f"frontend exceeded {self.max_instructions} instructions"
-                )
-            instr = interpreter.step()
-            self.executed_instructions += 1
-
-            if instr.is_load:
-                queues.loads.append(
-                    LoadRecord(interpreter.last_mem_addr, interpreter.last_mem_width)
-                )
-            elif instr.is_store:
-                queues.stores.append(
-                    StoreRecord(
-                        interpreter.last_mem_addr,
-                        interpreter.last_mem_width,
-                        interpreter.last_store_old,
+        # Hot loop: every attribute consulted per iteration is hoisted
+        # into a local; the executed-instruction counter lives in a
+        # local and is written back at every exit (including the budget
+        # raise), so observers always see it current.
+        blocks = self._blocks
+        block_at = self._block_at
+        step = self._step
+        loads = self._loads
+        stores = self._stores
+        controls = self._controls
+        controls_append = self._controls_append
+        # ``predict_and_update`` stays a direct attribute call at its
+        # two call sites (not pre-bound like the rest): the flow lint's
+        # replay-reachability resolves the predictor layer through
+        # those call edges.
+        predictor = self.predictor
+        bq_save = self._bq_save
+        executed = self.executed_instructions
+        limit = self.max_instructions
+        try:
+            while True:
+                if block_at is not None:
+                    # Threaded fast path: run the straight-line block at
+                    # the current PC in one shot. Blocks never contain
+                    # control events and only run when they fit the
+                    # remaining budget, so the step path below sees
+                    # exactly the state (and raises exactly the errors)
+                    # it always did.
+                    ops, count, end_pc, term = block_at(state.pc)
+                    if count:
+                        if count <= limit - executed:
+                            for op in ops:
+                                op()
+                            state.pc = end_pc
+                            state.instret += count
+                            executed += count
+                            blocks.block_runs += 1
+                            blocks.threaded_instructions += count
+                        else:
+                            # Over budget: the step path re-executes the
+                            # block one instruction at a time so the
+                            # budget raise lands on the exact
+                            # instruction. We are not at the branch, so
+                            # the terminator must not run.
+                            term = None
+                    if term is not None and executed < limit:
+                        if term[0] == TERM_COND:
+                            # Fused conditional branch: evaluate the
+                            # decode-time-bound condition and run the
+                            # same predictor/record/checkpoint sequence
+                            # as the step path below — without the
+                            # generic dispatch. PC lands on the
+                            # *correct* target first (that is what the
+                            # checkpoint saves), then diverts down the
+                            # predicted path on a mispredict.
+                            _, cond, uses_fcc, address, target, fall = term
+                            actual_taken = (cond(state.fcc) if uses_fcc
+                                            else cond(state.icc))
+                            state.pc = target if actual_taken else fall
+                            state.instret += 1
+                            executed += 1
+                            blocks.fused_branches += 1
+                            predicted_taken = predictor.predict_and_update(
+                                address, actual_taken)
+                            record = ControlRecord(
+                                ControlKind.COND, address, actual_taken,
+                                predicted_taken, 0,
+                                len(loads), len(stores),
+                            )
+                            control_index = len(controls)
+                            controls_append(record)
+                            if predicted_taken != actual_taken:
+                                bq_save(control_index, state, state.pc)
+                                state.pc = (target if predicted_taken
+                                            else fall)
+                            return record
+                        # Fused indirect jump (jmpl): compute the
+                        # dynamic target, link the decode-time constant
+                        # ``address + 4``, record INDIRECT. A
+                        # misaligned target falls through to the step
+                        # path, which raises the canonical error from
+                        # unchanged state.
+                        _, address, rs1, rs2, imm, rd, link = term
+                        regs = state.regs
+                        base = regs[rs1] if rs1 else 0
+                        if imm is not None:
+                            target = (base + imm) & 0xFFFF_FFFF
+                        else:
+                            target = (base + (regs[rs2] if rs2 else 0)) \
+                                & 0xFFFF_FFFF
+                        if target % 4 == 0:
+                            if rd:
+                                regs[rd] = link
+                            state.pc = target
+                            state.instret += 1
+                            executed += 1
+                            record = ControlRecord(
+                                ControlKind.INDIRECT, address, True,
+                                False, target, len(loads), len(stores),
+                            )
+                            controls_append(record)
+                            return record
+                if executed >= limit:
+                    raise SimulationError(
+                        f"frontend exceeded {limit} instructions"
                     )
-                )
+                instr = step()
+                executed += 1
 
-            if instr.is_conditional_branch:
-                return self._record_conditional(instr)
-            if instr.is_indirect_jump:
-                record = ControlRecord(
-                    ControlKind.INDIRECT,
-                    instr.address,
-                    taken=True,
-                    target=interpreter.last_target,
-                    lq_len=len(queues.loads),
-                    sq_len=len(queues.stores),
-                )
-                queues.controls.append(record)
-                return record
-            if state.halted:
-                record = ControlRecord(
-                    ControlKind.HALT,
-                    instr.address,
-                    lq_len=len(queues.loads),
-                    sq_len=len(queues.stores),
-                )
-                queues.controls.append(record)
-                return record
+                if instr.is_load:
+                    loads.append(
+                        LoadRecord(interpreter.last_mem_addr,
+                                   interpreter.last_mem_width)
+                    )
+                elif instr.is_store:
+                    stores.append(
+                        StoreRecord(
+                            interpreter.last_mem_addr,
+                            interpreter.last_mem_width,
+                            interpreter.last_store_old,
+                        )
+                    )
 
-    def _record_conditional(self, instr) -> ControlRecord:
-        """Handle a just-executed conditional branch."""
-        interpreter = self.interpreter
-        state = interpreter.state
-        queues = self.queues
-        actual_taken = interpreter.last_taken
-        predicted_taken = self.predictor.predict_and_update(
-            instr.address, actual_taken
-        )
-        record = ControlRecord(
-            ControlKind.COND,
-            instr.address,
-            taken=actual_taken,
-            predicted_taken=predicted_taken,
-            lq_len=len(queues.loads),
-            sq_len=len(queues.stores),
-        )
-        control_index = len(queues.controls)
-        queues.controls.append(record)
-        if predicted_taken != actual_taken:
-            # Checkpoint with PC at the *correct* destination, then divert
-            # execution down the predicted (wrong) path.
-            corrected_pc = state.pc
-            self.bq.save(control_index, state, corrected_pc)
-            state.pc = instr.target if predicted_taken else instr.fall_through
-        return record
+                if instr.is_conditional_branch:
+                    # (Inlined _record_conditional — one call site, on
+                    # the hottest event path.)
+                    actual_taken = interpreter.last_taken
+                    predicted_taken = predictor.predict_and_update(
+                        instr.address, actual_taken)
+                    record = ControlRecord(
+                        ControlKind.COND, instr.address, actual_taken,
+                        predicted_taken, 0, len(loads), len(stores),
+                    )
+                    control_index = len(queues.controls)
+                    controls_append(record)
+                    if predicted_taken != actual_taken:
+                        # Checkpoint with PC at the *correct*
+                        # destination, then divert execution down the
+                        # predicted (wrong) path.
+                        corrected_pc = state.pc
+                        self.bq.save(control_index, state, corrected_pc)
+                        state.pc = (instr.target if predicted_taken
+                                    else instr.fall_through)
+                    return record
+                if instr.is_indirect_jump:
+                    record = ControlRecord(
+                        ControlKind.INDIRECT,
+                        instr.address,
+                        taken=True,
+                        target=interpreter.last_target,
+                        lq_len=len(loads),
+                        sq_len=len(stores),
+                    )
+                    queues.controls.append(record)
+                    return record
+                if state.halted:
+                    record = ControlRecord(
+                        ControlKind.HALT,
+                        instr.address,
+                        lq_len=len(loads),
+                        sq_len=len(stores),
+                    )
+                    queues.controls.append(record)
+                    return record
+        finally:
+            self.executed_instructions = executed
 
     # ------------------------------------------------------------------
 
@@ -202,6 +322,13 @@ class SpeculativeFrontend:
         self.rollbacks += 1
 
     # ------------------------------------------------------------------
+
+    def frontend_stats(self) -> dict:
+        """Host-side dispatcher counters (never canonical)."""
+        if self._blocks is None:
+            return {"blocks_decoded": 0, "block_runs": 0,
+                    "threaded_instructions": 0, "fused_branches": 0}
+        return self._blocks.stats()
 
     def control(self, index: int) -> Optional[ControlRecord]:
         """Return control record *index* if recorded, else None."""

@@ -21,7 +21,6 @@ record, after restoring pre-store values in reverse order.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 from typing import List, Optional
 
 
@@ -33,7 +32,14 @@ class ControlKind(enum.IntEnum):
     HALT = 2  #: program executed ``halt``
 
 
-@dataclass(frozen=True)
+# The three record types below are plain __slots__ classes rather than
+# (frozen) dataclasses: they are allocated once per executed memory /
+# control instruction on the frontend's hottest path, and a frozen
+# dataclass pays one object.__setattr__ per field. Treat instances as
+# immutable — queues are append-only and truncate-on-rollback; nothing
+# may mutate a record after construction.
+
+
 class ControlRecord:
     """One control-flow event recorded by the frontend.
 
@@ -43,13 +49,27 @@ class ControlRecord:
     is what rollback truncates to.
     """
 
-    kind: ControlKind
-    pc: int
-    taken: bool = False
-    predicted_taken: bool = False
-    target: int = 0  #: actual destination (indirect jumps; corrected path)
-    lq_len: int = 0
-    sq_len: int = 0
+    __slots__ = ("kind", "pc", "taken", "predicted_taken", "target",
+                 "lq_len", "sq_len")
+
+    def __init__(self, kind: ControlKind, pc: int, taken: bool = False,
+                 predicted_taken: bool = False, target: int = 0,
+                 lq_len: int = 0, sq_len: int = 0):
+        self.kind = kind
+        self.pc = pc
+        self.taken = taken
+        self.predicted_taken = predicted_taken
+        #: actual destination (indirect jumps; corrected path)
+        self.target = target
+        self.lq_len = lq_len
+        self.sq_len = sq_len
+
+    def __repr__(self) -> str:
+        return (f"ControlRecord(kind={self.kind!r}, pc={self.pc:#x}, "
+                f"taken={self.taken}, "
+                f"predicted_taken={self.predicted_taken}, "
+                f"target={self.target:#x}, lq_len={self.lq_len}, "
+                f"sq_len={self.sq_len})")
 
     @property
     def mispredicted(self) -> bool:
@@ -73,21 +93,32 @@ class ControlRecord:
         return (int(self.kind), self.pc)
 
 
-@dataclass(frozen=True)
 class LoadRecord:
     """Effective address + width of one executed load."""
 
-    address: int
-    width: int
+    __slots__ = ("address", "width")
+
+    def __init__(self, address: int, width: int):
+        self.address = address
+        self.width = width
+
+    def __repr__(self) -> str:
+        return f"LoadRecord(address={self.address:#x}, width={self.width})"
 
 
-@dataclass(frozen=True)
 class StoreRecord:
     """Effective address, width, and pre-store bytes of one executed store."""
 
-    address: int
-    width: int
-    old_bytes: bytes
+    __slots__ = ("address", "width", "old_bytes")
+
+    def __init__(self, address: int, width: int, old_bytes: bytes):
+        self.address = address
+        self.width = width
+        self.old_bytes = old_bytes
+
+    def __repr__(self) -> str:
+        return (f"StoreRecord(address={self.address:#x}, "
+                f"width={self.width}, old_bytes={self.old_bytes!r})")
 
 
 class RecordQueues:

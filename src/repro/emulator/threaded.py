@@ -1,0 +1,537 @@
+"""Threaded-code front-end: superblock decode into pre-bound closures.
+
+FastSim's front-end is EEL-rewritten *direct execution*: straight-line
+target code runs at native speed and only control transfers return to
+the simulator. The interpreter in :mod:`repro.emulator.functional` pays
+a dictionary dispatch, an observation-field reset, and a bounds check
+per instruction instead. This module is the closest host-portable
+analogue of the rewriting step: maximal straight-line blocks are
+decoded **once** into a list of argument-free closures ("threaded
+code") with every operand — register indices, immediates, bound memory
+accessors, the record queues — resolved at decode time. Running a block
+is then just ``for op in ops: op()`` plus one batched PC/instret
+update.
+
+Equivalence contract (what makes this invisible to everything above):
+
+* Blocks contain no control *events* — conditional branches, ``jmpl``,
+  and ``halt`` terminate decoding; ``halt`` executes through the
+  ordinary :meth:`Interpreter.step` path. A conditional branch becomes
+  a **fused terminator**: its condition function (from
+  :func:`repro.emulator.alu.branch_condition` — the same predicate
+  ``branch_taken`` evaluates) plus target/fall-through are bound at
+  decode time, and the frontend runs the identical predictor call,
+  control record, and checkpoint logic it always did, just without
+  the generic dispatch. ``jmpl`` fuses the same way (dynamic target,
+  decode-time-constant link, INDIRECT record); a misaligned runtime
+  target falls back to the step path so the canonical error is raised
+  from unchanged state. Statically-resolved transfers are **folded
+  through**: ``ba`` and
+  ``call`` continue decoding at their (compile-time) target and ``bn``
+  at its fall-through, because none of them records a control event —
+  the frontend's step path would simply loop past them. A folded
+  ``call`` writes its link register from a decode-time constant
+  (``address + 4``), never from the live PC.
+* Thunks append the same :class:`LoadRecord`/:class:`StoreRecord`
+  entries (pre-store bytes captured before the write) the step path
+  would.
+* Nothing inside a block reads PC or instret at runtime (folded
+  ``call`` links a decode-time constant), so both advance in one batch
+  at block end; checkpoints are only taken at control events, which
+  sit outside blocks.
+* A block only runs when it fits the caller's remaining instruction
+  budget; otherwise the caller falls back to per-instruction stepping
+  so budget exhaustion raises at exactly the same instruction.
+
+The closure environment is sound across rollbacks because every
+container it binds is mutated in place: ``ArchState.restore_registers``
+assigns ``regs[:]``/``fregs[:]`` and ``RecordQueues.truncate`` uses
+``del list[n:]`` — list identities never change.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.emulator import alu
+from repro.emulator.functional import Interpreter, _clamp_float32
+from repro.emulator.queues import LoadRecord, StoreRecord
+from repro.emulator.state import to_signed
+from repro.errors import EmulationError
+from repro.isa.opcodes import Format, Opcode
+
+_MASK32 = 0xFFFF_FFFF
+
+#: Upper bound on block length — keeps decode cost and the budget
+#: fall-back window small. Because ``ba``/``call`` fold through, a
+#: straight-line loop closed by ``ba`` unrolls up to this cap (it
+#: still commits PC/instret once per run, at block end).
+MAX_BLOCK = 256
+
+#: Control *events* end a block: conditional branches and ``jmpl``
+#: become fused terminator descriptors, ``halt`` stays on the step
+#: path — see ``_decode``.
+
+_Thunk = Callable[[], None]
+#: ``(ops, n_instructions, end_pc, terminator)`` — *terminator* is None
+#: or a fused control-event descriptor the frontend evaluates in place
+#: of a generic ``step()``:
+#: ``(TERM_COND, condition_fn, uses_fcc, address, target, fall_through)``
+#: for a conditional branch,
+#: ``(TERM_JMPL, address, rs1, rs2, imm, rd, link)`` for an indirect
+#: jump (*link* is the decode-time constant ``address + 4``).
+_Block = Tuple[Tuple[_Thunk, ...], int, int, Optional[tuple]]
+
+TERM_COND = 0
+TERM_JMPL = 1
+
+_SIMPLE_ALU = {
+    Opcode.ADD: alu.int_add,
+    Opcode.SUB: alu.int_sub,
+    Opcode.AND: alu.int_and,
+    Opcode.OR: alu.int_or,
+    Opcode.XOR: alu.int_xor,
+    Opcode.SLL: alu.int_sll,
+    Opcode.SRL: alu.int_srl,
+    Opcode.SRA: alu.int_sra,
+    Opcode.SMUL: alu.int_smul,
+    Opcode.SDIV: alu.int_sdiv,
+}
+
+_LOGICAL_CC = {
+    Opcode.ANDCC: alu.int_and,
+    Opcode.ORCC: alu.int_or,
+    Opcode.XORCC: alu.int_xor,
+}
+
+_FP_BINARY = {
+    Opcode.FADD: lambda a, b: a + b,
+    Opcode.FSUB: lambda a, b: a - b,
+    Opcode.FMUL: lambda a, b: a * b,
+    Opcode.FDIV: Interpreter._fp_div,
+}
+
+_FP_UNARY = {
+    Opcode.FNEG: lambda a: -a,
+    Opcode.FABS: abs,
+    Opcode.FMOV: lambda a: a,
+}
+
+
+class BlockCache:
+    """Decoded-block cache + executor for one interpreter instance."""
+
+    def __init__(self, interpreter: Interpreter, queues):
+        self._interpreter = interpreter
+        self._executable = interpreter.executable
+        self._state = interpreter.state
+        # The queues outlive every rollback — ``truncate`` deletes in
+        # place — so the bound append methods stay valid forever.
+        self._loads_append = queues.loads.append
+        self._stores_append = queues.stores.append
+        self._blocks: Dict[int, _Block] = {}
+        self.blocks_decoded = 0
+        self.block_runs = 0
+        self.threaded_instructions = 0
+        self.fused_branches = 0
+
+    # ------------------------------------------------------------------
+
+    def block_at(self, pc: int) -> _Block:
+        """Return (decoding on first sight) the block starting at *pc*."""
+        block = self._blocks.get(pc)
+        if block is None:
+            block = self._decode(pc)
+            self._blocks[pc] = block
+            self.blocks_decoded += 1
+        return block
+
+    def run_from(self, pc: int, budget: int) -> int:
+        """Run the block starting at *pc* if one exists and fits *budget*.
+
+        Returns the number of instructions executed (0 when the next
+        instruction is a control transfer, undecodable, or the block
+        would overrun the budget — the caller steps instead). The
+        fused-branch terminator, if any, is *not* executed here.
+        """
+        ops, count, end_pc, _term = self.block_at(pc)
+        if not count or count > budget:
+            return 0
+        for op in ops:
+            op()
+        state = self._state
+        state.pc = end_pc
+        state.instret += count
+        self.block_runs += 1
+        self.threaded_instructions += count
+        return count
+
+    def stats(self) -> Dict[str, int]:
+        """Host-side effectiveness counters (never canonical)."""
+        return {
+            "blocks_decoded": self.blocks_decoded,
+            "block_runs": self.block_runs,
+            "threaded_instructions": self.threaded_instructions,
+            "fused_branches": self.fused_branches,
+        }
+
+    # ------------------------------------------------------------------
+
+    def _decode(self, start_pc: int) -> _Block:
+        """Decode the maximal straight-line block starting at *start_pc*."""
+        executable = self._executable
+        ops: List[_Thunk] = []
+        count = 0
+        term = None
+        pc = start_pc
+        while count < MAX_BLOCK and executable.contains_text(pc):
+            try:
+                instr = executable.instruction_at(pc)
+            except EmulationError:
+                break
+            opcode = instr.opcode
+            if instr.info.fmt is Format.BRANCH:
+                # ``ba``/``bn`` are statically resolved (no record, no
+                # predictor): fold through. A conditional branch ends
+                # the block; its condition function is bound here so
+                # the frontend can evaluate it as a *fused terminator*
+                # (same predicate, predictor call, record, and
+                # checkpoint as the step path — minus the generic
+                # dispatch).
+                if opcode is Opcode.BA:
+                    count += 1
+                    pc = instr.target
+                    continue
+                if opcode is Opcode.BN:
+                    count += 1
+                    pc += 4
+                    continue
+                condition = alu.branch_condition(opcode)
+                if condition is not None:
+                    term = (TERM_COND, condition[0], condition[1],
+                            instr.address, instr.target,
+                            instr.fall_through)
+                break
+            if opcode is Opcode.CALL:
+                # Direct call: the link value is the decode-time
+                # constant ``address + 4``; decoding continues in the
+                # callee. (``jmpl`` returns stay control events.)
+                ops.append(self._call_thunk(instr))
+                count += 1
+                pc = instr.target
+                continue
+            if opcode is Opcode.JMPL:
+                # Indirect jump: a control event, but with no predictor
+                # or checkpoint involvement — the frontend can fuse it
+                # too. The link value is the decode-time constant
+                # ``address + 4`` (what ``state.pc + 4`` evaluates to
+                # when the step path reaches it). A misaligned runtime
+                # target falls back to the step path for the canonical
+                # error.
+                term = (TERM_JMPL, instr.address, instr.rs1, instr.rs2,
+                        instr.imm, instr.rd,
+                        (instr.address + 4) & _MASK32)
+                break
+            if opcode is Opcode.HALT:
+                break
+            thunk = self._thunk(instr)
+            if thunk is _UNSUPPORTED:
+                break
+            if thunk is not None:
+                ops.append(thunk)
+            count += 1
+            pc += 4
+        return tuple(ops), count, pc, term
+
+    def _call_thunk(self, instr) -> _Thunk:
+        regs = self._state.regs
+        rd = instr.rd
+        link = (instr.address + 4) & _MASK32
+
+        def run() -> None:
+            if rd:
+                regs[rd] = link
+        return run
+
+    def _thunk(self, instr) -> Optional[_Thunk]:
+        """Build the pre-bound closure for one straight-line instruction.
+
+        Returns None for instructions with no state effect beyond
+        PC/instret (``nop``), and :data:`_UNSUPPORTED` for opcodes the
+        threaded path does not model (the block ends before them).
+        """
+        state = self._state
+        regs = state.regs
+        fregs = state.fregs
+        opcode = instr.opcode
+        rs1 = instr.rs1
+        rs2 = instr.rs2
+        rd = instr.rd
+        imm = instr.imm
+
+        if opcode is Opcode.NOP:
+            return None
+
+        fn = _SIMPLE_ALU.get(opcode)
+        if fn is not None:
+            if imm is not None:
+                k = imm & _MASK32
+
+                def run() -> None:
+                    result = fn(regs[rs1] if rs1 else 0, k)
+                    if rd:
+                        regs[rd] = result & _MASK32
+            else:
+
+                def run() -> None:
+                    result = fn(regs[rs1] if rs1 else 0,
+                                regs[rs2] if rs2 else 0)
+                    if rd:
+                        regs[rd] = result & _MASK32
+            return run
+
+        if opcode is Opcode.ADDCC or opcode is Opcode.SUBCC:
+            subtract = opcode is Opcode.SUBCC
+            set_icc = state.set_icc_sub if subtract else state.set_icc_add
+            k = imm & _MASK32 if imm is not None else None
+
+            def run() -> None:
+                a = regs[rs1] if rs1 else 0
+                b = k if k is not None else (regs[rs2] if rs2 else 0)
+                result = ((a - b) if subtract else (a + b)) & _MASK32
+                if rd:
+                    regs[rd] = result
+                set_icc(a, b, result)
+            return run
+
+        fn = _LOGICAL_CC.get(opcode)
+        if fn is not None:
+            set_icc = state.set_icc_logical
+            k = imm & _MASK32 if imm is not None else None
+
+            def run() -> None:
+                result = fn(regs[rs1] if rs1 else 0,
+                            k if k is not None else (regs[rs2] if rs2 else 0))
+                if rd:
+                    regs[rd] = result & _MASK32
+                set_icc(result)
+            return run
+
+        if opcode is Opcode.SETHI:
+            value = (imm << 13) & _MASK32
+
+            def run() -> None:
+                if rd:
+                    regs[rd] = value
+            return run
+
+        if instr.is_load:
+            return self._load_thunk(instr)
+        if instr.is_store:
+            return self._store_thunk(instr)
+
+        fn = _FP_BINARY.get(opcode)
+        if fn is not None:
+            fs1, fs2, fd = instr.fs1, instr.fs2, instr.fd
+
+            def run() -> None:
+                fregs[fd] = fn(fregs[fs1], fregs[fs2])
+            return run
+
+        fn = _FP_UNARY.get(opcode)
+        if fn is not None:
+            fs1, fd = instr.fs1, instr.fd
+
+            def run() -> None:
+                fregs[fd] = fn(fregs[fs1])
+            return run
+
+        if opcode is Opcode.FSQRT:
+            fs1, fd = instr.fs1, instr.fd
+
+            def run() -> None:
+                value = fregs[fs1]
+                fregs[fd] = math.sqrt(value) if value >= 0 else math.nan
+            return run
+
+        if opcode is Opcode.FCMP:
+            fs1, fs2 = instr.fs1, instr.fs2
+            fp_compare = alu.fp_compare
+
+            def run() -> None:
+                state.fcc = fp_compare(fregs[fs1], fregs[fs2])
+            return run
+
+        if opcode is Opcode.FITOD:
+            fd = instr.fd
+
+            def run() -> None:
+                fregs[fd] = float(to_signed(regs[rs1] if rs1 else 0))
+            return run
+
+        if opcode is Opcode.FDTOI:
+            fs1 = instr.fs1
+
+            def run() -> None:
+                value = fregs[fs1]
+                if value != value or value in (math.inf, -math.inf):
+                    truncated = 0
+                else:
+                    truncated = int(value)
+                if rd:
+                    regs[rd] = truncated & _MASK32
+            return run
+
+        if opcode is Opcode.OUT:
+            output_append = state.output.append
+
+            def run() -> None:
+                output_append(regs[rs1] if rs1 else 0)
+            return run
+
+        return _UNSUPPORTED
+
+    def _load_thunk(self, instr) -> _Thunk:
+        state = self._state
+        regs = state.regs
+        fregs = state.fregs
+        memory = state.memory
+        loads_append = self._loads_append
+        opcode = instr.opcode
+        rs1, rs2, rd, fd = instr.rs1, instr.rs2, instr.rd, instr.fd
+        imm = instr.imm
+
+        # The *signed* immediate is added before masking, exactly like
+        # ``Interpreter._effective_address``.
+        def ea() -> int:
+            base = regs[rs1] if rs1 else 0
+            if imm is not None:
+                return (base + imm) & _MASK32
+            return (base + (regs[rs2] if rs2 else 0)) & _MASK32
+
+        if opcode is Opcode.LD:
+            read_word = memory.read_word
+
+            def run() -> None:
+                address = ea()
+                if rd:
+                    regs[rd] = read_word(address) & _MASK32
+                loads_append(LoadRecord(address, 4))
+        elif opcode is Opcode.LDB:
+            read_byte = memory.read_byte
+
+            def run() -> None:
+                address = ea()
+                value = read_byte(address)
+                if value & 0x80:
+                    value |= 0xFFFFFF00
+                if rd:
+                    regs[rd] = value & _MASK32
+                loads_append(LoadRecord(address, 1))
+        elif opcode is Opcode.LDUB:
+            read_byte = memory.read_byte
+
+            def run() -> None:
+                address = ea()
+                if rd:
+                    regs[rd] = read_byte(address) & _MASK32
+                loads_append(LoadRecord(address, 1))
+        elif opcode is Opcode.LDH:
+            read_half = memory.read_half
+
+            def run() -> None:
+                address = ea()
+                value = read_half(address)
+                if value & 0x8000:
+                    value |= 0xFFFF0000
+                if rd:
+                    regs[rd] = value & _MASK32
+                loads_append(LoadRecord(address, 2))
+        elif opcode is Opcode.LDUH:
+            read_half = memory.read_half
+
+            def run() -> None:
+                address = ea()
+                if rd:
+                    regs[rd] = read_half(address) & _MASK32
+                loads_append(LoadRecord(address, 2))
+        elif opcode is Opcode.LDF:
+            read_float = memory.read_float
+
+            def run() -> None:
+                address = ea()
+                fregs[fd] = read_float(address)
+                loads_append(LoadRecord(address, 4))
+        else:  # LDDF
+            read_double = memory.read_double
+
+            def run() -> None:
+                address = ea()
+                fregs[fd] = read_double(address)
+                loads_append(LoadRecord(address, 8))
+        return run
+
+    def _store_thunk(self, instr) -> _Thunk:
+        state = self._state
+        regs = state.regs
+        fregs = state.fregs
+        memory = state.memory
+        stores_append = self._stores_append
+        read_bytes = memory.read_bytes
+        opcode = instr.opcode
+        rs1, rs2, rd, fd = instr.rs1, instr.rs2, instr.rd, instr.fd
+        imm = instr.imm
+        width = instr.access_width
+
+        def ea() -> int:
+            base = regs[rs1] if rs1 else 0
+            if imm is not None:
+                return (base + imm) & _MASK32
+            return (base + (regs[rs2] if rs2 else 0)) & _MASK32
+
+        if opcode is Opcode.ST:
+            write_word = memory.write_word
+
+            def run() -> None:
+                address = ea()
+                old = read_bytes(address, 4)
+                write_word(address, regs[rd] if rd else 0)
+                stores_append(StoreRecord(address, 4, old))
+        elif opcode is Opcode.STB:
+            write_byte = memory.write_byte
+
+            def run() -> None:
+                address = ea()
+                old = read_bytes(address, 1)
+                write_byte(address, regs[rd] if rd else 0)
+                stores_append(StoreRecord(address, 1, old))
+        elif opcode is Opcode.STH:
+            write_half = memory.write_half
+
+            def run() -> None:
+                address = ea()
+                old = read_bytes(address, 2)
+                write_half(address, regs[rd] if rd else 0)
+                stores_append(StoreRecord(address, 2, old))
+        elif opcode is Opcode.STF:
+            write_float = memory.write_float
+
+            def run() -> None:
+                address = ea()
+                old = read_bytes(address, 4)
+                write_float(address, _clamp_float32(fregs[fd]))
+                stores_append(StoreRecord(address, 4, old))
+        else:  # STDF
+            write_double = memory.write_double
+
+            def run() -> None:
+                address = ea()
+                old = read_bytes(address, 8)
+                write_double(address, fregs[fd])
+                stores_append(StoreRecord(address, 8, old))
+        return run
+
+
+#: Sentinel: opcode the threaded path does not model — end the block.
+_UNSUPPORTED = object()

@@ -93,6 +93,31 @@ class PCacheCorruptError(MemoizationError):
         super().__init__(message)
 
 
+class SegStoreCorruptError(MemoizationError):
+    """A persisted compiled-segment archive failed its integrity checks.
+
+    Raised by :mod:`repro.memo.segstore` for any damaged input —
+    truncation, bit rot, bad checksums, unknown tags. Unlike a corrupt
+    p-action cache, a corrupt segment archive is *never* fatal to a
+    run: the caller counts it as a miss and segments recompile from the
+    (independently checked) graph, so output cannot be affected.
+    ``offset``/``record`` locate the damage like
+    :class:`PCacheCorruptError`.
+    """
+
+    def __init__(self, message: str, offset: int = -1, record: int = -1):
+        self.offset = offset
+        self.record = record
+        where = []
+        if record >= 0:
+            where.append(f"record {record}")
+        if offset >= 0:
+            where.append(f"offset {offset}")
+        if where:
+            message = f"{message} ({', '.join(where)})"
+        super().__init__(message)
+
+
 class CampaignError(ReproError):
     """Raised for campaign orchestration failures (journal/resume)."""
 

@@ -44,6 +44,11 @@ Why replay is faster
   ``world.advance_cycles`` per outcome-to-outcome gap (legal because
   ``retire``/``rollback`` never read the cycle counter, while the
   cycle-sensitive outcome calls always see a fully advanced clock);
+* consecutive :class:`RetireNode` requests are likewise **fused** into
+  one pre-built ``Retire`` per gap — ``retire`` only *adds* to the
+  queue cursors and statistics, and everything that reads a cursor
+  (outcome calls, ``rollback``) is a flush barrier, so the fused call
+  leaves exactly the interpreter's world state at every guard;
 * ``Retire``/``Rollback`` request objects are pre-built;
 * per-node statistics, touches and configuration bookkeeping collapse
   into per-segment constants applied once;
@@ -92,6 +97,7 @@ nodes) and never counted in the modelled cache size.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -172,6 +178,16 @@ class TurboConfig:
         if isinstance(value, TurboConfig):
             return value
         return TurboConfig(enabled=bool(value))
+
+
+#: Process-wide generated-source → code-object cache. Structurally
+#: identical chains (the common case when a persistent worker re-runs
+#: the same workload, or a persisted cache re-warms) compile to
+#: byte-identical source, so the CPython ``compile()`` step — the
+#: expensive half of segment compilation — runs once per distinct
+#: shape. Only immutable code objects are shared; each segment still
+#: ``exec``s into a private namespace, so nothing leaks between runs.
+_CODE_CACHE: dict = {}
 
 
 class _CtlSlot:
@@ -316,8 +332,20 @@ def compile_segment(head: Node, generation: int,
     trailing = 0
     last_key = None      # edge key that reached the *next* node
 
+    pending_ret: Optional[List[int]] = None  # fused retire field sums
+
+    def flush_retires() -> None:
+        nonlocal pending_ret
+        if pending_ret is not None:
+            used.add("w_ret")
+            requests.append(Retire(*pending_ret))
+            lines.append(SEG_TEMPLATES["retire"].format(
+                index=len(requests) - 1))
+            pending_ret = None
+
     def flush() -> None:
         nonlocal pending, applied
+        flush_retires()
         if pending:
             used.add("w_adv")
             lines.append(SEG_TEMPLATES["advance"].format(delta=pending))
@@ -377,16 +405,23 @@ def compile_segment(head: Node, generation: int,
             cycles += node.delta
             trailing += node.delta
         elif kind is RetireNode:
-            used.add("w_ret")
-            requests.append(Retire(node.count, node.loads, node.stores,
-                                   node.controls, node.branches))
-            lines.append(SEG_TEMPLATES["retire"].format(
-                index=len(requests) - 1))
+            if pending_ret is None:
+                pending_ret = [node.count, node.loads, node.stores,
+                               node.controls, node.branches]
+            else:
+                pending_ret[0] += node.count
+                pending_ret[1] += node.loads
+                pending_ret[2] += node.stores
+                pending_ret[3] += node.controls
+                pending_ret[4] += node.branches
             instructions += node.count
             log_since.append((node, None))
             sets_anchor = True
             trailing = 0
         elif kind is RollbackNode:
+            # Rollback reads the control cursor retires advance: apply
+            # every pending retire before it, exactly as interpreted.
+            flush_retires()
             used.add("w_rb")
             requests.append(Rollback(node.control_ordinal,
                                      node.squashed_loads,
@@ -464,9 +499,12 @@ def compile_segment(head: Node, generation: int,
             name=name, target=WORLD_BINDINGS[name])
     source += "\n".join(lines) + ("\n" if lines else "")
     source += SEG_TEMPLATES["epilogue"]
+    code = _CODE_CACHE.get(source)
+    if code is None:
+        code = compile(source, "<repro.turbo segment>", "exec")
+        _CODE_CACHE[source] = code
     namespace: dict = {}
-    exec(compile(source, "<repro.turbo segment>", "exec"),  # noqa: S102
-         namespace)
+    exec(code, namespace)  # noqa: S102
 
     return CompiledSegment(
         namespace["_seg"], tuple(nodes), tuple(requests), tuple(keys),
@@ -476,6 +514,61 @@ def compile_segment(head: Node, generation: int,
         tuple(guard_keys), has_terminal, generation,
         source=source if capture_source else None,
     )
+
+
+def segment_digest(segment: CompiledSegment) -> bytes:
+    """Structural SHA-256 digest of a compiled segment's covered chain.
+
+    Two segments compiled from structurally identical chains — same
+    node kinds, payloads, config blobs, and guarded edge keys, in the
+    same order — have equal digests, regardless of which process or
+    graph object they were compiled in. This is the identity the
+    persistent segment store (:mod:`repro.memo.segstore`) keys on: at
+    install time the chain is recompiled from the *live* graph and its
+    digest compared against the persisted one, so a stale or corrupt
+    record can only ever cause a skipped install, never a wrong replay.
+
+    Both ends derive the digest from a :class:`CompiledSegment`
+    produced by :func:`compile_segment`, so the walk rules can never
+    drift between save and load.
+    """
+    h = hashlib.sha256()
+    upd = h.update
+    nodes = segment.nodes
+    count = len(nodes)
+    guard_keys = segment.guard_keys
+    j = 0
+    for i, node in enumerate(nodes):
+        kind = node.__class__
+        if kind is AdvanceNode:
+            upd(b"A")
+            upd(node.delta.to_bytes(4, "big"))
+        elif kind is RetireNode:
+            upd(b"R")
+            upd(bytes((node.count, node.loads, node.stores,
+                       node.controls, node.branches)))
+        elif kind is RollbackNode:
+            upd(b"B")
+            upd(node.control_ordinal.to_bytes(4, "big"))
+            upd(bytes((node.squashed_loads, node.squashed_stores,
+                       node.squashed_controls)))
+        elif node.is_config:
+            upd(b"C")
+            upd(len(node.blob).to_bytes(4, "big"))
+            upd(node.blob)
+        else:  # outcome node: guard (single edge) or trailing terminal
+            terminal = segment.has_terminal and i + 1 == count
+            upd(b"T" if terminal else b"G")
+            upd(kind.__name__.encode("ascii"))
+            ordinal = getattr(node, "ordinal", None)
+            if ordinal is not None:
+                upd(ordinal.to_bytes(4, "big"))
+            if not terminal:
+                upd(repr(guard_keys[j]).encode("ascii"))
+                j += 1
+    upd(segment.cycles.to_bytes(8, "big"))
+    upd(segment.instructions.to_bytes(8, "big"))
+    return h.digest()
 
 
 def revalidate(segment: CompiledSegment, generation: int) -> bool:
@@ -533,6 +626,10 @@ class SegmentTable:
         self.side_exits = 0
         self.revalidations = 0
         self.invalidations = 0
+        #: Segments installed pre-warmed from a persistent segment
+        #: store (:mod:`repro.memo.segstore`) rather than compiled
+        #: after threshold traversals.
+        self.segments_installed = 0
 
     def register(self, segment: CompiledSegment) -> CompiledSegment:
         self.segments.append(segment)
@@ -571,6 +668,7 @@ class SegmentTable:
             "revalidations": self.revalidations,
             "segment_replays": self.segment_replays,
             "segments_compiled": self.segments_compiled,
+            "segments_installed": self.segments_installed,
             "segments_live": len(self.segments),
             "side_exits": self.side_exits,
             "threshold": self.threshold,

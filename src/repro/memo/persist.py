@@ -172,9 +172,19 @@ def _encode_record(node: Node, index_of: Dict[int, int]) -> bytes:
 
 
 def _collect_nodes(cache: PActionCache) -> List[Node]:
+    """All reachable nodes in a deterministic, round-trip-stable order.
+
+    Roots are sorted by configuration blob (not ``index`` insertion
+    order, which differs between a recording cache and one re-built by
+    :func:`_link_up`), and edge dictionaries preserve their insertion
+    order through a save/load cycle — so the ordering is a pure
+    function of graph structure. The persistent segment store relies on
+    this: it names segment heads by their index in this list.
+    """
     ordered: List[Node] = []
     seen = set()
-    stack: List[Node] = list(cache.index.values())
+    stack: List[Node] = [cache.index[blob]
+                         for blob in sorted(cache.index)]
     while stack:
         node = stack.pop()
         if id(node) in seen:

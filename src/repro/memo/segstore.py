@@ -1,0 +1,368 @@
+"""Persistent compiled segments — turbo that survives the process.
+
+A warm FSPC p-cache (:mod:`repro.memo.persist`) lets a run skip
+detailed simulation, but every process still pays segment *re-warm-up*
+(:data:`~repro.memo.compile.DEFAULT_COMPILE_THRESHOLD` interpreted
+traversals per hot head) and recompilation from scratch. This module
+persists *which chains were worth compiling* alongside the p-cache, so
+a warm run enters the compiled fast path from its very first replay.
+
+What is persisted — and, critically, what is not
+------------------------------------------------
+
+A segment archive stores, per live compiled segment:
+
+* the **head-node index** in the deterministic
+  :func:`~repro.memo.persist._collect_nodes` ordering (the same
+  ordering FSPC serialisation uses, so indices survive a p-cache
+  save/load round trip), and
+* the chain's **structural digest**
+  (:func:`~repro.memo.compile.segment_digest`).
+
+No generated code, bytecode, or pickled closure is ever stored. At
+install time the segment is **recompiled from the live graph** with
+:func:`~repro.memo.compile.compile_segment` and installed only when its
+digest matches the persisted one. Everything executed therefore derives
+from the independently-integrity-checked p-cache — a corrupt, stale, or
+maliciously altered archive can cause at worst a skipped install (the
+head re-warms normally), never a wrong replay. The speed win is real
+anyway: the warm-up thresholds vanish, and structurally identical
+source hits the process-wide code cache in :mod:`repro.memo.compile`.
+
+On-disk format (``.fsseg``, all integers big-endian) mirrors FSPC v2:
+
+* preamble: magic ``FSSG``, u32 sentinel ``0xFFFFFFFF``, u16 version;
+* header: u32 p-cache node count (binding: an archive only installs
+  against a graph of the same shape), u32 record count, u32 CRC32 over
+  every preceding byte;
+* one framed record per segment: u32 payload length, payload
+  (u32 head index + 32-byte digest), u32 CRC32 over the payload;
+* trailer: SHA-256 of every preceding byte.
+
+Damaged input raises :class:`~repro.errors.SegStoreCorruptError`
+(strict) or salvages CRC-valid records (``strict=False``); campaign
+stores treat corruption as a miss and quarantine the file, exactly
+like a corrupt ``.fspc``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import zlib
+from typing import BinaryIO, Dict, List, Tuple, Union
+
+from repro.errors import SegStoreCorruptError
+from repro.memo.compile import compile_segment, revalidate, segment_digest
+from repro.memo.pcache import PActionCache
+from repro.memo.persist import _collect_nodes
+
+MAGIC = b"FSSG"
+FORMAT_VERSION = 1
+_VERSION_SENTINEL = 0xFFFFFFFF
+#: SHA-256 digest size (per-record chain digest and whole-file trailer).
+_DIGEST_BYTES = 32
+#: Sanity bound for one framed record payload.
+_MAX_RECORD_BYTES = 1 << 16
+#: Sanity bound for the record count.
+_MAX_RECORDS = 1 << 24
+
+#: Exceptions a damaged payload can trip inside the decoder; only
+#: :class:`SegStoreCorruptError` may escape this module for bad input.
+_DECODE_ERRORS = (IndexError, ValueError, KeyError, TypeError,
+                  EOFError, OverflowError, MemoryError)
+
+#: One persisted segment: (head-node index, structural chain digest).
+SegmentRecord = Tuple[int, bytes]
+
+
+class SegmentArchive:
+    """In-memory form of a persisted segment set."""
+
+    __slots__ = ("node_count", "records")
+
+    def __init__(self, node_count: int, records: List[SegmentRecord]):
+        self.node_count = node_count
+        self.records = records
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:
+        return (f"<SegmentArchive {len(self.records)} segments over "
+                f"{self.node_count} nodes>")
+
+
+# ---------------------------------------------------------------------------
+# Capture / install
+# ---------------------------------------------------------------------------
+
+def capture(cache: PActionCache) -> SegmentArchive:
+    """Snapshot the live compiled segments of *cache* for persistence.
+
+    Only segments still owned by their head (``head.seg is segment``)
+    are captured; dead or superseded table entries are skipped. Heads
+    are identified by their index in the same deterministic node
+    ordering FSPC serialisation uses.
+    """
+    nodes = _collect_nodes(cache)
+    index_of: Dict[int, int] = {id(n): i for i, n in enumerate(nodes)}
+    records: List[SegmentRecord] = []
+    table = cache.turbo
+    if table is not None:
+        generation = cache.graph_generation
+        for segment in table.segments:
+            head = segment.nodes[0]
+            if head.seg is not segment:
+                continue
+            if segment.generation != generation and not revalidate(
+                    segment, generation):
+                # The graph changed under this segment and its region
+                # did not survive — the engine would discard it at next
+                # use, and its digest no longer describes what install
+                # would compile. Leave it behind.
+                continue
+            index = index_of.get(id(head))
+            if index is None:
+                continue
+            records.append((index, segment_digest(segment)))
+    return SegmentArchive(len(nodes), records)
+
+
+def install(archive: SegmentArchive, cache: PActionCache) -> Dict[str, int]:
+    """Install persisted segments into *cache*; returns counters.
+
+    Each record's chain is recompiled from the live graph and installed
+    only when its structural digest matches — so the result is exactly
+    what threshold warm-up would eventually have produced, obtained
+    immediately. Returns ``{"installed", "stale", "mismatched"}``
+    ("stale" = unresolvable/ineligible head or shape mismatch,
+    "mismatched" = chain compiled but its digest differs).
+    """
+    counters = {"installed": 0, "stale": 0, "mismatched": 0}
+    table = cache.turbo
+    if table is None:
+        counters["stale"] = len(archive.records)
+        return counters
+    nodes = _collect_nodes(cache)
+    if archive.node_count != len(nodes):
+        # The archive was captured against a differently-shaped graph
+        # (e.g. a salvaged p-cache): indices are meaningless.
+        counters["stale"] = len(archive.records)
+        return counters
+    generation = cache.graph_generation
+    for head_index, digest in archive.records:
+        if not (0 <= head_index < len(nodes)):
+            counters["stale"] += 1
+            continue
+        head = nodes[head_index]
+        if not head.can_head or head.seg is not None:
+            counters["stale"] += 1
+            continue
+        segment = compile_segment(head, generation)
+        if segment_digest(segment) != digest:
+            counters["mismatched"] += 1
+            continue
+        head.seg = segment
+        head.seg_hits = 0
+        table.segments.append(segment)
+        table.segments_installed += 1
+        counters["installed"] += 1
+    return counters
+
+
+# ---------------------------------------------------------------------------
+# Writing
+# ---------------------------------------------------------------------------
+
+def write_segments(archive: SegmentArchive, stream: BinaryIO) -> None:
+    """Serialise *archive* to *stream* (format described above)."""
+    digest = hashlib.sha256()
+
+    def out(chunk: bytes) -> None:
+        digest.update(chunk)
+        stream.write(chunk)
+
+    header = io.BytesIO()
+    header.write(MAGIC)
+    header.write(_VERSION_SENTINEL.to_bytes(4, "big"))
+    header.write(FORMAT_VERSION.to_bytes(2, "big"))
+    header.write(archive.node_count.to_bytes(4, "big"))
+    header.write(len(archive.records).to_bytes(4, "big"))
+    header_bytes = header.getvalue()
+    out(header_bytes)
+    out(zlib.crc32(header_bytes).to_bytes(4, "big"))
+    for head_index, chain_digest in archive.records:
+        payload = head_index.to_bytes(4, "big") + chain_digest
+        out(len(payload).to_bytes(4, "big"))
+        out(payload)
+        out(zlib.crc32(payload).to_bytes(4, "big"))
+    stream.write(digest.digest())
+
+
+def dumps(archive: SegmentArchive) -> bytes:
+    """Serialise *archive* to bytes."""
+    stream = io.BytesIO()
+    write_segments(archive, stream)
+    return stream.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# Reading
+# ---------------------------------------------------------------------------
+
+class _Reader:
+    """Bounded reads over an in-memory buffer, tracking the offset."""
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+        #: Record index attached to errors (-1 = header/structure).
+        self.record = -1
+
+    def remaining(self) -> int:
+        return len(self.data) - self.pos
+
+    def corrupt(self, message: str) -> SegStoreCorruptError:
+        return SegStoreCorruptError(message, offset=self.pos,
+                                    record=self.record)
+
+    def read(self, count: int) -> bytes:
+        chunk = self.data[self.pos:self.pos + count]
+        if len(chunk) != count:
+            raise self.corrupt(
+                f"truncated: wanted {count} bytes, {len(chunk)} left"
+            )
+        self.pos += count
+        return chunk
+
+    def u16(self) -> int:
+        return int.from_bytes(self.read(2), "big")
+
+    def u32(self) -> int:
+        return int.from_bytes(self.read(4), "big")
+
+
+def read_segments(stream_or_bytes: Union[BinaryIO, bytes],
+                  strict: bool = True) -> SegmentArchive:
+    """Deserialise an archive written by :func:`write_segments`.
+
+    With ``strict=True`` any integrity violation raises
+    :class:`~repro.errors.SegStoreCorruptError`. With ``strict=False``
+    CRC-valid records are salvaged and damaged ones dropped — always
+    safe, because install recompiles and digest-checks every record
+    against the live graph anyway.
+    """
+    if isinstance(stream_or_bytes, (bytes, bytearray)):
+        data = bytes(stream_or_bytes)
+    else:
+        data = stream_or_bytes.read()
+    reader = _Reader(data)
+    try:
+        return _read(reader, strict)
+    except SegStoreCorruptError:
+        raise
+    except _DECODE_ERRORS as exc:
+        raise SegStoreCorruptError(
+            f"undecodable segment archive: {type(exc).__name__}: {exc}",
+            offset=reader.pos, record=reader.record,
+        )
+
+
+def loads(data: bytes, strict: bool = True) -> SegmentArchive:
+    """Deserialise an archive from bytes."""
+    return read_segments(data, strict=strict)
+
+
+def _read(reader: _Reader, strict: bool) -> SegmentArchive:
+    magic = reader.read(4)
+    if magic != MAGIC:
+        raise SegStoreCorruptError("not a segment archive", offset=0)
+    marker = reader.u32()
+    if marker != _VERSION_SENTINEL:
+        raise reader.corrupt(f"bad version sentinel 0x{marker:08x}")
+    version = reader.u16()
+    if version != FORMAT_VERSION:
+        raise reader.corrupt(f"unsupported FSSG format version {version}")
+    node_count = reader.u32()
+    record_count = reader.u32()
+    if record_count > _MAX_RECORDS:
+        raise reader.corrupt(f"implausible record count {record_count}")
+    stored_crc = reader.u32()
+    actual_crc = zlib.crc32(reader.data[: reader.pos - 4])
+    if stored_crc != actual_crc and strict:
+        raise SegStoreCorruptError("header CRC mismatch",
+                                   offset=reader.pos - 4, record=-1)
+
+    records: List[SegmentRecord] = []
+    framing_lost = False
+    for index in range(record_count):
+        reader.record = index
+        record_start = reader.pos
+        try:
+            payload_len = reader.u32()
+            if payload_len > _MAX_RECORD_BYTES or (
+                    payload_len + 4 > reader.remaining()):
+                raise reader.corrupt(
+                    f"implausible record length {payload_len}"
+                )
+            payload = reader.read(payload_len)
+            stored = reader.u32()
+        except SegStoreCorruptError:
+            if strict:
+                raise
+            framing_lost = True
+            break
+        if zlib.crc32(payload) != stored:
+            if strict:
+                raise SegStoreCorruptError(
+                    "record CRC mismatch", offset=record_start,
+                    record=index,
+                )
+            continue
+        if len(payload) != 4 + _DIGEST_BYTES:
+            if strict:
+                raise SegStoreCorruptError(
+                    f"bad record payload size {len(payload)}",
+                    offset=record_start, record=index,
+                )
+            continue
+        head_index = int.from_bytes(payload[:4], "big")
+        records.append((head_index, payload[4:]))
+
+    reader.record = -1
+    if not framing_lost:
+        trailer_start = reader.pos
+        try:
+            stored_digest = reader.read(_DIGEST_BYTES)
+        except SegStoreCorruptError:
+            if strict:
+                raise
+            stored_digest = None
+        if stored_digest is not None:
+            actual = hashlib.sha256(reader.data[:trailer_start]).digest()
+            if stored_digest != actual and strict:
+                raise SegStoreCorruptError(
+                    "whole-file digest mismatch", offset=trailer_start,
+                    record=-1,
+                )
+            if reader.remaining() and strict:
+                raise SegStoreCorruptError(
+                    f"{reader.remaining()} trailing bytes after the "
+                    "whole-file digest", offset=reader.pos, record=-1,
+                )
+    return SegmentArchive(node_count, records)
+
+
+def save_segments(archive: SegmentArchive,
+                  path: Union[str, "io.PathLike"]) -> None:
+    """Write *archive* to *path*."""
+    with open(path, "wb") as stream:
+        write_segments(archive, stream)
+
+
+def load_segments(path: Union[str, "io.PathLike"],
+                  strict: bool = True) -> SegmentArchive:
+    """Read an archive from *path*; see :func:`read_segments`."""
+    with open(path, "rb") as stream:
+        return read_segments(stream, strict=strict)

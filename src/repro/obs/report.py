@@ -211,13 +211,56 @@ def _memo_section(data: ReportData, lines: List[str]) -> None:
 
 
 def _turbo_section(data: ReportData, lines: List[str]) -> None:
-    turbo = _prefixed(data.counters, "turbo.")
-    if not turbo:
+    turbo: Dict[str, object] = {}
+    turbo.update(_prefixed(data.counters, "turbo."))
+    turbo.update({name: value for name, value in data.gauges.items()
+                  if name.startswith("turbo.")})
+    # Per-worker compile amortization from the job records: each job
+    # carries its SegmentTable snapshot ("turbo") and, when a persisted
+    # archive was installed, the install counters ("segstore").
+    per_worker: Dict[str, Dict[str, int]] = {}
+    seg_totals = {"installed": 0, "stale": 0, "mismatched": 0}
+    for record in data.jobs:
+        snapshot = record.get("turbo")
+        if isinstance(snapshot, dict):
+            worker = str(record.get("worker") or "(serial)")
+            stats = per_worker.setdefault(
+                worker, {"jobs": 0, "compiled": 0, "installed": 0,
+                         "replays": 0})
+            stats["jobs"] += 1
+            stats["compiled"] += int(snapshot.get("segments_compiled")
+                                     or 0)
+            stats["installed"] += int(snapshot.get("segments_installed")
+                                      or 0)
+            stats["replays"] += int(snapshot.get("segment_replays") or 0)
+        seg = record.get("segstore")
+        if isinstance(seg, dict):
+            for name in seg_totals:
+                seg_totals[name] += int(seg.get(name) or 0)
+    if not turbo and not per_worker:
         return
     lines.append("")
     lines.append("turbo (chain compilation):")
     for name in sorted(turbo):
         lines.append(f"  {name:38s} {turbo[name]}")
+    if any(seg_totals.values()):
+        shown = ", ".join(f"{name}={seg_totals[name]}"
+                          for name in sorted(seg_totals))
+        lines.append(f"  {'persisted segments':38s} {shown}")
+    if per_worker:
+        lines.append("  per-worker compile amortization "
+                     "(jobs / compiled / installed / replays "
+                     "/ replays-per-compile):")
+        for worker in sorted(per_worker):
+            stats = per_worker[worker]
+            paid = stats["compiled"]
+            amortized = (f"{stats['replays'] / paid:8.1f}" if paid
+                         else "      --")
+            lines.append(
+                f"    {worker:18s} {stats['jobs']:4d} / "
+                f"{stats['compiled']:5d} / {stats['installed']:5d} / "
+                f"{stats['replays']:7d} / {amortized}"
+            )
 
 
 def _cache_section(data: ReportData, lines: List[str]) -> None:

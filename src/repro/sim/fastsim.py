@@ -60,11 +60,26 @@ class FastSim:
         audit_every: Optional[int] = None,
         audit_seed: int = 0,
         turbo=None,
+        threaded_frontend: bool = True,
+        l1_filter: bool = True,
+        segstore=None,
     ):
+        """*threaded_frontend* / *l1_filter* toggle the host-side speed
+        layers (threaded-code dispatch, DEW-style L1 filter) — both
+        default on, neither changes canonical results. *segstore*
+        optionally carries persisted compiled segments
+        (:class:`repro.memo.segstore.SegmentArchive`) installed into the
+        p-cache before the run — see docs/performance.md."""
         self.executable = executable
         self.params = params if params is not None else ProcessorParams.r10k()
         self.obs = ensure_observer(obs)
-        self.world = World(executable, self.params, predictor)
+        self.world = World(executable, self.params, predictor,
+                           threaded_frontend=threaded_frontend,
+                           l1_filter=l1_filter)
+        self.segstore = segstore
+        #: Install counters from the persisted-segment archive
+        #: (set by :meth:`run` when *segstore* was given).
+        self.segstore_stats = None
         if audit_every is not None:
             from repro.guard.engine import GuardedEngine
 
@@ -89,6 +104,10 @@ class FastSim:
         # Host wall-clock feeds the *host-time* result fields only
         # (docs/performance.md); no simulated state ever reads it.
         started = time.perf_counter()  # repro-lint: disable=det/time-dependent
+        if self.segstore is not None and self.segstore_stats is None:
+            from repro.memo.segstore import install
+
+            self.segstore_stats = install(self.segstore, self.engine.cache)
         with self.obs.span("sim.run", cat="sim", simulator=self.name):
             memo = self.engine.run(max_cycles)
         elapsed = time.perf_counter() - started  # repro-lint: disable=det/time-dependent
@@ -101,6 +120,13 @@ class FastSim:
             )
             self.obs.gauge("frontend.rollbacks", frontend.rollbacks)
             self.obs.gauge("memo.pcache_peak_bytes", self.pcache.peak_bytes)
+            for name, value in sorted(frontend.frontend_stats().items()):
+                self.obs.gauge(f"frontend.{name}", value)
+            for name, value in sorted(world.cache.filter_stats().items()):
+                self.obs.gauge(f"cache.filter.{name}", value)
+            if self.segstore_stats is not None:
+                for name, value in sorted(self.segstore_stats.items()):
+                    self.obs.gauge(f"turbo.segstore.{name}", value)
         return SimulationResult(
             name=self.name,
             cycles=world.stats.cycles,

@@ -77,7 +77,13 @@ class World:
         state=None,
         memory_system: Optional[MemorySystem] = None,
         frontend_max_instructions: Optional[int] = None,
+        threaded_frontend: bool = True,
+        l1_filter: bool = True,
     ):
+        """*threaded_frontend* and *l1_filter* are host-side speed knobs
+        (threaded-code block dispatch; DEW-style L1 load filter). Both
+        default on and neither changes canonical results — they exist
+        for ablation benchmarks."""
         self.params = params if params is not None else ProcessorParams.r10k()
         if predictor is None:
             predictor = BimodalPredictor(self.params.bht_entries)
@@ -91,10 +97,12 @@ class World:
             executable, predictor,
             bq_capacity=self.params.max_spec_branches + 1,
             state=state,
+            threaded=threaded_frontend,
             **frontend_kwargs,
         )
         self.cache = (memory_system if memory_system is not None
-                      else MemorySystem(self.params.memory))
+                      else MemorySystem(self.params.memory,
+                                        l1_filter=l1_filter))
         self.stats = SimStats()
         self.cycle = 0
         self.lq_base = 0
@@ -102,13 +110,20 @@ class World:
         self.cf_base = 0
         self.cf_fetched = 0
         self._tokens: Dict[int, int] = {}  # absolute lQ index -> cache token
+        # Hot-path aliases: the frontend queues are append-only lists
+        # truncated in place (``del list[n:]``), so their identities are
+        # stable for the lifetime of the world.
+        queues = self.frontend.queues
+        self._lq = queues.loads
+        self._sq = queues.stores
+        self._cf = queues.controls
         # Prime the frontend: one control event ahead of fetch.
         self._ensure_frontend_ahead()
 
     # ------------------------------------------------------------------
 
     def _ensure_frontend_ahead(self) -> None:
-        controls = self.frontend.queues.controls
+        controls = self._cf
         while len(controls) <= self.cf_fetched:
             self.frontend.run_one_event()
 
@@ -121,15 +136,17 @@ class World:
 
     def get_control(self) -> ControlRecord:
         """Consume the next control record for fetch; keep one ahead."""
-        controls = self.frontend.queues.controls
-        if self.cf_fetched >= len(controls):
+        controls = self._cf
+        fetched = self.cf_fetched
+        if fetched >= len(controls):
             raise SimulationError(
                 "fetch consumed past the frontend "
-                f"(index {self.cf_fetched}, have {len(controls)})"
+                f"(index {fetched}, have {len(controls)})"
             )
-        record = controls[self.cf_fetched]
-        self.cf_fetched += 1
-        self._ensure_frontend_ahead()
+        record = controls[fetched]
+        self.cf_fetched = fetched + 1
+        if len(controls) <= fetched + 1:
+            self.frontend.run_one_event()
         return record
 
     # -- memory ------------------------------------------------------------
@@ -137,7 +154,7 @@ class World:
     def issue_load(self, ordinal: int) -> int:
         """Issue the load with iQ ordinal *ordinal* to the cache."""
         index = self.lq_base + ordinal
-        record = self.frontend.queues.loads[index]
+        record = self._lq[index]
         token, interval = self.cache.issue_load(
             record.address, record.width, self.cycle
         )
@@ -161,7 +178,7 @@ class World:
     def issue_store(self, ordinal: int) -> int:
         """Issue the store with iQ ordinal *ordinal* to the cache."""
         index = self.sq_base + ordinal
-        record = self.frontend.queues.stores[index]
+        record = self._sq[index]
         return self.cache.issue_store(record.address, record.width, self.cycle)
 
     # -- retirement and rollback ---------------------------------------------
@@ -181,7 +198,7 @@ class World:
     def rollback(self, request: Rollback) -> None:
         """A mispredicted branch resolved: roll the frontend back."""
         control_index = self.cf_base + request.control_ordinal
-        record = self.frontend.queues.controls[control_index]
+        record = self._cf[control_index]
         # Cancel cache bookkeeping for squashed (wrong-path) loads.
         squashed_tokens = [
             index for index in self._tokens if index >= record.lq_len

@@ -108,7 +108,7 @@ class TestCacheStorePersistence:
         run_jobs([JOB], workers=2, cache_dir=cache_dir, name="atomic")
         store = CacheStore(cache_dir)
         leftovers = [name for name in os.listdir(store.root)
-                     if not name.endswith(".fspc")]
+                     if not name.endswith((".fspc", ".fsseg"))]
         assert leftovers == []
 
     def test_pickleable_job_results(self):
